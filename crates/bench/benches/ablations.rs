@@ -1,0 +1,53 @@
+//! Criterion bench for the A1/A2 ablations: bulk-load family and node-size
+//! sweep (A3's join sweep is covered by `spatial_join.rs` at factor 1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use simspatial_bench::datasets::{neuron_dataset, paper_queries};
+use simspatial_bench::Scale;
+use simspatial_index::{Curve, RTree, RTreeConfig};
+
+fn bench(c: &mut Criterion) {
+    let data = neuron_dataset(Scale::Small);
+    let queries = paper_queries(data.universe(), data.len(), 20, 0xAB);
+
+    let mut g = c.benchmark_group("bulk_load");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_millis(900));
+    g.bench_function("str", |b| {
+        b.iter(|| RTree::bulk_load(data.elements(), RTreeConfig::default()).len())
+    });
+    g.bench_function("hilbert", |b| {
+        b.iter(|| {
+            RTree::bulk_load_sfc(data.elements(), RTreeConfig::default(), Curve::Hilbert).len()
+        })
+    });
+    g.bench_function("morton", |b| {
+        b.iter(|| {
+            RTree::bulk_load_sfc(data.elements(), RTreeConfig::default(), Curve::Morton).len()
+        })
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("node_size_query");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_millis(900));
+    for m in [8usize, 32, 128] {
+        let config = RTreeConfig { max_entries: m, min_entries: (m * 2 / 5).max(2), ..Default::default() };
+        let tree = RTree::bulk_load(data.elements(), config);
+        g.bench_with_input(BenchmarkId::new("fanout", m), &tree, |b, tree| {
+            b.iter(|| {
+                let mut acc = 0usize;
+                for q in &queries {
+                    acc += tree.range_exact(data.elements(), q).len();
+                }
+                acc
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

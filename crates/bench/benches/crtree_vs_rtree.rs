@@ -1,0 +1,50 @@
+//! Criterion bench for E6 / §3.2: CR-Tree vs R-Tree query batches.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use simspatial_bench::datasets::{neuron_dataset, paper_queries};
+use simspatial_bench::Scale;
+use simspatial_index::{CrTree, CrTreeConfig, RTree, RTreeConfig, SpatialIndex};
+
+fn bench(c: &mut Criterion) {
+    let data = neuron_dataset(Scale::Small);
+    let queries = paper_queries(data.universe(), data.len(), 20, 6);
+    let rt_disk = RTree::bulk_load(data.elements(), RTreeConfig::disk_page());
+    let rt_mem = RTree::bulk_load(data.elements(), RTreeConfig::default());
+    let cr = CrTree::build(data.elements(), CrTreeConfig::default());
+
+    let mut g = c.benchmark_group("crtree_vs_rtree");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_millis(900));
+    g.bench_function("rtree_4k_nodes", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for q in &queries {
+                acc += rt_disk.range(data.elements(), q).len();
+            }
+            acc
+        })
+    });
+    g.bench_function("rtree_cache_band", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for q in &queries {
+                acc += rt_mem.range(data.elements(), q).len();
+            }
+            acc
+        })
+    });
+    g.bench_function("crtree", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for q in &queries {
+                acc += cr.range(data.elements(), q).len();
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion bench for E1 / Figure 2: disk-resident vs in-memory R-Tree
+//! query batches (the modelled disk latency is excluded from wall-clock —
+//! Criterion tracks the CPU side; the modelled component is reported by the
+//! `figures` binary).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use simspatial_bench::datasets::{neuron_dataset, paper_queries};
+use simspatial_bench::Scale;
+use simspatial_index::{DiskRTree, RTree, RTreeConfig};
+use simspatial_storage::{BufferPool, BufferPoolConfig, DiskModel};
+
+fn bench(c: &mut Criterion) {
+    let data = neuron_dataset(Scale::Small);
+    let queries = paper_queries(data.universe(), data.len(), 20, 1);
+
+    let disk = DiskRTree::build(data.elements());
+    let mem = RTree::bulk_load(data.elements(), RTreeConfig::disk_page());
+
+    let mut g = c.benchmark_group("fig2");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_millis(900));
+    g.bench_function("disk_layout_cold", |b| {
+        let mut pool = BufferPool::new(BufferPoolConfig {
+            capacity_pages: 16 * 1024,
+            disk: DiskModel::free(), // CPU side only; latency is modelled
+        });
+        b.iter(|| {
+            let mut acc = 0usize;
+            for q in &queries {
+                pool.clear();
+                acc += disk.range_bbox(&mut pool, q).len();
+            }
+            acc
+        })
+    });
+    g.bench_function("in_memory", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for q in &queries {
+                acc += mem.range_bbox(q).len();
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

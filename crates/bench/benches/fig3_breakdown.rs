@@ -1,0 +1,40 @@
+//! Criterion bench for E2 / Figure 3: the in-memory R-Tree query batch
+//! whose intersection-test breakdown the `figures` binary decomposes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use simspatial_bench::datasets::{neuron_dataset, paper_queries};
+use simspatial_bench::Scale;
+use simspatial_index::{RTree, RTreeConfig};
+
+fn bench(c: &mut Criterion) {
+    let data = neuron_dataset(Scale::Small);
+    let queries = paper_queries(data.universe(), data.len(), 20, 2);
+    let tree = RTree::bulk_load(data.elements(), RTreeConfig::default());
+
+    let mut g = c.benchmark_group("fig3");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_millis(900));
+    g.bench_function("range_exact_batch", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for q in &queries {
+                acc += tree.range_exact(data.elements(), q).len();
+            }
+            acc
+        })
+    });
+    g.bench_function("range_bbox_batch", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for q in &queries {
+                acc += tree.range_bbox(q).len();
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

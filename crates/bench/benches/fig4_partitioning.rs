@@ -1,0 +1,55 @@
+//! Criterion bench for E3 / Figure 4: range-query batches under
+//! data-oriented (R-Tree) vs space-oriented (grid) partitioning.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use simspatial_bench::datasets::{neuron_dataset, paper_queries};
+use simspatial_bench::Scale;
+use simspatial_index::{GridConfig, GridPlacement, RTree, RTreeConfig, SpatialIndex, UniformGrid};
+
+fn bench(c: &mut Criterion) {
+    let data = neuron_dataset(Scale::Small);
+    let queries = paper_queries(data.universe(), data.len(), 20, 3);
+    let tree = RTree::bulk_load(data.elements(), RTreeConfig::default());
+    let auto = GridConfig::auto(data.elements());
+    let grid_center = UniformGrid::build(data.elements(), auto);
+    let grid_rep = UniformGrid::build(
+        data.elements(),
+        GridConfig { placement: GridPlacement::Replicate, ..auto },
+    );
+
+    let mut g = c.benchmark_group("fig4");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_millis(900));
+    g.bench_function("rtree_data_oriented", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for q in &queries {
+                acc += tree.range(data.elements(), q).len();
+            }
+            acc
+        })
+    });
+    g.bench_function("grid_center", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for q in &queries {
+                acc += grid_center.range(data.elements(), q).len();
+            }
+            acc
+        })
+    });
+    g.bench_function("grid_replicate", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for q in &queries {
+                acc += grid_rep.range(data.elements(), q).len();
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

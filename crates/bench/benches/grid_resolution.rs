@@ -1,0 +1,48 @@
+//! Criterion bench for E7 / §3.3: grid resolution sweep + multigrid.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use simspatial_bench::datasets::{neuron_dataset, queries_at};
+use simspatial_bench::Scale;
+use simspatial_index::{
+    GridConfig, GridPlacement, MultiGrid, MultiGridConfig, SpatialIndex, UniformGrid,
+};
+
+fn bench(c: &mut Criterion) {
+    let data = neuron_dataset(Scale::Small);
+    let queries = queries_at(data.universe(), 1e-4, 20, 7);
+    let base = GridConfig::auto(data.elements()).cell_side;
+
+    let mut g = c.benchmark_group("grid_resolution");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_millis(900));
+    for mult in [1u32, 4, 16] {
+        let grid = UniformGrid::build(
+            data.elements(),
+            GridConfig::with_cell_side(base * mult as f32, GridPlacement::Center),
+        );
+        g.bench_with_input(BenchmarkId::new("cell_mult", mult), &grid, |b, grid| {
+            b.iter(|| {
+                let mut acc = 0usize;
+                for q in &queries {
+                    acc += grid.range(data.elements(), q).len();
+                }
+                acc
+            })
+        });
+    }
+    let multi = MultiGrid::build(data.elements(), MultiGridConfig::auto(data.elements()));
+    g.bench_function("multigrid", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for q in &queries {
+                acc += multi.range(data.elements(), q).len();
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

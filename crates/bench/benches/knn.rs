@@ -1,0 +1,38 @@
+//! Criterion bench for E8 / §3.3: kNN across structures incl. LSH.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use simspatial_bench::datasets::neuron_dataset;
+use simspatial_bench::Scale;
+use simspatial_datagen::QueryWorkload;
+use simspatial_index::{
+    GridConfig, KdTree, KnnIndex, LinearScan, Lsh, LshConfig, RTree, RTreeConfig, UniformGrid,
+};
+
+fn bench(c: &mut Criterion) {
+    let data = neuron_dataset(Scale::Small);
+    let points = QueryWorkload::new(data.universe(), 8).knn_points(10);
+    let scan = LinearScan::build(data.elements());
+    let kd = KdTree::build(data.elements());
+    let rt = RTree::bulk_load(data.elements(), RTreeConfig::default());
+    let grid = UniformGrid::build(data.elements(), GridConfig::auto(data.elements()));
+    let lsh = Lsh::build(data.elements(), LshConfig::auto(data.elements()));
+
+    let mut g = c.benchmark_group("knn_k10");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_millis(900));
+    let contenders: Vec<(&str, Box<dyn Fn() -> usize>)> = vec![
+        ("scan", Box::new(|| points.iter().map(|p| scan.knn(data.elements(), p, 10).len()).sum())),
+        ("kdtree", Box::new(|| points.iter().map(|p| kd.knn(data.elements(), p, 10).len()).sum())),
+        ("rtree", Box::new(|| points.iter().map(|p| rt.knn(data.elements(), p, 10).len()).sum())),
+        ("grid", Box::new(|| points.iter().map(|p| grid.knn(data.elements(), p, 10).len()).sum())),
+        ("lsh", Box::new(|| points.iter().map(|p| lsh.knn(data.elements(), p, 10).len()).sum())),
+    ];
+    for (name, f) in &contenders {
+        g.bench_with_input(BenchmarkId::from_parameter(name), f, |b, f| b.iter(|| f()));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

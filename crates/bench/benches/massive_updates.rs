@@ -1,0 +1,48 @@
+//! Criterion bench for E9 / §4.3: one plasticity maintenance step per
+//! strategy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use simspatial_bench::datasets::neuron_dataset;
+use simspatial_bench::Scale;
+use simspatial_datagen::PlasticityModel;
+use simspatial_moving::UpdateStrategyKind;
+
+fn bench(c: &mut Criterion) {
+    let data = neuron_dataset(Scale::Small);
+    let mut model = PlasticityModel::paper_calibrated(0xE9);
+    let moved = {
+        let mut m = data.clone();
+        for (i, d) in model.sample_step(m.len()).iter().enumerate() {
+            m.displace(i as u32, *d);
+        }
+        m
+    };
+
+    let mut g = c.benchmark_group("maintenance_step");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_millis(900));
+    for kind in [
+        UpdateStrategyKind::RTreeReinsert,
+        UpdateStrategyKind::RTreeBottomUp,
+        UpdateStrategyKind::RTreeRebuild,
+        UpdateStrategyKind::LazyGraceWindow,
+        UpdateStrategyKind::GridMigrate,
+        UpdateStrategyKind::ThrowawayGrid,
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, kind| {
+            b.iter_batched(
+                || kind.create(data.elements()),
+                |mut s| {
+                    s.apply_step(data.elements(), moved.elements());
+                    s
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

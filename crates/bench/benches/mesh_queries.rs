@@ -1,0 +1,36 @@
+//! Criterion bench for E12 / §4.3: DLS/OCTOPUS walks vs scan on a mesh.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use simspatial_geom::{Aabb, Point3, Vec3};
+use simspatial_mesh::{MeshWalker, TetMesh, WalkStrategy};
+
+fn bench(c: &mut Criterion) {
+    let mesh = TetMesh::lattice(20, 10, 10, 1.0);
+    let queries: Vec<Aabb> = (0..10)
+        .map(|i| {
+            let t = i as f32;
+            let o = Point3::new(t * 1.7, t * 0.8, t * 0.8);
+            Aabb::new(o, o + Vec3::new(2.5, 2.5, 2.5))
+        })
+        .collect();
+    let dls = MeshWalker::build(&mesh, WalkStrategy::Dls);
+    let octopus = MeshWalker::build(&mesh, WalkStrategy::Octopus);
+
+    let mut g = c.benchmark_group("mesh_range");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_millis(900));
+    g.bench_function("dls_walk", |b| {
+        b.iter(|| queries.iter().map(|q| dls.range(&mesh, q).len()).sum::<usize>())
+    });
+    g.bench_function("octopus_walk", |b| {
+        b.iter(|| queries.iter().map(|q| octopus.range(&mesh, q).len()).sum::<usize>())
+    });
+    g.bench_function("scan", |b| {
+        b.iter(|| queries.iter().map(|q| mesh.scan_range(q).len()).sum::<usize>())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion bench for E11 / §4.2: grace-window and buffered maintenance
+//! steps at different parameters.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use simspatial_bench::datasets::neuron_dataset;
+use simspatial_bench::Scale;
+use simspatial_datagen::PlasticityModel;
+use simspatial_moving::{BufferedRTree, LazyGraceWindow, UpdateStrategy};
+
+fn bench(c: &mut Criterion) {
+    let data = neuron_dataset(Scale::Small);
+    let mut model = PlasticityModel::with_sigma(0.08, 11);
+    let moved = {
+        let mut m = data.clone();
+        for (i, d) in model.sample_step(m.len()).iter().enumerate() {
+            m.displace(i as u32, *d);
+        }
+        m
+    };
+
+    let mut g = c.benchmark_group("moving_object_step");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_millis(900));
+    for margin in [0.05f32, 0.5, 2.0] {
+        g.bench_with_input(BenchmarkId::new("grace_margin", margin), &margin, |b, &m| {
+            b.iter_batched(
+                || LazyGraceWindow::with_margin(data.elements(), m),
+                |mut s| {
+                    s.apply_step(data.elements(), moved.elements());
+                    s
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    for flush in [0.01f32, 0.5] {
+        g.bench_with_input(BenchmarkId::new("buffer_flush", flush), &flush, |b, &f| {
+            b.iter_batched(
+                || BufferedRTree::with_flush_fraction(data.elements(), f),
+                |mut s| {
+                    s.apply_step(data.elements(), moved.elements());
+                    s
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

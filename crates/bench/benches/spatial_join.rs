@@ -1,0 +1,32 @@
+//! Criterion bench for E10 / §2.2: spatial self-join algorithms.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use simspatial_bench::Scale;
+use simspatial_datagen::NeuronDatasetBuilder;
+use simspatial_join::{self_join, JoinAlgorithm, JoinConfig};
+
+fn bench(c: &mut Criterion) {
+    let _ = Scale::Small;
+    // Smaller than the E10 report scale: the nested loop is in the matrix.
+    let data = NeuronDatasetBuilder::new()
+        .neurons(12)
+        .segments_per_neuron(250)
+        .universe_side(40.0)
+        .seed(10)
+        .build();
+    let config = JoinConfig::within(0.3);
+
+    let mut g = c.benchmark_group("self_join");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_millis(900));
+    for algo in JoinAlgorithm::ALL {
+        g.bench_with_input(BenchmarkId::from_parameter(algo.name()), &algo, |b, &algo| {
+            b.iter(|| self_join(data.elements(), &config, algo).len())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

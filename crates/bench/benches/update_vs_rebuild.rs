@@ -1,0 +1,60 @@
+//! Criterion bench for E4 / §4.1: per-entry updates vs STR rebuild.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use simspatial_bench::datasets::neuron_dataset;
+use simspatial_bench::Scale;
+use simspatial_datagen::PlasticityModel;
+use simspatial_geom::Element;
+use simspatial_index::{RTree, RTreeConfig};
+
+fn bench(c: &mut Criterion) {
+    let data = neuron_dataset(Scale::Small);
+    let n = data.len();
+    let base = RTree::bulk_load(data.elements(), RTreeConfig::default());
+    let mut model = PlasticityModel::with_sigma(0.1, 9);
+    let moved: Vec<Element> = {
+        let mut m = data.clone();
+        for (i, d) in model.sample_step(n).iter().enumerate() {
+            m.displace(i as u32, *d);
+        }
+        m.elements().to_vec()
+    };
+
+    let mut g = c.benchmark_group("update_vs_rebuild");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_millis(900));
+    for fraction in [10usize, 40, 100] {
+        let k = n * fraction / 100;
+        g.bench_with_input(BenchmarkId::new("update_pct", fraction), &k, |b, &k| {
+            b.iter_batched(
+                || base.clone(),
+                |mut tree| {
+                    for i in 0..k {
+                        let ob = data.elements()[i].aabb();
+                        let nb = moved[i].aabb();
+                        if ob != nb {
+                            tree.update(data.elements()[i].id, &ob, nb);
+                        }
+                    }
+                    tree
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    g.bench_function("str_rebuild", |b| {
+        b.iter_batched(
+            || base.clone(),
+            |mut tree| {
+                tree.rebuild(&moved);
+                tree
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

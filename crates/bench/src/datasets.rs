@@ -1,0 +1,62 @@
+//! Standard bench datasets and query workloads.
+
+use crate::Scale;
+use simspatial_datagen::{Dataset, NeuronDatasetBuilder, QueryWorkload};
+use simspatial_geom::Aabb;
+
+/// The neuroscience dataset of the paper's appendix, scaled: branched
+/// neuron morphologies at the same density regime.
+pub fn neuron_dataset(scale: Scale) -> Dataset {
+    let n = scale.elements();
+    // ~500 segments per neuron + soma ⇒ neurons = n / 501.
+    let per = 500;
+    let neurons = (n / (per + 1)).max(1);
+    // Density: the paper's 200 M elements in a 285 µm³-regime microcircuit
+    // ⇒ keep ~50 elements/µm³ scaled down, i.e. side = (n / 50)^⅓... that
+    // produces sub-µm sides at bench scale; we instead keep the *relative*
+    // density of the default builder (≈0.05 el/µm³) which already yields
+    // paper-shaped clustering and overlap.
+    let side = ((n as f32) / 0.05).cbrt().min(400.0);
+    NeuronDatasetBuilder::new()
+        .neurons(neurons)
+        .segments_per_neuron(per)
+        .universe_side(side)
+        .seed(0xEDB7_2014)
+        .build()
+}
+
+/// The paper's Figure 2/3 query workload: range queries of selectivity
+/// 5×10⁻⁴ % at random locations. The paper's absolute selectivity over
+/// 200 M elements yields ≈1 000 results per query; applying 5×10⁻⁶
+/// verbatim to a bench-scale dataset would return nothing, while fixing
+/// 1 000 results would make each query cover several percent of the
+/// universe and invert the tree/leaf cost balance. The harness therefore
+/// keeps the *relative* regime: result cardinality grows with n and tops
+/// out at the paper's 1 000 once n reaches paper-like sizes.
+pub fn paper_queries(universe: Aabb, n_elements: usize, count: usize, seed: u64) -> Vec<Aabb> {
+    let target_results = (n_elements as f64 * 5e-4).clamp(16.0, 1000.0);
+    let selectivity = (target_results / n_elements as f64).min(0.05);
+    QueryWorkload::new(universe, seed).range_queries(selectivity, count)
+}
+
+/// Queries at an explicit selectivity.
+pub fn queries_at(universe: Aabb, selectivity: f64, count: usize, seed: u64) -> Vec<Aabb> {
+    QueryWorkload::new(universe, seed).range_queries(selectivity, count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn neuron_dataset_scales() {
+        let d = neuron_dataset(Scale::Small);
+        // Within 25 % of the requested scale (neurons quantise the count).
+        assert!(d.len() >= Scale::Small.elements() * 3 / 4, "got {}", d.len());
+        let q = paper_queries(d.universe(), d.len(), 10, 1);
+        assert_eq!(q.len(), 10);
+        for b in &q {
+            assert!(d.universe().contains(b));
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! E3 — Figure 4: unnecessary intersection tests under data-oriented
+//! partitioning.
+//!
+//! Paper (§3.3, Figure 4): data-oriented partitions can be narrow and
+//! elongated; "a range query intersecting with such a partition may contain
+//! only few of the partition's elements, yet all elements need to be tested
+//! for intersection, leading to unnecessary intersection tests" — the
+//! argument for space-oriented grids in memory.
+//!
+//! Reproduction: identical query batches over the neuron dataset (whose
+//! elongated morphology walks create exactly such partitions) indexed by an
+//! R-Tree (data-oriented) and a uniform grid (space-oriented). Metric:
+//! element-level tests per result — the waste factor.
+
+use crate::datasets::{neuron_dataset, paper_queries};
+use crate::report::Report;
+use crate::Scale;
+use simspatial_geom::stats;
+use simspatial_index::{
+    GridConfig, GridPlacement, RTree, RTreeConfig, SpatialIndex, UniformGrid,
+};
+
+/// Tests-per-result of one index over one batch.
+#[derive(Debug, Clone, Copy)]
+pub struct Waste {
+    /// Element-level intersection tests issued.
+    pub element_tests: u64,
+    /// Results returned.
+    pub results: u64,
+}
+
+impl Waste {
+    /// Element tests per result (∞-safe).
+    pub fn tests_per_result(&self) -> f64 {
+        self.element_tests as f64 / self.results.max(1) as f64
+    }
+}
+
+/// Runs the measurement, returning (rtree, grid_replicate, grid_center).
+pub fn measure(scale: Scale) -> (Waste, Waste, Waste) {
+    let data = neuron_dataset(scale);
+    let queries = paper_queries(data.universe(), data.len(), scale.queries(), 0xF164);
+
+    let run = |range: &dyn Fn(&simspatial_geom::Aabb) -> usize| -> Waste {
+        stats::reset();
+        let mut results = 0u64;
+        for q in &queries {
+            results += range(q) as u64;
+        }
+        Waste { element_tests: stats::snapshot().element_tests, results }
+    };
+
+    let tree = RTree::bulk_load(data.elements(), RTreeConfig::default());
+    let w_tree = run(&|q| tree.range(data.elements(), q).len());
+
+    let auto = GridConfig::auto(data.elements());
+    let grid_rep = UniformGrid::build(
+        data.elements(),
+        GridConfig { placement: GridPlacement::Replicate, ..auto },
+    );
+    let w_rep = run(&|q| grid_rep.range(data.elements(), q).len());
+
+    let grid_center = UniformGrid::build(data.elements(), auto);
+    let w_center = run(&|q| grid_center.range(data.elements(), q).len());
+
+    assert_eq!(w_tree.results, w_rep.results, "indexes disagree");
+    assert_eq!(w_tree.results, w_center.results, "indexes disagree");
+    (w_tree, w_rep, w_center)
+}
+
+/// Runs and formats the report.
+pub fn run(scale: Scale) -> String {
+    let (tree, rep, center) = measure(scale);
+    let mut r = Report::new(
+        "E3",
+        "Figure 4 — unnecessary tests: data-oriented vs space-oriented partitioning",
+    );
+    r.paper("narrow data-oriented partitions force testing many non-qualifying elements");
+    r.measured(&format!(
+        "R-Tree (data-oriented):    {:>10} element tests, {:>7} results, {:>6.2} tests/result",
+        tree.element_tests,
+        tree.results,
+        tree.tests_per_result()
+    ));
+    r.measured(&format!(
+        "Grid/replicate (space):    {:>10} element tests, {:>7} results, {:>6.2} tests/result",
+        rep.element_tests,
+        rep.results,
+        rep.tests_per_result()
+    ));
+    r.measured(&format!(
+        "Grid/center (space):       {:>10} element tests, {:>7} results, {:>6.2} tests/result",
+        center.element_tests,
+        center.results,
+        center.tests_per_result()
+    ));
+    r.note("shape check: the grid needs fewer element tests per result than the R-Tree");
+    r.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_wastes_fewer_tests() {
+        let (tree, rep, _center) = measure(Scale::Small);
+        assert!(
+            rep.tests_per_result() < tree.tests_per_result(),
+            "grid {} vs tree {}",
+            rep.tests_per_result(),
+            tree.tests_per_result()
+        );
+    }
+}

@@ -1,0 +1,154 @@
+//! E4 — §4.1: update vs rebuild, and the 38 % crossover.
+//!
+//! Paper: "Updating all elements of this application in an R-Tree takes 130
+//! seconds at every simulation step. Building the new R-Tree index from
+//! scratch, on the other hand, only takes 48 seconds. For this experiment
+//! updating only is faster than a rebuild if less than 38 % of the dataset
+//! change in a time step."
+//!
+//! Reproduction: plasticity-displace a fraction f of the neuron dataset,
+//! time (a) delete+reinsert of the moved entries against (b) a full STR
+//! rebuild, sweep f, and interpolate the crossover.
+
+use crate::datasets::neuron_dataset;
+use crate::experiments::time;
+use crate::report::{fmt_time, Report};
+use crate::Scale;
+use simspatial_datagen::PlasticityModel;
+use simspatial_geom::Element;
+use simspatial_index::{RTree, RTreeConfig};
+
+/// One sweep point.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepPoint {
+    /// Fraction of the dataset updated.
+    pub fraction: f64,
+    /// Seconds spent updating that fraction (delete + reinsert).
+    pub update_s: f64,
+}
+
+/// Full outcome of the sweep.
+#[derive(Debug, Clone)]
+pub struct UpdateVsRebuild {
+    /// Sweep points at increasing fractions.
+    pub points: Vec<SweepPoint>,
+    /// Seconds of one full STR rebuild.
+    pub rebuild_s: f64,
+    /// Interpolated fraction where updating stops paying off.
+    pub crossover: Option<f64>,
+}
+
+/// Runs the measurement.
+pub fn measure(scale: Scale) -> UpdateVsRebuild {
+    let data = neuron_dataset(scale);
+    let n = data.len();
+    let base = RTree::bulk_load(data.elements(), RTreeConfig::default());
+
+    // Displaced copy of every element (paper-calibrated movement, scaled up
+    // so stored boxes actually change at f32 resolution).
+    let mut model = PlasticityModel::with_sigma(0.1, 0x41);
+    let moved: Vec<Element> = {
+        let mut m = data.clone();
+        for (i, d) in model.sample_step(n).iter().enumerate() {
+            m.displace(i as u32, *d);
+        }
+        m.elements().to_vec()
+    };
+
+    let (_, rebuild_s) = {
+        let mut t = base.clone();
+        let moved_ref = &moved;
+        time(move || {
+            t.rebuild(moved_ref);
+            t.len()
+        })
+    };
+
+    let fractions = [0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.75, 1.0];
+    let mut points = Vec::new();
+    for &f in &fractions {
+        let k = ((n as f64) * f) as usize;
+        let mut tree = base.clone();
+        let old = data.elements();
+        let (_, update_s) = time(|| {
+            for i in 0..k {
+                let ob = old[i].aabb();
+                let nb = moved[i].aabb();
+                if ob != nb {
+                    tree.update(old[i].id, &ob, nb);
+                }
+            }
+        });
+        points.push(SweepPoint { fraction: f, update_s });
+    }
+
+    // Crossover: first f where update_s >= rebuild_s, linearly interpolated.
+    let mut crossover = None;
+    for w in points.windows(2) {
+        let (a, b) = (w[0], w[1]);
+        if a.update_s < rebuild_s && b.update_s >= rebuild_s {
+            let t = (rebuild_s - a.update_s) / (b.update_s - a.update_s);
+            crossover = Some(a.fraction + t * (b.fraction - a.fraction));
+            break;
+        }
+    }
+    if crossover.is_none() && points.first().is_some_and(|p| p.update_s >= rebuild_s) {
+        crossover = Some(points[0].fraction);
+    }
+    UpdateVsRebuild { points, rebuild_s, crossover }
+}
+
+/// Runs and formats the report.
+pub fn run(scale: Scale) -> String {
+    let o = measure(scale);
+    let mut r = Report::new("E4", "§4.1 — update vs rebuild crossover");
+    r.paper("update all: 130 s/step; STR rebuild: 48 s; update wins iff < 38 % change");
+    r.measured(&format!("full STR rebuild: {}", fmt_time(o.rebuild_s)));
+    for p in &o.points {
+        let marker = if p.update_s < o.rebuild_s { "update wins" } else { "rebuild wins" };
+        r.row(&format!(
+            "f = {:>5.0} %: update {} ({marker})",
+            p.fraction * 100.0,
+            fmt_time(p.update_s)
+        ));
+    }
+    match o.crossover {
+        Some(c) => {
+            r.measured(&format!("crossover at ≈ {:.0} % changed (paper: 38 %)", c * 100.0))
+        }
+        None => r.measured("no crossover in sweep range (updates always cheaper here)"),
+    };
+    let all = o.points.last().map(|p| p.update_s).unwrap_or(0.0);
+    r.measured(&format!(
+        "update-all / rebuild ratio: {:.1}× (paper: 130/48 ≈ 2.7×)",
+        all / o.rebuild_s.max(f64::MIN_POSITIVE)
+    ));
+    r.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn updating_everything_loses_to_rebuild() {
+        let o = measure(Scale::Small);
+        let all = o.points.last().unwrap();
+        assert!(
+            all.update_s > o.rebuild_s,
+            "update-all {} should exceed rebuild {}",
+            all.update_s,
+            o.rebuild_s
+        );
+        let c = o.crossover.expect("a crossover must exist");
+        assert!(c > 0.0 && c < 1.0, "crossover {c}");
+    }
+
+    #[test]
+    fn update_cost_grows_with_fraction() {
+        let o = measure(Scale::Small);
+        let first = o.points.first().unwrap().update_s;
+        let last = o.points.last().unwrap().update_s;
+        assert!(last > first * 2.0, "cost must grow: {first} → {last}");
+    }
+}

@@ -1,0 +1,84 @@
+//! E5 — §4.1: the neural-plasticity displacement statistics.
+//!
+//! Paper: "In each of the one thousand simulation steps in a sample run of
+//! a neural simulation, all elements move, but only by 0.04 µm (in a
+//! universe with volume of 285 µm³) on average with less than 0.5 % of
+//! elements moving more than 0.1 µm."
+//!
+//! Reproduction: measure the calibrated generator over many steps and check
+//! the three statistics.
+
+use crate::report::Report;
+use crate::Scale;
+use simspatial_datagen::{
+    DisplacementStats, PlasticityModel, PAPER_MEAN_STEP_UM, PAPER_TAIL_FRACTION,
+};
+
+/// Aggregated statistics over a multi-step run.
+#[derive(Debug, Clone, Copy)]
+pub struct PlasticityOutcome {
+    /// Mean displacement magnitude across all steps.
+    pub mean: f32,
+    /// Worst per-step tail fraction (share of moves > 0.1 µm).
+    pub worst_tail: f32,
+    /// Minimum per-step moved fraction.
+    pub min_moved: f32,
+    /// Steps simulated.
+    pub steps: usize,
+}
+
+/// Runs the measurement.
+pub fn measure(scale: Scale) -> PlasticityOutcome {
+    let (n, steps) = match scale {
+        Scale::Small => (20_000, 20),
+        Scale::Medium => (100_000, 100),
+        Scale::Large => (200_000, 1000), // the paper's thousand steps
+    };
+    let mut model = PlasticityModel::paper_calibrated(0x05);
+    let mut mean_acc = 0.0f64;
+    let mut worst_tail = 0.0f32;
+    let mut min_moved = 1.0f32;
+    for _ in 0..steps {
+        let s = DisplacementStats::measure(&model.sample_step(n));
+        mean_acc += f64::from(s.mean);
+        worst_tail = worst_tail.max(s.tail_fraction);
+        min_moved = min_moved.min(s.moved_fraction);
+    }
+    PlasticityOutcome {
+        mean: (mean_acc / steps as f64) as f32,
+        worst_tail,
+        min_moved,
+        steps,
+    }
+}
+
+/// Runs and formats the report.
+pub fn run(scale: Scale) -> String {
+    let o = measure(scale);
+    let mut r = Report::new("E5", "§4.1 — plasticity displacement statistics");
+    r.paper("all elements move; mean 0.04 µm; < 0.5 % move more than 0.1 µm");
+    r.measured(&format!(
+        "{} steps: mean {:.4} µm (target {PAPER_MEAN_STEP_UM}); worst-step tail {:.3} % \
+         (bound {:.1} %); min moved {:.2} %",
+        o.steps,
+        o.mean,
+        o.worst_tail * 100.0,
+        PAPER_TAIL_FRACTION * 100.0,
+        o.min_moved * 100.0
+    ));
+    r.note("generator is Maxwell-Boltzmann calibrated; see datagen::plasticity");
+    r.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn statistics_match_paper() {
+        let o = measure(Scale::Small);
+        assert!((o.mean - PAPER_MEAN_STEP_UM).abs() < 0.003, "{o:?}");
+        assert!(o.worst_tail < PAPER_TAIL_FRACTION, "{o:?}");
+        assert!(o.min_moved > 0.999, "{o:?}");
+    }
+}

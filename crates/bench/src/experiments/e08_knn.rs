@@ -1,0 +1,140 @@
+//! E8 — §3.3: LSH as a tree-free kNN structure in low dimensions.
+//!
+//! Paper: "A possible approach for kNN queries could be to use locality
+//! sensitive hashing. ... Crucially, LSH avoids a tree structure to
+//! organize the data." kNN is also where grids hurt ("a particular problem
+//! for kNN queries where all elements of (potentially several) partitions
+//! need to be tested").
+//!
+//! Reproduction: k ∈ {1, 10, 100} nearest neighbours over the neuron
+//! dataset for every kNN-capable structure; LSH additionally reports recall
+//! against the exact answer.
+
+use crate::datasets::neuron_dataset;
+use crate::experiments::time;
+use crate::report::{fmt_time, Report};
+use crate::Scale;
+use simspatial_datagen::QueryWorkload;
+use simspatial_geom::ElementId;
+use simspatial_index::{
+    GridConfig, KdTree, KnnIndex, LinearScan, Lsh, LshConfig, Octree, OctreeConfig, RTree,
+    RTreeConfig, UniformGrid,
+};
+use std::collections::HashSet;
+
+/// Closure type of one kNN invocation under benchmark.
+type KnnFn<'a> = dyn Fn(&simspatial_geom::Point3, usize) -> Vec<(ElementId, f32)> + 'a;
+
+/// Timing (and recall) of one contender at one k.
+#[derive(Debug, Clone)]
+pub struct KnnRow {
+    /// Contender name.
+    pub name: &'static str,
+    /// k.
+    pub k: usize,
+    /// Mean seconds per query.
+    pub per_query_s: f64,
+    /// Recall vs exact (1.0 for the exact structures).
+    pub recall: f64,
+}
+
+/// Runs the measurement.
+pub fn measure(scale: Scale) -> Vec<KnnRow> {
+    let data = neuron_dataset(scale);
+    let points = QueryWorkload::new(data.universe(), 0xF168).knn_points(match scale {
+        Scale::Small => 20,
+        _ => 50,
+    });
+
+    let scan = LinearScan::build(data.elements());
+    let kd = KdTree::build(data.elements());
+    let rt = RTree::bulk_load(data.elements(), RTreeConfig::default());
+    let oct = Octree::build(data.elements(), OctreeConfig::default());
+    let grid = UniformGrid::build(data.elements(), GridConfig::auto(data.elements()));
+    let lsh = Lsh::build(data.elements(), LshConfig::auto(data.elements()));
+
+    let mut rows = Vec::new();
+    for k in [1usize, 10, 100] {
+        // Exact ground truth per point (sets, for recall).
+        let truth: Vec<HashSet<ElementId>> = points
+            .iter()
+            .map(|p| scan.knn(data.elements(), p, k).into_iter().map(|(id, _)| id).collect())
+            .collect();
+
+        let bench = |name: &'static str, knn: &KnnFn| -> KnnRow {
+            let mut hits = 0usize;
+            let mut total = 0usize;
+            let (_, t) = time(|| {
+                for (p, t_set) in points.iter().zip(truth.iter()) {
+                    let got = knn(p, k);
+                    total += t_set.len();
+                    hits += got.iter().filter(|(id, _)| t_set.contains(id)).count();
+                }
+            });
+            KnnRow {
+                name,
+                k,
+                per_query_s: t / points.len() as f64,
+                recall: hits as f64 / total.max(1) as f64,
+            }
+        };
+
+        rows.push(bench("LinearScan", &|p, k| scan.knn(data.elements(), p, k)));
+        rows.push(bench("KD-Tree", &|p, k| kd.knn(data.elements(), p, k)));
+        rows.push(bench("R-Tree", &|p, k| rt.knn(data.elements(), p, k)));
+        rows.push(bench("Octree", &|p, k| oct.knn(data.elements(), p, k)));
+        rows.push(bench("Grid", &|p, k| grid.knn(data.elements(), p, k)));
+        rows.push(bench("LSH", &|p, k| lsh.knn(data.elements(), p, k)));
+    }
+    rows
+}
+
+/// Runs and formats the report.
+pub fn run(scale: Scale) -> String {
+    let rows = measure(scale);
+    let mut r = Report::new("E8", "§3.3 — kNN structures incl. LSH (tree-free)");
+    r.paper("LSH avoids tree traversal for kNN; exactness traded for hash probes");
+    r.row(&format!("{:<12} {:>5} {:>14} {:>8}", "structure", "k", "per query", "recall"));
+    for row in &rows {
+        r.row(&format!(
+            "{:<12} {:>5} {:>14} {:>7.1} %",
+            row.name,
+            row.k,
+            fmt_time(row.per_query_s),
+            row.recall * 100.0
+        ));
+    }
+    r.note("exact structures must show recall 100 %; LSH recall is the approximation price");
+    r.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_structures_have_full_recall_and_beat_scan() {
+        let rows = measure(Scale::Small);
+        for row in &rows {
+            if row.name != "LSH" {
+                // Ties at equal distance may swap ids; require near-full recall.
+                assert!(row.recall > 0.95, "{} recall {}", row.name, row.recall);
+            }
+        }
+        let scan10 = rows.iter().find(|r| r.name == "LinearScan" && r.k == 10).unwrap();
+        let kd10 = rows.iter().find(|r| r.name == "KD-Tree" && r.k == 10).unwrap();
+        assert!(
+            kd10.per_query_s < scan10.per_query_s,
+            "KD-Tree {} should beat scan {}",
+            kd10.per_query_s,
+            scan10.per_query_s
+        );
+    }
+
+    #[test]
+    fn lsh_recall_is_usable() {
+        let rows = measure(Scale::Small);
+        let lsh10 = rows.iter().find(|r| r.name == "LSH" && r.k == 10).unwrap();
+        assert!(lsh10.recall > 0.5, "LSH recall too low: {}", lsh10.recall);
+    }
+}

@@ -1,0 +1,58 @@
+//! The thirteen experiments, one module each. Every `run(scale)` returns a
+//! printable [`crate::report::Report`] body comparing the paper's claim to
+//! the measured result.
+
+pub mod a01_bulkload;
+pub mod a02_node_size;
+pub mod a03_join_cells;
+pub mod e01_fig2;
+pub mod e02_fig3;
+pub mod e03_fig4;
+pub mod e04_update_vs_rebuild;
+pub mod e05_plasticity_stats;
+pub mod e06_crtree;
+pub mod e07_grid_resolution;
+pub mod e08_knn;
+pub mod e09_massive_updates;
+pub mod e10_spatial_join;
+pub mod e11_moving_objects;
+pub mod e12_mesh_queries;
+pub mod e13_scan_crossover;
+
+use std::time::Instant;
+
+/// Times a closure, returning its result and elapsed seconds.
+pub(crate) fn time<R>(f: impl FnOnce() -> R) -> (R, f64) {
+    let start = Instant::now();
+    let r = f();
+    (r, start.elapsed().as_secs_f64())
+}
+
+/// All experiment ids in order (13 paper experiments + 3 ablations).
+pub const ALL: [&str; 16] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "a1",
+    "a2", "a3",
+];
+
+/// Runs one experiment by id.
+pub fn run(id: &str, scale: crate::Scale) -> Option<String> {
+    Some(match id {
+        "e1" => e01_fig2::run(scale),
+        "e2" => e02_fig3::run(scale),
+        "e3" => e03_fig4::run(scale),
+        "e4" => e04_update_vs_rebuild::run(scale),
+        "e5" => e05_plasticity_stats::run(scale),
+        "e6" => e06_crtree::run(scale),
+        "e7" => e07_grid_resolution::run(scale),
+        "e8" => e08_knn::run(scale),
+        "e9" => e09_massive_updates::run(scale),
+        "e10" => e10_spatial_join::run(scale),
+        "e11" => e11_moving_objects::run(scale),
+        "e12" => e12_mesh_queries::run(scale),
+        "e13" => e13_scan_crossover::run(scale),
+        "a1" => a01_bulkload::run(scale),
+        "a2" => a02_node_size::run(scale),
+        "a3" => a03_join_cells::run(scale),
+        _ => return None,
+    })
+}

@@ -1,0 +1,133 @@
+//! Query workload generation.
+//!
+//! The paper's Figure 2/3 experiment executes "200 queries with a
+//! selectivity of 5×10⁻⁴ % at random locations". This module produces such
+//! workloads: range queries sized for a target selectivity (fraction of the
+//! universe volume, which for homogeneous data equals the expected fraction
+//! of elements returned) and kNN query points.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use simspatial_geom::{Aabb, Point3, Vec3};
+
+/// The paper's Figure 2/3 selectivity: 5×10⁻⁴ % = 5×10⁻⁶ as a fraction.
+pub const PAPER_SELECTIVITY: f64 = 5e-6;
+
+/// A deterministic query workload generator over a universe.
+#[derive(Debug, Clone)]
+pub struct QueryWorkload {
+    universe: Aabb,
+    rng: SmallRng,
+}
+
+impl QueryWorkload {
+    /// Creates a workload generator for `universe`.
+    ///
+    /// # Panics
+    /// Panics if the universe is empty.
+    pub fn new(universe: Aabb, seed: u64) -> Self {
+        assert!(!universe.is_empty(), "query workload needs a universe");
+        Self { universe, rng: SmallRng::seed_from_u64(seed) }
+    }
+
+    /// A uniformly random point inside the universe.
+    pub fn random_point(&mut self) -> Point3 {
+        let (min, max) = (self.universe.min, self.universe.max);
+        Point3::new(
+            self.rng.gen_range(min.x..=max.x),
+            self.rng.gen_range(min.y..=max.y),
+            self.rng.gen_range(min.z..=max.z),
+        )
+    }
+
+    /// `n` uniformly random points (kNN workload).
+    pub fn knn_points(&mut self, n: usize) -> Vec<Point3> {
+        (0..n).map(|_| self.random_point()).collect()
+    }
+
+    /// A cubic range query whose volume is `selectivity` times the universe
+    /// volume, centred at a random location (clamped inside the universe).
+    pub fn range_query(&mut self, selectivity: f64) -> Aabb {
+        assert!(
+            selectivity > 0.0 && selectivity <= 1.0,
+            "selectivity must be in (0, 1], got {selectivity}"
+        );
+        let vol = f64::from(self.universe.volume()) * selectivity;
+        let side = vol.cbrt() as f32;
+        self.sized_query(Vec3::new(side, side, side))
+    }
+
+    /// `n` range queries at the given selectivity.
+    pub fn range_queries(&mut self, selectivity: f64, n: usize) -> Vec<Aabb> {
+        (0..n).map(|_| self.range_query(selectivity)).collect()
+    }
+
+    /// A range query with explicit edge lengths, centred at a random
+    /// location and shifted to lie inside the universe (so the realised
+    /// selectivity is not silently truncated at the walls).
+    pub fn sized_query(&mut self, extent: Vec3) -> Aabb {
+        let ext = self.universe.extent();
+        let half = extent * 0.5;
+        let c = self.random_point();
+        let clamp1 = |c: f32, h: f32, lo: f32, hi: f32| {
+            if hi - lo <= 2.0 * h {
+                (lo + hi) / 2.0 // query wider than the universe: centre it
+            } else {
+                c.clamp(lo + h, hi - h)
+            }
+        };
+        let center = Point3::new(
+            clamp1(c.x, half.x, self.universe.min.x, self.universe.min.x + ext.x),
+            clamp1(c.y, half.y, self.universe.min.y, self.universe.min.y + ext.y),
+            clamp1(c.z, half.z, self.universe.min.z, self.universe.min.z + ext.z),
+        );
+        Aabb::new(center - half, center + half)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn universe() -> Aabb {
+        Aabb::new(Point3::ORIGIN, Point3::new(100.0, 100.0, 100.0))
+    }
+
+    #[test]
+    fn queries_stay_inside() {
+        let mut w = QueryWorkload::new(universe(), 1);
+        for q in w.range_queries(1e-3, 200) {
+            assert!(universe().contains(&q), "query escapes: {q:?}");
+        }
+    }
+
+    #[test]
+    fn selectivity_controls_volume() {
+        let mut w = QueryWorkload::new(universe(), 2);
+        let q = w.range_query(1e-3);
+        let frac = f64::from(q.volume()) / f64::from(universe().volume());
+        assert!((frac - 1e-3).abs() / 1e-3 < 0.01, "fraction {frac}");
+        let q2 = w.range_query(PAPER_SELECTIVITY);
+        assert!(q2.volume() < q.volume());
+    }
+
+    #[test]
+    fn oversized_query_centres() {
+        let mut w = QueryWorkload::new(universe(), 3);
+        let q = w.sized_query(Vec3::new(500.0, 10.0, 10.0));
+        assert_eq!(q.center().x, 50.0);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = QueryWorkload::new(universe(), 7).range_queries(1e-4, 5);
+        let b = QueryWorkload::new(universe(), 7).range_queries(1e-4, 5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "selectivity")]
+    fn bad_selectivity_rejected() {
+        QueryWorkload::new(universe(), 1).range_query(0.0);
+    }
+}

@@ -1,0 +1,317 @@
+//! Axis-aligned bounding boxes.
+
+use crate::{Point3, Vec3};
+use serde::{Deserialize, Serialize};
+
+/// An axis-aligned bounding box in 3-D.
+///
+/// The box is the closed region `[min.x, max.x] × [min.y, max.y] ×
+/// [min.z, max.z]`. All indexes in the workspace approximate elements by
+/// their `Aabb` and refine against exact geometry only when needed, exactly
+/// like the R-Tree family the paper analyses.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Aabb {
+    /// Lexicographically smallest corner.
+    pub min: Point3,
+    /// Lexicographically largest corner.
+    pub max: Point3,
+}
+
+impl Aabb {
+    /// Creates a box from two opposite corners.
+    ///
+    /// The corners are normalised component-wise, so the argument order does
+    /// not matter.
+    #[inline]
+    pub fn new(a: Point3, b: Point3) -> Self {
+        Self { min: a.min(&b), max: a.max(&b) }
+    }
+
+    /// Creates the degenerate box containing exactly one point.
+    #[inline]
+    pub fn from_point(p: Point3) -> Self {
+        Self { min: p, max: p }
+    }
+
+    /// The "empty" box: an identity element for [`Aabb::union`].
+    ///
+    /// Its `min` is +∞ and `max` is −∞ in every dimension, so a union with
+    /// any real box yields that box and it intersects nothing.
+    #[inline]
+    pub fn empty() -> Self {
+        Self {
+            min: Point3::new(f32::INFINITY, f32::INFINITY, f32::INFINITY),
+            max: Point3::new(f32::NEG_INFINITY, f32::NEG_INFINITY, f32::NEG_INFINITY),
+        }
+    }
+
+    /// True for the identity box produced by [`Aabb::empty`] (or any box
+    /// with an inverted extent in some dimension).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.min.x > self.max.x || self.min.y > self.max.y || self.min.z > self.max.z
+    }
+
+    /// Builds the tight bounding box of an iterator of boxes.
+    pub fn union_all<I: IntoIterator<Item = Aabb>>(iter: I) -> Aabb {
+        iter.into_iter().fold(Aabb::empty(), |acc, b| acc.union(&b))
+    }
+
+    /// Centre point of the box.
+    #[inline]
+    pub fn center(&self) -> Point3 {
+        self.min.lerp(&self.max, 0.5)
+    }
+
+    /// Edge lengths of the box (zero for a point box, negative never —
+    /// empty boxes report zero extent).
+    #[inline]
+    pub fn extent(&self) -> Vec3 {
+        if self.is_empty() {
+            Vec3::ZERO
+        } else {
+            self.max - self.min
+        }
+    }
+
+    /// Volume of the box. The R-Tree split heuristics minimise this.
+    #[inline]
+    pub fn volume(&self) -> f32 {
+        let e = self.extent();
+        e.x * e.y * e.z
+    }
+
+    /// Surface area of the box (used by R*-style heuristics).
+    #[inline]
+    pub fn surface_area(&self) -> f32 {
+        let e = self.extent();
+        2.0 * (e.x * e.y + e.y * e.z + e.z * e.x)
+    }
+
+    /// Sum of the edge lengths ("margin" in the R*-Tree paper).
+    #[inline]
+    pub fn margin(&self) -> f32 {
+        let e = self.extent();
+        e.x + e.y + e.z
+    }
+
+    /// The smallest box containing both `self` and `other`.
+    #[inline]
+    pub fn union(&self, other: &Aabb) -> Aabb {
+        Aabb { min: self.min.min(&other.min), max: self.max.max(&other.max) }
+    }
+
+    /// The overlap region of `self` and `other`, or `None` when disjoint.
+    #[inline]
+    pub fn intersection(&self, other: &Aabb) -> Option<Aabb> {
+        let min = self.min.max(&other.min);
+        let max = self.max.min(&other.max);
+        if min.x <= max.x && min.y <= max.y && min.z <= max.z {
+            Some(Aabb { min, max })
+        } else {
+            None
+        }
+    }
+
+    /// Volume of the overlap region (zero when disjoint). Used by the
+    /// R*-Tree `ChooseSubtree` heuristic.
+    #[inline]
+    pub fn overlap_volume(&self, other: &Aabb) -> f32 {
+        match self.intersection(other) {
+            Some(i) => i.volume(),
+            None => 0.0,
+        }
+    }
+
+    /// Whether the two boxes share at least one point.
+    ///
+    /// This is *the* hot predicate of the paper's Figure 3: both tree-level
+    /// and element-level intersection tests bottom out here. Keep it branch-
+    /// light.
+    #[inline]
+    pub fn intersects(&self, other: &Aabb) -> bool {
+        self.min.x <= other.max.x
+            && self.max.x >= other.min.x
+            && self.min.y <= other.max.y
+            && self.max.y >= other.min.y
+            && self.min.z <= other.max.z
+            && self.max.z >= other.min.z
+    }
+
+    /// Whether `p` lies within the closed box.
+    #[inline]
+    pub fn contains_point(&self, p: &Point3) -> bool {
+        self.min.x <= p.x
+            && p.x <= self.max.x
+            && self.min.y <= p.y
+            && p.y <= self.max.y
+            && self.min.z <= p.z
+            && p.z <= self.max.z
+    }
+
+    /// Whether `other` lies entirely within `self`.
+    #[inline]
+    pub fn contains(&self, other: &Aabb) -> bool {
+        self.min.x <= other.min.x
+            && self.min.y <= other.min.y
+            && self.min.z <= other.min.z
+            && self.max.x >= other.max.x
+            && self.max.y >= other.max.y
+            && self.max.z >= other.max.z
+    }
+
+    /// Squared distance from `p` to the closest point of the box
+    /// (zero when `p` is inside). The classic `MINDIST` bound used for
+    /// best-first kNN search over R-Trees and octrees.
+    #[inline]
+    pub fn min_distance2(&self, p: &Point3) -> f32 {
+        let dx = (self.min.x - p.x).max(0.0).max(p.x - self.max.x);
+        let dy = (self.min.y - p.y).max(0.0).max(p.y - self.max.y);
+        let dz = (self.min.z - p.z).max(0.0).max(p.z - self.max.z);
+        dx * dx + dy * dy + dz * dz
+    }
+
+    /// Squared distance from `p` to the farthest point of the box.
+    /// (`MAXDIST`; an upper bound used to prune kNN candidates.)
+    #[inline]
+    pub fn max_distance2(&self, p: &Point3) -> f32 {
+        let dx = (p.x - self.min.x).abs().max((p.x - self.max.x).abs());
+        let dy = (p.y - self.min.y).abs().max((p.y - self.max.y).abs());
+        let dz = (p.z - self.min.z).abs().max((p.z - self.max.z).abs());
+        dx * dx + dy * dy + dz * dz
+    }
+
+    /// Grows the box by `margin` on every side (a *grace window*, §4.2 of the
+    /// paper: loose boxes let moving elements wiggle without index updates).
+    #[inline]
+    pub fn inflate(&self, margin: f32) -> Aabb {
+        let m = Vec3::new(margin, margin, margin);
+        Aabb { min: self.min - m, max: self.max + m }
+    }
+
+    /// Translates the box by `d`.
+    #[inline]
+    pub fn translate(&self, d: Vec3) -> Aabb {
+        Aabb { min: self.min + d, max: self.max + d }
+    }
+
+    /// Additional volume required to include `other`
+    /// (Guttman's insertion criterion: choose the child needing least
+    /// enlargement).
+    #[inline]
+    pub fn enlargement(&self, other: &Aabb) -> f32 {
+        self.union(other).volume() - self.volume()
+    }
+
+    /// The longest axis of the box (0 = x, 1 = y, 2 = z); ties broken toward
+    /// the lower axis index.
+    #[inline]
+    pub fn longest_axis(&self) -> usize {
+        let e = self.extent();
+        if e.x >= e.y && e.x >= e.z {
+            0
+        } else if e.y >= e.z {
+            1
+        } else {
+            2
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit() -> Aabb {
+        Aabb::new(Point3::ORIGIN, Point3::new(1.0, 1.0, 1.0))
+    }
+
+    #[test]
+    fn corners_normalised() {
+        let b = Aabb::new(Point3::new(1.0, 0.0, 5.0), Point3::new(0.0, 2.0, 3.0));
+        assert_eq!(b.min, Point3::new(0.0, 0.0, 3.0));
+        assert_eq!(b.max, Point3::new(1.0, 2.0, 5.0));
+    }
+
+    #[test]
+    fn empty_is_union_identity() {
+        let e = Aabb::empty();
+        assert!(e.is_empty());
+        let b = unit();
+        assert_eq!(e.union(&b), b);
+        assert_eq!(b.union(&e), b);
+        assert!(!e.intersects(&b));
+        assert_eq!(e.volume(), 0.0);
+    }
+
+    #[test]
+    fn intersection_symmetry_and_touching() {
+        let a = unit();
+        let b = Aabb::new(Point3::new(1.0, 0.0, 0.0), Point3::new(2.0, 1.0, 1.0));
+        // Closed boxes: sharing a face counts as intersecting.
+        assert!(a.intersects(&b));
+        assert!(b.intersects(&a));
+        let i = a.intersection(&b).unwrap();
+        assert_eq!(i.volume(), 0.0);
+        let c = Aabb::new(Point3::new(1.1, 0.0, 0.0), Point3::new(2.0, 1.0, 1.0));
+        assert!(!a.intersects(&c));
+        assert!(a.intersection(&c).is_none());
+    }
+
+    #[test]
+    fn containment() {
+        let a = unit();
+        let inner = Aabb::new(Point3::new(0.25, 0.25, 0.25), Point3::new(0.75, 0.75, 0.75));
+        assert!(a.contains(&inner));
+        assert!(!inner.contains(&a));
+        assert!(a.contains(&a));
+        assert!(a.contains_point(&Point3::new(0.5, 0.5, 0.5)));
+        assert!(a.contains_point(&Point3::new(1.0, 1.0, 1.0)));
+        assert!(!a.contains_point(&Point3::new(1.0, 1.0, 1.01)));
+    }
+
+    #[test]
+    fn measures() {
+        let b = Aabb::new(Point3::ORIGIN, Point3::new(2.0, 3.0, 4.0));
+        assert_eq!(b.volume(), 24.0);
+        assert_eq!(b.surface_area(), 2.0 * (6.0 + 12.0 + 8.0));
+        assert_eq!(b.margin(), 9.0);
+        assert_eq!(b.longest_axis(), 2);
+        assert_eq!(b.center(), Point3::new(1.0, 1.5, 2.0));
+    }
+
+    #[test]
+    fn min_max_distance() {
+        let b = unit();
+        let inside = Point3::new(0.5, 0.5, 0.5);
+        assert_eq!(b.min_distance2(&inside), 0.0);
+        let outside = Point3::new(2.0, 0.5, 0.5);
+        assert_eq!(b.min_distance2(&outside), 1.0);
+        assert!(b.max_distance2(&outside) >= b.min_distance2(&outside));
+        // farthest corner from (2, .5, .5) is (0,0,0) or (0,1,1): dist² = 4 + .25 + .25
+        assert_eq!(b.max_distance2(&outside), 4.5);
+    }
+
+    #[test]
+    fn enlargement_zero_for_contained() {
+        let a = unit();
+        let inner = Aabb::new(Point3::new(0.2, 0.2, 0.2), Point3::new(0.4, 0.4, 0.4));
+        assert_eq!(a.enlargement(&inner), 0.0);
+        let outer = Aabb::new(Point3::ORIGIN, Point3::new(2.0, 1.0, 1.0));
+        assert!(a.enlargement(&outer) > 0.0);
+    }
+
+    #[test]
+    fn inflate_translate() {
+        let b = unit().inflate(0.5);
+        assert_eq!(b.min, Point3::new(-0.5, -0.5, -0.5));
+        assert_eq!(b.max, Point3::new(1.5, 1.5, 1.5));
+        let t = unit().translate(Vec3::new(1.0, 2.0, 3.0));
+        assert_eq!(t.min, Point3::new(1.0, 2.0, 3.0));
+    }
+
+    #[test]
+    fn union_all_of_nothing_is_empty() {
+        assert!(Aabb::union_all(std::iter::empty()).is_empty());
+    }
+}

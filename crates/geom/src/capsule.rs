@@ -1,0 +1,283 @@
+//! Capsules (cylinders with hemispherical caps).
+//!
+//! The Blue Brain dataset the paper experiments on models each neuron as
+//! thousands of cylinder segments. We follow the standard practice in that
+//! pipeline of treating the segments as *capsules* — the swept sphere of a
+//! line segment — which makes distance and intersection predicates exact and
+//! cheap (segment–segment distance vs summed radii).
+
+use crate::{Aabb, Point3, Sphere, Vec3};
+use serde::{Deserialize, Serialize};
+
+/// A capsule: all points within `radius` of the segment `a`–`b`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Capsule {
+    /// First endpoint of the axis segment.
+    pub a: Point3,
+    /// Second endpoint of the axis segment.
+    pub b: Point3,
+    /// Radius of the swept sphere (non-negative).
+    pub radius: f32,
+}
+
+impl Capsule {
+    /// Creates a capsule.
+    ///
+    /// # Panics
+    /// Panics in debug builds if `radius` is negative or non-finite.
+    #[inline]
+    pub fn new(a: Point3, b: Point3, radius: f32) -> Self {
+        debug_assert!(radius >= 0.0 && radius.is_finite(), "invalid radius {radius}");
+        Self { a, b, radius }
+    }
+
+    /// Tight bounding box.
+    #[inline]
+    pub fn aabb(&self) -> Aabb {
+        let r = Vec3::new(self.radius, self.radius, self.radius);
+        Aabb { min: self.a.min(&self.b) - r, max: self.a.max(&self.b) + r }
+    }
+
+    /// Midpoint of the axis segment — the representative point used by
+    /// point access methods.
+    #[inline]
+    pub fn center(&self) -> Point3 {
+        self.a.lerp(&self.b, 0.5)
+    }
+
+    /// Length of the axis segment.
+    #[inline]
+    pub fn axis_length(&self) -> f32 {
+        self.a.distance(&self.b)
+    }
+
+    /// Translates the capsule by `d`.
+    #[inline]
+    pub fn translate(&mut self, d: Vec3) {
+        self.a += d;
+        self.b += d;
+    }
+
+    /// Closest point on the axis segment to `p`.
+    #[inline]
+    pub fn closest_point_on_axis(&self, p: &Point3) -> Point3 {
+        let ab = self.b - self.a;
+        let len2 = ab.length2();
+        if len2 == 0.0 {
+            return self.a;
+        }
+        let t = ((*p - self.a).dot(ab) / len2).clamp(0.0, 1.0);
+        self.a + ab * t
+    }
+
+    /// Squared distance between the axis segments of `self` and `other`.
+    ///
+    /// Standard segment–segment distance (Ericson, *Real-Time Collision
+    /// Detection*, §5.1.9), robust against degenerate (point-like) segments.
+    pub fn axis_distance2(&self, other: &Capsule) -> f32 {
+        segment_distance2(self.a, self.b, other.a, other.b)
+    }
+
+    /// Whether `p` lies inside or on the capsule.
+    #[inline]
+    pub fn contains_point(&self, p: &Point3) -> bool {
+        self.closest_point_on_axis(p).distance2(p) <= self.radius * self.radius
+    }
+
+    /// Euclidean distance from `p` to the capsule surface; zero if inside.
+    #[inline]
+    pub fn distance_to_point(&self, p: &Point3) -> f32 {
+        (self.closest_point_on_axis(p).distance(p) - self.radius).max(0.0)
+    }
+
+    /// Whether two capsules share at least one point: exact test via
+    /// segment–segment distance.
+    #[inline]
+    pub fn intersects_capsule(&self, other: &Capsule) -> bool {
+        let r = self.radius + other.radius;
+        self.axis_distance2(other) <= r * r
+    }
+
+    /// Whether this capsule and a sphere share at least one point.
+    #[inline]
+    pub fn intersects_sphere(&self, s: &Sphere) -> bool {
+        let r = self.radius + s.radius;
+        self.closest_point_on_axis(&s.center).distance2(&s.center) <= r * r
+    }
+
+    /// Squared minimum distance between the axis *segment* and a box,
+    /// computed by subdividing the axis at a step of `radius/2` (at least
+    /// 1024 samples for thin capsules). The sampling error is below the
+    /// radius-scale tolerances every caller works at, and — crucially —
+    /// [`Capsule::intersects_aabb`] and [`crate::Shape::distance_to_shape`]
+    /// share this one function, so predicate and distance
+    /// can never disagree.
+    pub fn axis_min_distance2_to_aabb(&self, b: &Aabb) -> f32 {
+        let len = self.axis_length();
+        if len == 0.0 {
+            return b.min_distance2(&self.a);
+        }
+        let step = (self.radius * 0.5).max(len / 1024.0);
+        let n = ((len / step).ceil() as usize).clamp(1, 4096);
+        let mut best = f32::INFINITY;
+        for i in 0..=n {
+            let t = i as f32 / n as f32;
+            let p = self.a.lerp(&self.b, t);
+            best = best.min(b.min_distance2(&p));
+            if best == 0.0 {
+                break;
+            }
+        }
+        best
+    }
+
+    /// Whether the capsule and a box share at least one point.
+    ///
+    /// A cheap AABB rejection and endpoint accept, then the sampled
+    /// segment–box distance of [`Capsule::axis_min_distance2_to_aabb`]
+    /// against the radius.
+    pub fn intersects_aabb(&self, b: &Aabb) -> bool {
+        if !self.aabb().intersects(b) {
+            return false;
+        }
+        let r2 = self.radius * self.radius;
+        if b.min_distance2(&self.a) <= r2 || b.min_distance2(&self.b) <= r2 {
+            return true;
+        }
+        self.axis_min_distance2_to_aabb(b) <= r2
+    }
+}
+
+/// Squared minimum distance between segments `p1`–`q1` and `p2`–`q2`.
+pub(crate) fn segment_distance2(p1: Point3, q1: Point3, p2: Point3, q2: Point3) -> f32 {
+    let d1 = q1 - p1;
+    let d2 = q2 - p2;
+    let r = p1 - p2;
+    let a = d1.length2();
+    let e = d2.length2();
+    let f = d2.dot(r);
+
+    let (s, t);
+    if a == 0.0 && e == 0.0 {
+        return p1.distance2(&p2);
+    }
+    if a == 0.0 {
+        s = 0.0;
+        t = (f / e).clamp(0.0, 1.0);
+    } else {
+        let c = d1.dot(r);
+        if e == 0.0 {
+            t = 0.0;
+            s = (-c / a).clamp(0.0, 1.0);
+        } else {
+            let b = d1.dot(d2);
+            let denom = a * e - b * b;
+            let mut s_ = if denom != 0.0 { ((b * f - c * e) / denom).clamp(0.0, 1.0) } else { 0.0 };
+            let mut t_ = (b * s_ + f) / e;
+            if t_ < 0.0 {
+                t_ = 0.0;
+                s_ = (-c / a).clamp(0.0, 1.0);
+            } else if t_ > 1.0 {
+                t_ = 1.0;
+                s_ = ((b - c) / a).clamp(0.0, 1.0);
+            }
+            s = s_;
+            t = t_;
+        }
+    }
+    let c1 = p1 + d1 * s;
+    let c2 = p2 + d2 * t;
+    c1.distance2(&c2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cap(ax: f32, bx: f32, r: f32) -> Capsule {
+        Capsule::new(Point3::new(ax, 0.0, 0.0), Point3::new(bx, 0.0, 0.0), r)
+    }
+
+    #[test]
+    fn aabb_covers_caps() {
+        let c = cap(0.0, 2.0, 0.5);
+        let b = c.aabb();
+        assert_eq!(b.min, Point3::new(-0.5, -0.5, -0.5));
+        assert_eq!(b.max, Point3::new(2.5, 0.5, 0.5));
+        assert_eq!(c.center(), Point3::new(1.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn segment_distance_parallel() {
+        let d2 = segment_distance2(
+            Point3::new(0.0, 0.0, 0.0),
+            Point3::new(1.0, 0.0, 0.0),
+            Point3::new(0.0, 2.0, 0.0),
+            Point3::new(1.0, 2.0, 0.0),
+        );
+        assert!((d2 - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn segment_distance_crossing() {
+        // Skew segments crossing at distance 1 in z.
+        let d2 = segment_distance2(
+            Point3::new(-1.0, 0.0, 0.0),
+            Point3::new(1.0, 0.0, 0.0),
+            Point3::new(0.0, -1.0, 1.0),
+            Point3::new(0.0, 1.0, 1.0),
+        );
+        assert!((d2 - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn segment_distance_degenerate_points() {
+        let d2 = segment_distance2(
+            Point3::ORIGIN,
+            Point3::ORIGIN,
+            Point3::new(3.0, 4.0, 0.0),
+            Point3::new(3.0, 4.0, 0.0),
+        );
+        assert!((d2 - 25.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn capsule_capsule() {
+        let a = cap(0.0, 1.0, 0.3);
+        let b = Capsule::new(Point3::new(0.5, 0.5, 0.0), Point3::new(0.5, 2.0, 0.0), 0.3);
+        assert!(a.intersects_capsule(&b)); // 0.5 apart, radii sum 0.6
+        let c = Capsule::new(Point3::new(0.5, 0.7, 0.0), Point3::new(0.5, 2.0, 0.0), 0.3);
+        assert!(!c.intersects_capsule(&cap(0.0, 1.0, 0.3)));
+    }
+
+    #[test]
+    fn capsule_point() {
+        let c = cap(0.0, 2.0, 0.5);
+        assert!(c.contains_point(&Point3::new(1.0, 0.4, 0.0)));
+        assert!(c.contains_point(&Point3::new(-0.4, 0.0, 0.0))); // cap region
+        assert!(!c.contains_point(&Point3::new(-0.6, 0.0, 0.0)));
+        assert!((c.distance_to_point(&Point3::new(1.0, 1.5, 0.0)) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn capsule_aabb() {
+        let c = cap(0.0, 10.0, 0.25);
+        let hit = Aabb::new(Point3::new(4.0, -0.2, -0.2), Point3::new(5.0, 0.2, 0.2));
+        assert!(c.intersects_aabb(&hit));
+        // Box whose AABB overlaps the capsule AABB but which is diagonally
+        // clear of the capsule body.
+        let diag = Aabb::new(Point3::new(4.0, 0.30, 0.30), Point3::new(5.0, 0.5, 0.5));
+        assert!(!c.intersects_aabb(&diag));
+        let far = Aabb::new(Point3::new(0.0, 5.0, 5.0), Point3::new(1.0, 6.0, 6.0));
+        assert!(!c.intersects_aabb(&far));
+    }
+
+    #[test]
+    fn capsule_sphere() {
+        let c = cap(0.0, 2.0, 0.5);
+        let s = Sphere::new(Point3::new(1.0, 1.0, 0.0), 0.5);
+        assert!(c.intersects_sphere(&s));
+        let s2 = Sphere::new(Point3::new(1.0, 1.1, 0.0), 0.5);
+        assert!(!c.intersects_sphere(&s2));
+    }
+}

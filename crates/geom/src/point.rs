@@ -1,0 +1,339 @@
+//! Points and vectors in three dimensions.
+
+use serde::{Deserialize, Serialize};
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// A position in 3-D space, in the micrometre-scale coordinate system the
+/// paper's neuroscience workloads use (the sample universe has a volume of
+/// 285 µm³).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Point3 {
+    /// X coordinate.
+    pub x: f32,
+    /// Y coordinate.
+    pub y: f32,
+    /// Z coordinate.
+    pub z: f32,
+}
+
+/// A displacement in 3-D space.
+///
+/// Distinguished from [`Point3`] at the type level so that simulation update
+/// code cannot accidentally add two absolute positions.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Vec3 {
+    /// X component.
+    pub x: f32,
+    /// Y component.
+    pub y: f32,
+    /// Z component.
+    pub z: f32,
+}
+
+impl Point3 {
+    /// Origin of the coordinate system.
+    pub const ORIGIN: Point3 = Point3 { x: 0.0, y: 0.0, z: 0.0 };
+
+    /// Creates a point from its coordinates.
+    #[inline]
+    pub const fn new(x: f32, y: f32, z: f32) -> Self {
+        Self { x, y, z }
+    }
+
+    /// Coordinate along axis `axis` (0 = x, 1 = y, 2 = z).
+    ///
+    /// # Panics
+    /// Panics if `axis > 2`.
+    #[inline]
+    pub fn axis(&self, axis: usize) -> f32 {
+        match axis {
+            0 => self.x,
+            1 => self.y,
+            2 => self.z,
+            _ => panic!("axis out of range: {axis}"),
+        }
+    }
+
+    /// Mutable coordinate along axis `axis` (0 = x, 1 = y, 2 = z).
+    ///
+    /// # Panics
+    /// Panics if `axis > 2`.
+    #[inline]
+    pub fn axis_mut(&mut self, axis: usize) -> &mut f32 {
+        match axis {
+            0 => &mut self.x,
+            1 => &mut self.y,
+            2 => &mut self.z,
+            _ => panic!("axis out of range: {axis}"),
+        }
+    }
+
+    /// Squared Euclidean distance to `other`.
+    ///
+    /// Cheaper than [`Point3::distance`]; prefer it for comparisons, which is
+    /// what the kNN implementations do.
+    #[inline]
+    pub fn distance2(&self, other: &Point3) -> f32 {
+        let d = *self - *other;
+        d.dot(d)
+    }
+
+    /// Euclidean distance to `other`.
+    #[inline]
+    pub fn distance(&self, other: &Point3) -> f32 {
+        self.distance2(other).sqrt()
+    }
+
+    /// Component-wise minimum.
+    #[inline]
+    pub fn min(&self, other: &Point3) -> Point3 {
+        Point3::new(self.x.min(other.x), self.y.min(other.y), self.z.min(other.z))
+    }
+
+    /// Component-wise maximum.
+    #[inline]
+    pub fn max(&self, other: &Point3) -> Point3 {
+        Point3::new(self.x.max(other.x), self.y.max(other.y), self.z.max(other.z))
+    }
+
+    /// Linear interpolation between `self` (t = 0) and `other` (t = 1).
+    #[inline]
+    pub fn lerp(&self, other: &Point3, t: f32) -> Point3 {
+        *self + (*other - *self) * t
+    }
+
+    /// True when every coordinate is finite (neither NaN nor infinite).
+    #[inline]
+    pub fn is_finite(&self) -> bool {
+        self.x.is_finite() && self.y.is_finite() && self.z.is_finite()
+    }
+}
+
+impl Vec3 {
+    /// The zero displacement.
+    pub const ZERO: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 0.0 };
+
+    /// Creates a vector from its components.
+    #[inline]
+    pub const fn new(x: f32, y: f32, z: f32) -> Self {
+        Self { x, y, z }
+    }
+
+    /// Dot product.
+    #[inline]
+    pub fn dot(&self, other: Vec3) -> f32 {
+        self.x * other.x + self.y * other.y + self.z * other.z
+    }
+
+    /// Cross product.
+    #[inline]
+    pub fn cross(&self, other: Vec3) -> Vec3 {
+        Vec3::new(
+            self.y * other.z - self.z * other.y,
+            self.z * other.x - self.x * other.z,
+            self.x * other.y - self.y * other.x,
+        )
+    }
+
+    /// Squared length.
+    #[inline]
+    pub fn length2(&self) -> f32 {
+        self.dot(*self)
+    }
+
+    /// Euclidean length.
+    #[inline]
+    pub fn length(&self) -> f32 {
+        self.length2().sqrt()
+    }
+
+    /// Returns the unit vector pointing in the same direction, or `None`
+    /// for the zero vector (whose direction is undefined).
+    #[inline]
+    pub fn normalized(&self) -> Option<Vec3> {
+        let len = self.length();
+        if len > 0.0 {
+            Some(*self / len)
+        } else {
+            None
+        }
+    }
+
+    /// Component along axis `axis` (0 = x, 1 = y, 2 = z).
+    ///
+    /// # Panics
+    /// Panics if `axis > 2`.
+    #[inline]
+    pub fn axis(&self, axis: usize) -> f32 {
+        match axis {
+            0 => self.x,
+            1 => self.y,
+            2 => self.z,
+            _ => panic!("axis out of range: {axis}"),
+        }
+    }
+}
+
+impl Add<Vec3> for Point3 {
+    type Output = Point3;
+    #[inline]
+    fn add(self, rhs: Vec3) -> Point3 {
+        Point3::new(self.x + rhs.x, self.y + rhs.y, self.z + rhs.z)
+    }
+}
+
+impl AddAssign<Vec3> for Point3 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Vec3) {
+        self.x += rhs.x;
+        self.y += rhs.y;
+        self.z += rhs.z;
+    }
+}
+
+impl Sub<Vec3> for Point3 {
+    type Output = Point3;
+    #[inline]
+    fn sub(self, rhs: Vec3) -> Point3 {
+        Point3::new(self.x - rhs.x, self.y - rhs.y, self.z - rhs.z)
+    }
+}
+
+impl Sub for Point3 {
+    type Output = Vec3;
+    #[inline]
+    fn sub(self, rhs: Point3) -> Vec3 {
+        Vec3::new(self.x - rhs.x, self.y - rhs.y, self.z - rhs.z)
+    }
+}
+
+impl Add for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn add(self, rhs: Vec3) -> Vec3 {
+        Vec3::new(self.x + rhs.x, self.y + rhs.y, self.z + rhs.z)
+    }
+}
+
+impl AddAssign for Vec3 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Vec3) {
+        self.x += rhs.x;
+        self.y += rhs.y;
+        self.z += rhs.z;
+    }
+}
+
+impl Sub for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn sub(self, rhs: Vec3) -> Vec3 {
+        Vec3::new(self.x - rhs.x, self.y - rhs.y, self.z - rhs.z)
+    }
+}
+
+impl SubAssign for Vec3 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Vec3) {
+        self.x -= rhs.x;
+        self.y -= rhs.y;
+        self.z -= rhs.z;
+    }
+}
+
+impl Mul<f32> for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn mul(self, rhs: f32) -> Vec3 {
+        Vec3::new(self.x * rhs, self.y * rhs, self.z * rhs)
+    }
+}
+
+impl Div<f32> for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn div(self, rhs: f32) -> Vec3 {
+        Vec3::new(self.x / rhs, self.y / rhs, self.z / rhs)
+    }
+}
+
+impl Neg for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn neg(self) -> Vec3 {
+        Vec3::new(-self.x, -self.y, -self.z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_vector_algebra() {
+        let p = Point3::new(1.0, 2.0, 3.0);
+        let q = Point3::new(4.0, 6.0, 8.0);
+        let d = q - p;
+        assert_eq!(d, Vec3::new(3.0, 4.0, 5.0));
+        assert_eq!(p + d, q);
+        assert_eq!(q - d, p);
+    }
+
+    #[test]
+    fn distances() {
+        let p = Point3::new(0.0, 0.0, 0.0);
+        let q = Point3::new(3.0, 4.0, 0.0);
+        assert_eq!(p.distance2(&q), 25.0);
+        assert_eq!(p.distance(&q), 5.0);
+    }
+
+    #[test]
+    fn axis_access() {
+        let p = Point3::new(1.0, 2.0, 3.0);
+        assert_eq!(p.axis(0), 1.0);
+        assert_eq!(p.axis(1), 2.0);
+        assert_eq!(p.axis(2), 3.0);
+        let mut p = p;
+        *p.axis_mut(1) = 9.0;
+        assert_eq!(p.y, 9.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "axis out of range")]
+    fn axis_out_of_range_panics() {
+        Point3::ORIGIN.axis(3);
+    }
+
+    #[test]
+    fn cross_product_orthogonal() {
+        let a = Vec3::new(1.0, 0.0, 0.0);
+        let b = Vec3::new(0.0, 1.0, 0.0);
+        assert_eq!(a.cross(b), Vec3::new(0.0, 0.0, 1.0));
+        assert_eq!(a.cross(b).dot(a), 0.0);
+    }
+
+    #[test]
+    fn normalize() {
+        let v = Vec3::new(0.0, 3.0, 4.0);
+        let n = v.normalized().unwrap();
+        assert!((n.length() - 1.0).abs() < 1e-6);
+        assert!(Vec3::ZERO.normalized().is_none());
+    }
+
+    #[test]
+    fn lerp_endpoints() {
+        let p = Point3::new(0.0, 0.0, 0.0);
+        let q = Point3::new(2.0, 4.0, 6.0);
+        assert_eq!(p.lerp(&q, 0.0), p);
+        assert_eq!(p.lerp(&q, 1.0), q);
+        assert_eq!(p.lerp(&q, 0.5), Point3::new(1.0, 2.0, 3.0));
+    }
+
+    #[test]
+    fn min_max_componentwise() {
+        let p = Point3::new(1.0, 5.0, 2.0);
+        let q = Point3::new(3.0, 0.0, 2.5);
+        assert_eq!(p.min(&q), Point3::new(1.0, 0.0, 2.0));
+        assert_eq!(p.max(&q), Point3::new(3.0, 5.0, 2.5));
+    }
+}

@@ -1,0 +1,112 @@
+//! Shared query predicates over elements.
+//!
+//! These free functions implement the filter-and-refine pattern every index
+//! uses: test the bounding box first (cheap), then the exact geometry
+//! (costlier). Both phases are attributed to the *element-level* counter of
+//! [`crate::stats`], matching how the paper's Figure 3 accounts for them.
+
+use crate::{stats, Aabb, Element, Point3};
+
+/// Filter-and-refine test of an element against a range query box.
+///
+/// Counts one element-level test for the bbox filter and, when the filter
+/// passes, one more for the exact refinement.
+#[inline]
+pub fn element_in_range(e: &Element, query: &Aabb) -> bool {
+    if !stats::element_test(|| e.aabb().intersects(query)) {
+        return false;
+    }
+    stats::element_test(|| e.shape.intersects_aabb(query))
+}
+
+/// Bounding-box-only test of an element against a range query.
+///
+/// Some structures (e.g. the CR-Tree with quantised boxes) keep element
+/// bounding boxes inline and defer refinement; they use this cheaper filter.
+#[inline]
+pub fn element_bbox_in_range(bbox: &Aabb, query: &Aabb) -> bool {
+    stats::element_test(|| bbox.intersects(query))
+}
+
+/// Distance from a query point to an element (exact geometry), counted as an
+/// element-level test. Used by kNN refinement.
+#[inline]
+pub fn element_distance(e: &Element, p: &Point3) -> f32 {
+    stats::element_test(|| e.shape.distance_to_point(p))
+}
+
+/// True when two elements' exact geometries are within `eps` of each other.
+/// `eps == 0` degenerates to an exact intersection test. Counted as one
+/// element-level test; this is the refinement step of every spatial join.
+#[inline]
+pub fn elements_within(a: &Element, b: &Element, eps: f32) -> bool {
+    stats::element_test(|| {
+        if eps == 0.0 {
+            a.shape.intersects_shape(&b.shape)
+        } else {
+            a.shape.distance_to_shape(&b.shape) <= eps
+        }
+    })
+}
+
+/// Bounding-box filter for a distance-`eps` join: boxes inflated by `eps/2`
+/// each (equivalently, one box inflated by `eps`) must intersect.
+#[inline]
+pub fn bboxes_within(a: &Aabb, b: &Aabb, eps: f32) -> bool {
+    stats::element_test(|| a.inflate(eps).intersects(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Shape, Sphere};
+
+    fn sphere_at(x: f32, r: f32) -> Element {
+        Element::new(0, Shape::Sphere(Sphere::new(Point3::new(x, 0.0, 0.0), r)))
+    }
+
+    #[test]
+    fn range_filter_refine() {
+        stats::reset();
+        let e = sphere_at(0.0, 1.0);
+        let q = Aabb::new(Point3::new(0.5, -0.5, -0.5), Point3::new(2.0, 0.5, 0.5));
+        assert!(element_in_range(&e, &q));
+        // bbox filter + exact refine = 2 tests
+        assert_eq!(stats::snapshot().element_tests, 2);
+
+        stats::reset();
+        let far = Aabb::new(Point3::new(5.0, 5.0, 5.0), Point3::new(6.0, 6.0, 6.0));
+        assert!(!element_in_range(&e, &far));
+        // bbox filter rejects: only 1 test
+        assert_eq!(stats::snapshot().element_tests, 1);
+    }
+
+    #[test]
+    fn bbox_filter_catches_corner_miss() {
+        // Sphere bbox intersects a corner box that the sphere itself misses:
+        // refinement must reject.
+        let e = sphere_at(0.0, 1.0);
+        let corner = Aabb::new(Point3::new(0.8, 0.8, 0.8), Point3::new(1.0, 1.0, 1.0));
+        assert!(e.aabb().intersects(&corner));
+        assert!(!element_in_range(&e, &corner));
+    }
+
+    #[test]
+    fn join_predicates() {
+        let a = sphere_at(0.0, 1.0);
+        let b = sphere_at(2.5, 1.0);
+        assert!(!elements_within(&a, &b, 0.0));
+        assert!(elements_within(&a, &b, 0.6));
+        assert!(bboxes_within(&a.aabb(), &b.aabb(), 0.6));
+        assert!(!bboxes_within(&a.aabb(), &b.aabb(), 0.0)); // gap of 0.5 between boxes
+    }
+
+    #[test]
+    fn distance_counted() {
+        stats::reset();
+        let e = sphere_at(0.0, 1.0);
+        let d = element_distance(&e, &Point3::new(3.0, 0.0, 0.0));
+        assert!((d - 2.0).abs() < 1e-6);
+        assert_eq!(stats::snapshot().element_tests, 1);
+    }
+}

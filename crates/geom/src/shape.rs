@@ -1,0 +1,193 @@
+//! The closed set of element geometries used across the workspace.
+
+use crate::{Aabb, Capsule, Point3, Sphere, Vec3};
+use serde::{Deserialize, Serialize};
+
+/// Geometry of a spatial element.
+///
+/// A closed enum rather than a trait object: datasets hold millions of
+/// elements, and enum dispatch keeps them in flat, cache-friendly arrays —
+/// the whole point of the paper's in-memory argument.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Shape {
+    /// A solid sphere (somas, celestial bodies, mesh vertices with extent).
+    Sphere(Sphere),
+    /// A capsule segment (neuron morphology cylinders).
+    Capsule(Capsule),
+    /// A raw box (material-science lattice cells, generic elements).
+    Box(Aabb),
+}
+
+impl Shape {
+    /// Tight axis-aligned bounding box.
+    #[inline]
+    pub fn aabb(&self) -> Aabb {
+        match self {
+            Shape::Sphere(s) => s.aabb(),
+            Shape::Capsule(c) => c.aabb(),
+            Shape::Box(b) => *b,
+        }
+    }
+
+    /// Representative point (centroid).
+    #[inline]
+    pub fn center(&self) -> Point3 {
+        match self {
+            Shape::Sphere(s) => s.center,
+            Shape::Capsule(c) => c.center(),
+            Shape::Box(b) => b.center(),
+        }
+    }
+
+    /// Translates the shape by `d`.
+    #[inline]
+    pub fn translate(&mut self, d: Vec3) {
+        match self {
+            Shape::Sphere(s) => s.translate(d),
+            Shape::Capsule(c) => c.translate(d),
+            Shape::Box(b) => *b = b.translate(d),
+        }
+    }
+
+    /// Exact test whether the shape intersects an axis-aligned box.
+    ///
+    /// This is the *element-level* intersection test of the paper's
+    /// Figure 3 — the refinement step after the bounding-box filter.
+    #[inline]
+    pub fn intersects_aabb(&self, b: &Aabb) -> bool {
+        match self {
+            Shape::Sphere(s) => s.intersects_aabb(b),
+            Shape::Capsule(c) => c.intersects_aabb(b),
+            Shape::Box(bb) => bb.intersects(b),
+        }
+    }
+
+    /// Exact test whether the shape contains a point.
+    #[inline]
+    pub fn contains_point(&self, p: &Point3) -> bool {
+        match self {
+            Shape::Sphere(s) => s.contains_point(p),
+            Shape::Capsule(c) => c.contains_point(p),
+            Shape::Box(b) => b.contains_point(p),
+        }
+    }
+
+    /// Euclidean distance from `p` to the shape surface; zero if inside.
+    #[inline]
+    pub fn distance_to_point(&self, p: &Point3) -> f32 {
+        match self {
+            Shape::Sphere(s) => s.distance_to_point(p),
+            Shape::Capsule(c) => c.distance_to_point(p),
+            Shape::Box(b) => b.min_distance2(p).sqrt(),
+        }
+    }
+
+    /// Exact pairwise intersection test between shapes.
+    ///
+    /// Used by the spatial-join refinement phase (synapse detection joins
+    /// capsules against capsules).
+    pub fn intersects_shape(&self, other: &Shape) -> bool {
+        match (self, other) {
+            (Shape::Sphere(a), Shape::Sphere(b)) => a.intersects_sphere(b),
+            (Shape::Capsule(a), Shape::Capsule(b)) => a.intersects_capsule(b),
+            (Shape::Box(a), Shape::Box(b)) => a.intersects(b),
+            (Shape::Sphere(s), Shape::Capsule(c)) | (Shape::Capsule(c), Shape::Sphere(s)) => {
+                c.intersects_sphere(s)
+            }
+            (Shape::Sphere(s), Shape::Box(b)) | (Shape::Box(b), Shape::Sphere(s)) => {
+                s.intersects_aabb(b)
+            }
+            (Shape::Capsule(c), Shape::Box(b)) | (Shape::Box(b), Shape::Capsule(c)) => {
+                c.intersects_aabb(b)
+            }
+        }
+    }
+
+    /// Minimum distance between two shapes' surfaces (zero when they
+    /// intersect). Exact for sphere/capsule combinations; for boxes it is a
+    /// tight lower bound via the box `MINDIST` to the other shape's axis.
+    pub fn distance_to_shape(&self, other: &Shape) -> f32 {
+        match (self, other) {
+            (Shape::Sphere(a), Shape::Sphere(b)) => {
+                (a.center.distance(&b.center) - a.radius - b.radius).max(0.0)
+            }
+            (Shape::Capsule(a), Shape::Capsule(b)) => {
+                (a.axis_distance2(b).sqrt() - a.radius - b.radius).max(0.0)
+            }
+            (Shape::Sphere(s), Shape::Capsule(c)) | (Shape::Capsule(c), Shape::Sphere(s)) => {
+                (c.closest_point_on_axis(&s.center).distance(&s.center) - c.radius - s.radius)
+                    .max(0.0)
+            }
+            (Shape::Box(a), Shape::Box(b)) => match a.intersection(b) {
+                Some(_) => 0.0,
+                None => {
+                    // Component-wise gap between the boxes.
+                    let dx = (b.min.x - a.max.x).max(a.min.x - b.max.x).max(0.0);
+                    let dy = (b.min.y - a.max.y).max(a.min.y - b.max.y).max(0.0);
+                    let dz = (b.min.z - a.max.z).max(a.min.z - b.max.z).max(0.0);
+                    (dx * dx + dy * dy + dz * dz).sqrt()
+                }
+            },
+            (Shape::Sphere(s), Shape::Box(b)) | (Shape::Box(b), Shape::Sphere(s)) => {
+                (b.min_distance2(&s.center).sqrt() - s.radius).max(0.0)
+            }
+            (Shape::Capsule(c), Shape::Box(b)) | (Shape::Box(b), Shape::Capsule(c)) => {
+                (c.axis_min_distance2_to_aabb(b).sqrt() - c.radius).max(0.0)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dispatch_consistency() {
+        let shapes = [
+            Shape::Sphere(Sphere::new(Point3::new(1.0, 1.0, 1.0), 0.5)),
+            Shape::Capsule(Capsule::new(
+                Point3::new(0.0, 1.0, 1.0),
+                Point3::new(2.0, 1.0, 1.0),
+                0.5,
+            )),
+            Shape::Box(Aabb::new(Point3::new(0.5, 0.5, 0.5), Point3::new(1.5, 1.5, 1.5))),
+        ];
+        for s in &shapes {
+            let bb = s.aabb();
+            assert!(bb.contains_point(&s.center()), "centre inside own bbox for {s:?}");
+            // An element always intersects its own bounding box.
+            assert!(s.intersects_aabb(&bb));
+        }
+    }
+
+    #[test]
+    fn cross_shape_intersections() {
+        let s = Shape::Sphere(Sphere::new(Point3::ORIGIN, 1.0));
+        let c = Shape::Capsule(Capsule::new(
+            Point3::new(0.5, 0.0, 0.0),
+            Point3::new(3.0, 0.0, 0.0),
+            0.2,
+        ));
+        assert!(s.intersects_shape(&c));
+        assert!(c.intersects_shape(&s));
+        let far = Shape::Box(Aabb::new(Point3::new(10.0, 10.0, 10.0), Point3::new(11.0, 11.0, 11.0)));
+        assert!(!s.intersects_shape(&far));
+        assert!(s.distance_to_shape(&far) > 0.0);
+        assert_eq!(s.distance_to_shape(&c), 0.0);
+    }
+
+    #[test]
+    fn translate_moves_aabb() {
+        let mut s = Shape::Box(Aabb::new(Point3::ORIGIN, Point3::new(1.0, 1.0, 1.0)));
+        s.translate(Vec3::new(0.0, 0.0, 5.0));
+        assert_eq!(s.aabb().min.z, 5.0);
+    }
+
+    #[test]
+    fn sphere_sphere_distance() {
+        let a = Shape::Sphere(Sphere::new(Point3::ORIGIN, 1.0));
+        let b = Shape::Sphere(Sphere::new(Point3::new(4.0, 0.0, 0.0), 1.0));
+        assert!((a.distance_to_shape(&b) - 2.0).abs() < 1e-6);
+    }
+}

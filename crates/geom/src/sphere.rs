@@ -1,0 +1,108 @@
+//! Spheres: the simplest volumetric element geometry.
+
+use crate::{Aabb, Point3, Vec3};
+use serde::{Deserialize, Serialize};
+
+/// A solid sphere.
+///
+/// Used for n-body style workloads (celestial bodies) and as soma geometry
+/// in the synthetic neuron generator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Sphere {
+    /// Centre of the sphere.
+    pub center: Point3,
+    /// Radius (non-negative).
+    pub radius: f32,
+}
+
+impl Sphere {
+    /// Creates a sphere.
+    ///
+    /// # Panics
+    /// Panics in debug builds if `radius` is negative or non-finite.
+    #[inline]
+    pub fn new(center: Point3, radius: f32) -> Self {
+        debug_assert!(radius >= 0.0 && radius.is_finite(), "invalid radius {radius}");
+        Self { center, radius }
+    }
+
+    /// Tight bounding box.
+    #[inline]
+    pub fn aabb(&self) -> Aabb {
+        let r = Vec3::new(self.radius, self.radius, self.radius);
+        Aabb { min: self.center - r, max: self.center + r }
+    }
+
+    /// Whether `p` lies inside or on the sphere.
+    #[inline]
+    pub fn contains_point(&self, p: &Point3) -> bool {
+        self.center.distance2(p) <= self.radius * self.radius
+    }
+
+    /// Whether the two spheres share at least one point.
+    #[inline]
+    pub fn intersects_sphere(&self, other: &Sphere) -> bool {
+        let r = self.radius + other.radius;
+        self.center.distance2(&other.center) <= r * r
+    }
+
+    /// Whether the sphere and the box share at least one point
+    /// (Arvo's algorithm: distance from centre to box vs radius).
+    #[inline]
+    pub fn intersects_aabb(&self, b: &Aabb) -> bool {
+        b.min_distance2(&self.center) <= self.radius * self.radius
+    }
+
+    /// Euclidean distance from `p` to the sphere surface; zero if inside.
+    #[inline]
+    pub fn distance_to_point(&self, p: &Point3) -> f32 {
+        (self.center.distance(p) - self.radius).max(0.0)
+    }
+
+    /// Translates the sphere by `d`.
+    #[inline]
+    pub fn translate(&mut self, d: Vec3) {
+        self.center += d;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aabb_is_tight() {
+        let s = Sphere::new(Point3::new(1.0, 2.0, 3.0), 0.5);
+        let b = s.aabb();
+        assert_eq!(b.min, Point3::new(0.5, 1.5, 2.5));
+        assert_eq!(b.max, Point3::new(1.5, 2.5, 3.5));
+    }
+
+    #[test]
+    fn sphere_sphere() {
+        let a = Sphere::new(Point3::ORIGIN, 1.0);
+        let b = Sphere::new(Point3::new(2.0, 0.0, 0.0), 1.0);
+        assert!(a.intersects_sphere(&b)); // touching counts
+        let c = Sphere::new(Point3::new(2.01, 0.0, 0.0), 1.0);
+        assert!(!a.intersects_sphere(&c));
+    }
+
+    #[test]
+    fn sphere_aabb() {
+        let s = Sphere::new(Point3::ORIGIN, 1.0);
+        let near = Aabb::new(Point3::new(0.5, 0.5, 0.5), Point3::new(2.0, 2.0, 2.0));
+        assert!(s.intersects_aabb(&near));
+        // Corner case: box corner at (1,1,1) is sqrt(3) > 1 away.
+        let corner = Aabb::new(Point3::new(1.0, 1.0, 1.0), Point3::new(2.0, 2.0, 2.0));
+        assert!(!s.intersects_aabb(&corner));
+    }
+
+    #[test]
+    fn point_membership_and_distance() {
+        let s = Sphere::new(Point3::ORIGIN, 2.0);
+        assert!(s.contains_point(&Point3::new(1.0, 1.0, 1.0)));
+        assert!(!s.contains_point(&Point3::new(2.0, 2.0, 0.0)));
+        assert_eq!(s.distance_to_point(&Point3::new(3.0, 0.0, 0.0)), 1.0);
+        assert_eq!(s.distance_to_point(&Point3::ORIGIN), 0.0);
+    }
+}

@@ -1,0 +1,279 @@
+//! FLAT/DLS/OCTOPUS-style connectivity-driven query execution (§4.3).
+//!
+//! "A first research direction is to use indexes that predominantly depend
+//! on the dataset itself for query execution. ... DLS uses an approximate
+//! index as well as the mesh connectivity to execute range queries: the
+//! approximate index (which only needs to be updated infrequently) is used
+//! to find a start point near the query range and the mesh connectivity is
+//! used to a) find the query range and b) to find all results in the range.
+//! ... For datasets other than meshes, disk-based FLAT \[28\] adds
+//! connectivity (neighborhood) information to the dataset and then uses it
+//! to execute spatial queries."
+//!
+//! [`Flat`] is the in-memory variant the paper sketches: at build time it
+//! materialises **neighbourhood links** (ids whose `link_eps`-inflated
+//! bounding boxes overlapped) and a **coarse seed grid** over centroids.
+//! Queries (a) harvest seed candidates from the — possibly stale — grid and
+//! test them against *live* geometry, then (b) crawl the neighbourhood links
+//! outward from every hit, picking up elements that drifted into the query
+//! since the structure was built. Because the simulation moves elements only
+//! ≈ 0.04 µm per step (§4.1), the structure stays usable for many steps and
+//! needs only infrequent [`Flat::refresh`] calls — the entire point of the
+//! research direction.
+
+use crate::grid::{GridConfig, GridPlacement, UniformGrid};
+use crate::traits::SpatialIndex;
+use simspatial_geom::{predicates, Aabb, Element, ElementId};
+
+/// Configuration of a [`Flat`] index.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlatConfig {
+    /// Seed-grid cell side (coarse: a few mean spacings).
+    pub seed_cell_side: f32,
+    /// Neighbourhood link radius: elements are linked when their boxes,
+    /// inflated by this much, overlap. Must exceed the largest inter-step
+    /// drift you intend to tolerate between refreshes.
+    pub link_eps: f32,
+}
+
+impl FlatConfig {
+    /// Derives both knobs from the data (cells ≈ 3 spacings, links ≈ 1).
+    pub fn auto(elements: &[Element]) -> Self {
+        if elements.is_empty() {
+            return Self { seed_cell_side: 1.0, link_eps: 0.5 };
+        }
+        let bounds = Aabb::union_all(elements.iter().map(Element::aabb));
+        let spacing =
+            (bounds.volume().max(f32::MIN_POSITIVE) / elements.len() as f32).cbrt().max(1e-6);
+        Self { seed_cell_side: 3.0 * spacing, link_eps: spacing }
+    }
+
+    fn validate(&self) {
+        assert!(self.seed_cell_side > 0.0, "seed cell side must be positive");
+        assert!(self.link_eps >= 0.0, "link eps must be non-negative");
+    }
+}
+
+/// A connectivity-linked dataset with a stale-tolerant seed grid.
+#[derive(Debug, Clone)]
+pub struct Flat {
+    config: FlatConfig,
+    seed: UniformGrid,
+    /// Adjacency lists: `neighbors[id]` = ids linked to `id` at build time.
+    neighbors: Vec<Vec<ElementId>>,
+    /// Accumulated drift bound since the last refresh; added to the seed
+    /// probe inflation so stale cells still cover their former tenants.
+    staleness: f32,
+    len: usize,
+}
+
+impl Flat {
+    /// Builds links and the seed grid over the current element positions.
+    pub fn build(elements: &[Element], config: FlatConfig) -> Self {
+        config.validate();
+        let seed = UniformGrid::build(
+            elements,
+            GridConfig::with_cell_side(config.seed_cell_side, GridPlacement::Center),
+        );
+        let neighbors = build_links(elements, config.link_eps);
+        Self { config, seed, neighbors, staleness: 0.0, len: elements.len() }
+    }
+
+    /// Rebuilds the seed grid and links from current positions — the
+    /// "infrequent update" of the approximate index.
+    pub fn refresh(&mut self, elements: &[Element]) {
+        *self = Self::build(elements, self.config);
+    }
+
+    /// Informs the index that elements may have drifted up to `bound` since
+    /// the last refresh (the simulation knows its per-step maximum). Widens
+    /// seed probes accordingly.
+    pub fn note_drift(&mut self, bound: f32) {
+        assert!(bound >= 0.0, "drift bound must be non-negative");
+        self.staleness += bound;
+    }
+
+    /// Current staleness slack.
+    pub fn staleness(&self) -> f32 {
+        self.staleness
+    }
+
+    /// Mean links per element (diagnostics; FLAT's space overhead).
+    pub fn mean_degree(&self) -> f64 {
+        if self.neighbors.is_empty() {
+            return 0.0;
+        }
+        let total: usize = self.neighbors.iter().map(Vec::len).sum();
+        total as f64 / self.neighbors.len() as f64
+    }
+}
+
+/// Builds the `eps`-overlap adjacency using a transient replicated grid
+/// (O(n · local density) instead of O(n²)).
+fn build_links(elements: &[Element], eps: f32) -> Vec<Vec<ElementId>> {
+    let mut neighbors: Vec<Vec<ElementId>> = vec![Vec::new(); elements.len()];
+    if elements.is_empty() {
+        return neighbors;
+    }
+    let bounds = Aabb::union_all(elements.iter().map(Element::aabb));
+    let spacing =
+        (bounds.volume().max(f32::MIN_POSITIVE) / elements.len() as f32).cbrt().max(1e-6);
+    let temp = UniformGrid::build(
+        elements,
+        GridConfig::with_cell_side((2.0 * spacing).max(eps), GridPlacement::Replicate),
+    );
+    for e in elements {
+        let probe = e.aabb().inflate(eps);
+        for id in temp.range_bbox_candidates(&probe) {
+            if id != e.id && elements[id as usize].aabb().inflate(eps).intersects(&e.aabb()) {
+                neighbors[e.id as usize].push(id);
+            }
+        }
+    }
+    neighbors
+}
+
+impl SpatialIndex for Flat {
+    fn name(&self) -> &'static str {
+        "FLAT"
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn range(&self, data: &[Element], query: &Aabb) -> Vec<ElementId> {
+        // Phase 1: seed candidates from the (stale) grid, inflated by the
+        // accumulated drift so former cell tenants are still covered.
+        let probe = query.inflate(self.staleness);
+        let mut in_result = vec![false; data.len()];
+        let mut frontier: Vec<ElementId> = Vec::new();
+        let mut out = Vec::new();
+        for id in self.seed.range_bbox_candidates(&probe) {
+            if !in_result[id as usize]
+                && predicates::element_in_range(&data[id as usize], query)
+            {
+                in_result[id as usize] = true;
+                out.push(id);
+                frontier.push(id);
+            }
+        }
+        // Phase 2: crawl neighbourhood links from every hit; elements that
+        // drifted into the query are connected to something already in it.
+        let mut visited = in_result.clone();
+        while let Some(id) = frontier.pop() {
+            for &n in &self.neighbors[id as usize] {
+                if visited[n as usize] {
+                    continue;
+                }
+                visited[n as usize] = true;
+                if predicates::element_in_range(&data[n as usize], query) {
+                    in_result[n as usize] = true;
+                    out.push(n);
+                    frontier.push(n);
+                }
+            }
+        }
+        out
+    }
+
+    fn memory_bytes(&self) -> usize {
+        let mut total = std::mem::size_of::<Self>() + self.seed.memory_bytes();
+        total += self.neighbors.capacity() * std::mem::size_of::<Vec<ElementId>>();
+        for n in &self.neighbors {
+            total += n.capacity() * std::mem::size_of::<ElementId>();
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LinearScan;
+    use simspatial_geom::{Point3, Shape, Sphere, Vec3};
+
+    fn scattered(n: u32, r: f32) -> Vec<Element> {
+        (0..n)
+            .map(|i| {
+                let h = i.wrapping_mul(2654435761);
+                let x = (h % 997) as f32 / 10.0;
+                let y = ((h >> 10) % 997) as f32 / 10.0;
+                let z = ((h >> 20) % 997) as f32 / 10.0;
+                Element::new(i, Shape::Sphere(Sphere::new(Point3::new(x, y, z), r)))
+            })
+            .collect()
+    }
+
+    fn queries() -> Vec<Aabb> {
+        (0..12)
+            .map(|i| {
+                let c = Point3::new((i * 7) as f32, (i * 6) as f32, (i * 5) as f32);
+                Aabb::new(c, Point3::new(c.x + 12.0, c.y + 10.0, c.z + 8.0))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fresh_index_matches_scan() {
+        let data = scattered(2000, 0.4);
+        let f = Flat::build(&data, FlatConfig::auto(&data));
+        let scan = LinearScan::build(&data);
+        for q in queries() {
+            let mut a = f.range(&data, &q);
+            let mut b = scan.range(&data, &q);
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn stale_index_with_drift_note_stays_complete() {
+        let mut data = scattered(2000, 0.4);
+        let mut f = Flat::build(&data, FlatConfig::auto(&data));
+        // Drift every element deterministically by up to `step` per round.
+        let step = 0.2f32;
+        for round in 0..5 {
+            for e in data.iter_mut() {
+                let h = (e.id as u64).wrapping_mul(0x9E3779B97F4A7C15) ^ round;
+                let dx = ((h % 100) as f32 / 100.0 - 0.5) * 2.0 * step;
+                let dy = (((h >> 8) % 100) as f32 / 100.0 - 0.5) * 2.0 * step;
+                let dz = (((h >> 16) % 100) as f32 / 100.0 - 0.5) * 2.0 * step;
+                e.translate(Vec3::new(dx, dy, dz));
+            }
+            f.note_drift(step * 3f32.sqrt());
+        }
+        let scan = LinearScan::build(&data);
+        for q in queries() {
+            let mut a = f.range(&data, &q);
+            let mut b = scan.range(&data, &q);
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "stale query diverged");
+        }
+        // Refresh clears the staleness and still answers correctly.
+        f.refresh(&data);
+        assert_eq!(f.staleness(), 0.0);
+        let q = queries()[3];
+        let mut a = f.range(&data, &q);
+        let mut b = scan.range(&data, &q);
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn links_exist_in_dense_data() {
+        let data = scattered(2000, 0.4);
+        let f = Flat::build(&data, FlatConfig::auto(&data));
+        assert!(f.mean_degree() > 0.5, "degree {}", f.mean_degree());
+    }
+
+    #[test]
+    fn empty() {
+        let f = Flat::build(&[], FlatConfig::auto(&[]));
+        assert!(f.is_empty());
+        assert!(f.range(&[], &Aabb::from_point(Point3::ORIGIN)).is_empty());
+    }
+}

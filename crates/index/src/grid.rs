@@ -1,0 +1,632 @@
+//! The uniform grid — the paper's favoured in-memory direction.
+//!
+//! §3.3: "One direction to develop novel spatial indexes for main memory may
+//! be to use a single uniform grid and therefore to avoid the tree structure
+//! needed for access." And §4.3: "using grids will considerably lower the
+//! overhead of updates. Clearly the small movement means that only few
+//! elements switch grid cell in every step."
+//!
+//! Two placement policies cover the design axis the paper discusses:
+//!
+//! * [`GridPlacement::Replicate`] — an element is listed in every cell its
+//!   bounding box overlaps (larger index, queries dedupe);
+//! * [`GridPlacement::Center`] — an element is listed only in the cell of
+//!   its centroid; queries inflate their search region by the largest
+//!   element half-extent (the "looser partitions" alternative).
+//!
+//! Cell resolution is the grid's one knob; [`GridConfig::auto`] implements
+//! the analytical model the paper calls for ("the optimal resolution depends
+//! on the distribution of location and size of the spatial elements").
+
+use crate::traits::{KnnIndex, SpatialIndex};
+use simspatial_geom::{predicates, stats, Aabb, Element, ElementId, Point3};
+
+/// Placement policy for volumetric elements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GridPlacement {
+    /// Replicate ids into every overlapped cell.
+    Replicate,
+    /// Single cell by centroid; queries are inflated by the maximum element
+    /// half-extent to stay complete.
+    Center,
+}
+
+/// Configuration of a [`UniformGrid`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GridConfig {
+    /// Edge length of the cubic cells.
+    pub cell_side: f32,
+    /// Placement policy.
+    pub placement: GridPlacement,
+}
+
+impl GridConfig {
+    /// Explicit resolution.
+    pub fn with_cell_side(cell_side: f32, placement: GridPlacement) -> Self {
+        assert!(cell_side > 0.0 && cell_side.is_finite(), "cell side must be positive");
+        Self { cell_side, placement }
+    }
+
+    /// The analytical resolution model (§3.3): the cell side is the larger
+    /// of (a) the mean element diameter — so replication stays bounded and
+    /// center-placement inflation stays tight — and (b) 1.5× the mean
+    /// inter-element spacing `(V/n)^⅓` — targeting a small constant number
+    /// of elements per occupied cell.
+    pub fn auto(elements: &[Element]) -> Self {
+        let placement = GridPlacement::Center;
+        if elements.is_empty() {
+            return Self { cell_side: 1.0, placement };
+        }
+        let bounds = Aabb::union_all(elements.iter().map(Element::aabb));
+        let n = elements.len() as f32;
+        let mean_extent = elements
+            .iter()
+            .map(|e| {
+                let ext = e.aabb().extent();
+                ext.x.max(ext.y).max(ext.z)
+            })
+            .sum::<f32>()
+            / n;
+        let spacing = (bounds.volume().max(f32::MIN_POSITIVE) / n).cbrt();
+        let cell_side = (1.5 * spacing).max(mean_extent).max(1e-6);
+        Self { cell_side, placement }
+    }
+}
+
+/// A single-resolution uniform grid over element bounding boxes.
+///
+/// ```
+/// use simspatial_datagen::ElementSoupBuilder;
+/// use simspatial_geom::{Aabb, Point3};
+/// use simspatial_index::{GridConfig, SpatialIndex, UniformGrid};
+///
+/// let data = ElementSoupBuilder::new().count(2000).seed(3).build();
+/// let grid = UniformGrid::build(data.elements(), GridConfig::auto(data.elements()));
+/// let q = Aabb::new(Point3::new(10.0, 10.0, 10.0), Point3::new(30.0, 30.0, 30.0));
+/// let hits = grid.range(data.elements(), &q);
+/// assert!(!hits.is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct UniformGrid {
+    origin: Point3,
+    cell: f32,
+    dims: [usize; 3],
+    cells: Vec<Vec<ElementId>>,
+    placement: GridPlacement,
+    len: usize,
+    /// Largest half-extent over indexed elements (query inflation bound for
+    /// center placement; also the kNN termination slack).
+    max_half_extent: f32,
+}
+
+/// Hard cap on total cells, to keep pathological configs from exhausting
+/// memory; the resolution is coarsened to fit.
+const MAX_CELLS: usize = 1 << 24; // 16.7 M cells
+
+impl UniformGrid {
+    /// Builds a grid over `elements` with the given configuration. The grid
+    /// region is the tight bounds of the data, slightly padded so boundary
+    /// elements land inside.
+    pub fn build(elements: &[Element], config: GridConfig) -> Self {
+        let bounds = Aabb::union_all(elements.iter().map(Element::aabb));
+        let mut grid = Self::empty_over(bounds, config, elements.len());
+        for e in elements {
+            grid.insert(e);
+        }
+        grid
+    }
+
+    /// Creates an empty grid covering `region` (used by the incremental
+    /// update strategies, which insert as the simulation streams in).
+    pub fn empty_over(region: Aabb, config: GridConfig, expected: usize) -> Self {
+        assert!(config.cell_side > 0.0, "cell side must be positive");
+        let (origin, extent) = if region.is_empty() {
+            (Point3::ORIGIN, simspatial_geom::Vec3::new(1.0, 1.0, 1.0))
+        } else {
+            // A hair of padding so boundary coordinates round inward; cell
+            // coordinates are clamped anyway, so this only balances the
+            // boundary cells.
+            let e = region.extent();
+            let pad = (e.x.max(e.y).max(e.z) * 1e-4).max(1e-6);
+            let padded = region.inflate(pad);
+            (padded.min, padded.extent())
+        };
+        let mut cell = config.cell_side;
+        let dims_for = |cell: f32| {
+            [
+                ((extent.x / cell).ceil() as usize).max(1),
+                ((extent.y / cell).ceil() as usize).max(1),
+                ((extent.z / cell).ceil() as usize).max(1),
+            ]
+        };
+        let mut dims = dims_for(cell);
+        while dims[0].saturating_mul(dims[1]).saturating_mul(dims[2]) > MAX_CELLS {
+            cell *= 2.0;
+            dims = dims_for(cell);
+        }
+        let total = dims[0] * dims[1] * dims[2];
+        Self {
+            origin,
+            cell,
+            dims,
+            cells: vec![Vec::new(); total],
+            placement: config.placement,
+            len: 0,
+            max_half_extent: 0.0,
+        }
+        .with_capacity_hint(expected)
+    }
+
+    fn with_capacity_hint(self, _expected: usize) -> Self {
+        self
+    }
+
+    /// The realised cell side (may be coarser than requested if the cap hit).
+    pub fn cell_side(&self) -> f32 {
+        self.cell
+    }
+
+    /// Grid dimensions in cells.
+    pub fn dims(&self) -> [usize; 3] {
+        self.dims
+    }
+
+    /// The placement policy in force.
+    pub fn placement(&self) -> GridPlacement {
+        self.placement
+    }
+
+    /// Number of non-empty cells (diagnostics for the resolution model).
+    pub fn occupied_cells(&self) -> usize {
+        self.cells.iter().filter(|c| !c.is_empty()).count()
+    }
+
+    #[inline]
+    fn clamp_coord(&self, p: &Point3) -> [usize; 3] {
+        let rel = *p - self.origin;
+        [
+            ((rel.x / self.cell) as isize).clamp(0, self.dims[0] as isize - 1) as usize,
+            ((rel.y / self.cell) as isize).clamp(0, self.dims[1] as isize - 1) as usize,
+            ((rel.z / self.cell) as isize).clamp(0, self.dims[2] as isize - 1) as usize,
+        ]
+    }
+
+    #[inline]
+    fn cell_index(&self, c: [usize; 3]) -> usize {
+        (c[2] * self.dims[1] + c[1]) * self.dims[0] + c[0]
+    }
+
+    /// The cell coordinate an element centre maps to.
+    pub fn cell_of(&self, p: &Point3) -> [usize; 3] {
+        self.clamp_coord(p)
+    }
+
+    /// Range of cell coordinates overlapped by a box.
+    fn cell_range(&self, b: &Aabb) -> ([usize; 3], [usize; 3]) {
+        (self.clamp_coord(&b.min), self.clamp_coord(&b.max))
+    }
+
+    /// Inserts an element under the configured placement.
+    pub fn insert(&mut self, e: &Element) {
+        let bbox = e.aabb();
+        let ext = bbox.extent();
+        self.max_half_extent = self
+            .max_half_extent
+            .max(ext.x.max(ext.y).max(ext.z) * 0.5);
+        match self.placement {
+            GridPlacement::Center => {
+                let c = self.clamp_coord(&e.center());
+                let idx = self.cell_index(c);
+                self.cells[idx].push(e.id);
+            }
+            GridPlacement::Replicate => {
+                let (lo, hi) = self.cell_range(&bbox);
+                for z in lo[2]..=hi[2] {
+                    for y in lo[1]..=hi[1] {
+                        for x in lo[0]..=hi[0] {
+                            let idx = self.cell_index([x, y, z]);
+                            self.cells[idx].push(e.id);
+                        }
+                    }
+                }
+            }
+        }
+        self.len += 1;
+    }
+
+    /// Removes an element, given the geometry it was inserted with.
+    /// Returns `true` if found.
+    pub fn remove(&mut self, id: ElementId, old: &Element) -> bool {
+        let mut found = false;
+        match self.placement {
+            GridPlacement::Center => {
+                let c = self.clamp_coord(&old.center());
+                let idx = self.cell_index(c);
+                if let Some(pos) = self.cells[idx].iter().position(|&e| e == id) {
+                    self.cells[idx].swap_remove(pos);
+                    found = true;
+                }
+            }
+            GridPlacement::Replicate => {
+                let (lo, hi) = self.cell_range(&old.aabb());
+                for z in lo[2]..=hi[2] {
+                    for y in lo[1]..=hi[1] {
+                        for x in lo[0]..=hi[0] {
+                            let idx = self.cell_index([x, y, z]);
+                            if let Some(pos) = self.cells[idx].iter().position(|&e| e == id) {
+                                self.cells[idx].swap_remove(pos);
+                                found = true;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if found {
+            self.len -= 1;
+        }
+        found
+    }
+
+    /// Moves an element from its old to its new geometry. With center
+    /// placement and small displacements this is almost always a no-op —
+    /// the §4.3 argument for grids under massive minimal movement. Returns
+    /// `true` when the element actually changed cells.
+    pub fn update(&mut self, old: &Element, new: &Element) -> bool {
+        debug_assert_eq!(old.id, new.id);
+        match self.placement {
+            GridPlacement::Center => {
+                let co = self.clamp_coord(&old.center());
+                let cn = self.clamp_coord(&new.center());
+                if co == cn {
+                    return false;
+                }
+                let io = self.cell_index(co);
+                if let Some(pos) = self.cells[io].iter().position(|&e| e == old.id) {
+                    self.cells[io].swap_remove(pos);
+                    let ic = self.cell_index(cn);
+                    self.cells[ic].push(new.id);
+                    true
+                } else {
+                    false
+                }
+            }
+            GridPlacement::Replicate => {
+                let (olo, ohi) = self.cell_range(&old.aabb());
+                let (nlo, nhi) = self.cell_range(&new.aabb());
+                if (olo, ohi) == (nlo, nhi) {
+                    return false;
+                }
+                self.remove(old.id, old);
+                self.insert(new);
+                self.len -= 1; // insert bumped it; the element is not new
+                true
+            }
+        }
+    }
+
+    /// Candidate ids whose cells overlap `query` (deduplicated under
+    /// replication), **without** any element tests — the raw filter output.
+    /// Under center placement the probe is inflated by the recorded maximum
+    /// half-extent, so the candidate set is complete for the geometries the
+    /// grid was built over. Used by structures that layer their own
+    /// refinement on top (FLAT's seed phase, the join algorithms).
+    pub fn range_bbox_candidates(&self, query: &Aabb) -> Vec<ElementId> {
+        self.candidates(query)
+    }
+
+    fn candidates(&self, query: &Aabb) -> Vec<ElementId> {
+        let probe = match self.placement {
+            GridPlacement::Center => query.inflate(self.max_half_extent),
+            GridPlacement::Replicate => *query,
+        };
+        let (lo, hi) = self.cell_range(&probe);
+        let mut out = Vec::new();
+        for z in lo[2]..=hi[2] {
+            for y in lo[1]..=hi[1] {
+                for x in lo[0]..=hi[0] {
+                    let idx = self.cell_index([x, y, z]);
+                    out.extend_from_slice(&self.cells[idx]);
+                }
+            }
+        }
+        stats::record_elements_scanned(out.len() as u64);
+        if self.placement == GridPlacement::Replicate {
+            out.sort_unstable();
+            out.dedup();
+        }
+        out
+    }
+}
+
+impl SpatialIndex for UniformGrid {
+    fn name(&self) -> &'static str {
+        "Grid"
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn range(&self, data: &[Element], query: &Aabb) -> Vec<ElementId> {
+        self.candidates(query)
+            .into_iter()
+            .filter(|&id| predicates::element_in_range(&data[id as usize], query))
+            .collect()
+    }
+
+    fn memory_bytes(&self) -> usize {
+        let mut total = std::mem::size_of::<Self>()
+            + self.cells.capacity() * std::mem::size_of::<Vec<ElementId>>();
+        for c in &self.cells {
+            total += c.capacity() * std::mem::size_of::<ElementId>();
+        }
+        total
+    }
+}
+
+impl KnnIndex for UniformGrid {
+    /// Expanding-shell kNN: visit cells outward in Chebyshev rings from the
+    /// query point's cell; stop once the k-th best distance cannot be beaten
+    /// by any unvisited ring.
+    fn knn(&self, data: &[Element], p: &Point3, k: usize) -> Vec<(ElementId, f32)> {
+        if k == 0 || self.len == 0 {
+            return Vec::new();
+        }
+        let center = self.clamp_coord(p);
+        let max_ring = self.dims[0].max(self.dims[1]).max(self.dims[2]);
+        // (distance, id) max-heap of the current best k. Under replication
+        // an element appears in several cells; `visited` keeps it from being
+        // scored (and returned) twice.
+        let mut best: std::collections::BinaryHeap<(OrderedF32, ElementId)> =
+            std::collections::BinaryHeap::new();
+        let mut visited = std::collections::HashSet::new();
+        let mut seen = 0usize;
+        for ring in 0..=max_ring {
+            // Termination: the closest possible element in ring r is at
+            // least (r-1)·cell − max_half_extent away (the point may sit at
+            // its cell's edge, and an element's surface may extend beyond
+            // its centre's cell).
+            if best.len() >= k {
+                let kth = best.peek().unwrap().0 .0;
+                let ring_min = (ring as f32 - 1.0) * self.cell - self.max_half_extent;
+                if ring_min > kth {
+                    break;
+                }
+            }
+            let mut any_cell = false;
+            self.for_ring(center, ring, |cell_idx| {
+                any_cell = true;
+                for &id in &self.cells[cell_idx] {
+                    if self.placement == GridPlacement::Replicate && !visited.insert(id) {
+                        continue;
+                    }
+                    seen += 1;
+                    let d = predicates::element_distance(&data[id as usize], p);
+                    if best.len() < k {
+                        best.push((OrderedF32(d), id));
+                    } else if d < best.peek().unwrap().0 .0 {
+                        best.pop();
+                        best.push((OrderedF32(d), id));
+                    }
+                }
+            });
+            if !any_cell && ring > 0 {
+                // Ring fully outside the grid: everything farther is too.
+                if best.len() >= k {
+                    break;
+                }
+                // Keep expanding only while rings may still clip the grid.
+                let beyond = ring > self.dims[0] + self.dims[1] + self.dims[2];
+                if beyond {
+                    break;
+                }
+            }
+        }
+        stats::record_elements_scanned(seen as u64);
+        let mut out: Vec<(ElementId, f32)> =
+            best.into_iter().map(|(d, id)| (id, d.0)).collect();
+        out.sort_unstable_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        out
+    }
+}
+
+impl UniformGrid {
+    /// Visits every in-bounds cell at Chebyshev distance `ring` from `c`.
+    fn for_ring(&self, c: [usize; 3], ring: usize, mut f: impl FnMut(usize)) {
+        let lo = [
+            c[0] as isize - ring as isize,
+            c[1] as isize - ring as isize,
+            c[2] as isize - ring as isize,
+        ];
+        let hi = [
+            c[0] as isize + ring as isize,
+            c[1] as isize + ring as isize,
+            c[2] as isize + ring as isize,
+        ];
+        let in_bounds = |x: isize, d: usize| x >= 0 && x < self.dims[d] as isize;
+        for z in lo[2]..=hi[2] {
+            if !in_bounds(z, 2) {
+                continue;
+            }
+            for y in lo[1]..=hi[1] {
+                if !in_bounds(y, 1) {
+                    continue;
+                }
+                for x in lo[0]..=hi[0] {
+                    if !in_bounds(x, 0) {
+                        continue;
+                    }
+                    // Shell only: at least one coordinate on the ring face.
+                    let on_face = (z == lo[2] || z == hi[2])
+                        || (y == lo[1] || y == hi[1])
+                        || (x == lo[0] || x == hi[0]);
+                    if ring == 0 || on_face {
+                        f(self.cell_index([x as usize, y as usize, z as usize]));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// `f32` wrapper ordered by `total_cmp`, for use in heaps.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct OrderedF32(f32);
+
+impl Eq for OrderedF32 {}
+impl PartialOrd for OrderedF32 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for OrderedF32 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LinearScan;
+    use simspatial_geom::{Shape, Sphere, Vec3};
+
+    fn scattered(n: u32, r: f32) -> Vec<Element> {
+        (0..n)
+            .map(|i| {
+                let h = i.wrapping_mul(2654435761);
+                let x = (h % 997) as f32 / 10.0;
+                let y = ((h >> 10) % 997) as f32 / 10.0;
+                let z = ((h >> 20) % 997) as f32 / 10.0;
+                Element::new(i, Shape::Sphere(Sphere::new(Point3::new(x, y, z), r)))
+            })
+            .collect()
+    }
+
+    fn queries() -> Vec<Aabb> {
+        (0..15)
+            .map(|i| {
+                let c = Point3::new((i * 6) as f32, (i * 5) as f32, (i * 4) as f32);
+                Aabb::new(c, Point3::new(c.x + 13.0, c.y + 9.0, c.z + 7.0))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn both_placements_match_scan() {
+        let data = scattered(3000, 0.6);
+        let scan = LinearScan::build(&data);
+        for placement in [GridPlacement::Center, GridPlacement::Replicate] {
+            let g = UniformGrid::build(&data, GridConfig::with_cell_side(5.0, placement));
+            assert_eq!(g.len(), 3000);
+            for q in queries() {
+                let mut a = g.range(&data, &q);
+                let mut b = scan.range(&data, &q);
+                a.sort_unstable();
+                b.sort_unstable();
+                assert_eq!(a, b, "{placement:?} {q:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn auto_config_matches_scan() {
+        let data = scattered(2000, 0.3);
+        let g = UniformGrid::build(&data, GridConfig::auto(&data));
+        let scan = LinearScan::build(&data);
+        for q in queries() {
+            let mut a = g.range(&data, &q);
+            let mut b = scan.range(&data, &q);
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn knn_matches_scan() {
+        let data = scattered(2500, 0.4);
+        let scan = LinearScan::build(&data);
+        for placement in [GridPlacement::Center, GridPlacement::Replicate] {
+            let g = UniformGrid::build(&data, GridConfig::with_cell_side(4.0, placement));
+            for i in 0..8 {
+                let p = Point3::new((i * 11) as f32, (i * 9) as f32, (i * 13) as f32);
+                let a = g.knn(&data, &p, 6);
+                let b = scan.knn(&data, &p, 6);
+                assert_eq!(a.len(), 6);
+                for (x, y) in a.iter().zip(b.iter()) {
+                    assert!((x.1 - y.1).abs() < 1e-4, "{placement:?}: {a:?} vs {b:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn update_detects_cell_switches() {
+        let data = scattered(500, 0.2);
+        let mut g = UniformGrid::build(&data, GridConfig::with_cell_side(10.0, GridPlacement::Center));
+        // Tiny move: same cell, no structural update.
+        let old = data[0].clone();
+        let mut new = old.clone();
+        new.translate(Vec3::new(0.001, 0.0, 0.0));
+        assert!(!g.update(&old, &new));
+        // Large move: must switch cells.
+        let mut far = old.clone();
+        far.translate(Vec3::new(50.0, 0.0, 0.0));
+        assert!(g.update(&old, &far));
+        assert_eq!(g.len(), 500);
+        // The moved element must now be discoverable at its new position.
+        let mut data2: Vec<Element> = data.clone();
+        data2[0] = far.clone();
+        let hits = g.range(&data2, &far.aabb());
+        assert!(hits.contains(&0));
+    }
+
+    #[test]
+    fn remove_then_query() {
+        let data = scattered(300, 0.2);
+        for placement in [GridPlacement::Center, GridPlacement::Replicate] {
+            let mut g = UniformGrid::build(&data, GridConfig::with_cell_side(8.0, placement));
+            assert!(g.remove(7, &data[7]));
+            assert!(!g.remove(7, &data[7]), "double remove must fail");
+            assert_eq!(g.len(), 299);
+            let hits = g.range(&data, &data[7].aabb().inflate(0.1));
+            assert!(!hits.contains(&7));
+        }
+    }
+
+    #[test]
+    fn degenerate_single_cell() {
+        let data = scattered(50, 0.1);
+        let g = UniformGrid::build(&data, GridConfig::with_cell_side(1e6, GridPlacement::Center));
+        assert_eq!(g.dims(), [1, 1, 1]);
+        let scan = LinearScan::build(&data);
+        let q = queries()[2];
+        let mut a = g.range(&data, &q);
+        let mut b = scan.range(&data, &q);
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cell_cap_coarsens_resolution() {
+        let data = scattered(100, 0.1);
+        // Absurdly fine request: must be coarsened, not OOM.
+        let g = UniformGrid::build(&data, GridConfig::with_cell_side(1e-5, GridPlacement::Center));
+        let total: usize = g.dims().iter().product();
+        assert!(total <= super::MAX_CELLS);
+        assert!(g.cell_side() > 1e-5);
+    }
+
+    #[test]
+    fn empty_grid() {
+        let g = UniformGrid::build(&[], GridConfig::auto(&[]));
+        assert!(g.is_empty());
+        assert!(g
+            .range(&[], &Aabb::new(Point3::ORIGIN, Point3::new(1.0, 1.0, 1.0)))
+            .is_empty());
+        assert!(g.knn(&[], &Point3::ORIGIN, 3).is_empty());
+    }
+}

@@ -1,0 +1,65 @@
+//! # simspatial-index
+//!
+//! The in-memory spatial index design space surveyed by *"Spatial Data
+//! Management Challenges in the Simulation Sciences"* (EDBT 2014).
+//!
+//! The paper argues (§3) that disk-era indexes are mis-designed for memory:
+//! they minimise data transfer when they should minimise *computation* —
+//! above all intersection tests, which dominate in-memory query time
+//! (Figure 3). Its research directions point at structures that avoid tree
+//! traversal altogether. This crate implements both sides of that argument:
+//!
+//! **The disk-era incumbents**
+//! * [`RTree`] — Guttman R-Tree with quadratic split, R\*-style forced
+//!   reinsertion, STR bulk loading, deletion and bottom-up updates; fully
+//!   instrumented (tree-level vs element-level tests).
+//! * [`DiskRTree`] — the same STR layout serialized onto 4 KB pages of the
+//!   simulated-disk substrate, for the Figure 2 on-disk breakdown.
+//! * [`CrTree`] — the cache-conscious R-Tree \[16\]: quantised relative MBRs
+//!   packed into cache-line-sized nodes.
+//! * [`KdTree`], [`Octree`] — the point access methods of §3.2 (the octree
+//!   supports a *loose* factor, the classic fix for volumetric elements).
+//!
+//! **The paper's research directions**
+//! * [`UniformGrid`] — single uniform grid with an analytical resolution
+//!   model ([`GridConfig::auto`]).
+//! * [`MultiGrid`] — several resolutions, elements assigned by size, queries
+//!   routed to every level (§3.3 "several uniform grids each with a
+//!   different resolution").
+//! * [`Lsh`] — locality-sensitive hashing for low-dimensional kNN (§3.3).
+//! * [`Flat`] — FLAT/DLS/OCTOPUS-style connectivity-driven execution: a
+//!   deliberately stale coarse seed index plus a crawl over neighbourhood
+//!   links that consults the *live* dataset (§4.3 "indexes that
+//!   predominantly depend on the dataset itself").
+//! * [`LinearScan`] — the no-index baseline the paper repeatedly holds up
+//!   as the bar any index must clear under massive updates.
+//!
+//! Every structure implements [`SpatialIndex`] (range queries); those that
+//! support nearest neighbours implement [`KnnIndex`]. Queries take the live
+//! element slice so refinement always sees current geometry — the
+//! index-uses-the-dataset discipline of §4.3.
+
+#![warn(missing_docs)]
+
+mod crtree;
+mod flat;
+mod grid;
+mod kdtree;
+mod linear;
+mod lsh;
+mod multigrid;
+mod octree;
+pub mod rtree;
+mod traits;
+
+pub use crtree::{CrTree, CrTreeConfig};
+pub use flat::{Flat, FlatConfig};
+pub use grid::{GridConfig, GridPlacement, UniformGrid};
+pub use kdtree::KdTree;
+pub use linear::LinearScan;
+pub use lsh::{Lsh, LshConfig};
+pub use multigrid::{MultiGrid, MultiGridConfig};
+pub use octree::{Octree, OctreeConfig};
+pub use rtree::disk::DiskRTree;
+pub use rtree::{Curve, RTree, RTreeConfig, SplitStrategy};
+pub use traits::{measure_range, KnnIndex, QueryStats, SpatialIndex};

@@ -1,0 +1,204 @@
+//! The no-index baseline: a linear scan.
+//!
+//! §4.1 of the paper: "Depending on how many queries are executed,
+//! rebuilding an index may no longer pay off ... using no index, i.e., a
+//! linear scan over the dataset, may be faster." The scan also serves as
+//! ground truth for every other structure's tests.
+
+use crate::traits::{KnnIndex, SpatialIndex};
+use simspatial_geom::{predicates, stats, Aabb, Element, ElementId, Point3};
+
+/// A linear scan over the dataset. Build cost: zero. Update cost: zero (the
+/// dataset *is* the index). Query cost: O(n) element tests.
+#[derive(Debug, Clone, Default)]
+pub struct LinearScan {
+    len: usize,
+}
+
+impl LinearScan {
+    /// "Builds" the scan — records only the expected dataset size.
+    pub fn build(elements: &[Element]) -> Self {
+        Self { len: elements.len() }
+    }
+
+    /// Answers a whole batch of range queries in **one pass** over the
+    /// dataset. §4.1: "the linear scan can be very fast, depending on the
+    /// number of queries asked and in case many queries can be batched
+    /// together" — each element is streamed through the cache once and
+    /// tested against every query, instead of `q` full passes.
+    ///
+    /// Returns one result vector per query, in query order.
+    pub fn range_batch(&self, data: &[Element], queries: &[Aabb]) -> Vec<Vec<ElementId>> {
+        let mut out: Vec<Vec<ElementId>> = vec![Vec::new(); queries.len()];
+        if queries.is_empty() {
+            return out;
+        }
+        // One bbox covering all queries prunes elements near none of them.
+        let envelope = Aabb::union_all(queries.iter().copied());
+        stats::record_elements_scanned(data.len() as u64);
+        for e in data {
+            let bbox = e.aabb();
+            if !stats::element_test(|| bbox.intersects(&envelope)) {
+                continue;
+            }
+            for (qi, q) in queries.iter().enumerate() {
+                if stats::element_test(|| bbox.intersects(q))
+                    && stats::element_test(|| e.shape.intersects_aabb(q))
+                {
+                    out[qi].push(e.id);
+                }
+            }
+        }
+        out
+    }
+}
+
+impl SpatialIndex for LinearScan {
+    fn name(&self) -> &'static str {
+        "LinearScan"
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn range(&self, data: &[Element], query: &Aabb) -> Vec<ElementId> {
+        stats::record_elements_scanned(data.len() as u64);
+        data.iter()
+            .filter(|e| predicates::element_in_range(e, query))
+            .map(|e| e.id)
+            .collect()
+    }
+
+    fn memory_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+    }
+}
+
+impl KnnIndex for LinearScan {
+    fn knn(&self, data: &[Element], p: &Point3, k: usize) -> Vec<(ElementId, f32)> {
+        if k == 0 {
+            return Vec::new();
+        }
+        stats::record_elements_scanned(data.len() as u64);
+        let mut dists: Vec<(ElementId, f32)> = data
+            .iter()
+            .map(|e| (e.id, predicates::element_distance(e, p)))
+            .collect();
+        // Partial selection: O(n) average instead of a full sort.
+        let k = k.min(dists.len());
+        if k == 0 {
+            return dists;
+        }
+        dists.select_nth_unstable_by(k - 1, |a, b| a.1.total_cmp(&b.1));
+        dists.truncate(k);
+        dists.sort_unstable_by(|a, b| a.1.total_cmp(&b.1));
+        dists
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simspatial_geom::{Shape, Sphere};
+
+    fn line_data(n: u32) -> Vec<Element> {
+        (0..n)
+            .map(|i| {
+                Element::new(
+                    i,
+                    Shape::Sphere(Sphere::new(Point3::new(i as f32, 0.0, 0.0), 0.25)),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn range_exact() {
+        let data = line_data(100);
+        let idx = LinearScan::build(&data);
+        let q = Aabb::new(Point3::new(9.8, -1.0, -1.0), Point3::new(20.2, 1.0, 1.0));
+        let mut hits = idx.range(&data, &q);
+        hits.sort_unstable();
+        assert_eq!(hits, (10..=20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn knn_ordering_and_count() {
+        let data = line_data(50);
+        let idx = LinearScan::build(&data);
+        let hits = idx.knn(&data, &Point3::new(10.1, 0.0, 0.0), 3);
+        assert_eq!(hits.len(), 3);
+        assert_eq!(hits[0].0, 10);
+        assert!(hits[0].1 <= hits[1].1 && hits[1].1 <= hits[2].1);
+        // Nearest sphere contains the point → distance 0? p is 0.1 from
+        // centre with radius 0.25 → inside → distance 0.
+        assert_eq!(hits[0].1, 0.0);
+    }
+
+    #[test]
+    fn knn_k_larger_than_dataset() {
+        let data = line_data(3);
+        let idx = LinearScan::build(&data);
+        assert_eq!(idx.knn(&data, &Point3::ORIGIN, 10).len(), 3);
+        assert!(idx.knn(&data, &Point3::ORIGIN, 0).is_empty());
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let idx = LinearScan::build(&[]);
+        assert!(idx.is_empty());
+        assert!(idx.range(&[], &Aabb::from_point(Point3::ORIGIN)).is_empty());
+        assert!(idx.knn(&[], &Point3::ORIGIN, 5).is_empty());
+    }
+
+    #[test]
+    fn batch_matches_individual_queries() {
+        let data = line_data(80);
+        let idx = LinearScan::build(&data);
+        let queries: Vec<Aabb> = (0..6)
+            .map(|i| {
+                let x = (i * 12) as f32;
+                Aabb::new(Point3::new(x, -1.0, -1.0), Point3::new(x + 7.0, 1.0, 1.0))
+            })
+            .collect();
+        let batched = idx.range_batch(&data, &queries);
+        assert_eq!(batched.len(), queries.len());
+        for (q, got) in queries.iter().zip(batched) {
+            let mut got = got;
+            let mut single = idx.range(&data, q);
+            got.sort_unstable();
+            single.sort_unstable();
+            assert_eq!(got, single);
+        }
+    }
+
+    #[test]
+    fn batch_uses_fewer_tests_than_sequential() {
+        let data = line_data(200);
+        let idx = LinearScan::build(&data);
+        // Clustered queries: the envelope prunes most of the line.
+        let queries: Vec<Aabb> = (0..8)
+            .map(|i| {
+                let x = 10.0 + i as f32;
+                Aabb::new(Point3::new(x, -1.0, -1.0), Point3::new(x + 0.5, 1.0, 1.0))
+            })
+            .collect();
+        stats::reset();
+        idx.range_batch(&data, &queries);
+        let batched = stats::snapshot().element_tests;
+        stats::reset();
+        for q in &queries {
+            idx.range(&data, q);
+        }
+        let sequential = stats::snapshot().element_tests;
+        assert!(batched < sequential, "batched {batched} vs sequential {sequential}");
+    }
+
+    #[test]
+    fn batch_empty_queries() {
+        let data = line_data(5);
+        let idx = LinearScan::build(&data);
+        assert!(idx.range_batch(&data, &[]).is_empty());
+    }
+}

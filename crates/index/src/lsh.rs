@@ -1,0 +1,293 @@
+//! Locality-sensitive hashing for low-dimensional kNN (§3.3).
+//!
+//! "A possible approach for kNN queries could be to use locality sensitive
+//! hashing (LSH, e.g., \[3\]). ... Crucially, LSH avoids a tree structure to
+//! organize the data and instead uses several (spatial) hash functions to
+//! index each spatial element."
+//!
+//! This is the p-stable-distribution scheme of Datar et al. specialised to
+//! 3-D: each of `L` tables hashes an element centroid through `m` functions
+//! `h(p) = ⌊(a·p + b) / w⌋` with Gaussian `a`, and the concatenated integer
+//! vector keys a bucket. Queries probe their own bucket in every table plus
+//! single-step perturbations (multiprobe), refine candidates by exact
+//! element distance, and — since LSH is approximate by nature — fall back
+//! to a linear scan only when fewer than `k` candidates surfaced, keeping
+//! the API total.
+//!
+//! **Approximation contract:** `knn` returns `k` elements that are near but
+//! not guaranteed nearest; recall is a measured quantity (experiment E8).
+
+use crate::traits::KnnIndex;
+use simspatial_geom::{predicates, Aabb, Element, ElementId, Point3, Vec3};
+use std::collections::HashMap;
+
+/// Configuration of an [`Lsh`] index.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LshConfig {
+    /// Number of hash tables `L` (more tables ⇒ higher recall, more memory).
+    pub tables: usize,
+    /// Hash functions concatenated per table key `m`.
+    pub hashes_per_table: usize,
+    /// Bucket width `w`, in dataset units.
+    pub width: f32,
+    /// RNG seed for the hash functions.
+    pub seed: u64,
+}
+
+impl Default for LshConfig {
+    fn default() -> Self {
+        Self { tables: 8, hashes_per_table: 3, width: 4.0, seed: 0x15_4A11 }
+    }
+}
+
+impl LshConfig {
+    /// Derives a width from the data: several times the mean inter-element
+    /// spacing, so a bucket holds a neighbourhood rather than a point.
+    pub fn auto(elements: &[Element]) -> Self {
+        let mut cfg = Self::default();
+        if elements.is_empty() {
+            return cfg;
+        }
+        let bounds = Aabb::union_all(elements.iter().map(Element::aabb));
+        let spacing =
+            (bounds.volume().max(f32::MIN_POSITIVE) / elements.len() as f32).cbrt();
+        cfg.width = (2.5 * spacing).max(1e-6);
+        cfg
+    }
+
+    fn validate(&self) {
+        assert!(self.tables >= 1, "need at least one table");
+        assert!((1..=8).contains(&self.hashes_per_table), "1..=8 hashes per table");
+        assert!(self.width > 0.0, "width must be positive");
+    }
+}
+
+/// One hash function `h(p) = ⌊(a·p + b)/w⌋`.
+#[derive(Debug, Clone, Copy)]
+struct HashFn {
+    a: Vec3,
+    b: f32,
+}
+
+impl HashFn {
+    #[inline]
+    fn eval(&self, p: &Point3, w: f32) -> i32 {
+        let v = self.a.x * p.x + self.a.y * p.y + self.a.z * p.z + self.b;
+        (v / w).floor() as i32
+    }
+}
+
+/// A multi-table LSH index over element centroids.
+#[derive(Debug, Clone)]
+pub struct Lsh {
+    config: LshConfig,
+    /// `tables × hashes_per_table` functions.
+    fns: Vec<Vec<HashFn>>,
+    /// One bucket map per table, keyed by the mixed integer hash vector.
+    tables: Vec<HashMap<u64, Vec<ElementId>>>,
+    len: usize,
+}
+
+impl Lsh {
+    /// Builds the index over element centroids.
+    pub fn build(elements: &[Element], config: LshConfig) -> Self {
+        config.validate();
+        let mut state = config.seed | 1;
+        let mut next = move || {
+            // xorshift64*: deterministic, dependency-free Gaussian-ish via CLT.
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            state = state.wrapping_mul(0x2545_F491_4F6C_DD1D);
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let mut gauss = move || {
+            // Sum of 12 uniforms − 6: mean 0, variance 1 (Irwin–Hall CLT).
+            let s: f64 = (0..12).map(|_| next()).sum::<f64>() - 6.0;
+            s as f32
+        };
+        let fns: Vec<Vec<HashFn>> = (0..config.tables)
+            .map(|_| {
+                (0..config.hashes_per_table)
+                    .map(|_| HashFn {
+                        a: Vec3::new(gauss(), gauss(), gauss()),
+                        b: (gauss().abs() % 1.0) * config.width,
+                    })
+                    .collect()
+            })
+            .collect();
+
+        let mut tables: Vec<HashMap<u64, Vec<ElementId>>> =
+            (0..config.tables).map(|_| HashMap::new()).collect();
+        for e in elements {
+            let c = e.center();
+            for (t, table_fns) in fns.iter().enumerate() {
+                let key = mix_key(table_fns.iter().map(|f| f.eval(&c, config.width)));
+                tables[t].entry(key).or_default().push(e.id);
+            }
+        }
+        Self { config, fns, tables, len: elements.len() }
+    }
+
+    /// Number of indexed elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Approximate memory footprint.
+    pub fn memory_bytes(&self) -> usize {
+        let mut total = std::mem::size_of::<Self>();
+        for t in &self.tables {
+            total += t.len() * (8 + std::mem::size_of::<Vec<ElementId>>());
+            for v in t.values() {
+                total += v.capacity() * std::mem::size_of::<ElementId>();
+            }
+        }
+        total
+    }
+
+    /// Collects candidate ids for a query point: own bucket plus ±1
+    /// multiprobe perturbations in every table.
+    fn candidates(&self, p: &Point3) -> Vec<ElementId> {
+        let w = self.config.width;
+        let mut out = Vec::new();
+        for (t, table_fns) in self.fns.iter().enumerate() {
+            let base: Vec<i32> = table_fns.iter().map(|f| f.eval(p, w)).collect();
+            // Exact bucket.
+            if let Some(ids) = self.tables[t].get(&mix_key(base.iter().copied())) {
+                out.extend_from_slice(ids);
+            }
+            // Multiprobe: one coordinate perturbed by ±1.
+            for i in 0..base.len() {
+                for delta in [-1i32, 1] {
+                    let probe =
+                        base.iter().enumerate().map(
+                            |(j, &h)| if j == i { h + delta } else { h },
+                        );
+                    if let Some(ids) = self.tables[t].get(&mix_key(probe)) {
+                        out.extend_from_slice(ids);
+                    }
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+impl KnnIndex for Lsh {
+    fn knn(&self, data: &[Element], p: &Point3, k: usize) -> Vec<(ElementId, f32)> {
+        if k == 0 || self.len == 0 {
+            return Vec::new();
+        }
+        let mut cands = self.candidates(p);
+        if cands.len() < k {
+            // Too few candidates surfaced: fall back to scanning everything
+            // (keeps the result total; counted like any other element test).
+            cands = (0..self.len as ElementId).collect();
+        }
+        let mut scored: Vec<(ElementId, f32)> = cands
+            .into_iter()
+            .map(|id| (id, predicates::element_distance(&data[id as usize], p)))
+            .collect();
+        let k = k.min(scored.len());
+        scored.select_nth_unstable_by(k - 1, |a, b| a.1.total_cmp(&b.1));
+        scored.truncate(k);
+        scored.sort_unstable_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        scored
+    }
+}
+
+/// Mixes an integer hash vector into one 64-bit bucket key (FxHash-style).
+fn mix_key(values: impl Iterator<Item = i32>) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for v in values {
+        h ^= v as u32 as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+        h ^= h >> 29;
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{KnnIndex as _, LinearScan};
+    use simspatial_geom::{Shape, Sphere};
+
+    fn scattered(n: u32) -> Vec<Element> {
+        (0..n)
+            .map(|i| {
+                let h = i.wrapping_mul(2654435761);
+                let x = (h % 997) as f32 / 10.0;
+                let y = ((h >> 10) % 997) as f32 / 10.0;
+                let z = ((h >> 20) % 997) as f32 / 10.0;
+                Element::new(i, Shape::Sphere(Sphere::new(Point3::new(x, y, z), 0.2)))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn returns_k_results() {
+        let data = scattered(2000);
+        let lsh = Lsh::build(&data, LshConfig::auto(&data));
+        let res = lsh.knn(&data, &Point3::new(50.0, 50.0, 50.0), 10);
+        assert_eq!(res.len(), 10);
+        // Sorted ascending.
+        for w in res.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+    }
+
+    #[test]
+    fn recall_is_reasonable() {
+        let data = scattered(3000);
+        let lsh = Lsh::build(&data, LshConfig::auto(&data));
+        let scan = LinearScan::build(&data);
+        let mut hits = 0usize;
+        let mut total = 0usize;
+        for i in 0..20 {
+            let p = Point3::new((i * 5) as f32, (i * 4) as f32, (i * 3) as f32);
+            let approx: std::collections::HashSet<ElementId> =
+                lsh.knn(&data, &p, 10).into_iter().map(|(id, _)| id).collect();
+            for (id, _) in scan.knn(&data, &p, 10) {
+                total += 1;
+                if approx.contains(&id) {
+                    hits += 1;
+                }
+            }
+        }
+        let recall = hits as f64 / total as f64;
+        assert!(recall >= 0.7, "recall too low: {recall}");
+    }
+
+    #[test]
+    fn tiny_dataset_falls_back() {
+        let data = scattered(5);
+        let lsh = Lsh::build(&data, LshConfig::default());
+        let res = lsh.knn(&data, &Point3::ORIGIN, 5);
+        assert_eq!(res.len(), 5);
+    }
+
+    #[test]
+    fn deterministic() {
+        let data = scattered(500);
+        let a = Lsh::build(&data, LshConfig::auto(&data));
+        let b = Lsh::build(&data, LshConfig::auto(&data));
+        let p = Point3::new(30.0, 30.0, 30.0);
+        assert_eq!(a.knn(&data, &p, 5), b.knn(&data, &p, 5));
+    }
+
+    #[test]
+    fn empty() {
+        let lsh = Lsh::build(&[], LshConfig::default());
+        assert!(lsh.is_empty());
+        assert!(lsh.knn(&[], &Point3::ORIGIN, 3).is_empty());
+    }
+}

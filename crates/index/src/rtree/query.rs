@@ -1,0 +1,268 @@
+//! Instrumented R-Tree queries: range and kNN.
+
+use super::RTree;
+use crate::traits::{KnnIndex, SpatialIndex};
+use simspatial_geom::{stats, Aabb, Element, ElementId, Point3};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+impl RTree {
+    /// Range query on stored bounding boxes only (no exact refinement).
+    ///
+    /// Useful when the caller owns refinement, and for structures whose
+    /// entries *are* boxes. Instrumented exactly like [`RTree::range`].
+    pub fn range_bbox(&self, query: &Aabb) -> Vec<ElementId> {
+        let mut out = Vec::new();
+        let mut stack = vec![self.root];
+        while let Some(idx) = stack.pop() {
+            let n = &self.nodes[idx];
+            if n.is_leaf() {
+                for (b, id) in &n.entries {
+                    if stats::element_test(|| b.intersects(query)) {
+                        out.push(*id);
+                    }
+                }
+            } else {
+                stats::record_node_visit();
+                for &c in &n.children {
+                    if stats::tree_test(|| self.nodes[c].mbr.intersects(query)) {
+                        stack.push(c);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Tree-only traversal: descends every internal node intersecting
+    /// `query` but performs **no leaf-entry tests**, returning the number of
+    /// leaves reached. Isolates the pure tree-structure cost of a query —
+    /// the differential measurement behind the Figure 3 reproduction.
+    pub fn probe_tree(&self, query: &Aabb) -> usize {
+        let mut leaves = 0usize;
+        let mut stack = vec![self.root];
+        while let Some(idx) = stack.pop() {
+            let n = &self.nodes[idx];
+            if n.is_leaf() {
+                leaves += 1;
+            } else {
+                stats::record_node_visit();
+                for &c in &n.children {
+                    if stats::tree_test(|| self.nodes[c].mbr.intersects(query)) {
+                        stack.push(c);
+                    }
+                }
+            }
+        }
+        leaves
+    }
+
+    /// Instrumented filter + refine range query (see [`SpatialIndex::range`]).
+    pub fn range_exact(&self, data: &[Element], query: &Aabb) -> Vec<ElementId> {
+        let mut out = Vec::new();
+        let mut stack = vec![self.root];
+        while let Some(idx) = stack.pop() {
+            let n = &self.nodes[idx];
+            if n.is_leaf() {
+                for (b, id) in &n.entries {
+                    // Filter on the stored box...
+                    if stats::element_test(|| b.intersects(query)) {
+                        // ...then refine on live geometry.
+                        let e = &data[*id as usize];
+                        if stats::element_test(|| e.shape.intersects_aabb(query)) {
+                            out.push(*id);
+                        }
+                    }
+                }
+            } else {
+                stats::record_node_visit();
+                for &c in &n.children {
+                    if stats::tree_test(|| self.nodes[c].mbr.intersects(query)) {
+                        stack.push(c);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Heap key ordered by ascending distance (min-heap via `Reverse`).
+#[derive(PartialEq)]
+struct HeapKey(f32);
+
+impl Eq for HeapKey {}
+impl PartialOrd for HeapKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+
+impl SpatialIndex for RTree {
+    fn name(&self) -> &'static str {
+        "R-Tree"
+    }
+
+    fn len(&self) -> usize {
+        self.len()
+    }
+
+    fn range(&self, data: &[Element], query: &Aabb) -> Vec<ElementId> {
+        self.range_exact(data, query)
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.memory_bytes()
+    }
+}
+
+impl KnnIndex for RTree {
+    /// Best-first kNN (Hjaltason & Samet): a priority queue over `MINDIST`
+    /// of node MBRs mixed with exact element distances; terminates when the
+    /// queue head is farther than the current k-th best.
+    fn knn(&self, data: &[Element], p: &Point3, k: usize) -> Vec<(ElementId, f32)> {
+        if k == 0 || self.is_empty() {
+            return Vec::new();
+        }
+        let mut heap: BinaryHeap<(Reverse<HeapKey>, usize, bool)> = BinaryHeap::new();
+        // (key, payload, is_entry); payload is node index or element id.
+        heap.push((Reverse(HeapKey(0.0)), self.root, false));
+        let mut result: Vec<(ElementId, f32)> = Vec::with_capacity(k);
+
+        while let Some((Reverse(HeapKey(dist)), payload, is_entry)) = heap.pop() {
+            if result.len() == k {
+                break;
+            }
+            if is_entry {
+                result.push((payload as ElementId, dist));
+                continue;
+            }
+            let n = &self.nodes[payload];
+            if n.is_leaf() {
+                for (b, id) in &n.entries {
+                    // Lower-bound by the stored box first; exact distance
+                    // only for boxes that could beat the current k-th.
+                    let lb = stats::element_test(|| b.min_distance2(p)).sqrt();
+                    let exact = if lb == 0.0 || result.len() < k {
+                        stats::element_test(|| data[*id as usize].shape.distance_to_point(p))
+                    } else {
+                        // Defer: push with the lower bound; exactify when popped.
+                        // (Simpler: compute exactly here — the box already
+                        // passed the cheap filter.)
+                        stats::element_test(|| data[*id as usize].shape.distance_to_point(p))
+                    };
+                    heap.push((Reverse(HeapKey(exact)), *id as usize, true));
+                }
+            } else {
+                stats::record_node_visit();
+                for &c in &n.children {
+                    let d = stats::tree_test(|| self.nodes[c].mbr.min_distance2(p)).sqrt();
+                    heap.push((Reverse(HeapKey(d)), c, false));
+                }
+            }
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{LinearScan, RTreeConfig};
+    use simspatial_geom::{Shape, Sphere};
+
+    fn scattered(n: u32) -> Vec<Element> {
+        (0..n)
+            .map(|i| {
+                let h = i.wrapping_mul(2654435761);
+                let x = (h % 997) as f32 / 10.0;
+                let y = ((h >> 10) % 997) as f32 / 10.0;
+                let z = ((h >> 20) % 997) as f32 / 10.0;
+                Element::new(i, Shape::Sphere(Sphere::new(Point3::new(x, y, z), 0.4)))
+            })
+            .collect()
+    }
+
+    fn built(data: &[Element]) -> RTree {
+        let mut t = RTree::new(RTreeConfig::default());
+        for e in data {
+            t.insert(e.id, e.aabb());
+        }
+        t
+    }
+
+    #[test]
+    fn range_matches_linear_scan() {
+        let data = scattered(2000);
+        let t = built(&data);
+        let scan = LinearScan::build(&data);
+        for i in 0..20 {
+            let c = Point3::new((i * 5) as f32, (i * 4) as f32, (i * 3) as f32);
+            let q = Aabb::new(c, Point3::new(c.x + 12.0, c.y + 9.0, c.z + 11.0));
+            let mut a = t.range(&data, &q);
+            let mut b = scan.range(&data, &q);
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "query {i} mismatch");
+        }
+    }
+
+    #[test]
+    fn knn_matches_linear_scan() {
+        let data = scattered(1500);
+        let t = built(&data);
+        let scan = LinearScan::build(&data);
+        for i in 0..10 {
+            let p = Point3::new((i * 9) as f32, (i * 7) as f32, (i * 5) as f32);
+            let a = t.knn(&data, &p, 8);
+            let b = scan.knn(&data, &p, 8);
+            assert_eq!(a.len(), 8);
+            for (x, y) in a.iter().zip(b.iter()) {
+                assert!(
+                    (x.1 - y.1).abs() < 1e-4,
+                    "distance mismatch at {p:?}: {:?} vs {:?}",
+                    a,
+                    b
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn instrumentation_counts_tree_and_element_tests() {
+        let data = scattered(3000);
+        let t = built(&data);
+        stats::reset();
+        let q = Aabb::new(Point3::new(10.0, 10.0, 10.0), Point3::new(30.0, 30.0, 30.0));
+        t.range(&data, &q);
+        let s = stats::snapshot();
+        assert!(s.tree_tests > 0, "tree traversal must be counted");
+        assert!(s.element_tests > 0);
+        assert!(s.nodes_visited > 0);
+    }
+
+    #[test]
+    fn knn_k_exceeds_len() {
+        let data = scattered(5);
+        let t = built(&data);
+        assert_eq!(t.knn(&data, &Point3::ORIGIN, 50).len(), 5);
+    }
+
+    #[test]
+    fn range_bbox_superset_of_exact() {
+        let data = scattered(1000);
+        let t = built(&data);
+        let q = Aabb::new(Point3::new(20.0, 20.0, 20.0), Point3::new(40.0, 40.0, 40.0));
+        let bbox: std::collections::HashSet<_> = t.range_bbox(&q).into_iter().collect();
+        let exact = t.range(&data, &q);
+        for id in exact {
+            assert!(bbox.contains(&id));
+        }
+    }
+}

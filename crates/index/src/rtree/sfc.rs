@@ -1,0 +1,290 @@
+//! Space-filling-curve bulk loading: Hilbert and Morton (Z-order).
+//!
+//! The §4.2 survey points at the bulk-loading literature ("several
+//! bulkloading methods (see survey \[8\]) have been devised") as the rebuild
+//! path; STR is one family, curve-ordered packing the other. Curve loaders
+//! sort once by a single scalar key — simpler and often faster to build
+//! than STR's recursive tiling — at the price of slightly leakier tiles.
+//! Ablation A1 of the harness measures exactly that trade-off, which
+//! matters because §4.1 makes the *build* cost the quantity to minimise.
+
+use super::{RTree, RTreeConfig};
+use simspatial_geom::{Aabb, Element, ElementId, Point3};
+
+/// The curve used to order entries before packing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Curve {
+    /// Hilbert curve (Skilling's transposed-axes algorithm), 10 bits/axis.
+    Hilbert,
+    /// Morton / Z-order interleaving, 10 bits/axis.
+    Morton,
+}
+
+impl RTree {
+    /// Bulk loads by sorting entries along a space-filling curve and packing
+    /// consecutive runs of `max_entries` into leaves (then packing upper
+    /// levels the same way).
+    pub fn bulk_load_sfc(elements: &[Element], config: RTreeConfig, curve: Curve) -> Self {
+        let entries: Vec<(Aabb, ElementId)> = elements.iter().map(|e| (e.aabb(), e.id)).collect();
+        Self::bulk_load_sfc_entries(entries, config, curve)
+    }
+
+    /// Curve-ordered bulk load from raw entries.
+    pub fn bulk_load_sfc_entries(
+        mut entries: Vec<(Aabb, ElementId)>,
+        config: RTreeConfig,
+        curve: Curve,
+    ) -> Self {
+        config.validate();
+        let mut tree = RTree::new(config);
+        if entries.is_empty() {
+            return tree;
+        }
+        let bounds = Aabb::union_all(entries.iter().map(|(b, _)| *b));
+        // Decorate–sort–undecorate: the curve key is 30+ bit operations, so
+        // compute it once per entry rather than per comparison.
+        let mut keyed: Vec<(u64, (Aabb, ElementId))> = entries
+            .drain(..)
+            .map(|e| (curve_key(curve, &bounds, &e.0.center()), e))
+            .collect();
+        keyed.sort_unstable_by_key(|(k, _)| *k);
+        tree.pack_ordered(keyed.into_iter().map(|(_, e)| e).collect());
+        tree
+    }
+
+    /// Packs already-ordered entries into leaves and upper levels without
+    /// re-sorting (shared by the curve loaders).
+    fn pack_ordered(&mut self, entries: Vec<(Aabb, ElementId)>) {
+        use super::{Node, NIL};
+        let n = entries.len();
+        self.nodes.clear();
+        self.set_len(n);
+        let cap = self.config().max_entries;
+
+        let mut level_nodes: Vec<usize> = Vec::with_capacity(n.div_ceil(cap));
+        for chunk in entries.chunks(cap) {
+            let mut leaf = Node::new_leaf();
+            leaf.entries = chunk.to_vec();
+            leaf.mbr = Aabb::union_all(chunk.iter().map(|(b, _)| *b));
+            self.nodes.push(leaf);
+            level_nodes.push(self.nodes.len() - 1);
+        }
+        let mut level = 0u32;
+        while level_nodes.len() > 1 {
+            level += 1;
+            let mut next = Vec::with_capacity(level_nodes.len().div_ceil(cap));
+            for chunk in level_nodes.chunks(cap) {
+                let mut node = Node::new_internal(level);
+                node.children = chunk.to_vec();
+                node.mbr = Aabb::union_all(chunk.iter().map(|&c| self.nodes[c].mbr));
+                self.nodes.push(node);
+                let idx = self.nodes.len() - 1;
+                for &c in chunk {
+                    self.nodes[c].parent = idx;
+                }
+                next.push(idx);
+            }
+            level_nodes = next;
+        }
+        self.root = level_nodes[0];
+        self.nodes[self.root].parent = NIL;
+    }
+}
+
+const SFC_BITS: u32 = 10;
+
+/// Maps a point to its curve key within `bounds`.
+fn curve_key(curve: Curve, bounds: &Aabb, p: &Point3) -> u64 {
+    let ext = bounds.extent();
+    let scale = |v: f32, lo: f32, e: f32| -> u32 {
+        if e <= 0.0 {
+            return 0;
+        }
+        let max = (1u32 << SFC_BITS) - 1;
+        (((v - lo) / e) * max as f32).clamp(0.0, max as f32) as u32
+    };
+    let x = scale(p.x, bounds.min.x, ext.x);
+    let y = scale(p.y, bounds.min.y, ext.y);
+    let z = scale(p.z, bounds.min.z, ext.z);
+    match curve {
+        Curve::Morton => morton3(x, y, z),
+        Curve::Hilbert => hilbert3(x, y, z),
+    }
+}
+
+/// Interleaves three 10-bit coordinates into a 30-bit Morton code.
+fn morton3(x: u32, y: u32, z: u32) -> u64 {
+    let spread = |v: u32| -> u64 {
+        let mut v = u64::from(v) & 0x3FF;
+        v = (v | (v << 16)) & 0x0000_00FF_0000_FFFF;
+        v = (v | (v << 8)) & 0x0000_F00F_00F0_0F0F;
+        v = (v | (v << 4)) & 0x0000_30C3_0C30_C30C;
+        v = (v | (v << 2)) & 0x0000_9249_2492_4924;
+        v
+    };
+    spread(x) | (spread(y) << 1) | (spread(z) << 2)
+}
+
+/// 3-D Hilbert index via Skilling's transposed-axes algorithm: converts the
+/// coordinate triple into the Hilbert transpose in place, then interleaves.
+fn hilbert3(x: u32, y: u32, z: u32) -> u64 {
+    let mut axes = [x, y, z];
+    const N: usize = 3;
+    let m = 1u32 << (SFC_BITS - 1);
+
+    // Inverse undo excess work (Skilling 2004, AxestoTranspose).
+    let mut q = m;
+    while q > 1 {
+        let p = q - 1;
+        for i in 0..N {
+            if axes[i] & q != 0 {
+                axes[0] ^= p; // invert
+            } else {
+                let t = (axes[0] ^ axes[i]) & p;
+                axes[0] ^= t;
+                axes[i] ^= t;
+            }
+        }
+        q >>= 1;
+    }
+    // Gray encode.
+    for i in 1..N {
+        axes[i] ^= axes[i - 1];
+    }
+    let mut t = 0u32;
+    let mut q = m;
+    while q > 1 {
+        if axes[N - 1] & q != 0 {
+            t ^= q - 1;
+        }
+        q >>= 1;
+    }
+    for a in axes.iter_mut() {
+        *a ^= t;
+    }
+    // Interleave the transpose (bit b of axis i becomes output bit
+    // b*N + (N-1-i)).
+    let mut key = 0u64;
+    for b in 0..SFC_BITS {
+        for (i, &a) in axes.iter().enumerate() {
+            let bit = u64::from((a >> (SFC_BITS - 1 - b)) & 1);
+            key = (key << 1) | bit;
+            let _ = i;
+        }
+    }
+    key
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::SpatialIndex;
+    use crate::LinearScan;
+    use simspatial_geom::{Shape, Sphere};
+
+    fn scattered(n: u32) -> Vec<Element> {
+        (0..n)
+            .map(|i| {
+                let h = i.wrapping_mul(2654435761);
+                let x = (h % 997) as f32 / 10.0;
+                let y = ((h >> 10) % 997) as f32 / 10.0;
+                let z = ((h >> 20) % 997) as f32 / 10.0;
+                Element::new(i, Shape::Sphere(Sphere::new(Point3::new(x, y, z), 0.4)))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn morton_orders_locally() {
+        // Nearby points get nearby codes more often than far points.
+        let near = morton3(5, 5, 5) ^ morton3(5, 5, 6);
+        let far = morton3(5, 5, 5) ^ morton3(900, 900, 900);
+        assert!(near < far);
+    }
+
+    #[test]
+    fn hilbert_is_a_bijection_on_a_small_grid() {
+        // On a 8×8×8 sub-grid (top bits fixed), all keys must be distinct.
+        let mut seen = std::collections::HashSet::new();
+        for x in 0..8 {
+            for y in 0..8 {
+                for z in 0..8 {
+                    assert!(
+                        seen.insert(hilbert3(x << 7, y << 7, z << 7)),
+                        "duplicate key at ({x},{y},{z})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hilbert_neighbors_have_close_keys() {
+        // The defining Hilbert property: consecutive curve positions are
+        // adjacent cells. Check the converse statistically: axis neighbours
+        // have closer keys than random pairs on average.
+        let mut neighbor_gap = 0i64;
+        let mut random_gap = 0i64;
+        let mut count = 0i64;
+        for i in 0..200u32 {
+            let h = i.wrapping_mul(2654435761);
+            let (x, y, z) = (h % 1000, (h >> 10) % 1000, (h >> 20) % 1000);
+            let k = hilbert3(x, y, z) as i64;
+            let kn = hilbert3(x + 1, y, z) as i64;
+            let hr = i.wrapping_mul(0x9E3779B9);
+            let kr = hilbert3(hr % 1000, (hr >> 10) % 1000, (hr >> 20) % 1000) as i64;
+            neighbor_gap += (k - kn).abs();
+            random_gap += (k - kr).abs();
+            count += 1;
+        }
+        assert!(
+            neighbor_gap / count < random_gap / count / 4,
+            "neighbour gap {} vs random {}",
+            neighbor_gap / count,
+            random_gap / count
+        );
+    }
+
+    #[test]
+    fn sfc_bulk_loads_answer_like_scan() {
+        let data = scattered(3000);
+        let scan = LinearScan::build(&data);
+        for curve in [Curve::Hilbert, Curve::Morton] {
+            let t = RTree::bulk_load_sfc(&data, RTreeConfig::default(), curve);
+            assert_eq!(t.len(), 3000);
+            t.validate();
+            for i in 0..10 {
+                let c = Point3::new((i * 8) as f32, (i * 6) as f32, (i * 7) as f32);
+                let q = Aabb::new(c, Point3::new(c.x + 12.0, c.y + 10.0, c.z + 9.0));
+                let mut a = t.range(&data, &q);
+                let mut b = scan.range(&data, &q);
+                a.sort_unstable();
+                b.sort_unstable();
+                assert_eq!(a, b, "{curve:?} query {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn sfc_empty_and_tiny() {
+        for curve in [Curve::Hilbert, Curve::Morton] {
+            let t = RTree::bulk_load_sfc(&[], RTreeConfig::default(), curve);
+            assert!(t.is_empty());
+            let data = scattered(5);
+            let t = RTree::bulk_load_sfc(&data, RTreeConfig::default(), curve);
+            assert_eq!(t.len(), 5);
+            t.validate();
+        }
+    }
+
+    #[test]
+    fn hilbert_packs_tighter_than_morton() {
+        // Leaf MBR volume is the tile-leakage metric; Hilbert should not be
+        // (much) worse than Morton on uniform data.
+        let data = scattered(5000);
+        let vol = |t: &RTree| -> f32 { t.leaf_volume_sum() };
+        let h = RTree::bulk_load_sfc(&data, RTreeConfig::default(), Curve::Hilbert);
+        let m = RTree::bulk_load_sfc(&data, RTreeConfig::default(), Curve::Morton);
+        assert!(vol(&h) <= vol(&m) * 1.2, "hilbert {} vs morton {}", vol(&h), vol(&m));
+    }
+}

@@ -1,0 +1,129 @@
+//! Common index traits and query instrumentation.
+
+use simspatial_geom::{stats, Aabb, Element, ElementId, Point3};
+use std::time::Instant;
+
+/// A spatial index over a dataset of [`Element`]s.
+///
+/// Indexes never own the element data: queries receive the live slice so
+/// exact refinement always sees current geometry, and so that structures in
+/// the FLAT/DLS family — which *depend* on the dataset for execution (§4.3
+/// of the paper) — fit the same interface as classic indexes.
+///
+/// Implementations must return exactly the ids of elements whose exact
+/// geometry intersects the query box (filter + refine), in unspecified
+/// order and without duplicates — except where a structure is documented as
+/// approximate ([`crate::Lsh`]).
+pub trait SpatialIndex {
+    /// Short, stable name used by the benchmark harness ("R-Tree", "Grid", …).
+    fn name(&self) -> &'static str;
+
+    /// Number of indexed elements.
+    fn len(&self) -> usize;
+
+    /// True when no elements are indexed.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// All element ids whose exact geometry intersects `query`.
+    fn range(&self, data: &[Element], query: &Aabb) -> Vec<ElementId>;
+
+    /// Approximate bytes of memory the index structure occupies (excluding
+    /// the element data itself). Used for the index-size comparisons the
+    /// paper makes about replication-based schemes.
+    fn memory_bytes(&self) -> usize;
+}
+
+/// A structure that answers k-nearest-neighbour queries.
+///
+/// Deliberately *not* a subtrait of [`SpatialIndex`]: §3.3 of the paper
+/// proposes LSH precisely because kNN and range workloads may want different
+/// structures, and LSH has no meaningful range interface.
+pub trait KnnIndex {
+    /// The `k` elements nearest to `p` by exact element-surface distance,
+    /// ordered nearest first, as `(id, distance)` pairs. Returns fewer than
+    /// `k` entries only when the dataset is smaller than `k`.
+    fn knn(&self, data: &[Element], p: &Point3, k: usize) -> Vec<(ElementId, f32)>;
+}
+
+/// Instrumented result of executing a query batch: wall-clock plus the
+/// predicate-counter deltas the paper's Figure 3 breakdown needs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct QueryStats {
+    /// Wall-clock seconds spent executing the batch.
+    pub elapsed_s: f64,
+    /// Total results returned.
+    pub results: u64,
+    /// Predicate counters accumulated during the batch.
+    pub counts: stats::PredicateCounts,
+}
+
+impl QueryStats {
+    /// Tree-level share of all intersection tests, in `\[0, 1\]`.
+    pub fn tree_test_share(&self) -> f64 {
+        let total = self.counts.total_tests();
+        if total == 0 {
+            0.0
+        } else {
+            self.counts.tree_tests as f64 / total as f64
+        }
+    }
+}
+
+/// Runs a batch of range queries against `index`, collecting wall-clock and
+/// predicate-counter deltas. The thread-local counters are reset first.
+pub fn measure_range<I: SpatialIndex + ?Sized>(
+    index: &I,
+    data: &[Element],
+    queries: &[Aabb],
+) -> QueryStats {
+    stats::reset();
+    let before = stats::snapshot();
+    let start = Instant::now();
+    let mut results = 0u64;
+    for q in queries {
+        results += index.range(data, q).len() as u64;
+    }
+    let elapsed_s = start.elapsed().as_secs_f64();
+    QueryStats { elapsed_s, results, counts: stats::snapshot().since(&before) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LinearScan;
+    use simspatial_geom::{Point3, Shape, Sphere};
+
+    fn tiny_data() -> Vec<Element> {
+        (0..10)
+            .map(|i| {
+                Element::new(
+                    i,
+                    Shape::Sphere(Sphere::new(Point3::new(i as f32, 0.0, 0.0), 0.25)),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn measure_range_counts_results_and_tests() {
+        let data = tiny_data();
+        let idx = LinearScan::build(&data);
+        let q = Aabb::new(Point3::new(-0.5, -1.0, -1.0), Point3::new(2.5, 1.0, 1.0));
+        let s = measure_range(&idx, &data, &[q]);
+        assert_eq!(s.results, 3); // spheres at 0, 1, 2
+        assert!(s.counts.element_tests >= 10, "scan must test every element");
+        assert_eq!(s.counts.tree_tests, 0, "a scan has no tree");
+        assert_eq!(s.tree_test_share(), 0.0);
+    }
+
+    #[test]
+    fn empty_batch() {
+        let data = tiny_data();
+        let idx = LinearScan::build(&data);
+        let s = measure_range(&idx, &data, &[]);
+        assert_eq!(s.results, 0);
+        assert_eq!(s.counts.total_tests(), 0);
+    }
+}

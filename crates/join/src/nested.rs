@@ -1,0 +1,62 @@
+//! Nested-loop self-join: the quadratic baseline.
+//!
+//! §4.3: "Not using any index structure results in a nested loop join with
+//! n² comparisons." It is nonetheless the ground truth every other
+//! algorithm is validated against, and — per the paper — the only option
+//! whose *maintenance* cost under massive updates is zero.
+
+use crate::canonical;
+use simspatial_geom::{predicates, Element, ElementId};
+
+/// All pairs within `eps`, by exhaustive comparison (bbox filter + exact
+/// refine per pair).
+pub(crate) fn join(data: &[Element], eps: f32) -> Vec<(ElementId, ElementId)> {
+    let mut out = Vec::new();
+    for i in 0..data.len() {
+        let (a, bbox_a) = (&data[i], data[i].aabb());
+        for b in &data[i + 1..] {
+            if predicates::bboxes_within(&bbox_a, &b.aabb(), eps)
+                && predicates::elements_within(a, b, eps)
+            {
+                out.push(canonical(a.id, b.id));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simspatial_geom::{Point3, Shape, Sphere};
+
+    fn spheres(xs: &[f32]) -> Vec<Element> {
+        xs.iter()
+            .enumerate()
+            .map(|(i, &x)| {
+                Element::new(
+                    i as ElementId,
+                    Shape::Sphere(Sphere::new(Point3::new(x, 0.0, 0.0), 0.4)),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn adjacent_spheres_join() {
+        // Spheres at 0, 1, 3 with radius 0.4: only 0–1 intersect-ish at
+        // eps 0.3 (gap 0.2); 1–3 gap is 1.2.
+        let data = spheres(&[0.0, 1.0, 3.0]);
+        assert_eq!(join(&data, 0.3), vec![(0, 1)]);
+        assert!(join(&data, 0.1).is_empty());
+        assert_eq!(join(&data, 1.3).len(), 2); // adds 1–3
+        assert_eq!(join(&data, 3.0).len(), 3); // all pairs
+    }
+
+    #[test]
+    fn self_pairs_never_reported() {
+        let data = spheres(&[0.0, 0.0, 0.0]);
+        let pairs = join(&data, 0.0);
+        assert_eq!(pairs, vec![(0, 1), (0, 2), (1, 2)]);
+    }
+}

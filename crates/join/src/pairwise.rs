@@ -1,0 +1,193 @@
+//! Two-dataset (A ⋈ B) distance joins.
+//!
+//! §2.2 frames the join over pairs of datasets as well as self-joins
+//! ("Several approaches have been conceived for joining spatial datasets"),
+//! and the synapse use case naturally splits into axon segments of one
+//! population against dendrites of another. `join_pair` provides the
+//! nested-loop ground truth and a PBSM-style grid implementation; both
+//! return `(a_id, b_id)` pairs (ids index the respective input slices).
+
+use simspatial_geom::{predicates, Aabb, Element, ElementId, Point3};
+
+/// Algorithms available for the two-dataset join.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PairAlgorithm {
+    /// O(|A|·|B|) nested loop — ground truth.
+    NestedLoop,
+    /// PBSM-style grid: both inputs replicated into shared cells,
+    /// reference-point deduplication.
+    Grid,
+}
+
+/// All `(a, b)` pairs with `a ∈ A`, `b ∈ B` whose exact geometries lie
+/// within `eps`. Output is sorted and duplicate-free.
+pub fn join_pair(
+    a: &[Element],
+    b: &[Element],
+    eps: f32,
+    algorithm: PairAlgorithm,
+) -> Vec<(ElementId, ElementId)> {
+    assert!(eps >= 0.0 && eps.is_finite(), "eps must be non-negative");
+    let mut pairs = match algorithm {
+        PairAlgorithm::NestedLoop => nested_pair(a, b, eps),
+        PairAlgorithm::Grid => grid_pair(a, b, eps),
+    };
+    pairs.sort_unstable();
+    pairs.dedup();
+    pairs
+}
+
+fn nested_pair(a: &[Element], b: &[Element], eps: f32) -> Vec<(ElementId, ElementId)> {
+    let mut out = Vec::new();
+    for ea in a {
+        let ba = ea.aabb();
+        for eb in b {
+            if predicates::bboxes_within(&ba, &eb.aabb(), eps)
+                && predicates::elements_within(ea, eb, eps)
+            {
+                out.push((ea.id, eb.id));
+            }
+        }
+    }
+    out
+}
+
+fn grid_pair(a: &[Element], b: &[Element], eps: f32) -> Vec<(ElementId, ElementId)> {
+    if a.is_empty() || b.is_empty() {
+        return Vec::new();
+    }
+    let bounds = Aabb::union_all(a.iter().chain(b.iter()).map(Element::aabb))
+        .inflate(eps.max(1e-6));
+    let n = (a.len() + b.len()) as f32;
+    let spacing = (bounds.volume().max(f32::MIN_POSITIVE) / n).cbrt();
+    let max_extent = a
+        .iter()
+        .chain(b.iter())
+        .map(|e| {
+            let ext = e.aabb().extent();
+            ext.x.max(ext.y).max(ext.z)
+        })
+        .fold(0.0f32, f32::max);
+    let cell = (2.0 * spacing).max(max_extent + eps).max(1e-6);
+
+    let dims = [
+        ((bounds.extent().x / cell).ceil() as usize).max(1),
+        ((bounds.extent().y / cell).ceil() as usize).max(1),
+        ((bounds.extent().z / cell).ceil() as usize).max(1),
+    ];
+    let coord = |p: &Point3| -> [usize; 3] {
+        let rel = *p - bounds.min;
+        [
+            ((rel.x / cell) as isize).clamp(0, dims[0] as isize - 1) as usize,
+            ((rel.y / cell) as isize).clamp(0, dims[1] as isize - 1) as usize,
+            ((rel.z / cell) as isize).clamp(0, dims[2] as isize - 1) as usize,
+        ]
+    };
+    let index = |c: [usize; 3]| (c[2] * dims[1] + c[1]) * dims[0] + c[0];
+
+    // Replicate both inputs into the shared grid (A inflated by eps so a
+    // single-sided filter suffices at the join).
+    let mut cells_a: Vec<Vec<ElementId>> = vec![Vec::new(); dims[0] * dims[1] * dims[2]];
+    let mut cells_b: Vec<Vec<ElementId>> = vec![Vec::new(); dims[0] * dims[1] * dims[2]];
+    let inflated_a: Vec<Aabb> = a.iter().map(|e| e.aabb().inflate(eps)).collect();
+    let scatter = |boxes: &[Aabb], cells: &mut Vec<Vec<ElementId>>, ids: &[Element]| {
+        for (e, bbox) in ids.iter().zip(boxes.iter()) {
+            let (lo, hi) = (coord(&bbox.min), coord(&bbox.max));
+            for z in lo[2]..=hi[2] {
+                for y in lo[1]..=hi[1] {
+                    for x in lo[0]..=hi[0] {
+                        cells[index([x, y, z])].push(e.id);
+                    }
+                }
+            }
+        }
+    };
+    scatter(&inflated_a, &mut cells_a, a);
+    let boxes_b: Vec<Aabb> = b.iter().map(Element::aabb).collect();
+    scatter(&boxes_b, &mut cells_b, b);
+
+    let mut out = Vec::new();
+    for ci in 0..cells_a.len() {
+        if cells_a[ci].is_empty() || cells_b[ci].is_empty() {
+            continue;
+        }
+        for &ia in &cells_a[ci] {
+            for &ib in &cells_b[ci] {
+                let infl = inflated_a[ia as usize];
+                let bb = boxes_b[ib as usize];
+                if !predicates::element_bbox_in_range(&infl, &bb) {
+                    continue;
+                }
+                // Reference point: the overlap of the replicated regions.
+                let ov = infl
+                    .intersection(&bb)
+                    .expect("filtered pair must overlap after inflation");
+                if index(coord(&ov.min)) != ci {
+                    continue;
+                }
+                if predicates::elements_within(&a[ia as usize], &b[ib as usize], eps) {
+                    out.push((ia, ib));
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simspatial_geom::{Shape, Sphere};
+
+    fn spheres(offset: f32, n: u32, r: f32) -> Vec<Element> {
+        (0..n)
+            .map(|i| {
+                let h = i.wrapping_mul(2654435761);
+                let x = (h % 199) as f32 / 10.0 + offset;
+                let y = ((h >> 10) % 199) as f32 / 10.0;
+                let z = ((h >> 20) % 199) as f32 / 10.0;
+                Element::new(i, Shape::Sphere(Sphere::new(Point3::new(x, y, z), r)))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn grid_matches_nested() {
+        let a = spheres(0.0, 300, 0.3);
+        let b = spheres(0.15, 250, 0.3);
+        for eps in [0.0f32, 0.4, 1.0] {
+            let truth = join_pair(&a, &b, eps, PairAlgorithm::NestedLoop);
+            let got = join_pair(&a, &b, eps, PairAlgorithm::Grid);
+            assert_eq!(got, truth, "eps {eps}");
+            assert!(!truth.is_empty() || eps == 0.0);
+        }
+    }
+
+    #[test]
+    fn pair_ids_index_their_own_inputs() {
+        // Same ids on both sides must not be confused: a ⋈ b is not a self-join.
+        let a = vec![Element::new(
+            0,
+            Shape::Sphere(Sphere::new(Point3::new(0.0, 0.0, 0.0), 0.5)),
+        )];
+        let b = vec![Element::new(
+            0,
+            Shape::Sphere(Sphere::new(Point3::new(0.4, 0.0, 0.0), 0.5)),
+        )];
+        let pairs = join_pair(&a, &b, 0.0, PairAlgorithm::Grid);
+        assert_eq!(pairs, vec![(0, 0)]);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let a = spheres(0.0, 10, 0.2);
+        assert!(join_pair(&a, &[], 1.0, PairAlgorithm::Grid).is_empty());
+        assert!(join_pair(&[], &a, 1.0, PairAlgorithm::NestedLoop).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_eps_rejected() {
+        join_pair(&[], &[], -1.0, PairAlgorithm::Grid);
+    }
+}

@@ -1,0 +1,331 @@
+//! Tetrahedral meshes with face adjacency.
+
+use simspatial_geom::{Aabb, Point3, Vec3};
+use std::collections::HashMap;
+
+/// Identifier of a tetrahedral cell within a [`TetMesh`].
+pub type CellId = u32;
+
+/// An unstructured tetrahedral mesh.
+///
+/// The structure the simulation updates is the vertex array; tetrahedra and
+/// their face adjacency are fixed at meshing time. That asymmetry is the
+/// core of the paper's §4.3 argument: geometry changes massively every step,
+/// connectivity never does.
+#[derive(Debug, Clone)]
+pub struct TetMesh {
+    vertices: Vec<Point3>,
+    tets: Vec<[u32; 4]>,
+    /// Face neighbours of each tet (up to 4; boundary faces have none).
+    adjacency: Vec<Vec<CellId>>,
+}
+
+impl TetMesh {
+    /// Builds a mesh from raw vertices and tetrahedra, deriving the face
+    /// adjacency (two tets are neighbours when they share a triangular face).
+    ///
+    /// # Panics
+    /// Panics if a tet references a missing vertex or a face is shared by
+    /// more than two tets (non-manifold input).
+    pub fn new(vertices: Vec<Point3>, tets: Vec<[u32; 4]>) -> Self {
+        for (i, t) in tets.iter().enumerate() {
+            for &v in t {
+                assert!(
+                    (v as usize) < vertices.len(),
+                    "tet {i} references missing vertex {v}"
+                );
+            }
+        }
+        let adjacency = build_adjacency(&tets);
+        Self { vertices, tets, adjacency }
+    }
+
+    /// A convex lattice mesh: an `nx × ny × nz` grid of unit cubes (scaled
+    /// by `spacing`), each split into five tetrahedra. The result is convex
+    /// — the mesh class DLS supports.
+    pub fn lattice(nx: usize, ny: usize, nz: usize, spacing: f32) -> Self {
+        assert!(nx > 0 && ny > 0 && nz > 0, "lattice needs positive dimensions");
+        assert!(spacing > 0.0, "spacing must be positive");
+        let vid = |x: usize, y: usize, z: usize| -> u32 {
+            ((z * (ny + 1) + y) * (nx + 1) + x) as u32
+        };
+        let mut vertices = Vec::with_capacity((nx + 1) * (ny + 1) * (nz + 1));
+        for z in 0..=nz {
+            for y in 0..=ny {
+                for x in 0..=nx {
+                    vertices.push(Point3::new(
+                        x as f32 * spacing,
+                        y as f32 * spacing,
+                        z as f32 * spacing,
+                    ));
+                }
+            }
+        }
+        let mut tets = Vec::with_capacity(nx * ny * nz * 5);
+        for z in 0..nz {
+            for y in 0..ny {
+                for x in 0..nx {
+                    let c = [
+                        vid(x, y, z),
+                        vid(x + 1, y, z),
+                        vid(x, y + 1, z),
+                        vid(x + 1, y + 1, z),
+                        vid(x, y, z + 1),
+                        vid(x + 1, y, z + 1),
+                        vid(x, y + 1, z + 1),
+                        vid(x + 1, y + 1, z + 1),
+                    ];
+                    // Five-tet decomposition; parity flip keeps shared cube
+                    // faces compatible between neighbouring cubes.
+                    let even = (x + y + z) % 2 == 0;
+                    let five: [[u32; 4]; 5] = if even {
+                        [
+                            [c[0], c[1], c[3], c[5]],
+                            [c[0], c[3], c[2], c[6]],
+                            [c[0], c[5], c[6], c[4]],
+                            [c[3], c[5], c[6], c[7]],
+                            [c[0], c[3], c[6], c[5]],
+                        ]
+                    } else {
+                        [
+                            [c[1], c[0], c[2], c[4]],
+                            [c[1], c[2], c[3], c[7]],
+                            [c[1], c[4], c[7], c[5]],
+                            [c[2], c[4], c[6], c[7]],
+                            [c[1], c[2], c[7], c[4]],
+                        ]
+                    };
+                    tets.extend_from_slice(&five);
+                }
+            }
+        }
+        Self::new(vertices, tets)
+    }
+
+    /// A lattice mesh with a rectangular hole (cubes whose grid coordinates
+    /// fall inside `hole` are skipped): a *concave* mesh, the class DLS
+    /// cannot handle but OCTOPUS can.
+    pub fn lattice_with_hole(
+        nx: usize,
+        ny: usize,
+        nz: usize,
+        spacing: f32,
+        hole: (std::ops::Range<usize>, std::ops::Range<usize>, std::ops::Range<usize>),
+    ) -> Self {
+        let full = Self::lattice(nx, ny, nz, spacing);
+        // Rebuild keeping only tets whose containing cube is outside the hole.
+        let mut kept = Vec::new();
+        for (i, tet) in full.tets.iter().enumerate() {
+            let cube = i / 5;
+            let x = cube % nx;
+            let y = (cube / nx) % ny;
+            let z = cube / (nx * ny);
+            let inside =
+                hole.0.contains(&x) && hole.1.contains(&y) && hole.2.contains(&z);
+            if !inside {
+                kept.push(*tet);
+            }
+        }
+        Self::new(full.vertices, kept)
+    }
+
+    /// Number of tetrahedra.
+    pub fn len(&self) -> usize {
+        self.tets.len()
+    }
+
+    /// True when the mesh has no cells.
+    pub fn is_empty(&self) -> bool {
+        self.tets.is_empty()
+    }
+
+    /// Number of vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// The vertices (live simulation state).
+    pub fn vertices(&self) -> &[Point3] {
+        &self.vertices
+    }
+
+    /// Face neighbours of a cell (≤ 4).
+    pub fn neighbors(&self, cell: CellId) -> &[CellId] {
+        &self.adjacency[cell as usize]
+    }
+
+    /// Current bounding box of a cell.
+    pub fn cell_bbox(&self, cell: CellId) -> Aabb {
+        let t = self.tets[cell as usize];
+        let mut bb = Aabb::from_point(self.vertices[t[0] as usize]);
+        for &v in &t[1..] {
+            bb = bb.union(&Aabb::from_point(self.vertices[v as usize]));
+        }
+        bb
+    }
+
+    /// Current centroid of a cell.
+    pub fn cell_centroid(&self, cell: CellId) -> Point3 {
+        let t = self.tets[cell as usize];
+        let mut acc = Vec3::ZERO;
+        for &v in &t {
+            acc += self.vertices[v as usize] - Point3::ORIGIN;
+        }
+        Point3::ORIGIN + acc / 4.0
+    }
+
+    /// Current bounding box of the whole mesh.
+    pub fn bounds(&self) -> Aabb {
+        Aabb::union_all(self.vertices.iter().map(|&v| Aabb::from_point(v)))
+    }
+
+    /// Applies a displacement to every vertex — one deformation step. The
+    /// connectivity (and therefore every walker) is untouched; only the
+    /// coarse seed grids go stale.
+    pub fn displace_vertices(&mut self, mut f: impl FnMut(usize, Point3) -> Vec3) {
+        for (i, v) in self.vertices.iter_mut().enumerate() {
+            let d = f(i, *v);
+            *v += d;
+        }
+    }
+
+    /// Ids of all cells whose bbox intersects `query` — the linear-scan
+    /// ground truth for the walkers.
+    pub fn scan_range(&self, query: &Aabb) -> Vec<CellId> {
+        (0..self.tets.len() as CellId)
+            .filter(|&c| self.cell_bbox(c).intersects(query))
+            .collect()
+    }
+}
+
+/// Face → tets map; a face key is the sorted vertex triple.
+fn build_adjacency(tets: &[[u32; 4]]) -> Vec<Vec<CellId>> {
+    let mut by_face: HashMap<[u32; 3], Vec<CellId>> = HashMap::with_capacity(tets.len() * 4);
+    for (i, t) in tets.iter().enumerate() {
+        for skip in 0..4 {
+            let mut face = [0u32; 3];
+            let mut k = 0;
+            for (j, &v) in t.iter().enumerate() {
+                if j != skip {
+                    face[k] = v;
+                    k += 1;
+                }
+            }
+            face.sort_unstable();
+            by_face.entry(face).or_default().push(i as CellId);
+        }
+    }
+    let mut adjacency = vec![Vec::new(); tets.len()];
+    for (face, cells) in by_face {
+        assert!(
+            cells.len() <= 2,
+            "non-manifold face {face:?} shared by {} tets",
+            cells.len()
+        );
+        if let [a, b] = cells[..] {
+            adjacency[a as usize].push(b);
+            adjacency[b as usize].push(a);
+        }
+    }
+    adjacency
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lattice_counts() {
+        let m = TetMesh::lattice(3, 2, 2, 1.0);
+        assert_eq!(m.len(), 3 * 2 * 2 * 5);
+        assert_eq!(m.vertex_count(), 4 * 3 * 3);
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn adjacency_is_symmetric_and_bounded() {
+        let m = TetMesh::lattice(3, 3, 3, 1.0);
+        for c in 0..m.len() as CellId {
+            let ns = m.neighbors(c);
+            assert!(ns.len() <= 4, "cell {c} has {} neighbours", ns.len());
+            for &n in ns {
+                assert!(m.neighbors(n).contains(&c), "asymmetric adjacency {c} ↔ {n}");
+            }
+        }
+        // Interior connectivity: the central tets must have all 4 neighbours.
+        let with_four = (0..m.len() as CellId)
+            .filter(|&c| m.neighbors(c).len() == 4)
+            .count();
+        assert!(with_four > 0, "no interior tets found");
+    }
+
+    #[test]
+    fn mesh_is_connected() {
+        let m = TetMesh::lattice(3, 3, 3, 1.0);
+        let mut seen = vec![false; m.len()];
+        let mut stack = vec![0 as CellId];
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(c) = stack.pop() {
+            for &n in m.neighbors(c) {
+                if !seen[n as usize] {
+                    seen[n as usize] = true;
+                    count += 1;
+                    stack.push(n);
+                }
+            }
+        }
+        assert_eq!(count, m.len(), "lattice must be face-connected");
+    }
+
+    #[test]
+    fn hole_reduces_cells_but_stays_manifold() {
+        let full = TetMesh::lattice(4, 4, 4, 1.0);
+        let holed = TetMesh::lattice_with_hole(4, 4, 4, 1.0, (1..3, 1..3, 1..3));
+        assert_eq!(holed.len(), full.len() - 2 * 2 * 2 * 5);
+        // The query region inside the hole has no cells.
+        let hole_box = Aabb::new(Point3::new(1.4, 1.4, 1.4), Point3::new(2.6, 2.6, 2.6));
+        assert!(holed.scan_range(&hole_box).len() < full.scan_range(&hole_box).len());
+    }
+
+    #[test]
+    fn geometry_helpers() {
+        let m = TetMesh::lattice(2, 2, 2, 2.0);
+        let b = m.bounds();
+        assert_eq!(b.min, Point3::ORIGIN);
+        assert_eq!(b.max, Point3::new(4.0, 4.0, 4.0));
+        for c in 0..m.len() as CellId {
+            let bb = m.cell_bbox(c);
+            assert!(bb.contains_point(&m.cell_centroid(c)));
+            assert!(b.contains(&bb));
+        }
+    }
+
+    #[test]
+    fn displacement_moves_geometry_not_connectivity() {
+        let mut m = TetMesh::lattice(2, 2, 2, 1.0);
+        let adj_before: Vec<Vec<CellId>> =
+            (0..m.len() as CellId).map(|c| m.neighbors(c).to_vec()).collect();
+        m.displace_vertices(|_, _| Vec3::new(0.1, 0.0, 0.0));
+        let adj_after: Vec<Vec<CellId>> =
+            (0..m.len() as CellId).map(|c| m.neighbors(c).to_vec()).collect();
+        assert_eq!(adj_before, adj_after);
+        assert!((m.bounds().min.x - 0.1).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "missing vertex")]
+    fn invalid_tet_rejected() {
+        TetMesh::new(vec![Point3::ORIGIN], vec![[0, 0, 0, 9]]);
+    }
+
+    #[test]
+    fn scan_range_finds_local_cells() {
+        let m = TetMesh::lattice(4, 4, 4, 1.0);
+        let q = Aabb::new(Point3::new(0.1, 0.1, 0.1), Point3::new(0.9, 0.9, 0.9));
+        let hits = m.scan_range(&q);
+        // The first cube's five tets at least.
+        assert!(hits.len() >= 5);
+        assert!(hits.iter().all(|&c| m.cell_bbox(c).intersects(&q)));
+    }
+}

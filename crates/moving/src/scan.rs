@@ -1,0 +1,51 @@
+//! The no-index strategy: maintain nothing, scan everything.
+//!
+//! §4.1: "using no index, i.e., a linear scan over the dataset, may be
+//! faster" when too few queries amortise the maintenance. Experiment E13
+//! finds that crossover.
+
+use crate::strategy::{StepCost, UpdateStrategy};
+use simspatial_geom::{Aabb, Element, ElementId};
+use simspatial_index::{LinearScan, SpatialIndex};
+
+/// Zero-maintenance linear scan.
+#[derive(Debug)]
+pub struct NoIndexScan {
+    scan: LinearScan,
+}
+
+impl NoIndexScan {
+    /// "Builds" the strategy (nothing to build).
+    pub fn build(elements: &[Element]) -> Self {
+        Self { scan: LinearScan::build(elements) }
+    }
+}
+
+impl UpdateStrategy for NoIndexScan {
+    fn name(&self) -> &'static str {
+        "LinearScan"
+    }
+
+    fn apply_step(&mut self, _old: &[Element], new: &[Element]) -> StepCost {
+        self.scan = LinearScan::build(new);
+        StepCost { absorbed: new.len() as u64, ..Default::default() }
+    }
+
+    fn range(&self, data: &[Element], query: &Aabb) -> Vec<ElementId> {
+        self.scan.range(data, query)
+    }
+
+    fn memory_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::strategy::UpdateStrategyKind;
+
+    #[test]
+    fn stays_correct_across_steps() {
+        crate::testutil::check_strategy_correctness(UpdateStrategyKind::NoIndexScan);
+    }
+}

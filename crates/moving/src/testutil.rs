@@ -1,0 +1,34 @@
+//! Shared correctness harness for strategy tests.
+
+use crate::strategy::UpdateStrategyKind;
+use simspatial_datagen::{Dataset, ElementSoupBuilder, PlasticityModel};
+use simspatial_geom::{Aabb, Point3};
+use simspatial_index::{LinearScan, SpatialIndex};
+
+/// Runs several plasticity steps over a soup and asserts the strategy's
+/// range answers stay identical to a fresh linear scan after every step.
+pub(crate) fn check_strategy_correctness(kind: UpdateStrategyKind) {
+    let mut data: Dataset =
+        ElementSoupBuilder::new().count(800).universe_side(30.0).seed(21).build();
+    let mut strategy = kind.create(data.elements());
+    let mut model = PlasticityModel::with_sigma(0.05, 99);
+    for step in 0..6u32 {
+        let old = data.elements().to_vec();
+        let moves = model.sample_step(data.len());
+        for (id, d) in moves.iter().enumerate() {
+            data.displace(id as u32, *d);
+        }
+        strategy.apply_step(&old, data.elements());
+
+        let scan = LinearScan::build(data.elements());
+        for i in 0..6 {
+            let c = Point3::new((i * 4 + step) as f32, (i * 3) as f32, (i * 5) as f32);
+            let q = Aabb::new(c, Point3::new(c.x + 6.0, c.y + 5.0, c.z + 4.0));
+            let mut a = strategy.range(data.elements(), &q);
+            let mut b = scan.range(data.elements(), &q);
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "{} step {step} query {i}", strategy.name());
+        }
+    }
+}

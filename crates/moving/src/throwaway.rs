@@ -1,0 +1,54 @@
+//! Short-lived throwaway indexes \[7\].
+//!
+//! Dittrich et al.'s observation — embraced by the paper's conclusion that
+//! the new index class will "trade off query execution time for
+//! substantially faster index build time" — is to stop maintaining anything:
+//! build the cheapest index that helps, use it for one step's queries,
+//! throw it away. A uniform grid is the natural throwaway structure in
+//! memory (O(n) build, no tree).
+
+use crate::strategy::{StepCost, UpdateStrategy};
+use simspatial_geom::{Aabb, Element, ElementId};
+use simspatial_index::{GridConfig, SpatialIndex, UniformGrid};
+
+/// A uniform grid rebuilt from scratch on every step.
+#[derive(Debug)]
+pub struct ThrowawayGrid {
+    grid: UniformGrid,
+}
+
+impl ThrowawayGrid {
+    /// Builds the first grid (auto resolution).
+    pub fn build(elements: &[Element]) -> Self {
+        Self { grid: UniformGrid::build(elements, GridConfig::auto(elements)) }
+    }
+}
+
+impl UpdateStrategy for ThrowawayGrid {
+    fn name(&self) -> &'static str {
+        "Grid/throwaway"
+    }
+
+    fn apply_step(&mut self, _old: &[Element], new: &[Element]) -> StepCost {
+        self.grid = UniformGrid::build(new, GridConfig::auto(new));
+        StepCost { rebuilds: 1, ..Default::default() }
+    }
+
+    fn range(&self, data: &[Element], query: &Aabb) -> Vec<ElementId> {
+        self.grid.range(data, query)
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.grid.memory_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::strategy::UpdateStrategyKind;
+
+    #[test]
+    fn stays_correct_across_steps() {
+        crate::testutil::check_strategy_correctness(UpdateStrategyKind::ThrowawayGrid);
+    }
+}

@@ -1,0 +1,117 @@
+//! Material-deformation workload \[2\].
+//!
+//! §2.2: "Material scientists ... need nearest neighbor queries to simulate
+//! material deformation: the position of a vertex in the discretized
+//! material model at the next simulation step is computed based on the
+//! force fields of its nearest neighbors."
+//!
+//! Each element relaxes toward the centroid of the neighbours found within
+//! an interaction radius — and crucially the neighbours are retrieved
+//! **through the index strategy under test**, so the update phase itself
+//! exercises the index, exactly the "update queries" of Figure 1.
+
+use crate::engine::Workload;
+use simspatial_datagen::Dataset;
+use simspatial_geom::{Aabb, Vec3};
+use simspatial_moving::UpdateStrategy;
+
+/// Spring relaxation toward local neighbourhood centroids.
+pub struct MaterialWorkload {
+    /// Interaction radius around each element.
+    radius: f32,
+    /// Relaxation rate κ ∈ (0, 1]: fraction of the gap closed per step.
+    kappa: f32,
+}
+
+impl MaterialWorkload {
+    /// Creates the workload.
+    ///
+    /// # Panics
+    /// Panics unless `radius > 0` and `0 < kappa <= 1`.
+    pub fn new(radius: f32, kappa: f32) -> Self {
+        assert!(radius > 0.0 && radius.is_finite(), "radius must be positive");
+        assert!(kappa > 0.0 && kappa <= 1.0, "kappa in (0, 1]");
+        Self { radius, kappa }
+    }
+}
+
+impl Workload for MaterialWorkload {
+    fn name(&self) -> &'static str {
+        "material-deformation"
+    }
+
+    fn displacements(&mut self, data: &Dataset, index: &dyn UpdateStrategy) -> Vec<Vec3> {
+        let r = self.radius;
+        data.elements()
+            .iter()
+            .map(|e| {
+                let c = e.center();
+                let probe = Aabb::from_point(c).inflate(r);
+                // Neighbour retrieval through the index under test.
+                let neighbors = index.range(data.elements(), &probe);
+                let mut acc = Vec3::ZERO;
+                let mut count = 0u32;
+                for id in neighbors {
+                    if id == e.id {
+                        continue;
+                    }
+                    let nc = data.get(id).center();
+                    if nc.distance2(&c) <= r * r {
+                        acc += nc - c;
+                        count += 1;
+                    }
+                }
+                if count == 0 {
+                    Vec3::ZERO
+                } else {
+                    acc * (self.kappa / count as f32)
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simspatial_datagen::Dataset;
+    use simspatial_geom::{Point3, Shape, Sphere};
+    use simspatial_moving::UpdateStrategyKind;
+
+    fn pair_dataset(gap: f32) -> Dataset {
+        Dataset::from_shapes(
+            [
+                Shape::Sphere(Sphere::new(Point3::new(5.0, 5.0, 5.0), 0.1)),
+                Shape::Sphere(Sphere::new(Point3::new(5.0 + gap, 5.0, 5.0), 0.1)),
+            ],
+            Aabb::new(Point3::ORIGIN, Point3::new(10.0, 10.0, 10.0)),
+        )
+    }
+
+    #[test]
+    fn neighbours_attract_within_radius() {
+        let data = pair_dataset(1.0);
+        let strategy = UpdateStrategyKind::GridMigrate.create(data.elements());
+        let mut w = MaterialWorkload::new(2.0, 0.5);
+        let moves = w.displacements(&data, strategy.as_ref());
+        assert!(moves[0].x > 0.0 && moves[1].x < 0.0, "{moves:?}");
+        // κ = 0.5 closes half the 1.0 gap split across both: each moves 0.5·1.0.
+        assert!((moves[0].x - 0.5).abs() < 1e-5);
+    }
+
+    #[test]
+    fn isolated_elements_do_not_move() {
+        let data = pair_dataset(8.0); // beyond the radius
+        let strategy = UpdateStrategyKind::GridMigrate.create(data.elements());
+        let mut w = MaterialWorkload::new(2.0, 0.5);
+        let moves = w.displacements(&data, strategy.as_ref());
+        assert_eq!(moves[0], Vec3::ZERO);
+        assert_eq!(moves[1], Vec3::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "kappa")]
+    fn bad_kappa_rejected() {
+        MaterialWorkload::new(1.0, 0.0);
+    }
+}

@@ -1,0 +1,54 @@
+//! The neural-plasticity workload of §4.1.
+
+use crate::engine::Workload;
+use simspatial_datagen::{Dataset, PlasticityModel};
+use simspatial_geom::Vec3;
+use simspatial_moving::UpdateStrategy;
+
+/// Every element drifts by an isotropic Gaussian step — "the changes are
+/// massive in that they affect a vast majority of the elements, but most
+/// elements only move minimally."
+pub struct PlasticityWorkload {
+    model: PlasticityModel,
+}
+
+impl PlasticityWorkload {
+    /// Calibrated to the paper's measured statistics (mean 0.04 µm,
+    /// < 0.5 % beyond 0.1 µm).
+    pub fn paper_calibrated(seed: u64) -> Self {
+        Self { model: PlasticityModel::paper_calibrated(seed) }
+    }
+
+    /// Explicit movement scale (sensitivity sweeps).
+    pub fn with_sigma(sigma: f32, seed: u64) -> Self {
+        Self { model: PlasticityModel::with_sigma(sigma, seed) }
+    }
+}
+
+impl Workload for PlasticityWorkload {
+    fn name(&self) -> &'static str {
+        "neural-plasticity"
+    }
+
+    fn displacements(&mut self, data: &Dataset, _index: &dyn UpdateStrategy) -> Vec<Vec3> {
+        self.model.sample_step(data.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simspatial_datagen::{DisplacementStats, ElementSoupBuilder};
+    use simspatial_moving::UpdateStrategyKind;
+
+    #[test]
+    fn produces_paper_statistics() {
+        let data = ElementSoupBuilder::new().count(50_000).seed(1).build();
+        let strategy = UpdateStrategyKind::NoIndexScan.create(data.elements());
+        let mut w = PlasticityWorkload::paper_calibrated(3);
+        let moves = w.displacements(&data, strategy.as_ref());
+        assert_eq!(moves.len(), 50_000);
+        let stats = DisplacementStats::measure(&moves);
+        assert!(stats.matches_paper(), "{stats:?}");
+    }
+}

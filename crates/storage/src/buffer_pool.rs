@@ -1,0 +1,316 @@
+//! An LRU buffer pool that charges a disk model on misses.
+
+use crate::{DiskModel, IoStats, PageId, PageStore, PAGE_SIZE};
+use bytes::Bytes;
+use std::collections::HashMap;
+
+/// Configuration of a [`BufferPool`].
+#[derive(Debug, Clone, Copy)]
+pub struct BufferPoolConfig {
+    /// Maximum number of pages cached.
+    pub capacity_pages: usize,
+    /// Latency model charged on misses and write-backs.
+    pub disk: DiskModel,
+}
+
+impl Default for BufferPoolConfig {
+    fn default() -> Self {
+        // 64 MiB of cache: small relative to the datasets, as in the paper's
+        // cold-cache methodology.
+        Self { capacity_pages: 64 * 1024 * 1024 / PAGE_SIZE, disk: DiskModel::default() }
+    }
+}
+
+/// Doubly linked LRU list entry, stored in a slab indexed by `usize`.
+#[derive(Debug, Clone)]
+struct Frame {
+    page: PageId,
+    data: Bytes,
+    prev: usize,
+    next: usize,
+}
+
+const NIL: usize = usize::MAX;
+
+/// A fixed-capacity LRU page cache with modelled miss latency.
+///
+/// Reads go through [`BufferPool::read`]; a hit costs nothing (beyond the
+/// real CPU time of the lookup, which the caller measures), a miss charges
+/// the configured [`DiskModel`] against [`IoStats::disk_time_s`] and evicts
+/// the least-recently-used frame when full.
+#[derive(Debug)]
+pub struct BufferPool {
+    config: BufferPoolConfig,
+    map: HashMap<PageId, usize>,
+    frames: Vec<Frame>,
+    free: Vec<usize>,
+    head: usize, // most recently used
+    tail: usize, // least recently used
+    last_fetch: Option<PageId>,
+    stats: IoStats,
+}
+
+impl BufferPool {
+    /// Creates a pool with the given configuration.
+    ///
+    /// # Panics
+    /// Panics if `capacity_pages` is zero.
+    pub fn new(config: BufferPoolConfig) -> Self {
+        assert!(config.capacity_pages > 0, "buffer pool needs at least one frame");
+        Self {
+            config,
+            map: HashMap::with_capacity(config.capacity_pages),
+            frames: Vec::with_capacity(config.capacity_pages.min(4096)),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            last_fetch: None,
+            stats: IoStats::default(),
+        }
+    }
+
+    /// Accumulated I/O statistics.
+    #[inline]
+    pub fn stats(&self) -> IoStats {
+        self.stats
+    }
+
+    /// Resets the statistics (the cache contents are kept).
+    pub fn reset_stats(&mut self) {
+        self.stats = IoStats::default();
+    }
+
+    /// Number of pages currently cached.
+    #[inline]
+    pub fn cached_pages(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Drops every cached page — the paper's cold-cache reset "between any
+    /// two queries".
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.frames.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+        self.last_fetch = None;
+    }
+
+    /// Reads page `id` from `store`, through the cache.
+    ///
+    /// Returns the page bytes (always [`PAGE_SIZE`] long). On a miss the
+    /// modelled device latency is added to [`IoStats::disk_time_s`]; a miss
+    /// on the page immediately following the previously fetched page is
+    /// charged the sequential rate.
+    pub fn read(&mut self, store: &PageStore, id: PageId) -> &[u8] {
+        if let Some(&slot) = self.map.get(&id) {
+            self.stats.hits += 1;
+            self.touch(slot);
+            return &self.frames[slot].data;
+        }
+        self.stats.misses += 1;
+        let sequential = self.last_fetch.is_some_and(|p| p.0 + 1 == id.0);
+        if sequential {
+            self.stats.sequential_misses += 1;
+            self.stats.disk_time_s += self.config.disk.sequential_read_s;
+        } else {
+            self.stats.disk_time_s += self.config.disk.random_read_s;
+        }
+        self.last_fetch = Some(id);
+
+        let data = Bytes::copy_from_slice(store.raw(id));
+        let slot = self.insert_frame(id, data);
+        &self.frames[slot].data
+    }
+
+    /// Charges a page write-back (the store itself is updated by the caller;
+    /// the pool only models the cost and invalidates its copy).
+    pub fn write(&mut self, store: &mut PageStore, id: PageId, data: &[u8]) {
+        store.write(id, data);
+        self.stats.writes += 1;
+        self.stats.disk_time_s += self.config.disk.random_write_s;
+        if let Some(&slot) = self.map.get(&id) {
+            self.frames[slot].data = Bytes::copy_from_slice(store.raw(id));
+            self.touch(slot);
+        }
+    }
+
+    /// Inserts a frame for `id`, evicting the LRU frame when at capacity.
+    fn insert_frame(&mut self, id: PageId, data: Bytes) -> usize {
+        if self.map.len() >= self.config.capacity_pages {
+            self.evict_lru();
+        }
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.frames[s] = Frame { page: id, data, prev: NIL, next: NIL };
+                s
+            }
+            None => {
+                self.frames.push(Frame { page: id, data, prev: NIL, next: NIL });
+                self.frames.len() - 1
+            }
+        };
+        self.map.insert(id, slot);
+        self.push_front(slot);
+        slot
+    }
+
+    fn evict_lru(&mut self) {
+        let victim = self.tail;
+        debug_assert_ne!(victim, NIL, "evict called on empty pool");
+        self.unlink(victim);
+        let page = self.frames[victim].page;
+        self.map.remove(&page);
+        self.frames[victim].data = Bytes::new();
+        self.free.push(victim);
+    }
+
+    /// Moves `slot` to the MRU position.
+    fn touch(&mut self, slot: usize) {
+        if self.head == slot {
+            return;
+        }
+        self.unlink(slot);
+        self.push_front(slot);
+    }
+
+    fn unlink(&mut self, slot: usize) {
+        let (prev, next) = (self.frames[slot].prev, self.frames[slot].next);
+        if prev != NIL {
+            self.frames[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.frames[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+        self.frames[slot].prev = NIL;
+        self.frames[slot].next = NIL;
+    }
+
+    fn push_front(&mut self, slot: usize) {
+        self.frames[slot].prev = NIL;
+        self.frames[slot].next = self.head;
+        if self.head != NIL {
+            self.frames[self.head].prev = slot;
+        }
+        self.head = slot;
+        if self.tail == NIL {
+            self.tail = slot;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store_with(n: usize) -> PageStore {
+        let mut s = PageStore::new();
+        for i in 0..n {
+            let id = s.allocate();
+            s.write(id, &[i as u8]);
+        }
+        s
+    }
+
+    fn pool(cap: usize) -> BufferPool {
+        BufferPool::new(BufferPoolConfig { capacity_pages: cap, disk: DiskModel::sas_2014() })
+    }
+
+    #[test]
+    fn hit_after_miss() {
+        let store = store_with(4);
+        let mut p = pool(2);
+        assert_eq!(p.read(&store, PageId(0))[0], 0);
+        assert_eq!(p.stats().misses, 1);
+        assert_eq!(p.read(&store, PageId(0))[0], 0);
+        assert_eq!(p.stats().hits, 1);
+        assert_eq!(p.stats().reads(), 2);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let store = store_with(4);
+        let mut p = pool(2);
+        p.read(&store, PageId(0));
+        p.read(&store, PageId(1));
+        p.read(&store, PageId(0)); // 0 is now MRU; 1 is LRU
+        p.read(&store, PageId(2)); // evicts 1
+        assert_eq!(p.cached_pages(), 2);
+        p.reset_stats();
+        p.read(&store, PageId(0));
+        assert_eq!(p.stats().hits, 1, "page 0 should have survived");
+        p.read(&store, PageId(1));
+        assert_eq!(p.stats().misses, 1, "page 1 should have been evicted");
+    }
+
+    #[test]
+    fn sequential_misses_are_cheaper() {
+        let store = store_with(10);
+        let mut p = pool(16);
+        p.read(&store, PageId(3));
+        let t_random = p.stats().disk_time_s;
+        p.read(&store, PageId(4)); // sequential
+        let t_seq = p.stats().disk_time_s - t_random;
+        assert_eq!(p.stats().sequential_misses, 1);
+        assert!(t_seq < t_random);
+    }
+
+    #[test]
+    fn clear_makes_cache_cold() {
+        let store = store_with(2);
+        let mut p = pool(2);
+        p.read(&store, PageId(0));
+        p.clear();
+        p.reset_stats();
+        p.read(&store, PageId(0));
+        assert_eq!(p.stats().misses, 1);
+        assert_eq!(p.stats().hits, 0);
+    }
+
+    #[test]
+    fn writes_update_cached_copy() {
+        let mut store = store_with(2);
+        let mut p = pool(2);
+        p.read(&store, PageId(0));
+        p.write(&mut store, PageId(0), &[42]);
+        assert_eq!(p.read(&store, PageId(0))[0], 42);
+        assert_eq!(p.stats().writes, 1);
+    }
+
+    #[test]
+    fn never_exceeds_capacity() {
+        let store = store_with(64);
+        let mut p = pool(7);
+        for round in 0..3 {
+            for i in 0..64 {
+                p.read(&store, PageId((i * 13 + round * 7) % 64));
+                assert!(p.cached_pages() <= 7);
+            }
+        }
+    }
+
+    #[test]
+    fn free_model_charges_nothing() {
+        let store = store_with(4);
+        let mut p = BufferPool::new(BufferPoolConfig {
+            capacity_pages: 2,
+            disk: DiskModel::free(),
+        });
+        for i in 0..4 {
+            p.read(&store, PageId(i));
+        }
+        assert_eq!(p.stats().disk_time_s, 0.0);
+        assert_eq!(p.stats().misses, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one frame")]
+    fn zero_capacity_rejected() {
+        BufferPool::new(BufferPoolConfig { capacity_pages: 0, disk: DiskModel::free() });
+    }
+}

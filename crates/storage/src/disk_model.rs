@@ -1,0 +1,128 @@
+//! The disk cost model and its accounting.
+
+use serde::{Deserialize, Serialize};
+
+/// A latency model for a (simulated) block device.
+///
+/// Reads are charged per page: a *random* read pays seek + rotational
+/// latency + transfer; a *sequential* read (the page following the last one
+/// read) pays transfer only. This two-regime model captures the behaviour
+/// that made disk-based spatial indexes obsess over page counts — the
+/// phenomenon Figure 2 of the paper quantifies.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DiskModel {
+    /// Cost of a random 4 KB page read, in seconds (seek + rotation + transfer).
+    pub random_read_s: f64,
+    /// Cost of a sequential 4 KB page read, in seconds (transfer only).
+    pub sequential_read_s: f64,
+    /// Cost of a random 4 KB page write, in seconds.
+    pub random_write_s: f64,
+}
+
+impl DiskModel {
+    /// The paper's testbed: 4 × 300 GB SAS disks (≈10 k rpm) striped.
+    ///
+    /// A single 10 k rpm SAS drive randomly reads a 4 KB page in ≈ 8 ms
+    /// (≈ 4.5 ms seek + 3 ms rotational + transfer); striping over four
+    /// spindles pipelines independent requests, giving ≈ 2 ms effective
+    /// latency per random page for a single-threaded query stream with
+    /// queue-depth overlap. Sequential bandwidth of the stripe ≈ 400 MB/s
+    /// → ≈ 10 µs per 4 KB page.
+    ///
+    /// Sanity check against the paper: 200 queries over a 200 M-element
+    /// STR R-Tree read on the order of 10⁶ mostly-random pages cold, i.e.
+    /// ≈ 2000 s — matching the reported 2253 s total with 96.7 % in reads.
+    pub fn sas_2014() -> Self {
+        Self { random_read_s: 2.0e-3, sequential_read_s: 1.0e-5, random_write_s: 2.0e-3 }
+    }
+
+    /// A model of a 2014-era SATA SSD, for the paper's closing remark that
+    /// new storage media change the constants (but not the in-memory
+    /// argument): ≈ 100 µs random read, ≈ 8 µs sequential page.
+    pub fn ssd_2014() -> Self {
+        Self { random_read_s: 1.0e-4, sequential_read_s: 8.0e-6, random_write_s: 5.0e-4 }
+    }
+
+    /// A zero-cost model: turns the buffer pool into plain memory access,
+    /// useful to measure the pure CPU component of a disk-layout index.
+    pub fn free() -> Self {
+        Self { random_read_s: 0.0, sequential_read_s: 0.0, random_write_s: 0.0 }
+    }
+}
+
+impl Default for DiskModel {
+    fn default() -> Self {
+        Self::sas_2014()
+    }
+}
+
+/// Accumulated I/O accounting for a buffer pool.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct IoStats {
+    /// Reads satisfied by the pool without touching the device.
+    pub hits: u64,
+    /// Reads that had to fetch the page from the device.
+    pub misses: u64,
+    /// Pages written back to the device.
+    pub writes: u64,
+    /// Misses that were sequential with respect to the previous fetch.
+    pub sequential_misses: u64,
+    /// Total modelled device time, in seconds.
+    pub disk_time_s: f64,
+}
+
+impl IoStats {
+    /// Total page reads requested (hits + misses).
+    #[inline]
+    pub fn reads(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Hit ratio in `\[0, 1\]`; zero when no reads occurred.
+    pub fn hit_ratio(&self) -> f64 {
+        let reads = self.reads();
+        if reads == 0 {
+            0.0
+        } else {
+            self.hits as f64 / reads as f64
+        }
+    }
+
+    /// Component-wise difference (`self` minus `earlier`).
+    pub fn since(&self, earlier: &IoStats) -> IoStats {
+        IoStats {
+            hits: self.hits - earlier.hits,
+            misses: self.misses - earlier.misses,
+            writes: self.writes - earlier.writes,
+            sequential_misses: self.sequential_misses - earlier.sequential_misses,
+            disk_time_s: self.disk_time_s - earlier.disk_time_s,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn models_are_ordered_sensibly() {
+        let sas = DiskModel::sas_2014();
+        let ssd = DiskModel::ssd_2014();
+        assert!(sas.random_read_s > ssd.random_read_s);
+        assert!(sas.random_read_s > sas.sequential_read_s);
+        assert_eq!(DiskModel::free().random_read_s, 0.0);
+    }
+
+    #[test]
+    fn stats_arithmetic() {
+        let a = IoStats { hits: 10, misses: 30, writes: 1, sequential_misses: 5, disk_time_s: 1.0 };
+        assert_eq!(a.reads(), 40);
+        assert!((a.hit_ratio() - 0.25).abs() < 1e-12);
+        let b = IoStats { hits: 15, misses: 50, writes: 2, sequential_misses: 9, disk_time_s: 2.5 };
+        let d = b.since(&a);
+        assert_eq!(d.hits, 5);
+        assert_eq!(d.misses, 20);
+        assert!((d.disk_time_s - 1.5).abs() < 1e-12);
+        assert_eq!(IoStats::default().hit_ratio(), 0.0);
+    }
+}

@@ -1,0 +1,120 @@
+//! The backing "device": an append-only array of pages.
+
+use crate::{PageId, PAGE_SIZE};
+use bytes::{Bytes, BytesMut};
+
+/// The simulated device contents: a growable array of fixed-size pages.
+///
+/// `PageStore` holds the bytes but charges no cost — all latency accounting
+/// happens in the [`crate::BufferPool`] that mediates access. Keeping the
+/// two separate lets the same store be read "from disk" (through a pool with
+/// a SAS model) and "from memory" (a free model) in the Figure 2 experiment.
+#[derive(Debug, Default, Clone)]
+pub struct PageStore {
+    pages: Vec<Bytes>,
+}
+
+impl PageStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of allocated pages.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// True when no pages have been allocated.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.pages.is_empty()
+    }
+
+    /// Total allocated bytes (what the paper reports as on-disk size).
+    #[inline]
+    pub fn size_bytes(&self) -> usize {
+        self.pages.len() * PAGE_SIZE
+    }
+
+    /// Allocates a fresh zeroed page and returns its id.
+    pub fn allocate(&mut self) -> PageId {
+        let id = PageId(u32::try_from(self.pages.len()).expect("page store exceeds u32 pages"));
+        self.pages.push(Bytes::from(vec![0u8; PAGE_SIZE]));
+        id
+    }
+
+    /// Writes `data` at the start of page `id`, zero-padding the remainder.
+    ///
+    /// # Panics
+    /// Panics if `id` is unallocated or `data` exceeds [`PAGE_SIZE`].
+    pub fn write(&mut self, id: PageId, data: &[u8]) {
+        assert!(data.len() <= PAGE_SIZE, "page overflow: {} > {PAGE_SIZE}", data.len());
+        let mut buf = BytesMut::zeroed(PAGE_SIZE);
+        buf[..data.len()].copy_from_slice(data);
+        self.pages[id.index()] = buf.freeze();
+    }
+
+    /// Raw page contents (always [`PAGE_SIZE`] bytes).
+    ///
+    /// Direct access bypasses the buffer pool and therefore the cost model;
+    /// indexes should only use it through a pool unless they are modelling a
+    /// fully memory-resident deployment.
+    ///
+    /// # Panics
+    /// Panics if `id` is unallocated.
+    #[inline]
+    pub fn raw(&self, id: PageId) -> &[u8] {
+        &self.pages[id.index()]
+    }
+
+    /// Allocates a page and writes `data` into it in one step.
+    pub fn append(&mut self, data: &[u8]) -> PageId {
+        let id = self.allocate();
+        self.write(id, data);
+        id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_write_read() {
+        let mut s = PageStore::new();
+        assert!(s.is_empty());
+        let a = s.allocate();
+        let b = s.allocate();
+        assert_eq!((a, b), (PageId(0), PageId(1)));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.size_bytes(), 2 * PAGE_SIZE);
+        s.write(b, &[1, 2, 3]);
+        assert_eq!(&s.raw(b)[..4], &[1, 2, 3, 0]);
+        assert_eq!(s.raw(a)[0], 0);
+    }
+
+    #[test]
+    fn append_is_allocate_plus_write() {
+        let mut s = PageStore::new();
+        let id = s.append(b"abc");
+        assert_eq!(&s.raw(id)[..3], b"abc");
+    }
+
+    #[test]
+    #[should_panic(expected = "page overflow")]
+    fn oversized_write_panics() {
+        let mut s = PageStore::new();
+        let id = s.allocate();
+        s.write(id, &vec![0u8; PAGE_SIZE + 1]);
+    }
+
+    #[test]
+    fn full_page_write_is_ok() {
+        let mut s = PageStore::new();
+        let id = s.allocate();
+        s.write(id, &vec![7u8; PAGE_SIZE]);
+        assert!(s.raw(id).iter().all(|&b| b == 7));
+    }
+}

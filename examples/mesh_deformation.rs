@@ -1,0 +1,88 @@
+//! Mesh deformation with index-free query execution (§4.3 / DLS / OCTOPUS).
+//!
+//! A tetrahedral bar is bent sinusoidally step after step. Range queries are
+//! answered by *walking the mesh connectivity* from a coarse, deliberately
+//! stale seed grid — no index maintenance at all — and validated against a
+//! full scan every step. This is the paper's escape from the massive-update
+//! trap: "if an index uses the dataset directly, then it does not need to
+//! perform any updates."
+//!
+//! Run with: `cargo run --release --example mesh_deformation`
+
+use simspatial::prelude::*;
+use std::time::Instant;
+
+const STEPS: usize = 8;
+
+fn main() {
+    let mut mesh = TetMesh::lattice(24, 6, 6, 1.0);
+    println!(
+        "tet mesh: {} cells, {} vertices (convex bar 24×6×6)",
+        mesh.len(),
+        mesh.vertex_count()
+    );
+
+    let mut dls = MeshWalker::build(&mesh, WalkStrategy::Dls);
+    let mut octopus = MeshWalker::build(&mesh, WalkStrategy::Octopus);
+
+    println!(
+        "\n{:>4} {:>10} {:>12} {:>12} {:>12} {:>10}",
+        "step", "bend amp", "dls µs", "octopus µs", "scan µs", "results"
+    );
+
+    for step in 0..STEPS {
+        // Deform: bend the bar along a slow sine, amplitude growing with t.
+        let amp = 0.08 * (step as f32 + 1.0);
+        mesh.displace_vertices(|_, p| {
+            Vec3::new(0.0, amp * (p.x * 0.4).sin() * 0.1, 0.0)
+        });
+        let drift = amp * 0.1;
+        dls.note_drift(drift);
+        octopus.note_drift(drift);
+
+        // An unanticipated query in the bent midsection.
+        let q = Aabb::new(Point3::new(10.0, 1.0, 1.0), Point3::new(13.0, 4.0, 4.0));
+
+        let t = Instant::now();
+        let a = dls.range(&mesh, &q);
+        let t_dls = t.elapsed().as_secs_f64() * 1e6;
+
+        let t = Instant::now();
+        let b = octopus.range(&mesh, &q);
+        let t_oct = t.elapsed().as_secs_f64() * 1e6;
+
+        let t = Instant::now();
+        let truth = mesh.scan_range(&q);
+        let t_scan = t.elapsed().as_secs_f64() * 1e6;
+
+        assert_eq!(sorted(a.clone()), sorted(truth.clone()), "DLS diverged at step {step}");
+        assert_eq!(sorted(b), sorted(truth), "OCTOPUS diverged at step {step}");
+
+        println!(
+            "{:>4} {:>10.2} {:>12.1} {:>12.1} {:>12.1} {:>10}",
+            step,
+            amp,
+            t_dls,
+            t_oct,
+            t_scan,
+            a.len()
+        );
+
+        // Refresh the seed grids only occasionally — the "infrequent update".
+        if step % 4 == 3 {
+            dls.refresh(&mesh);
+            octopus.refresh(&mesh);
+            println!("      (seed grids refreshed)");
+        }
+    }
+
+    println!(
+        "\nEight deformation steps, zero per-step index maintenance; every\n\
+         query answered from connectivity and validated against a full scan."
+    );
+}
+
+fn sorted(mut v: Vec<u32>) -> Vec<u32> {
+    v.sort_unstable();
+    v
+}

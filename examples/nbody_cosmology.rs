@@ -1,0 +1,63 @@
+//! N-body structure formation (§1 / \[5\] of the paper).
+//!
+//! Celestial bodies move under Barnes–Hut gravity; after every step the
+//! model is self-joined to detect (forbidden) intersections — "celestial
+//! bodies cannot intersect in reality. To detect intersections, the entire
+//! model needs to be spatially joined with itself at every simulation step"
+//! (§2.2).
+//!
+//! Run with: `cargo run --release --example nbody_cosmology`
+
+use simspatial::prelude::*;
+
+const BODIES: usize = 1500;
+const STEPS: usize = 6;
+
+fn main() {
+    let dataset = ElementSoupBuilder::new()
+        .count(BODIES)
+        .universe_side(120.0)
+        .clustered(ClusteredConfig { clusters: 3, sigma: 10.0 })
+        .seed(17)
+        .build();
+
+    let mut sim = Simulation::new(
+        dataset,
+        Box::new(NBodyWorkload::new(BODIES)),
+        SimulationConfig {
+            strategy: UpdateStrategyKind::GridMigrate,
+            monitor_queries_per_step: 20,
+            monitor_selectivity: 1e-3,
+            seed: 4,
+        },
+    );
+
+    println!(
+        "{:>4} {:>12} {:>12} {:>12} {:>12} {:>10}",
+        "step", "gravity ms", "maintain ms", "monitor ms", "collisions", "extent"
+    );
+    for step in 0..STEPS {
+        let r = sim.run_step();
+        // Collision detection: the per-step self-join of §2.2.
+        let collisions = self_join(
+            sim.data().elements(),
+            &JoinConfig::intersecting(),
+            JoinAlgorithm::SmallCellGrid,
+        );
+        let extent = sim.data().bounds().extent();
+        println!(
+            "{:>4} {:>12.2} {:>12.2} {:>12.2} {:>12} {:>10.1}",
+            step,
+            r.update_s * 1e3,
+            r.maintain_s * 1e3,
+            r.monitor_s * 1e3,
+            collisions.len(),
+            extent.x.max(extent.y).max(extent.z),
+        );
+    }
+    println!(
+        "\nGravity pulls the clusters together; the collision count and the\n\
+         shrinking extent show structure forming while the grid index follows\n\
+         along at cell-switch cost only."
+    );
+}

@@ -1,0 +1,220 @@
+//! Cross-crate integration: every index agrees with the linear scan on
+//! every dataset family, for range and kNN queries.
+
+use simspatial::prelude::*;
+
+fn sorted(mut v: Vec<ElementId>) -> Vec<ElementId> {
+    v.sort_unstable();
+    v
+}
+
+fn datasets() -> Vec<(&'static str, Dataset)> {
+    vec![
+        (
+            "uniform",
+            ElementSoupBuilder::new().count(4000).universe_side(60.0).seed(1).build(),
+        ),
+        (
+            "clustered",
+            ElementSoupBuilder::new()
+                .count(4000)
+                .universe_side(60.0)
+                .clustered(ClusteredConfig { clusters: 8, sigma: 3.0 })
+                .seed(2)
+                .build(),
+        ),
+        (
+            "neurons",
+            NeuronDatasetBuilder::new()
+                .neurons(12)
+                .segments_per_neuron(300)
+                .universe_side(50.0)
+                .seed(3)
+                .build(),
+        ),
+    ]
+}
+
+fn query_mix(universe: Aabb) -> Vec<Aabb> {
+    let mut w = QueryWorkload::new(universe, 99);
+    let mut qs = w.range_queries(1e-5, 5);
+    qs.extend(w.range_queries(1e-3, 5));
+    qs.extend(w.range_queries(1e-2, 5));
+    qs
+}
+
+#[test]
+fn all_range_indexes_agree_with_scan() {
+    for (name, data) in datasets() {
+        let elements = data.elements();
+        let scan = LinearScan::build(elements);
+
+        let rtree = RTree::bulk_load(elements, RTreeConfig::default());
+        let rtree_inc = {
+            let mut t = RTree::new(RTreeConfig::default());
+            for e in elements {
+                t.insert(e.id, e.aabb());
+            }
+            t
+        };
+        let crtree = CrTree::build(elements, CrTreeConfig::default());
+        let kd = KdTree::build(elements);
+        let oct = Octree::build(elements, OctreeConfig::default());
+        let grid = UniformGrid::build(elements, GridConfig::auto(elements));
+        let grid_rep = UniformGrid::build(
+            elements,
+            GridConfig {
+                placement: GridPlacement::Replicate,
+                ..GridConfig::auto(elements)
+            },
+        );
+        let multi = MultiGrid::build(elements, MultiGridConfig::auto(elements));
+        let flat = Flat::build(elements, FlatConfig::auto(elements));
+
+        let contenders: Vec<(&str, &dyn SpatialIndex)> = vec![
+            ("rtree-bulk", &rtree),
+            ("rtree-incremental", &rtree_inc),
+            ("crtree", &crtree),
+            ("kdtree", &kd),
+            ("octree", &oct),
+            ("grid-center", &grid),
+            ("grid-replicate", &grid_rep),
+            ("multigrid", &multi),
+            ("flat", &flat),
+        ];
+
+        for q in query_mix(data.universe()) {
+            let truth = sorted(scan.range(elements, &q));
+            for (iname, idx) in &contenders {
+                assert_eq!(idx.len(), elements.len(), "{name}/{iname} len");
+                let got = sorted(idx.range(elements, &q));
+                assert_eq!(got, truth, "{name}/{iname} on {q:?}");
+            }
+        }
+    }
+}
+
+#[test]
+fn all_knn_indexes_agree_with_scan() {
+    for (name, data) in datasets() {
+        let elements = data.elements();
+        let scan = LinearScan::build(elements);
+        let rtree = RTree::bulk_load(elements, RTreeConfig::default());
+        let kd = KdTree::build(elements);
+        let oct = Octree::build(elements, OctreeConfig::default());
+        let grid = UniformGrid::build(elements, GridConfig::auto(elements));
+        let multi = MultiGrid::build(elements, MultiGridConfig::auto(elements));
+
+        let contenders: Vec<(&str, &dyn KnnIndex)> =
+            vec![("rtree", &rtree), ("kdtree", &kd), ("octree", &oct), ("grid", &grid), ("multigrid", &multi)];
+
+        let mut w = QueryWorkload::new(data.universe(), 7);
+        for p in w.knn_points(8) {
+            for k in [1usize, 7, 64] {
+                let truth = scan.knn(elements, &p, k);
+                for (iname, idx) in &contenders {
+                    let got = idx.knn(elements, &p, k);
+                    assert_eq!(got.len(), truth.len(), "{name}/{iname} k={k}");
+                    for (g, t) in got.iter().zip(truth.iter()) {
+                        assert!(
+                            (g.1 - t.1).abs() < 1e-3,
+                            "{name}/{iname} k={k}: {got:?} vs {truth:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn disk_rtree_agrees_with_scan_through_buffer_pool() {
+    let data = NeuronDatasetBuilder::new()
+        .neurons(10)
+        .segments_per_neuron(200)
+        .universe_side(40.0)
+        .seed(5)
+        .build();
+    let tree = DiskRTree::build(data.elements());
+    let scan = LinearScan::build(data.elements());
+    let mut pool = BufferPool::new(BufferPoolConfig {
+        capacity_pages: 256,
+        disk: DiskModel::sas_2014(),
+    });
+    for q in query_mix(data.universe()) {
+        let got = sorted(tree.range_exact(&mut pool, data.elements(), &q));
+        let truth = sorted(scan.range(data.elements(), &q));
+        assert_eq!(got, truth);
+    }
+    assert!(pool.stats().disk_time_s > 0.0, "queries must have touched the disk model");
+}
+
+#[test]
+fn lsh_knn_recall_on_integration_data() {
+    let data = ElementSoupBuilder::new().count(5000).universe_side(60.0).seed(9).build();
+    let lsh = Lsh::build(data.elements(), LshConfig::auto(data.elements()));
+    let scan = LinearScan::build(data.elements());
+    let mut w = QueryWorkload::new(data.universe(), 3);
+    let mut hit = 0;
+    let mut total = 0;
+    for p in w.knn_points(25) {
+        let truth: std::collections::HashSet<ElementId> =
+            scan.knn(data.elements(), &p, 10).into_iter().map(|(i, _)| i).collect();
+        for (id, _) in lsh.knn(data.elements(), &p, 10) {
+            total += 1;
+            if truth.contains(&id) {
+                hit += 1;
+            }
+        }
+    }
+    let recall = hit as f64 / total as f64;
+    assert!(recall > 0.6, "LSH recall {recall}");
+}
+
+#[test]
+fn batched_scan_matches_sequential_on_neuron_data() {
+    let data = NeuronDatasetBuilder::new()
+        .neurons(8)
+        .segments_per_neuron(150)
+        .universe_side(35.0)
+        .seed(71)
+        .build();
+    let scan = LinearScan::build(data.elements());
+    let queries = QueryWorkload::new(data.universe(), 5).range_queries(1e-3, 12);
+    let batched = scan.range_batch(data.elements(), &queries);
+    for (q, got) in queries.iter().zip(batched) {
+        assert_eq!(sorted(got), sorted(scan.range(data.elements(), q)));
+    }
+}
+
+#[test]
+fn two_population_synapse_join() {
+    // Two neuron populations grown in the same volume: candidate synapses
+    // are the cross-population pairs within reach.
+    let axons = NeuronDatasetBuilder::new()
+        .neurons(5)
+        .segments_per_neuron(120)
+        .universe_side(25.0)
+        .seed(81)
+        .build();
+    let dendrites = NeuronDatasetBuilder::new()
+        .neurons(5)
+        .segments_per_neuron(120)
+        .universe_side(25.0)
+        .seed(82)
+        .build();
+    let truth = join_pair(
+        axons.elements(),
+        dendrites.elements(),
+        0.4,
+        PairAlgorithm::NestedLoop,
+    );
+    let fast = join_pair(
+        axons.elements(),
+        dendrites.elements(),
+        0.4,
+        PairAlgorithm::Grid,
+    );
+    assert_eq!(truth, fast);
+    assert!(!truth.is_empty(), "overlapping populations must touch somewhere");
+}

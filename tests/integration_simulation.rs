@@ -1,0 +1,132 @@
+//! Cross-crate integration: full simulation runs — every workload × every
+//! update strategy — with per-step consistency checks against ground truth.
+
+use simspatial::prelude::*;
+
+fn sorted(mut v: Vec<ElementId>) -> Vec<ElementId> {
+    v.sort_unstable();
+    v
+}
+
+fn check_consistency(sim: &Simulation, label: &str) {
+    let scan = LinearScan::build(sim.data().elements());
+    let mut w = QueryWorkload::new(sim.data().universe(), 1234);
+    for q in w.range_queries(1e-3, 5) {
+        let got = sorted(sim.strategy().range(sim.data().elements(), &q));
+        let truth = sorted(scan.range(sim.data().elements(), &q));
+        assert_eq!(got, truth, "{label} diverged on {q:?}");
+    }
+}
+
+#[test]
+fn every_strategy_survives_a_plasticity_run() {
+    for kind in UpdateStrategyKind::ALL {
+        let data = ElementSoupBuilder::new().count(1500).universe_side(40.0).seed(21).build();
+        let mut sim = Simulation::new(
+            data,
+            Box::new(PlasticityWorkload::with_sigma(0.05, 5)),
+            SimulationConfig {
+                strategy: kind,
+                monitor_queries_per_step: 5,
+                monitor_selectivity: 1e-3,
+                seed: 2,
+            },
+        );
+        let reports = sim.run(4);
+        assert_eq!(reports.len(), 4);
+        check_consistency(&sim, kind.name());
+    }
+}
+
+#[test]
+fn nbody_run_with_grid_strategy() {
+    let n = 600;
+    let data = ElementSoupBuilder::new()
+        .count(n)
+        .universe_side(80.0)
+        .clustered(ClusteredConfig { clusters: 2, sigma: 8.0 })
+        .seed(31)
+        .build();
+    let mut sim = Simulation::new(
+        data,
+        Box::new(NBodyWorkload::new(n)),
+        SimulationConfig {
+            strategy: UpdateStrategyKind::GridMigrate,
+            monitor_queries_per_step: 5,
+            monitor_selectivity: 1e-3,
+            seed: 3,
+        },
+    );
+    sim.run(4);
+    check_consistency(&sim, "nbody/grid");
+    // Everything must remain finite and inside the universe.
+    for e in sim.data().elements() {
+        assert!(e.center().is_finite());
+        assert!(sim.data().universe().contains_point(&e.center()));
+    }
+}
+
+#[test]
+fn material_workload_queries_the_index_under_test() {
+    let data = ElementSoupBuilder::new().count(800).universe_side(30.0).seed(41).build();
+    let mut sim = Simulation::new(
+        data,
+        Box::new(MaterialWorkload::new(2.0, 0.2)),
+        SimulationConfig {
+            strategy: UpdateStrategyKind::LazyGraceWindow,
+            monitor_queries_per_step: 5,
+            monitor_selectivity: 1e-3,
+            seed: 4,
+        },
+    );
+    let reports = sim.run(3);
+    // The update phase issues n range queries per step through the index;
+    // it must take measurable time and stay correct.
+    assert!(reports.iter().all(|r| r.update_s > 0.0));
+    check_consistency(&sim, "material/grace-window");
+}
+
+#[test]
+fn simulation_determinism_per_seed() {
+    let run = || {
+        let data = ElementSoupBuilder::new().count(400).universe_side(20.0).seed(55).build();
+        let mut sim = Simulation::new(
+            data,
+            Box::new(PlasticityWorkload::with_sigma(0.1, 9)),
+            SimulationConfig {
+                strategy: UpdateStrategyKind::GridMigrate,
+                monitor_queries_per_step: 0,
+                monitor_selectivity: 1e-3,
+                seed: 6,
+            },
+        );
+        sim.run(3);
+        sim.data().elements().to_vec()
+    };
+    assert_eq!(run(), run(), "same seeds must reproduce the same trajectory");
+}
+
+#[test]
+fn join_results_stay_consistent_across_steps() {
+    let data = ElementSoupBuilder::new().count(700).universe_side(25.0).seed(61).build();
+    let mut sim = Simulation::new(
+        data,
+        Box::new(PlasticityWorkload::with_sigma(0.05, 3)),
+        SimulationConfig {
+            strategy: UpdateStrategyKind::GridMigrate,
+            monitor_queries_per_step: 0,
+            monitor_selectivity: 1e-3,
+            seed: 7,
+        },
+    );
+    for _ in 0..3 {
+        sim.run_step();
+        let config = JoinConfig::within(0.5);
+        let truth = self_join(sim.data().elements(), &config, JoinAlgorithm::NestedLoop);
+        for algo in [JoinAlgorithm::PbsmGrid, JoinAlgorithm::SmallCellGrid, JoinAlgorithm::TreeJoin]
+        {
+            let got = self_join(sim.data().elements(), &config, algo);
+            assert_eq!(got, truth, "{} diverged mid-simulation", algo.name());
+        }
+    }
+}

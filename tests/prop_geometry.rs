@@ -1,0 +1,126 @@
+//! Property-based tests of the geometry substrate: the algebraic laws every
+//! index in the workspace silently relies on.
+
+use proptest::prelude::*;
+use simspatial::prelude::*;
+
+fn arb_point() -> impl Strategy<Value = Point3> {
+    (-100.0f32..100.0, -100.0f32..100.0, -100.0f32..100.0)
+        .prop_map(|(x, y, z)| Point3::new(x, y, z))
+}
+
+fn arb_aabb() -> impl Strategy<Value = Aabb> {
+    (arb_point(), arb_point()).prop_map(|(a, b)| Aabb::new(a, b))
+}
+
+fn arb_shape() -> impl Strategy<Value = Shape> {
+    prop_oneof![
+        (arb_point(), 0.01f32..5.0).prop_map(|(c, r)| Shape::Sphere(Sphere::new(c, r))),
+        (arb_point(), arb_point(), 0.01f32..2.0)
+            .prop_map(|(a, b, r)| Shape::Capsule(Capsule::new(a, b, r))),
+        arb_aabb().prop_map(Shape::Box),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn union_contains_both(a in arb_aabb(), b in arb_aabb()) {
+        let u = a.union(&b);
+        prop_assert!(u.contains(&a));
+        prop_assert!(u.contains(&b));
+        // Union is commutative and idempotent.
+        prop_assert_eq!(u, b.union(&a));
+        prop_assert_eq!(u.union(&a), u);
+    }
+
+    #[test]
+    fn intersection_is_contained_and_symmetric(a in arb_aabb(), b in arb_aabb()) {
+        match (a.intersection(&b), b.intersection(&a)) {
+            (Some(x), Some(y)) => {
+                prop_assert_eq!(x, y);
+                prop_assert!(a.contains(&x) && b.contains(&x));
+                prop_assert!(a.intersects(&b));
+            }
+            (None, None) => prop_assert!(!a.intersects(&b)),
+            _ => prop_assert!(false, "intersection asymmetric"),
+        }
+    }
+
+    #[test]
+    fn intersects_iff_shared_point(a in arb_aabb(), b in arb_aabb()) {
+        // The center of the intersection is a witness point.
+        if let Some(i) = a.intersection(&b) {
+            let w = i.center();
+            prop_assert!(a.contains_point(&w) && b.contains_point(&w));
+        }
+    }
+
+    #[test]
+    fn min_distance_is_a_lower_bound(b in arb_aabb(), p in arb_point(), q in arb_point()) {
+        // For any point q inside b, dist(p, q) >= mindist(p, b).
+        if b.contains_point(&q) {
+            prop_assert!(p.distance2(&q) >= b.min_distance2(&p) - 1e-3);
+        }
+        prop_assert!(b.max_distance2(&p) >= b.min_distance2(&p) - 1e-3);
+    }
+
+    #[test]
+    fn enlargement_is_nonnegative(a in arb_aabb(), b in arb_aabb()) {
+        prop_assert!(a.enlargement(&b) >= -1e-2); // f32 slack
+        prop_assert!(a.union(&b).volume() + 1e-2 >= a.volume().max(b.volume()));
+    }
+
+    #[test]
+    fn inflate_preserves_containment(b in arb_aabb(), m in 0.0f32..10.0) {
+        let g = b.inflate(m);
+        prop_assert!(g.contains(&b));
+        // A point in b stays in g after a move smaller than m (per axis).
+        let c = b.center();
+        prop_assert!(g.contains_point(&(c + Vec3::new(m * 0.57, -m * 0.57, m * 0.57))));
+    }
+
+    #[test]
+    fn shape_bbox_is_sound(s in arb_shape(), q in arb_aabb()) {
+        let bb = s.aabb();
+        // Exact intersection implies bbox intersection (filter soundness).
+        if s.intersects_aabb(&q) {
+            prop_assert!(bb.intersects(&q), "bbox filter would lose a result: {s:?} {q:?}");
+        }
+        // The shape's centre is inside its bbox.
+        prop_assert!(bb.contains_point(&s.center()));
+    }
+
+    #[test]
+    fn shape_distance_consistent_with_intersection(a in arb_shape(), b in arb_shape()) {
+        let d = a.distance_to_shape(&b);
+        prop_assert!(d >= 0.0);
+        if a.intersects_shape(&b) {
+            prop_assert!(d <= 1e-3, "intersecting shapes must have ~zero distance, got {d}");
+        }
+        // Symmetry.
+        prop_assert!((d - b.distance_to_shape(&a)).abs() <= 1e-3 + d * 1e-3);
+    }
+
+    #[test]
+    fn translation_moves_distances_rigidly(s in arb_shape(), p in arb_point(),
+                                           d in (-10.0f32..10.0, -10.0f32..10.0, -10.0f32..10.0)) {
+        let v = Vec3::new(d.0, d.1, d.2);
+        let mut moved = s;
+        moved.translate(v);
+        let before = s.distance_to_point(&p);
+        let after = moved.distance_to_point(&(p + v));
+        prop_assert!((before - after).abs() < 1e-2 + before * 1e-3,
+                     "distance not translation-invariant: {before} vs {after}");
+    }
+
+    #[test]
+    fn capsule_point_distance_matches_containment(c in (arb_point(), arb_point(), 0.01f32..2.0),
+                                                  p in arb_point()) {
+        let cap = Capsule::new(c.0, c.1, c.2);
+        if cap.contains_point(&p) {
+            prop_assert_eq!(cap.distance_to_point(&p), 0.0);
+        } else {
+            prop_assert!(cap.distance_to_point(&p) > 0.0);
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! Property-based equivalence of *every* range index with the linear scan,
+//! over arbitrary element soups and query boxes — the workspace-wide
+//! correctness net.
+
+use proptest::prelude::*;
+use simspatial::prelude::*;
+
+fn arb_elements() -> impl Strategy<Value = Vec<Element>> {
+    prop::collection::vec(
+        prop_oneof![
+            // Spheres.
+            ((-40.0f32..40.0, -40.0f32..40.0, -40.0f32..40.0), 0.05f32..3.0).prop_map(
+                |((x, y, z), r)| Shape::Sphere(Sphere::new(Point3::new(x, y, z), r))
+            ),
+            // Capsules (the neuron geometry).
+            (
+                (-40.0f32..40.0, -40.0f32..40.0, -40.0f32..40.0),
+                (-4.0f32..4.0, -4.0f32..4.0, -4.0f32..4.0),
+                0.05f32..1.0
+            )
+                .prop_map(|((x, y, z), (dx, dy, dz), r)| {
+                    let a = Point3::new(x, y, z);
+                    Shape::Capsule(Capsule::new(a, a + Vec3::new(dx, dy, dz), r))
+                }),
+        ],
+        1..150,
+    )
+    .prop_map(|shapes| {
+        shapes
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| Element::new(i as ElementId, s))
+            .collect()
+    })
+}
+
+fn arb_query() -> impl Strategy<Value = Aabb> {
+    ((-50.0f32..50.0, -50.0f32..50.0, -50.0f32..50.0), 0.5f32..40.0).prop_map(|((x, y, z), s)| {
+        let min = Point3::new(x, y, z);
+        Aabb::new(min, Point3::new(x + s, y + s, z + s))
+    })
+}
+
+fn sorted(mut v: Vec<ElementId>) -> Vec<ElementId> {
+    v.sort_unstable();
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn every_index_equals_scan(elements in arb_elements(), q in arb_query()) {
+        let scan = LinearScan::build(&elements);
+        let truth = sorted(scan.range(&elements, &q));
+
+        let rtree = RTree::bulk_load(&elements, RTreeConfig::default());
+        let hilbert = RTree::bulk_load_sfc(&elements, RTreeConfig::default(), Curve::Hilbert);
+        let morton = RTree::bulk_load_sfc(&elements, RTreeConfig::default(), Curve::Morton);
+        let crtree = CrTree::build(&elements, CrTreeConfig::default());
+        let kd = KdTree::build(&elements);
+        let oct = Octree::build(&elements, OctreeConfig::default());
+        let grid = UniformGrid::build(&elements, GridConfig::auto(&elements));
+        let multi = MultiGrid::build(&elements, MultiGridConfig::auto(&elements));
+        let flat = Flat::build(&elements, FlatConfig::auto(&elements));
+
+        let contenders: Vec<(&str, &dyn SpatialIndex)> = vec![
+            ("rtree", &rtree),
+            ("rtree-hilbert", &hilbert),
+            ("rtree-morton", &morton),
+            ("crtree", &crtree),
+            ("kdtree", &kd),
+            ("octree", &oct),
+            ("grid", &grid),
+            ("multigrid", &multi),
+            ("flat", &flat),
+        ];
+        for (name, idx) in contenders {
+            prop_assert_eq!(sorted(idx.range(&elements, &q)), truth.clone(),
+                            "{} diverged on {:?}", name, q);
+        }
+    }
+
+    #[test]
+    fn knn_indexes_equal_scan_distances(elements in arb_elements(), k in 1usize..20,
+                                        p in (-50.0f32..50.0, -50.0f32..50.0, -50.0f32..50.0)) {
+        let p = Point3::new(p.0, p.1, p.2);
+        let scan = LinearScan::build(&elements);
+        let truth = scan.knn(&elements, &p, k);
+
+        let rtree = RTree::bulk_load(&elements, RTreeConfig::default());
+        let kd = KdTree::build(&elements);
+        let oct = Octree::build(&elements, OctreeConfig::default());
+        let grid = UniformGrid::build(&elements, GridConfig::auto(&elements));
+
+        let contenders: Vec<(&str, &dyn KnnIndex)> =
+            vec![("rtree", &rtree), ("kdtree", &kd), ("octree", &oct), ("grid", &grid)];
+        for (name, idx) in contenders {
+            let got = idx.knn(&elements, &p, k);
+            prop_assert_eq!(got.len(), truth.len(), "{} count", name);
+            for (g, t) in got.iter().zip(truth.iter()) {
+                prop_assert!((g.1 - t.1).abs() < 1e-2,
+                             "{}: distance {} vs {}", name, g.1, t.1);
+            }
+        }
+    }
+
+    #[test]
+    fn flat_survives_arbitrary_drift(elements in arb_elements(),
+                                     drifts in prop::collection::vec(
+                                         (-0.3f32..0.3, -0.3f32..0.3, -0.3f32..0.3), 1..4),
+                                     q in arb_query()) {
+        let mut live = elements.clone();
+        let mut flat = Flat::build(&live, FlatConfig::auto(&live));
+        for d in &drifts {
+            let v = Vec3::new(d.0, d.1, d.2);
+            for e in live.iter_mut() {
+                // Per-element variation derived from the id keeps the moves
+                // heterogeneous without another RNG.
+                let s = 1.0 - (e.id % 7) as f32 / 14.0;
+                e.translate(v * s);
+            }
+            flat.note_drift(v.length());
+        }
+        let scan = LinearScan::build(&live);
+        prop_assert_eq!(sorted(flat.range(&live, &q)), sorted(scan.range(&live, &q)));
+    }
+
+    #[test]
+    fn rtree_stays_valid_under_mixed_bulk_then_dynamic(elements in arb_elements(),
+                                                       removals in prop::collection::vec(any::<usize>(), 0..40)) {
+        let mut tree = RTree::bulk_load(&elements, RTreeConfig::default());
+        let mut live: Vec<Element> = elements.clone();
+        for r in removals {
+            if live.is_empty() {
+                break;
+            }
+            let i = r % live.len();
+            let e = live.swap_remove(i);
+            prop_assert!(tree.delete(e.id, &e.aabb()), "bulk-loaded entry not deletable");
+        }
+        tree.validate();
+        prop_assert_eq!(tree.len(), live.len());
+    }
+}

@@ -1,0 +1,65 @@
+//! Property-based tests of the join algorithms: all five produce the same
+//! pair set as the nested-loop ground truth on arbitrary inputs, and the
+//! result obeys the join semantics.
+
+use proptest::prelude::*;
+use simspatial::prelude::*;
+
+fn arb_elements() -> impl Strategy<Value = Vec<Element>> {
+    prop::collection::vec(
+        ((-30.0f32..30.0, -30.0f32..30.0, -30.0f32..30.0), 0.05f32..2.0),
+        0..120,
+    )
+    .prop_map(|items| {
+        items
+            .into_iter()
+            .enumerate()
+            .map(|(i, ((x, y, z), r))| {
+                Element::new(i as ElementId, Shape::Sphere(Sphere::new(Point3::new(x, y, z), r)))
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn all_algorithms_agree(elements in arb_elements(), eps in 0.0f32..3.0) {
+        let config = JoinConfig::within(eps);
+        let truth = self_join(&elements, &config, JoinAlgorithm::NestedLoop);
+        for algo in [
+            JoinAlgorithm::PlaneSweep,
+            JoinAlgorithm::PbsmGrid,
+            JoinAlgorithm::TreeJoin,
+            JoinAlgorithm::SmallCellGrid,
+        ] {
+            let got = self_join(&elements, &config, algo);
+            prop_assert_eq!(&got, &truth, "{} diverged at eps {}", algo.name(), eps);
+        }
+    }
+
+    #[test]
+    fn join_semantics_hold(elements in arb_elements(), eps in 0.0f32..2.0) {
+        let pairs = self_join(&elements, &JoinConfig::within(eps), JoinAlgorithm::PbsmGrid);
+        // Every reported pair is genuinely within eps; canonical; unique.
+        for w in pairs.windows(2) {
+            prop_assert!(w[0] < w[1]);
+        }
+        for &(a, b) in &pairs {
+            prop_assert!(a < b);
+            let d = elements[a as usize].shape.distance_to_shape(&elements[b as usize].shape);
+            prop_assert!(d <= eps + 1e-3, "pair ({a},{b}) at distance {d} > eps {eps}");
+        }
+    }
+
+    #[test]
+    fn join_is_monotone_in_eps(elements in arb_elements(), eps in 0.0f32..2.0) {
+        let small = self_join(&elements, &JoinConfig::within(eps), JoinAlgorithm::PbsmGrid);
+        let large = self_join(&elements, &JoinConfig::within(eps + 1.0), JoinAlgorithm::PbsmGrid);
+        let large_set: std::collections::HashSet<_> = large.iter().collect();
+        for p in &small {
+            prop_assert!(large_set.contains(p), "pair {p:?} lost when eps grew");
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! Property-based tests of the R-Tree: structural invariants and answer
+//! equivalence with a model (brute-force) implementation under arbitrary
+//! operation sequences — the discipline the paper's update experiments
+//! depend on.
+
+use proptest::prelude::*;
+use simspatial::prelude::*;
+
+/// A model index: just the live entry set.
+#[derive(Default)]
+struct Model {
+    entries: Vec<(ElementId, Aabb)>,
+}
+
+impl Model {
+    fn range(&self, q: &Aabb) -> Vec<ElementId> {
+        let mut v: Vec<ElementId> = self
+            .entries
+            .iter()
+            .filter(|(_, b)| b.intersects(q))
+            .map(|(id, _)| *id)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u32, (f32, f32, f32), (f32, f32, f32)),
+    Delete(usize),
+    Move(usize, (f32, f32, f32)),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    let coord = -50.0f32..50.0;
+    let ext = 0.1f32..5.0;
+    prop_oneof![
+        3 => (any::<u32>(), (coord.clone(), coord.clone(), coord.clone()),
+              (ext.clone(), ext.clone(), ext.clone()))
+            .prop_map(|(id, p, e)| Op::Insert(id, p, e)),
+        1 => any::<usize>().prop_map(Op::Delete),
+        2 => (any::<usize>(), (-2.0f32..2.0, -2.0f32..2.0, -2.0f32..2.0))
+            .prop_map(|(i, d)| Op::Move(i, d)),
+    ]
+}
+
+fn apply(ops: &[Op], tree: &mut RTree, model: &mut Model, bottom_up: bool) {
+    let mut next_id = 0u32;
+    for op in ops {
+        match op {
+            Op::Insert(_, p, e) => {
+                let min = Point3::new(p.0, p.1, p.2);
+                let bbox = Aabb::new(min, Point3::new(p.0 + e.0, p.1 + e.1, p.2 + e.2));
+                let id = next_id;
+                next_id += 1;
+                tree.insert(id, bbox);
+                model.entries.push((id, bbox));
+            }
+            Op::Delete(i) => {
+                if model.entries.is_empty() {
+                    continue;
+                }
+                let i = i % model.entries.len();
+                let (id, bbox) = model.entries.swap_remove(i);
+                assert!(tree.delete(id, &bbox), "delete of live entry {id} failed");
+            }
+            Op::Move(i, d) => {
+                if model.entries.is_empty() {
+                    continue;
+                }
+                let i = i % model.entries.len();
+                let (id, old) = model.entries[i];
+                let new = old.translate(Vec3::new(d.0, d.1, d.2));
+                let ok = if bottom_up {
+                    tree.update_bottom_up(id, &old, new)
+                } else {
+                    tree.update(id, &old, new)
+                };
+                assert!(ok, "update of live entry {id} failed");
+                model.entries[i].1 = new;
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn arbitrary_op_sequences_preserve_invariants(ops in prop::collection::vec(arb_op(), 1..120),
+                                                  bottom_up in any::<bool>()) {
+        let mut tree = RTree::new(RTreeConfig::default());
+        let mut model = Model::default();
+        apply(&ops, &mut tree, &mut model, bottom_up);
+
+        tree.validate();
+        prop_assert_eq!(tree.len(), model.entries.len());
+
+        // Answers equal the model on a probe grid.
+        for i in 0..5 {
+            let c = -40.0 + 20.0 * i as f32;
+            let q = Aabb::new(Point3::new(c, c, c), Point3::new(c + 25.0, c + 25.0, c + 25.0));
+            let mut got = tree.range_bbox(&q);
+            got.sort_unstable();
+            prop_assert_eq!(got, model.range(&q), "query {} diverged", i);
+        }
+    }
+
+    #[test]
+    fn bulk_load_equals_incremental(seed in 0u64..1000, n in 1usize..400) {
+        // Deterministic pseudo-random entries from the seed.
+        let entries: Vec<(ElementId, Aabb)> = (0..n)
+            .map(|i| {
+                let h = (i as u64).wrapping_mul(0x9E3779B97F4A7C15) ^ seed;
+                let x = (h % 1000) as f32 / 10.0;
+                let y = ((h >> 10) % 1000) as f32 / 10.0;
+                let z = ((h >> 20) % 1000) as f32 / 10.0;
+                (i as ElementId, Aabb::new(
+                    Point3::new(x, y, z),
+                    Point3::new(x + 1.0, y + 1.0, z + 1.0),
+                ))
+            })
+            .collect();
+        let bulk = RTree::bulk_load_entries(
+            entries.iter().map(|&(id, b)| (b, id)).collect(),
+            RTreeConfig::default(),
+        );
+        bulk.validate();
+        let mut inc = RTree::new(RTreeConfig::default());
+        for &(id, b) in &entries {
+            inc.insert(id, b);
+        }
+        prop_assert_eq!(bulk.len(), inc.len());
+        for i in 0..4 {
+            let c = 25.0 * i as f32;
+            let q = Aabb::new(Point3::new(c, 0.0, 0.0), Point3::new(c + 30.0, 100.0, 100.0));
+            let mut a = bulk.range_bbox(&q);
+            let mut b = inc.range_bbox(&q);
+            a.sort_unstable();
+            b.sort_unstable();
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn knn_distances_are_sorted_and_complete(seed in 0u64..500, k in 1usize..30) {
+        let data: Vec<Element> = (0..200u32)
+            .map(|i| {
+                let h = (i as u64).wrapping_mul(0x9E3779B97F4A7C15) ^ seed;
+                let x = (h % 500) as f32 / 10.0;
+                let y = ((h >> 10) % 500) as f32 / 10.0;
+                let z = ((h >> 20) % 500) as f32 / 10.0;
+                Element::new(i, Shape::Sphere(Sphere::new(Point3::new(x, y, z), 0.3)))
+            })
+            .collect();
+        let tree = RTree::bulk_load(&data, RTreeConfig::default());
+        let p = Point3::new(25.0, 25.0, 25.0);
+        let got = tree.knn(&data, &p, k);
+        prop_assert_eq!(got.len(), k.min(200));
+        for w in got.windows(2) {
+            prop_assert!(w[0].1 <= w[1].1 + 1e-5);
+        }
+        // The k-th distance must match the brute-force k-th distance.
+        let scan = LinearScan::build(&data);
+        let truth = scan.knn(&data, &p, k);
+        prop_assert!((got.last().unwrap().1 - truth.last().unwrap().1).abs() < 1e-3);
+    }
+}
