@@ -34,7 +34,11 @@ fn bench(c: &mut Criterion) {
     g.warm_up_time(std::time::Duration::from_millis(300));
     g.measurement_time(std::time::Duration::from_millis(900));
     for m in [8usize, 32, 128] {
-        let config = RTreeConfig { max_entries: m, min_entries: (m * 2 / 5).max(2), ..Default::default() };
+        let config = RTreeConfig {
+            max_entries: m,
+            min_entries: (m * 2 / 5).max(2),
+            ..Default::default()
+        };
         let tree = RTree::bulk_load(data.elements(), config);
         g.bench_with_input(BenchmarkId::new("fanout", m), &tree, |b, tree| {
             b.iter(|| {

@@ -14,7 +14,10 @@ fn bench(c: &mut Criterion) {
     let grid_center = UniformGrid::build(data.elements(), auto);
     let grid_rep = UniformGrid::build(
         data.elements(),
-        GridConfig { placement: GridPlacement::Replicate, ..auto },
+        GridConfig {
+            placement: GridPlacement::Replicate,
+            ..auto
+        },
     );
 
     let mut g = c.benchmark_group("fig4");

@@ -1,5 +1,7 @@
 //! Criterion bench for E8 / §3.3: kNN across structures incl. LSH.
 
+#![allow(clippy::type_complexity, clippy::redundant_closure)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use simspatial_bench::datasets::neuron_dataset;
 use simspatial_bench::Scale;
@@ -22,11 +24,51 @@ fn bench(c: &mut Criterion) {
     g.warm_up_time(std::time::Duration::from_millis(300));
     g.measurement_time(std::time::Duration::from_millis(900));
     let contenders: Vec<(&str, Box<dyn Fn() -> usize>)> = vec![
-        ("scan", Box::new(|| points.iter().map(|p| scan.knn(data.elements(), p, 10).len()).sum())),
-        ("kdtree", Box::new(|| points.iter().map(|p| kd.knn(data.elements(), p, 10).len()).sum())),
-        ("rtree", Box::new(|| points.iter().map(|p| rt.knn(data.elements(), p, 10).len()).sum())),
-        ("grid", Box::new(|| points.iter().map(|p| grid.knn(data.elements(), p, 10).len()).sum())),
-        ("lsh", Box::new(|| points.iter().map(|p| lsh.knn(data.elements(), p, 10).len()).sum())),
+        (
+            "scan",
+            Box::new(|| {
+                points
+                    .iter()
+                    .map(|p| scan.knn(data.elements(), p, 10).len())
+                    .sum()
+            }),
+        ),
+        (
+            "kdtree",
+            Box::new(|| {
+                points
+                    .iter()
+                    .map(|p| kd.knn(data.elements(), p, 10).len())
+                    .sum()
+            }),
+        ),
+        (
+            "rtree",
+            Box::new(|| {
+                points
+                    .iter()
+                    .map(|p| rt.knn(data.elements(), p, 10).len())
+                    .sum()
+            }),
+        ),
+        (
+            "grid",
+            Box::new(|| {
+                points
+                    .iter()
+                    .map(|p| grid.knn(data.elements(), p, 10).len())
+                    .sum()
+            }),
+        ),
+        (
+            "lsh",
+            Box::new(|| {
+                points
+                    .iter()
+                    .map(|p| lsh.knn(data.elements(), p, 10).len())
+                    .sum()
+            }),
+        ),
     ];
     for (name, f) in &contenders {
         g.bench_with_input(BenchmarkId::from_parameter(name), f, |b, f| b.iter(|| f()));

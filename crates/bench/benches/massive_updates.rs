@@ -30,16 +30,20 @@ fn bench(c: &mut Criterion) {
         UpdateStrategyKind::GridMigrate,
         UpdateStrategyKind::ThrowawayGrid,
     ] {
-        g.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, kind| {
-            b.iter_batched(
-                || kind.create(data.elements()),
-                |mut s| {
-                    s.apply_step(data.elements(), moved.elements());
-                    s
-                },
-                criterion::BatchSize::LargeInput,
-            )
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(kind.name()),
+            &kind,
+            |b, kind| {
+                b.iter_batched(
+                    || kind.create(data.elements()),
+                    |mut s| {
+                        s.apply_step(data.elements(), moved.elements());
+                        s
+                    },
+                    criterion::BatchSize::LargeInput,
+                )
+            },
+        );
     }
     g.finish();
 }

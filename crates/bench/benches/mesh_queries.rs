@@ -21,13 +21,28 @@ fn bench(c: &mut Criterion) {
     g.warm_up_time(std::time::Duration::from_millis(300));
     g.measurement_time(std::time::Duration::from_millis(900));
     g.bench_function("dls_walk", |b| {
-        b.iter(|| queries.iter().map(|q| dls.range(&mesh, q).len()).sum::<usize>())
+        b.iter(|| {
+            queries
+                .iter()
+                .map(|q| dls.range(&mesh, q).len())
+                .sum::<usize>()
+        })
     });
     g.bench_function("octopus_walk", |b| {
-        b.iter(|| queries.iter().map(|q| octopus.range(&mesh, q).len()).sum::<usize>())
+        b.iter(|| {
+            queries
+                .iter()
+                .map(|q| octopus.range(&mesh, q).len())
+                .sum::<usize>()
+        })
     });
     g.bench_function("scan", |b| {
-        b.iter(|| queries.iter().map(|q| mesh.scan_range(q).len()).sum::<usize>())
+        b.iter(|| {
+            queries
+                .iter()
+                .map(|q| mesh.scan_range(q).len())
+                .sum::<usize>()
+        })
     });
     g.finish();
 }

@@ -23,16 +23,20 @@ fn bench(c: &mut Criterion) {
     g.warm_up_time(std::time::Duration::from_millis(300));
     g.measurement_time(std::time::Duration::from_millis(900));
     for margin in [0.05f32, 0.5, 2.0] {
-        g.bench_with_input(BenchmarkId::new("grace_margin", margin), &margin, |b, &m| {
-            b.iter_batched(
-                || LazyGraceWindow::with_margin(data.elements(), m),
-                |mut s| {
-                    s.apply_step(data.elements(), moved.elements());
-                    s
-                },
-                criterion::BatchSize::LargeInput,
-            )
-        });
+        g.bench_with_input(
+            BenchmarkId::new("grace_margin", margin),
+            &margin,
+            |b, &m| {
+                b.iter_batched(
+                    || LazyGraceWindow::with_margin(data.elements(), m),
+                    |mut s| {
+                        s.apply_step(data.elements(), moved.elements());
+                        s
+                    },
+                    criterion::BatchSize::LargeInput,
+                )
+            },
+        );
     }
     for flush in [0.01f32, 0.5] {
         g.bench_with_input(BenchmarkId::new("buffer_flush", flush), &flush, |b, &f| {

@@ -14,29 +14,36 @@ fn bench(c: &mut Criterion) {
     g.sample_size(10);
     g.warm_up_time(std::time::Duration::from_millis(300));
     g.measurement_time(std::time::Duration::from_millis(900));
-    for kind in [UpdateStrategyKind::NoIndexScan, UpdateStrategyKind::ThrowawayGrid] {
+    for kind in [
+        UpdateStrategyKind::NoIndexScan,
+        UpdateStrategyKind::ThrowawayGrid,
+    ] {
         for qps in [1usize, 100] {
             let id = format!("{}_q{}", kind.name().replace('/', "-"), qps);
-            g.bench_with_input(BenchmarkId::from_parameter(id), &(kind, qps), |b, &(kind, qps)| {
-                b.iter_batched(
-                    || {
-                        (
-                            kind.create(data.elements()),
-                            QueryWorkload::new(data.universe(), 13),
-                        )
-                    },
-                    |(mut s, mut w)| {
-                        s.apply_step(data.elements(), data.elements());
-                        let mut acc = 0usize;
-                        for _ in 0..qps {
-                            let q = w.range_query(1e-4);
-                            acc += s.range(data.elements(), &q).len();
-                        }
-                        acc
-                    },
-                    criterion::BatchSize::LargeInput,
-                )
-            });
+            g.bench_with_input(
+                BenchmarkId::from_parameter(id),
+                &(kind, qps),
+                |b, &(kind, qps)| {
+                    b.iter_batched(
+                        || {
+                            (
+                                kind.create(data.elements()),
+                                QueryWorkload::new(data.universe(), 13),
+                            )
+                        },
+                        |(mut s, mut w)| {
+                            s.apply_step(data.elements(), data.elements());
+                            let mut acc = 0usize;
+                            for _ in 0..qps {
+                                let q = w.range_query(1e-4);
+                                acc += s.range(data.elements(), &q).len();
+                            }
+                            acc
+                        },
+                        criterion::BatchSize::LargeInput,
+                    )
+                },
+            );
         }
     }
     g.finish();

@@ -21,9 +21,11 @@ fn bench(c: &mut Criterion) {
     g.warm_up_time(std::time::Duration::from_millis(300));
     g.measurement_time(std::time::Duration::from_millis(900));
     for algo in JoinAlgorithm::ALL {
-        g.bench_with_input(BenchmarkId::from_parameter(algo.name()), &algo, |b, &algo| {
-            b.iter(|| self_join(data.elements(), &config, algo).len())
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(algo.name()),
+            &algo,
+            |b, &algo| b.iter(|| self_join(data.elements(), &config, algo).len()),
+        );
     }
     g.finish();
 }

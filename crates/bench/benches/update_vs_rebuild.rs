@@ -30,11 +30,10 @@ fn bench(c: &mut Criterion) {
             b.iter_batched(
                 || base.clone(),
                 |mut tree| {
-                    for i in 0..k {
-                        let ob = data.elements()[i].aabb();
-                        let nb = moved[i].aabb();
+                    for (e, m) in data.elements()[..k].iter().zip(&moved[..k]) {
+                        let (ob, nb) = (e.aabb(), m.aabb());
                         if ob != nb {
-                            tree.update(data.elements()[i].id, &ob, nb);
+                            tree.update(e.id, &ob, nb);
                         }
                     }
                     tree

@@ -19,7 +19,9 @@ fn main() {
         match args[i].as_str() {
             "--exp" => {
                 i += 1;
-                let val = args.get(i).unwrap_or_else(|| usage("missing value for --exp"));
+                let val = args
+                    .get(i)
+                    .unwrap_or_else(|| usage("missing value for --exp"));
                 if val == "all" {
                     ids = experiments::ALL.iter().map(|s| s.to_string()).collect();
                 } else {

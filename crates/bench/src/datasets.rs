@@ -52,7 +52,11 @@ mod tests {
     fn neuron_dataset_scales() {
         let d = neuron_dataset(Scale::Small);
         // Within 25 % of the requested scale (neurons quantise the count).
-        assert!(d.len() >= Scale::Small.elements() * 3 / 4, "got {}", d.len());
+        assert!(
+            d.len() >= Scale::Small.elements() * 3 / 4,
+            "got {}",
+            d.len()
+        );
         let q = paper_queries(d.universe(), d.len(), 10, 1);
         assert_eq!(q.len(), 10);
         for b in &q {

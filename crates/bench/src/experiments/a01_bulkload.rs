@@ -41,12 +41,21 @@ pub fn measure(scale: Scale) -> Vec<LoaderRow> {
             }
             std::hint::black_box(acc)
         });
-        rows.push(LoaderRow { name, build_s, query_s, leaf_volume: tree.leaf_volume_sum() });
+        rows.push(LoaderRow {
+            name,
+            build_s,
+            query_s,
+            leaf_volume: tree.leaf_volume_sum(),
+        });
     };
 
     push("STR", &|| RTree::bulk_load(data.elements(), config));
-    push("Hilbert", &|| RTree::bulk_load_sfc(data.elements(), config, Curve::Hilbert));
-    push("Morton", &|| RTree::bulk_load_sfc(data.elements(), config, Curve::Morton));
+    push("Hilbert", &|| {
+        RTree::bulk_load_sfc(data.elements(), config, Curve::Hilbert)
+    });
+    push("Morton", &|| {
+        RTree::bulk_load_sfc(data.elements(), config, Curve::Morton)
+    });
     push("insert-one-by-one", &|| {
         let mut t = RTree::new(config);
         for e in data.elements() {
@@ -60,7 +69,10 @@ pub fn measure(scale: Scale) -> Vec<LoaderRow> {
 /// Runs and formats the report.
 pub fn run(scale: Scale) -> String {
     let rows = measure(scale);
-    let mut r = Report::new("A1", "ablation — bulk loading: STR vs Hilbert vs Morton vs insert");
+    let mut r = Report::new(
+        "A1",
+        "ablation — bulk loading: STR vs Hilbert vs Morton vs insert",
+    );
     r.paper("§4.1/conclusion: build cost decides rebuild-vs-update; bulk loaders are the lever");
     r.row(&format!(
         "{:<20} {:>12} {:>12} {:>16}",

@@ -77,7 +77,10 @@ pub fn run(scale: Scale) -> String {
             fmt_time(row.query_s)
         ));
     }
-    let best = rows.iter().min_by(|a, b| a.query_s.total_cmp(&b.query_s)).unwrap();
+    let best = rows
+        .iter()
+        .min_by(|a, b| a.query_s.total_cmp(&b.query_s))
+        .unwrap();
     r.measured(&format!(
         "best fan-out M = {} (≈{} B nodes)",
         best.max_entries, best.node_bytes
@@ -105,7 +108,10 @@ mod tests {
         // M = 4 pays pointer-chasing overhead; some larger node must win.
         let rows = measure(Scale::Small);
         let m4 = rows.iter().find(|x| x.max_entries == 4).unwrap();
-        let best = rows.iter().min_by(|a, b| a.query_s.total_cmp(&b.query_s)).unwrap();
+        let best = rows
+            .iter()
+            .min_by(|a, b| a.query_s.total_cmp(&b.query_s))
+            .unwrap();
         assert!(best.max_entries > 4 || best.query_s >= m4.query_s * 0.9);
     }
 }

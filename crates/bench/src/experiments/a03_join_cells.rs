@@ -55,8 +55,10 @@ pub fn measure(scale: Scale) -> Vec<CellRow> {
 pub fn run(scale: Scale) -> String {
     let rows = measure(scale);
     let mut r = Report::new("A3", "ablation — small-cell join cell sizing (§4.3)");
-    r.paper("very small cells avoid per-pair tests but cost replication/neighbourhoods; \
-             a valley sits near the element scale");
+    r.paper(
+        "very small cells avoid per-pair tests but cost replication/neighbourhoods; \
+             a valley sits near the element scale",
+    );
     r.row(&format!(
         "{:<10} {:>12} {:>16} {:>10}",
         "factor", "time", "element tests", "pairs"
@@ -70,8 +72,14 @@ pub fn run(scale: Scale) -> String {
             row.pairs
         ));
     }
-    let best = rows.iter().min_by(|a, b| a.total_s.total_cmp(&b.total_s)).unwrap();
-    r.measured(&format!("best cell factor ≈ {} (element scale = 1.0)", best.factor));
+    let best = rows
+        .iter()
+        .min_by(|a, b| a.total_s.total_cmp(&b.total_s))
+        .unwrap();
+    r.measured(&format!(
+        "best cell factor ≈ {} (element scale = 1.0)",
+        best.factor
+    ));
     r.finish()
 }
 

@@ -61,11 +61,9 @@ pub fn measure(scale: Scale) -> Fig3 {
 
     // Off-data queries: the root rejects immediately, leaving only the
     // fixed per-query overhead.
-    let far = data.universe().translate(Vec3::new(
-        data.universe().extent().x * 10.0,
-        0.0,
-        0.0,
-    ));
+    let far = data
+        .universe()
+        .translate(Vec3::new(data.universe().extent().x * 10.0, 0.0, 0.0));
     let off = paper_queries(far, data.len(), queries.len(), 0xF163);
 
     let t_fixed = batch(&|q: &Aabb| {
@@ -139,7 +137,10 @@ pub fn calibrate_test_cost() -> f64 {
             Aabb::new(Point3::new(x, y, z), Point3::new(x + 5.0, y + 5.0, z + 5.0))
         })
         .collect();
-    let q = Aabb::new(Point3::new(300.0, 300.0, 300.0), Point3::new(600.0, 600.0, 600.0));
+    let q = Aabb::new(
+        Point3::new(300.0, 300.0, 300.0),
+        Point3::new(600.0, 600.0, 600.0),
+    );
     let reps = 40;
     let (hits, t) = time(|| {
         let mut acc = 0usize;

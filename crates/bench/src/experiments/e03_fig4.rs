@@ -16,9 +16,7 @@ use crate::datasets::{neuron_dataset, paper_queries};
 use crate::report::Report;
 use crate::Scale;
 use simspatial_geom::stats;
-use simspatial_index::{
-    GridConfig, GridPlacement, RTree, RTreeConfig, SpatialIndex, UniformGrid,
-};
+use simspatial_index::{GridConfig, GridPlacement, RTree, RTreeConfig, SpatialIndex, UniformGrid};
 
 /// Tests-per-result of one index over one batch.
 #[derive(Debug, Clone, Copy)]
@@ -47,7 +45,10 @@ pub fn measure(scale: Scale) -> (Waste, Waste, Waste) {
         for q in &queries {
             results += range(q) as u64;
         }
-        Waste { element_tests: stats::snapshot().element_tests, results }
+        Waste {
+            element_tests: stats::snapshot().element_tests,
+            results,
+        }
     };
 
     let tree = RTree::bulk_load(data.elements(), RTreeConfig::default());
@@ -56,7 +57,10 @@ pub fn measure(scale: Scale) -> (Waste, Waste, Waste) {
     let auto = GridConfig::auto(data.elements());
     let grid_rep = UniformGrid::build(
         data.elements(),
-        GridConfig { placement: GridPlacement::Replicate, ..auto },
+        GridConfig {
+            placement: GridPlacement::Replicate,
+            ..auto
+        },
     );
     let w_rep = run(&|q| grid_rep.range(data.elements(), q).len());
 

@@ -79,7 +79,10 @@ pub fn measure(scale: Scale) -> UpdateVsRebuild {
                 }
             }
         });
-        points.push(SweepPoint { fraction: f, update_s });
+        points.push(SweepPoint {
+            fraction: f,
+            update_s,
+        });
     }
 
     // Crossover: first f where update_s >= rebuild_s, linearly interpolated.
@@ -95,7 +98,11 @@ pub fn measure(scale: Scale) -> UpdateVsRebuild {
     if crossover.is_none() && points.first().is_some_and(|p| p.update_s >= rebuild_s) {
         crossover = Some(points[0].fraction);
     }
-    UpdateVsRebuild { points, rebuild_s, crossover }
+    UpdateVsRebuild {
+        points,
+        rebuild_s,
+        crossover,
+    }
 }
 
 /// Runs and formats the report.
@@ -105,7 +112,11 @@ pub fn run(scale: Scale) -> String {
     r.paper("update all: 130 s/step; STR rebuild: 48 s; update wins iff < 38 % change");
     r.measured(&format!("full STR rebuild: {}", fmt_time(o.rebuild_s)));
     for p in &o.points {
-        let marker = if p.update_s < o.rebuild_s { "update wins" } else { "rebuild wins" };
+        let marker = if p.update_s < o.rebuild_s {
+            "update wins"
+        } else {
+            "rebuild wins"
+        };
         r.row(&format!(
             "f = {:>5.0} %: update {} ({marker})",
             p.fraction * 100.0,
@@ -113,9 +124,10 @@ pub fn run(scale: Scale) -> String {
         ));
     }
     match o.crossover {
-        Some(c) => {
-            r.measured(&format!("crossover at ≈ {:.0} % changed (paper: 38 %)", c * 100.0))
-        }
+        Some(c) => r.measured(&format!(
+            "crossover at ≈ {:.0} % changed (paper: 38 %)",
+            c * 100.0
+        )),
         None => r.measured("no crossover in sweep range (updates always cheaper here)"),
     };
     let all = o.points.last().map(|p| p.update_s).unwrap_or(0.0);

@@ -35,8 +35,8 @@ pub fn measure(scale: Scale) -> Vec<Contender> {
     let n = data.len() as f64;
 
     let run = |name: &'static str,
-                   bytes: usize,
-                   range: &dyn Fn(&simspatial_geom::Aabb) -> usize|
+               bytes: usize,
+               range: &dyn Fn(&simspatial_geom::Aabb) -> usize|
      -> Contender {
         let (_, total_s) = time(|| {
             let mut acc = 0usize;
@@ -45,7 +45,11 @@ pub fn measure(scale: Scale) -> Vec<Contender> {
             }
             std::hint::black_box(acc)
         });
-        Contender { name, total_s, bytes_per_element: bytes as f64 / n }
+        Contender {
+            name,
+            total_s,
+            bytes_per_element: bytes as f64 / n,
+        }
     };
 
     let disk_layout = RTree::bulk_load(data.elements(), RTreeConfig::disk_page());
@@ -112,7 +116,10 @@ mod tests {
     #[test]
     fn crtree_is_denser() {
         let rows = measure(Scale::Small);
-        let rt = rows.iter().find(|c| c.name == "R-Tree (cache-band)").unwrap();
+        let rt = rows
+            .iter()
+            .find(|c| c.name == "R-Tree (cache-band)")
+            .unwrap();
         let cr = rows.iter().find(|c| c.name == "CR-Tree").unwrap();
         assert!(cr.bytes_per_element < rt.bytes_per_element);
     }

@@ -75,15 +75,25 @@ pub fn measure(scale: Scale) -> ResolutionSweep {
     let auto = (batch(&auto_grid, &small_q), batch(&auto_grid, &large_q));
     let multi = MultiGrid::build(data.elements(), MultiGridConfig::auto(data.elements()));
     let multi = (batch(&multi, &small_q), batch(&multi, &large_q));
-    ResolutionSweep { points, auto, multi }
+    ResolutionSweep {
+        points,
+        auto,
+        multi,
+    }
 }
 
 /// Runs and formats the report.
 pub fn run(scale: Scale) -> String {
     let o = measure(scale);
-    let mut r = Report::new("E7", "§3.3 — grid resolution sweep & multi-resolution grids");
+    let mut r = Report::new(
+        "E7",
+        "§3.3 — grid resolution sweep & multi-resolution grids",
+    );
     r.paper("optimal resolution depends on data AND query size; multiple grids proposed");
-    r.row(&format!("{:>10} {:>14} {:>14}", "cell µm", "small queries", "large queries"));
+    r.row(&format!(
+        "{:>10} {:>14} {:>14}",
+        "cell µm", "small queries", "large queries"
+    ));
     for p in &o.points {
         r.row(&format!(
             "{:>10.2} {:>14} {:>14}",
@@ -102,8 +112,16 @@ pub fn run(scale: Scale) -> String {
         fmt_time(o.multi.0),
         fmt_time(o.multi.1)
     ));
-    let best_small = o.points.iter().min_by(|a, b| a.small_q_s.total_cmp(&b.small_q_s)).unwrap();
-    let best_large = o.points.iter().min_by(|a, b| a.large_q_s.total_cmp(&b.large_q_s)).unwrap();
+    let best_small = o
+        .points
+        .iter()
+        .min_by(|a, b| a.small_q_s.total_cmp(&b.small_q_s))
+        .unwrap();
+    let best_large = o
+        .points
+        .iter()
+        .min_by(|a, b| a.large_q_s.total_cmp(&b.large_q_s))
+        .unwrap();
     r.note(&format!(
         "optimum moved: best small-query cell {:.2} µm vs best large-query cell {:.2} µm",
         best_small.cell_side, best_large.cell_side

@@ -58,7 +58,12 @@ pub fn measure(scale: Scale) -> Vec<KnnRow> {
         // Exact ground truth per point (sets, for recall).
         let truth: Vec<HashSet<ElementId>> = points
             .iter()
-            .map(|p| scan.knn(data.elements(), p, k).into_iter().map(|(id, _)| id).collect())
+            .map(|p| {
+                scan.knn(data.elements(), p, k)
+                    .into_iter()
+                    .map(|(id, _)| id)
+                    .collect()
+            })
             .collect();
 
         let bench = |name: &'static str, knn: &KnnFn| -> KnnRow {
@@ -94,7 +99,10 @@ pub fn run(scale: Scale) -> String {
     let rows = measure(scale);
     let mut r = Report::new("E8", "§3.3 — kNN structures incl. LSH (tree-free)");
     r.paper("LSH avoids tree traversal for kNN; exactness traded for hash probes");
-    r.row(&format!("{:<12} {:>5} {:>14} {:>8}", "structure", "k", "per query", "recall"));
+    r.row(&format!(
+        "{:<12} {:>5} {:>14} {:>8}",
+        "structure", "k", "per query", "recall"
+    ));
     for row in &rows {
         r.row(&format!(
             "{:<12} {:>5} {:>14} {:>7.1} %",
@@ -121,8 +129,14 @@ mod tests {
                 assert!(row.recall > 0.95, "{} recall {}", row.name, row.recall);
             }
         }
-        let scan10 = rows.iter().find(|r| r.name == "LinearScan" && r.k == 10).unwrap();
-        let kd10 = rows.iter().find(|r| r.name == "KD-Tree" && r.k == 10).unwrap();
+        let scan10 = rows
+            .iter()
+            .find(|r| r.name == "LinearScan" && r.k == 10)
+            .unwrap();
+        let kd10 = rows
+            .iter()
+            .find(|r| r.name == "KD-Tree" && r.k == 10)
+            .unwrap();
         assert!(
             kd10.per_query_s < scan10.per_query_s,
             "KD-Tree {} should beat scan {}",

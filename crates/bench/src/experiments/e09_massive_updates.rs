@@ -55,8 +55,11 @@ pub fn measure(scale: Scale) -> Vec<StrategyRow> {
         let reports = sim.run(steps);
         let maintain_s = reports.iter().map(|r| r.maintain_s).sum::<f64>() / steps as f64;
         let monitor_s = reports.iter().map(|r| r.monitor_s).sum::<f64>() / steps as f64;
-        let touched =
-            reports.iter().map(|r| r.cost.structural_updates).sum::<u64>() as f64 / steps as f64;
+        let touched = reports
+            .iter()
+            .map(|r| r.cost.structural_updates)
+            .sum::<u64>() as f64
+            / steps as f64;
         rows.push(StrategyRow {
             name: kind.name(),
             maintain_s,
@@ -71,7 +74,10 @@ pub fn measure(scale: Scale) -> Vec<StrategyRow> {
 /// Runs and formats the report.
 pub fn run(scale: Scale) -> String {
     let rows = measure(scale);
-    let mut r = Report::new("E9", "§4.3 — update strategies under massive minimal movement");
+    let mut r = Report::new(
+        "E9",
+        "§4.3 — update strategies under massive minimal movement",
+    );
     r.paper("grids: few cell switches per step; per-entry R-Tree updates and rebuilds pay full n");
     r.row(&format!(
         "{:<20} {:>12} {:>12} {:>12} {:>10}",
@@ -112,7 +118,11 @@ mod tests {
             reinsert.maintain_s
         );
         // The §4.3 claim: only a few elements switch cells.
-        assert!(grid.touch_fraction < 0.25, "touch fraction {}", grid.touch_fraction);
+        assert!(
+            grid.touch_fraction < 0.25,
+            "touch fraction {}",
+            grid.touch_fraction
+        );
     }
 
     #[test]

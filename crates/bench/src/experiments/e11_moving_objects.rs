@@ -18,9 +18,7 @@ use crate::Scale;
 use simspatial_datagen::PlasticityModel;
 use simspatial_datagen::QueryWorkload;
 use simspatial_geom::stats;
-use simspatial_moving::{
-    BufferedRTree, LazyGraceWindow, RTreeRebuild, UpdateStrategy,
-};
+use simspatial_moving::{BufferedRTree, LazyGraceWindow, RTreeRebuild, UpdateStrategy};
 
 /// One contender's per-step averages.
 #[derive(Debug, Clone)]
@@ -64,7 +62,10 @@ pub fn measure(scale: Scale) -> Vec<ShiftRow> {
             "buffer flush 50%".into(),
             Box::new(BufferedRTree::with_flush_fraction(data.elements(), 0.5)),
         ),
-        ("rebuild".into(), Box::new(RTreeRebuild::build(data.elements()))),
+        (
+            "rebuild".into(),
+            Box::new(RTreeRebuild::build(data.elements())),
+        ),
     ];
 
     let mut rows = Vec::new();

@@ -98,14 +98,18 @@ pub fn measure(scale: Scale) -> Vec<MeshRow> {
         let mut maintain_acc = 0.0;
         let mut query_acc = 0.0;
         let mut tree = RTree::bulk_load_entries(
-            (0..mesh.len() as ElementId).map(|c| (mesh.cell_bbox(c), c)).collect(),
+            (0..mesh.len() as ElementId)
+                .map(|c| (mesh.cell_bbox(c), c))
+                .collect(),
             RTreeConfig::default(),
         );
         for step in 0..steps {
             deform(&mut mesh, step);
             let (_, tm) = time(|| {
                 tree.rebuild_entries(
-                    (0..mesh.len() as ElementId).map(|c| (mesh.cell_bbox(c), c)).collect(),
+                    (0..mesh.len() as ElementId)
+                        .map(|c| (mesh.cell_bbox(c), c))
+                        .collect(),
                 );
             });
             maintain_acc += tm;
@@ -140,7 +144,11 @@ pub fn measure(scale: Scale) -> Vec<MeshRow> {
             });
             query_acc += tq;
         }
-        rows.push(MeshRow { name: "LinearScan", maintain_s: 0.0, query_s: query_acc / steps as f64 });
+        rows.push(MeshRow {
+            name: "LinearScan",
+            maintain_s: 0.0,
+            query_s: query_acc / steps as f64,
+        });
     }
     rows
 }
@@ -148,10 +156,18 @@ pub fn measure(scale: Scale) -> Vec<MeshRow> {
 /// Runs and formats the report.
 pub fn run(scale: Scale) -> String {
     let rows = measure(scale);
-    let mut r = Report::new("E12", "§4.3 — DLS/OCTOPUS mesh walks vs rebuilt index vs scan");
-    r.paper("connectivity queries need no index maintenance; the approximate seed index is \
-             refreshed only infrequently");
-    r.row(&format!("{:<16} {:>14} {:>14} {:>14}", "executor", "maintain/st", "queries/st", "total/st"));
+    let mut r = Report::new(
+        "E12",
+        "§4.3 — DLS/OCTOPUS mesh walks vs rebuilt index vs scan",
+    );
+    r.paper(
+        "connectivity queries need no index maintenance; the approximate seed index is \
+             refreshed only infrequently",
+    );
+    r.row(&format!(
+        "{:<16} {:>14} {:>14} {:>14}",
+        "executor", "maintain/st", "queries/st", "total/st"
+    ));
     for row in &rows {
         r.row(&format!(
             "{:<16} {:>14} {:>14} {:>14}",

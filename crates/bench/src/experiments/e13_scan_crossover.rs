@@ -82,7 +82,12 @@ pub fn run(scale: Scale) -> String {
         "{:<18} {:>12} {:>12} {:>12} {:>12}",
         "strategy", "q=1", "q=10", "q=100", "q=1000"
     ));
-    for strategy in ["LinearScan", "Grid/throwaway", "RTree/rebuild", "Grid/migrate"] {
+    for strategy in [
+        "LinearScan",
+        "Grid/throwaway",
+        "RTree/rebuild",
+        "Grid/migrate",
+    ] {
         let mut line = format!("{strategy:<18}");
         for qps in [1usize, 10, 100, 1000] {
             let c = cells
@@ -106,7 +111,9 @@ pub fn run(scale: Scale) -> String {
         grid.total_s < scan.total_s
     });
     match crossover {
-        Some(q) => r.measured(&format!("throwaway grid overtakes the scan at ≈ {q} queries/step")),
+        Some(q) => r.measured(&format!(
+            "throwaway grid overtakes the scan at ≈ {q} queries/step"
+        )),
         None => r.measured("scan wins across the whole sweep (index never amortises here)"),
     };
     r.finish()

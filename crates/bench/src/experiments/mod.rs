@@ -30,8 +30,8 @@ pub(crate) fn time<R>(f: impl FnOnce() -> R) -> (R, f64) {
 
 /// All experiment ids in order (13 paper experiments + 3 ablations).
 pub const ALL: [&str; 16] = [
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "a1",
-    "a2", "a3",
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "a1", "a2",
+    "a3",
 ];
 
 /// Runs one experiment by id.

@@ -198,19 +198,43 @@ mod tests {
 
     #[test]
     fn deterministic_for_same_seed() {
-        let a = NeuronDatasetBuilder::new().neurons(3).segments_per_neuron(50).seed(1).build();
-        let b = NeuronDatasetBuilder::new().neurons(3).segments_per_neuron(50).seed(1).build();
+        let a = NeuronDatasetBuilder::new()
+            .neurons(3)
+            .segments_per_neuron(50)
+            .seed(1)
+            .build();
+        let b = NeuronDatasetBuilder::new()
+            .neurons(3)
+            .segments_per_neuron(50)
+            .seed(1)
+            .build();
         assert_eq!(a.elements(), b.elements());
-        let c = NeuronDatasetBuilder::new().neurons(3).segments_per_neuron(50).seed(2).build();
+        let c = NeuronDatasetBuilder::new()
+            .neurons(3)
+            .segments_per_neuron(50)
+            .seed(2)
+            .build();
         assert_ne!(a.elements(), c.elements());
     }
 
     #[test]
     fn element_count_and_composition() {
-        let d = NeuronDatasetBuilder::new().neurons(4).segments_per_neuron(25).seed(3).build();
+        let d = NeuronDatasetBuilder::new()
+            .neurons(4)
+            .segments_per_neuron(25)
+            .seed(3)
+            .build();
         assert_eq!(d.len(), 4 * 26);
-        let somas = d.elements().iter().filter(|e| matches!(e.shape, Shape::Sphere(_))).count();
-        let segments = d.elements().iter().filter(|e| matches!(e.shape, Shape::Capsule(_))).count();
+        let somas = d
+            .elements()
+            .iter()
+            .filter(|e| matches!(e.shape, Shape::Sphere(_)))
+            .count();
+        let segments = d
+            .elements()
+            .iter()
+            .filter(|e| matches!(e.shape, Shape::Capsule(_)))
+            .count();
         assert_eq!(somas, 4);
         assert_eq!(segments, 100);
     }
@@ -227,7 +251,12 @@ mod tests {
         let slack = 1.5;
         let u = d.universe().inflate(slack);
         for e in d.elements() {
-            assert!(u.contains(&e.aabb()), "element {} escapes universe: {:?}", e.id, e.aabb());
+            assert!(
+                u.contains(&e.aabb()),
+                "element {} escapes universe: {:?}",
+                e.id,
+                e.aabb()
+            );
         }
     }
 
@@ -236,7 +265,11 @@ mod tests {
         // Consecutive capsules of a neuron share endpoints often enough that
         // the data is clustered: the mean nearest-consecutive distance must
         // be far below the universe side.
-        let d = NeuronDatasetBuilder::new().neurons(2).segments_per_neuron(100).seed(5).build();
+        let d = NeuronDatasetBuilder::new()
+            .neurons(2)
+            .segments_per_neuron(100)
+            .seed(5)
+            .build();
         let caps: Vec<_> = d
             .elements()
             .iter()
@@ -245,9 +278,11 @@ mod tests {
                 _ => None,
             })
             .collect();
-        let mean_len: f32 =
-            caps.iter().map(|c| c.axis_length()).sum::<f32>() / caps.len() as f32;
-        assert!(mean_len < 2.0, "segments should be short, got mean {mean_len}");
+        let mean_len: f32 = caps.iter().map(|c| c.axis_length()).sum::<f32>() / caps.len() as f32;
+        assert!(
+            mean_len < 2.0,
+            "segments should be short, got mean {mean_len}"
+        );
     }
 
     #[test]
@@ -264,6 +299,9 @@ mod tests {
         // Three neurons of ~segment_length*sqrt(steps) extent in a 200-side
         // cube: the occupied volume must be a small fraction of the universe.
         let occupied: f32 = d.elements().iter().map(|e| e.aabb().volume()).sum();
-        assert!(occupied < bounds.volume(), "elements should not tile the space");
+        assert!(
+            occupied < bounds.volume(),
+            "elements should not tile the space"
+        );
     }
 }

@@ -45,7 +45,10 @@ impl PlasticityModel {
     /// scale the movement magnitude (e.g. experiment E9's sensitivity runs).
     pub fn with_sigma(sigma: f32, seed: u64) -> Self {
         assert!(sigma > 0.0 && sigma.is_finite(), "sigma must be positive");
-        Self { sigma, rng: SmallRng::seed_from_u64(seed) }
+        Self {
+            sigma,
+            rng: SmallRng::seed_from_u64(seed),
+        }
     }
 
     /// Per-axis standard deviation of the displacement Gaussian.
@@ -97,7 +100,13 @@ impl DisplacementStats {
     pub fn measure(displacements: &[Vec3]) -> Self {
         let count = displacements.len();
         if count == 0 {
-            return Self { count: 0, mean: 0.0, max: 0.0, tail_fraction: 0.0, moved_fraction: 0.0 };
+            return Self {
+                count: 0,
+                mean: 0.0,
+                max: 0.0,
+                tail_fraction: 0.0,
+                moved_fraction: 0.0,
+            };
         }
         let mut sum = 0.0f64;
         let mut max = 0.0f32;

@@ -27,7 +27,10 @@ impl QueryWorkload {
     /// Panics if the universe is empty.
     pub fn new(universe: Aabb, seed: u64) -> Self {
         assert!(!universe.is_empty(), "query workload needs a universe");
-        Self { universe, rng: SmallRng::seed_from_u64(seed) }
+        Self {
+            universe,
+            rng: SmallRng::seed_from_u64(seed),
+        }
     }
 
     /// A uniformly random point inside the universe.
@@ -77,9 +80,24 @@ impl QueryWorkload {
             }
         };
         let center = Point3::new(
-            clamp1(c.x, half.x, self.universe.min.x, self.universe.min.x + ext.x),
-            clamp1(c.y, half.y, self.universe.min.y, self.universe.min.y + ext.y),
-            clamp1(c.z, half.z, self.universe.min.z, self.universe.min.z + ext.z),
+            clamp1(
+                c.x,
+                half.x,
+                self.universe.min.x,
+                self.universe.min.x + ext.x,
+            ),
+            clamp1(
+                c.y,
+                half.y,
+                self.universe.min.y,
+                self.universe.min.y + ext.y,
+            ),
+            clamp1(
+                c.z,
+                half.z,
+                self.universe.min.z,
+                self.universe.min.z + ext.z,
+            ),
         );
         Aabb::new(center - half, center + half)
     }

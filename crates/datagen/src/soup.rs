@@ -47,7 +47,10 @@ pub struct ClusteredConfig {
 
 impl Default for ClusteredConfig {
     fn default() -> Self {
-        Self { clusters: 16, sigma: 2.0 }
+        Self {
+            clusters: 16,
+            sigma: 2.0,
+        }
     }
 }
 
@@ -209,7 +212,10 @@ mod tests {
     fn clustered_soup_is_clustered() {
         let d = ElementSoupBuilder::new()
             .count(5000)
-            .clustered(ClusteredConfig { clusters: 4, sigma: 1.0 })
+            .clustered(ClusteredConfig {
+                clusters: 4,
+                sigma: 1.0,
+            })
             .seed(3)
             .build();
         // With 4 tight clusters in a 100³ universe, the average pairwise
@@ -225,7 +231,11 @@ mod tests {
                 (c.z / 10.0) as i32,
             ));
         }
-        assert!(occupied.len() < 200, "too many occupied cells: {}", occupied.len());
+        assert!(
+            occupied.len() < 200,
+            "too many occupied cells: {}",
+            occupied.len()
+        );
     }
 
     #[test]
@@ -239,7 +249,10 @@ mod tests {
             let ext = e.aabb().extent();
             assert!(ext.x >= 1.0 - 1e-5 && ext.x <= 2.0 + 1e-5);
         }
-        assert_eq!(SizeDistribution::Uniform { min: 0.5, max: 1.0 }.max_radius(), 1.0);
+        assert_eq!(
+            SizeDistribution::Uniform { min: 0.5, max: 1.0 }.max_radius(),
+            1.0
+        );
         assert_eq!(SizeDistribution::Constant(0.3).max_radius(), 0.3);
     }
 

@@ -24,7 +24,10 @@ impl Aabb {
     /// not matter.
     #[inline]
     pub fn new(a: Point3, b: Point3) -> Self {
-        Self { min: a.min(&b), max: a.max(&b) }
+        Self {
+            min: a.min(&b),
+            max: a.max(&b),
+        }
     }
 
     /// Creates the degenerate box containing exactly one point.
@@ -98,7 +101,10 @@ impl Aabb {
     /// The smallest box containing both `self` and `other`.
     #[inline]
     pub fn union(&self, other: &Aabb) -> Aabb {
-        Aabb { min: self.min.min(&other.min), max: self.max.max(&other.max) }
+        Aabb {
+            min: self.min.min(&other.min),
+            max: self.max.max(&other.max),
+        }
     }
 
     /// The overlap region of `self` and `other`, or `None` when disjoint.
@@ -186,13 +192,19 @@ impl Aabb {
     #[inline]
     pub fn inflate(&self, margin: f32) -> Aabb {
         let m = Vec3::new(margin, margin, margin);
-        Aabb { min: self.min - m, max: self.max + m }
+        Aabb {
+            min: self.min - m,
+            max: self.max + m,
+        }
     }
 
     /// Translates the box by `d`.
     #[inline]
     pub fn translate(&self, d: Vec3) -> Aabb {
-        Aabb { min: self.min + d, max: self.max + d }
+        Aabb {
+            min: self.min + d,
+            max: self.max + d,
+        }
     }
 
     /// Additional volume required to include `other`

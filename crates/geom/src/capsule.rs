@@ -27,7 +27,10 @@ impl Capsule {
     /// Panics in debug builds if `radius` is negative or non-finite.
     #[inline]
     pub fn new(a: Point3, b: Point3, radius: f32) -> Self {
-        debug_assert!(radius >= 0.0 && radius.is_finite(), "invalid radius {radius}");
+        debug_assert!(
+            radius >= 0.0 && radius.is_finite(),
+            "invalid radius {radius}"
+        );
         Self { a, b, radius }
     }
 
@@ -35,7 +38,10 @@ impl Capsule {
     #[inline]
     pub fn aabb(&self) -> Aabb {
         let r = Vec3::new(self.radius, self.radius, self.radius);
-        Aabb { min: self.a.min(&self.b) - r, max: self.a.max(&self.b) + r }
+        Aabb {
+            min: self.a.min(&self.b) - r,
+            max: self.a.max(&self.b) + r,
+        }
     }
 
     /// Midpoint of the axis segment — the representative point used by
@@ -172,7 +178,11 @@ pub(crate) fn segment_distance2(p1: Point3, q1: Point3, p2: Point3, q2: Point3) 
         } else {
             let b = d1.dot(d2);
             let denom = a * e - b * b;
-            let mut s_ = if denom != 0.0 { ((b * f - c * e) / denom).clamp(0.0, 1.0) } else { 0.0 };
+            let mut s_ = if denom != 0.0 {
+                ((b * f - c * e) / denom).clamp(0.0, 1.0)
+            } else {
+                0.0
+            };
             let mut t_ = (b * s_ + f) / e;
             if t_ < 0.0 {
                 t_ = 0.0;

@@ -24,6 +24,13 @@
 //!   segment soups, following the Blue Brain data the paper describes).
 //! * [`Shape`] — a closed enum over the element geometries.
 //! * [`predicates`] — distance / intersection tests shared by the indexes.
+//! * [`soa`] — the **batch geometry kernel**: [`SoaAabbs`], a structure-of-
+//!   arrays candidate store with branch-free batched intersection /
+//!   containment / distance kernels (the §3.3 scan-friendly layout).
+//! * [`scratch`] — reusable per-thread query buffers ([`QueryScratch`]) and
+//!   the generation-stamped [`scratch::VisitedTable`], making the repeat
+//!   query path allocation-free.
+//! * [`parallel`] — slice-parallel build helpers over scoped threads.
 //! * [`stats`] — thread-local instrumentation counters.
 //!
 //! ## Example
@@ -43,16 +50,21 @@
 
 mod aabb;
 mod capsule;
+pub mod parallel;
 mod point;
 pub mod predicates;
+pub mod scratch;
 mod shape;
+pub mod soa;
 mod sphere;
 pub mod stats;
 
 pub use aabb::Aabb;
 pub use capsule::Capsule;
 pub use point::{Point3, Vec3};
+pub use scratch::{with_scratch, QueryScratch};
 pub use shape::Shape;
+pub use soa::SoaAabbs;
 pub use sphere::Sphere;
 
 /// Identifier for a spatial element within a dataset.
@@ -107,7 +119,10 @@ mod tests {
 
     #[test]
     fn element_roundtrip() {
-        let mut e = Element::new(7, Shape::Sphere(Sphere::new(Point3::new(1.0, 2.0, 3.0), 0.5)));
+        let mut e = Element::new(
+            7,
+            Shape::Sphere(Sphere::new(Point3::new(1.0, 2.0, 3.0), 0.5)),
+        );
         assert_eq!(e.id, 7);
         assert_eq!(e.center(), Point3::new(1.0, 2.0, 3.0));
         e.translate(Vec3::new(1.0, 0.0, 0.0));

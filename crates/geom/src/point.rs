@@ -32,7 +32,11 @@ pub struct Vec3 {
 
 impl Point3 {
     /// Origin of the coordinate system.
-    pub const ORIGIN: Point3 = Point3 { x: 0.0, y: 0.0, z: 0.0 };
+    pub const ORIGIN: Point3 = Point3 {
+        x: 0.0,
+        y: 0.0,
+        z: 0.0,
+    };
 
     /// Creates a point from its coordinates.
     #[inline]
@@ -87,13 +91,21 @@ impl Point3 {
     /// Component-wise minimum.
     #[inline]
     pub fn min(&self, other: &Point3) -> Point3 {
-        Point3::new(self.x.min(other.x), self.y.min(other.y), self.z.min(other.z))
+        Point3::new(
+            self.x.min(other.x),
+            self.y.min(other.y),
+            self.z.min(other.z),
+        )
     }
 
     /// Component-wise maximum.
     #[inline]
     pub fn max(&self, other: &Point3) -> Point3 {
-        Point3::new(self.x.max(other.x), self.y.max(other.y), self.z.max(other.z))
+        Point3::new(
+            self.x.max(other.x),
+            self.y.max(other.y),
+            self.z.max(other.z),
+        )
     }
 
     /// Linear interpolation between `self` (t = 0) and `other` (t = 1).
@@ -111,7 +123,11 @@ impl Point3 {
 
 impl Vec3 {
     /// The zero displacement.
-    pub const ZERO: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 0.0 };
+    pub const ZERO: Vec3 = Vec3 {
+        x: 0.0,
+        y: 0.0,
+        z: 0.0,
+    };
 
     /// Creates a vector from its components.
     #[inline]

@@ -151,11 +151,17 @@ mod tests {
                 Point3::new(2.0, 1.0, 1.0),
                 0.5,
             )),
-            Shape::Box(Aabb::new(Point3::new(0.5, 0.5, 0.5), Point3::new(1.5, 1.5, 1.5))),
+            Shape::Box(Aabb::new(
+                Point3::new(0.5, 0.5, 0.5),
+                Point3::new(1.5, 1.5, 1.5),
+            )),
         ];
         for s in &shapes {
             let bb = s.aabb();
-            assert!(bb.contains_point(&s.center()), "centre inside own bbox for {s:?}");
+            assert!(
+                bb.contains_point(&s.center()),
+                "centre inside own bbox for {s:?}"
+            );
             // An element always intersects its own bounding box.
             assert!(s.intersects_aabb(&bb));
         }
@@ -171,7 +177,10 @@ mod tests {
         ));
         assert!(s.intersects_shape(&c));
         assert!(c.intersects_shape(&s));
-        let far = Shape::Box(Aabb::new(Point3::new(10.0, 10.0, 10.0), Point3::new(11.0, 11.0, 11.0)));
+        let far = Shape::Box(Aabb::new(
+            Point3::new(10.0, 10.0, 10.0),
+            Point3::new(11.0, 11.0, 11.0),
+        ));
         assert!(!s.intersects_shape(&far));
         assert!(s.distance_to_shape(&far) > 0.0);
         assert_eq!(s.distance_to_shape(&c), 0.0);

@@ -22,7 +22,10 @@ impl Sphere {
     /// Panics in debug builds if `radius` is negative or non-finite.
     #[inline]
     pub fn new(center: Point3, radius: f32) -> Self {
-        debug_assert!(radius >= 0.0 && radius.is_finite(), "invalid radius {radius}");
+        debug_assert!(
+            radius >= 0.0 && radius.is_finite(),
+            "invalid radius {radius}"
+        );
         Self { center, radius }
     }
 
@@ -30,7 +33,10 @@ impl Sphere {
     #[inline]
     pub fn aabb(&self) -> Aabb {
         let r = Vec3::new(self.radius, self.radius, self.radius);
-        Aabb { min: self.center - r, max: self.center + r }
+        Aabb {
+            min: self.center - r,
+            max: self.center + r,
+        }
     }
 
     /// Whether `p` lies inside or on the sphere.

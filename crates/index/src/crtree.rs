@@ -68,16 +68,32 @@ impl CrTree {
         let mut nodes: Vec<CrNode> = Vec::new();
         let len = entries.len();
         if entries.is_empty() {
-            nodes.push(CrNode { mbr: Aabb::empty(), level: 0, children: Vec::new() });
-            return Self { nodes, root: 0, len: 0, config };
+            nodes.push(CrNode {
+                mbr: Aabb::empty(),
+                level: 0,
+                children: Vec::new(),
+            });
+            return Self {
+                nodes,
+                root: 0,
+                len: 0,
+                config,
+            };
         }
 
         str_tile(&mut entries, config.fanout, |e| e.0.center());
         let mut level_refs: Vec<(Aabb, u32)> = Vec::new();
         for chunk in entries.chunks(config.fanout) {
             let mbr = Aabb::union_all(chunk.iter().map(|(b, _)| *b));
-            let children = chunk.iter().map(|&(b, id)| quantize(&mbr, &b, id)).collect();
-            nodes.push(CrNode { mbr, level: 0, children });
+            let children = chunk
+                .iter()
+                .map(|&(b, id)| quantize(&mbr, &b, id))
+                .collect();
+            nodes.push(CrNode {
+                mbr,
+                level: 0,
+                children,
+            });
             level_refs.push((mbr, (nodes.len() - 1) as u32));
         }
         let mut level = 0u32;
@@ -87,14 +103,26 @@ impl CrTree {
             let mut next = Vec::new();
             for chunk in level_refs.chunks(config.fanout) {
                 let mbr = Aabb::union_all(chunk.iter().map(|(b, _)| *b));
-                let children = chunk.iter().map(|&(b, idx)| quantize(&mbr, &b, idx)).collect();
-                nodes.push(CrNode { mbr, level, children });
+                let children = chunk
+                    .iter()
+                    .map(|&(b, idx)| quantize(&mbr, &b, idx))
+                    .collect();
+                nodes.push(CrNode {
+                    mbr,
+                    level,
+                    children,
+                });
                 next.push((mbr, (nodes.len() - 1) as u32));
             }
             level_refs = next;
         }
         let root = level_refs[0].1 as usize;
-        Self { nodes, root, len, config }
+        Self {
+            nodes,
+            root,
+            len,
+            config,
+        }
     }
 
     /// The configuration in force.
@@ -235,13 +263,13 @@ mod tests {
             let x = (h % 90) as f32 / 10.0;
             let y = ((h >> 8) % 190) as f32 / 10.0;
             let z = ((h >> 16) % 290) as f32 / 10.0;
-            let b = Aabb::new(
-                Point3::new(x, y, z),
-                Point3::new(x + 0.7, y + 0.3, z + 0.9),
-            );
+            let b = Aabb::new(Point3::new(x, y, z), Point3::new(x + 0.7, y + 0.3, z + 0.9));
             let qc = quantize(&reference, &b, i);
             let dq = dequantize(&reference, &qc);
-            assert!(dq.contains(&b), "dequantized box must contain original: {dq:?} vs {b:?}");
+            assert!(
+                dq.contains(&b),
+                "dequantized box must contain original: {dq:?} vs {b:?}"
+            );
         }
     }
 

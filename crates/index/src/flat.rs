@@ -20,9 +20,18 @@
 //! ≈ 0.04 µm per step (§4.1), the structure stays usable for many steps and
 //! needs only infrequent [`Flat::refresh`] calls — the entire point of the
 //! research direction.
+//!
+//! Layout notes: the adjacency lists live in one CSR slab (an offsets array
+//! into a flat id array) instead of a `Vec<Vec<_>>` — one allocation, no
+//! per-element list headers, and link crawls walk contiguous memory. The
+//! seed phase rides the grid's batched SoA candidate filter, and the crawl
+//! uses the generation-stamped visited table from the shared
+//! [`simspatial_geom::QueryScratch`], so repeat queries allocate only their
+//! result vector.
 
 use crate::grid::{GridConfig, GridPlacement, UniformGrid};
 use crate::traits::SpatialIndex;
+use simspatial_geom::scratch::with_scratch;
 use simspatial_geom::{predicates, Aabb, Element, ElementId};
 
 /// Configuration of a [`Flat`] index.
@@ -40,12 +49,19 @@ impl FlatConfig {
     /// Derives both knobs from the data (cells ≈ 3 spacings, links ≈ 1).
     pub fn auto(elements: &[Element]) -> Self {
         if elements.is_empty() {
-            return Self { seed_cell_side: 1.0, link_eps: 0.5 };
+            return Self {
+                seed_cell_side: 1.0,
+                link_eps: 0.5,
+            };
         }
         let bounds = Aabb::union_all(elements.iter().map(Element::aabb));
-        let spacing =
-            (bounds.volume().max(f32::MIN_POSITIVE) / elements.len() as f32).cbrt().max(1e-6);
-        Self { seed_cell_side: 3.0 * spacing, link_eps: spacing }
+        let spacing = (bounds.volume().max(f32::MIN_POSITIVE) / elements.len() as f32)
+            .cbrt()
+            .max(1e-6);
+        Self {
+            seed_cell_side: 3.0 * spacing,
+            link_eps: spacing,
+        }
     }
 
     fn validate(&self) {
@@ -59,8 +75,10 @@ impl FlatConfig {
 pub struct Flat {
     config: FlatConfig,
     seed: UniformGrid,
-    /// Adjacency lists: `neighbors[id]` = ids linked to `id` at build time.
-    neighbors: Vec<Vec<ElementId>>,
+    /// CSR adjacency: links of element `i` are
+    /// `link_targets[link_offsets[i] .. link_offsets[i + 1]]`.
+    link_offsets: Vec<u32>,
+    link_targets: Vec<ElementId>,
     /// Accumulated drift bound since the last refresh; added to the seed
     /// probe inflation so stale cells still cover their former tenants.
     staleness: f32,
@@ -75,8 +93,15 @@ impl Flat {
             elements,
             GridConfig::with_cell_side(config.seed_cell_side, GridPlacement::Center),
         );
-        let neighbors = build_links(elements, config.link_eps);
-        Self { config, seed, neighbors, staleness: 0.0, len: elements.len() }
+        let (link_offsets, link_targets) = build_links(elements, config.link_eps);
+        Self {
+            config,
+            seed,
+            link_offsets,
+            link_targets,
+            staleness: 0.0,
+            len: elements.len(),
+        }
     }
 
     /// Rebuilds the seed grid and links from current positions — the
@@ -98,39 +123,69 @@ impl Flat {
         self.staleness
     }
 
+    /// Links of element `id`.
+    #[inline]
+    fn links(&self, id: ElementId) -> &[ElementId] {
+        let lo = self.link_offsets[id as usize] as usize;
+        let hi = self.link_offsets[id as usize + 1] as usize;
+        &self.link_targets[lo..hi]
+    }
+
     /// Mean links per element (diagnostics; FLAT's space overhead).
     pub fn mean_degree(&self) -> f64 {
-        if self.neighbors.is_empty() {
+        if self.len == 0 {
             return 0.0;
         }
-        let total: usize = self.neighbors.iter().map(Vec::len).sum();
-        total as f64 / self.neighbors.len() as f64
+        self.link_targets.len() as f64 / self.len as f64
     }
 }
 
-/// Builds the `eps`-overlap adjacency using a transient replicated grid
-/// (O(n · local density) instead of O(n²)).
-fn build_links(elements: &[Element], eps: f32) -> Vec<Vec<ElementId>> {
-    let mut neighbors: Vec<Vec<ElementId>> = vec![Vec::new(); elements.len()];
+/// Builds the `eps`-overlap adjacency as a CSR slab, using a transient
+/// replicated grid (O(n · local density) instead of O(n²)). Per-element
+/// neighbour discovery runs data-parallel over element chunks.
+fn build_links(elements: &[Element], eps: f32) -> (Vec<u32>, Vec<ElementId>) {
     if elements.is_empty() {
-        return neighbors;
+        return (vec![0], Vec::new());
     }
     let bounds = Aabb::union_all(elements.iter().map(Element::aabb));
-    let spacing =
-        (bounds.volume().max(f32::MIN_POSITIVE) / elements.len() as f32).cbrt().max(1e-6);
+    let spacing = (bounds.volume().max(f32::MIN_POSITIVE) / elements.len() as f32)
+        .cbrt()
+        .max(1e-6);
     let temp = UniformGrid::build(
         elements,
         GridConfig::with_cell_side((2.0 * spacing).max(eps), GridPlacement::Replicate),
     );
-    for e in elements {
-        let probe = e.aabb().inflate(eps);
-        for id in temp.range_bbox_candidates(&probe) {
-            if id != e.id && elements[id as usize].aabb().inflate(eps).intersects(&e.aabb()) {
-                neighbors[e.id as usize].push(id);
+    // The workspace assumes dense ids 0..n (elements[id] lookups below).
+    let chunks = simspatial_geom::parallel::par_map_chunks(elements, 1024, |_, chunk| {
+        let mut local: Vec<Vec<ElementId>> = Vec::with_capacity(chunk.len());
+        for e in chunk {
+            let probe = e.aabb().inflate(eps);
+            let mut links = Vec::new();
+            for id in temp.range_bbox_candidates(&probe) {
+                if id != e.id
+                    && elements[id as usize]
+                        .aabb()
+                        .inflate(eps)
+                        .intersects(&e.aabb())
+                {
+                    links.push(id);
+                }
             }
+            local.push(links);
+        }
+        local
+    });
+    let mut offsets = Vec::with_capacity(elements.len() + 1);
+    offsets.push(0u32);
+    let mut targets = Vec::new();
+    for chunk in &chunks {
+        for links in chunk {
+            targets.extend_from_slice(links);
+            offsets.push(targets.len() as u32);
         }
     }
-    neighbors
+    targets.shrink_to_fit();
+    (offsets, targets)
 }
 
 impl SpatialIndex for Flat {
@@ -144,46 +199,54 @@ impl SpatialIndex for Flat {
 
     fn range(&self, data: &[Element], query: &Aabb) -> Vec<ElementId> {
         // Phase 1: seed candidates from the (stale) grid, inflated by the
-        // accumulated drift so former cell tenants are still covered.
+        // accumulated drift so former cell tenants are still covered. The
+        // seed grid's stored boxes are build-time boxes; tested against the
+        // inflated probe they cannot lose an element that drifted at most
+        // `staleness`.
         let probe = query.inflate(self.staleness);
-        let mut in_result = vec![false; data.len()];
-        let mut frontier: Vec<ElementId> = Vec::new();
-        let mut out = Vec::new();
-        for id in self.seed.range_bbox_candidates(&probe) {
-            if !in_result[id as usize]
-                && predicates::element_in_range(&data[id as usize], query)
-            {
-                in_result[id as usize] = true;
-                out.push(id);
-                frontier.push(id);
-            }
-        }
-        // Phase 2: crawl neighbourhood links from every hit; elements that
-        // drifted into the query are connected to something already in it.
-        let mut visited = in_result.clone();
-        while let Some(id) = frontier.pop() {
-            for &n in &self.neighbors[id as usize] {
-                if visited[n as usize] {
-                    continue;
-                }
-                visited[n as usize] = true;
-                if predicates::element_in_range(&data[n as usize], query) {
-                    in_result[n as usize] = true;
-                    out.push(n);
-                    frontier.push(n);
+        with_scratch(|scratch| {
+            // The seed grid uses center placement, so the candidate filter
+            // leaves `scratch.visited` free for the crawl below.
+            self.seed.range_bbox_candidates_into(&probe, scratch);
+            let simspatial_geom::QueryScratch {
+                candidates,
+                frontier,
+                visited,
+                ..
+            } = scratch;
+            // `visited` = tested this query (hit or miss); the frontier
+            // holds confirmed hits whose links are still to be crawled.
+            visited.begin(data.len());
+            let mut out = Vec::new();
+            for &id in candidates.iter() {
+                if visited.mark(id) && predicates::element_in_range(&data[id as usize], query) {
+                    out.push(id);
+                    frontier.push(id);
                 }
             }
-        }
-        out
+            // Phase 2: crawl neighbourhood links from every hit; elements
+            // that drifted into the query are connected to something
+            // already in it.
+            while let Some(id) = frontier.pop() {
+                for &n in self.links(id) {
+                    if !visited.mark(n) {
+                        continue;
+                    }
+                    if predicates::element_in_range(&data[n as usize], query) {
+                        out.push(n);
+                        frontier.push(n);
+                    }
+                }
+            }
+            out
+        })
     }
 
     fn memory_bytes(&self) -> usize {
-        let mut total = std::mem::size_of::<Self>() + self.seed.memory_bytes();
-        total += self.neighbors.capacity() * std::mem::size_of::<Vec<ElementId>>();
-        for n in &self.neighbors {
-            total += n.capacity() * std::mem::size_of::<ElementId>();
-        }
-        total
+        std::mem::size_of::<Self>()
+            + self.seed.memory_bytes()
+            + self.link_offsets.capacity() * std::mem::size_of::<u32>()
+            + self.link_targets.capacity() * std::mem::size_of::<ElementId>()
     }
 }
 
@@ -268,6 +331,21 @@ mod tests {
         let data = scattered(2000, 0.4);
         let f = Flat::build(&data, FlatConfig::auto(&data));
         assert!(f.mean_degree() > 0.5, "degree {}", f.mean_degree());
+    }
+
+    #[test]
+    fn csr_links_are_symmetric() {
+        // The eps-overlap relation is symmetric; the CSR slab must be too.
+        let data = scattered(600, 0.5);
+        let f = Flat::build(&data, FlatConfig::auto(&data));
+        for id in 0..data.len() as ElementId {
+            for &n in f.links(id) {
+                assert!(
+                    f.links(n).contains(&id),
+                    "link {id} -> {n} missing its mirror"
+                );
+            }
+        }
     }
 
     #[test]

@@ -17,9 +17,25 @@
 //! Cell resolution is the grid's one knob; [`GridConfig::auto`] implements
 //! the analytical model the paper calls for ("the optimal resolution depends
 //! on the distribution of location and size of the spatial elements").
+//!
+//! ## Cache-conscious layout
+//!
+//! Each cell stores its candidates as a [`SoaAabbs`] slab: ids plus six
+//! contiguous coordinate arrays. A range query walks the overlapped cells
+//! and runs the **batched bbox filter** over each slab — a streaming pass
+//! over flat `f32` arrays instead of a per-candidate gather through
+//! `data[id]` — and only the survivors are refined against exact geometry.
+//! This is §3.3's scan-friendly-grid argument applied at the memory-layout
+//! level; the measured before/after of exactly this change is
+//! `BENCH_batch_kernel.json` (see `crates/bench/benches/batch_kernel.rs`).
+//! Replication dedupe uses the generation-stamped
+//! [`simspatial_geom::scratch::VisitedTable`] from the thread-local
+//! [`simspatial_geom::QueryScratch`], so the repeat query path is
+//! allocation-free (no per-query `HashSet`, no candidate vector churn).
 
 use crate::traits::{KnnIndex, SpatialIndex};
-use simspatial_geom::{predicates, stats, Aabb, Element, ElementId, Point3};
+use simspatial_geom::scratch::{with_scratch, QueryScratch};
+use simspatial_geom::{stats, Aabb, Element, ElementId, Point3, SoaAabbs};
 
 /// Placement policy for volumetric elements.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -43,8 +59,14 @@ pub struct GridConfig {
 impl GridConfig {
     /// Explicit resolution.
     pub fn with_cell_side(cell_side: f32, placement: GridPlacement) -> Self {
-        assert!(cell_side > 0.0 && cell_side.is_finite(), "cell side must be positive");
-        Self { cell_side, placement }
+        assert!(
+            cell_side > 0.0 && cell_side.is_finite(),
+            "cell side must be positive"
+        );
+        Self {
+            cell_side,
+            placement,
+        }
     }
 
     /// The analytical resolution model (§3.3): the cell side is the larger
@@ -55,7 +77,10 @@ impl GridConfig {
     pub fn auto(elements: &[Element]) -> Self {
         let placement = GridPlacement::Center;
         if elements.is_empty() {
-            return Self { cell_side: 1.0, placement };
+            return Self {
+                cell_side: 1.0,
+                placement,
+            };
         }
         let bounds = Aabb::union_all(elements.iter().map(Element::aabb));
         let n = elements.len() as f32;
@@ -69,7 +94,10 @@ impl GridConfig {
             / n;
         let spacing = (bounds.volume().max(f32::MIN_POSITIVE) / n).cbrt();
         let cell_side = (1.5 * spacing).max(mean_extent).max(1e-6);
-        Self { cell_side, placement }
+        Self {
+            cell_side,
+            placement,
+        }
     }
 }
 
@@ -91,13 +119,24 @@ pub struct UniformGrid {
     origin: Point3,
     cell: f32,
     dims: [usize; 3],
-    cells: Vec<Vec<ElementId>>,
+    /// Per-cell candidate slabs in structure-of-arrays form.
+    cells: Vec<SoaAabbs>,
     placement: GridPlacement,
     len: usize,
     /// Largest half-extent over indexed elements (query inflation bound for
     /// center placement; also the kNN termination slack).
     max_half_extent: f32,
+    /// Upper bound on stored ids (sizes the dedupe table).
+    id_bound: usize,
+    /// Center placement only: `slots[id] = (cell, slot)` directory giving
+    /// O(1) entry lookup for the absorbed-update fast path (`u32::MAX`
+    /// marks an absent id). Replicate placement stores several replicas per
+    /// id and locates them by slab scan instead.
+    slots: Vec<(u32, u32)>,
 }
+
+/// Absent-entry marker in the center-placement slot directory.
+const NO_SLOT: (u32, u32) = (u32::MAX, u32::MAX);
 
 /// Hard cap on total cells, to keep pathological configs from exhausting
 /// memory; the resolution is coarsened to fit.
@@ -107,12 +146,14 @@ impl UniformGrid {
     /// Builds a grid over `elements` with the given configuration. The grid
     /// region is the tight bounds of the data, slightly padded so boundary
     /// elements land inside.
+    ///
+    /// Cell assignment (bounding boxes, centroids, cell coordinates) runs
+    /// data-parallel over element chunks; the scatter into cell slabs is a
+    /// single sequential pass.
     pub fn build(elements: &[Element], config: GridConfig) -> Self {
         let bounds = Aabb::union_all(elements.iter().map(Element::aabb));
         let mut grid = Self::empty_over(bounds, config, elements.len());
-        for e in elements {
-            grid.insert(e);
-        }
+        grid.bulk_insert(elements);
         grid
     }
 
@@ -149,16 +190,56 @@ impl UniformGrid {
             origin,
             cell,
             dims,
-            cells: vec![Vec::new(); total],
+            cells: vec![SoaAabbs::new(); total],
             placement: config.placement,
             len: 0,
             max_half_extent: 0.0,
+            id_bound: expected,
+            slots: Vec::new(),
         }
-        .with_capacity_hint(expected)
     }
 
-    fn with_capacity_hint(self, _expected: usize) -> Self {
-        self
+    /// O(1) locate of `id`'s entry under center placement.
+    #[inline]
+    fn slot_of(&self, id: ElementId) -> Option<(usize, usize)> {
+        match self.slots.get(id as usize) {
+            Some(&(cell, slot)) if (cell, slot) != NO_SLOT => Some((cell as usize, slot as usize)),
+            _ => None,
+        }
+    }
+
+    /// Records `id`'s directory entry (center placement).
+    #[inline]
+    fn note_slot(&mut self, id: ElementId, cell: usize, slot: usize) {
+        let idx = id as usize;
+        if self.slots.len() <= idx {
+            self.slots.resize(idx + 1, NO_SLOT);
+        }
+        self.slots[idx] = (cell as u32, slot as u32);
+    }
+
+    /// Pushes an entry into a cell slab, maintaining the slot directory.
+    #[inline]
+    fn cell_push(&mut self, cell: usize, bbox: Aabb, id: ElementId) {
+        self.cells[cell].push(bbox, id);
+        if self.placement == GridPlacement::Center {
+            let slot = self.cells[cell].len() - 1;
+            self.note_slot(id, cell, slot);
+        }
+    }
+
+    /// Swap-removes a slab entry, patching the directory entries of both
+    /// the removed id and the entry swapped into its place.
+    #[inline]
+    fn cell_swap_remove(&mut self, cell: usize, pos: usize) {
+        let (_, removed) = self.cells[cell].swap_remove(pos);
+        if self.placement == GridPlacement::Center {
+            self.slots[removed as usize] = NO_SLOT;
+            if pos < self.cells[cell].len() {
+                let moved = self.cells[cell].id_at(pos);
+                self.note_slot(moved, cell, pos);
+            }
+        }
     }
 
     /// The realised cell side (may be coarser than requested if the cap hit).
@@ -206,18 +287,82 @@ impl UniformGrid {
         (self.clamp_coord(&b.min), self.clamp_coord(&b.max))
     }
 
+    #[inline]
+    fn note_element(&mut self, id: ElementId, bbox: &Aabb) {
+        let ext = bbox.extent();
+        self.max_half_extent = self.max_half_extent.max(ext.x.max(ext.y).max(ext.z) * 0.5);
+        self.id_bound = self.id_bound.max(id as usize + 1);
+    }
+
+    /// Bulk-inserts a dataset: the parallel assignment phase computes each
+    /// element's bounding box and target cell(s); a sequential pass then
+    /// scatters the `(bbox, id)` entries into the cell slabs.
+    fn bulk_insert(&mut self, elements: &[Element]) {
+        if elements.is_empty() {
+            return;
+        }
+        struct Assigned {
+            entries: Vec<(u32, Aabb, ElementId)>,
+            max_half: f32,
+            max_id: ElementId,
+        }
+        // Phase 1 (parallel): geometry + cell coordinates per element. This
+        // is the compute-heavy part — exact shape bounds and coordinate
+        // quantisation — and is embarrassingly parallel.
+        let chunks = simspatial_geom::parallel::par_map_chunks(elements, 2048, |_, chunk| {
+            let mut out = Assigned {
+                entries: Vec::with_capacity(chunk.len()),
+                max_half: 0.0,
+                max_id: 0,
+            };
+            for e in chunk {
+                let bbox = e.aabb();
+                let ext = bbox.extent();
+                out.max_half = out.max_half.max(ext.x.max(ext.y).max(ext.z) * 0.5);
+                out.max_id = out.max_id.max(e.id);
+                match self.placement {
+                    GridPlacement::Center => {
+                        let c = self.clamp_coord(&e.center());
+                        out.entries.push((self.cell_index(c) as u32, bbox, e.id));
+                    }
+                    GridPlacement::Replicate => {
+                        let (lo, hi) = self.cell_range(&bbox);
+                        for z in lo[2]..=hi[2] {
+                            for y in lo[1]..=hi[1] {
+                                for x in lo[0]..=hi[0] {
+                                    out.entries.push((
+                                        self.cell_index([x, y, z]) as u32,
+                                        bbox,
+                                        e.id,
+                                    ));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            out
+        });
+        // Phase 2 (sequential): scatter into slabs.
+        for chunk in chunks {
+            self.max_half_extent = self.max_half_extent.max(chunk.max_half);
+            self.id_bound = self.id_bound.max(chunk.max_id as usize + 1);
+            for (cell, bbox, id) in chunk.entries {
+                self.cell_push(cell as usize, bbox, id);
+            }
+        }
+        self.len += elements.len();
+    }
+
     /// Inserts an element under the configured placement.
     pub fn insert(&mut self, e: &Element) {
         let bbox = e.aabb();
-        let ext = bbox.extent();
-        self.max_half_extent = self
-            .max_half_extent
-            .max(ext.x.max(ext.y).max(ext.z) * 0.5);
+        self.note_element(e.id, &bbox);
         match self.placement {
             GridPlacement::Center => {
                 let c = self.clamp_coord(&e.center());
                 let idx = self.cell_index(c);
-                self.cells[idx].push(e.id);
+                self.cell_push(idx, bbox, e.id);
             }
             GridPlacement::Replicate => {
                 let (lo, hi) = self.cell_range(&bbox);
@@ -225,7 +370,7 @@ impl UniformGrid {
                     for y in lo[1]..=hi[1] {
                         for x in lo[0]..=hi[0] {
                             let idx = self.cell_index([x, y, z]);
-                            self.cells[idx].push(e.id);
+                            self.cells[idx].push(bbox, e.id);
                         }
                     }
                 }
@@ -240,10 +385,8 @@ impl UniformGrid {
         let mut found = false;
         match self.placement {
             GridPlacement::Center => {
-                let c = self.clamp_coord(&old.center());
-                let idx = self.cell_index(c);
-                if let Some(pos) = self.cells[idx].iter().position(|&e| e == id) {
-                    self.cells[idx].swap_remove(pos);
+                if let Some((cell, pos)) = self.slot_of(id) {
+                    self.cell_swap_remove(cell, pos);
                     found = true;
                 }
             }
@@ -253,7 +396,7 @@ impl UniformGrid {
                     for y in lo[1]..=hi[1] {
                         for x in lo[0]..=hi[0] {
                             let idx = self.cell_index([x, y, z]);
-                            if let Some(pos) = self.cells[idx].iter().position(|&e| e == id) {
+                            if let Some(pos) = self.cells[idx].position_of_id(id) {
                                 self.cells[idx].swap_remove(pos);
                                 found = true;
                             }
@@ -269,23 +412,32 @@ impl UniformGrid {
     }
 
     /// Moves an element from its old to its new geometry. With center
-    /// placement and small displacements this is almost always a no-op —
+    /// placement and small displacements this is almost always cell-local —
     /// the §4.3 argument for grids under massive minimal movement. Returns
-    /// `true` when the element actually changed cells.
+    /// `true` when the element actually changed cells (the stored bounding
+    /// box is refreshed either way, keeping the slabs exact).
     pub fn update(&mut self, old: &Element, new: &Element) -> bool {
         debug_assert_eq!(old.id, new.id);
+        let new_bbox = new.aabb();
         match self.placement {
             GridPlacement::Center => {
                 let co = self.clamp_coord(&old.center());
                 let cn = self.clamp_coord(&new.center());
                 if co == cn {
+                    // Absorbed move: O(1) directory lookup, box rewrite in
+                    // place so the stored-box filter keeps seeing live
+                    // geometry.
+                    if let Some((cell, pos)) = self.slot_of(old.id) {
+                        self.cells[cell].set_box(pos, new_bbox);
+                        self.note_element(new.id, &new_bbox);
+                    }
                     return false;
                 }
-                let io = self.cell_index(co);
-                if let Some(pos) = self.cells[io].iter().position(|&e| e == old.id) {
-                    self.cells[io].swap_remove(pos);
+                if let Some((cell, pos)) = self.slot_of(old.id) {
+                    self.cell_swap_remove(cell, pos);
                     let ic = self.cell_index(cn);
-                    self.cells[ic].push(new.id);
+                    self.cell_push(ic, new_bbox, new.id);
+                    self.note_element(new.id, &new_bbox);
                     true
                 } else {
                     false
@@ -293,8 +445,19 @@ impl UniformGrid {
             }
             GridPlacement::Replicate => {
                 let (olo, ohi) = self.cell_range(&old.aabb());
-                let (nlo, nhi) = self.cell_range(&new.aabb());
+                let (nlo, nhi) = self.cell_range(&new_bbox);
                 if (olo, ohi) == (nlo, nhi) {
+                    for z in olo[2]..=ohi[2] {
+                        for y in olo[1]..=ohi[1] {
+                            for x in olo[0]..=ohi[0] {
+                                let idx = self.cell_index([x, y, z]);
+                                if let Some(pos) = self.cells[idx].position_of_id(old.id) {
+                                    self.cells[idx].set_box(pos, new_bbox);
+                                }
+                            }
+                        }
+                    }
+                    self.note_element(new.id, &new_bbox);
                     return false;
                 }
                 self.remove(old.id, old);
@@ -305,17 +468,112 @@ impl UniformGrid {
         }
     }
 
-    /// Candidate ids whose cells overlap `query` (deduplicated under
-    /// replication), **without** any element tests — the raw filter output.
-    /// Under center placement the probe is inflated by the recorded maximum
-    /// half-extent, so the candidate set is complete for the geometries the
-    /// grid was built over. Used by structures that layer their own
-    /// refinement on top (FLAT's seed phase, the join algorithms).
-    pub fn range_bbox_candidates(&self, query: &Aabb) -> Vec<ElementId> {
-        self.candidates(query)
+    /// Applies a whole simulation step of movements in one call: `old[i]`
+    /// and `new[i]` must describe the same element before/after. Currently
+    /// a straight per-pair loop over [`UniformGrid::update`] (the step-level
+    /// API exists so callers hand the grid the whole step; a genuinely
+    /// vectorised migration pass can slot in behind it). Returns
+    /// `(structural_updates, absorbed)` — the §4.3 split between elements
+    /// that switched cells and elements whose movement the grid absorbed in
+    /// place.
+    pub fn update_batch(&mut self, old: &[Element], new: &[Element]) -> (usize, usize) {
+        assert_eq!(
+            old.len(),
+            new.len(),
+            "update_batch needs before/after pairs"
+        );
+        let mut structural = 0usize;
+        let mut absorbed = 0usize;
+        for (o, n) in old.iter().zip(new.iter()) {
+            debug_assert_eq!(o.id, n.id);
+            if self.update(o, n) {
+                structural += 1;
+            } else {
+                absorbed += 1;
+            }
+        }
+        (structural, absorbed)
     }
 
-    fn candidates(&self, query: &Aabb) -> Vec<ElementId> {
+    /// Candidate ids whose **stored** bounding boxes intersect `probe`
+    /// (deduplicated under replication), **without** exact refinement.
+    /// Under center placement the cell walk is additionally inflated by the
+    /// recorded maximum half-extent so every overlapping slab is visited.
+    ///
+    /// Callers that tolerate staleness (FLAT's seed phase) pass a probe
+    /// already inflated by their drift bound; the stored boxes are the
+    /// boxes at insert/update time, so the filter is sound against such a
+    /// probe. Used by structures that layer their own refinement on top.
+    pub fn range_bbox_candidates(&self, probe: &Aabb) -> Vec<ElementId> {
+        with_scratch(|scratch| {
+            self.collect_candidates(probe, scratch);
+            scratch.candidates.clone()
+        })
+    }
+
+    /// Allocation-free form of [`UniformGrid::range_bbox_candidates`]:
+    /// appends candidates to `scratch.candidates`. Under replication the
+    /// dedupe pass claims `scratch.visited` for a new epoch.
+    pub fn range_bbox_candidates_into(&self, probe: &Aabb, scratch: &mut QueryScratch) {
+        self.collect_candidates(probe, scratch);
+    }
+
+    /// The batched filter phase: appends to `scratch.candidates` the ids of
+    /// stored boxes intersecting `probe`.
+    fn collect_candidates(&self, probe: &Aabb, scratch: &mut QueryScratch) {
+        let walk = match self.placement {
+            GridPlacement::Center => probe.inflate(self.max_half_extent),
+            GridPlacement::Replicate => *probe,
+        };
+        let (lo, hi) = self.cell_range(&walk);
+        let dedupe = self.placement == GridPlacement::Replicate;
+        if dedupe {
+            scratch.visited.begin(self.id_bound);
+        }
+        let mut scanned = 0u64;
+        for z in lo[2]..=hi[2] {
+            for y in lo[1]..=hi[1] {
+                for x in lo[0]..=hi[0] {
+                    let slab = &self.cells[self.cell_index([x, y, z])];
+                    if slab.is_empty() {
+                        continue;
+                    }
+                    scanned += slab.len() as u64;
+                    if dedupe {
+                        let before = scratch.candidates.len();
+                        slab.intersect_into(probe, &mut scratch.candidates);
+                        // Drop ids already produced by a previously visited
+                        // replica cell (generation-stamped, no hashing).
+                        let mut keep = before;
+                        for i in before..scratch.candidates.len() {
+                            let id = scratch.candidates[i];
+                            if scratch.visited.mark(id) {
+                                scratch.candidates[keep] = id;
+                                keep += 1;
+                            }
+                        }
+                        scratch.candidates.truncate(keep);
+                    } else {
+                        slab.intersect_into(probe, &mut scratch.candidates);
+                    }
+                }
+            }
+        }
+        // Counter semantics: one element-level test per slab *lane* — the
+        // physical batched comparisons. Under replication this counts each
+        // replica (the seed counted one test per deduplicated candidate
+        // after its sort+dedup pass), so replicated grids report ~r x more
+        // element tests than the seed methodology for replication factor r;
+        // `elements_scanned` is unchanged (raw lanes, as before).
+        stats::record_elements_scanned(scanned);
+        stats::record_element_tests(scanned);
+    }
+
+    /// The seed implementation's scalar query path, kept as the reference
+    /// for differential tests and the before/after kernel benchmark: dump
+    /// raw cell candidate lists (sort + dedup under replication), then run
+    /// the scalar filter-and-refine predicate per candidate against `data`.
+    pub fn range_scalar_reference(&self, data: &[Element], query: &Aabb) -> Vec<ElementId> {
         let probe = match self.placement {
             GridPlacement::Center => query.inflate(self.max_half_extent),
             GridPlacement::Replicate => *query,
@@ -325,8 +583,7 @@ impl UniformGrid {
         for z in lo[2]..=hi[2] {
             for y in lo[1]..=hi[1] {
                 for x in lo[0]..=hi[0] {
-                    let idx = self.cell_index([x, y, z]);
-                    out.extend_from_slice(&self.cells[idx]);
+                    out.extend_from_slice(self.cells[self.cell_index([x, y, z])].ids());
                 }
             }
         }
@@ -335,6 +592,7 @@ impl UniformGrid {
             out.sort_unstable();
             out.dedup();
         }
+        out.retain(|&id| simspatial_geom::predicates::element_in_range(&data[id as usize], query));
         out
     }
 }
@@ -348,18 +606,27 @@ impl SpatialIndex for UniformGrid {
         self.len
     }
 
+    /// Batched filter + scalar refine: the bbox filter streams over the
+    /// cell slabs' SoA arrays; only survivors touch `data` for the exact
+    /// geometry test.
     fn range(&self, data: &[Element], query: &Aabb) -> Vec<ElementId> {
-        self.candidates(query)
-            .into_iter()
-            .filter(|&id| predicates::element_in_range(&data[id as usize], query))
-            .collect()
+        with_scratch(|scratch| {
+            self.collect_candidates(query, scratch);
+            stats::record_element_tests(scratch.candidates.len() as u64);
+            scratch
+                .candidates
+                .iter()
+                .copied()
+                .filter(|&id| data[id as usize].shape.intersects_aabb(query))
+                .collect()
+        })
     }
 
     fn memory_bytes(&self) -> usize {
-        let mut total = std::mem::size_of::<Self>()
-            + self.cells.capacity() * std::mem::size_of::<Vec<ElementId>>();
+        let mut total =
+            std::mem::size_of::<Self>() + self.cells.capacity() * std::mem::size_of::<SoaAabbs>();
         for c in &self.cells {
-            total += c.capacity() * std::mem::size_of::<ElementId>();
+            total += c.memory_bytes();
         }
         total
     }
@@ -376,56 +643,62 @@ impl KnnIndex for UniformGrid {
         let center = self.clamp_coord(p);
         let max_ring = self.dims[0].max(self.dims[1]).max(self.dims[2]);
         // (distance, id) max-heap of the current best k. Under replication
-        // an element appears in several cells; `visited` keeps it from being
-        // scored (and returned) twice.
+        // an element appears in several cells; the generation-stamped
+        // visited table keeps it from being scored (and returned) twice.
         let mut best: std::collections::BinaryHeap<(OrderedF32, ElementId)> =
             std::collections::BinaryHeap::new();
-        let mut visited = std::collections::HashSet::new();
         let mut seen = 0usize;
-        for ring in 0..=max_ring {
-            // Termination: the closest possible element in ring r is at
-            // least (r-1)·cell − max_half_extent away (the point may sit at
-            // its cell's edge, and an element's surface may extend beyond
-            // its centre's cell).
-            if best.len() >= k {
-                let kth = best.peek().unwrap().0 .0;
-                let ring_min = (ring as f32 - 1.0) * self.cell - self.max_half_extent;
-                if ring_min > kth {
-                    break;
-                }
+        with_scratch(|scratch| {
+            let dedupe = self.placement == GridPlacement::Replicate;
+            if dedupe {
+                scratch.visited.begin(self.id_bound);
             }
-            let mut any_cell = false;
-            self.for_ring(center, ring, |cell_idx| {
-                any_cell = true;
-                for &id in &self.cells[cell_idx] {
-                    if self.placement == GridPlacement::Replicate && !visited.insert(id) {
-                        continue;
-                    }
-                    seen += 1;
-                    let d = predicates::element_distance(&data[id as usize], p);
-                    if best.len() < k {
-                        best.push((OrderedF32(d), id));
-                    } else if d < best.peek().unwrap().0 .0 {
-                        best.pop();
-                        best.push((OrderedF32(d), id));
-                    }
-                }
-            });
-            if !any_cell && ring > 0 {
-                // Ring fully outside the grid: everything farther is too.
+            let visited = &mut scratch.visited;
+            for ring in 0..=max_ring {
+                // Termination: the closest possible element in ring r is at
+                // least (r-1)·cell − max_half_extent away (the point may sit
+                // at its cell's edge, and an element's surface may extend
+                // beyond its centre's cell).
                 if best.len() >= k {
-                    break;
+                    let kth = best.peek().unwrap().0 .0;
+                    let ring_min = (ring as f32 - 1.0) * self.cell - self.max_half_extent;
+                    if ring_min > kth {
+                        break;
+                    }
                 }
-                // Keep expanding only while rings may still clip the grid.
-                let beyond = ring > self.dims[0] + self.dims[1] + self.dims[2];
-                if beyond {
-                    break;
+                let mut any_cell = false;
+                self.for_ring(center, ring, |cell_idx| {
+                    any_cell = true;
+                    for &id in self.cells[cell_idx].ids() {
+                        if dedupe && !visited.mark(id) {
+                            continue;
+                        }
+                        seen += 1;
+                        let d =
+                            simspatial_geom::predicates::element_distance(&data[id as usize], p);
+                        if best.len() < k {
+                            best.push((OrderedF32(d), id));
+                        } else if d < best.peek().unwrap().0 .0 {
+                            best.pop();
+                            best.push((OrderedF32(d), id));
+                        }
+                    }
+                });
+                if !any_cell && ring > 0 {
+                    // Ring fully outside the grid: everything farther is too.
+                    if best.len() >= k {
+                        break;
+                    }
+                    // Keep expanding only while rings may still clip the grid.
+                    let beyond = ring > self.dims[0] + self.dims[1] + self.dims[2];
+                    if beyond {
+                        break;
+                    }
                 }
             }
-        }
+        });
         stats::record_elements_scanned(seen as u64);
-        let mut out: Vec<(ElementId, f32)> =
-            best.into_iter().map(|(d, id)| (id, d.0)).collect();
+        let mut out: Vec<(ElementId, f32)> = best.into_iter().map(|(d, id)| (id, d.0)).collect();
         out.sort_unstable_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
         out
     }
@@ -531,6 +804,43 @@ mod tests {
     }
 
     #[test]
+    fn batched_path_matches_scalar_reference() {
+        let data = scattered(2500, 0.5);
+        for placement in [GridPlacement::Center, GridPlacement::Replicate] {
+            let g = UniformGrid::build(&data, GridConfig::with_cell_side(4.0, placement));
+            for q in queries() {
+                let mut a = g.range(&data, &q);
+                let mut b = g.range_scalar_reference(&data, &q);
+                a.sort_unstable();
+                b.sort_unstable();
+                assert_eq!(a, b, "{placement:?} {q:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_build_matches_bulk() {
+        let data = scattered(1500, 0.4);
+        for placement in [GridPlacement::Center, GridPlacement::Replicate] {
+            let config = GridConfig::with_cell_side(5.0, placement);
+            let bulk = UniformGrid::build(&data, config);
+            let bounds = Aabb::union_all(data.iter().map(Element::aabb));
+            let mut inc = UniformGrid::empty_over(bounds, config, data.len());
+            for e in &data {
+                inc.insert(e);
+            }
+            assert_eq!(bulk.len(), inc.len());
+            for q in queries() {
+                let mut a = bulk.range(&data, &q);
+                let mut b = inc.range(&data, &q);
+                a.sort_unstable();
+                b.sort_unstable();
+                assert_eq!(a, b, "{placement:?} {q:?}");
+            }
+        }
+    }
+
+    #[test]
     fn auto_config_matches_scan() {
         let data = scattered(2000, 0.3);
         let g = UniformGrid::build(&data, GridConfig::auto(&data));
@@ -565,7 +875,10 @@ mod tests {
     #[test]
     fn update_detects_cell_switches() {
         let data = scattered(500, 0.2);
-        let mut g = UniformGrid::build(&data, GridConfig::with_cell_side(10.0, GridPlacement::Center));
+        let mut g = UniformGrid::build(
+            &data,
+            GridConfig::with_cell_side(10.0, GridPlacement::Center),
+        );
         // Tiny move: same cell, no structural update.
         let old = data[0].clone();
         let mut new = old.clone();
@@ -584,6 +897,70 @@ mod tests {
     }
 
     #[test]
+    fn absorbed_update_refreshes_stored_box() {
+        // An in-cell move must update the stored bounding box so the
+        // batched filter keeps seeing live geometry.
+        let data = scattered(200, 0.2);
+        let mut g = UniformGrid::build(
+            &data,
+            GridConfig::with_cell_side(20.0, GridPlacement::Center),
+        );
+        let mut live = data.clone();
+        let old = live[3].clone();
+        let mut new = old.clone();
+        new.translate(Vec3::new(3.0, 3.0, 3.0)); // big enough to matter, same cell
+        let switched = g.update(&old, &new);
+        live[3] = new.clone();
+        let q = new.aabb();
+        let hits = g.range(&live, &q);
+        assert!(
+            hits.contains(&3),
+            "switched={switched}, stale stored box lost the element"
+        );
+    }
+
+    #[test]
+    fn update_batch_matches_sequential_updates() {
+        let data = scattered(800, 0.3);
+        let moved: Vec<Element> = data
+            .iter()
+            .map(|e| {
+                let mut m = e.clone();
+                let h = e.id.wrapping_mul(0x9E3779B9);
+                let big = e.id % 11 == 0;
+                let s = if big { 12.0 } else { 0.01 };
+                m.translate(Vec3::new(
+                    (h % 100) as f32 / 100.0 * s,
+                    ((h >> 8) % 100) as f32 / 100.0 * s,
+                    ((h >> 16) % 100) as f32 / 100.0 * s,
+                ));
+                m
+            })
+            .collect();
+        let config = GridConfig::with_cell_side(3.0, GridPlacement::Center);
+        let mut batched = UniformGrid::build(&data, config);
+        let (structural, absorbed) = batched.update_batch(&data, &moved);
+        assert_eq!(structural + absorbed, data.len());
+        assert!(structural > 0, "some large moves must switch cells");
+        assert!(absorbed > 0, "small moves must be absorbed");
+
+        let mut sequential = UniformGrid::build(&data, config);
+        let mut seq_structural = 0;
+        for (o, n) in data.iter().zip(moved.iter()) {
+            if sequential.update(o, n) {
+                seq_structural += 1;
+            }
+        }
+        assert_eq!(structural, seq_structural);
+        let q = Aabb::new(Point3::new(10.0, 10.0, 10.0), Point3::new(60.0, 60.0, 60.0));
+        let mut a = batched.range(&moved, &q);
+        let mut b = sequential.range(&moved, &q);
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
     fn remove_then_query() {
         let data = scattered(300, 0.2);
         for placement in [GridPlacement::Center, GridPlacement::Replicate] {
@@ -599,7 +976,10 @@ mod tests {
     #[test]
     fn degenerate_single_cell() {
         let data = scattered(50, 0.1);
-        let g = UniformGrid::build(&data, GridConfig::with_cell_side(1e6, GridPlacement::Center));
+        let g = UniformGrid::build(
+            &data,
+            GridConfig::with_cell_side(1e6, GridPlacement::Center),
+        );
         assert_eq!(g.dims(), [1, 1, 1]);
         let scan = LinearScan::build(&data);
         let q = queries()[2];
@@ -614,10 +994,35 @@ mod tests {
     fn cell_cap_coarsens_resolution() {
         let data = scattered(100, 0.1);
         // Absurdly fine request: must be coarsened, not OOM.
-        let g = UniformGrid::build(&data, GridConfig::with_cell_side(1e-5, GridPlacement::Center));
+        let g = UniformGrid::build(
+            &data,
+            GridConfig::with_cell_side(1e-5, GridPlacement::Center),
+        );
         let total: usize = g.dims().iter().product();
         assert!(total <= super::MAX_CELLS);
         assert!(g.cell_side() > 1e-5);
+    }
+
+    #[test]
+    fn repeat_queries_reuse_scratch() {
+        // Smoke test for the allocation-free repeat path: results stay
+        // identical across many repetitions through the shared scratch.
+        let data = scattered(1000, 0.4);
+        let g = UniformGrid::build(
+            &data,
+            GridConfig::with_cell_side(4.0, GridPlacement::Replicate),
+        );
+        let q = queries()[4];
+        let first = {
+            let mut v = g.range(&data, &q);
+            v.sort_unstable();
+            v
+        };
+        for _ in 0..50 {
+            let mut v = g.range(&data, &q);
+            v.sort_unstable();
+            assert_eq!(v, first);
+        }
     }
 
     #[test]

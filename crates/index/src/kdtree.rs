@@ -50,7 +50,11 @@ impl KdTree {
         let n = items.len();
         let root = Self::build_rec(&mut items[..], 0, &mut nodes);
         debug_assert_eq!(nodes.len(), n);
-        Self { nodes, root, max_half_extent }
+        Self {
+            nodes,
+            root,
+            max_half_extent,
+        }
     }
 
     fn build_rec(items: &mut [(Point3, ElementId)], depth: u8, nodes: &mut Vec<KdNode>) -> u32 {
@@ -64,7 +68,13 @@ impl KdTree {
         });
         let (point, id) = items[mid];
         let slot = nodes.len() as u32;
-        nodes.push(KdNode { point, id, axis, left: NIL, right: NIL });
+        nodes.push(KdNode {
+            point,
+            id,
+            axis,
+            left: NIL,
+            right: NIL,
+        });
         let (lo, rest) = items.split_at_mut(mid);
         let hi = &mut rest[1..];
         let left = Self::build_rec(lo, depth + 1, nodes);
@@ -129,11 +139,19 @@ impl KdTree {
         }
         let axis = n.axis as usize;
         let delta = p.axis(axis) - n.point.axis(axis);
-        let (near, far) = if delta <= 0.0 { (n.left, n.right) } else { (n.right, n.left) };
+        let (near, far) = if delta <= 0.0 {
+            (n.left, n.right)
+        } else {
+            (n.right, n.left)
+        };
         self.knn_rec(near, p, k, data, best);
         // The far half-space can contain a closer element surface when the
         // plane distance (minus the surface slack) beats the k-th best.
-        let kth = if best.len() < k { f32::INFINITY } else { best.peek().unwrap().0 .0 };
+        let kth = if best.len() < k {
+            f32::INFINITY
+        } else {
+            best.peek().unwrap().0 .0
+        };
         if stats::tree_test(|| delta.abs() - self.max_half_extent <= kth) {
             self.knn_rec(far, p, k, data, best);
         }
@@ -267,7 +285,12 @@ mod tests {
     #[test]
     fn duplicate_points_supported() {
         let data: Vec<Element> = (0..32)
-            .map(|i| Element::new(i, Shape::Sphere(Sphere::new(Point3::new(1.0, 1.0, 1.0), 0.1))))
+            .map(|i| {
+                Element::new(
+                    i,
+                    Shape::Sphere(Sphere::new(Point3::new(1.0, 1.0, 1.0), 0.1)),
+                )
+            })
             .collect();
         let t = KdTree::build(&data);
         let q = Aabb::new(Point3::ORIGIN, Point3::new(2.0, 2.0, 2.0));

@@ -18,7 +18,9 @@ pub struct LinearScan {
 impl LinearScan {
     /// "Builds" the scan — records only the expected dataset size.
     pub fn build(elements: &[Element]) -> Self {
-        Self { len: elements.len() }
+        Self {
+            len: elements.len(),
+        }
     }
 
     /// Answers a whole batch of range queries in **one pass** over the
@@ -192,7 +194,10 @@ mod tests {
             idx.range(&data, q);
         }
         let sequential = stats::snapshot().element_tests;
-        assert!(batched < sequential, "batched {batched} vs sequential {sequential}");
+        assert!(
+            batched < sequential,
+            "batched {batched} vs sequential {sequential}"
+        );
     }
 
     #[test]

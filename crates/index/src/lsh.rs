@@ -36,7 +36,12 @@ pub struct LshConfig {
 
 impl Default for LshConfig {
     fn default() -> Self {
-        Self { tables: 8, hashes_per_table: 3, width: 4.0, seed: 0x15_4A11 }
+        Self {
+            tables: 8,
+            hashes_per_table: 3,
+            width: 4.0,
+            seed: 0x15_4A11,
+        }
     }
 }
 
@@ -49,15 +54,17 @@ impl LshConfig {
             return cfg;
         }
         let bounds = Aabb::union_all(elements.iter().map(Element::aabb));
-        let spacing =
-            (bounds.volume().max(f32::MIN_POSITIVE) / elements.len() as f32).cbrt();
+        let spacing = (bounds.volume().max(f32::MIN_POSITIVE) / elements.len() as f32).cbrt();
         cfg.width = (2.5 * spacing).max(1e-6);
         cfg
     }
 
     fn validate(&self) {
         assert!(self.tables >= 1, "need at least one table");
-        assert!((1..=8).contains(&self.hashes_per_table), "1..=8 hashes per table");
+        assert!(
+            (1..=8).contains(&self.hashes_per_table),
+            "1..=8 hashes per table"
+        );
         assert!(self.width > 0.0, "width must be positive");
     }
 }
@@ -126,7 +133,12 @@ impl Lsh {
                 tables[t].entry(key).or_default().push(e.id);
             }
         }
-        Self { config, fns, tables, len: elements.len() }
+        Self {
+            config,
+            fns,
+            tables,
+            len: elements.len(),
+        }
     }
 
     /// Number of indexed elements.
@@ -165,10 +177,10 @@ impl Lsh {
             // Multiprobe: one coordinate perturbed by ±1.
             for i in 0..base.len() {
                 for delta in [-1i32, 1] {
-                    let probe =
-                        base.iter().enumerate().map(
-                            |(j, &h)| if j == i { h + delta } else { h },
-                        );
+                    let probe = base
+                        .iter()
+                        .enumerate()
+                        .map(|(j, &h)| if j == i { h + delta } else { h });
                     if let Some(ids) = self.tables[t].get(&mix_key(probe)) {
                         out.extend_from_slice(ids);
                     }
@@ -218,7 +230,7 @@ fn mix_key(values: impl Iterator<Item = i32>) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{KnnIndex as _, LinearScan};
+    use crate::LinearScan;
     use simspatial_geom::{Shape, Sphere};
 
     fn scattered(n: u32) -> Vec<Element> {
@@ -254,8 +266,11 @@ mod tests {
         let mut total = 0usize;
         for i in 0..20 {
             let p = Point3::new((i * 5) as f32, (i * 4) as f32, (i * 3) as f32);
-            let approx: std::collections::HashSet<ElementId> =
-                lsh.knn(&data, &p, 10).into_iter().map(|(id, _)| id).collect();
+            let approx: std::collections::HashSet<ElementId> = lsh
+                .knn(&data, &p, 10)
+                .into_iter()
+                .map(|(id, _)| id)
+                .collect();
             for (id, _) in scan.knn(&data, &p, 10) {
                 total += 1;
                 if approx.contains(&id) {

@@ -29,7 +29,10 @@ impl MultiGridConfig {
     /// median element, and enough levels are added to fit the largest.
     pub fn auto(elements: &[Element]) -> Self {
         if elements.is_empty() {
-            return Self { finest_cell: 1.0, levels: 1 };
+            return Self {
+                finest_cell: 1.0,
+                levels: 1,
+            };
         }
         let mut extents: Vec<f32> = elements
             .iter()
@@ -46,7 +49,10 @@ impl MultiGridConfig {
         let finest_cell = median.max(spacing).max(1e-6);
         let max_extent = extents.iter().copied().fold(0.0f32, f32::max);
         let levels = ((max_extent / finest_cell).log2().ceil() as usize + 1).clamp(1, 8);
-        Self { finest_cell, levels }
+        Self {
+            finest_cell,
+            levels,
+        }
     }
 
     fn validate(&self) {
@@ -69,8 +75,9 @@ impl MultiGrid {
     pub fn build(elements: &[Element], config: MultiGridConfig) -> Self {
         config.validate();
         let bounds = Aabb::union_all(elements.iter().map(Element::aabb));
-        let cell_sides: Vec<f32> =
-            (0..config.levels).map(|i| config.finest_cell * (1u32 << i) as f32).collect();
+        let cell_sides: Vec<f32> = (0..config.levels)
+            .map(|i| config.finest_cell * (1u32 << i) as f32)
+            .collect();
         let mut levels: Vec<UniformGrid> = cell_sides
             .iter()
             .map(|&side| {
@@ -90,7 +97,11 @@ impl MultiGrid {
                 .unwrap_or(config.levels - 1);
             levels[level].insert(e);
         }
-        Self { levels, cell_sides, len: elements.len() }
+        Self {
+            levels,
+            cell_sides,
+            len: elements.len(),
+        }
     }
 
     /// Number of levels.
@@ -171,7 +182,10 @@ mod tests {
     fn range_matches_scan() {
         let data = mixed(2500);
         let mg = MultiGrid::build(&data, MultiGridConfig::auto(&data));
-        assert!(mg.level_count() >= 2, "mixed sizes should need several levels");
+        assert!(
+            mg.level_count() >= 2,
+            "mixed sizes should need several levels"
+        );
         let scan = LinearScan::build(&data);
         for i in 0..15 {
             let c = Point3::new((i * 6) as f32, (i * 5) as f32, (i * 4) as f32);

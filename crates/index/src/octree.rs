@@ -10,7 +10,8 @@
 //! measurable through the instrumentation).
 
 use crate::traits::{KnnIndex, SpatialIndex};
-use simspatial_geom::{predicates, stats, Aabb, Element, ElementId, Point3, Vec3};
+use simspatial_geom::scratch::with_scratch;
+use simspatial_geom::{predicates, stats, Aabb, Element, ElementId, Point3, SoaAabbs, Vec3};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -31,7 +32,11 @@ pub struct OctreeConfig {
 
 impl Default for OctreeConfig {
     fn default() -> Self {
-        Self { max_depth: 10, max_entries: 16, looseness: 2.0 }
+        Self {
+            max_depth: 10,
+            max_entries: 16,
+            looseness: 2.0,
+        }
     }
 }
 
@@ -48,12 +53,19 @@ struct ONode {
     cube: Aabb,
     depth: u32,
     children: [u32; 8],
-    entries: Vec<(Aabb, ElementId)>,
+    /// Entries in SoA form: range queries run the batched bbox filter over
+    /// each visited node's slab.
+    entries: SoaAabbs,
 }
 
 impl ONode {
     fn new(cube: Aabb, depth: u32) -> Self {
-        Self { cube, depth, children: [NIL; 8], entries: Vec::new() }
+        Self {
+            cube,
+            depth,
+            children: [NIL; 8],
+            entries: SoaAabbs::new(),
+        }
     }
 
     fn has_children(&self) -> bool {
@@ -86,7 +98,11 @@ impl Octree {
     pub fn empty_over(region: Aabb, config: OctreeConfig) -> Self {
         config.validate();
         let cube = cubify(region);
-        Self { nodes: vec![ONode::new(cube, 0)], config, len: 0 }
+        Self {
+            nodes: vec![ONode::new(cube, 0)],
+            config,
+            len: 0,
+        }
     }
 
     /// Number of indexed entries.
@@ -104,7 +120,10 @@ impl Octree {
         let cube = self.nodes[node as usize].cube;
         let c = cube.center();
         let half = cube.extent() * (0.5 * self.config.looseness);
-        Aabb { min: c - half, max: c + half }
+        Aabb {
+            min: c - half,
+            max: c + half,
+        }
     }
 
     /// Strict cube of the `oct`-th child of `node`.
@@ -131,12 +150,16 @@ impl Octree {
         let cube = self.nodes[node as usize].cube;
         let c = cube.center();
         let bc = bbox.center();
-        let oct = usize::from(bc.x >= c.x) | (usize::from(bc.y >= c.y) << 1)
+        let oct = usize::from(bc.x >= c.x)
+            | (usize::from(bc.y >= c.y) << 1)
             | (usize::from(bc.z >= c.z) << 2);
         let strict = self.child_cube(node, oct);
         let lc = strict.center();
         let half = strict.extent() * (0.5 * self.config.looseness);
-        let loose = Aabb { min: lc - half, max: lc + half };
+        let loose = Aabb {
+            min: lc - half,
+            max: lc + half,
+        };
         if loose.contains(bbox) {
             Some(oct)
         } else {
@@ -166,7 +189,7 @@ impl Octree {
                 None => break,
             }
         }
-        self.nodes[node as usize].entries.push((bbox, id));
+        self.nodes[node as usize].entries.push(bbox, id);
         self.len += 1;
         self.maybe_split(node);
     }
@@ -191,14 +214,14 @@ impl Octree {
             return;
         }
         let entries = std::mem::take(&mut self.nodes[node as usize].entries);
-        let mut kept = Vec::new();
-        for (bbox, id) in entries {
+        let mut kept = SoaAabbs::new();
+        for (bbox, id) in entries.iter() {
             match self.fitting_child(node, &bbox) {
                 Some(oct) => {
                     let child = self.ensure_child(node, oct);
-                    self.nodes[child as usize].entries.push((bbox, id));
+                    self.nodes[child as usize].entries.push(bbox, id);
                 }
-                None => kept.push((bbox, id)),
+                None => kept.push(bbox, id),
             }
         }
         self.nodes[node as usize].entries = kept;
@@ -217,11 +240,7 @@ impl Octree {
     pub fn remove(&mut self, id: ElementId, bbox: &Aabb) -> bool {
         let mut node = 0u32;
         loop {
-            if let Some(pos) = self.nodes[node as usize]
-                .entries
-                .iter()
-                .position(|(b, eid)| *eid == id && b == bbox)
-            {
+            if let Some(pos) = self.nodes[node as usize].entries.position_of(id, bbox) {
                 self.nodes[node as usize].entries.swap_remove(pos);
                 self.len -= 1;
                 return true;
@@ -243,7 +262,7 @@ impl Octree {
     pub fn structure_bytes(&self) -> usize {
         let mut total = self.nodes.capacity() * std::mem::size_of::<ONode>();
         for n in &self.nodes {
-            total += n.entries.capacity() * std::mem::size_of::<(Aabb, ElementId)>();
+            total += n.entries.memory_bytes();
         }
         total
     }
@@ -259,28 +278,31 @@ impl SpatialIndex for Octree {
     }
 
     fn range(&self, data: &[Element], query: &Aabb) -> Vec<ElementId> {
-        let mut out = Vec::new();
-        let mut stack = vec![0u32];
-        while let Some(node) = stack.pop() {
-            stats::record_node_visit();
-            let n = &self.nodes[node as usize];
-            for (b, id) in &n.entries {
-                if stats::element_test(|| b.intersects(query))
-                    && stats::element_test(|| data[*id as usize].shape.intersects_aabb(query))
-                {
-                    out.push(*id);
+        with_scratch(|scratch| {
+            let mut out = Vec::new();
+            let mut stack = vec![0u32];
+            while let Some(node) = stack.pop() {
+                stats::record_node_visit();
+                let n = &self.nodes[node as usize];
+                // Batched bbox filter over the node's SoA slab, then scalar
+                // refinement of the survivors against live geometry.
+                stats::record_element_tests(n.entries.len() as u64);
+                scratch.candidates.clear();
+                n.entries.intersect_into(query, &mut scratch.candidates);
+                stats::record_element_tests(scratch.candidates.len() as u64);
+                for &id in &scratch.candidates {
+                    if data[id as usize].shape.intersects_aabb(query) {
+                        out.push(id);
+                    }
                 }
-            }
-            for (oct, &c) in n.children.iter().enumerate() {
-                if c != NIL {
-                    let _ = oct;
-                    if stats::tree_test(|| self.loose(c).intersects(query)) {
+                for &c in n.children.iter() {
+                    if c != NIL && stats::tree_test(|| self.loose(c).intersects(query)) {
                         stack.push(c);
                     }
                 }
             }
-        }
-        out
+            out
+        })
     }
 
     fn memory_bytes(&self) -> usize {
@@ -307,9 +329,9 @@ impl KnnIndex for Octree {
             }
             let n = &self.nodes[payload as usize];
             stats::record_node_visit();
-            for (_, id) in &n.entries {
-                let exact = predicates::element_distance(&data[*id as usize], p);
-                heap.push((Reverse(OrdF32(exact)), *id, true));
+            for (_, id) in n.entries.iter() {
+                let exact = predicates::element_distance(&data[id as usize], p);
+                heap.push((Reverse(OrdF32(exact)), id, true));
             }
             for &c in &n.children {
                 if c != NIL {
@@ -331,7 +353,10 @@ fn cubify(region: Aabb) -> Aabb {
     let e = region.extent();
     let half = e.x.max(e.y).max(e.z).max(1e-6) * 0.5;
     let h = Vec3::new(half, half, half);
-    Aabb { min: c - h, max: c + h }
+    Aabb {
+        min: c - h,
+        max: c + h,
+    }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -371,7 +396,13 @@ mod tests {
         let data = scattered(2500, 0.5);
         let scan = LinearScan::build(&data);
         for looseness in [1.0f32, 2.0] {
-            let t = Octree::build(&data, OctreeConfig { looseness, ..Default::default() });
+            let t = Octree::build(
+                &data,
+                OctreeConfig {
+                    looseness,
+                    ..Default::default()
+                },
+            );
             assert_eq!(t.len(), 2500);
             for i in 0..12 {
                 let c = Point3::new((i * 7) as f32, (i * 6) as f32, (i * 5) as f32);
@@ -423,7 +454,10 @@ mod tests {
         let t = Octree::build(&data, OctreeConfig::default());
         // A small box just inside the giant sphere's surface along x.
         let q = Aabb::new(Point3::new(1.5, 49.0, 49.0), Point3::new(3.0, 51.0, 51.0));
-        assert!(data[100].shape.intersects_aabb(&q), "test query must touch the sphere");
+        assert!(
+            data[100].shape.intersects_aabb(&q),
+            "test query must touch the sphere"
+        );
         let hits = t.range(&data, &q);
         assert!(hits.contains(&100));
     }
@@ -439,8 +473,20 @@ mod tests {
     #[test]
     fn looseness_reduces_root_entries() {
         let data = scattered(3000, 1.2);
-        let strict = Octree::build(&data, OctreeConfig { looseness: 1.0, ..Default::default() });
-        let loose = Octree::build(&data, OctreeConfig { looseness: 2.0, ..Default::default() });
+        let strict = Octree::build(
+            &data,
+            OctreeConfig {
+                looseness: 1.0,
+                ..Default::default()
+            },
+        );
+        let loose = Octree::build(
+            &data,
+            OctreeConfig {
+                looseness: 2.0,
+                ..Default::default()
+            },
+        );
         // Loose placement lets elongated elements sink deeper: fewer entries
         // stuck at the root.
         let root_strict = strict.nodes[0].entries.len();

@@ -5,16 +5,31 @@
 //! packs entries into fully-filled leaves by recursive coordinate tiling,
 //! producing a tree with no overlap between *sibling leaf tiles'* source
 //! regions and near-perfect fill — which is why rebuilds win.
+//!
+//! The tiling here is throughput-tuned: each sort level runs over cached
+//! 8-byte `(key, index)` permutations instead of comparator closures that
+//! re-derive centres from 28-byte entries per probe, slab/row sorts and
+//! leaf packing run data-parallel over scoped threads (see
+//! [`simspatial_geom::parallel`]), and packed leaves land directly in
+//! structure-of-arrays form. [`RTree::bulk_load_entries_reference`] keeps
+//! the seed implementation alive for differential tests and the
+//! before/after numbers in `BENCH_batch_kernel.json`.
 
 use super::{Node, RTree, RTreeConfig, NIL};
-use simspatial_geom::{Aabb, Element, ElementId};
+use simspatial_geom::parallel::{
+    par_map_chunks, par_sort_by_cached_key, sort_by_cached_key_serial, split_at_many,
+};
+use simspatial_geom::{Aabb, Element, ElementId, SoaAabbs};
 
 impl RTree {
     /// Builds a tree from a dataset by STR packing. Equivalent entries to
     /// inserting every element, but O(n log n) with perfect node fill.
     pub fn bulk_load(elements: &[Element], config: RTreeConfig) -> Self {
         Self::bulk_load_entries(
-            elements.iter().map(|e| (e.aabb(), e.id)).collect(),
+            par_map_chunks(elements, 4096, |_, chunk| {
+                chunk.iter().map(|e| (e.aabb(), e.id)).collect::<Vec<_>>()
+            })
+            .concat(),
             config,
         )
     }
@@ -48,11 +63,23 @@ impl RTree {
         let cap = self.config().max_entries;
         // ---- pack leaves ------------------------------------------------
         str_tile(&mut entries, cap, |e| e.0.center());
-        let mut level_nodes: Vec<usize> = Vec::with_capacity(n.div_ceil(cap));
-        for chunk in entries.chunks(cap) {
-            let mut leaf = Node::new_leaf();
-            leaf.entries = chunk.to_vec();
-            leaf.mbr = Aabb::union_all(chunk.iter().map(|(b, _)| *b));
+        // Leaf construction (SoA fill + MBR union) is independent per
+        // chunk-of-leaves; parallelize over groups of whole leaves.
+        let leaf_count = n.div_ceil(cap);
+        let leaf_chunks: Vec<&[(Aabb, ElementId)]> = entries.chunks(cap).collect();
+        let built: Vec<Vec<Node>> = par_map_chunks(&leaf_chunks, 256, |_, chunks| {
+            chunks
+                .iter()
+                .map(|chunk| {
+                    let mut leaf = Node::new_leaf();
+                    leaf.entries = SoaAabbs::from_entries(chunk);
+                    leaf.mbr = leaf.entries.union_all();
+                    leaf
+                })
+                .collect()
+        });
+        let mut level_nodes: Vec<usize> = Vec::with_capacity(leaf_count);
+        for leaf in built.into_iter().flatten() {
             self.nodes.push(leaf);
             level_nodes.push(self.nodes.len() - 1);
         }
@@ -61,8 +88,10 @@ impl RTree {
         let mut level = 0u32;
         while level_nodes.len() > 1 {
             level += 1;
-            let mut refs: Vec<(Aabb, usize)> =
-                level_nodes.iter().map(|&i| (self.nodes[i].mbr, i)).collect();
+            let mut refs: Vec<(Aabb, usize)> = level_nodes
+                .iter()
+                .map(|&i| (self.nodes[i].mbr, i))
+                .collect();
             str_tile(&mut refs, cap, |r| r.0.center());
             let mut next: Vec<usize> = Vec::with_capacity(refs.len().div_ceil(cap));
             for chunk in refs.chunks(cap) {
@@ -81,12 +110,112 @@ impl RTree {
         self.root = level_nodes[0];
         self.nodes[self.root].parent = NIL;
     }
+
+    /// The seed implementation's bulk load (comparator-closure sorts, AoS
+    /// leaves filled sequentially), kept verbatim as the reference for
+    /// differential tests and the bulk-load before/after measurement in
+    /// `BENCH_batch_kernel.json`. Produces an identical tree shape.
+    pub fn bulk_load_entries_reference(
+        mut entries: Vec<(Aabb, ElementId)>,
+        config: RTreeConfig,
+    ) -> Self {
+        config.validate();
+        let mut tree = RTree::new(config);
+        let n = entries.len();
+        tree.nodes.clear();
+        tree.free.clear();
+        tree.set_len(n);
+        if n == 0 {
+            tree.nodes.push(Node::new_leaf());
+            tree.root = 0;
+            return tree;
+        }
+        let cap = config.max_entries;
+        str_tile_reference(&mut entries, cap, |e| e.0.center());
+        let mut level_nodes: Vec<usize> = Vec::with_capacity(n.div_ceil(cap));
+        for chunk in entries.chunks(cap) {
+            let mut leaf = Node::new_leaf();
+            leaf.entries = SoaAabbs::from_entries(chunk);
+            leaf.mbr = Aabb::union_all(chunk.iter().map(|(b, _)| *b));
+            tree.nodes.push(leaf);
+            level_nodes.push(tree.nodes.len() - 1);
+        }
+        let mut level = 0u32;
+        while level_nodes.len() > 1 {
+            level += 1;
+            let mut refs: Vec<(Aabb, usize)> = level_nodes
+                .iter()
+                .map(|&i| (tree.nodes[i].mbr, i))
+                .collect();
+            str_tile_reference(&mut refs, cap, |r| r.0.center());
+            let mut next: Vec<usize> = Vec::with_capacity(refs.len().div_ceil(cap));
+            for chunk in refs.chunks(cap) {
+                let mut node = Node::new_internal(level);
+                node.children = chunk.iter().map(|&(_, i)| i).collect();
+                node.mbr = Aabb::union_all(chunk.iter().map(|(b, _)| *b));
+                tree.nodes.push(node);
+                let idx = tree.nodes.len() - 1;
+                for &(_, c) in chunk {
+                    tree.nodes[c].parent = idx;
+                }
+                next.push(idx);
+            }
+            level_nodes = next;
+        }
+        tree.root = level_nodes[0];
+        tree.nodes[tree.root].parent = NIL;
+        tree
+    }
+}
+
+/// Computes the STR slab boundaries for `n` items: number of x-slabs and
+/// the per-slab row length chosen exactly as the reference implementation
+/// does, so both tilings produce the same tile structure.
+fn slab_len(n: usize, cap: usize) -> usize {
+    let leaves = n.div_ceil(cap);
+    let s = (leaves as f64).cbrt().ceil() as usize;
+    n.div_ceil(s)
 }
 
 /// Sort-Tile-Recursive ordering: after this call, consecutive chunks of
 /// `cap` items form spatially coherent tiles. Generic over the item type so
 /// the same routine packs leaf entries and internal node references.
-pub(crate) fn str_tile<T>(
+///
+/// Sorts run over cached `(f32, u32)` permutation keys (one key derivation
+/// per item per level instead of two per comparison), and the independent
+/// per-slab y/z sorts run in parallel.
+pub(crate) fn str_tile<T: Copy + Send + Sync>(
+    items: &mut [T],
+    cap: usize,
+    center: impl Fn(&T) -> simspatial_geom::Point3 + Sync,
+) {
+    let n = items.len();
+    if n <= cap {
+        return;
+    }
+    let slab_len = slab_len(n, cap);
+
+    // S vertical slabs along x.
+    par_sort_by_cached_key(items, |t| center(t).x);
+
+    // Independent slabs: sort each by y, then rows within it by z.
+    let cuts: Vec<usize> = (1..n.div_ceil(slab_len)).map(|i| i * slab_len).collect();
+    let slabs = split_at_many(items, &cuts);
+    simspatial_geom::parallel::par_for_each_slice(slabs, |slab| {
+        sort_by_cached_key_serial(slab, |t| center(t).y);
+        let rows = (slab.len() as f64 / cap as f64).sqrt().ceil() as usize;
+        let row_len = slab.len().div_ceil(rows.max(1));
+        for row in slab.chunks_mut(row_len) {
+            sort_by_cached_key_serial(row, |t| center(t).z);
+        }
+    });
+}
+
+/// The seed implementation's tiling: in-place comparator sorts that
+/// re-derive the centre key on every comparison. Kept for the bulk-load
+/// before/after benchmark; produces the same tile structure as
+/// [`str_tile`].
+pub(crate) fn str_tile_reference<T>(
     items: &mut [T],
     cap: usize,
     center: impl Fn(&T) -> simspatial_geom::Point3,
@@ -95,10 +224,7 @@ pub(crate) fn str_tile<T>(
     if n <= cap {
         return;
     }
-    let leaves = n.div_ceil(cap);
-    // S = number of vertical "slabs" along x, S² tiles per slab along y.
-    let s = (leaves as f64).cbrt().ceil() as usize;
-    let slab_len = n.div_ceil(s);
+    let slab_len = slab_len(n, cap);
 
     items.sort_unstable_by(|a, b| center(a).x.total_cmp(&center(b).x));
     let mut start = 0;
@@ -165,6 +291,29 @@ mod tests {
             a.sort_unstable();
             b.sort_unstable();
             assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn cached_key_tiling_matches_reference() {
+        // The throughput-tuned loader and the seed reference must produce
+        // equally valid trees with identical query answers (tile structure
+        // may order ties differently; the answer sets may not).
+        let data = scattered(4000);
+        let entries: Vec<(Aabb, ElementId)> = data.iter().map(|e| (e.aabb(), e.id)).collect();
+        let fast = RTree::bulk_load_entries(entries.clone(), RTreeConfig::default());
+        let reference = RTree::bulk_load_entries_reference(entries, RTreeConfig::default());
+        fast.validate();
+        reference.validate();
+        assert_eq!(fast.len(), reference.len());
+        for i in 0..12 {
+            let c = Point3::new((i * 8) as f32, (i * 6) as f32, (i * 7) as f32);
+            let q = Aabb::new(c, Point3::new(c.x + 14.0, c.y + 11.0, c.z + 9.0));
+            let mut a = fast.range_bbox(&q);
+            let mut b = reference.range_bbox(&q);
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "query {i}");
         }
     }
 

@@ -44,7 +44,12 @@ impl DiskRTree {
         let len = entries.len();
         if entries.is_empty() {
             let root = store.append(&serialize_node(0, &[]));
-            return Self { store, root, len: 0, height: 1 };
+            return Self {
+                store,
+                root,
+                len: 0,
+                height: 1,
+            };
         }
 
         // Leaves.
@@ -70,7 +75,12 @@ impl DiskRTree {
             level_refs = next;
         }
         let root = PageId(level_refs[0].1);
-        Self { store, root, len, height: level as usize + 1 }
+        Self {
+            store,
+            root,
+            len,
+            height: level as usize + 1,
+        }
     }
 
     /// Number of indexed entries.
@@ -139,20 +149,24 @@ impl DiskRTree {
     ) -> Vec<ElementId> {
         self.range_bbox(pool, query)
             .into_iter()
-            .filter(|&id| {
-                stats::element_test(|| data[id as usize].shape.intersects_aabb(query))
-            })
+            .filter(|&id| stats::element_test(|| data[id as usize].shape.intersects_aabb(query)))
             .collect()
     }
 }
 
 fn serialize_node(level: u32, entries: &[(Aabb, u32)]) -> Vec<u8> {
-    assert!(entries.len() <= DISK_NODE_CAPACITY, "node overflow: {}", entries.len());
+    assert!(
+        entries.len() <= DISK_NODE_CAPACITY,
+        "node overflow: {}",
+        entries.len()
+    );
     let mut buf = Vec::with_capacity(HEADER_BYTES + entries.len() * ENTRY_BYTES);
     buf.extend_from_slice(&level.to_le_bytes());
     buf.extend_from_slice(&(entries.len() as u32).to_le_bytes());
     for (bbox, payload) in entries {
-        for v in [bbox.min.x, bbox.min.y, bbox.min.z, bbox.max.x, bbox.max.y, bbox.max.z] {
+        for v in [
+            bbox.min.x, bbox.min.y, bbox.min.z, bbox.max.x, bbox.max.y, bbox.max.z,
+        ] {
             buf.extend_from_slice(&v.to_le_bytes());
         }
         buf.extend_from_slice(&payload.to_le_bytes());
@@ -198,14 +212,23 @@ mod tests {
     }
 
     fn pool(cap: usize) -> BufferPool {
-        BufferPool::new(BufferPoolConfig { capacity_pages: cap, disk: DiskModel::sas_2014() })
+        BufferPool::new(BufferPoolConfig {
+            capacity_pages: cap,
+            disk: DiskModel::sas_2014(),
+        })
     }
 
     #[test]
     fn roundtrip_serialization() {
         let entries = vec![
-            (Aabb::new(Point3::new(1.0, 2.0, 3.0), Point3::new(4.0, 5.0, 6.0)), 42),
-            (Aabb::new(Point3::new(-1.0, -2.0, -3.0), Point3::new(0.0, 0.0, 0.0)), 7),
+            (
+                Aabb::new(Point3::new(1.0, 2.0, 3.0), Point3::new(4.0, 5.0, 6.0)),
+                42,
+            ),
+            (
+                Aabb::new(Point3::new(-1.0, -2.0, -3.0), Point3::new(0.0, 0.0, 0.0)),
+                7,
+            ),
         ];
         let page = serialize_node(3, &entries);
         let mut full = vec![0u8; PAGE_SIZE];
@@ -257,7 +280,10 @@ mod tests {
         assert!(t.is_empty());
         let mut p = pool(8);
         assert!(t
-            .range_bbox(&mut p, &Aabb::new(Point3::ORIGIN, Point3::new(1.0, 1.0, 1.0)))
+            .range_bbox(
+                &mut p,
+                &Aabb::new(Point3::ORIGIN, Point3::new(1.0, 1.0, 1.0))
+            )
             .is_empty());
     }
 

@@ -16,7 +16,11 @@
 //!
 //! The tree lives in a slab arena (`Vec<Node>` + free list): no per-node
 //! allocations, stable indices, and the whole structure can be rebuilt
-//! in place by `bulk_load` without churning the allocator.
+//! in place by `bulk_load` without churning the allocator. Leaf entries are
+//! stored in structure-of-arrays form ([`SoaAabbs`]) so the per-leaf bbox
+//! filter of a range query runs as a batched streaming pass instead of a
+//! tuple-at-a-time loop — the Figure 3 element-test cost, attacked at the
+//! memory-layout level.
 
 pub(crate) mod bulk;
 pub mod disk;
@@ -26,7 +30,7 @@ mod sfc;
 
 pub use sfc::Curve;
 
-use simspatial_geom::{Aabb, ElementId};
+use simspatial_geom::{Aabb, SoaAabbs};
 
 pub(crate) const NIL: usize = usize::MAX;
 
@@ -72,7 +76,11 @@ impl RTreeConfig {
     /// A disk-era configuration: nodes sized for 4 KB pages
     /// (≈ 128 entries of 32 B), as in the paper's appendix.
     pub fn disk_page() -> Self {
-        Self { max_entries: 128, min_entries: 51, ..Self::default() }
+        Self {
+            max_entries: 128,
+            min_entries: 51,
+            ..Self::default()
+        }
     }
 
     /// Validates the invariants (`2 ≤ m ≤ M/2`, `M ≥ 4`).
@@ -91,20 +99,26 @@ impl RTreeConfig {
     }
 }
 
-/// One arena node. Leaves (`level == 0`) hold element entries; internal
-/// nodes hold child node indices. The unused vector stays empty.
+/// One arena node. Leaves (`level == 0`) hold element entries in SoA form;
+/// internal nodes hold child node indices. The unused store stays empty.
 #[derive(Debug, Clone)]
 pub(crate) struct Node {
     pub mbr: Aabb,
     pub parent: usize,
     pub level: u32,
     pub children: Vec<usize>,
-    pub entries: Vec<(Aabb, ElementId)>,
+    pub entries: SoaAabbs,
 }
 
 impl Node {
     fn new_leaf() -> Self {
-        Node { mbr: Aabb::empty(), parent: NIL, level: 0, children: Vec::new(), entries: Vec::new() }
+        Node {
+            mbr: Aabb::empty(),
+            parent: NIL,
+            level: 0,
+            children: Vec::new(),
+            entries: SoaAabbs::new(),
+        }
     }
 
     fn new_internal(level: u32) -> Self {
@@ -113,7 +127,7 @@ impl Node {
             parent: NIL,
             level,
             children: Vec::new(),
-            entries: Vec::new(),
+            entries: SoaAabbs::new(),
         }
     }
 
@@ -161,7 +175,13 @@ impl RTree {
     pub fn new(config: RTreeConfig) -> Self {
         config.validate();
         let nodes = vec![Node::new_leaf()];
-        Self { nodes, free: Vec::new(), root: 0, len: 0, config }
+        Self {
+            nodes,
+            free: Vec::new(),
+            root: 0,
+            len: 0,
+            config,
+        }
     }
 
     /// The active configuration.
@@ -194,7 +214,7 @@ impl RTree {
         let mut total = self.nodes.capacity() * std::mem::size_of::<Node>();
         for n in &self.nodes {
             total += n.children.capacity() * std::mem::size_of::<usize>();
-            total += n.entries.capacity() * std::mem::size_of::<(Aabb, ElementId)>();
+            total += n.entries.memory_bytes();
         }
         total
     }
@@ -237,7 +257,7 @@ impl RTree {
     /// Recomputes a node's MBR from its contents.
     pub(crate) fn recompute_mbr(&mut self, idx: usize) {
         let mbr = if self.nodes[idx].is_leaf() {
-            Aabb::union_all(self.nodes[idx].entries.iter().map(|(b, _)| *b))
+            self.nodes[idx].entries.union_all()
         } else {
             let children = self.nodes[idx].children.clone();
             Aabb::union_all(children.iter().map(|&c| self.nodes[c].mbr))
@@ -279,8 +299,9 @@ impl RTree {
         &self.nodes[idx].children
     }
 
-    /// Entries of leaf node `idx` (empty for internal nodes).
-    pub fn node_entries(&self, idx: usize) -> &[(Aabb, ElementId)] {
+    /// Entries of leaf node `idx` (empty for internal nodes), as the SoA
+    /// slab — callers run batched kernels directly over it.
+    pub fn node_entries(&self, idx: usize) -> &SoaAabbs {
         &self.nodes[idx].entries
     }
 
@@ -326,11 +347,14 @@ impl RTree {
         assert_eq!(n.level, expected_level, "node {idx} at wrong level");
         if n.is_leaf() {
             assert!(n.children.is_empty(), "leaf {idx} has children");
-            for (b, _) in &n.entries {
-                assert!(n.mbr.contains(b), "leaf {idx} MBR does not contain an entry");
+            for (b, _) in n.entries.iter() {
+                assert!(
+                    n.mbr.contains(&b),
+                    "leaf {idx} MBR does not contain an entry"
+                );
             }
             if !n.entries.is_empty() {
-                let tight = Aabb::union_all(n.entries.iter().map(|(b, _)| *b));
+                let tight = n.entries.union_all();
                 assert_eq!(tight, n.mbr, "leaf {idx} MBR not tight");
             }
             // No min-fill assertion: STR bulk loading legitimately leaves
@@ -344,7 +368,10 @@ impl RTree {
         } else {
             assert!(n.entries.is_empty(), "internal {idx} has entries");
             assert!(!n.children.is_empty(), "internal {idx} childless");
-            assert!(n.children.len() <= self.config.max_entries, "internal {idx} overfull");
+            assert!(
+                n.children.len() <= self.config.max_entries,
+                "internal {idx} overfull"
+            );
             let tight = Aabb::union_all(n.children.iter().map(|&c| self.nodes[c].mbr));
             assert_eq!(tight, n.mbr, "internal {idx} MBR not tight");
             for &c in &n.children {
@@ -378,7 +405,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "m <= M/2")]
     fn bad_config_rejected() {
-        RTree::new(RTreeConfig { max_entries: 8, min_entries: 5, ..Default::default() });
+        RTree::new(RTreeConfig {
+            max_entries: 8,
+            min_entries: 5,
+            ..Default::default()
+        });
     }
 
     #[test]

@@ -15,7 +15,7 @@ impl RTree {
     /// re-adding entries evicted by a forced reinsert or a condense).
     fn insert_entry(&mut self, id: ElementId, bbox: Aabb, allow_reinsert: bool) {
         let leaf = self.choose_leaf(bbox);
-        self.nodes[leaf].entries.push((bbox, id));
+        self.nodes[leaf].entries.push(bbox, id);
         self.nodes[leaf].mbr = self.nodes[leaf].mbr.union(&bbox);
         self.handle_overflow_chain(leaf, allow_reinsert);
     }
@@ -78,13 +78,8 @@ impl RTree {
         let center = self.nodes[leaf].mbr.center();
         self.nodes[leaf]
             .entries
-            .sort_unstable_by(|a, b| {
-                let da = a.0.center().distance2(&center);
-                let db = b.0.center().distance2(&center);
-                da.total_cmp(&db)
-            });
-        let evicted: Vec<(Aabb, ElementId)> =
-            self.nodes[leaf].entries.split_off(count - evict);
+            .sort_by_key(|b| b.center().distance2(&center));
+        let evicted = self.nodes[leaf].entries.split_off(count - evict);
         self.recompute_mbr(leaf);
         // Fix ancestor MBRs before reinserting so ChooseLeaf sees a
         // consistent tree.
@@ -93,7 +88,7 @@ impl RTree {
             self.recompute_mbr(p);
             p = self.nodes[p].parent;
         }
-        for (bbox, id) in evicted {
+        for (bbox, id) in evicted.iter() {
             self.insert_entry(id, bbox, false);
         }
     }
@@ -106,21 +101,13 @@ impl RTree {
 
         let (sibling_node, sibling_mbr) = if self.nodes[idx].is_leaf() {
             let items = std::mem::take(&mut self.nodes[idx].entries);
-            let boxes: Vec<Aabb> = items.iter().map(|(b, _)| *b).collect();
-            let (keep, give) = quadratic_partition(&boxes, min);
-            let mut kept = Vec::with_capacity(keep.len());
-            let mut given = Vec::with_capacity(give.len());
-            for (i, item) in items.into_iter().enumerate() {
-                if keep.contains(&i) {
-                    kept.push(item);
-                } else {
-                    given.push(item);
-                }
-            }
+            let boxes: Vec<Aabb> = items.iter().map(|(b, _)| b).collect();
+            let (_, give) = quadratic_partition(&boxes, min);
+            let (kept, given) = items.partition_by_indices(&give);
             self.nodes[idx].entries = kept;
             self.recompute_mbr(idx);
             let mut sib = Node::new_leaf();
-            sib.mbr = Aabb::union_all(given.iter().map(|(b, _)| *b));
+            sib.mbr = given.union_all();
             sib.entries = given;
             let mbr = sib.mbr;
             (sib, mbr)
@@ -181,8 +168,7 @@ impl RTree {
         };
         let pos = self.nodes[leaf]
             .entries
-            .iter()
-            .position(|(b, eid)| *eid == id && b == bbox)
+            .position_of(id, bbox)
             .expect("find_leaf returned a leaf without the entry");
         self.nodes[leaf].entries.swap_remove(pos);
         self.bump_len(-1);
@@ -197,7 +183,7 @@ impl RTree {
             return None;
         }
         if n.is_leaf() {
-            if n.entries.iter().any(|(b, eid)| *eid == id && b == bbox) {
+            if n.entries.position_of(id, bbox).is_some() {
                 return Some(idx);
             }
             return None;
@@ -260,7 +246,7 @@ impl RTree {
     /// Collects every leaf entry under `idx` and releases the subtree.
     fn harvest_entries(&mut self, idx: usize, out: &mut Vec<(Aabb, ElementId)>) {
         if self.nodes[idx].is_leaf() {
-            out.append(&mut self.nodes[idx].entries);
+            out.extend(self.nodes[idx].entries.iter());
         } else {
             let children = std::mem::take(&mut self.nodes[idx].children);
             for c in children {
@@ -290,12 +276,11 @@ impl RTree {
             return false;
         };
         if self.nodes[leaf].mbr.contains(&new_bbox) {
-            let entry = self.nodes[leaf]
+            let pos = self.nodes[leaf]
                 .entries
-                .iter_mut()
-                .find(|(b, eid)| *eid == id && b == old_bbox)
+                .position_of(id, old_bbox)
                 .expect("find_leaf returned a leaf without the entry");
-            entry.0 = new_bbox;
+            self.nodes[leaf].entries.set_box(pos, new_bbox);
             // MBR may no longer be tight if the patched entry defined a
             // face; keep it tight so validate() holds.
             self.recompute_mbr(leaf);
@@ -449,7 +434,10 @@ mod tests {
         for i in 0..100u32 {
             t.insert(i, boxed(i));
         }
-        let new_box = Aabb::new(Point3::new(500.0, 500.0, 500.0), Point3::new(501.0, 501.0, 501.0));
+        let new_box = Aabb::new(
+            Point3::new(500.0, 500.0, 500.0),
+            Point3::new(501.0, 501.0, 501.0),
+        );
         assert!(t.update(7, &boxed(7), new_box));
         assert_eq!(t.len(), 100);
         t.validate();

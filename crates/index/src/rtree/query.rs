@@ -1,7 +1,13 @@
 //! Instrumented R-Tree queries: range and kNN.
+//!
+//! Leaf entries live in [`SoaAabbs`] slabs, so the element-level bbox
+//! filter of every query below is a batched streaming pass over contiguous
+//! coordinate arrays (the Figure 3 cost centre); only filter survivors
+//! touch the live `data` slice for exact refinement.
 
 use super::RTree;
 use crate::traits::{KnnIndex, SpatialIndex};
+use simspatial_geom::scratch::with_scratch;
 use simspatial_geom::{stats, Aabb, Element, ElementId, Point3};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -17,11 +23,8 @@ impl RTree {
         while let Some(idx) = stack.pop() {
             let n = &self.nodes[idx];
             if n.is_leaf() {
-                for (b, id) in &n.entries {
-                    if stats::element_test(|| b.intersects(query)) {
-                        out.push(*id);
-                    }
-                }
+                stats::record_element_tests(n.entries.len() as u64);
+                n.entries.intersect_into(query, &mut out);
             } else {
                 stats::record_node_visit();
                 for &c in &n.children {
@@ -59,31 +62,34 @@ impl RTree {
 
     /// Instrumented filter + refine range query (see [`SpatialIndex::range`]).
     pub fn range_exact(&self, data: &[Element], query: &Aabb) -> Vec<ElementId> {
-        let mut out = Vec::new();
-        let mut stack = vec![self.root];
-        while let Some(idx) = stack.pop() {
-            let n = &self.nodes[idx];
-            if n.is_leaf() {
-                for (b, id) in &n.entries {
-                    // Filter on the stored box...
-                    if stats::element_test(|| b.intersects(query)) {
-                        // ...then refine on live geometry.
-                        let e = &data[*id as usize];
-                        if stats::element_test(|| e.shape.intersects_aabb(query)) {
-                            out.push(*id);
+        with_scratch(|scratch| {
+            let mut out = Vec::new();
+            let mut stack = vec![self.root];
+            while let Some(idx) = stack.pop() {
+                let n = &self.nodes[idx];
+                if n.is_leaf() {
+                    // Batched filter on the stored boxes...
+                    stats::record_element_tests(n.entries.len() as u64);
+                    scratch.candidates.clear();
+                    n.entries.intersect_into(query, &mut scratch.candidates);
+                    // ...then scalar refinement on live geometry.
+                    stats::record_element_tests(scratch.candidates.len() as u64);
+                    for &id in &scratch.candidates {
+                        if data[id as usize].shape.intersects_aabb(query) {
+                            out.push(id);
+                        }
+                    }
+                } else {
+                    stats::record_node_visit();
+                    for &c in &n.children {
+                        if stats::tree_test(|| self.nodes[c].mbr.intersects(query)) {
+                            stack.push(c);
                         }
                     }
                 }
-            } else {
-                stats::record_node_visit();
-                for &c in &n.children {
-                    if stats::tree_test(|| self.nodes[c].mbr.intersects(query)) {
-                        stack.push(c);
-                    }
-                }
             }
-        }
-        out
+            out
+        })
     }
 }
 
@@ -103,6 +109,16 @@ impl Ord for HeapKey {
     }
 }
 
+/// Role of a kNN heap item (payload is a node index or element id).
+#[derive(PartialEq, Eq, PartialOrd, Ord, Clone, Copy)]
+enum KnnItem {
+    /// Internal or leaf node, keyed by MBR `MINDIST`.
+    Node,
+    /// Element keyed by its batched box lower bound; exactified when popped.
+    EntryLowerBound,
+    /// Element keyed by exact surface distance.
+    EntryExact,
+}
 
 impl SpatialIndex for RTree {
     fn name(&self) -> &'static str {
@@ -123,50 +139,61 @@ impl SpatialIndex for RTree {
 }
 
 impl KnnIndex for RTree {
-    /// Best-first kNN (Hjaltason & Samet): a priority queue over `MINDIST`
-    /// of node MBRs mixed with exact element distances; terminates when the
-    /// queue head is farther than the current k-th best.
+    /// Best-first kNN (Hjaltason & Samet) with deferred refinement: when a
+    /// leaf is popped, its entries enter the queue keyed by the **batched**
+    /// box `MINDIST` lower bounds ([`simspatial_geom::SoaAabbs::min_dist2_into`]);
+    /// an entry's exact surface distance is computed only when the entry
+    /// itself reaches the queue head — entries that never surface (their
+    /// lower bound already exceeds the k-th result) never pay the exact
+    /// geometry test.
     fn knn(&self, data: &[Element], p: &Point3, k: usize) -> Vec<(ElementId, f32)> {
         if k == 0 || self.is_empty() {
             return Vec::new();
         }
-        let mut heap: BinaryHeap<(Reverse<HeapKey>, usize, bool)> = BinaryHeap::new();
-        // (key, payload, is_entry); payload is node index or element id.
-        heap.push((Reverse(HeapKey(0.0)), self.root, false));
+        let mut heap: BinaryHeap<(Reverse<HeapKey>, usize, KnnItem)> = BinaryHeap::new();
+        heap.push((Reverse(HeapKey(0.0)), self.root, KnnItem::Node));
         let mut result: Vec<(ElementId, f32)> = Vec::with_capacity(k);
 
-        while let Some((Reverse(HeapKey(dist)), payload, is_entry)) = heap.pop() {
-            if result.len() == k {
-                break;
-            }
-            if is_entry {
-                result.push((payload as ElementId, dist));
-                continue;
-            }
-            let n = &self.nodes[payload];
-            if n.is_leaf() {
-                for (b, id) in &n.entries {
-                    // Lower-bound by the stored box first; exact distance
-                    // only for boxes that could beat the current k-th.
-                    let lb = stats::element_test(|| b.min_distance2(p)).sqrt();
-                    let exact = if lb == 0.0 || result.len() < k {
-                        stats::element_test(|| data[*id as usize].shape.distance_to_point(p))
-                    } else {
-                        // Defer: push with the lower bound; exactify when popped.
-                        // (Simpler: compute exactly here — the box already
-                        // passed the cheap filter.)
-                        stats::element_test(|| data[*id as usize].shape.distance_to_point(p))
-                    };
-                    heap.push((Reverse(HeapKey(exact)), *id as usize, true));
+        with_scratch(|scratch| {
+            while let Some((Reverse(HeapKey(dist)), payload, kind)) = heap.pop() {
+                if result.len() == k {
+                    break;
                 }
-            } else {
-                stats::record_node_visit();
-                for &c in &n.children {
-                    let d = stats::tree_test(|| self.nodes[c].mbr.min_distance2(p)).sqrt();
-                    heap.push((Reverse(HeapKey(d)), c, false));
+                match kind {
+                    KnnItem::EntryExact => {
+                        result.push((payload as ElementId, dist));
+                    }
+                    KnnItem::EntryLowerBound => {
+                        // The lower bound surfaced: refine to the exact
+                        // surface distance and requeue.
+                        let exact =
+                            stats::element_test(|| data[payload].shape.distance_to_point(p));
+                        heap.push((Reverse(HeapKey(exact)), payload, KnnItem::EntryExact));
+                    }
+                    KnnItem::Node => {
+                        let n = &self.nodes[payload];
+                        if n.is_leaf() {
+                            stats::record_element_tests(n.entries.len() as u64);
+                            n.entries.min_dist2_into(p, &mut scratch.dists);
+                            for (i, &d2) in scratch.dists.iter().enumerate() {
+                                heap.push((
+                                    Reverse(HeapKey(d2.sqrt())),
+                                    n.entries.id_at(i) as usize,
+                                    KnnItem::EntryLowerBound,
+                                ));
+                            }
+                        } else {
+                            stats::record_node_visit();
+                            for &c in &n.children {
+                                let d =
+                                    stats::tree_test(|| self.nodes[c].mbr.min_distance2(p)).sqrt();
+                                heap.push((Reverse(HeapKey(d)), c, KnnItem::Node));
+                            }
+                        }
+                    }
                 }
             }
-        }
+        });
         result
     }
 }
@@ -232,6 +259,24 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn knn_deferred_refinement_skips_exact_tests() {
+        // With deferred refinement, far leaves' entries should enter and
+        // leave the queue on their lower bound alone: exact element tests
+        // stay well below the brute-force count.
+        let data = scattered(3000);
+        let t = RTree::bulk_load(&data, RTreeConfig::default());
+        stats::reset();
+        t.knn(&data, &Point3::new(50.0, 50.0, 50.0), 5);
+        let s = stats::snapshot();
+        assert!(s.element_tests > 0);
+        assert!(
+            s.element_tests < 2 * data.len() as u64,
+            "deferred kNN should not exactify everything: {}",
+            s.element_tests
+        );
     }
 
     #[test]

@@ -64,8 +64,8 @@ impl RTree {
         let mut level_nodes: Vec<usize> = Vec::with_capacity(n.div_ceil(cap));
         for chunk in entries.chunks(cap) {
             let mut leaf = Node::new_leaf();
-            leaf.entries = chunk.to_vec();
-            leaf.mbr = Aabb::union_all(chunk.iter().map(|(b, _)| *b));
+            leaf.entries = simspatial_geom::SoaAabbs::from_entries(chunk);
+            leaf.mbr = leaf.entries.union_all();
             self.nodes.push(leaf);
             level_nodes.push(self.nodes.len() - 1);
         }
@@ -285,6 +285,11 @@ mod tests {
         let vol = |t: &RTree| -> f32 { t.leaf_volume_sum() };
         let h = RTree::bulk_load_sfc(&data, RTreeConfig::default(), Curve::Hilbert);
         let m = RTree::bulk_load_sfc(&data, RTreeConfig::default(), Curve::Morton);
-        assert!(vol(&h) <= vol(&m) * 1.2, "hilbert {} vs morton {}", vol(&h), vol(&m));
+        assert!(
+            vol(&h) <= vol(&m) * 1.2,
+            "hilbert {} vs morton {}",
+            vol(&h),
+            vol(&m)
+        );
     }
 }

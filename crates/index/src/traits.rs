@@ -86,7 +86,11 @@ pub fn measure_range<I: SpatialIndex + ?Sized>(
         results += index.range(data, q).len() as u64;
     }
     let elapsed_s = start.elapsed().as_secs_f64();
-    QueryStats { elapsed_s, results, counts: stats::snapshot().since(&before) }
+    QueryStats {
+        elapsed_s,
+        results,
+        counts: stats::snapshot().since(&before),
+    }
 }
 
 #[cfg(test)]

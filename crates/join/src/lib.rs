@@ -166,13 +166,22 @@ mod tests {
             JoinAlgorithm::SmallCellGrid,
         ] {
             let got = self_join(data, &config, algo);
-            assert_eq!(got, truth, "{} diverges from nested loop (eps={eps})", algo.name());
+            assert_eq!(
+                got,
+                truth,
+                "{} diverges from nested loop (eps={eps})",
+                algo.name()
+            );
         }
     }
 
     #[test]
     fn uniform_data_all_algorithms_agree() {
-        let d = ElementSoupBuilder::new().count(600).universe_side(40.0).seed(11).build();
+        let d = ElementSoupBuilder::new()
+            .count(600)
+            .universe_side(40.0)
+            .seed(11)
+            .build();
         assert_all_agree(d.elements(), 0.0);
         assert_all_agree(d.elements(), 0.8);
     }
@@ -182,7 +191,10 @@ mod tests {
         let d = ElementSoupBuilder::new()
             .count(500)
             .universe_side(40.0)
-            .clustered(ClusteredConfig { clusters: 5, sigma: 1.5 })
+            .clustered(ClusteredConfig {
+                clusters: 5,
+                sigma: 1.5,
+            })
             .seed(12)
             .build();
         assert_all_agree(d.elements(), 0.5);
@@ -213,8 +225,16 @@ mod tests {
 
     #[test]
     fn pairs_are_canonical() {
-        let d = ElementSoupBuilder::new().count(300).universe_side(20.0).seed(5).build();
-        let pairs = self_join(d.elements(), &JoinConfig::within(1.0), JoinAlgorithm::PbsmGrid);
+        let d = ElementSoupBuilder::new()
+            .count(300)
+            .universe_side(20.0)
+            .seed(5)
+            .build();
+        let pairs = self_join(
+            d.elements(),
+            &JoinConfig::within(1.0),
+            JoinAlgorithm::PbsmGrid,
+        );
         assert!(!pairs.is_empty());
         for (a, b) in &pairs {
             assert!(a < b);

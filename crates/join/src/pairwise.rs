@@ -56,8 +56,8 @@ fn grid_pair(a: &[Element], b: &[Element], eps: f32) -> Vec<(ElementId, ElementI
     if a.is_empty() || b.is_empty() {
         return Vec::new();
     }
-    let bounds = Aabb::union_all(a.iter().chain(b.iter()).map(Element::aabb))
-        .inflate(eps.max(1e-6));
+    let bounds =
+        Aabb::union_all(a.iter().chain(b.iter()).map(Element::aabb)).inflate(eps.max(1e-6));
     let n = (a.len() + b.len()) as f32;
     let spacing = (bounds.volume().max(f32::MIN_POSITIVE) / n).cbrt();
     let max_extent = a

@@ -12,7 +12,7 @@
 //! corner of their overlap region.
 
 use crate::canonical;
-use simspatial_geom::{predicates, Aabb, Element, ElementId, Point3};
+use simspatial_geom::{predicates, stats, Aabb, Element, ElementId, Point3, SoaAabbs};
 
 pub(crate) fn join(data: &[Element], eps: f32) -> Vec<(ElementId, ElementId)> {
     if data.len() < 2 {
@@ -47,42 +47,52 @@ pub(crate) fn join(data: &[Element], eps: f32) -> Vec<(ElementId, ElementId)> {
     };
     let index = |c: [usize; 3]| (c[2] * dims[1] + c[1]) * dims[0] + c[0];
 
-    // Partition phase: replicate inflated boxes into cells.
-    let mut cells: Vec<Vec<ElementId>> = vec![Vec::new(); dims[0] * dims[1] * dims[2]];
+    // Partition phase: replicate each element into the cells its *inflated*
+    // box overlaps; the cell slab stores the plain (un-inflated) box in SoA
+    // form so the join phase runs the shared mask kernel over it.
+    let mut cells: Vec<SoaAabbs> = vec![SoaAabbs::new(); dims[0] * dims[1] * dims[2]];
     let inflated: Vec<Aabb> = data.iter().map(|e| e.aabb().inflate(eps)).collect();
     for e in data {
         let b = inflated[e.id as usize];
+        let plain = e.aabb();
         let (lo, hi) = (coord(&b.min), coord(&b.max));
         for z in lo[2]..=hi[2] {
             for y in lo[1]..=hi[1] {
                 for x in lo[0]..=hi[0] {
-                    cells[index([x, y, z])].push(e.id);
+                    cells[index([x, y, z])].push(plain, e.id);
                 }
             }
         }
     }
 
-    // Join phase: pairwise within each cell, reference-point deduplication.
+    // Join phase: pairwise within each cell through the batched kernel
+    // (one inflated probe box against the cell's remaining residents),
+    // reference-point deduplication.
     let mut out = Vec::new();
-    for (ci, cell_ids) in cells.iter().enumerate() {
-        for (k, &a) in cell_ids.iter().enumerate() {
-            for &b in &cell_ids[k + 1..] {
-                // One box inflated by eps suffices for the within-eps filter.
-                let (ba, bb) = (data[a as usize].aabb().inflate(eps), data[b as usize].aabb());
-                if !predicates::element_bbox_in_range(&ba, &bb) {
-                    continue;
-                }
-                // Reference point: low corner of the overlap of the
-                // *replicated* (inflated) boxes — present in every shared
-                // cell, so exactly one cell owns it.
-                let ov = inflated[a as usize]
-                    .intersection(&inflated[b as usize])
-                    .expect("replicated boxes of a filtered pair must overlap");
-                if index(coord(&ov.min)) != ci {
-                    continue;
-                }
-                if predicates::elements_within(&data[a as usize], &data[b as usize], eps) {
-                    out.push(canonical(a, b));
+    let mut hits: Vec<(u32, ElementId)> = Vec::new();
+    {
+        for (ci, slab) in cells.iter().enumerate() {
+            for k in 0..slab.len() {
+                let a = slab.id_at(k);
+                // One box inflated by eps suffices for the within-eps
+                // filter; the kernel tests it against every remaining
+                // resident's plain box in one pass.
+                stats::record_element_tests((slab.len() - k - 1) as u64);
+                hits.clear();
+                slab.intersect_from_into(k + 1, &inflated[a as usize], &mut hits);
+                for &(_, b) in &hits {
+                    // Reference point: low corner of the overlap of the
+                    // *replicated* (inflated) boxes — present in every
+                    // shared cell, so exactly one cell owns it.
+                    let ov = inflated[a as usize]
+                        .intersection(&inflated[b as usize])
+                        .expect("replicated boxes of a filtered pair must overlap");
+                    if index(coord(&ov.min)) != ci {
+                        continue;
+                    }
+                    if predicates::elements_within(&data[a as usize], &data[b as usize], eps) {
+                        out.push(canonical(a, b));
+                    }
                 }
             }
         }
@@ -138,9 +148,18 @@ mod tests {
     fn pair_spanning_cells_reported_once() {
         // Two big overlapping spheres spanning many cells.
         let data = vec![
-            Element::new(0, Shape::Sphere(Sphere::new(Point3::new(0.0, 0.0, 0.0), 3.0))),
-            Element::new(1, Shape::Sphere(Sphere::new(Point3::new(1.0, 0.0, 0.0), 3.0))),
-            Element::new(2, Shape::Sphere(Sphere::new(Point3::new(40.0, 0.0, 0.0), 0.1))),
+            Element::new(
+                0,
+                Shape::Sphere(Sphere::new(Point3::new(0.0, 0.0, 0.0), 3.0)),
+            ),
+            Element::new(
+                1,
+                Shape::Sphere(Sphere::new(Point3::new(1.0, 0.0, 0.0), 3.0)),
+            ),
+            Element::new(
+                2,
+                Shape::Sphere(Sphere::new(Point3::new(40.0, 0.0, 0.0), 0.1)),
+            ),
         ];
         let pairs = join(&data, 0.0);
         assert_eq!(pairs, vec![(0, 1)]);

@@ -14,7 +14,7 @@
 //! against a bounded neighbourhood. No replication, no dedup.
 
 use crate::canonical;
-use simspatial_geom::{predicates, Aabb, Element, ElementId, Point3};
+use simspatial_geom::{predicates, stats, Aabb, Element, ElementId, Point3, SoaAabbs};
 
 pub(crate) fn join(data: &[Element], eps: f32) -> Vec<(ElementId, ElementId)> {
     join_with_cell_factor(data, eps, 1.0)
@@ -29,7 +29,10 @@ pub fn join_with_cell_factor(
     eps: f32,
     factor: f32,
 ) -> Vec<(ElementId, ElementId)> {
-    assert!(factor > 0.0 && factor.is_finite(), "cell factor must be positive");
+    assert!(
+        factor > 0.0 && factor.is_finite(),
+        "cell factor must be positive"
+    );
     if data.len() < 2 {
         return Vec::new();
     }
@@ -72,19 +75,19 @@ pub fn join_with_cell_factor(
             ((rel.z / cell) as isize).clamp(0, dims[2] as isize - 1),
         ]
     };
-    let index =
-        |c: [isize; 3]| (c[2] as usize * dims[1] + c[1] as usize) * dims[0] + c[0] as usize;
+    let index = |c: [isize; 3]| (c[2] as usize * dims[1] + c[1] as usize) * dims[0] + c[0] as usize;
 
-    let mut cells: Vec<Vec<ElementId>> = vec![Vec::new(); dims[0] * dims[1] * dims[2]];
+    // Each element lands in exactly one cell; the cell slab stores its
+    // bounding box in SoA form so pair filtering runs the batched kernel.
+    let mut cells: Vec<SoaAabbs> = vec![SoaAabbs::new(); dims[0] * dims[1] * dims[2]];
     for e in data {
-        cells[index(coord(&e.center()))].push(e.id);
+        cells[index(coord(&e.center()))].push(e.aabb(), e.id);
     }
 
     let mut out = Vec::new();
-    let compare = |a: ElementId, b: ElementId, out: &mut Vec<(ElementId, ElementId)>| {
-        if predicates::bboxes_within(&data[a as usize].aabb(), &data[b as usize].aabb(), eps)
-            && predicates::elements_within(&data[a as usize], &data[b as usize], eps)
-        {
+    let mut hits: Vec<(u32, ElementId)> = Vec::new();
+    let refine = |a: ElementId, b: ElementId, out: &mut Vec<(ElementId, ElementId)>| {
+        if predicates::elements_within(&data[a as usize], &data[b as usize], eps) {
             out.push(canonical(a, b));
         }
     };
@@ -93,14 +96,20 @@ pub fn join_with_cell_factor(
         for y in 0..dims[1] as isize {
             for x in 0..dims[0] as isize {
                 let here = index([x, y, z]);
-                let ids = &cells[here];
-                if ids.is_empty() {
+                let slab = &cells[here];
+                if slab.is_empty() {
                     continue;
                 }
-                // Within-cell pairs.
-                for (i, &a) in ids.iter().enumerate() {
-                    for &b in &ids[i + 1..] {
-                        compare(a, b, &mut out);
+                // Within-cell pairs: each resident's eps-inflated box is one
+                // batched probe against the rest of its own slab.
+                for k in 0..slab.len() {
+                    let (bbox, a) = slab.get(k);
+                    let probe = bbox.inflate(eps);
+                    stats::record_element_tests((slab.len() - k - 1) as u64);
+                    hits.clear();
+                    slab.intersect_from_into(k + 1, &probe, &mut hits);
+                    for &(_, b) in &hits {
+                        refine(a, b, &mut out);
                     }
                 }
                 // Cross-cell pairs: visit each unordered cell pair once by
@@ -121,10 +130,18 @@ pub fn join_with_cell_factor(
                             {
                                 continue;
                             }
-                            let there = index([nx, ny, nz]);
-                            for &a in ids {
-                                for &b in &cells[there] {
-                                    compare(a, b, &mut out);
+                            let there = &cells[index([nx, ny, nz])];
+                            if there.is_empty() {
+                                continue;
+                            }
+                            for k in 0..slab.len() {
+                                let (bbox, a) = slab.get(k);
+                                let probe = bbox.inflate(eps);
+                                stats::record_element_tests(there.len() as u64);
+                                hits.clear();
+                                there.intersect_from_into(0, &probe, &mut hits);
+                                for &(_, b) in &hits {
+                                    refine(a, b, &mut out);
                                 }
                             }
                         }

@@ -21,11 +21,7 @@ pub(crate) fn join(data: &[Element], eps: f32) -> Vec<(ElementId, ElementId)> {
                 break; // sorted: nothing further can overlap in x
             }
             if predicates::bboxes_within(&bbox_i, &bbox_j, eps)
-                && predicates::elements_within(
-                    &data[id_i as usize],
-                    &data[id_j as usize],
-                    eps,
-                )
+                && predicates::elements_within(&data[id_i as usize], &data[id_j as usize], eps)
             {
                 out.push(canonical(id_i, id_j));
             }
@@ -42,10 +38,19 @@ mod tests {
     #[test]
     fn matches_hand_computed() {
         let data = vec![
-            Element::new(0, Shape::Sphere(Sphere::new(Point3::new(0.0, 0.0, 0.0), 0.5))),
-            Element::new(1, Shape::Sphere(Sphere::new(Point3::new(0.8, 0.0, 0.0), 0.5))),
+            Element::new(
+                0,
+                Shape::Sphere(Sphere::new(Point3::new(0.0, 0.0, 0.0), 0.5)),
+            ),
+            Element::new(
+                1,
+                Shape::Sphere(Sphere::new(Point3::new(0.8, 0.0, 0.0), 0.5)),
+            ),
             // Same x as 1 but far in y: x-sweep must compare, refine rejects.
-            Element::new(2, Shape::Sphere(Sphere::new(Point3::new(0.8, 9.0, 0.0), 0.5))),
+            Element::new(
+                2,
+                Shape::Sphere(Sphere::new(Point3::new(0.8, 9.0, 0.0), 0.5)),
+            ),
         ];
         assert_eq!(join(&data, 0.0), vec![(0, 1)]);
     }
@@ -54,9 +59,18 @@ mod tests {
     fn unsorted_input_handled() {
         // Deliberately descending x.
         let data = vec![
-            Element::new(0, Shape::Sphere(Sphere::new(Point3::new(5.0, 0.0, 0.0), 0.4))),
-            Element::new(1, Shape::Sphere(Sphere::new(Point3::new(4.4, 0.0, 0.0), 0.4))),
-            Element::new(2, Shape::Sphere(Sphere::new(Point3::new(0.0, 0.0, 0.0), 0.4))),
+            Element::new(
+                0,
+                Shape::Sphere(Sphere::new(Point3::new(5.0, 0.0, 0.0), 0.4)),
+            ),
+            Element::new(
+                1,
+                Shape::Sphere(Sphere::new(Point3::new(4.4, 0.0, 0.0), 0.4)),
+            ),
+            Element::new(
+                2,
+                Shape::Sphere(Sphere::new(Point3::new(0.0, 0.0, 0.0), 0.4)),
+            ),
         ];
         assert_eq!(join(&data, 0.0), vec![(0, 1)]);
     }

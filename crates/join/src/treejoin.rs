@@ -17,7 +17,14 @@ pub(crate) fn join(data: &[Element], eps: f32) -> Vec<(ElementId, ElementId)> {
     }
     let tree = RTree::bulk_load(data, RTreeConfig::default());
     let mut out = Vec::new();
-    join_nodes(&tree, data, eps, tree.root_node(), tree.root_node(), &mut out);
+    join_nodes(
+        &tree,
+        data,
+        eps,
+        tree.root_node(),
+        tree.root_node(),
+        &mut out,
+    );
     out
 }
 
@@ -32,17 +39,25 @@ fn join_nodes(
 ) {
     match (tree.node_is_leaf(a), tree.node_is_leaf(b)) {
         (true, true) => {
+            // Leaf-leaf: one inflated probe box per entry against the other
+            // leaf's SoA slab through the batched mask kernel; survivors
+            // refine against exact geometry.
             let ea = tree.node_entries(a);
-            if a == b {
-                for (i, (ba, ia)) in ea.iter().enumerate() {
-                    for (bb, ib) in &ea[i + 1..] {
-                        emit_if_within(data, eps, (*ba, *ia), (*bb, *ib), out);
+            let eb = tree.node_entries(b);
+            let mut hits: Vec<(u32, ElementId)> = Vec::new();
+            for i in 0..ea.len() {
+                let (ba, ia) = ea.get(i);
+                let probe = ba.inflate(eps);
+                let start = if a == b { i + 1 } else { 0 };
+                stats::record_element_tests((eb.len() - start) as u64);
+                hits.clear();
+                eb.intersect_from_into(start, &probe, &mut hits);
+                for &(_, ib) in &hits {
+                    if ia == ib {
+                        continue;
                     }
-                }
-            } else {
-                for (ba, ia) in ea {
-                    for (bb, ib) in tree.node_entries(b) {
-                        emit_if_within(data, eps, (*ba, *ia), (*bb, *ib), out);
+                    if predicates::elements_within(&data[ia as usize], &data[ib as usize], eps) {
+                        out.push(canonical(ia, ib));
                     }
                 }
             }
@@ -77,32 +92,13 @@ fn join_nodes(
         // internal side.
         (true, false) => {
             for &y in tree.node_children(b) {
-                if stats::tree_test(|| {
-                    tree.node_mbr(a).inflate(eps).intersects(&tree.node_mbr(y))
-                }) {
+                if stats::tree_test(|| tree.node_mbr(a).inflate(eps).intersects(&tree.node_mbr(y)))
+                {
                     join_nodes(tree, data, eps, a, y, out);
                 }
             }
         }
         (false, true) => join_nodes(tree, data, eps, b, a, out),
-    }
-}
-
-#[inline]
-fn emit_if_within(
-    data: &[Element],
-    eps: f32,
-    (ba, ia): (simspatial_geom::Aabb, ElementId),
-    (bb, ib): (simspatial_geom::Aabb, ElementId),
-    out: &mut Vec<(ElementId, ElementId)>,
-) {
-    if ia == ib {
-        return;
-    }
-    if predicates::bboxes_within(&ba, &bb, eps)
-        && predicates::elements_within(&data[ia as usize], &data[ib as usize], eps)
-    {
-        out.push(canonical(ia, ib));
     }
 }
 
@@ -142,7 +138,10 @@ mod tests {
         // Dense cluster: every pair within eps; result must be exactly C(n,2).
         let data: Vec<Element> = (0..40)
             .map(|i| {
-                Element::new(i, Shape::Sphere(Sphere::new(Point3::new(0.0, 0.0, 0.0), 0.1)))
+                Element::new(
+                    i,
+                    Shape::Sphere(Sphere::new(Point3::new(0.0, 0.0, 0.0), 0.1)),
+                )
             })
             .collect();
         let mut pairs = join(&data, 0.0);

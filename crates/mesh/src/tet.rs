@@ -37,18 +37,24 @@ impl TetMesh {
             }
         }
         let adjacency = build_adjacency(&tets);
-        Self { vertices, tets, adjacency }
+        Self {
+            vertices,
+            tets,
+            adjacency,
+        }
     }
 
     /// A convex lattice mesh: an `nx × ny × nz` grid of unit cubes (scaled
     /// by `spacing`), each split into five tetrahedra. The result is convex
     /// — the mesh class DLS supports.
     pub fn lattice(nx: usize, ny: usize, nz: usize, spacing: f32) -> Self {
-        assert!(nx > 0 && ny > 0 && nz > 0, "lattice needs positive dimensions");
+        assert!(
+            nx > 0 && ny > 0 && nz > 0,
+            "lattice needs positive dimensions"
+        );
         assert!(spacing > 0.0, "spacing must be positive");
-        let vid = |x: usize, y: usize, z: usize| -> u32 {
-            ((z * (ny + 1) + y) * (nx + 1) + x) as u32
-        };
+        let vid =
+            |x: usize, y: usize, z: usize| -> u32 { ((z * (ny + 1) + y) * (nx + 1) + x) as u32 };
         let mut vertices = Vec::with_capacity((nx + 1) * (ny + 1) * (nz + 1));
         for z in 0..=nz {
             for y in 0..=ny {
@@ -110,7 +116,11 @@ impl TetMesh {
         ny: usize,
         nz: usize,
         spacing: f32,
-        hole: (std::ops::Range<usize>, std::ops::Range<usize>, std::ops::Range<usize>),
+        hole: (
+            std::ops::Range<usize>,
+            std::ops::Range<usize>,
+            std::ops::Range<usize>,
+        ),
     ) -> Self {
         let full = Self::lattice(nx, ny, nz, spacing);
         // Rebuild keeping only tets whose containing cube is outside the hole.
@@ -120,8 +130,7 @@ impl TetMesh {
             let x = cube % nx;
             let y = (cube / nx) % ny;
             let z = cube / (nx * ny);
-            let inside =
-                hole.0.contains(&x) && hole.1.contains(&y) && hole.2.contains(&z);
+            let inside = hole.0.contains(&x) && hole.1.contains(&y) && hole.2.contains(&z);
             if !inside {
                 kept.push(*tet);
             }
@@ -249,7 +258,10 @@ mod tests {
             let ns = m.neighbors(c);
             assert!(ns.len() <= 4, "cell {c} has {} neighbours", ns.len());
             for &n in ns {
-                assert!(m.neighbors(n).contains(&c), "asymmetric adjacency {c} ↔ {n}");
+                assert!(
+                    m.neighbors(n).contains(&c),
+                    "asymmetric adjacency {c} ↔ {n}"
+                );
             }
         }
         // Interior connectivity: the central tets must have all 4 neighbours.
@@ -304,11 +316,13 @@ mod tests {
     #[test]
     fn displacement_moves_geometry_not_connectivity() {
         let mut m = TetMesh::lattice(2, 2, 2, 1.0);
-        let adj_before: Vec<Vec<CellId>> =
-            (0..m.len() as CellId).map(|c| m.neighbors(c).to_vec()).collect();
+        let adj_before: Vec<Vec<CellId>> = (0..m.len() as CellId)
+            .map(|c| m.neighbors(c).to_vec())
+            .collect();
         m.displace_vertices(|_, _| Vec3::new(0.1, 0.0, 0.0));
-        let adj_after: Vec<Vec<CellId>> =
-            (0..m.len() as CellId).map(|c| m.neighbors(c).to_vec()).collect();
+        let adj_after: Vec<Vec<CellId>> = (0..m.len() as CellId)
+            .map(|c| m.neighbors(c).to_vec())
+            .collect();
         assert_eq!(adj_before, adj_after);
         assert!((m.bounds().min.x - 0.1).abs() < 1e-6);
     }

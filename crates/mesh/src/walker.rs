@@ -2,8 +2,8 @@
 
 use crate::{CellId, TetMesh};
 use simspatial_geom::{stats, Aabb, Point3};
-use simspatial_index::{GridConfig, GridPlacement, UniformGrid};
 use simspatial_geom::{Element, Shape, Sphere};
+use simspatial_index::{GridConfig, GridPlacement, UniformGrid};
 
 /// Seeding strategy of a [`MeshWalker`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -52,9 +52,7 @@ impl MeshWalker {
     /// centroid, cells a few mesh-cells wide.
     pub fn build(mesh: &TetMesh, strategy: WalkStrategy) -> Self {
         let proxies: Vec<Element> = (0..mesh.len() as CellId)
-            .map(|c| {
-                Element::new(c, Shape::Sphere(Sphere::new(mesh.cell_centroid(c), 0.0)))
-            })
+            .map(|c| Element::new(c, Shape::Sphere(Sphere::new(mesh.cell_centroid(c), 0.0))))
             .collect();
         let bounds = mesh.bounds();
         let cell_side = if mesh.is_empty() {
@@ -74,7 +72,13 @@ impl MeshWalker {
                 e.x.max(e.y).max(e.z) * 0.5
             })
             .fold(0.0f32, f32::max);
-        Self { strategy, seed_grid, proxies, staleness: 0.0, max_half_extent }
+        Self {
+            strategy,
+            seed_grid,
+            proxies,
+            staleness: 0.0,
+            max_half_extent,
+        }
     }
 
     /// The strategy in force.
@@ -110,17 +114,22 @@ impl MeshWalker {
         if mesh.is_empty() {
             return (Vec::new(), stats_out);
         }
-        let probe = query.inflate(self.staleness + self.max_half_extent);
+        // The seed grid stores zero-radius centroid proxies and filters
+        // candidates by stored box, so the probe must cover the centroid of
+        // every tet whose bbox touches the query. A centroid lies inside its
+        // cell's bbox, hence within one full extent (2 x max half-extent)
+        // per axis of any point of that bbox.
+        let probe = query.inflate(self.staleness + 2.0 * self.max_half_extent);
         let mut in_query = vec![false; mesh.len()];
         let mut visited = vec![false; mesh.len()];
         let mut result = Vec::new();
         let mut frontier: Vec<CellId> = Vec::new();
 
         let try_seed = |c: CellId,
-                            visited: &mut Vec<bool>,
-                            in_query: &mut Vec<bool>,
-                            result: &mut Vec<CellId>,
-                            frontier: &mut Vec<CellId>| {
+                        visited: &mut Vec<bool>,
+                        in_query: &mut Vec<bool>,
+                        result: &mut Vec<CellId>,
+                        frontier: &mut Vec<CellId>| {
             if visited[c as usize] {
                 return false;
             }
@@ -202,13 +211,11 @@ impl MeshWalker {
     fn nearest_seed(&self, p: &Point3, probe: &Aabb) -> Option<CellId> {
         let local = self.seed_grid.range_bbox_candidates(probe);
         let pick_nearest = |ids: &[CellId]| -> Option<CellId> {
-            ids.iter()
-                .copied()
-                .min_by(|&a, &b| {
-                    let da = self.proxies[a as usize].center().distance2(p);
-                    let db = self.proxies[b as usize].center().distance2(p);
-                    da.total_cmp(&db)
-                })
+            ids.iter().copied().min_by(|&a, &b| {
+                let da = self.proxies[a as usize].center().distance2(p);
+                let db = self.proxies[b as usize].center().distance2(p);
+                da.total_cmp(&db)
+            })
         };
         if let Some(c) = pick_nearest(&local) {
             return Some(c);
@@ -247,7 +254,11 @@ mod tests {
                 let t = i as f32 / 10.0 * bound * 0.7;
                 Aabb::new(
                     Point3::new(t, t * 0.8, t * 0.6),
-                    Point3::new(t + bound * 0.15, t * 0.8 + bound * 0.2, t * 0.6 + bound * 0.1),
+                    Point3::new(
+                        t + bound * 0.15,
+                        t * 0.8 + bound * 0.2,
+                        t * 0.6 + bound * 0.1,
+                    ),
                 )
             })
             .collect()
@@ -258,7 +269,11 @@ mod tests {
         let mesh = TetMesh::lattice(8, 8, 8, 1.0);
         let w = MeshWalker::build(&mesh, WalkStrategy::Dls);
         for q in queries(8.0) {
-            assert_eq!(sorted(w.range(&mesh, &q)), sorted(mesh.scan_range(&q)), "{q:?}");
+            assert_eq!(
+                sorted(w.range(&mesh, &q)),
+                sorted(mesh.scan_range(&q)),
+                "{q:?}"
+            );
         }
     }
 
@@ -267,7 +282,11 @@ mod tests {
         let mesh = TetMesh::lattice_with_hole(8, 8, 8, 1.0, (2..6, 2..6, 2..6));
         let w = MeshWalker::build(&mesh, WalkStrategy::Octopus);
         for q in queries(8.0) {
-            assert_eq!(sorted(w.range(&mesh, &q)), sorted(mesh.scan_range(&q)), "{q:?}");
+            assert_eq!(
+                sorted(w.range(&mesh, &q)),
+                sorted(mesh.scan_range(&q)),
+                "{q:?}"
+            );
         }
         // A query spanning the hole: still complete (cells on both sides).
         let q = Aabb::new(Point3::new(1.0, 3.5, 3.5), Point3::new(7.0, 4.5, 4.5));
@@ -291,7 +310,11 @@ mod tests {
             w.note_drift(amp * 3f32.sqrt());
         }
         for q in queries(6.0) {
-            assert_eq!(sorted(w.range(&mesh, &q)), sorted(mesh.scan_range(&q)), "{q:?}");
+            assert_eq!(
+                sorted(w.range(&mesh, &q)),
+                sorted(mesh.scan_range(&q)),
+                "{q:?}"
+            );
         }
         w.refresh(&mesh);
         assert_eq!(w.staleness(), 0.0);

@@ -128,7 +128,11 @@ mod tests {
 
     #[test]
     fn buffer_fills_then_flushes() {
-        let data = ElementSoupBuilder::new().count(200).universe_side(30.0).seed(4).build();
+        let data = ElementSoupBuilder::new()
+            .count(200)
+            .universe_side(30.0)
+            .seed(4)
+            .build();
         let mut s = BufferedRTree::with_flush_fraction(data.elements(), 0.5);
         let mut cur = data.clone();
         let mut model = PlasticityModel::with_sigma(0.05, 6);
@@ -145,7 +149,11 @@ mod tests {
 
     #[test]
     fn queries_see_buffered_elements() {
-        let data = ElementSoupBuilder::new().count(50).universe_side(20.0).seed(5).build();
+        let data = ElementSoupBuilder::new()
+            .count(50)
+            .universe_side(20.0)
+            .seed(5)
+            .build();
         // Huge threshold: never flushes.
         let mut s = BufferedRTree::with_flush_fraction(data.elements(), 1.0);
         let mut cur = data.clone();

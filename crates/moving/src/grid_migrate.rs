@@ -25,13 +25,17 @@ impl GridMigrate {
     pub fn build(elements: &[Element]) -> Self {
         let mut config = GridConfig::auto(elements);
         config.placement = GridPlacement::Center;
-        Self { grid: UniformGrid::build(elements, config) }
+        Self {
+            grid: UniformGrid::build(elements, config),
+        }
     }
 
     /// Builds with an explicit cell side (resolution ablation, E7/E9).
     pub fn with_cell_side(elements: &[Element], cell_side: f32) -> Self {
         let config = GridConfig::with_cell_side(cell_side, GridPlacement::Center);
-        Self { grid: UniformGrid::build(elements, config) }
+        Self {
+            grid: UniformGrid::build(elements, config),
+        }
     }
 
     /// The realised cell side.
@@ -46,16 +50,14 @@ impl UpdateStrategy for GridMigrate {
     }
 
     fn apply_step(&mut self, old: &[Element], new: &[Element]) -> StepCost {
-        let mut cost = StepCost::default();
-        for (o, n) in old.iter().zip(new.iter()) {
-            debug_assert_eq!(o.id, n.id);
-            if self.grid.update(o, n) {
-                cost.structural_updates += 1;
-            } else {
-                cost.absorbed += 1;
-            }
+        // The whole step goes to the grid in one call, which applies the
+        // per-pair migrations and counts switches vs absorptions inline.
+        let (structural, absorbed) = self.grid.update_batch(old, new);
+        StepCost {
+            structural_updates: structural as u64,
+            absorbed: absorbed as u64,
+            ..Default::default()
         }
-        cost
     }
 
     fn range(&self, data: &[Element], query: &Aabb) -> Vec<ElementId> {
@@ -80,7 +82,11 @@ mod tests {
 
     #[test]
     fn small_steps_cause_few_switches() {
-        let data = ElementSoupBuilder::new().count(2000).universe_side(50.0).seed(31).build();
+        let data = ElementSoupBuilder::new()
+            .count(2000)
+            .universe_side(50.0)
+            .seed(31)
+            .build();
         let mut s = GridMigrate::with_cell_side(data.elements(), 2.0);
         let mut cur = data.clone();
         let mut model = PlasticityModel::paper_calibrated(7); // 0.04 steps
@@ -97,7 +103,11 @@ mod tests {
 
     #[test]
     fn large_steps_cause_many_switches() {
-        let data = ElementSoupBuilder::new().count(500).universe_side(50.0).seed(32).build();
+        let data = ElementSoupBuilder::new()
+            .count(500)
+            .universe_side(50.0)
+            .seed(32)
+            .build();
         let mut s = GridMigrate::with_cell_side(data.elements(), 0.5);
         let mut cur = data.clone();
         let mut model = PlasticityModel::with_sigma(2.0, 8);

@@ -37,13 +37,24 @@ impl LazyGraceWindow {
 
     /// Builds with an explicit grace margin (the E11 ablation sweeps this).
     pub fn with_margin(elements: &[Element], margin: f32) -> Self {
-        assert!(margin > 0.0 && margin.is_finite(), "margin must be positive");
+        assert!(
+            margin > 0.0 && margin.is_finite(),
+            "margin must be positive"
+        );
         let windows: Vec<Aabb> = elements.iter().map(|e| e.aabb().inflate(margin)).collect();
         let tree = RTree::bulk_load_entries(
-            windows.iter().enumerate().map(|(i, b)| (*b, i as ElementId)).collect(),
+            windows
+                .iter()
+                .enumerate()
+                .map(|(i, b)| (*b, i as ElementId))
+                .collect(),
             RTreeConfig::default(),
         );
-        Self { tree, windows, margin }
+        Self {
+            tree,
+            windows,
+            margin,
+        }
     }
 
     /// The grace margin in force.
@@ -103,7 +114,11 @@ mod tests {
 
     #[test]
     fn small_moves_are_absorbed() {
-        let data = ElementSoupBuilder::new().count(300).universe_side(30.0).seed(8).build();
+        let data = ElementSoupBuilder::new()
+            .count(300)
+            .universe_side(30.0)
+            .seed(8)
+            .build();
         let mut s = LazyGraceWindow::with_margin(data.elements(), 0.5);
         let mut moved = data.clone();
         let mut model = PlasticityModel::with_sigma(0.01, 2); // tiny steps
@@ -118,7 +133,11 @@ mod tests {
 
     #[test]
     fn escapes_trigger_updates() {
-        let data = ElementSoupBuilder::new().count(100).universe_side(30.0).seed(9).build();
+        let data = ElementSoupBuilder::new()
+            .count(100)
+            .universe_side(30.0)
+            .seed(9)
+            .build();
         let mut s = LazyGraceWindow::with_margin(data.elements(), 0.1);
         let mut moved = data.clone();
         let mut model = PlasticityModel::with_sigma(2.0, 3); // huge steps
@@ -127,7 +146,10 @@ mod tests {
             moved.displace(id as u32, *d);
         }
         let cost = s.apply_step(data.elements(), moved.elements());
-        assert!(cost.structural_updates > 50, "large steps must escape: {cost:?}");
+        assert!(
+            cost.structural_updates > 50,
+            "large steps must escape: {cost:?}"
+        );
     }
 
     #[test]

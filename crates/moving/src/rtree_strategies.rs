@@ -14,7 +14,9 @@ pub struct RTreeReinsert {
 impl RTreeReinsert {
     /// Bulk-loads the initial tree.
     pub fn build(elements: &[Element]) -> Self {
-        Self { tree: RTree::bulk_load(elements, RTreeConfig::default()) }
+        Self {
+            tree: RTree::bulk_load(elements, RTreeConfig::default()),
+        }
     }
 }
 
@@ -58,7 +60,9 @@ pub struct RTreeBottomUp {
 impl RTreeBottomUp {
     /// Bulk-loads the initial tree.
     pub fn build(elements: &[Element]) -> Self {
-        Self { tree: RTree::bulk_load(elements, RTreeConfig::default()) }
+        Self {
+            tree: RTree::bulk_load(elements, RTreeConfig::default()),
+        }
     }
 }
 
@@ -101,7 +105,9 @@ pub struct RTreeRebuild {
 impl RTreeRebuild {
     /// Bulk-loads the initial tree.
     pub fn build(elements: &[Element]) -> Self {
-        Self { tree: RTree::bulk_load(elements, RTreeConfig::default()) }
+        Self {
+            tree: RTree::bulk_load(elements, RTreeConfig::default()),
+        }
     }
 }
 
@@ -112,7 +118,10 @@ impl UpdateStrategy for RTreeRebuild {
 
     fn apply_step(&mut self, _old: &[Element], new: &[Element]) -> StepCost {
         self.tree.rebuild(new);
-        StepCost { rebuilds: 1, ..Default::default() }
+        StepCost {
+            rebuilds: 1,
+            ..Default::default()
+        }
     }
 
     fn range(&self, data: &[Element], query: &Aabb) -> Vec<ElementId> {
@@ -148,7 +157,11 @@ mod tests {
 
     #[test]
     fn costs_reflect_disciplines() {
-        let data = ElementSoupBuilder::new().count(200).universe_side(20.0).seed(3).build();
+        let data = ElementSoupBuilder::new()
+            .count(200)
+            .universe_side(20.0)
+            .seed(3)
+            .build();
         let mut moved = data.clone();
         let mut model = PlasticityModel::with_sigma(0.02, 5);
         let moves = model.sample_step(moved.len());

@@ -17,7 +17,9 @@ pub struct NoIndexScan {
 impl NoIndexScan {
     /// "Builds" the strategy (nothing to build).
     pub fn build(elements: &[Element]) -> Self {
-        Self { scan: LinearScan::build(elements) }
+        Self {
+            scan: LinearScan::build(elements),
+        }
     }
 }
 
@@ -28,7 +30,10 @@ impl UpdateStrategy for NoIndexScan {
 
     fn apply_step(&mut self, _old: &[Element], new: &[Element]) -> StepCost {
         self.scan = LinearScan::build(new);
-        StepCost { absorbed: new.len() as u64, ..Default::default() }
+        StepCost {
+            absorbed: new.len() as u64,
+            ..Default::default()
+        }
     }
 
     fn range(&self, data: &[Element], query: &Aabb) -> Vec<ElementId> {

@@ -92,19 +92,13 @@ impl UpdateStrategyKind {
     /// Builds the strategy over the initial dataset.
     pub fn create(&self, elements: &[Element]) -> Box<dyn UpdateStrategy> {
         match self {
-            UpdateStrategyKind::RTreeReinsert => {
-                Box::new(crate::RTreeReinsert::build(elements))
-            }
-            UpdateStrategyKind::RTreeBottomUp => {
-                Box::new(crate::RTreeBottomUp::build(elements))
-            }
+            UpdateStrategyKind::RTreeReinsert => Box::new(crate::RTreeReinsert::build(elements)),
+            UpdateStrategyKind::RTreeBottomUp => Box::new(crate::RTreeBottomUp::build(elements)),
             UpdateStrategyKind::RTreeRebuild => Box::new(crate::RTreeRebuild::build(elements)),
             UpdateStrategyKind::LazyGraceWindow => {
                 Box::new(crate::LazyGraceWindow::build(elements))
             }
-            UpdateStrategyKind::BufferedUpdates => {
-                Box::new(crate::BufferedRTree::build(elements))
-            }
+            UpdateStrategyKind::BufferedUpdates => Box::new(crate::BufferedRTree::build(elements)),
             UpdateStrategyKind::ThrowawayGrid => Box::new(crate::ThrowawayGrid::build(elements)),
             UpdateStrategyKind::GridMigrate => Box::new(crate::GridMigrate::build(elements)),
             UpdateStrategyKind::NoIndexScan => Box::new(crate::NoIndexScan::build(elements)),

@@ -8,8 +8,11 @@ use simspatial_index::{LinearScan, SpatialIndex};
 /// Runs several plasticity steps over a soup and asserts the strategy's
 /// range answers stay identical to a fresh linear scan after every step.
 pub(crate) fn check_strategy_correctness(kind: UpdateStrategyKind) {
-    let mut data: Dataset =
-        ElementSoupBuilder::new().count(800).universe_side(30.0).seed(21).build();
+    let mut data: Dataset = ElementSoupBuilder::new()
+        .count(800)
+        .universe_side(30.0)
+        .seed(21)
+        .build();
     let mut strategy = kind.create(data.elements());
     let mut model = PlasticityModel::with_sigma(0.05, 99);
     for step in 0..6u32 {

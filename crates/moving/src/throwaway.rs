@@ -20,7 +20,9 @@ pub struct ThrowawayGrid {
 impl ThrowawayGrid {
     /// Builds the first grid (auto resolution).
     pub fn build(elements: &[Element]) -> Self {
-        Self { grid: UniformGrid::build(elements, GridConfig::auto(elements)) }
+        Self {
+            grid: UniformGrid::build(elements, GridConfig::auto(elements)),
+        }
     }
 }
 
@@ -31,7 +33,10 @@ impl UpdateStrategy for ThrowawayGrid {
 
     fn apply_step(&mut self, _old: &[Element], new: &[Element]) -> StepCost {
         self.grid = UniformGrid::build(new, GridConfig::auto(new));
-        StepCost { rebuilds: 1, ..Default::default() }
+        StepCost {
+            rebuilds: 1,
+            ..Default::default()
+        }
     }
 
     fn range(&self, data: &[Element], query: &Aabb) -> Vec<ElementId> {

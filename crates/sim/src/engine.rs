@@ -1,7 +1,7 @@
 //! The step loop: update → maintain → monitor.
 
 use simspatial_datagen::{Dataset, QueryWorkload};
-use simspatial_geom::{Vec3};
+use simspatial_geom::Vec3;
 use simspatial_moving::{StepCost, UpdateStrategy, UpdateStrategyKind};
 use std::time::Instant;
 
@@ -86,7 +86,10 @@ impl Simulation {
     pub fn new(data: Dataset, workload: Box<dyn Workload>, config: SimulationConfig) -> Self {
         let strategy = config.strategy.create(data.elements());
         let universe = data.universe();
-        assert!(!universe.is_empty(), "simulation needs a non-empty universe");
+        assert!(
+            !universe.is_empty(),
+            "simulation needs a non-empty universe"
+        );
         Self {
             strategy,
             workload,
@@ -115,12 +118,21 @@ impl Simulation {
 
     /// Executes one step and reports its cost split.
     pub fn run_step(&mut self) -> StepReport {
-        let mut report = StepReport { step: self.step, ..Default::default() };
+        let mut report = StepReport {
+            step: self.step,
+            ..Default::default()
+        };
 
         // --- update phase -------------------------------------------------
         let t = Instant::now();
-        let moves = self.workload.displacements(&self.data, self.strategy.as_ref());
-        assert_eq!(moves.len(), self.data.len(), "workload must move every element");
+        let moves = self
+            .workload
+            .displacements(&self.data, self.strategy.as_ref());
+        assert_eq!(
+            moves.len(),
+            self.data.len(),
+            "workload must move every element"
+        );
         self.old.clear();
         self.old.extend_from_slice(self.data.elements());
         for (id, d) in moves.iter().enumerate() {
@@ -162,7 +174,11 @@ mod tests {
     use simspatial_index::{LinearScan, SpatialIndex};
 
     fn small_sim(strategy: UpdateStrategyKind) -> Simulation {
-        let data = ElementSoupBuilder::new().count(500).universe_side(30.0).seed(77).build();
+        let data = ElementSoupBuilder::new()
+            .count(500)
+            .universe_side(30.0)
+            .seed(77)
+            .build();
         Simulation::new(
             data,
             Box::new(PlasticityWorkload::with_sigma(0.05, 12)),

@@ -29,7 +29,10 @@ impl MaterialWorkload {
     /// # Panics
     /// Panics unless `radius > 0` and `0 < kappa <= 1`.
     pub fn new(radius: f32, kappa: f32) -> Self {
-        assert!(radius > 0.0 && radius.is_finite(), "radius must be positive");
+        assert!(
+            radius > 0.0 && radius.is_finite(),
+            "radius must be positive"
+        );
         assert!(kappa > 0.0 && kappa <= 1.0, "kappa in (0, 1]");
         Self { radius, kappa }
     }

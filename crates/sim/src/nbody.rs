@@ -62,9 +62,14 @@ struct MassNode {
 
 impl MassNode {
     fn leaf(cube: Aabb) -> Self {
-        Self { cube, center_of_mass: cube.center(), mass: 0.0, children: None, body: None }
+        Self {
+            cube,
+            center_of_mass: cube.center(),
+            mass: 0.0,
+            children: None,
+            body: None,
+        }
     }
-
 }
 
 /// Straightforward recursive mass-octree builder that stores bodies rather
@@ -97,7 +102,8 @@ fn build_tree(cube: Aabb, bodies: &[(Point3, f32, usize)], depth: u32) -> MassNo
     let c = cube.center();
     let mut buckets: [Vec<(Point3, f32, usize)>; 8] = Default::default();
     for &(p, m, i) in bodies {
-        let oct = usize::from(p.x >= c.x) | (usize::from(p.y >= c.y) << 1)
+        let oct = usize::from(p.x >= c.x)
+            | (usize::from(p.y >= c.y) << 1)
             | (usize::from(p.z >= c.z) << 2);
         buckets[oct].push((p, m, i));
     }
@@ -154,7 +160,11 @@ impl Workload for NBodyWorkload {
     }
 
     fn displacements(&mut self, data: &Dataset, _index: &dyn UpdateStrategy) -> Vec<Vec3> {
-        assert_eq!(self.velocities.len(), data.len(), "workload sized for another dataset");
+        assert_eq!(
+            self.velocities.len(),
+            data.len(),
+            "workload sized for another dataset"
+        );
         if data.is_empty() {
             return Vec::new();
         }
@@ -170,7 +180,10 @@ impl Workload for NBodyWorkload {
             let c = b.center();
             let e = b.extent();
             let h = e.x.max(e.y).max(e.z).max(1e-3) * 0.5;
-            Aabb { min: c - Vec3::new(h, h, h), max: c + Vec3::new(h, h, h) }
+            Aabb {
+                min: c - Vec3::new(h, h, h),
+                max: c + Vec3::new(h, h, h),
+            }
         };
         let tree = build_tree(cube, &bodies, 0);
         let soft2 = self.softening * self.softening;
@@ -208,13 +221,25 @@ mod tests {
         let strategy = UpdateStrategyKind::NoIndexScan.create(data.elements());
         let mut w = NBodyWorkload::new(2);
         let moves = w.displacements(&data, strategy.as_ref());
-        assert!(moves[0].x > 0.0, "body 0 must accelerate toward body 1: {:?}", moves[0]);
-        assert!(moves[1].x < 0.0, "body 1 must accelerate toward body 0: {:?}", moves[1]);
+        assert!(
+            moves[0].x > 0.0,
+            "body 0 must accelerate toward body 1: {:?}",
+            moves[0]
+        );
+        assert!(
+            moves[1].x < 0.0,
+            "body 1 must accelerate toward body 0: {:?}",
+            moves[1]
+        );
     }
 
     #[test]
     fn cluster_stays_bound_and_momentum_roughly_conserved() {
-        let data = ElementSoupBuilder::new().count(300).universe_side(50.0).seed(44).build();
+        let data = ElementSoupBuilder::new()
+            .count(300)
+            .universe_side(50.0)
+            .seed(44)
+            .build();
         let strategy = UpdateStrategyKind::NoIndexScan.create(data.elements());
         let mut w = NBodyWorkload::new(300);
         let moves = w.displacements(&data, strategy.as_ref());

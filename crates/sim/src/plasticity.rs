@@ -16,12 +16,16 @@ impl PlasticityWorkload {
     /// Calibrated to the paper's measured statistics (mean 0.04 µm,
     /// < 0.5 % beyond 0.1 µm).
     pub fn paper_calibrated(seed: u64) -> Self {
-        Self { model: PlasticityModel::paper_calibrated(seed) }
+        Self {
+            model: PlasticityModel::paper_calibrated(seed),
+        }
     }
 
     /// Explicit movement scale (sensitivity sweeps).
     pub fn with_sigma(sigma: f32, seed: u64) -> Self {
-        Self { model: PlasticityModel::with_sigma(sigma, seed) }
+        Self {
+            model: PlasticityModel::with_sigma(sigma, seed),
+        }
     }
 }
 

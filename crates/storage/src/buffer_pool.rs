@@ -17,7 +17,10 @@ impl Default for BufferPoolConfig {
     fn default() -> Self {
         // 64 MiB of cache: small relative to the datasets, as in the paper's
         // cold-cache methodology.
-        Self { capacity_pages: 64 * 1024 * 1024 / PAGE_SIZE, disk: DiskModel::default() }
+        Self {
+            capacity_pages: 64 * 1024 * 1024 / PAGE_SIZE,
+            disk: DiskModel::default(),
+        }
     }
 }
 
@@ -56,7 +59,10 @@ impl BufferPool {
     /// # Panics
     /// Panics if `capacity_pages` is zero.
     pub fn new(config: BufferPoolConfig) -> Self {
-        assert!(config.capacity_pages > 0, "buffer pool needs at least one frame");
+        assert!(
+            config.capacity_pages > 0,
+            "buffer pool needs at least one frame"
+        );
         Self {
             config,
             map: HashMap::with_capacity(config.capacity_pages),
@@ -143,11 +149,21 @@ impl BufferPool {
         }
         let slot = match self.free.pop() {
             Some(s) => {
-                self.frames[s] = Frame { page: id, data, prev: NIL, next: NIL };
+                self.frames[s] = Frame {
+                    page: id,
+                    data,
+                    prev: NIL,
+                    next: NIL,
+                };
                 s
             }
             None => {
-                self.frames.push(Frame { page: id, data, prev: NIL, next: NIL });
+                self.frames.push(Frame {
+                    page: id,
+                    data,
+                    prev: NIL,
+                    next: NIL,
+                });
                 self.frames.len() - 1
             }
         };
@@ -218,7 +234,10 @@ mod tests {
     }
 
     fn pool(cap: usize) -> BufferPool {
-        BufferPool::new(BufferPoolConfig { capacity_pages: cap, disk: DiskModel::sas_2014() })
+        BufferPool::new(BufferPoolConfig {
+            capacity_pages: cap,
+            disk: DiskModel::sas_2014(),
+        })
     }
 
     #[test]
@@ -311,6 +330,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one frame")]
     fn zero_capacity_rejected() {
-        BufferPool::new(BufferPoolConfig { capacity_pages: 0, disk: DiskModel::free() });
+        BufferPool::new(BufferPoolConfig {
+            capacity_pages: 0,
+            disk: DiskModel::free(),
+        });
     }
 }

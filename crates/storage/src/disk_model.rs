@@ -33,20 +33,32 @@ impl DiskModel {
     /// STR R-Tree read on the order of 10⁶ mostly-random pages cold, i.e.
     /// ≈ 2000 s — matching the reported 2253 s total with 96.7 % in reads.
     pub fn sas_2014() -> Self {
-        Self { random_read_s: 2.0e-3, sequential_read_s: 1.0e-5, random_write_s: 2.0e-3 }
+        Self {
+            random_read_s: 2.0e-3,
+            sequential_read_s: 1.0e-5,
+            random_write_s: 2.0e-3,
+        }
     }
 
     /// A model of a 2014-era SATA SSD, for the paper's closing remark that
     /// new storage media change the constants (but not the in-memory
     /// argument): ≈ 100 µs random read, ≈ 8 µs sequential page.
     pub fn ssd_2014() -> Self {
-        Self { random_read_s: 1.0e-4, sequential_read_s: 8.0e-6, random_write_s: 5.0e-4 }
+        Self {
+            random_read_s: 1.0e-4,
+            sequential_read_s: 8.0e-6,
+            random_write_s: 5.0e-4,
+        }
     }
 
     /// A zero-cost model: turns the buffer pool into plain memory access,
     /// useful to measure the pure CPU component of a disk-layout index.
     pub fn free() -> Self {
-        Self { random_read_s: 0.0, sequential_read_s: 0.0, random_write_s: 0.0 }
+        Self {
+            random_read_s: 0.0,
+            sequential_read_s: 0.0,
+            random_write_s: 0.0,
+        }
     }
 }
 
@@ -115,10 +127,22 @@ mod tests {
 
     #[test]
     fn stats_arithmetic() {
-        let a = IoStats { hits: 10, misses: 30, writes: 1, sequential_misses: 5, disk_time_s: 1.0 };
+        let a = IoStats {
+            hits: 10,
+            misses: 30,
+            writes: 1,
+            sequential_misses: 5,
+            disk_time_s: 1.0,
+        };
         assert_eq!(a.reads(), 40);
         assert!((a.hit_ratio() - 0.25).abs() < 1e-12);
-        let b = IoStats { hits: 15, misses: 50, writes: 2, sequential_misses: 9, disk_time_s: 2.5 };
+        let b = IoStats {
+            hits: 15,
+            misses: 50,
+            writes: 2,
+            sequential_misses: 9,
+            disk_time_s: 2.5,
+        };
         let d = b.since(&a);
         assert_eq!(d.hits, 5);
         assert_eq!(d.misses, 20);

@@ -50,7 +50,11 @@ impl PageStore {
     /// # Panics
     /// Panics if `id` is unallocated or `data` exceeds [`PAGE_SIZE`].
     pub fn write(&mut self, id: PageId, data: &[u8]) {
-        assert!(data.len() <= PAGE_SIZE, "page overflow: {} > {PAGE_SIZE}", data.len());
+        assert!(
+            data.len() <= PAGE_SIZE,
+            "page overflow: {} > {PAGE_SIZE}",
+            data.len()
+        );
         let mut buf = BytesMut::zeroed(PAGE_SIZE);
         buf[..data.len()].copy_from_slice(data);
         self.pages[id.index()] = buf.freeze();

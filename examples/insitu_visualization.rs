@@ -22,7 +22,10 @@ fn main() {
     let dataset = ElementSoupBuilder::new()
         .count(8000)
         .universe_side(60.0)
-        .clustered(ClusteredConfig { clusters: 6, sigma: 4.0 })
+        .clustered(ClusteredConfig {
+            clusters: 6,
+            sigma: 4.0,
+        })
         .seed(3)
         .build();
     let side = dataset.universe().extent().x;
@@ -54,8 +57,7 @@ fn main() {
                     Point3::new(gx as f32 * tile, gy as f32 * tile, z0),
                     Point3::new((gx + 1) as f32 * tile, (gy + 1) as f32 * tile, z0 + slab),
                 );
-                density[gy * GRID + gx] =
-                    sim.strategy().range(sim.data().elements(), &q).len();
+                density[gy * GRID + gx] = sim.strategy().range(sim.data().elements(), &q).len();
             }
         }
 
@@ -78,5 +80,8 @@ fn main() {
             println!("  |{row}|");
         }
     }
-    println!("\n{} elements tracked across {STEPS} steps.", sim.data().len());
+    println!(
+        "\n{} elements tracked across {STEPS} steps.",
+        sim.data().len()
+    );
 }

@@ -33,9 +33,7 @@ fn main() {
     for step in 0..STEPS {
         // Deform: bend the bar along a slow sine, amplitude growing with t.
         let amp = 0.08 * (step as f32 + 1.0);
-        mesh.displace_vertices(|_, p| {
-            Vec3::new(0.0, amp * (p.x * 0.4).sin() * 0.1, 0.0)
-        });
+        mesh.displace_vertices(|_, p| Vec3::new(0.0, amp * (p.x * 0.4).sin() * 0.1, 0.0));
         let drift = amp * 0.1;
         dls.note_drift(drift);
         octopus.note_drift(drift);
@@ -55,7 +53,11 @@ fn main() {
         let truth = mesh.scan_range(&q);
         let t_scan = t.elapsed().as_secs_f64() * 1e6;
 
-        assert_eq!(sorted(a.clone()), sorted(truth.clone()), "DLS diverged at step {step}");
+        assert_eq!(
+            sorted(a.clone()),
+            sorted(truth.clone()),
+            "DLS diverged at step {step}"
+        );
         assert_eq!(sorted(b), sorted(truth), "OCTOPUS diverged at step {step}");
 
         println!(

@@ -17,7 +17,10 @@ fn main() {
     let dataset = ElementSoupBuilder::new()
         .count(BODIES)
         .universe_side(120.0)
-        .clustered(ClusteredConfig { clusters: 3, sigma: 10.0 })
+        .clustered(ClusteredConfig {
+            clusters: 3,
+            sigma: 10.0,
+        })
         .seed(17)
         .build();
 

@@ -38,8 +38,14 @@ fn main() {
     let queries = workload.range_queries(1e-4, 200);
 
     for (name, result) in [
-        ("LinearScan", measure_range(&scan, dataset.elements(), &queries)),
-        ("R-Tree", measure_range(&rtree, dataset.elements(), &queries)),
+        (
+            "LinearScan",
+            measure_range(&scan, dataset.elements(), &queries),
+        ),
+        (
+            "R-Tree",
+            measure_range(&rtree, dataset.elements(), &queries),
+        ),
         ("Grid", measure_range(&grid, dataset.elements(), &queries)),
     ] {
         println!(

@@ -12,14 +12,21 @@ fn datasets() -> Vec<(&'static str, Dataset)> {
     vec![
         (
             "uniform",
-            ElementSoupBuilder::new().count(4000).universe_side(60.0).seed(1).build(),
+            ElementSoupBuilder::new()
+                .count(4000)
+                .universe_side(60.0)
+                .seed(1)
+                .build(),
         ),
         (
             "clustered",
             ElementSoupBuilder::new()
                 .count(4000)
                 .universe_side(60.0)
-                .clustered(ClusteredConfig { clusters: 8, sigma: 3.0 })
+                .clustered(ClusteredConfig {
+                    clusters: 8,
+                    sigma: 3.0,
+                })
                 .seed(2)
                 .build(),
         ),
@@ -105,8 +112,13 @@ fn all_knn_indexes_agree_with_scan() {
         let grid = UniformGrid::build(elements, GridConfig::auto(elements));
         let multi = MultiGrid::build(elements, MultiGridConfig::auto(elements));
 
-        let contenders: Vec<(&str, &dyn KnnIndex)> =
-            vec![("rtree", &rtree), ("kdtree", &kd), ("octree", &oct), ("grid", &grid), ("multigrid", &multi)];
+        let contenders: Vec<(&str, &dyn KnnIndex)> = vec![
+            ("rtree", &rtree),
+            ("kdtree", &kd),
+            ("octree", &oct),
+            ("grid", &grid),
+            ("multigrid", &multi),
+        ];
 
         let mut w = QueryWorkload::new(data.universe(), 7);
         for p in w.knn_points(8) {
@@ -146,20 +158,30 @@ fn disk_rtree_agrees_with_scan_through_buffer_pool() {
         let truth = sorted(scan.range(data.elements(), &q));
         assert_eq!(got, truth);
     }
-    assert!(pool.stats().disk_time_s > 0.0, "queries must have touched the disk model");
+    assert!(
+        pool.stats().disk_time_s > 0.0,
+        "queries must have touched the disk model"
+    );
 }
 
 #[test]
 fn lsh_knn_recall_on_integration_data() {
-    let data = ElementSoupBuilder::new().count(5000).universe_side(60.0).seed(9).build();
+    let data = ElementSoupBuilder::new()
+        .count(5000)
+        .universe_side(60.0)
+        .seed(9)
+        .build();
     let lsh = Lsh::build(data.elements(), LshConfig::auto(data.elements()));
     let scan = LinearScan::build(data.elements());
     let mut w = QueryWorkload::new(data.universe(), 3);
     let mut hit = 0;
     let mut total = 0;
     for p in w.knn_points(25) {
-        let truth: std::collections::HashSet<ElementId> =
-            scan.knn(data.elements(), &p, 10).into_iter().map(|(i, _)| i).collect();
+        let truth: std::collections::HashSet<ElementId> = scan
+            .knn(data.elements(), &p, 10)
+            .into_iter()
+            .map(|(i, _)| i)
+            .collect();
         for (id, _) in lsh.knn(data.elements(), &p, 10) {
             total += 1;
             if truth.contains(&id) {
@@ -216,5 +238,8 @@ fn two_population_synapse_join() {
         PairAlgorithm::Grid,
     );
     assert_eq!(truth, fast);
-    assert!(!truth.is_empty(), "overlapping populations must touch somewhere");
+    assert!(
+        !truth.is_empty(),
+        "overlapping populations must touch somewhere"
+    );
 }

@@ -21,7 +21,11 @@ fn check_consistency(sim: &Simulation, label: &str) {
 #[test]
 fn every_strategy_survives_a_plasticity_run() {
     for kind in UpdateStrategyKind::ALL {
-        let data = ElementSoupBuilder::new().count(1500).universe_side(40.0).seed(21).build();
+        let data = ElementSoupBuilder::new()
+            .count(1500)
+            .universe_side(40.0)
+            .seed(21)
+            .build();
         let mut sim = Simulation::new(
             data,
             Box::new(PlasticityWorkload::with_sigma(0.05, 5)),
@@ -44,7 +48,10 @@ fn nbody_run_with_grid_strategy() {
     let data = ElementSoupBuilder::new()
         .count(n)
         .universe_side(80.0)
-        .clustered(ClusteredConfig { clusters: 2, sigma: 8.0 })
+        .clustered(ClusteredConfig {
+            clusters: 2,
+            sigma: 8.0,
+        })
         .seed(31)
         .build();
     let mut sim = Simulation::new(
@@ -68,7 +75,11 @@ fn nbody_run_with_grid_strategy() {
 
 #[test]
 fn material_workload_queries_the_index_under_test() {
-    let data = ElementSoupBuilder::new().count(800).universe_side(30.0).seed(41).build();
+    let data = ElementSoupBuilder::new()
+        .count(800)
+        .universe_side(30.0)
+        .seed(41)
+        .build();
     let mut sim = Simulation::new(
         data,
         Box::new(MaterialWorkload::new(2.0, 0.2)),
@@ -89,7 +100,11 @@ fn material_workload_queries_the_index_under_test() {
 #[test]
 fn simulation_determinism_per_seed() {
     let run = || {
-        let data = ElementSoupBuilder::new().count(400).universe_side(20.0).seed(55).build();
+        let data = ElementSoupBuilder::new()
+            .count(400)
+            .universe_side(20.0)
+            .seed(55)
+            .build();
         let mut sim = Simulation::new(
             data,
             Box::new(PlasticityWorkload::with_sigma(0.1, 9)),
@@ -103,12 +118,20 @@ fn simulation_determinism_per_seed() {
         sim.run(3);
         sim.data().elements().to_vec()
     };
-    assert_eq!(run(), run(), "same seeds must reproduce the same trajectory");
+    assert_eq!(
+        run(),
+        run(),
+        "same seeds must reproduce the same trajectory"
+    );
 }
 
 #[test]
 fn join_results_stay_consistent_across_steps() {
-    let data = ElementSoupBuilder::new().count(700).universe_side(25.0).seed(61).build();
+    let data = ElementSoupBuilder::new()
+        .count(700)
+        .universe_side(25.0)
+        .seed(61)
+        .build();
     let mut sim = Simulation::new(
         data,
         Box::new(PlasticityWorkload::with_sigma(0.05, 3)),
@@ -123,8 +146,11 @@ fn join_results_stay_consistent_across_steps() {
         sim.run_step();
         let config = JoinConfig::within(0.5);
         let truth = self_join(sim.data().elements(), &config, JoinAlgorithm::NestedLoop);
-        for algo in [JoinAlgorithm::PbsmGrid, JoinAlgorithm::SmallCellGrid, JoinAlgorithm::TreeJoin]
-        {
+        for algo in [
+            JoinAlgorithm::PbsmGrid,
+            JoinAlgorithm::SmallCellGrid,
+            JoinAlgorithm::TreeJoin,
+        ] {
             let got = self_join(sim.data().elements(), &config, algo);
             assert_eq!(got, truth, "{} diverged mid-simulation", algo.name());
         }

@@ -1,7 +1,9 @@
 //! Property-based tests of the geometry substrate: the algebraic laws every
-//! index in the workspace silently relies on.
+//! index in the workspace silently relies on, and the exact agreement of
+//! the batched SoA kernels with the scalar predicates.
 
 use proptest::prelude::*;
+use simspatial::geom::soa::{mask_indices, SoaAabbs, MASK_LANES};
 use simspatial::prelude::*;
 
 fn arb_point() -> impl Strategy<Value = Point3> {
@@ -11,6 +13,25 @@ fn arb_point() -> impl Strategy<Value = Point3> {
 
 fn arb_aabb() -> impl Strategy<Value = Aabb> {
     (arb_point(), arb_point()).prop_map(|(a, b)| Aabb::new(a, b))
+}
+
+/// Boxes for the batched-kernel properties: ordinary random boxes plus the
+/// degenerate cases (point boxes, the empty box, flat boxes) that a lane
+/// comparison could plausibly mishandle.
+fn arb_kernel_box() -> impl Strategy<Value = Aabb> {
+    prop_oneof![
+        4 => arb_aabb(),
+        1 => arb_point().prop_map(Aabb::from_point),
+        1 => (arb_point(), 0.0f32..5.0).prop_map(|(p, e)| {
+            // Flat box: zero extent along one axis.
+            Aabb::new(p, Point3::new(p.x + e, p.y, p.z + e))
+        }),
+        1 => (0u8..1).prop_map(|_| Aabb::empty()),
+    ]
+}
+
+fn arb_kernel_boxes() -> impl Strategy<Value = Vec<Aabb>> {
+    prop::collection::vec(arb_kernel_box(), 1..200)
 }
 
 fn arb_shape() -> impl Strategy<Value = Shape> {
@@ -111,6 +132,92 @@ proptest! {
         let after = moved.distance_to_point(&(p + v));
         prop_assert!((before - after).abs() < 1e-2 + before * 1e-3,
                      "distance not translation-invariant: {before} vs {after}");
+    }
+
+    #[test]
+    fn soa_intersect_mask_equals_scalar(boxes in arb_kernel_boxes(), q in arb_kernel_box()) {
+        let soa = {
+            let mut s = SoaAabbs::new();
+            for (i, b) in boxes.iter().enumerate() {
+                s.push(*b, i as ElementId);
+            }
+            s
+        };
+        let mut mask = Vec::new();
+        soa.intersect_mask(&q, &mut mask);
+        prop_assert_eq!(mask.len(), boxes.len().div_ceil(MASK_LANES));
+        for (i, b) in boxes.iter().enumerate() {
+            let bit = mask[i / MASK_LANES] >> (i % MASK_LANES) & 1 == 1;
+            prop_assert_eq!(bit, b.intersects(&q), "intersect lane {} on {:?} vs {:?}", i, b, q);
+        }
+        // No ghost bits past the end of the last word.
+        if let Some(last) = mask.last() {
+            let used = boxes.len() - (mask.len() - 1) * MASK_LANES;
+            if used < MASK_LANES {
+                prop_assert_eq!(last >> used, 0u64, "ghost bits beyond lane {}", used);
+            }
+        }
+    }
+
+    #[test]
+    fn soa_contains_mask_equals_scalar(boxes in arb_kernel_boxes(), q in arb_kernel_box()) {
+        let soa = {
+            let mut s = SoaAabbs::new();
+            for (i, b) in boxes.iter().enumerate() {
+                s.push(*b, i as ElementId);
+            }
+            s
+        };
+        let mut mask = Vec::new();
+        soa.contains_mask(&q, &mut mask);
+        for (i, b) in boxes.iter().enumerate() {
+            let bit = mask[i / MASK_LANES] >> (i % MASK_LANES) & 1 == 1;
+            prop_assert_eq!(bit, q.contains(b), "contains lane {} on {:?} vs {:?}", i, b, q);
+        }
+    }
+
+    #[test]
+    fn soa_id_collection_equals_mask(boxes in arb_kernel_boxes(), q in arb_kernel_box(),
+                                     start in 0usize..220) {
+        let soa = {
+            let mut s = SoaAabbs::new();
+            for (i, b) in boxes.iter().enumerate() {
+                s.push(*b, (i * 7) as ElementId); // non-dense ids
+            }
+            s
+        };
+        let mut mask = Vec::new();
+        soa.intersect_mask(&q, &mut mask);
+        let expect: Vec<ElementId> = mask_indices(&mask).map(|i| soa.id_at(i)).collect();
+        let mut got = Vec::new();
+        soa.intersect_into(&q, &mut got);
+        prop_assert_eq!(&got, &expect);
+        let mut partial = Vec::new();
+        soa.intersect_from_into(start, &q, &mut partial);
+        let expect_partial: Vec<(u32, ElementId)> = mask_indices(&mask)
+            .filter(|&i| i >= start)
+            .map(|i| (i as u32, soa.id_at(i)))
+            .collect();
+        prop_assert_eq!(partial, expect_partial);
+    }
+
+    #[test]
+    fn soa_min_dist_equals_scalar(boxes in arb_kernel_boxes(), p in arb_point()) {
+        let soa = {
+            let mut s = SoaAabbs::new();
+            for (i, b) in boxes.iter().enumerate() {
+                s.push(*b, i as ElementId);
+            }
+            s
+        };
+        let mut dists = Vec::new();
+        soa.min_dist2_into(&p, &mut dists);
+        prop_assert_eq!(dists.len(), boxes.len());
+        for (i, b) in boxes.iter().enumerate() {
+            // Exact bit-for-bit agreement: same operations, same order.
+            prop_assert_eq!(dists[i].to_bits(), b.min_distance2(&p).to_bits(),
+                            "min_dist lane {}: {} vs {}", i, dists[i], b.min_distance2(&p));
+        }
     }
 
     #[test]

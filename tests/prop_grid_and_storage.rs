@@ -6,7 +6,10 @@ use simspatial::storage::{PageId, PageStore, PAGE_SIZE};
 
 fn arb_elements(max: usize) -> impl Strategy<Value = Vec<Element>> {
     prop::collection::vec(
-        ((-50.0f32..50.0, -50.0f32..50.0, -50.0f32..50.0), 0.05f32..3.0),
+        (
+            (-50.0f32..50.0, -50.0f32..50.0, -50.0f32..50.0),
+            0.05f32..3.0,
+        ),
         1..max,
     )
     .prop_map(|items| {
@@ -14,7 +17,10 @@ fn arb_elements(max: usize) -> impl Strategy<Value = Vec<Element>> {
             .into_iter()
             .enumerate()
             .map(|(i, ((x, y, z), r))| {
-                Element::new(i as ElementId, Shape::Sphere(Sphere::new(Point3::new(x, y, z), r)))
+                Element::new(
+                    i as ElementId,
+                    Shape::Sphere(Sphere::new(Point3::new(x, y, z), r)),
+                )
             })
             .collect()
     })
@@ -39,7 +45,12 @@ proptest! {
         let mut b = scan.range(&elements, &qbox);
         a.sort_unstable();
         b.sort_unstable();
-        prop_assert_eq!(a, b);
+        prop_assert_eq!(&a, &b);
+        // The batched SoA path must also agree with the seed's scalar
+        // reference path on the same structure.
+        let mut c = grid.range_scalar_reference(&elements, &qbox);
+        c.sort_unstable();
+        prop_assert_eq!(a, c);
     }
 
     #[test]

@@ -9,9 +9,11 @@ fn arb_elements() -> impl Strategy<Value = Vec<Element>> {
     prop::collection::vec(
         prop_oneof![
             // Spheres.
-            ((-40.0f32..40.0, -40.0f32..40.0, -40.0f32..40.0), 0.05f32..3.0).prop_map(
-                |((x, y, z), r)| Shape::Sphere(Sphere::new(Point3::new(x, y, z), r))
-            ),
+            (
+                (-40.0f32..40.0, -40.0f32..40.0, -40.0f32..40.0),
+                0.05f32..3.0
+            )
+                .prop_map(|((x, y, z), r)| Shape::Sphere(Sphere::new(Point3::new(x, y, z), r))),
             // Capsules (the neuron geometry).
             (
                 (-40.0f32..40.0, -40.0f32..40.0, -40.0f32..40.0),
@@ -35,10 +37,14 @@ fn arb_elements() -> impl Strategy<Value = Vec<Element>> {
 }
 
 fn arb_query() -> impl Strategy<Value = Aabb> {
-    ((-50.0f32..50.0, -50.0f32..50.0, -50.0f32..50.0), 0.5f32..40.0).prop_map(|((x, y, z), s)| {
-        let min = Point3::new(x, y, z);
-        Aabb::new(min, Point3::new(x + s, y + s, z + s))
-    })
+    (
+        (-50.0f32..50.0, -50.0f32..50.0, -50.0f32..50.0),
+        0.5f32..40.0,
+    )
+        .prop_map(|((x, y, z), s)| {
+            let min = Point3::new(x, y, z);
+            Aabb::new(min, Point3::new(x + s, y + s, z + s))
+        })
 }
 
 fn sorted(mut v: Vec<ElementId>) -> Vec<ElementId> {

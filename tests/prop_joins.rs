@@ -7,7 +7,10 @@ use simspatial::prelude::*;
 
 fn arb_elements() -> impl Strategy<Value = Vec<Element>> {
     prop::collection::vec(
-        ((-30.0f32..30.0, -30.0f32..30.0, -30.0f32..30.0), 0.05f32..2.0),
+        (
+            (-30.0f32..30.0, -30.0f32..30.0, -30.0f32..30.0),
+            0.05f32..2.0,
+        ),
         0..120,
     )
     .prop_map(|items| {
@@ -15,7 +18,10 @@ fn arb_elements() -> impl Strategy<Value = Vec<Element>> {
             .into_iter()
             .enumerate()
             .map(|(i, ((x, y, z), r))| {
-                Element::new(i as ElementId, Shape::Sphere(Sphere::new(Point3::new(x, y, z), r)))
+                Element::new(
+                    i as ElementId,
+                    Shape::Sphere(Sphere::new(Point3::new(x, y, z), r)),
+                )
             })
             .collect()
     })

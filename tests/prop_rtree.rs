@@ -27,7 +27,7 @@ impl Model {
 
 #[derive(Debug, Clone)]
 enum Op {
-    Insert(u32, (f32, f32, f32), (f32, f32, f32)),
+    Insert((f32, f32, f32), (f32, f32, f32)),
     Delete(usize),
     Move(usize, (f32, f32, f32)),
 }
@@ -36,9 +36,9 @@ fn arb_op() -> impl Strategy<Value = Op> {
     let coord = -50.0f32..50.0;
     let ext = 0.1f32..5.0;
     prop_oneof![
-        3 => (any::<u32>(), (coord.clone(), coord.clone(), coord.clone()),
+        3 => ((coord.clone(), coord.clone(), coord.clone()),
               (ext.clone(), ext.clone(), ext.clone()))
-            .prop_map(|(id, p, e)| Op::Insert(id, p, e)),
+            .prop_map(|(p, e)| Op::Insert(p, e)),
         1 => any::<usize>().prop_map(Op::Delete),
         2 => (any::<usize>(), (-2.0f32..2.0, -2.0f32..2.0, -2.0f32..2.0))
             .prop_map(|(i, d)| Op::Move(i, d)),
@@ -49,7 +49,7 @@ fn apply(ops: &[Op], tree: &mut RTree, model: &mut Model, bottom_up: bool) {
     let mut next_id = 0u32;
     for op in ops {
         match op {
-            Op::Insert(_, p, e) => {
+            Op::Insert(p, e) => {
                 let min = Point3::new(p.0, p.1, p.2);
                 let bbox = Aabb::new(min, Point3::new(p.0 + e.0, p.1 + e.1, p.2 + e.2));
                 let id = next_id;

@@ -1,0 +1,132 @@
+//! Offline stand-in for `proptest`: randomized (non-shrinking) property
+//! testing with the same macro/Strategy surface the workspace tests use.
+//!
+//! Differences from the real crate: no shrinking (failures report the raw
+//! generated inputs), no persisted failure seeds, and generation is driven
+//! by a deterministic per-test RNG so runs are reproducible. Case counts
+//! honour `ProptestConfig::with_cases` and the `PROPTEST_CASES` env var.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Prelude: everything the standard `use proptest::prelude::*` provides of
+/// the surface this workspace uses.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// The `prop::` module path used by `prop::collection::vec(...)`.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Defines property tests.
+///
+/// Supports an optional leading `#![proptest_config(expr)]` and any number
+/// of `#[test] fn name(arg in strategy, ...) { body }` items. The body may
+/// use `prop_assert!`-family macros, which abort the case with a message.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr); $(
+        #[test]
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            #[test]
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $cfg;
+                $crate::test_runner::run_cases(&__config, stringify!($name), |__rng| {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), __rng);)+
+                    let mut __inputs = ::std::string::String::new();
+                    $(
+                        __inputs.push_str("  ");
+                        __inputs.push_str(stringify!($arg));
+                        __inputs.push_str(" = ");
+                        __inputs.push_str(&format!("{:?}", &$arg));
+                        __inputs.push('\n');
+                    )+
+                    let __outcome: ::std::result::Result<(), ::std::string::String> =
+                        (move || { $body ::std::result::Result::Ok(()) })();
+                    __outcome.map_err(move |e| format!("{e}\nwith inputs:\n{__inputs}"))
+                });
+            }
+        )*
+    };
+}
+
+/// Aborts the current property-test case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Aborts the current property-test case unless the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__l, __r) = (&$a, &$b);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: `left == right`\n  left: {:?}\n right: {:?}", __l, __r));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$a, &$b);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: `left == right`\n  left: {:?}\n right: {:?}\n  {}",
+                __l, __r, format!($($fmt)+)));
+        }
+    }};
+}
+
+/// Aborts the current property-test case if the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__l, __r) = (&$a, &$b);
+        if *__l == *__r {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: `left != right`\n  both: {:?}",
+                __l
+            ));
+        }
+    }};
+}
+
+/// Chooses among several strategies, optionally with `weight => strategy`
+/// arms.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}

@@ -1,0 +1,94 @@
+//! The case-running loop and its configuration.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Configuration for a `proptest!` block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases generated per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// The RNG handed to strategies. Wraps the vendored `SmallRng`; a struct so
+/// the strategy API stays stable if the backing generator changes.
+pub struct TestRng {
+    pub(crate) rng: SmallRng,
+}
+
+/// Runs `config.cases` cases of `f`, panicking with the case's message (and
+/// its reproduction seed) on the first failure.
+///
+/// Seeding is deterministic per test name and case index, so failures
+/// reproduce across runs. `PROPTEST_CASES` overrides the case count.
+pub fn run_cases(
+    config: &ProptestConfig,
+    test_name: &str,
+    mut f: impl FnMut(&mut TestRng) -> Result<(), String>,
+) {
+    let cases = std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse::<u32>().ok())
+        .unwrap_or(config.cases);
+    let name_seed = fnv1a(test_name.as_bytes());
+    for case in 0..cases {
+        let seed = name_seed ^ (case as u64).wrapping_mul(0x9E3779B97F4A7C15);
+        let mut rng = TestRng {
+            rng: SmallRng::seed_from_u64(seed),
+        };
+        if let Err(msg) = f(&mut rng) {
+            panic!("proptest case {case}/{cases} of `{test_name}` failed (seed {seed:#x}):\n{msg}");
+        }
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::Strategy;
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut first: Vec<f32> = Vec::new();
+        run_cases(&ProptestConfig::with_cases(10), "det", |rng| {
+            first.push((0.0f32..1.0).generate(rng));
+            Ok(())
+        });
+        let mut second: Vec<f32> = Vec::new();
+        run_cases(&ProptestConfig::with_cases(10), "det", |rng| {
+            second.push((0.0f32..1.0).generate(rng));
+            Ok(())
+        });
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn failure_panics_with_message() {
+        run_cases(&ProptestConfig::with_cases(3), "fail", |_| {
+            Err("boom".into())
+        });
+    }
+}

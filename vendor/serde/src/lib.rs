@@ -1,0 +1,8 @@
+//! Offline stand-in for `serde`: re-exports the no-op derives.
+//!
+//! See `vendor/README.md`. The derive macros expand to nothing, so no
+//! `Serialize`/`Deserialize` traits are required at the use sites; the
+//! names below exist purely so `use serde::{Serialize, Deserialize}`
+//! resolves both the trait-style and derive-style imports.
+
+pub use serde_derive::{Deserialize, Serialize};

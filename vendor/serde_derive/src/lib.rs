@@ -1,0 +1,20 @@
+//! No-op `Serialize`/`Deserialize` derives.
+//!
+//! Nothing in the workspace actually serializes data yet; the derives exist
+//! so type definitions can keep the standard `#[derive(Serialize,
+//! Deserialize)]` annotations and swap in real serde when the environment
+//! has network access.
+
+use proc_macro::TokenStream;
+
+/// Derives a no-op `Serialize` impl (expands to nothing).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Derives a no-op `Deserialize` impl (expands to nothing).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
