@@ -1,0 +1,275 @@
+//! The batch query engine bench: measures the sink-based batched query
+//! paths of the newly migrated indexes against their seed scalar paths,
+//! and emits `BENCH_query_engine.json` at the workspace root with
+//! before/after throughput numbers.
+//!
+//! Four comparisons, all measured in this binary on the same data:
+//!
+//! 1. `multigrid_range` — the seed composition (per-level scalar grid
+//!    path: raw cell dumps, sort+dedup, per-candidate filter-and-refine,
+//!    one result vector per level) vs the sink path through
+//!    [`QueryEngine`] (shared scratch, mask-kernel filtering, reused
+//!    [`BatchResults`] collector).
+//! 2. `crtree_range` — the seed per-child dequantize + scalar test path vs
+//!    the batched quantized `u8` filter over the CSR child slab.
+//! 3. `grid_knn` — the seed expanding-ring kNN (exact distance per
+//!    candidate) vs the batched `MINDIST` lower-bound pass with deferred
+//!    exact refinement.
+//! 4. `lsh_knn` — the seed score-every-candidate path vs batched
+//!    `min_dist2_into` candidate scoring with an early-exit bound sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use simspatial_bench::datasets::{neuron_dataset, paper_queries};
+use simspatial_bench::report::BenchJson;
+use simspatial_bench::Scale;
+use simspatial_datagen::QueryWorkload;
+use simspatial_geom::{Aabb, Element, Point3};
+use simspatial_index::{
+    BatchResults, CrTree, CrTreeConfig, GridConfig, GridPlacement, KnnIndex, Lsh, LshConfig,
+    MultiGrid, MultiGridConfig, QueryEngine, UniformGrid,
+};
+use std::time::Instant;
+
+/// Mean wall-clock seconds per call of `f`, with warm-up.
+fn time_per_call<O>(mut f: impl FnMut() -> O) -> f64 {
+    let warm = Instant::now();
+    let mut warm_iters = 0u32;
+    while warm.elapsed().as_secs_f64() < 0.2 {
+        std::hint::black_box(f());
+        warm_iters += 1;
+    }
+    let per = warm.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+    let iters = ((0.8 / per.max(1e-9)) as u64).clamp(3, 1 << 22);
+    let t = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(f());
+    }
+    t.elapsed().as_secs_f64() / iters as f64
+}
+
+struct Fixture {
+    elements: Vec<Element>,
+    queries: Vec<Aabb>,
+    knn_points: Vec<Point3>,
+    multigrid: MultiGrid,
+    crtree: CrTree,
+    grid: UniformGrid,
+    lsh: Lsh,
+}
+
+fn fixture() -> Fixture {
+    let data = neuron_dataset(Scale::Small);
+    let queries = paper_queries(data.universe(), data.len(), 40, 7);
+    let knn_points = QueryWorkload::new(data.universe(), 0x0E17).knn_points(24);
+    let elements = data.elements().to_vec();
+    let multigrid = MultiGrid::build(&elements, MultiGridConfig::auto(&elements));
+    let crtree = CrTree::build(&elements, CrTreeConfig::default());
+    let grid = UniformGrid::build(
+        &elements,
+        GridConfig::with_cell_side(
+            GridConfig::auto(&elements).cell_side,
+            GridPlacement::Replicate,
+        ),
+    );
+    let lsh = Lsh::build(&elements, LshConfig::auto(&elements));
+    Fixture {
+        elements,
+        queries,
+        knn_points,
+        multigrid,
+        crtree,
+        grid,
+        lsh,
+    }
+}
+
+/// Builds the JSON report; `cargo bench --bench query_engine` both prints
+/// timings and refreshes the artifact.
+fn emit_json(fx: &Fixture) -> BenchJson {
+    let mut json = BenchJson::new("query_engine");
+    let mut engine = QueryEngine::new();
+    let mut results = BatchResults::new();
+
+    // Sanity first: batched paths must agree with the seed paths.
+    for q in &fx.queries {
+        let sorted = |mut v: Vec<u32>| {
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(
+            sorted(simspatial_index::SpatialIndex::range(
+                &fx.multigrid,
+                &fx.elements,
+                q
+            )),
+            sorted(fx.multigrid.range_seed_reference(&fx.elements, q)),
+            "multigrid diverged from its seed path"
+        );
+        assert_eq!(
+            sorted(simspatial_index::SpatialIndex::range(
+                &fx.crtree,
+                &fx.elements,
+                q
+            )),
+            sorted(fx.crtree.range_scalar_reference(&fx.elements, q)),
+            "crtree diverged from its seed path"
+        );
+    }
+    for p in &fx.knn_points {
+        assert_eq!(
+            fx.grid.knn(&fx.elements, p, 10),
+            fx.grid.knn_scalar_reference(&fx.elements, p, 10),
+            "grid knn diverged from its seed path"
+        );
+        assert_eq!(
+            fx.lsh.knn(&fx.elements, p, 10),
+            fx.lsh.knn_scalar_reference(&fx.elements, p, 10),
+            "lsh knn diverged from its seed path"
+        );
+    }
+
+    // 1. MultiGrid batch range: seed per-level scalar path vs engine.
+    let before = time_per_call(|| {
+        let mut total = 0usize;
+        for q in &fx.queries {
+            total += fx.multigrid.range_seed_reference(&fx.elements, q).len();
+        }
+        total
+    });
+    let after = time_per_call(|| {
+        engine
+            .range_collect(&fx.multigrid, &fx.elements, &fx.queries, &mut results)
+            .results
+    });
+    json.add(
+        "multigrid_range",
+        "query_batches/s",
+        1.0 / before,
+        1.0 / after,
+    );
+
+    // 2. CR-Tree batch range: seed dequantize path vs quantized batch filter.
+    let before = time_per_call(|| {
+        let mut total = 0usize;
+        for q in &fx.queries {
+            total += fx.crtree.range_scalar_reference(&fx.elements, q).len();
+        }
+        total
+    });
+    let after = time_per_call(|| {
+        engine
+            .range_collect(&fx.crtree, &fx.elements, &fx.queries, &mut results)
+            .results
+    });
+    json.add("crtree_range", "query_batches/s", 1.0 / before, 1.0 / after);
+
+    // 3. Grid expanding-ring kNN: per-candidate exact scoring vs batched
+    //    lower bounds with deferred refinement.
+    let before = time_per_call(|| {
+        let mut acc = 0usize;
+        for p in &fx.knn_points {
+            acc += fx.grid.knn_scalar_reference(&fx.elements, p, 10).len();
+        }
+        acc
+    });
+    let after = time_per_call(|| {
+        let mut acc = 0usize;
+        for p in &fx.knn_points {
+            acc += fx.grid.knn(&fx.elements, p, 10).len();
+        }
+        acc
+    });
+    json.add("grid_knn", "knn_batches/s", 1.0 / before, 1.0 / after);
+
+    // 4. LSH candidate scoring: exact-score-everything vs batched bounds.
+    let before = time_per_call(|| {
+        let mut acc = 0usize;
+        for p in &fx.knn_points {
+            acc += fx.lsh.knn_scalar_reference(&fx.elements, p, 10).len();
+        }
+        acc
+    });
+    let after = time_per_call(|| {
+        let mut acc = 0usize;
+        for p in &fx.knn_points {
+            acc += fx.lsh.knn(&fx.elements, p, 10).len();
+        }
+        acc
+    });
+    json.add("lsh_knn", "knn_batches/s", 1.0 / before, 1.0 / after);
+
+    json
+}
+
+fn bench(c: &mut Criterion) {
+    let fx = fixture();
+
+    let json = emit_json(&fx);
+    let out = std::env::var("SIMSPATIAL_BENCH_OUT").unwrap_or_else(|_| {
+        format!(
+            "{}/../../BENCH_query_engine.json",
+            env!("CARGO_MANIFEST_DIR")
+        )
+    });
+    json.write_to(std::path::Path::new(&out))
+        .expect("write BENCH_query_engine.json");
+    println!("{}", json.to_json());
+    println!("wrote {out}");
+
+    let mut g = c.benchmark_group("query_engine");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(200));
+    g.measurement_time(std::time::Duration::from_millis(700));
+    let mut engine = QueryEngine::new();
+    let mut results = BatchResults::new();
+    g.bench_function("multigrid_batched", |b| {
+        b.iter(|| {
+            engine
+                .range_collect(&fx.multigrid, &fx.elements, &fx.queries, &mut results)
+                .results
+        })
+    });
+    g.bench_function("multigrid_seed_reference", |b| {
+        b.iter(|| {
+            fx.queries
+                .iter()
+                .map(|q| fx.multigrid.range_seed_reference(&fx.elements, q).len())
+                .sum::<usize>()
+        })
+    });
+    g.bench_function("crtree_batched", |b| {
+        b.iter(|| {
+            engine
+                .range_collect(&fx.crtree, &fx.elements, &fx.queries, &mut results)
+                .results
+        })
+    });
+    g.bench_function("crtree_seed_reference", |b| {
+        b.iter(|| {
+            fx.queries
+                .iter()
+                .map(|q| fx.crtree.range_scalar_reference(&fx.elements, q).len())
+                .sum::<usize>()
+        })
+    });
+    g.bench_function("grid_knn_batched", |b| {
+        b.iter(|| {
+            fx.knn_points
+                .iter()
+                .map(|p| fx.grid.knn(&fx.elements, p, 10).len())
+                .sum::<usize>()
+        })
+    });
+    g.bench_function("lsh_knn_batched", |b| {
+        b.iter(|| {
+            fx.knn_points
+                .iter()
+                .map(|p| fx.lsh.knn(&fx.elements, p, 10).len())
+                .sum::<usize>()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

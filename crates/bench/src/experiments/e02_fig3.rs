@@ -17,7 +17,7 @@ use crate::experiments::time;
 use crate::report::{fmt_time, pct, Report};
 use crate::Scale;
 use simspatial_geom::{stats, Aabb, Point3, Vec3};
-use simspatial_index::{RTree, RTreeConfig};
+use simspatial_index::{QueryEngine, RTree, RTreeConfig};
 
 /// Structured outcome.
 #[derive(Debug, Clone, Copy)]
@@ -74,14 +74,14 @@ pub fn measure(scale: Scale) -> Fig3 {
     let t_tree = batch(&|q| tree.probe_tree(q));
     let t_bbox = batch(&|q| tree.range_bbox(q).len());
 
-    stats::reset();
-    let before = stats::snapshot();
-    let t_full = batch(&|q| tree.range_exact(data.elements(), q).len());
-    // Counters accumulated over warm-up + measured pass; halve for one pass.
-    let mut counts = stats::snapshot().since(&before);
-    counts.tree_tests /= 2;
-    counts.element_tests /= 2;
-    counts.nodes_visited /= 2;
+    // Full filter+refine pass through the engine: a warm-up batch, then a
+    // measured batch whose QueryStats carry exactly one pass of counters —
+    // no accumulate-and-halve bookkeeping.
+    let mut engine = QueryEngine::new();
+    engine.range_count(&tree, data.elements(), &queries);
+    let full = engine.range_count(&tree, data.elements(), &queries);
+    let t_full = full.elapsed_s;
+    let counts = full.counts;
 
     let tree_s = (t_tree - t_fixed).max(0.0);
     let element_s = (t_full - t_tree).max(0.0);

@@ -10,11 +10,10 @@
 //! ceiling tree structures leave on the table.
 
 use crate::datasets::{neuron_dataset, paper_queries};
-use crate::experiments::time;
 use crate::report::{fmt_time, Report};
 use crate::Scale;
 use simspatial_index::{
-    CrTree, CrTreeConfig, GridConfig, RTree, RTreeConfig, SpatialIndex, UniformGrid,
+    CrTree, CrTreeConfig, GridConfig, QueryEngine, RTree, RTreeConfig, SpatialIndex, UniformGrid,
 };
 
 /// Timings of one contender.
@@ -34,21 +33,16 @@ pub fn measure(scale: Scale) -> Vec<Contender> {
     let queries = paper_queries(data.universe(), data.len(), scale.queries(), 0xF166);
     let n = data.len() as f64;
 
-    let run = |name: &'static str,
-               bytes: usize,
-               range: &dyn Fn(&simspatial_geom::Aabb) -> usize|
-     -> Contender {
-        let (_, total_s) = time(|| {
-            let mut acc = 0usize;
-            for q in &queries {
-                acc += range(q);
-            }
-            std::hint::black_box(acc)
-        });
+    // One engine drives every contender's batched plan; its QueryStats
+    // replace the hand-rolled timing loop.
+    let mut engine = QueryEngine::new();
+    let mut run = |name: &'static str, index: &dyn SpatialIndex| -> Contender {
         Contender {
             name,
-            total_s,
-            bytes_per_element: bytes as f64 / n,
+            total_s: engine
+                .range_count(index, data.elements(), &queries)
+                .elapsed_s,
+            bytes_per_element: index.memory_bytes() as f64 / n,
         }
     };
 
@@ -58,18 +52,10 @@ pub fn measure(scale: Scale) -> Vec<Contender> {
     let grid = UniformGrid::build(data.elements(), GridConfig::auto(data.elements()));
 
     vec![
-        run("R-Tree (4KB nodes)", disk_layout.memory_bytes(), &|q| {
-            disk_layout.range(data.elements(), q).len()
-        }),
-        run("R-Tree (cache-band)", cache_band.memory_bytes(), &|q| {
-            cache_band.range(data.elements(), q).len()
-        }),
-        run("CR-Tree", SpatialIndex::memory_bytes(&cr), &|q| {
-            cr.range(data.elements(), q).len()
-        }),
-        run("Grid (auto)", SpatialIndex::memory_bytes(&grid), &|q| {
-            grid.range(data.elements(), q).len()
-        }),
+        run("R-Tree (4KB nodes)", &disk_layout),
+        run("R-Tree (cache-band)", &cache_band),
+        run("CR-Tree", &cr),
+        run("Grid (auto)", &grid),
     ]
 }
 

@@ -11,11 +11,10 @@
 //! the multigrid and the analytic auto-resolution against both workloads.
 
 use crate::datasets::{neuron_dataset, queries_at};
-use crate::experiments::time;
 use crate::report::{fmt_time, Report};
 use crate::Scale;
 use simspatial_index::{
-    GridConfig, GridPlacement, MultiGrid, MultiGridConfig, SpatialIndex, UniformGrid,
+    GridConfig, GridPlacement, MultiGrid, MultiGridConfig, QueryEngine, SpatialIndex, UniformGrid,
 };
 
 /// One sweep row: per-workload batch seconds for a given resolution.
@@ -46,15 +45,11 @@ pub fn measure(scale: Scale) -> ResolutionSweep {
     let small_q = queries_at(data.universe(), 1e-6, scale.queries(), 0x71);
     let large_q = queries_at(data.universe(), 1e-3, scale.queries(), 0x72);
 
-    let batch = |grid: &dyn SpatialIndex, queries: &[simspatial_geom::Aabb]| -> f64 {
-        let (_, t) = time(|| {
-            let mut acc = 0usize;
-            for q in queries {
-                acc += grid.range(data.elements(), q).len();
-            }
-            std::hint::black_box(acc)
-        });
-        t
+    // The engine owns scratch and timing: one reusable instance drives
+    // every contender's batched plan.
+    let mut engine = QueryEngine::new();
+    let mut batch = |grid: &dyn SpatialIndex, queries: &[simspatial_geom::Aabb]| -> f64 {
+        engine.range_count(grid, data.elements(), queries).elapsed_s
     };
 
     let base = GridConfig::auto(data.elements()).cell_side;

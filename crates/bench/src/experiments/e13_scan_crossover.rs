@@ -14,6 +14,8 @@ use crate::experiments::time;
 use crate::report::{fmt_time, Report};
 use crate::Scale;
 use simspatial_datagen::{PlasticityModel, QueryWorkload};
+use simspatial_geom::QueryScratch;
+use simspatial_index::{CountSink, RangeSink};
 use simspatial_moving::{UpdateStrategy, UpdateStrategyKind};
 
 /// Per-step totals for one (strategy, queries-per-step) cell.
@@ -40,6 +42,11 @@ pub fn measure(scale: Scale) -> Vec<CrossoverCell> {
     ];
 
     let mut cells = Vec::new();
+    // One scratch + counting sink for the whole sweep: the per-step query
+    // phase runs the strategies' sink paths with zero per-query result
+    // allocations.
+    let mut scratch = QueryScratch::default();
+    let mut sink = CountSink::new();
     for kind in strategies {
         for &qps in &sweep {
             let mut strategy: Box<dyn UpdateStrategy> = kind.create(data.elements());
@@ -53,13 +60,14 @@ pub fn measure(scale: Scale) -> Vec<CrossoverCell> {
                     cur.displace(id as u32, *d);
                 }
                 let (_, tm) = time(|| strategy.apply_step(&old, cur.elements()));
+                sink.reset();
                 let (_, tq) = time(|| {
-                    let mut n = 0usize;
-                    for _ in 0..qps {
+                    for qi in 0..qps {
                         let q = queries.range_query(1e-4);
-                        n += strategy.range(cur.elements(), &q).len();
+                        sink.begin_query(qi as u32);
+                        strategy.range_into(cur.elements(), &q, &mut scratch, &mut sink);
                     }
-                    std::hint::black_box(n)
+                    std::hint::black_box(sink.total)
                 });
                 acc += tm + tq;
             }

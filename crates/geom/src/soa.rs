@@ -413,6 +413,27 @@ impl SoaAabbs {
         }
     }
 
+    /// Gather-addressed form of [`SoaAabbs::min_dist2_into`]: writes into
+    /// `out` (resized to `indices.len()`) the squared `MINDIST` from `p` to
+    /// the box stored at each row of `indices`. The batched lower-bound
+    /// kernel for paths that filter ids first and score second (LSH
+    /// candidate scoring) — one streaming pass over the id list, no
+    /// intermediate copy of the gathered boxes.
+    ///
+    /// Rows must be in range; indices are row positions, which for stores
+    /// built in dense-id order coincide with element ids.
+    pub fn min_dist2_gather_into(&self, p: &Point3, indices: &[ElementId], out: &mut Vec<f32>) {
+        out.clear();
+        out.resize(indices.len(), 0.0);
+        for (slot, &idx) in out.iter_mut().zip(indices) {
+            let i = idx as usize;
+            let dx = (self.min_x[i] - p.x).max(0.0).max(p.x - self.max_x[i]);
+            let dy = (self.min_y[i] - p.y).max(0.0).max(p.y - self.max_y[i]);
+            let dz = (self.min_z[i] - p.z).max(0.0).max(p.z - self.max_z[i]);
+            *slot = dx * dx + dy * dy + dz * dz;
+        }
+    }
+
     /// Approximate heap footprint in bytes.
     pub fn memory_bytes(&self) -> usize {
         self.ids.capacity() * std::mem::size_of::<ElementId>()
@@ -505,6 +526,24 @@ mod tests {
         for (i, (b, _)) in entries.iter().enumerate() {
             assert_eq!(out[i], b.min_distance2(&p), "entry {i}");
         }
+    }
+
+    #[test]
+    fn min_dist_gather_matches_scalar() {
+        let entries = boxes();
+        let soa = SoaAabbs::from_entries(&entries);
+        let p = Point3::new(55.0, 8.0, 40.0);
+        let indices: Vec<ElementId> = (0..entries.len() as ElementId)
+            .filter(|i| i % 3 == 1)
+            .collect();
+        let mut out = Vec::new();
+        soa.min_dist2_gather_into(&p, &indices, &mut out);
+        assert_eq!(out.len(), indices.len());
+        for (slot, &i) in out.iter().zip(&indices) {
+            assert_eq!(*slot, entries[i as usize].0.min_distance2(&p), "row {i}");
+        }
+        soa.min_dist2_gather_into(&p, &[], &mut out);
+        assert!(out.is_empty());
     }
 
     #[test]

@@ -1,0 +1,452 @@
+//! The batch query execution engine.
+//!
+//! [`QueryEngine`] is the one place that owns query-time state: it holds
+//! the [`QueryScratch`] buffers every index borrows during execution, and
+//! it centralises the accounting every harness used to hand-roll — wall
+//! clock, result totals and the thread-local predicate-counter deltas of
+//! [`simspatial_geom::stats`] — into one [`QueryStats`] per batch.
+//!
+//! The unit of work is **a batch of queries**, per the paper's workloads
+//! (hundreds of range/kNN probes per simulation step) and per the
+//! roadmap's sharding/async direction: anything that can run a batch
+//! against a [`SpatialIndex`] through a [`RangeSink`] composes with every
+//! index in the crate. Batches can also fan out across threads
+//! ([`QueryEngine::range_batch_par`]) via `simspatial_geom::parallel`,
+//! honouring `SIMSPATIAL_THREADS`.
+//!
+//! Steady-state guarantee: repeat `range_batch` calls through one engine
+//! (with a reused sink such as [`BatchResults`] or [`CountSink`]) perform
+//! zero per-query heap allocations on the grid/R-Tree/FLAT hot paths —
+//! scratch and sink buffers grow to a high-water mark and stay there.
+
+use crate::traits::{KnnIndex, QueryStats, RangeSink, SpatialIndex};
+use simspatial_geom::scratch::with_scratch;
+use simspatial_geom::{parallel, stats, Aabb, Element, ElementId, Point3, QueryScratch};
+use std::time::Instant;
+
+/// A reusable per-query result collector.
+///
+/// Keeps one id list per query of the batch; [`BatchResults::reset`] clears
+/// the lists without freeing them, so a collector reused across batches
+/// allocates only until every list reaches its high-water capacity.
+#[derive(Debug, Default)]
+pub struct BatchResults {
+    lists: Vec<Vec<ElementId>>,
+    used: usize,
+}
+
+impl BatchResults {
+    /// An empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Clears all per-query lists, keeping their allocations.
+    pub fn reset(&mut self) {
+        for list in &mut self.lists {
+            list.clear();
+        }
+        self.used = 0;
+    }
+
+    /// Number of queries that have produced (possibly empty) result lists.
+    pub fn len(&self) -> usize {
+        self.used
+    }
+
+    /// True when no query has been announced yet.
+    pub fn is_empty(&self) -> bool {
+        self.used == 0
+    }
+
+    /// Results of query `qi`, in emission order.
+    pub fn query_results(&self, qi: usize) -> &[ElementId] {
+        &self.lists[qi]
+    }
+
+    /// Iterates the per-query result lists in batch order.
+    pub fn iter(&self) -> impl Iterator<Item = &[ElementId]> {
+        self.lists[..self.used].iter().map(Vec::as_slice)
+    }
+
+    /// Total results across all queries.
+    pub fn total(&self) -> usize {
+        self.lists[..self.used].iter().map(Vec::len).sum()
+    }
+}
+
+impl RangeSink for BatchResults {
+    fn begin_query(&mut self, qi: u32) {
+        let qi = qi as usize;
+        while self.used <= qi {
+            if self.used == self.lists.len() {
+                self.lists.push(Vec::new());
+            }
+            self.lists[self.used].clear();
+            self.used += 1;
+        }
+    }
+
+    #[inline]
+    fn push(&mut self, id: ElementId) {
+        if self.used == 0 {
+            // Driven directly by a single-query `range_into` (which never
+            // announces queries): results belong to query 0.
+            self.begin_query(0);
+        }
+        self.lists[self.used - 1].push(id);
+    }
+}
+
+/// A sink that only counts results (total and per query) — the cheapest
+/// way to drive a batch for timing or selectivity measurements. Driving
+/// several batches through one instance without [`CountSink::reset`]
+/// accumulates counts per query index.
+#[derive(Debug, Default)]
+pub struct CountSink {
+    /// Total results across the batch.
+    pub total: u64,
+    /// Results per query, in batch order.
+    pub per_query: Vec<u64>,
+    /// Slot of the last-announced query.
+    current: usize,
+}
+
+impl CountSink {
+    /// An empty counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Clears the counts, keeping the per-query allocation.
+    pub fn reset(&mut self) {
+        self.total = 0;
+        self.per_query.clear();
+        self.current = 0;
+    }
+}
+
+impl RangeSink for CountSink {
+    fn begin_query(&mut self, qi: u32) {
+        let qi = qi as usize;
+        while self.per_query.len() <= qi {
+            self.per_query.push(0);
+        }
+        self.current = qi;
+    }
+
+    #[inline]
+    fn push(&mut self, _id: ElementId) {
+        self.total += 1;
+        if self.per_query.is_empty() {
+            // Driven directly by a single-query `range_into`.
+            self.per_query.push(0);
+            self.current = 0;
+        }
+        self.per_query[self.current] += 1;
+    }
+}
+
+/// Forwarding sink that tallies pushes — how the engine counts results
+/// without imposing a sink type on callers.
+struct TallySink<'a> {
+    inner: &'a mut dyn RangeSink,
+    results: u64,
+}
+
+impl RangeSink for TallySink<'_> {
+    fn begin_query(&mut self, qi: u32) {
+        self.inner.begin_query(qi);
+    }
+
+    #[inline]
+    fn push(&mut self, id: ElementId) {
+        self.results += 1;
+        self.inner.push(id);
+    }
+}
+
+/// Executes query batches against any index, owning the scratch buffers
+/// and the per-batch accounting. Create once, reuse across batches.
+#[derive(Debug, Default)]
+pub struct QueryEngine {
+    scratch: QueryScratch,
+}
+
+impl QueryEngine {
+    /// A fresh engine with empty scratch buffers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Runs `queries` against `index` through the index's batched plan,
+    /// streaming results into `sink` and returning the batch accounting.
+    pub fn range_batch<I: SpatialIndex + ?Sized>(
+        &mut self,
+        index: &I,
+        data: &[Element],
+        queries: &[Aabb],
+        sink: &mut dyn RangeSink,
+    ) -> QueryStats {
+        let before = stats::snapshot();
+        let mut tally = TallySink {
+            inner: sink,
+            results: 0,
+        };
+        let start = Instant::now();
+        index.range_batch(data, queries, &mut self.scratch, &mut tally);
+        let elapsed_s = start.elapsed().as_secs_f64();
+        QueryStats {
+            elapsed_s,
+            results: tally.results,
+            counts: stats::snapshot().since(&before),
+        }
+    }
+
+    /// Runs the batch and collects per-query result lists into `out`
+    /// (reset first, allocations kept).
+    pub fn range_collect<I: SpatialIndex + ?Sized>(
+        &mut self,
+        index: &I,
+        data: &[Element],
+        queries: &[Aabb],
+        out: &mut BatchResults,
+    ) -> QueryStats {
+        out.reset();
+        self.range_batch(index, data, queries, out)
+    }
+
+    /// Runs the batch for its accounting alone (results are counted, not
+    /// kept) — the timing loop every experiment harness needs.
+    pub fn range_count<I: SpatialIndex + ?Sized>(
+        &mut self,
+        index: &I,
+        data: &[Element],
+        queries: &[Aabb],
+    ) -> QueryStats {
+        struct Discard;
+        impl RangeSink for Discard {
+            #[inline]
+            fn push(&mut self, _id: ElementId) {}
+        }
+        self.range_batch(index, data, queries, &mut Discard)
+    }
+
+    /// Fans the batch across worker threads (chunked by query), honouring
+    /// `SIMSPATIAL_THREADS` via [`parallel::num_threads`]. Each worker runs
+    /// over its own thread-local scratch; per-query result lists come back
+    /// in batch order. Predicate counters are summed across workers.
+    ///
+    /// Unlike [`QueryEngine::range_batch`], the results are **owned
+    /// per-query vectors** (workers cannot share one sink), so this path
+    /// allocates per query by design; on a single thread it runs inline
+    /// over the engine's own scratch, but allocation-sensitive callers
+    /// should prefer `range_batch` with a reused sink.
+    pub fn range_batch_par<I: SpatialIndex + Sync + ?Sized>(
+        &mut self,
+        index: &I,
+        data: &[Element],
+        queries: &[Aabb],
+    ) -> (Vec<Vec<ElementId>>, QueryStats) {
+        if parallel::num_threads() <= 1 {
+            let before = stats::snapshot();
+            let start = Instant::now();
+            let mut lists: Vec<Vec<ElementId>> = Vec::with_capacity(queries.len());
+            let mut results = 0u64;
+            for q in queries {
+                let mut out = Vec::new();
+                index.range_into(data, q, &mut self.scratch, &mut out);
+                results += out.len() as u64;
+                lists.push(out);
+            }
+            return (
+                lists,
+                QueryStats {
+                    elapsed_s: start.elapsed().as_secs_f64(),
+                    results,
+                    counts: stats::snapshot().since(&before),
+                },
+            );
+        }
+        let start = Instant::now();
+        let chunks = parallel::par_map_chunks(queries, 8, |_, chunk| {
+            with_scratch(|scratch| {
+                let before = stats::snapshot();
+                let mut lists: Vec<Vec<ElementId>> = Vec::with_capacity(chunk.len());
+                for q in chunk {
+                    let mut out = Vec::new();
+                    index.range_into(data, q, scratch, &mut out);
+                    lists.push(out);
+                }
+                (lists, stats::snapshot().since(&before))
+            })
+        });
+        let elapsed_s = start.elapsed().as_secs_f64();
+        let mut results_by_query = Vec::with_capacity(queries.len());
+        let mut counts = stats::PredicateCounts::default();
+        let mut results = 0u64;
+        for (lists, delta) in chunks {
+            counts.tree_tests += delta.tree_tests;
+            counts.element_tests += delta.element_tests;
+            counts.nodes_visited += delta.nodes_visited;
+            counts.elements_scanned += delta.elements_scanned;
+            for list in lists {
+                results += list.len() as u64;
+                results_by_query.push(list);
+            }
+        }
+        (
+            results_by_query,
+            QueryStats {
+                elapsed_s,
+                results,
+                counts,
+            },
+        )
+    }
+
+    /// Runs a batch of kNN probes (`k` nearest per point), collecting
+    /// per-point results into `out` (cleared first) and returning the batch
+    /// accounting.
+    pub fn knn_batch<I: KnnIndex + ?Sized>(
+        &mut self,
+        index: &I,
+        data: &[Element],
+        points: &[Point3],
+        k: usize,
+        out: &mut Vec<Vec<(ElementId, f32)>>,
+    ) -> QueryStats {
+        out.clear();
+        let before = stats::snapshot();
+        let start = Instant::now();
+        let mut results = 0u64;
+        for p in points {
+            let r = index.knn(data, p, k);
+            results += r.len() as u64;
+            out.push(r);
+        }
+        QueryStats {
+            elapsed_s: start.elapsed().as_secs_f64(),
+            results,
+            counts: stats::snapshot().since(&before),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GridConfig, LinearScan, UniformGrid};
+    use simspatial_geom::{Shape, Sphere};
+
+    fn line_data(n: u32) -> Vec<Element> {
+        (0..n)
+            .map(|i| {
+                Element::new(
+                    i,
+                    Shape::Sphere(Sphere::new(Point3::new(i as f32, 0.0, 0.0), 0.25)),
+                )
+            })
+            .collect()
+    }
+
+    fn line_queries() -> Vec<Aabb> {
+        (0..6)
+            .map(|i| {
+                let x = (i * 12) as f32;
+                Aabb::new(Point3::new(x, -1.0, -1.0), Point3::new(x + 7.0, 1.0, 1.0))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn collect_matches_legacy_range() {
+        let data = line_data(80);
+        let idx = LinearScan::build(&data);
+        let queries = line_queries();
+        let mut engine = QueryEngine::new();
+        let mut results = BatchResults::new();
+        let s = engine.range_collect(&idx, &data, &queries, &mut results);
+        assert_eq!(results.len(), queries.len());
+        assert_eq!(s.results as usize, results.total());
+        for (qi, q) in queries.iter().enumerate() {
+            let mut got = results.query_results(qi).to_vec();
+            let mut want = idx.range(&data, q);
+            got.sort_unstable();
+            want.sort_unstable();
+            assert_eq!(got, want, "query {qi}");
+        }
+    }
+
+    #[test]
+    fn count_sink_and_collect_agree() {
+        let data = line_data(60);
+        let grid = UniformGrid::build(&data, GridConfig::auto(&data));
+        let queries = line_queries();
+        let mut engine = QueryEngine::new();
+        let mut counts = CountSink::new();
+        let s1 = engine.range_batch(&grid, &data, &queries, &mut counts);
+        let mut results = BatchResults::new();
+        let s2 = engine.range_collect(&grid, &data, &queries, &mut results);
+        assert_eq!(s1.results, s2.results);
+        assert_eq!(counts.total, s1.results);
+        assert_eq!(counts.per_query.len(), queries.len());
+        for (qi, &n) in counts.per_query.iter().enumerate() {
+            assert_eq!(n as usize, results.query_results(qi).len());
+        }
+    }
+
+    #[test]
+    fn parallel_batch_matches_serial() {
+        let data = line_data(120);
+        let grid = UniformGrid::build(&data, GridConfig::auto(&data));
+        let queries = line_queries();
+        let mut engine = QueryEngine::new();
+        let (par, stats) = engine.range_batch_par(&grid, &data, &queries);
+        assert_eq!(par.len(), queries.len());
+        let mut results = BatchResults::new();
+        engine.range_collect(&grid, &data, &queries, &mut results);
+        let mut total = 0u64;
+        for (qi, list) in par.iter().enumerate() {
+            let mut got = list.clone();
+            let mut want = results.query_results(qi).to_vec();
+            got.sort_unstable();
+            want.sort_unstable();
+            assert_eq!(got, want, "query {qi}");
+            total += list.len() as u64;
+        }
+        assert_eq!(stats.results, total);
+    }
+
+    #[test]
+    fn knn_batch_collects_per_point() {
+        let data = line_data(50);
+        let idx = LinearScan::build(&data);
+        let points: Vec<Point3> = (0..5)
+            .map(|i| Point3::new(i as f32 * 9.0, 0.0, 0.0))
+            .collect();
+        let mut engine = QueryEngine::new();
+        let mut out = Vec::new();
+        let s = engine.knn_batch(&idx, &data, &points, 3, &mut out);
+        assert_eq!(out.len(), points.len());
+        assert_eq!(s.results, 15);
+        for (p, got) in points.iter().zip(&out) {
+            assert_eq!(got, &idx.knn(&data, p, 3));
+        }
+    }
+
+    #[test]
+    fn batch_results_reuse_keeps_capacity() {
+        let data = line_data(100);
+        let idx = LinearScan::build(&data);
+        let queries = line_queries();
+        let mut engine = QueryEngine::new();
+        let mut results = BatchResults::new();
+        engine.range_collect(&idx, &data, &queries, &mut results);
+        let caps: Vec<usize> = results.lists.iter().map(Vec::capacity).collect();
+        engine.range_collect(&idx, &data, &queries, &mut results);
+        for (list, cap) in results.lists.iter().zip(caps) {
+            assert!(list.capacity() >= cap, "reuse must not shrink buffers");
+        }
+    }
+}

@@ -30,9 +30,8 @@
 //! result vector.
 
 use crate::grid::{GridConfig, GridPlacement, UniformGrid};
-use crate::traits::SpatialIndex;
-use simspatial_geom::scratch::with_scratch;
-use simspatial_geom::{predicates, Aabb, Element, ElementId};
+use crate::traits::{RangeSink, SpatialIndex};
+use simspatial_geom::{predicates, Aabb, Element, ElementId, QueryScratch};
 
 /// Configuration of a [`Flat`] index.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -197,49 +196,53 @@ impl SpatialIndex for Flat {
         self.len
     }
 
-    fn range(&self, data: &[Element], query: &Aabb) -> Vec<ElementId> {
+    fn range_into(
+        &self,
+        data: &[Element],
+        query: &Aabb,
+        scratch: &mut QueryScratch,
+        sink: &mut dyn RangeSink,
+    ) {
         // Phase 1: seed candidates from the (stale) grid, inflated by the
         // accumulated drift so former cell tenants are still covered. The
         // seed grid's stored boxes are build-time boxes; tested against the
         // inflated probe they cannot lose an element that drifted at most
         // `staleness`.
         let probe = query.inflate(self.staleness);
-        with_scratch(|scratch| {
-            // The seed grid uses center placement, so the candidate filter
-            // leaves `scratch.visited` free for the crawl below.
-            self.seed.range_bbox_candidates_into(&probe, scratch);
-            let simspatial_geom::QueryScratch {
-                candidates,
-                frontier,
-                visited,
-                ..
-            } = scratch;
-            // `visited` = tested this query (hit or miss); the frontier
-            // holds confirmed hits whose links are still to be crawled.
-            visited.begin(data.len());
-            let mut out = Vec::new();
-            for &id in candidates.iter() {
-                if visited.mark(id) && predicates::element_in_range(&data[id as usize], query) {
-                    out.push(id);
-                    frontier.push(id);
+        scratch.candidates.clear();
+        scratch.frontier.clear();
+        // The seed grid uses center placement, so the candidate filter
+        // leaves `scratch.visited` free for the crawl below.
+        self.seed.range_bbox_candidates_into(&probe, scratch);
+        let QueryScratch {
+            candidates,
+            frontier,
+            visited,
+            ..
+        } = scratch;
+        // `visited` = tested this query (hit or miss); the frontier
+        // holds confirmed hits whose links are still to be crawled.
+        visited.begin(data.len());
+        for &id in candidates.iter() {
+            if visited.mark(id) && predicates::element_in_range(&data[id as usize], query) {
+                sink.push(id);
+                frontier.push(id);
+            }
+        }
+        // Phase 2: crawl neighbourhood links from every hit; elements
+        // that drifted into the query are connected to something
+        // already in it.
+        while let Some(id) = frontier.pop() {
+            for &n in self.links(id) {
+                if !visited.mark(n) {
+                    continue;
+                }
+                if predicates::element_in_range(&data[n as usize], query) {
+                    sink.push(n);
+                    frontier.push(n);
                 }
             }
-            // Phase 2: crawl neighbourhood links from every hit; elements
-            // that drifted into the query are connected to something
-            // already in it.
-            while let Some(id) = frontier.pop() {
-                for &n in self.links(id) {
-                    if !visited.mark(n) {
-                        continue;
-                    }
-                    if predicates::element_in_range(&data[n as usize], query) {
-                        out.push(n);
-                        frontier.push(n);
-                    }
-                }
-            }
-            out
-        })
+        }
     }
 
     fn memory_bytes(&self) -> usize {

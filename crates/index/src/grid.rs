@@ -33,7 +33,8 @@
 //! [`simspatial_geom::QueryScratch`], so the repeat query path is
 //! allocation-free (no per-query `HashSet`, no candidate vector churn).
 
-use crate::traits::{KnnIndex, SpatialIndex};
+use crate::traits::{KnnIndex, RangeSink, SpatialIndex};
+use crate::util::OrderedF32;
 use simspatial_geom::scratch::{with_scratch, QueryScratch};
 use simspatial_geom::{stats, Aabb, Element, ElementId, Point3, SoaAabbs};
 
@@ -137,6 +138,9 @@ pub struct UniformGrid {
 
 /// Absent-entry marker in the center-placement slot directory.
 const NO_SLOT: (u32, u32) = (u32::MAX, u32::MAX);
+
+/// Smallest slab for which the kNN batched lower-bound pass is worthwhile.
+const MIN_KNN_BATCH: usize = 8;
 
 /// Hard cap on total cells, to keep pathological configs from exhausting
 /// memory; the resolution is coarsened to fit.
@@ -608,23 +612,29 @@ impl SpatialIndex for UniformGrid {
 
     /// Batched filter + scalar refine: the bbox filter streams over the
     /// cell slabs' SoA arrays; only survivors touch `data` for the exact
-    /// geometry test.
-    fn range(&self, data: &[Element], query: &Aabb) -> Vec<ElementId> {
-        with_scratch(|scratch| {
-            self.collect_candidates(query, scratch);
-            stats::record_element_tests(scratch.candidates.len() as u64);
-            scratch
-                .candidates
-                .iter()
-                .copied()
-                .filter(|&id| data[id as usize].shape.intersects_aabb(query))
-                .collect()
-        })
+    /// geometry test, and confirmed hits stream straight into the sink.
+    fn range_into(
+        &self,
+        data: &[Element],
+        query: &Aabb,
+        scratch: &mut QueryScratch,
+        sink: &mut dyn RangeSink,
+    ) {
+        scratch.candidates.clear();
+        self.collect_candidates(query, scratch);
+        stats::record_element_tests(scratch.candidates.len() as u64);
+        for &id in &scratch.candidates {
+            if data[id as usize].shape.intersects_aabb(query) {
+                sink.push(id);
+            }
+        }
     }
 
     fn memory_bytes(&self) -> usize {
-        let mut total =
-            std::mem::size_of::<Self>() + self.cells.capacity() * std::mem::size_of::<SoaAabbs>();
+        let mut total = std::mem::size_of::<Self>()
+            + self.cells.capacity() * std::mem::size_of::<SoaAabbs>()
+            // The center-placement slot directory added with the SoA slabs.
+            + self.slots.capacity() * std::mem::size_of::<(u32, u32)>();
         for c in &self.cells {
             total += c.memory_bytes();
         }
@@ -633,9 +643,12 @@ impl SpatialIndex for UniformGrid {
 }
 
 impl KnnIndex for UniformGrid {
-    /// Expanding-shell kNN: visit cells outward in Chebyshev rings from the
-    /// query point's cell; stop once the k-th best distance cannot be beaten
-    /// by any unvisited ring.
+    /// Expanding-shell kNN with **batched candidate scoring**: each visited
+    /// cell slab first runs the batched `MINDIST` kernel
+    /// ([`SoaAabbs::min_dist2_into`]) over its stored boxes; a candidate
+    /// pays the exact element-surface distance only when its box lower
+    /// bound can still beat the current k-th best. Rings expand outward in
+    /// Chebyshev shells and stop once no unvisited ring can improve.
     fn knn(&self, data: &[Element], p: &Point3, k: usize) -> Vec<(ElementId, f32)> {
         if k == 0 || self.len == 0 {
             return Vec::new();
@@ -653,12 +666,103 @@ impl KnnIndex for UniformGrid {
             if dedupe {
                 scratch.visited.begin(self.id_bound);
             }
-            let visited = &mut scratch.visited;
+            let QueryScratch { dists, visited, .. } = scratch;
             for ring in 0..=max_ring {
                 // Termination: the closest possible element in ring r is at
                 // least (r-1)·cell − max_half_extent away (the point may sit
                 // at its cell's edge, and an element's surface may extend
                 // beyond its centre's cell).
+                if best.len() >= k {
+                    let kth = best.peek().unwrap().0 .0;
+                    let ring_min = (ring as f32 - 1.0) * self.cell - self.max_half_extent;
+                    if ring_min > kth {
+                        break;
+                    }
+                }
+                let mut any_cell = false;
+                self.for_ring(center, ring, |cell_idx| {
+                    any_cell = true;
+                    let slab = &self.cells[cell_idx];
+                    if slab.is_empty() {
+                        return;
+                    }
+                    // Batched lower bounds pay off only once there is a
+                    // k-th best to prune against and the slab is big enough
+                    // to amortise the kernel pass; otherwise score direct.
+                    let bounded = best.len() >= k && slab.len() >= MIN_KNN_BATCH;
+                    if bounded {
+                        slab.min_dist2_into(p, dists);
+                    }
+                    for (i, &id) in slab.ids().iter().enumerate() {
+                        if dedupe && !visited.mark(id) {
+                            continue;
+                        }
+                        seen += 1;
+                        if bounded && best.len() >= k {
+                            let kth = best.peek().unwrap().0 .0;
+                            // The stored box contains the element surface,
+                            // so lb ≤ exact; a bound beyond the k-th best
+                            // cannot improve the result.
+                            if dists[i] > kth * kth {
+                                continue;
+                            }
+                        }
+                        let d =
+                            simspatial_geom::predicates::element_distance(&data[id as usize], p);
+                        if best.len() < k {
+                            best.push((OrderedF32(d), id));
+                        } else if d < best.peek().unwrap().0 .0 {
+                            best.pop();
+                            best.push((OrderedF32(d), id));
+                        }
+                    }
+                });
+                if !any_cell && ring > 0 {
+                    // Ring fully outside the grid: everything farther is too.
+                    if best.len() >= k {
+                        break;
+                    }
+                    // Keep expanding only while rings may still clip the grid.
+                    let beyond = ring > self.dims[0] + self.dims[1] + self.dims[2];
+                    if beyond {
+                        break;
+                    }
+                }
+            }
+        });
+        stats::record_elements_scanned(seen as u64);
+        let mut out: Vec<(ElementId, f32)> = best.into_iter().map(|(d, id)| (id, d.0)).collect();
+        out.sort_unstable_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        out
+    }
+}
+
+impl UniformGrid {
+    /// The seed implementation's expanding-shell kNN, kept as the reference
+    /// for differential tests and the `query_engine` bench: every candidate
+    /// in every visited cell is scored with the exact element-surface
+    /// distance, one at a time, with no batched lower-bound pass.
+    pub fn knn_scalar_reference(
+        &self,
+        data: &[Element],
+        p: &Point3,
+        k: usize,
+    ) -> Vec<(ElementId, f32)> {
+        if k == 0 || self.len == 0 {
+            return Vec::new();
+        }
+        let center = self.clamp_coord(p);
+        let max_ring = self.dims[0].max(self.dims[1]).max(self.dims[2]);
+        let mut best: std::collections::BinaryHeap<(OrderedF32, ElementId)> =
+            std::collections::BinaryHeap::new();
+        let mut seen = 0usize;
+        with_scratch(|scratch| {
+            let dedupe = self.placement == GridPlacement::Replicate;
+            if dedupe {
+                scratch.visited.begin(self.id_bound);
+            }
+            let visited = &mut scratch.visited;
+            for ring in 0..=max_ring {
                 if best.len() >= k {
                     let kth = best.peek().unwrap().0 .0;
                     let ring_min = (ring as f32 - 1.0) * self.cell - self.max_half_extent;
@@ -685,13 +789,10 @@ impl KnnIndex for UniformGrid {
                     }
                 });
                 if !any_cell && ring > 0 {
-                    // Ring fully outside the grid: everything farther is too.
                     if best.len() >= k {
                         break;
                     }
-                    // Keep expanding only while rings may still clip the grid.
-                    let beyond = ring > self.dims[0] + self.dims[1] + self.dims[2];
-                    if beyond {
+                    if ring > self.dims[0] + self.dims[1] + self.dims[2] {
                         break;
                     }
                 }
@@ -740,22 +841,6 @@ impl UniformGrid {
                 }
             }
         }
-    }
-}
-
-/// `f32` wrapper ordered by `total_cmp`, for use in heaps.
-#[derive(Debug, Clone, Copy, PartialEq)]
-struct OrderedF32(f32);
-
-impl Eq for OrderedF32 {}
-impl PartialOrd for OrderedF32 {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for OrderedF32 {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0.total_cmp(&other.0)
     }
 }
 

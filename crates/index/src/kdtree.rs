@@ -8,8 +8,9 @@
 //! extra candidate tests when elements are large (exactly the trade-off the
 //! paper describes).
 
-use crate::traits::{KnnIndex, SpatialIndex};
-use simspatial_geom::{predicates, stats, Aabb, Element, ElementId, Point3};
+use crate::traits::{KnnIndex, RangeSink, SpatialIndex};
+use crate::util::OrderedF32;
+use simspatial_geom::{predicates, stats, Aabb, Element, ElementId, Point3, QueryScratch};
 
 const NIL: u32 = u32::MAX;
 
@@ -95,7 +96,7 @@ impl KdTree {
         probe: &Aabb,
         query: &Aabb,
         data: &[Element],
-        out: &mut Vec<ElementId>,
+        out: &mut dyn RangeSink,
     ) {
         if node == NIL {
             return;
@@ -124,7 +125,7 @@ impl KdTree {
         p: &Point3,
         k: usize,
         data: &[Element],
-        best: &mut std::collections::BinaryHeap<(OrdF32, ElementId)>,
+        best: &mut std::collections::BinaryHeap<(OrderedF32, ElementId)>,
     ) {
         if node == NIL {
             return;
@@ -132,10 +133,10 @@ impl KdTree {
         let n = &self.nodes[node as usize];
         let d = predicates::element_distance(&data[n.id as usize], p);
         if best.len() < k {
-            best.push((OrdF32(d), n.id));
+            best.push((OrderedF32(d), n.id));
         } else if d < best.peek().unwrap().0 .0 {
             best.pop();
-            best.push((OrdF32(d), n.id));
+            best.push((OrderedF32(d), n.id));
         }
         let axis = n.axis as usize;
         let delta = p.axis(axis) - n.point.axis(axis);
@@ -167,11 +168,15 @@ impl SpatialIndex for KdTree {
         self.nodes.len()
     }
 
-    fn range(&self, data: &[Element], query: &Aabb) -> Vec<ElementId> {
+    fn range_into(
+        &self,
+        data: &[Element],
+        query: &Aabb,
+        _scratch: &mut QueryScratch,
+        sink: &mut dyn RangeSink,
+    ) {
         let probe = query.inflate(self.max_half_extent);
-        let mut out = Vec::new();
-        self.range_rec(self.root, &probe, query, data, &mut out);
-        out
+        self.range_rec(self.root, &probe, query, data, sink);
     }
 
     fn memory_bytes(&self) -> usize {
@@ -189,20 +194,6 @@ impl KnnIndex for KdTree {
         let mut out: Vec<(ElementId, f32)> = best.into_iter().map(|(d, id)| (id, d.0)).collect();
         out.sort_unstable_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
         out
-    }
-}
-
-#[derive(Debug, Clone, Copy, PartialEq)]
-struct OrdF32(f32);
-impl Eq for OrdF32 {}
-impl PartialOrd for OrdF32 {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for OrdF32 {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0.total_cmp(&other.0)
     }
 }
 

@@ -38,10 +38,42 @@
 //! support nearest neighbours implement [`KnnIndex`]. Queries take the live
 //! element slice so refinement always sees current geometry — the
 //! index-uses-the-dataset discipline of §4.3.
+//!
+//! ## Architecture: sinks, batches and the query engine
+//!
+//! The query layer is **batch-first**: the paper's workloads are batches of
+//! hundreds of range/kNN probes per simulation step, so a batch — not a
+//! single query — is the unit of execution, scheduling and accounting.
+//! Three pieces realise this:
+//!
+//! 1. **Sinks** ([`RangeSink`]). The required method of [`SpatialIndex`] is
+//!    `range_into(data, query, &mut QueryScratch, &mut dyn RangeSink)`:
+//!    results are *emitted*, not returned. Collecting into vectors
+//!    ([`engine::BatchResults`]), counting ([`engine::CountSink`]), feeding
+//!    a join or streaming to a socket are all sinks; the index plans never
+//!    allocate result storage themselves.
+//! 2. **Scratch** ([`simspatial_geom::QueryScratch`]). Every transient
+//!    buffer a plan needs — candidate lists from the
+//!    [`simspatial_geom::SoaAabbs`] mask kernels, traversal stacks, the
+//!    generation-stamped visited table, batched kNN distances — is borrowed
+//!    from the caller, so the steady-state batch path performs **zero
+//!    per-query heap allocations** on the grid/R-Tree/FLAT hot paths.
+//! 3. **The engine** ([`engine::QueryEngine`]). Owns the scratch, drives
+//!    [`SpatialIndex::range_batch`] (which indexes override with genuinely
+//!    batched plans, e.g. the linear scan's one-pass envelope plan),
+//!    centralises wall-clock/result/predicate-counter accounting into
+//!    [`QueryStats`], and can fan a batch across threads via
+//!    `simspatial_geom::parallel` (`SIMSPATIAL_THREADS`-gated).
+//!
+//! The allocating [`SpatialIndex::range`] remains as a thin compatibility
+//! wrapper over the sink path. Future sharding/async layers schedule
+//! batches against engines; nothing above this crate needs to know how an
+//! individual index traverses its structure.
 
 #![warn(missing_docs)]
 
 mod crtree;
+pub mod engine;
 mod flat;
 mod grid;
 mod kdtree;
@@ -51,8 +83,10 @@ mod multigrid;
 mod octree;
 pub mod rtree;
 mod traits;
+mod util;
 
 pub use crtree::{CrTree, CrTreeConfig};
+pub use engine::{BatchResults, CountSink, QueryEngine};
 pub use flat::{Flat, FlatConfig};
 pub use grid::{GridConfig, GridPlacement, UniformGrid};
 pub use kdtree::KdTree;
@@ -62,4 +96,4 @@ pub use multigrid::{MultiGrid, MultiGridConfig};
 pub use octree::{Octree, OctreeConfig};
 pub use rtree::disk::DiskRTree;
 pub use rtree::{Curve, RTree, RTreeConfig, SplitStrategy};
-pub use traits::{measure_range, KnnIndex, QueryStats, SpatialIndex};
+pub use traits::{measure_range, KnnIndex, QueryStats, RangeSink, SpatialIndex};

@@ -5,8 +5,8 @@
 //! linear scan over the dataset, may be faster." The scan also serves as
 //! ground truth for every other structure's tests.
 
-use crate::traits::{KnnIndex, SpatialIndex};
-use simspatial_geom::{predicates, stats, Aabb, Element, ElementId, Point3};
+use crate::traits::{KnnIndex, RangeSink, SpatialIndex};
+use simspatial_geom::{predicates, stats, Aabb, Element, ElementId, Point3, QueryScratch};
 
 /// A linear scan over the dataset. Build cost: zero. Update cost: zero (the
 /// dataset *is* the index). Query cost: O(n) element tests.
@@ -29,8 +29,10 @@ impl LinearScan {
     /// together" — each element is streamed through the cache once and
     /// tested against every query, instead of `q` full passes.
     ///
-    /// Returns one result vector per query, in query order.
-    pub fn range_batch(&self, data: &[Element], queries: &[Aabb]) -> Vec<Vec<ElementId>> {
+    /// Returns one result vector per query, in query order. The
+    /// [`SpatialIndex::range_batch`] override rides this plan and flushes
+    /// the buffered lists to the sink grouped by query.
+    pub fn range_batch_one_pass(&self, data: &[Element], queries: &[Aabb]) -> Vec<Vec<ElementId>> {
         let mut out: Vec<Vec<ElementId>> = vec![Vec::new(); queries.len()];
         if queries.is_empty() {
             return out;
@@ -64,12 +66,98 @@ impl SpatialIndex for LinearScan {
         self.len
     }
 
-    fn range(&self, data: &[Element], query: &Aabb) -> Vec<ElementId> {
+    fn range_into(
+        &self,
+        data: &[Element],
+        query: &Aabb,
+        _scratch: &mut QueryScratch,
+        sink: &mut dyn RangeSink,
+    ) {
         stats::record_elements_scanned(data.len() as u64);
-        data.iter()
-            .filter(|e| predicates::element_in_range(e, query))
-            .map(|e| e.id)
-            .collect()
+        for e in data {
+            if predicates::element_in_range(e, query) {
+                sink.push(e.id);
+            }
+        }
+    }
+
+    /// The scan's genuinely batched plan: one streaming pass over the
+    /// dataset tests each element against every query (envelope-pruned),
+    /// instead of `q` full passes. Hits are buffered as flat `(query, id)`
+    /// pairs in scratch, counting-sorted by query through a second pooled
+    /// scratch, and flushed to the sink grouped in batch order — no
+    /// per-query result vectors, allocation-free at steady state.
+    fn range_batch(
+        &self,
+        data: &[Element],
+        queries: &[Aabb],
+        scratch: &mut QueryScratch,
+        sink: &mut dyn RangeSink,
+    ) {
+        if queries.is_empty() {
+            return;
+        }
+        // Pass 1: stream the dataset once; record hits element-major as
+        // parallel (query index, element id) arrays.
+        scratch.frontier.clear(); // query index per hit
+        scratch.candidates.clear(); // element id per hit
+        let envelope = Aabb::union_all(queries.iter().copied());
+        stats::record_elements_scanned(data.len() as u64);
+        for e in data {
+            let bbox = e.aabb();
+            if !stats::element_test(|| bbox.intersects(&envelope)) {
+                continue;
+            }
+            for (qi, q) in queries.iter().enumerate() {
+                if stats::element_test(|| bbox.intersects(q))
+                    && stats::element_test(|| e.shape.intersects_aabb(q))
+                {
+                    scratch.frontier.push(qi as u32);
+                    scratch.candidates.push(e.id);
+                }
+            }
+        }
+        // Pass 2: counting-sort the hits by query index into a nested
+        // pooled scratch (offsets in its frontier, ids in its candidates),
+        // then emit grouped.
+        let hits = scratch.candidates.len();
+        simspatial_geom::scratch::with_scratch(|tmp| {
+            let QueryScratch {
+                frontier: offsets,
+                candidates: grouped,
+                ..
+            } = tmp;
+            offsets.clear();
+            offsets.resize(queries.len(), 0);
+            for &qi in &scratch.frontier {
+                offsets[qi as usize] += 1;
+            }
+            // Exclusive prefix sums: offsets[qi] = start of group qi.
+            let mut acc = 0u32;
+            for slot in offsets.iter_mut() {
+                let count = *slot;
+                *slot = acc;
+                acc += count;
+            }
+            grouped.clear();
+            grouped.resize(hits, 0);
+            // Scatter, advancing each group's offset in place; afterwards
+            // offsets[qi] is the END of group qi.
+            for (j, &qi) in scratch.frontier.iter().enumerate() {
+                let slot = &mut offsets[qi as usize];
+                grouped[*slot as usize] = scratch.candidates[j];
+                *slot += 1;
+            }
+            let mut lo = 0usize;
+            for (qi, &end) in offsets.iter().enumerate() {
+                let hi = end as usize;
+                sink.begin_query(qi as u32);
+                for &id in &grouped[lo..hi] {
+                    sink.push(id);
+                }
+                lo = hi;
+            }
+        });
     }
 
     fn memory_bytes(&self) -> usize {
@@ -102,6 +190,7 @@ impl KnnIndex for LinearScan {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::{BatchResults, QueryEngine};
     use simspatial_geom::{Shape, Sphere};
 
     fn line_data(n: u32) -> Vec<Element> {
@@ -164,10 +253,12 @@ mod tests {
                 Aabb::new(Point3::new(x, -1.0, -1.0), Point3::new(x + 7.0, 1.0, 1.0))
             })
             .collect();
-        let batched = idx.range_batch(&data, &queries);
+        let mut engine = QueryEngine::new();
+        let mut batched = BatchResults::new();
+        engine.range_collect(&idx, &data, &queries, &mut batched);
         assert_eq!(batched.len(), queries.len());
-        for (q, got) in queries.iter().zip(batched) {
-            let mut got = got;
+        for (qi, q) in queries.iter().enumerate() {
+            let mut got = batched.query_results(qi).to_vec();
             let mut single = idx.range(&data, q);
             got.sort_unstable();
             single.sort_unstable();
@@ -186,8 +277,9 @@ mod tests {
                 Aabb::new(Point3::new(x, -1.0, -1.0), Point3::new(x + 0.5, 1.0, 1.0))
             })
             .collect();
+        let mut engine = QueryEngine::new();
         stats::reset();
-        idx.range_batch(&data, &queries);
+        engine.range_count(&idx, &data, &queries);
         let batched = stats::snapshot().element_tests;
         stats::reset();
         for q in &queries {
@@ -204,6 +296,6 @@ mod tests {
     fn batch_empty_queries() {
         let data = line_data(5);
         let idx = LinearScan::build(&data);
-        assert!(idx.range_batch(&data, &[]).is_empty());
+        assert!(idx.range_batch_one_pass(&data, &[]).is_empty());
     }
 }

@@ -18,7 +18,9 @@
 //! not guaranteed nearest; recall is a measured quantity (experiment E8).
 
 use crate::traits::KnnIndex;
-use simspatial_geom::{predicates, Aabb, Element, ElementId, Point3, Vec3};
+use crate::util::OrderedF32;
+use simspatial_geom::scratch::with_scratch;
+use simspatial_geom::{predicates, Aabb, Element, ElementId, Point3, QueryScratch, SoaAabbs, Vec3};
 use std::collections::HashMap;
 
 /// Configuration of an [`Lsh`] index.
@@ -92,6 +94,9 @@ pub struct Lsh {
     fns: Vec<Vec<HashFn>>,
     /// One bucket map per table, keyed by the mixed integer hash vector.
     tables: Vec<HashMap<u64, Vec<ElementId>>>,
+    /// Build-time element bounding boxes in id order: the SoA store the
+    /// batched candidate-scoring kernel streams over.
+    boxes: SoaAabbs,
     len: usize,
 }
 
@@ -126,17 +131,20 @@ impl Lsh {
 
         let mut tables: Vec<HashMap<u64, Vec<ElementId>>> =
             (0..config.tables).map(|_| HashMap::new()).collect();
+        let mut boxes = SoaAabbs::with_capacity(elements.len());
         for e in elements {
             let c = e.center();
             for (t, table_fns) in fns.iter().enumerate() {
                 let key = mix_key(table_fns.iter().map(|f| f.eval(&c, config.width)));
                 tables[t].entry(key).or_default().push(e.id);
             }
+            boxes.push(e.aabb(), e.id);
         }
         Self {
             config,
             fns,
             tables,
+            boxes,
             len: elements.len(),
         }
     }
@@ -153,7 +161,7 @@ impl Lsh {
 
     /// Approximate memory footprint.
     pub fn memory_bytes(&self) -> usize {
-        let mut total = std::mem::size_of::<Self>();
+        let mut total = std::mem::size_of::<Self>() + self.boxes.memory_bytes();
         for t in &self.tables {
             total += t.len() * (8 + std::mem::size_of::<Vec<ElementId>>());
             for v in t.values() {
@@ -163,56 +171,135 @@ impl Lsh {
         total
     }
 
-    /// Collects candidate ids for a query point: own bucket plus ±1
-    /// multiprobe perturbations in every table.
-    fn candidates(&self, p: &Point3) -> Vec<ElementId> {
+    /// Collects candidate ids for a query point into `scratch.candidates`:
+    /// own bucket plus ±1 multiprobe perturbations in every table,
+    /// deduplicated through the generation-stamped visited table (no
+    /// sort + dedup pass, no per-query candidate vector).
+    fn candidates_into(&self, p: &Point3, scratch: &mut QueryScratch) {
         let w = self.config.width;
-        let mut out = Vec::new();
+        scratch.candidates.clear();
+        scratch.visited.begin(self.len);
+        let QueryScratch {
+            candidates,
+            visited,
+            ..
+        } = scratch;
+        let mut take = |ids: &[ElementId]| {
+            for &id in ids {
+                if visited.mark(id) {
+                    candidates.push(id);
+                }
+            }
+        };
         for (t, table_fns) in self.fns.iter().enumerate() {
-            let base: Vec<i32> = table_fns.iter().map(|f| f.eval(p, w)).collect();
+            let base: [i32; 8] = {
+                let mut b = [0i32; 8];
+                for (j, f) in table_fns.iter().enumerate() {
+                    b[j] = f.eval(p, w);
+                }
+                b
+            };
+            let m = table_fns.len();
             // Exact bucket.
-            if let Some(ids) = self.tables[t].get(&mix_key(base.iter().copied())) {
-                out.extend_from_slice(ids);
+            if let Some(ids) = self.tables[t].get(&mix_key(base[..m].iter().copied())) {
+                take(ids);
             }
             // Multiprobe: one coordinate perturbed by ±1.
-            for i in 0..base.len() {
+            for i in 0..m {
                 for delta in [-1i32, 1] {
-                    let probe = base
-                        .iter()
-                        .enumerate()
-                        .map(|(j, &h)| if j == i { h + delta } else { h });
+                    let probe =
+                        base[..m]
+                            .iter()
+                            .enumerate()
+                            .map(|(j, &h)| if j == i { h + delta } else { h });
                     if let Some(ids) = self.tables[t].get(&mix_key(probe)) {
-                        out.extend_from_slice(ids);
+                        take(ids);
                     }
                 }
             }
         }
-        out.sort_unstable();
-        out.dedup();
-        out
+    }
+
+    /// The seed implementation's scoring path, kept as the reference for
+    /// differential tests and the `query_engine` bench: every surfaced
+    /// candidate pays the exact element-surface distance; results are the
+    /// `k` best by `(distance, id)`.
+    pub fn knn_scalar_reference(
+        &self,
+        data: &[Element],
+        p: &Point3,
+        k: usize,
+    ) -> Vec<(ElementId, f32)> {
+        if k == 0 || self.len == 0 {
+            return Vec::new();
+        }
+        let mut scored: Vec<(ElementId, f32)> = with_scratch(|scratch| {
+            self.candidates_into(p, scratch);
+            if scratch.candidates.len() < k {
+                scratch.candidates.clear();
+                scratch.candidates.extend(0..self.len as ElementId);
+            }
+            scratch
+                .candidates
+                .iter()
+                .map(|&id| (id, predicates::element_distance(&data[id as usize], p)))
+                .collect()
+        });
+        let k = k.min(scored.len());
+        scored.sort_unstable_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        scored.truncate(k);
+        scored
     }
 }
 
 impl KnnIndex for Lsh {
+    /// Batched candidate scoring with deferred refinement: one
+    /// gather-addressed [`SoaAabbs::min_dist2_gather_into`] pass computes a
+    /// box lower bound per surfaced candidate; the exact element-surface
+    /// distance is then paid only by candidates whose bound can still beat
+    /// the current k-th best. Same results as
+    /// [`Lsh::knn_scalar_reference`], fewer exact geometry tests.
     fn knn(&self, data: &[Element], p: &Point3, k: usize) -> Vec<(ElementId, f32)> {
         if k == 0 || self.len == 0 {
             return Vec::new();
         }
-        let mut cands = self.candidates(p);
-        if cands.len() < k {
-            // Too few candidates surfaced: fall back to scanning everything
-            // (keeps the result total; counted like any other element test).
-            cands = (0..self.len as ElementId).collect();
-        }
-        let mut scored: Vec<(ElementId, f32)> = cands
-            .into_iter()
-            .map(|id| (id, predicates::element_distance(&data[id as usize], p)))
-            .collect();
-        let k = k.min(scored.len());
-        scored.select_nth_unstable_by(k - 1, |a, b| a.1.total_cmp(&b.1));
-        scored.truncate(k);
-        scored.sort_unstable_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
-        scored
+        let mut best: std::collections::BinaryHeap<(OrderedF32, ElementId)> =
+            std::collections::BinaryHeap::new();
+        with_scratch(|scratch| {
+            self.candidates_into(p, scratch);
+            if scratch.candidates.len() < k {
+                // Too few candidates surfaced: fall back to scoring
+                // everything (keeps the result total).
+                scratch.candidates.clear();
+                scratch.candidates.extend(0..self.len as ElementId);
+            }
+            let QueryScratch {
+                candidates, dists, ..
+            } = scratch;
+            self.boxes.min_dist2_gather_into(p, candidates, dists);
+            for (i, &id) in candidates.iter().enumerate() {
+                if best.len() >= k {
+                    let kth = best.peek().unwrap().0 .0;
+                    // The build-time box contains the element surface, so
+                    // lb ≤ exact distance: a bound past the k-th best
+                    // cannot enter the result.
+                    if dists[i] > kth * kth {
+                        continue;
+                    }
+                }
+                let d = predicates::element_distance(&data[id as usize], p);
+                let key = (OrderedF32(d), id);
+                if best.len() < k {
+                    best.push(key);
+                } else if key < *best.peek().unwrap() {
+                    best.pop();
+                    best.push(key);
+                }
+            }
+        });
+        let mut out: Vec<(ElementId, f32)> = best.into_iter().map(|(d, id)| (id, d.0)).collect();
+        out.sort_unstable_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        out
     }
 }
 

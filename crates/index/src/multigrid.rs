@@ -12,8 +12,8 @@
 //! plain [`UniformGrid`], so there is still no tree to traverse.
 
 use crate::grid::{GridConfig, GridPlacement, UniformGrid};
-use crate::traits::{KnnIndex, SpatialIndex};
-use simspatial_geom::{Aabb, Element, ElementId, Point3};
+use crate::traits::{KnnIndex, RangeSink, SpatialIndex};
+use simspatial_geom::{Aabb, Element, ElementId, Point3, QueryScratch};
 
 /// Configuration of a [`MultiGrid`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -118,6 +118,18 @@ impl MultiGrid {
     pub fn cell_sides(&self) -> &[f32] {
         &self.cell_sides
     }
+
+    /// The seed implementation's query path, kept as the reference for
+    /// differential tests and the `query_engine` bench: each level runs the
+    /// scalar grid path (raw cell dumps, sort + dedup, per-candidate
+    /// filter-and-refine) and the per-level vectors are concatenated.
+    pub fn range_seed_reference(&self, data: &[Element], query: &Aabb) -> Vec<ElementId> {
+        let mut out = Vec::new();
+        for level in &self.levels {
+            out.extend(level.range_scalar_reference(data, query));
+        }
+        out
+    }
 }
 
 impl SpatialIndex for MultiGrid {
@@ -129,14 +141,20 @@ impl SpatialIndex for MultiGrid {
         self.len
     }
 
-    fn range(&self, data: &[Element], query: &Aabb) -> Vec<ElementId> {
-        // Levels partition the element set, so per-level results union
-        // without cross-level deduplication.
-        let mut out = Vec::new();
+    /// Levels partition the element set, so per-level emissions union in
+    /// the sink without cross-level deduplication — and every level shares
+    /// the same scratch buffers (one mask-kernel filter pass per level, no
+    /// per-level result vectors).
+    fn range_into(
+        &self,
+        data: &[Element],
+        query: &Aabb,
+        scratch: &mut QueryScratch,
+        sink: &mut dyn RangeSink,
+    ) {
         for level in &self.levels {
-            out.extend(level.range(data, query));
+            level.range_into(data, query, scratch, sink);
         }
-        out
     }
 
     fn memory_bytes(&self) -> usize {

@@ -9,9 +9,11 @@
 //! node regions and therefore extra child traversals (the §3.2 criticism,
 //! measurable through the instrumentation).
 
-use crate::traits::{KnnIndex, SpatialIndex};
-use simspatial_geom::scratch::with_scratch;
-use simspatial_geom::{predicates, stats, Aabb, Element, ElementId, Point3, SoaAabbs, Vec3};
+use crate::traits::{KnnIndex, RangeSink, SpatialIndex};
+use crate::util::OrderedF32;
+use simspatial_geom::{
+    predicates, stats, Aabb, Element, ElementId, Point3, QueryScratch, SoaAabbs, Vec3,
+};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -277,32 +279,35 @@ impl SpatialIndex for Octree {
         self.len
     }
 
-    fn range(&self, data: &[Element], query: &Aabb) -> Vec<ElementId> {
-        with_scratch(|scratch| {
-            let mut out = Vec::new();
-            let mut stack = vec![0u32];
-            while let Some(node) = stack.pop() {
-                stats::record_node_visit();
-                let n = &self.nodes[node as usize];
-                // Batched bbox filter over the node's SoA slab, then scalar
-                // refinement of the survivors against live geometry.
-                stats::record_element_tests(n.entries.len() as u64);
-                scratch.candidates.clear();
-                n.entries.intersect_into(query, &mut scratch.candidates);
-                stats::record_element_tests(scratch.candidates.len() as u64);
-                for &id in &scratch.candidates {
-                    if data[id as usize].shape.intersects_aabb(query) {
-                        out.push(id);
-                    }
-                }
-                for &c in n.children.iter() {
-                    if c != NIL && stats::tree_test(|| self.loose(c).intersects(query)) {
-                        stack.push(c);
-                    }
+    fn range_into(
+        &self,
+        data: &[Element],
+        query: &Aabb,
+        scratch: &mut QueryScratch,
+        sink: &mut dyn RangeSink,
+    ) {
+        scratch.frontier.clear();
+        scratch.frontier.push(0u32);
+        while let Some(node) = scratch.frontier.pop() {
+            stats::record_node_visit();
+            let n = &self.nodes[node as usize];
+            // Batched bbox filter over the node's SoA slab, then scalar
+            // refinement of the survivors against live geometry.
+            stats::record_element_tests(n.entries.len() as u64);
+            scratch.candidates.clear();
+            n.entries.intersect_into(query, &mut scratch.candidates);
+            stats::record_element_tests(scratch.candidates.len() as u64);
+            for &id in &scratch.candidates {
+                if data[id as usize].shape.intersects_aabb(query) {
+                    sink.push(id);
                 }
             }
-            out
-        })
+            for &c in n.children.iter() {
+                if c != NIL && stats::tree_test(|| self.loose(c).intersects(query)) {
+                    scratch.frontier.push(c);
+                }
+            }
+        }
     }
 
     fn memory_bytes(&self) -> usize {
@@ -316,10 +321,10 @@ impl KnnIndex for Octree {
             return Vec::new();
         }
         // Best-first over loose-cube MINDIST, like the R-Tree.
-        let mut heap: BinaryHeap<(Reverse<OrdF32>, u32, bool)> = BinaryHeap::new();
-        heap.push((Reverse(OrdF32(0.0)), 0, false));
+        let mut heap: BinaryHeap<(Reverse<OrderedF32>, u32, bool)> = BinaryHeap::new();
+        heap.push((Reverse(OrderedF32(0.0)), 0, false));
         let mut out: Vec<(ElementId, f32)> = Vec::with_capacity(k);
-        while let Some((Reverse(OrdF32(d)), payload, is_entry)) = heap.pop() {
+        while let Some((Reverse(OrderedF32(d)), payload, is_entry)) = heap.pop() {
             if out.len() == k {
                 break;
             }
@@ -331,12 +336,12 @@ impl KnnIndex for Octree {
             stats::record_node_visit();
             for (_, id) in n.entries.iter() {
                 let exact = predicates::element_distance(&data[id as usize], p);
-                heap.push((Reverse(OrdF32(exact)), id, true));
+                heap.push((Reverse(OrderedF32(exact)), id, true));
             }
             for &c in &n.children {
                 if c != NIL {
                     let d = stats::tree_test(|| self.loose(c).min_distance2(p)).sqrt();
-                    heap.push((Reverse(OrdF32(d)), c, false));
+                    heap.push((Reverse(OrderedF32(d)), c, false));
                 }
             }
         }
@@ -356,20 +361,6 @@ fn cubify(region: Aabb) -> Aabb {
     Aabb {
         min: c - h,
         max: c + h,
-    }
-}
-
-#[derive(Debug, Clone, Copy, PartialEq)]
-struct OrdF32(f32);
-impl Eq for OrdF32 {}
-impl PartialOrd for OrdF32 {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for OrdF32 {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0.total_cmp(&other.0)
     }
 }
 

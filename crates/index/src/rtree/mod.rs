@@ -209,9 +209,12 @@ impl RTree {
         self.nodes[self.root].mbr
     }
 
-    /// Approximate heap footprint of the structure.
+    /// Approximate heap footprint of the structure, including the arena
+    /// free list and the SoA leaf slabs.
     pub fn memory_bytes(&self) -> usize {
-        let mut total = self.nodes.capacity() * std::mem::size_of::<Node>();
+        let mut total = std::mem::size_of::<Self>()
+            + self.nodes.capacity() * std::mem::size_of::<Node>()
+            + self.free.capacity() * std::mem::size_of::<usize>();
         for n in &self.nodes {
             total += n.children.capacity() * std::mem::size_of::<usize>();
             total += n.entries.memory_bytes();

@@ -6,9 +6,9 @@
 //! touch the live `data` slice for exact refinement.
 
 use super::RTree;
-use crate::traits::{KnnIndex, SpatialIndex};
+use crate::traits::{KnnIndex, RangeSink, SpatialIndex};
 use simspatial_geom::scratch::with_scratch;
-use simspatial_geom::{stats, Aabb, Element, ElementId, Point3};
+use simspatial_geom::{stats, Aabb, Element, ElementId, Point3, QueryScratch};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -64,32 +64,46 @@ impl RTree {
     pub fn range_exact(&self, data: &[Element], query: &Aabb) -> Vec<ElementId> {
         with_scratch(|scratch| {
             let mut out = Vec::new();
-            let mut stack = vec![self.root];
-            while let Some(idx) = stack.pop() {
-                let n = &self.nodes[idx];
-                if n.is_leaf() {
-                    // Batched filter on the stored boxes...
-                    stats::record_element_tests(n.entries.len() as u64);
-                    scratch.candidates.clear();
-                    n.entries.intersect_into(query, &mut scratch.candidates);
-                    // ...then scalar refinement on live geometry.
-                    stats::record_element_tests(scratch.candidates.len() as u64);
-                    for &id in &scratch.candidates {
-                        if data[id as usize].shape.intersects_aabb(query) {
-                            out.push(id);
-                        }
+            self.range_exact_into(data, query, scratch, &mut out);
+            out
+        })
+    }
+
+    /// Sink-based core of [`RTree::range_exact`]: the traversal stack lives
+    /// in `scratch.frontier`, leaf candidates in `scratch.candidates`, and
+    /// confirmed hits stream into `sink` — no per-query allocation.
+    pub fn range_exact_into(
+        &self,
+        data: &[Element],
+        query: &Aabb,
+        scratch: &mut QueryScratch,
+        sink: &mut dyn RangeSink,
+    ) {
+        scratch.frontier.clear();
+        scratch.frontier.push(self.root as u32);
+        while let Some(idx) = scratch.frontier.pop() {
+            let n = &self.nodes[idx as usize];
+            if n.is_leaf() {
+                // Batched filter on the stored boxes...
+                stats::record_element_tests(n.entries.len() as u64);
+                scratch.candidates.clear();
+                n.entries.intersect_into(query, &mut scratch.candidates);
+                // ...then scalar refinement on live geometry.
+                stats::record_element_tests(scratch.candidates.len() as u64);
+                for &id in &scratch.candidates {
+                    if data[id as usize].shape.intersects_aabb(query) {
+                        sink.push(id);
                     }
-                } else {
-                    stats::record_node_visit();
-                    for &c in &n.children {
-                        if stats::tree_test(|| self.nodes[c].mbr.intersects(query)) {
-                            stack.push(c);
-                        }
+                }
+            } else {
+                stats::record_node_visit();
+                for &c in &n.children {
+                    if stats::tree_test(|| self.nodes[c].mbr.intersects(query)) {
+                        scratch.frontier.push(c as u32);
                     }
                 }
             }
-            out
-        })
+        }
     }
 }
 
@@ -129,8 +143,14 @@ impl SpatialIndex for RTree {
         self.len()
     }
 
-    fn range(&self, data: &[Element], query: &Aabb) -> Vec<ElementId> {
-        self.range_exact(data, query)
+    fn range_into(
+        &self,
+        data: &[Element],
+        query: &Aabb,
+        scratch: &mut QueryScratch,
+        sink: &mut dyn RangeSink,
+    ) {
+        self.range_exact_into(data, query, scratch, sink);
     }
 
     fn memory_bytes(&self) -> usize {

@@ -1,7 +1,44 @@
 //! Common index traits and query instrumentation.
+//!
+//! The query contract is **batch-first and sink-based**: the required
+//! method of [`SpatialIndex`] is [`SpatialIndex::range_into`], which emits
+//! result ids into a caller-supplied [`RangeSink`] using caller-supplied
+//! [`QueryScratch`] buffers — no allocation per call. Batches go through
+//! [`SpatialIndex::range_batch`] (indexes with genuinely batched plans,
+//! like the linear scan's one-pass envelope plan, override it). The
+//! allocating [`SpatialIndex::range`] remains as a thin compatibility
+//! wrapper. See [`crate::engine::QueryEngine`] for the harness that owns
+//! scratch, wall-clock and predicate-counter accounting.
 
-use simspatial_geom::{stats, Aabb, Element, ElementId, Point3};
-use std::time::Instant;
+use simspatial_geom::scratch::with_scratch;
+use simspatial_geom::{stats, Aabb, Element, ElementId, Point3, QueryScratch};
+
+/// A consumer of range-query results.
+///
+/// Results of one query arrive as a [`RangeSink::begin_query`] call
+/// followed by zero or more [`RangeSink::push`] calls; batches announce
+/// queries in ascending order. Sinks are how the batch execution layer
+/// stays allocation-free: counting, collecting, streaming to a network
+/// socket and feeding a join are all just different sinks over the same
+/// index plans.
+pub trait RangeSink {
+    /// Marks the start of results for query `qi` of the batch. Single-query
+    /// entry points call this with `qi = 0` exactly once.
+    fn begin_query(&mut self, qi: u32) {
+        let _ = qi;
+    }
+
+    /// Emits one result id for the current query.
+    fn push(&mut self, id: ElementId);
+}
+
+/// Collecting sink: appends every result, ignoring query boundaries.
+impl RangeSink for Vec<ElementId> {
+    #[inline]
+    fn push(&mut self, id: ElementId) {
+        self.push(id);
+    }
+}
 
 /// A spatial index over a dataset of [`Element`]s.
 ///
@@ -10,7 +47,7 @@ use std::time::Instant;
 /// the FLAT/DLS family — which *depend* on the dataset for execution (§4.3
 /// of the paper) — fit the same interface as classic indexes.
 ///
-/// Implementations must return exactly the ids of elements whose exact
+/// Implementations must emit exactly the ids of elements whose exact
 /// geometry intersects the query box (filter + refine), in unspecified
 /// order and without duplicates — except where a structure is documented as
 /// approximate ([`crate::Lsh`]).
@@ -26,8 +63,51 @@ pub trait SpatialIndex {
         self.len() == 0
     }
 
-    /// All element ids whose exact geometry intersects `query`.
-    fn range(&self, data: &[Element], query: &Aabb) -> Vec<ElementId>;
+    /// Emits into `sink` the ids of all elements whose exact geometry
+    /// intersects `query` — the core query path every index implements.
+    ///
+    /// `scratch` provides every transient buffer (candidate lists,
+    /// traversal stacks, dedupe tables); implementations clear the buffers
+    /// they use on entry, so a caller may reuse one scratch across an
+    /// entire batch without resetting between queries. Implementations do
+    /// **not** call [`RangeSink::begin_query`]; batch drivers do.
+    fn range_into(
+        &self,
+        data: &[Element],
+        query: &Aabb,
+        scratch: &mut QueryScratch,
+        sink: &mut dyn RangeSink,
+    );
+
+    /// Executes a whole batch of range queries, announcing each query to
+    /// the sink via [`RangeSink::begin_query`] in ascending order.
+    ///
+    /// The default loops [`SpatialIndex::range_into`]; indexes with
+    /// genuinely batched plans (e.g. [`crate::LinearScan`]'s single-pass
+    /// envelope plan) override it.
+    fn range_batch(
+        &self,
+        data: &[Element],
+        queries: &[Aabb],
+        scratch: &mut QueryScratch,
+        sink: &mut dyn RangeSink,
+    ) {
+        for (qi, q) in queries.iter().enumerate() {
+            sink.begin_query(qi as u32);
+            self.range_into(data, q, scratch, sink);
+        }
+    }
+
+    /// Allocating convenience wrapper over [`SpatialIndex::range_into`],
+    /// kept for compatibility and one-off queries. Uses the thread-local
+    /// scratch pool, so repeat calls reuse buffers.
+    fn range(&self, data: &[Element], query: &Aabb) -> Vec<ElementId> {
+        with_scratch(|scratch| {
+            let mut out = Vec::new();
+            self.range_into(data, query, scratch, &mut out);
+            out
+        })
+    }
 
     /// Approximate bytes of memory the index structure occupies (excluding
     /// the element data itself). Used for the index-size comparisons the
@@ -73,24 +153,22 @@ impl QueryStats {
 
 /// Runs a batch of range queries against `index`, collecting wall-clock and
 /// predicate-counter deltas. The thread-local counters are reset first.
+///
+/// Drives the index's **batched plan** ([`SpatialIndex::range_batch`]), so
+/// structures with a genuinely batched override — notably
+/// [`crate::LinearScan`]'s one-pass envelope plan — are measured on that
+/// plan, not on repeated single queries (timings and predicate counts
+/// reflect the batch execution the engine would perform in production).
+///
+/// Compatibility shim over [`crate::engine::QueryEngine`]; new code should
+/// hold an engine and reuse its scratch across batches.
 pub fn measure_range<I: SpatialIndex + ?Sized>(
     index: &I,
     data: &[Element],
     queries: &[Aabb],
 ) -> QueryStats {
     stats::reset();
-    let before = stats::snapshot();
-    let start = Instant::now();
-    let mut results = 0u64;
-    for q in queries {
-        results += index.range(data, q).len() as u64;
-    }
-    let elapsed_s = start.elapsed().as_secs_f64();
-    QueryStats {
-        elapsed_s,
-        results,
-        counts: stats::snapshot().since(&before),
-    }
+    crate::engine::QueryEngine::new().range_count(index, data, queries)
 }
 
 #[cfg(test)]
@@ -129,5 +207,17 @@ mod tests {
         let s = measure_range(&idx, &data, &[]);
         assert_eq!(s.results, 0);
         assert_eq!(s.counts.total_tests(), 0);
+    }
+
+    #[test]
+    fn range_wrapper_equals_sink_path() {
+        let data = tiny_data();
+        let idx = LinearScan::build(&data);
+        let q = Aabb::new(Point3::new(1.5, -1.0, -1.0), Point3::new(6.5, 1.0, 1.0));
+        let legacy = idx.range(&data, &q);
+        let mut scratch = QueryScratch::default();
+        let mut sunk = Vec::new();
+        idx.range_into(&data, &q, &mut scratch, &mut sunk);
+        assert_eq!(legacy, sunk);
     }
 }

@@ -1,0 +1,36 @@
+//! Small crate-private helpers shared by the index implementations.
+
+/// `f32` wrapper ordered by `total_cmp`, for use as a heap key in the kNN
+/// best-k heaps (grid, KD-Tree, octree, LSH).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct OrderedF32(pub f32);
+
+impl Eq for OrderedF32 {}
+impl PartialOrd for OrderedF32 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for OrderedF32 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_order_over_specials() {
+        let mut v = [
+            OrderedF32(f32::NAN),
+            OrderedF32(1.0),
+            OrderedF32(f32::NEG_INFINITY),
+            OrderedF32(-0.0),
+        ];
+        v.sort_unstable();
+        assert_eq!(v[0].0, f32::NEG_INFINITY);
+        assert!(v[3].0.is_nan());
+    }
+}

@@ -50,17 +50,47 @@ pub(crate) fn join(data: &[Element], eps: f32) -> Vec<(ElementId, ElementId)> {
     // Partition phase: replicate each element into the cells its *inflated*
     // box overlaps; the cell slab stores the plain (un-inflated) box in SoA
     // form so the join phase runs the shared mask kernel over it.
+    //
+    // Cell-slab assignment is embarrassingly parallel: the compute-heavy
+    // part (exact bounds, inflation, coordinate quantisation) runs
+    // data-parallel over element chunks; only the scatter into the slabs is
+    // a sequential pass. Mirrors `UniformGrid::bulk_insert`. On a single
+    // thread, scatter directly — no staged entry list.
     let mut cells: Vec<SoaAabbs> = vec![SoaAabbs::new(); dims[0] * dims[1] * dims[2]];
     let inflated: Vec<Aabb> = data.iter().map(|e| e.aabb().inflate(eps)).collect();
-    for e in data {
-        let b = inflated[e.id as usize];
-        let plain = e.aabb();
-        let (lo, hi) = (coord(&b.min), coord(&b.max));
-        for z in lo[2]..=hi[2] {
-            for y in lo[1]..=hi[1] {
-                for x in lo[0]..=hi[0] {
-                    cells[index([x, y, z])].push(plain, e.id);
+    if simspatial_geom::parallel::num_threads() <= 1 {
+        for e in data {
+            let b = inflated[e.id as usize];
+            let plain = e.aabb();
+            let (lo, hi) = (coord(&b.min), coord(&b.max));
+            for z in lo[2]..=hi[2] {
+                for y in lo[1]..=hi[1] {
+                    for x in lo[0]..=hi[0] {
+                        cells[index([x, y, z])].push(plain, e.id);
+                    }
                 }
+            }
+        }
+    } else {
+        let assigned = simspatial_geom::parallel::par_map_chunks(data, 2048, |_, chunk| {
+            let mut entries: Vec<(u32, Aabb, ElementId)> = Vec::with_capacity(chunk.len());
+            for e in chunk {
+                let b = inflated[e.id as usize];
+                let plain = e.aabb();
+                let (lo, hi) = (coord(&b.min), coord(&b.max));
+                for z in lo[2]..=hi[2] {
+                    for y in lo[1]..=hi[1] {
+                        for x in lo[0]..=hi[0] {
+                            entries.push((index([x, y, z]) as u32, plain, e.id));
+                        }
+                    }
+                }
+            }
+            entries
+        });
+        for chunk in assigned {
+            for (cell, plain, id) in chunk {
+                cells[cell as usize].push(plain, id);
             }
         }
     }

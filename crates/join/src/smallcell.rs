@@ -79,9 +79,26 @@ pub fn join_with_cell_factor(
 
     // Each element lands in exactly one cell; the cell slab stores its
     // bounding box in SoA form so pair filtering runs the batched kernel.
+    // The assignment phase (exact bounds + centroid quantisation) runs
+    // data-parallel over element chunks; the scatter stays sequential. On
+    // a single thread, scatter directly — no staged entry list.
     let mut cells: Vec<SoaAabbs> = vec![SoaAabbs::new(); dims[0] * dims[1] * dims[2]];
-    for e in data {
-        cells[index(coord(&e.center()))].push(e.aabb(), e.id);
+    if simspatial_geom::parallel::num_threads() <= 1 {
+        for e in data {
+            cells[index(coord(&e.center()))].push(e.aabb(), e.id);
+        }
+    } else {
+        let assigned = simspatial_geom::parallel::par_map_chunks(data, 2048, |_, chunk| {
+            chunk
+                .iter()
+                .map(|e| (index(coord(&e.center())) as u32, e.aabb(), e.id))
+                .collect::<Vec<(u32, Aabb, ElementId)>>()
+        });
+        for chunk in assigned {
+            for (cell, bbox, id) in chunk {
+                cells[cell as usize].push(bbox, id);
+            }
+        }
     }
 
     let mut out = Vec::new();

@@ -64,6 +64,16 @@ impl UpdateStrategy for GridMigrate {
         self.grid.range(data, query)
     }
 
+    fn range_into(
+        &self,
+        data: &[Element],
+        query: &Aabb,
+        scratch: &mut simspatial_geom::QueryScratch,
+        sink: &mut dyn simspatial_index::RangeSink,
+    ) {
+        self.grid.range_into(data, query, scratch, sink);
+    }
+
     fn memory_bytes(&self) -> usize {
         self.grid.memory_bytes()
     }

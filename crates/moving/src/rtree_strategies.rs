@@ -45,6 +45,16 @@ impl UpdateStrategy for RTreeReinsert {
         self.tree.range_exact(data, query)
     }
 
+    fn range_into(
+        &self,
+        data: &[Element],
+        query: &Aabb,
+        scratch: &mut simspatial_geom::QueryScratch,
+        sink: &mut dyn simspatial_index::RangeSink,
+    ) {
+        self.tree.range_exact_into(data, query, scratch, sink);
+    }
+
     fn memory_bytes(&self) -> usize {
         self.tree.memory_bytes()
     }
@@ -90,6 +100,16 @@ impl UpdateStrategy for RTreeBottomUp {
         self.tree.range_exact(data, query)
     }
 
+    fn range_into(
+        &self,
+        data: &[Element],
+        query: &Aabb,
+        scratch: &mut simspatial_geom::QueryScratch,
+        sink: &mut dyn simspatial_index::RangeSink,
+    ) {
+        self.tree.range_exact_into(data, query, scratch, sink);
+    }
+
     fn memory_bytes(&self) -> usize {
         self.tree.memory_bytes()
     }
@@ -126,6 +146,16 @@ impl UpdateStrategy for RTreeRebuild {
 
     fn range(&self, data: &[Element], query: &Aabb) -> Vec<ElementId> {
         self.tree.range_exact(data, query)
+    }
+
+    fn range_into(
+        &self,
+        data: &[Element],
+        query: &Aabb,
+        scratch: &mut simspatial_geom::QueryScratch,
+        sink: &mut dyn simspatial_index::RangeSink,
+    ) {
+        self.tree.range_exact_into(data, query, scratch, sink);
     }
 
     fn memory_bytes(&self) -> usize {

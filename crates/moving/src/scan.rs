@@ -40,6 +40,16 @@ impl UpdateStrategy for NoIndexScan {
         self.scan.range(data, query)
     }
 
+    fn range_into(
+        &self,
+        data: &[Element],
+        query: &Aabb,
+        scratch: &mut simspatial_geom::QueryScratch,
+        sink: &mut dyn simspatial_index::RangeSink,
+    ) {
+        self.scan.range_into(data, query, scratch, sink);
+    }
+
     fn memory_bytes(&self) -> usize {
         std::mem::size_of::<Self>()
     }

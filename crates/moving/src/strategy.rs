@@ -1,6 +1,7 @@
 //! The update-strategy trait and factory.
 
-use simspatial_geom::{Aabb, Element, ElementId};
+use simspatial_geom::{Aabb, Element, ElementId, QueryScratch};
+use simspatial_index::RangeSink;
 
 /// Cost accounting of one maintenance step (wall-clock is measured by the
 /// caller around [`UpdateStrategy::apply_step`]).
@@ -32,6 +33,23 @@ pub trait UpdateStrategy {
 
     /// Range query against current geometry.
     fn range(&self, data: &[Element], query: &Aabb) -> Vec<ElementId>;
+
+    /// Sink-based range query against current geometry — the batch path
+    /// query harnesses drive with a reused scratch. The default adapts
+    /// [`UpdateStrategy::range`]; strategies backed by a sink-capable index
+    /// override it to skip the intermediate vector.
+    fn range_into(
+        &self,
+        data: &[Element],
+        query: &Aabb,
+        scratch: &mut QueryScratch,
+        sink: &mut dyn RangeSink,
+    ) {
+        let _ = scratch;
+        for id in self.range(data, query) {
+            sink.push(id);
+        }
+    }
 
     /// Approximate bytes held by the strategy's structures.
     fn memory_bytes(&self) -> usize;

@@ -80,9 +80,10 @@ pub mod prelude {
         stats, Aabb, Capsule, Element, ElementId, Point3, Shape, Sphere, Vec3,
     };
     pub use simspatial_index::{
-        measure_range, CrTree, CrTreeConfig, Curve, DiskRTree, Flat, FlatConfig, GridConfig,
-        GridPlacement, KdTree, KnnIndex, LinearScan, Lsh, LshConfig, MultiGrid, MultiGridConfig,
-        Octree, OctreeConfig, QueryStats, RTree, RTreeConfig, SpatialIndex, UniformGrid,
+        measure_range, BatchResults, CountSink, CrTree, CrTreeConfig, Curve, DiskRTree, Flat,
+        FlatConfig, GridConfig, GridPlacement, KdTree, KnnIndex, LinearScan, Lsh, LshConfig,
+        MultiGrid, MultiGridConfig, Octree, OctreeConfig, QueryEngine, QueryStats, RTree,
+        RTreeConfig, RangeSink, SpatialIndex, UniformGrid,
     };
     pub use simspatial_join::{join_pair, self_join, JoinAlgorithm, JoinConfig, PairAlgorithm};
     pub use simspatial_mesh::{MeshWalker, TetMesh, WalkStrategy};

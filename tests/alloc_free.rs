@@ -1,0 +1,101 @@
+//! Proof of the engine's steady-state guarantee: repeat `range_batch`
+//! calls through a [`QueryEngine`] perform **zero per-query heap
+//! allocations** on the grid / R-Tree / FLAT hot paths.
+//!
+//! A counting global allocator (this test binary only) tallies every
+//! allocation. After warm-up batches grow the scratch and sink buffers to
+//! their high-water marks, further batches over the same workload must not
+//! allocate at all.
+
+use simspatial::prelude::*;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+fn soup(n: u32) -> Vec<Element> {
+    (0..n)
+        .map(|i| {
+            let h = i.wrapping_mul(2654435761);
+            let x = (h % 499) as f32 / 5.0;
+            let y = ((h >> 10) % 499) as f32 / 5.0;
+            let z = ((h >> 20) % 499) as f32 / 5.0;
+            Element::new(i, Shape::Sphere(Sphere::new(Point3::new(x, y, z), 0.4)))
+        })
+        .collect()
+}
+
+fn queries() -> Vec<Aabb> {
+    (0..20)
+        .map(|i| {
+            let c = Point3::new((i * 5) as f32, (i * 4) as f32, (i * 3) as f32);
+            Aabb::new(c, Point3::new(c.x + 9.0, c.y + 8.0, c.z + 7.0))
+        })
+        .collect()
+}
+
+fn assert_steady_state_alloc_free(name: &str, index: &dyn SpatialIndex, data: &[Element]) {
+    let queries = queries();
+    let mut engine = QueryEngine::new();
+    let mut results = BatchResults::new();
+    // Warm-up: grow every buffer to its high-water mark.
+    for _ in 0..4 {
+        engine.range_collect(index, data, &queries, &mut results);
+    }
+    let total = results.total();
+    let before = allocations();
+    for _ in 0..10 {
+        engine.range_collect(index, data, &queries, &mut results);
+        assert_eq!(results.total(), total, "{name}: results changed");
+    }
+    let after = allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "{name}: steady-state batches must not allocate"
+    );
+}
+
+#[test]
+fn grid_rtree_flat_batches_are_allocation_free() {
+    let data = soup(4000);
+    let grid = UniformGrid::build(&data, GridConfig::auto(&data));
+    let replicated = UniformGrid::build(
+        &data,
+        GridConfig::with_cell_side(GridConfig::auto(&data).cell_side, GridPlacement::Replicate),
+    );
+    let rtree = RTree::bulk_load(&data, RTreeConfig::default());
+    let flat = Flat::build(&data, FlatConfig::auto(&data));
+    let scan = LinearScan::build(&data);
+    assert_steady_state_alloc_free("grid(center)", &grid, &data);
+    assert_steady_state_alloc_free("grid(replicate)", &replicated, &data);
+    assert_steady_state_alloc_free("rtree", &rtree, &data);
+    assert_steady_state_alloc_free("flat", &flat, &data);
+    // The scan's one-pass envelope plan buffers through pooled scratch.
+    assert_steady_state_alloc_free("scan(one-pass)", &scan, &data);
+}

@@ -1,0 +1,178 @@
+//! Differential tests for the indexes migrated onto the SoA batch kernel:
+//! the batched/sink paths must return id-sets identical to the seed scalar
+//! reference paths on random *and* degenerate datasets.
+//!
+//! Reference paths under test:
+//! * `MultiGrid::range_seed_reference` — per-level scalar grid path
+//!   (raw cell dumps, sort + dedup, per-candidate filter-and-refine);
+//! * `CrTree::range_scalar_reference` — per-child dequantize + scalar test;
+//! * `Lsh::knn_scalar_reference` — exact-score-every-candidate;
+//! * `UniformGrid::knn_scalar_reference` — unbatched expanding-ring scoring;
+//! * KD-Tree / linear scan sink paths against the scan ground truth.
+
+use simspatial::prelude::*;
+
+fn sorted(mut v: Vec<ElementId>) -> Vec<ElementId> {
+    v.sort_unstable();
+    v
+}
+
+/// Mixed-size random soup: mostly small spheres plus some large ones.
+fn mixed(n: u32, seed: u32) -> Vec<Element> {
+    (0..n)
+        .map(|i| {
+            let h = (i ^ seed).wrapping_mul(2654435761);
+            let x = (h % 997) as f32 / 10.0;
+            let y = ((h >> 10) % 997) as f32 / 10.0;
+            let z = ((h >> 20) % 997) as f32 / 10.0;
+            let r = if i % 31 == 0 { 5.0 } else { 0.3 };
+            Element::new(i, Shape::Sphere(Sphere::new(Point3::new(x, y, z), r)))
+        })
+        .collect()
+}
+
+/// Degenerate datasets: empty, a single point, all elements coincident,
+/// and a line of touching spheres.
+fn degenerate_sets() -> Vec<Vec<Element>> {
+    let coincident: Vec<Element> = (0..64)
+        .map(|i| {
+            Element::new(
+                i,
+                Shape::Sphere(Sphere::new(Point3::new(5.0, 5.0, 5.0), 0.25)),
+            )
+        })
+        .collect();
+    let line: Vec<Element> = (0..40)
+        .map(|i| {
+            Element::new(
+                i,
+                Shape::Sphere(Sphere::new(Point3::new(i as f32 * 0.5, 0.0, 0.0), 0.25)),
+            )
+        })
+        .collect();
+    vec![
+        Vec::new(),
+        vec![Element::new(
+            0,
+            Shape::Sphere(Sphere::new(Point3::ORIGIN, 0.0)),
+        )],
+        coincident,
+        line,
+    ]
+}
+
+fn queries() -> Vec<Aabb> {
+    let mut qs: Vec<Aabb> = (0..12)
+        .map(|i| {
+            let c = Point3::new((i * 7) as f32, (i * 6) as f32, (i * 5) as f32);
+            Aabb::new(c, Point3::new(c.x + 13.0, c.y + 9.0, c.z + 11.0))
+        })
+        .collect();
+    // Degenerate queries: a point box and an everything box.
+    qs.push(Aabb::from_point(Point3::new(5.0, 5.0, 5.0)));
+    qs.push(Aabb::new(
+        Point3::new(-1e4, -1e4, -1e4),
+        Point3::new(1e4, 1e4, 1e4),
+    ));
+    qs
+}
+
+fn all_datasets() -> Vec<Vec<Element>> {
+    let mut sets = degenerate_sets();
+    sets.push(mixed(2500, 0));
+    sets.push(mixed(900, 0xBEEF));
+    sets
+}
+
+#[test]
+fn multigrid_batched_equals_seed_reference() {
+    for data in all_datasets() {
+        let mg = MultiGrid::build(&data, MultiGridConfig::auto(&data));
+        for q in queries() {
+            let a = sorted(mg.range(&data, &q));
+            let b = sorted(mg.range_seed_reference(&data, &q));
+            assert_eq!(a, b, "multigrid diverged on {q:?} (n={})", data.len());
+        }
+    }
+}
+
+#[test]
+fn crtree_batched_equals_seed_reference() {
+    for data in all_datasets() {
+        let cr = CrTree::build(&data, CrTreeConfig::default());
+        for q in queries() {
+            let a = sorted(cr.range(&data, &q));
+            let b = sorted(cr.range_scalar_reference(&data, &q));
+            assert_eq!(a, b, "crtree diverged on {q:?} (n={})", data.len());
+        }
+    }
+}
+
+#[test]
+fn lsh_deferred_scoring_equals_seed_reference() {
+    for data in all_datasets() {
+        let lsh = Lsh::build(&data, LshConfig::auto(&data));
+        for i in 0..10 {
+            let p = Point3::new((i * 11) as f32, (i * 9) as f32, (i * 7) as f32);
+            for k in [1usize, 5, 17] {
+                let a = lsh.knn(&data, &p, k);
+                let b = lsh.knn_scalar_reference(&data, &p, k);
+                assert_eq!(a, b, "lsh diverged at {p:?} k={k} (n={})", data.len());
+            }
+        }
+    }
+}
+
+#[test]
+fn grid_batched_knn_equals_seed_reference() {
+    for data in all_datasets() {
+        for placement in [GridPlacement::Center, GridPlacement::Replicate] {
+            let cfg = GridConfig::with_cell_side(GridConfig::auto(&data).cell_side, placement);
+            let grid = UniformGrid::build(&data, cfg);
+            for i in 0..8 {
+                let p = Point3::new((i * 13) as f32, (i * 11) as f32, (i * 7) as f32);
+                for k in [1usize, 6] {
+                    let a = grid.knn(&data, &p, k);
+                    let b = grid.knn_scalar_reference(&data, &p, k);
+                    assert_eq!(
+                        a,
+                        b,
+                        "grid knn diverged at {p:?} k={k} {placement:?} (n={})",
+                        data.len()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn kdtree_and_scan_sink_paths_match_ground_truth() {
+    for data in all_datasets() {
+        let kd = KdTree::build(&data);
+        let scan = LinearScan::build(&data);
+        let mut engine = QueryEngine::new();
+        let mut results = BatchResults::new();
+        let qs = queries();
+        engine.range_collect(&kd, &data, &qs, &mut results);
+        for (qi, q) in qs.iter().enumerate() {
+            let truth = sorted(scan.range(&data, q));
+            assert_eq!(
+                sorted(results.query_results(qi).to_vec()),
+                truth,
+                "kdtree sink path diverged on {q:?} (n={})",
+                data.len()
+            );
+        }
+        // The scan's one-pass batched plan against its own sequential path.
+        engine.range_collect(&scan, &data, &qs, &mut results);
+        for (qi, q) in qs.iter().enumerate() {
+            assert_eq!(
+                sorted(results.query_results(qi).to_vec()),
+                sorted(scan.range(&data, q)),
+                "scan one-pass plan diverged on {q:?} (n={})",
+                data.len()
+            );
+        }
+    }
+}

@@ -203,7 +203,7 @@ fn batched_scan_matches_sequential_on_neuron_data() {
         .build();
     let scan = LinearScan::build(data.elements());
     let queries = QueryWorkload::new(data.universe(), 5).range_queries(1e-3, 12);
-    let batched = scan.range_batch(data.elements(), &queries);
+    let batched = scan.range_batch_one_pass(data.elements(), &queries);
     for (q, got) in queries.iter().zip(batched) {
         assert_eq!(sorted(got), sorted(scan.range(data.elements(), q)));
     }

@@ -88,6 +88,53 @@ proptest! {
     }
 
     #[test]
+    fn range_batch_equals_looped_range_into_equals_legacy_range(
+        elements in arb_elements(),
+        queries in prop::collection::vec(arb_query(), 1..6),
+    ) {
+        // The three entry points of the batch-first API must agree for
+        // every index: the batched plan (`range_batch` through the
+        // engine), a hand loop over the sink core (`range_into`), and the
+        // legacy allocating wrapper (`range`).
+        let rtree = RTree::bulk_load(&elements, RTreeConfig::default());
+        let crtree = CrTree::build(&elements, CrTreeConfig::default());
+        let kd = KdTree::build(&elements);
+        let oct = Octree::build(&elements, OctreeConfig::default());
+        let grid = UniformGrid::build(&elements, GridConfig::auto(&elements));
+        let multi = MultiGrid::build(&elements, MultiGridConfig::auto(&elements));
+        let flat = Flat::build(&elements, FlatConfig::auto(&elements));
+        let scan = LinearScan::build(&elements);
+
+        let contenders: Vec<(&str, &dyn SpatialIndex)> = vec![
+            ("rtree", &rtree),
+            ("crtree", &crtree),
+            ("kdtree", &kd),
+            ("octree", &oct),
+            ("grid", &grid),
+            ("multigrid", &multi),
+            ("flat", &flat),
+            ("scan", &scan),
+        ];
+        let mut engine = QueryEngine::new();
+        let mut batched = BatchResults::new();
+        let mut scratch = simspatial::geom::QueryScratch::default();
+        for (name, idx) in contenders {
+            let stats = engine.range_collect(idx, &elements, &queries, &mut batched);
+            prop_assert_eq!(batched.len(), queries.len(), "{}: batch width", name);
+            prop_assert_eq!(stats.results as usize, batched.total(), "{}: tally", name);
+            for (qi, q) in queries.iter().enumerate() {
+                let from_batch = sorted(batched.query_results(qi).to_vec());
+                let mut looped = Vec::new();
+                idx.range_into(&elements, q, &mut scratch, &mut looped);
+                prop_assert_eq!(&from_batch, &sorted(looped),
+                                "{}: batch vs looped range_into on {:?}", name, q);
+                prop_assert_eq!(&from_batch, &sorted(idx.range(&elements, q)),
+                                "{}: batch vs legacy range on {:?}", name, q);
+            }
+        }
+    }
+
+    #[test]
     fn knn_indexes_equal_scan_distances(elements in arb_elements(), k in 1usize..20,
                                         p in (-50.0f32..50.0, -50.0f32..50.0, -50.0f32..50.0)) {
         let p = Point3::new(p.0, p.1, p.2);
