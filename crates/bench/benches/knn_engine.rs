@@ -1,0 +1,232 @@
+//! The batched-kNN engine bench: measures the sink-based `knn_batch_into`
+//! path against the seed per-probe `knn()` loop (the path
+//! `QueryEngine::knn_batch` used before the kNN side went batch-first),
+//! and the region-sharded engine at 4 shards against a single shard, per
+//! index. Emits `BENCH_knn_engine.json` at the workspace root.
+//!
+//! Two comparisons per structure (grid, R-Tree, LSH, CR-Tree):
+//!
+//! 1. `<idx>_knn_batch` — per-probe allocating `knn()` loop (fresh result
+//!    vector and heap per probe) vs one engine-driven `knn_batch_into`
+//!    batch reusing scratch heaps, traversal queues, candidate buffers and
+//!    the collector across probes.
+//! 2. `<idx>_knn_shard4` — the batched path on a 1-shard
+//!    [`ShardedEngine`] vs 4 region shards (smaller per-shard structures;
+//!    fans out across threads when `SIMSPATIAL_THREADS > 1`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use simspatial_bench::datasets::neuron_dataset;
+use simspatial_bench::report::BenchJson;
+use simspatial_bench::Scale;
+use simspatial_datagen::QueryWorkload;
+use simspatial_geom::{Element, Point3};
+use simspatial_index::{
+    CrTree, CrTreeConfig, GridConfig, GridPlacement, KnnBatchResults, KnnIndex, Lsh, LshConfig,
+    QueryEngine, RTree, RTreeConfig, ShardedEngine, UniformGrid,
+};
+use std::time::Instant;
+
+const K: usize = 10;
+
+/// Mean wall-clock seconds per call of `f`, with warm-up — the best
+/// (minimum) of three measurement rounds, which discards scheduler noise
+/// on shared/single-core hosts far better than one long round.
+fn time_per_call<O>(mut f: impl FnMut() -> O) -> f64 {
+    let warm = Instant::now();
+    let mut warm_iters = 0u32;
+    while warm.elapsed().as_secs_f64() < 0.2 {
+        std::hint::black_box(f());
+        warm_iters += 1;
+    }
+    let per = warm.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+    let iters = ((0.4 / per.max(1e-9)) as u64).clamp(3, 1 << 22);
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let t = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(f());
+        }
+        best = best.min(t.elapsed().as_secs_f64() / iters as f64);
+    }
+    best
+}
+
+struct Fixture {
+    elements: Vec<Element>,
+    points: Vec<Point3>,
+    grid: UniformGrid,
+    rtree: RTree,
+    lsh: Lsh,
+    crtree: CrTree,
+}
+
+fn fixture() -> Fixture {
+    let data = neuron_dataset(Scale::Small);
+    let points = QueryWorkload::new(data.universe(), 0x0E18).knn_points(32);
+    let elements = data.elements().to_vec();
+    let grid = UniformGrid::build(
+        &elements,
+        GridConfig::with_cell_side(
+            GridConfig::auto(&elements).cell_side,
+            GridPlacement::Replicate,
+        ),
+    );
+    let rtree = RTree::bulk_load(&elements, RTreeConfig::default());
+    let lsh = Lsh::build(&elements, LshConfig::auto(&elements));
+    let crtree = CrTree::build(&elements, CrTreeConfig::default());
+    Fixture {
+        elements,
+        points,
+        grid,
+        rtree,
+        lsh,
+        crtree,
+    }
+}
+
+/// Measures one structure: per-probe loop vs engine batch, and 1 vs 4
+/// shards, appending both entries to the report.
+fn measure_index<I: KnnIndex + Send>(
+    json: &mut BenchJson,
+    fx: &Fixture,
+    name: &str,
+    index: &I,
+    build: impl Fn(&[Element]) -> I,
+) {
+    let mut engine = QueryEngine::new();
+    let mut results = KnnBatchResults::new();
+
+    // Sanity: the batched sink path must return exactly the per-probe
+    // wrapper's results.
+    engine.knn_collect(index, &fx.elements, &fx.points, K, &mut results);
+    for (qi, p) in fx.points.iter().enumerate() {
+        assert_eq!(
+            results.query_results(qi),
+            index.knn(&fx.elements, p, K).as_slice(),
+            "{name}: batched kNN diverged from the per-probe path"
+        );
+    }
+
+    // The seed per-probe path, reconstructed faithfully: before the kNN
+    // side went batch-first, `QueryEngine::knn_batch` looped `index.knn()`,
+    // which drew `dists`/`visited`/`candidates` from the pooled
+    // thread-local scratch but allocated its best-k heap (a fresh
+    // `BinaryHeap`), any traversal queue and the result vector per probe.
+    // So: pooled scratch across probes, fresh heap/queue/result buffers
+    // each probe.
+    let mut seed_scratch = simspatial_geom::QueryScratch::default();
+    let before = time_per_call(|| {
+        let mut acc = 0usize;
+        for p in &fx.points {
+            seed_scratch.knn_best = Vec::new();
+            seed_scratch.knn_queue = Vec::new();
+            let mut out: Vec<(simspatial_geom::ElementId, f32)> = Vec::new();
+            index.knn_into(&fx.elements, p, K, &mut seed_scratch, &mut out);
+            acc += out.len();
+        }
+        acc
+    });
+    let after = time_per_call(|| {
+        engine
+            .knn_collect(index, &fx.elements, &fx.points, K, &mut results)
+            .results
+    });
+    json.add(
+        &format!("{name}_knn_batch"),
+        "knn_batches/s",
+        1.0 / before,
+        1.0 / after,
+    );
+
+    let mut one = ShardedEngine::build(&fx.elements, 1, &build);
+    let mut four = ShardedEngine::build(&fx.elements, 4, &build);
+    let shard1 = time_per_call(|| one.knn_collect(&fx.points, K, &mut results).results);
+    let shard4 = time_per_call(|| four.knn_collect(&fx.points, K, &mut results).results);
+    json.add(
+        &format!("{name}_knn_shard4"),
+        "knn_batches/s",
+        1.0 / shard1,
+        1.0 / shard4,
+    );
+}
+
+fn emit_json(fx: &Fixture) -> BenchJson {
+    let mut json = BenchJson::new("knn_engine");
+    measure_index(&mut json, fx, "grid", &fx.grid, |part| {
+        UniformGrid::build(
+            part,
+            GridConfig::with_cell_side(GridConfig::auto(part).cell_side, GridPlacement::Replicate),
+        )
+    });
+    measure_index(&mut json, fx, "rtree", &fx.rtree, |part| {
+        RTree::bulk_load(part, RTreeConfig::default())
+    });
+    measure_index(&mut json, fx, "lsh", &fx.lsh, |part| {
+        Lsh::build(part, LshConfig::auto(part))
+    });
+    measure_index(&mut json, fx, "crtree", &fx.crtree, |part| {
+        CrTree::build(part, CrTreeConfig::default())
+    });
+    json
+}
+
+fn bench(c: &mut Criterion) {
+    let fx = fixture();
+
+    let json = emit_json(&fx);
+    let out = std::env::var("SIMSPATIAL_BENCH_OUT")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_knn_engine.json", env!("CARGO_MANIFEST_DIR")));
+    json.write_to(std::path::Path::new(&out))
+        .expect("write BENCH_knn_engine.json");
+    println!("{}", json.to_json());
+    println!("wrote {out}");
+
+    let mut g = c.benchmark_group("knn_engine");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(200));
+    g.measurement_time(std::time::Duration::from_millis(700));
+    let mut engine = QueryEngine::new();
+    let mut results = KnnBatchResults::new();
+    g.bench_function("grid_knn_batched", |b| {
+        b.iter(|| {
+            engine
+                .knn_collect(&fx.grid, &fx.elements, &fx.points, K, &mut results)
+                .results
+        })
+    });
+    g.bench_function("grid_knn_per_probe", |b| {
+        b.iter(|| {
+            fx.points
+                .iter()
+                .map(|p| fx.grid.knn(&fx.elements, p, K).len())
+                .sum::<usize>()
+        })
+    });
+    g.bench_function("rtree_knn_batched", |b| {
+        b.iter(|| {
+            engine
+                .knn_collect(&fx.rtree, &fx.elements, &fx.points, K, &mut results)
+                .results
+        })
+    });
+    g.bench_function("lsh_knn_batched", |b| {
+        b.iter(|| {
+            engine
+                .knn_collect(&fx.lsh, &fx.elements, &fx.points, K, &mut results)
+                .results
+        })
+    });
+    let mut sharded = ShardedEngine::build(&fx.elements, 4, |part| {
+        UniformGrid::build(
+            part,
+            GridConfig::with_cell_side(GridConfig::auto(part).cell_side, GridPlacement::Replicate),
+        )
+    });
+    g.bench_function("grid_knn_shard4", |b| {
+        b.iter(|| sharded.knn_collect(&fx.points, K, &mut results).results)
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,7 +1,7 @@
 //! `figures` — regenerate the paper's figures and quantitative claims.
 //!
 //! ```text
-//! figures [--exp e1,e4,...|all] [--scale small|medium|large]
+//! figures [--exp e1,e4,...|all] [--scale small|medium|large] [--shards K]
 //! ```
 //!
 //! Prints a paper-vs-measured report per experiment (see DESIGN.md §3 for
@@ -13,6 +13,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut ids: Vec<String> = Vec::new();
     let mut scale = Scale::Medium;
+    let mut shards = 1usize;
 
     let mut i = 0;
     while i < args.len() {
@@ -37,6 +38,14 @@ fn main() {
                     _ => usage("scale must be small|medium|large"),
                 };
             }
+            "--shards" => {
+                i += 1;
+                shards = args
+                    .get(i)
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .filter(|&k| k >= 1)
+                    .unwrap_or_else(|| usage("shards must be a positive integer"));
+            }
             "--help" | "-h" => usage(""),
             other => usage(&format!("unknown argument: {other}")),
         }
@@ -48,12 +57,12 @@ fn main() {
 
     println!(
         "simspatial figures — reproducing Heinis, Tauheed, Ailamaki (EDBT 2014)\n\
-         scale: {scale:?} ({} elements, {} queries/batch)\n",
+         scale: {scale:?} ({} elements, {} queries/batch), {shards} engine shard(s)\n",
         scale.elements(),
         scale.queries()
     );
     for id in &ids {
-        match experiments::run(id, scale) {
+        match experiments::run(id, scale, shards) {
             Some(report) => print!("{report}"),
             None => eprintln!("unknown experiment id: {id} (expected e1..e13)"),
         }
@@ -65,7 +74,7 @@ fn usage(msg: &str) -> ! {
         eprintln!("error: {msg}\n");
     }
     eprintln!(
-        "usage: figures [--exp e1,e2,...|all] [--scale small|medium|large]\n\
+        "usage: figures [--exp e1,e2,...|all] [--scale small|medium|large] [--shards K]\n\
          experiments:\n  e1  Figure 2 (disk vs memory breakdown)\n  e2  Figure 3 (in-memory breakdown)\n  \
          e3  Figure 4 (partitioning waste)\n  e4  update vs rebuild crossover\n  e5  plasticity statistics\n  \
          e6  CR-Tree vs R-Tree\n  e7  grid resolution sweep\n  e8  kNN structures incl. LSH\n  \

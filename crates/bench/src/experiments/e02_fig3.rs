@@ -17,7 +17,7 @@ use crate::experiments::time;
 use crate::report::{fmt_time, pct, Report};
 use crate::Scale;
 use simspatial_geom::{stats, Aabb, Point3, Vec3};
-use simspatial_index::{QueryEngine, RTree, RTreeConfig};
+use simspatial_index::{CountSink, QueryEngine, RTree, RTreeConfig, ShardedEngine};
 
 /// Structured outcome.
 #[derive(Debug, Clone, Copy)]
@@ -34,10 +34,13 @@ pub struct Fig3 {
     pub remaining_share: f64,
     /// Raw counter snapshot of the full batch.
     pub counts: stats::PredicateCounts,
+    /// Batch seconds of the same full pass through a region-sharded engine
+    /// (`--shards K`, `None` when unsharded).
+    pub sharded_total_s: Option<f64>,
 }
 
 /// Runs the measurement.
-pub fn measure(scale: Scale) -> Fig3 {
+pub fn measure(scale: Scale, shards: usize) -> Fig3 {
     let data = neuron_dataset(scale);
     let queries = paper_queries(data.universe(), data.len(), scale.queries(), 0xF163);
     let tree = RTree::bulk_load(data.elements(), RTreeConfig::default());
@@ -88,6 +91,18 @@ pub fn measure(scale: Scale) -> Fig3 {
     let read_s = (counts.total_tests() as f64 * 28.0 / 50e9).min(t_full);
     let _ = t_bbox; // reported via the bbox/full gap in the text report
 
+    // Optional sharded rerun of the full pass: the batch fans out across K
+    // region shards, each with its own STR-packed tree over its slice.
+    let sharded_total_s = (shards > 1).then(|| {
+        let mut sharded = ShardedEngine::build(data.elements(), shards, |part| {
+            RTree::bulk_load(part, RTreeConfig::default())
+        });
+        let mut sink = CountSink::new();
+        sharded.range_batch(&queries, &mut sink); // warm-up
+        sink.reset();
+        sharded.range_batch(&queries, &mut sink).elapsed_s
+    });
+
     let total = t_full.max(f64::MIN_POSITIVE);
     Fig3 {
         total_s: t_full,
@@ -96,12 +111,13 @@ pub fn measure(scale: Scale) -> Fig3 {
         read_share: read_s / total,
         remaining_share: (1.0 - tree_s / total - element_s / total).max(0.0),
         counts,
+        sharded_total_s,
     }
 }
 
 /// Runs and formats the report.
-pub fn run(scale: Scale) -> String {
-    let f = measure(scale);
+pub fn run(scale: Scale, shards: usize) -> String {
+    let f = measure(scale, shards);
     let mut r = Report::new("E2", "Figure 3 — in-memory R-Tree query breakdown");
     r.paper("reading 3.3 % | tree-structure tests ≈55 % | element tests ≈25 % | rest ≈17 %");
     r.measured(&format!(
@@ -119,6 +135,13 @@ pub fn run(scale: Scale) -> String {
         "tests issued: {} tree-level, {} element-level",
         f.counts.tree_tests, f.counts.element_tests
     ));
+    if let Some(sharded) = f.sharded_total_s {
+        r.measured(&format!(
+            "sharded engine ({shards} region shards): {} ({:.2}× vs single)",
+            fmt_time(sharded),
+            f.total_s / sharded.max(f64::MIN_POSITIVE)
+        ));
+    }
     r.note("shape check: intersection-test work dominates; data movement is a few percent");
     r.note("the paper's 55/25 tree/element split needs paper-scale trees (deep, overlapping);");
     r.note("at bench scale the shallow tree shifts weight to the leaf phase — same total story");
@@ -163,7 +186,7 @@ mod tests {
 
     #[test]
     fn intersection_tests_dominate() {
-        let f = measure(Scale::Small);
+        let f = measure(Scale::Small, 1);
         assert!(
             f.tree_share + f.element_share > 0.5,
             "test work should dominate: {f:?}"

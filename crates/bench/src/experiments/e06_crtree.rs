@@ -13,14 +13,15 @@ use crate::datasets::{neuron_dataset, paper_queries};
 use crate::report::{fmt_time, Report};
 use crate::Scale;
 use simspatial_index::{
-    CrTree, CrTreeConfig, GridConfig, QueryEngine, RTree, RTreeConfig, SpatialIndex, UniformGrid,
+    CountSink, CrTree, CrTreeConfig, GridConfig, QueryEngine, RTree, RTreeConfig, ShardedEngine,
+    SpatialIndex, UniformGrid,
 };
 
 /// Timings of one contender.
 #[derive(Debug, Clone)]
 pub struct Contender {
     /// Display name.
-    pub name: &'static str,
+    pub name: String,
     /// Batch seconds.
     pub total_s: f64,
     /// Structure bytes per element.
@@ -28,7 +29,9 @@ pub struct Contender {
 }
 
 /// Runs the measurement; first entry is the baseline disk-layout R-Tree.
-pub fn measure(scale: Scale) -> Vec<Contender> {
+/// With `shards > 1`, each in-memory contender is additionally run through
+/// a region-sharded engine with that many shards.
+pub fn measure(scale: Scale, shards: usize) -> Vec<Contender> {
     let data = neuron_dataset(scale);
     let queries = paper_queries(data.universe(), data.len(), scale.queries(), 0xF166);
     let n = data.len() as f64;
@@ -36,9 +39,9 @@ pub fn measure(scale: Scale) -> Vec<Contender> {
     // One engine drives every contender's batched plan; its QueryStats
     // replace the hand-rolled timing loop.
     let mut engine = QueryEngine::new();
-    let mut run = |name: &'static str, index: &dyn SpatialIndex| -> Contender {
+    let mut run = |name: &str, index: &dyn SpatialIndex| -> Contender {
         Contender {
-            name,
+            name: name.to_string(),
             total_s: engine
                 .range_count(index, data.elements(), &queries)
                 .elapsed_s,
@@ -51,17 +54,68 @@ pub fn measure(scale: Scale) -> Vec<Contender> {
     let cr = CrTree::build(data.elements(), CrTreeConfig::default());
     let grid = UniformGrid::build(data.elements(), GridConfig::auto(data.elements()));
 
-    vec![
+    let mut rows = vec![
         run("R-Tree (4KB nodes)", &disk_layout),
         run("R-Tree (cache-band)", &cache_band),
         run("CR-Tree", &cr),
         run("Grid (auto)", &grid),
-    ]
+    ];
+
+    if shards > 1 {
+        // The same in-memory contenders behind the region-sharded engine:
+        // each shard owns a structure over its slice; the batch fans out
+        // and merges through the sink layer.
+        let mut sink = CountSink::new();
+        let mut run_sharded =
+            |name: String, sharded: &mut dyn FnMut(&mut CountSink) -> (f64, usize)| {
+                sink.reset();
+                let (total_s, bytes) = sharded(&mut sink);
+                Contender {
+                    name,
+                    total_s,
+                    bytes_per_element: bytes as f64 / n,
+                }
+            };
+        let mut rt = ShardedEngine::build(data.elements(), shards, |part| {
+            RTree::bulk_load(part, RTreeConfig::default())
+        });
+        rows.push(run_sharded(
+            format!("R-Tree x{shards} shards"),
+            &mut |sink| {
+                rt.range_batch(&queries, sink); // warm-up
+                sink.reset();
+                let s = rt.range_batch(&queries, sink);
+                (s.elapsed_s, rt.memory_bytes())
+            },
+        ));
+        let mut cr = ShardedEngine::build(data.elements(), shards, |part| {
+            CrTree::build(part, CrTreeConfig::default())
+        });
+        rows.push(run_sharded(
+            format!("CR-Tree x{shards} shards"),
+            &mut |sink| {
+                cr.range_batch(&queries, sink);
+                sink.reset();
+                let s = cr.range_batch(&queries, sink);
+                (s.elapsed_s, cr.memory_bytes())
+            },
+        ));
+        let mut gr = ShardedEngine::build(data.elements(), shards, |part| {
+            UniformGrid::build(part, GridConfig::auto(part))
+        });
+        rows.push(run_sharded(format!("Grid x{shards} shards"), &mut |sink| {
+            gr.range_batch(&queries, sink);
+            sink.reset();
+            let s = gr.range_batch(&queries, sink);
+            (s.elapsed_s, gr.memory_bytes())
+        }));
+    }
+    rows
 }
 
 /// Runs and formats the report.
-pub fn run(scale: Scale) -> String {
-    let rows = measure(scale);
+pub fn run(scale: Scale, shards: usize) -> String {
+    let rows = measure(scale, shards);
     let base = rows[0].total_s;
     let mut r = Report::new("E6", "§3.2 — CR-Tree vs R-Tree in memory");
     r.paper("memory-optimising the R-Tree (CR-Tree) only buys ≈2×; overlap remains");
@@ -89,7 +143,7 @@ mod tests {
         // resident bench scale the compression win shrinks further (the
         // whole tree fits in LLC), so assert the *small-factor* shape in
         // both directions rather than a strict win.
-        let rows = measure(Scale::Small);
+        let rows = measure(Scale::Small, 1);
         let disk = rows[0].total_s;
         let cr = rows.iter().find(|c| c.name == "CR-Tree").unwrap().total_s;
         let ratio = disk / cr;
@@ -101,7 +155,7 @@ mod tests {
 
     #[test]
     fn crtree_is_denser() {
-        let rows = measure(Scale::Small);
+        let rows = measure(Scale::Small, 1);
         let rt = rows
             .iter()
             .find(|c| c.name == "R-Tree (cache-band)")

@@ -14,7 +14,8 @@ use crate::datasets::{neuron_dataset, queries_at};
 use crate::report::{fmt_time, Report};
 use crate::Scale;
 use simspatial_index::{
-    GridConfig, GridPlacement, MultiGrid, MultiGridConfig, QueryEngine, SpatialIndex, UniformGrid,
+    CountSink, GridConfig, GridPlacement, MultiGrid, MultiGridConfig, QueryEngine, ShardedEngine,
+    SpatialIndex, UniformGrid,
 };
 
 /// One sweep row: per-workload batch seconds for a given resolution.
@@ -37,10 +38,14 @@ pub struct ResolutionSweep {
     pub auto: (f64, f64),
     /// Multigrid timings (small, large).
     pub multi: (f64, f64),
+    /// Auto-resolution grid behind a region-sharded engine (small, large);
+    /// `None` when unsharded.
+    pub sharded_auto: Option<(f64, f64)>,
 }
 
-/// Runs the measurement.
-pub fn measure(scale: Scale) -> ResolutionSweep {
+/// Runs the measurement. With `shards > 1` the auto-resolution grid is
+/// additionally run behind a region-sharded engine.
+pub fn measure(scale: Scale, shards: usize) -> ResolutionSweep {
     let data = neuron_dataset(scale);
     let small_q = queries_at(data.universe(), 1e-6, scale.queries(), 0x71);
     let large_q = queries_at(data.universe(), 1e-3, scale.queries(), 0x72);
@@ -70,16 +75,31 @@ pub fn measure(scale: Scale) -> ResolutionSweep {
     let auto = (batch(&auto_grid, &small_q), batch(&auto_grid, &large_q));
     let multi = MultiGrid::build(data.elements(), MultiGridConfig::auto(data.elements()));
     let multi = (batch(&multi, &small_q), batch(&multi, &large_q));
+
+    let sharded_auto = (shards > 1).then(|| {
+        let mut sharded = ShardedEngine::build(data.elements(), shards, |part| {
+            UniformGrid::build(part, GridConfig::auto(part))
+        });
+        let mut sink = CountSink::new();
+        let mut sharded_batch = |queries: &[simspatial_geom::Aabb]| -> f64 {
+            sharded.range_batch(queries, &mut sink); // warm-up
+            sink.reset();
+            sharded.range_batch(queries, &mut sink).elapsed_s
+        };
+        (sharded_batch(&small_q), sharded_batch(&large_q))
+    });
+
     ResolutionSweep {
         points,
         auto,
         multi,
+        sharded_auto,
     }
 }
 
 /// Runs and formats the report.
-pub fn run(scale: Scale) -> String {
-    let o = measure(scale);
+pub fn run(scale: Scale, shards: usize) -> String {
+    let o = measure(scale, shards);
     let mut r = Report::new(
         "E7",
         "§3.3 — grid resolution sweep & multi-resolution grids",
@@ -107,6 +127,13 @@ pub fn run(scale: Scale) -> String {
         fmt_time(o.multi.0),
         fmt_time(o.multi.1)
     ));
+    if let Some((small, large)) = o.sharded_auto {
+        r.measured(&format!(
+            "auto model x{shards} shards: small {}, large {}",
+            fmt_time(small),
+            fmt_time(large)
+        ));
+    }
     let best_small = o
         .points
         .iter()
@@ -130,7 +157,7 @@ mod tests {
 
     #[test]
     fn sweep_produces_finite_times() {
-        let o = measure(Scale::Small);
+        let o = measure(Scale::Small, 1);
         assert_eq!(o.points.len(), 7);
         for p in &o.points {
             assert!(p.small_q_s > 0.0 && p.large_q_s > 0.0);
@@ -139,7 +166,7 @@ mod tests {
 
     #[test]
     fn extreme_coarse_is_bad_for_small_queries() {
-        let o = measure(Scale::Small);
+        let o = measure(Scale::Small, 1);
         let finest = o.points.first().unwrap();
         let coarsest = o.points.last().unwrap();
         assert!(

@@ -17,15 +17,12 @@ use crate::Scale;
 use simspatial_datagen::QueryWorkload;
 use simspatial_geom::ElementId;
 use simspatial_index::{
-    GridConfig, KdTree, KnnIndex, LinearScan, Lsh, LshConfig, Octree, OctreeConfig, RTree,
-    RTreeConfig, UniformGrid,
+    GridConfig, KdTree, KnnBatchResults, KnnIndex, LinearScan, Lsh, LshConfig, Octree,
+    OctreeConfig, QueryEngine, QueryStats, RTree, RTreeConfig, UniformGrid,
 };
 use std::collections::HashSet;
 
-/// Closure type of one kNN invocation under benchmark.
-type KnnFn<'a> = dyn Fn(&simspatial_geom::Point3, usize) -> Vec<(ElementId, f32)> + 'a;
-
-/// Timing (and recall) of one contender at one k.
+/// Timing, recall and kNN predicate counters of one contender at one k.
 #[derive(Debug, Clone)]
 pub struct KnnRow {
     /// Contender name.
@@ -36,6 +33,10 @@ pub struct KnnRow {
     pub per_query_s: f64,
     /// Recall vs exact (1.0 for the exact structures).
     pub recall: f64,
+    /// Batched `MINDIST` lower-bound evaluations across the batch.
+    pub lower_bound_evals: u64,
+    /// Exact element-surface distance evaluations across the batch.
+    pub exact_dists: u64,
 }
 
 /// Runs the measurement.
@@ -53,6 +54,12 @@ pub fn measure(scale: Scale) -> Vec<KnnRow> {
     let grid = UniformGrid::build(data.elements(), GridConfig::auto(data.elements()));
     let lsh = Lsh::build(data.elements(), LshConfig::auto(data.elements()));
 
+    // One engine + one collector drive every contender's batched sink plan
+    // ([`QueryEngine::knn_collect`]): scratch heaps and candidate buffers
+    // are reused across probes, and the returned stats carry the kNN
+    // predicate counters (lower-bound vs exact distance evaluations).
+    let mut engine = QueryEngine::new();
+    let mut results = KnnBatchResults::new();
     let mut rows = Vec::new();
     for k in [1usize, 10, 100] {
         // Exact ground truth per point (sets, for recall).
@@ -66,30 +73,48 @@ pub fn measure(scale: Scale) -> Vec<KnnRow> {
             })
             .collect();
 
-        let bench = |name: &'static str, knn: &KnnFn| -> KnnRow {
+        let mut bench = |name: &'static str,
+                         run: &mut dyn FnMut(&mut KnnBatchResults) -> QueryStats|
+         -> KnnRow {
+            let (stats, _) = time(|| run(&mut results));
             let mut hits = 0usize;
             let mut total = 0usize;
-            let (_, t) = time(|| {
-                for (p, t_set) in points.iter().zip(truth.iter()) {
-                    let got = knn(p, k);
-                    total += t_set.len();
-                    hits += got.iter().filter(|(id, _)| t_set.contains(id)).count();
-                }
-            });
+            for (qi, t_set) in truth.iter().enumerate() {
+                total += t_set.len();
+                hits += results
+                    .query_results(qi)
+                    .iter()
+                    .filter(|(id, _)| t_set.contains(id))
+                    .count();
+            }
             KnnRow {
                 name,
                 k,
-                per_query_s: t / points.len() as f64,
+                per_query_s: stats.elapsed_s / points.len() as f64,
                 recall: hits as f64 / total.max(1) as f64,
+                lower_bound_evals: stats.counts.lower_bound_evals,
+                exact_dists: stats.counts.exact_dists,
             }
         };
 
-        rows.push(bench("LinearScan", &|p, k| scan.knn(data.elements(), p, k)));
-        rows.push(bench("KD-Tree", &|p, k| kd.knn(data.elements(), p, k)));
-        rows.push(bench("R-Tree", &|p, k| rt.knn(data.elements(), p, k)));
-        rows.push(bench("Octree", &|p, k| oct.knn(data.elements(), p, k)));
-        rows.push(bench("Grid", &|p, k| grid.knn(data.elements(), p, k)));
-        rows.push(bench("LSH", &|p, k| lsh.knn(data.elements(), p, k)));
+        rows.push(bench("LinearScan", &mut |out| {
+            engine.knn_collect(&scan, data.elements(), &points, k, out)
+        }));
+        rows.push(bench("KD-Tree", &mut |out| {
+            engine.knn_collect(&kd, data.elements(), &points, k, out)
+        }));
+        rows.push(bench("R-Tree", &mut |out| {
+            engine.knn_collect(&rt, data.elements(), &points, k, out)
+        }));
+        rows.push(bench("Octree", &mut |out| {
+            engine.knn_collect(&oct, data.elements(), &points, k, out)
+        }));
+        rows.push(bench("Grid", &mut |out| {
+            engine.knn_collect(&grid, data.elements(), &points, k, out)
+        }));
+        rows.push(bench("LSH", &mut |out| {
+            engine.knn_collect(&lsh, data.elements(), &points, k, out)
+        }));
     }
     rows
 }
@@ -100,19 +125,22 @@ pub fn run(scale: Scale) -> String {
     let mut r = Report::new("E8", "§3.3 — kNN structures incl. LSH (tree-free)");
     r.paper("LSH avoids tree traversal for kNN; exactness traded for hash probes");
     r.row(&format!(
-        "{:<12} {:>5} {:>14} {:>8}",
-        "structure", "k", "per query", "recall"
+        "{:<12} {:>5} {:>14} {:>8} {:>12} {:>12}",
+        "structure", "k", "per query", "recall", "lower bnds", "exact dists"
     ));
     for row in &rows {
         r.row(&format!(
-            "{:<12} {:>5} {:>14} {:>7.1} %",
+            "{:<12} {:>5} {:>14} {:>7.1} % {:>12} {:>12}",
             row.name,
             row.k,
             fmt_time(row.per_query_s),
-            row.recall * 100.0
+            row.recall * 100.0,
+            row.lower_bound_evals,
+            row.exact_dists
         ));
     }
     r.note("exact structures must show recall 100 %; LSH recall is the approximation price");
+    r.note("lower bnds = batched MINDIST evaluations (filter); exact dists = surface refinements");
     r.finish()
 }
 

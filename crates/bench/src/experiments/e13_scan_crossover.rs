@@ -15,7 +15,7 @@ use crate::report::{fmt_time, Report};
 use crate::Scale;
 use simspatial_datagen::{PlasticityModel, QueryWorkload};
 use simspatial_geom::QueryScratch;
-use simspatial_index::{CountSink, RangeSink};
+use simspatial_index::{CountSink, GridConfig, RangeSink, ShardedEngine, UniformGrid};
 use simspatial_moving::{UpdateStrategy, UpdateStrategyKind};
 
 /// Per-step totals for one (strategy, queries-per-step) cell.
@@ -29,8 +29,10 @@ pub struct CrossoverCell {
     pub total_s: f64,
 }
 
-/// Runs the measurement.
-pub fn measure(scale: Scale) -> Vec<CrossoverCell> {
+/// Runs the measurement. With `shards > 1` an extra "Grid/sharded"
+/// contender rebuilds a region-sharded grid engine each step and answers
+/// the step's queries through its merged batch path.
+pub fn measure(scale: Scale, shards: usize) -> Vec<CrossoverCell> {
     let data = neuron_dataset(scale);
     let steps = 2usize;
     let sweep = [1usize, 10, 100, 1000];
@@ -78,24 +80,63 @@ pub fn measure(scale: Scale) -> Vec<CrossoverCell> {
             });
         }
     }
+
+    if shards > 1 {
+        // Throwaway discipline behind the sharded engine: rebuild all K
+        // shard grids each step (that build is itself region-parallel),
+        // then run the step's queries through the merged batch path.
+        for &qps in &sweep {
+            let mut cur = data.clone();
+            let mut model = PlasticityModel::paper_calibrated(0xE13);
+            let mut queries = QueryWorkload::new(data.universe(), 0xE13);
+            let mut acc = 0.0;
+            for _ in 0..steps {
+                for (id, d) in model.sample_step(cur.len()).iter().enumerate() {
+                    cur.displace(id as u32, *d);
+                }
+                let (mut engine, tm) = time(|| {
+                    ShardedEngine::build(cur.elements(), shards, |part| {
+                        UniformGrid::build(part, GridConfig::auto(part))
+                    })
+                });
+                sink.reset();
+                let batch: Vec<simspatial_geom::Aabb> =
+                    (0..qps).map(|_| queries.range_query(1e-4)).collect();
+                let (_, tq) = time(|| {
+                    engine.range_batch(&batch, &mut sink);
+                    std::hint::black_box(sink.total)
+                });
+                acc += tm + tq;
+            }
+            cells.push(CrossoverCell {
+                strategy: "Grid/sharded",
+                queries_per_step: qps,
+                total_s: acc / steps as f64,
+            });
+        }
+    }
     cells
 }
 
 /// Runs and formats the report.
-pub fn run(scale: Scale) -> String {
-    let cells = measure(scale);
+pub fn run(scale: Scale, shards: usize) -> String {
+    let cells = measure(scale, shards);
     let mut r = Report::new("E13", "§4.1 — index vs linear scan amortisation");
     r.paper("with few queries per step no index amortises; scans win until query counts grow");
     r.row(&format!(
         "{:<18} {:>12} {:>12} {:>12} {:>12}",
         "strategy", "q=1", "q=10", "q=100", "q=1000"
     ));
-    for strategy in [
+    let mut contenders = vec![
         "LinearScan",
         "Grid/throwaway",
         "RTree/rebuild",
         "Grid/migrate",
-    ] {
+    ];
+    if shards > 1 {
+        contenders.push("Grid/sharded");
+    }
+    for strategy in contenders {
         let mut line = format!("{strategy:<18}");
         for qps in [1usize, 10, 100, 1000] {
             let c = cells
@@ -133,7 +174,7 @@ mod tests {
 
     #[test]
     fn scan_wins_at_one_query_index_wins_at_many() {
-        let cells = measure(Scale::Small);
+        let cells = measure(Scale::Small, 1);
         let at = |s: &str, q: usize| {
             cells
                 .iter()

@@ -34,22 +34,25 @@ pub const ALL: [&str; 16] = [
     "a3",
 ];
 
-/// Runs one experiment by id.
-pub fn run(id: &str, scale: crate::Scale) -> Option<String> {
+/// Runs one experiment by id. `shards` > 1 additionally runs the
+/// engine-driven experiments (e2/e6/e7/e13) through a region-sharded
+/// [`simspatial_index::ShardedEngine`] with that many shards; the other
+/// experiments ignore it.
+pub fn run(id: &str, scale: crate::Scale, shards: usize) -> Option<String> {
     Some(match id {
         "e1" => e01_fig2::run(scale),
-        "e2" => e02_fig3::run(scale),
+        "e2" => e02_fig3::run(scale, shards),
         "e3" => e03_fig4::run(scale),
         "e4" => e04_update_vs_rebuild::run(scale),
         "e5" => e05_plasticity_stats::run(scale),
-        "e6" => e06_crtree::run(scale),
-        "e7" => e07_grid_resolution::run(scale),
+        "e6" => e06_crtree::run(scale, shards),
+        "e7" => e07_grid_resolution::run(scale, shards),
         "e8" => e08_knn::run(scale),
         "e9" => e09_massive_updates::run(scale),
         "e10" => e10_spatial_join::run(scale),
         "e11" => e11_moving_objects::run(scale),
         "e12" => e12_mesh_queries::run(scale),
-        "e13" => e13_scan_crossover::run(scale),
+        "e13" => e13_scan_crossover::run(scale, shards),
         "a1" => a01_bulkload::run(scale),
         "a2" => a02_node_size::run(scale),
         "a3" => a03_join_cells::run(scale),

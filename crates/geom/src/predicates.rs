@@ -29,9 +29,11 @@ pub fn element_bbox_in_range(bbox: &Aabb, query: &Aabb) -> bool {
 }
 
 /// Distance from a query point to an element (exact geometry), counted as an
-/// element-level test. Used by kNN refinement.
+/// element-level test and an exact distance evaluation. Used by kNN
+/// refinement.
 #[inline]
 pub fn element_distance(e: &Element, p: &Point3) -> f32 {
+    stats::record_exact_dist();
     stats::element_test(|| e.shape.distance_to_point(p))
 }
 

@@ -72,6 +72,12 @@ pub struct QueryScratch {
     pub mask: Vec<u64>,
     /// Batched distances (kNN).
     pub dists: Vec<f32>,
+    /// Best-k heap storage for the kNN sink paths: `(distance, id)` pairs
+    /// maintained as a bounded max-heap by the index crate's heap view.
+    pub knn_best: Vec<(f32, ElementId)>,
+    /// Best-first traversal queue storage for the kNN sink paths:
+    /// `(distance, payload)` pairs maintained as a min-heap.
+    pub knn_queue: Vec<(f32, ElementId)>,
     /// Generation-stamped dedupe/visited table.
     pub visited: VisitedTable,
 }
@@ -84,6 +90,8 @@ impl QueryScratch {
         self.frontier.clear();
         self.mask.clear();
         self.dists.clear();
+        self.knn_best.clear();
+        self.knn_queue.clear();
     }
 }
 

@@ -21,6 +21,8 @@ thread_local! {
     static ELEM_TESTS: Cell<u64> = const { Cell::new(0) };
     static NODES_VISITED: Cell<u64> = const { Cell::new(0) };
     static ELEMENTS_SCANNED: Cell<u64> = const { Cell::new(0) };
+    static LOWER_BOUND_EVALS: Cell<u64> = const { Cell::new(0) };
+    static EXACT_DISTS: Cell<u64> = const { Cell::new(0) };
 }
 
 /// A snapshot of the thread-local predicate counters.
@@ -36,6 +38,11 @@ pub struct PredicateCounts {
     pub nodes_visited: u64,
     /// Elements touched (scanned or copied), whether or not they were tested.
     pub elements_scanned: u64,
+    /// Batched `MINDIST` lower-bound evaluations on stored boxes (the kNN
+    /// filter phase — the analogue of the range side's bbox filter lanes).
+    pub lower_bound_evals: u64,
+    /// Exact element-surface distance evaluations (the kNN refine phase).
+    pub exact_dists: u64,
 }
 
 impl PredicateCounts {
@@ -53,7 +60,19 @@ impl PredicateCounts {
             element_tests: self.element_tests - earlier.element_tests,
             nodes_visited: self.nodes_visited - earlier.nodes_visited,
             elements_scanned: self.elements_scanned - earlier.elements_scanned,
+            lower_bound_evals: self.lower_bound_evals - earlier.lower_bound_evals,
+            exact_dists: self.exact_dists - earlier.exact_dists,
         }
+    }
+
+    /// Component-wise sum, for aggregating per-shard or per-thread deltas.
+    pub fn add(&mut self, other: &PredicateCounts) {
+        self.tree_tests += other.tree_tests;
+        self.element_tests += other.element_tests;
+        self.nodes_visited += other.nodes_visited;
+        self.elements_scanned += other.elements_scanned;
+        self.lower_bound_evals += other.lower_bound_evals;
+        self.exact_dists += other.exact_dists;
     }
 }
 
@@ -63,6 +82,8 @@ pub fn reset() {
     ELEM_TESTS.with(|c| c.set(0));
     NODES_VISITED.with(|c| c.set(0));
     ELEMENTS_SCANNED.with(|c| c.set(0));
+    LOWER_BOUND_EVALS.with(|c| c.set(0));
+    EXACT_DISTS.with(|c| c.set(0));
 }
 
 /// Reads the current thread's counters.
@@ -72,6 +93,8 @@ pub fn snapshot() -> PredicateCounts {
         element_tests: ELEM_TESTS.with(Cell::get),
         nodes_visited: NODES_VISITED.with(Cell::get),
         elements_scanned: ELEMENTS_SCANNED.with(Cell::get),
+        lower_bound_evals: LOWER_BOUND_EVALS.with(Cell::get),
+        exact_dists: EXACT_DISTS.with(Cell::get),
     }
 }
 
@@ -112,6 +135,18 @@ pub fn record_node_visit() {
 #[inline(always)]
 pub fn record_elements_scanned(n: u64) {
     ELEMENTS_SCANNED.with(|c| c.set(c.get() + n));
+}
+
+/// Records `n` batched `MINDIST` lower-bound evaluations (kNN filter phase).
+#[inline(always)]
+pub fn record_lower_bound_evals(n: u64) {
+    LOWER_BOUND_EVALS.with(|c| c.set(c.get() + n));
+}
+
+/// Records one exact element-surface distance evaluation (kNN refine phase).
+#[inline(always)]
+pub fn record_exact_dist() {
+    EXACT_DISTS.with(|c| c.set(c.get() + 1));
 }
 
 #[cfg(test)]

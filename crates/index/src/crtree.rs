@@ -33,8 +33,11 @@
 //! exactly that against [`crate::RTree`].
 
 use crate::rtree::bulk::str_tile;
-use crate::traits::{RangeSink, SpatialIndex};
-use simspatial_geom::{stats, Aabb, Element, ElementId, Point3, QueryScratch};
+use crate::traits::{KnnIndex, KnnSink, RangeSink, SpatialIndex};
+use crate::util::{KnnHeap, MinQueue};
+#[cfg(any(test, feature = "reference"))]
+use simspatial_geom::ElementId;
+use simspatial_geom::{predicates, stats, Aabb, Element, Point3, QueryScratch};
 
 /// Configuration of a [`CrTree`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -101,6 +104,7 @@ impl ChildSlab {
         self.payload.len()
     }
 
+    #[cfg(any(test, feature = "reference"))]
     fn get(&self, i: usize) -> QChild {
         QChild {
             qmin: [self.qmin_x[i], self.qmin_y[i], self.qmin_z[i]],
@@ -141,6 +145,47 @@ impl ChildSlab {
             if hit != 0 {
                 out.push(ids[j]);
             }
+        }
+    }
+
+    /// The batched quantized `MINDIST` kernel: writes into `out` (resized to
+    /// `count`) the squared lower-bound distance from `p` to the
+    /// conservatively dequantized box of every child in
+    /// `start..start+count`, given the owning node's `reference` frame.
+    ///
+    /// Dequantization only ever widens boxes, so each value lower-bounds the
+    /// true box `MINDIST` and therefore the exact element-surface distance —
+    /// the bound the CR-Tree kNN search prunes with. One streaming pass over
+    /// the `u8` slab arrays; the per-axis scale (`extent/255`) is hoisted
+    /// out of the loop.
+    fn min_dist2_into(
+        &self,
+        start: usize,
+        count: usize,
+        reference: &Aabb,
+        p: &Point3,
+        out: &mut Vec<f32>,
+    ) {
+        let ext = reference.extent();
+        let (sx, sy, sz) = (ext.x / 255.0, ext.y / 255.0, ext.z / 255.0);
+        let (lx, ly, lz) = (reference.min.x, reference.min.y, reference.min.z);
+        let end = start + count;
+        let (nx, xx) = (&self.qmin_x[start..end], &self.qmax_x[start..end]);
+        let (ny, xy) = (&self.qmin_y[start..end], &self.qmax_y[start..end]);
+        let (nz, xz) = (&self.qmin_z[start..end], &self.qmax_z[start..end]);
+        out.clear();
+        out.resize(count, 0.0);
+        for (j, slot) in out.iter_mut().enumerate() {
+            let dx = (lx + f32::from(nx[j]) * sx - p.x)
+                .max(0.0)
+                .max(p.x - (lx + f32::from(xx[j]) * sx));
+            let dy = (ly + f32::from(ny[j]) * sy - p.y)
+                .max(0.0)
+                .max(p.y - (ly + f32::from(xy[j]) * sy));
+            let dz = (lz + f32::from(nz[j]) * sz - p.z)
+                .max(0.0)
+                .max(p.z - (lz + f32::from(xz[j]) * sz));
+            *slot = dx * dx + dy * dy + dz * dz;
         }
     }
 }
@@ -240,6 +285,9 @@ impl CrTree {
     /// as the reference for differential tests and the `query_engine`
     /// bench: every child box is dequantized to full precision and tested
     /// scalar, one at a time.
+    ///
+    /// Compiled only for tests and under the `reference` feature.
+    #[cfg(any(test, feature = "reference"))]
     pub fn range_scalar_reference(&self, data: &[Element], query: &Aabb) -> Vec<ElementId> {
         let mut out = Vec::new();
         let mut stack = vec![self.root];
@@ -304,6 +352,7 @@ fn quantize(reference: &Aabb, bbox: &Aabb, payload: u32) -> QChild {
 }
 
 /// Conservative dequantization: the result contains the original box.
+#[cfg(any(test, feature = "reference"))]
 fn dequantize(reference: &Aabb, q: &QChild) -> Aabb {
     let ext = reference.extent();
     let d = |u: u8, lo: f32, extent: f32| lo + f32::from(u) / 255.0 * extent;
@@ -409,6 +458,71 @@ impl SpatialIndex for CrTree {
 
     fn memory_bytes(&self) -> usize {
         self.nodes.capacity() * std::mem::size_of::<CrNode>() + self.slab.memory_bytes()
+    }
+}
+
+impl KnnIndex for CrTree {
+    /// Best-first kNN over the quantized CSR slab: nodes pop from a
+    /// min-queue in ascending lower-bound order; each popped node runs the
+    /// batched quantized `MINDIST` kernel ([`ChildSlab::min_dist2_into`])
+    /// over its child window — dequantization is conservative, so the
+    /// resulting bounds never exceed the true distances. Internal children
+    /// enqueue on their bound; leaf children pay the exact element-surface
+    /// distance only when their bound can still beat the current k-th best.
+    fn knn_into(
+        &self,
+        data: &[Element],
+        p: &Point3,
+        k: usize,
+        scratch: &mut QueryScratch,
+        sink: &mut dyn KnnSink,
+    ) {
+        if k == 0 || self.len == 0 {
+            return;
+        }
+        let QueryScratch {
+            dists,
+            knn_best,
+            knn_queue,
+            ..
+        } = scratch;
+        let mut best = KnnHeap::new(knn_best, k);
+        let mut queue = MinQueue::new(knn_queue);
+        queue.push(0.0, self.root as u32);
+        while let Some((d, node)) = queue.pop() {
+            if best.is_full() && d > best.worst() {
+                break;
+            }
+            let n = &self.nodes[node as usize];
+            let (start, count) = (n.child_start as usize, n.child_count as usize);
+            if count == 0 {
+                continue;
+            }
+            self.slab.min_dist2_into(start, count, &n.mbr, p, dists);
+            stats::record_lower_bound_evals(count as u64);
+            if n.level == 0 {
+                stats::record_element_tests(count as u64);
+                for (j, &lb2) in dists.iter().enumerate() {
+                    let w = best.worst();
+                    if best.is_full() && lb2 > w * w {
+                        continue;
+                    }
+                    let id = self.slab.payload[start + j];
+                    let exact = predicates::element_distance(&data[id as usize], p);
+                    best.consider(id, exact);
+                }
+            } else {
+                stats::record_node_visit();
+                stats::record_tree_tests(count as u64);
+                for (j, &lb2) in dists.iter().enumerate() {
+                    let md = lb2.sqrt();
+                    if !(best.is_full() && md > best.worst()) {
+                        queue.push(md, self.slab.payload[start + j]);
+                    }
+                }
+            }
+        }
+        best.emit(sink);
     }
 }
 

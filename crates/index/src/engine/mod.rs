@@ -9,17 +9,36 @@
 //! The unit of work is **a batch of queries**, per the paper's workloads
 //! (hundreds of range/kNN probes per simulation step) and per the
 //! roadmap's sharding/async direction: anything that can run a batch
-//! against a [`SpatialIndex`] through a [`RangeSink`] composes with every
-//! index in the crate. Batches can also fan out across threads
+//! against a [`SpatialIndex`] through a [`RangeSink`] — or against a
+//! [`KnnIndex`] through a [`KnnSink`] — composes with every index in the
+//! crate. Batches can also fan out across threads
 //! ([`QueryEngine::range_batch_par`]) via `simspatial_geom::parallel`,
 //! honouring `SIMSPATIAL_THREADS`.
 //!
-//! Steady-state guarantee: repeat `range_batch` calls through one engine
-//! (with a reused sink such as [`BatchResults`] or [`CountSink`]) perform
-//! zero per-query heap allocations on the grid/R-Tree/FLAT hot paths —
-//! scratch and sink buffers grow to a high-water mark and stay there.
+//! Both query families are symmetric:
+//!
+//! * **Range**: [`QueryEngine::range_batch`] drives
+//!   [`SpatialIndex::range_batch`] into a [`RangeSink`]
+//!   ([`BatchResults`] collects, [`CountSink`] counts).
+//! * **kNN**: [`QueryEngine::knn_batch_into`] drives
+//!   [`KnnIndex::knn_batch_into`] into a [`KnnSink`]
+//!   ([`KnnBatchResults`] collects) — one scratch carries the best-k heap,
+//!   traversal queue and batched lower-bound buffers across every probe of
+//!   the batch.
+//!
+//! Steady-state guarantee: repeat `range_batch`/`knn_batch_into` calls
+//! through one engine (with a reused sink) perform zero per-query heap
+//! allocations on the grid/R-Tree/FLAT hot paths — scratch and sink
+//! buffers grow to a high-water mark and stay there.
+//!
+//! Scaling out happens **above** the engine: [`sharded::ShardedEngine`]
+//! partitions the dataset by region across K shards, each owning its own
+//! `QueryEngine` + index, and merges per-shard results through the same
+//! sink traits (see the [`sharded`] module docs).
 
-use crate::traits::{KnnIndex, QueryStats, RangeSink, SpatialIndex};
+pub mod sharded;
+
+use crate::traits::{KnnIndex, KnnSink, QueryStats, RangeSink, SpatialIndex};
 use simspatial_geom::scratch::with_scratch;
 use simspatial_geom::{parallel, stats, Aabb, Element, ElementId, Point3, QueryScratch};
 use std::time::Instant;
@@ -286,10 +305,7 @@ impl QueryEngine {
         let mut counts = stats::PredicateCounts::default();
         let mut results = 0u64;
         for (lists, delta) in chunks {
-            counts.tree_tests += delta.tree_tests;
-            counts.element_tests += delta.element_tests;
-            counts.nodes_visited += delta.nodes_visited;
-            counts.elements_scanned += delta.elements_scanned;
+            counts.add(&delta);
             for list in lists {
                 results += list.len() as u64;
                 results_by_query.push(list);
@@ -305,9 +321,68 @@ impl QueryEngine {
         )
     }
 
-    /// Runs a batch of kNN probes (`k` nearest per point), collecting
-    /// per-point results into `out` (cleared first) and returning the batch
-    /// accounting.
+    /// Runs a batch of kNN probes through the index's batched sink plan
+    /// ([`KnnIndex::knn_batch_into`]), streaming results into `sink` and
+    /// returning the batch accounting — wall clock, result totals and the
+    /// kNN predicate counters (lower-bound and exact distance evaluations)
+    /// alongside the classic tree/element test counts.
+    pub fn knn_batch_into<I: KnnIndex + ?Sized>(
+        &mut self,
+        index: &I,
+        data: &[Element],
+        points: &[Point3],
+        k: usize,
+        sink: &mut dyn KnnSink,
+    ) -> QueryStats {
+        let before = stats::snapshot();
+        let mut tally = KnnTallySink {
+            inner: sink,
+            results: 0,
+        };
+        let start = Instant::now();
+        index.knn_batch_into(data, points, k, &mut self.scratch, &mut tally);
+        QueryStats {
+            elapsed_s: start.elapsed().as_secs_f64(),
+            results: tally.results,
+            counts: stats::snapshot().since(&before),
+        }
+    }
+
+    /// Runs the kNN batch and collects per-probe result lists into `out`
+    /// (reset first, allocations kept).
+    pub fn knn_collect<I: KnnIndex + ?Sized>(
+        &mut self,
+        index: &I,
+        data: &[Element],
+        points: &[Point3],
+        k: usize,
+        out: &mut KnnBatchResults,
+    ) -> QueryStats {
+        out.reset();
+        self.knn_batch_into(index, data, points, k, out)
+    }
+
+    /// Runs the kNN batch for its accounting alone (results are counted,
+    /// not kept).
+    pub fn knn_count<I: KnnIndex + ?Sized>(
+        &mut self,
+        index: &I,
+        data: &[Element],
+        points: &[Point3],
+        k: usize,
+    ) -> QueryStats {
+        struct Discard;
+        impl KnnSink for Discard {
+            #[inline]
+            fn push(&mut self, _id: ElementId, _dist: f32) {}
+        }
+        self.knn_batch_into(index, data, points, k, &mut Discard)
+    }
+
+    /// Runs a batch of kNN probes, collecting per-point results into `out`
+    /// (cleared first). Compatibility wrapper over
+    /// [`QueryEngine::knn_batch_into`] for callers that want owned
+    /// per-probe vectors.
     pub fn knn_batch<I: KnnIndex + ?Sized>(
         &mut self,
         index: &I,
@@ -316,20 +391,117 @@ impl QueryEngine {
         k: usize,
         out: &mut Vec<Vec<(ElementId, f32)>>,
     ) -> QueryStats {
+        struct PerProbe<'a>(&'a mut Vec<Vec<(ElementId, f32)>>);
+        impl KnnSink for PerProbe<'_> {
+            fn begin_query(&mut self, qi: u32) {
+                while self.0.len() <= qi as usize {
+                    self.0.push(Vec::new());
+                }
+            }
+
+            #[inline]
+            fn push(&mut self, id: ElementId, dist: f32) {
+                if self.0.is_empty() {
+                    self.0.push(Vec::new());
+                }
+                self.0.last_mut().unwrap().push((id, dist));
+            }
+        }
         out.clear();
-        let before = stats::snapshot();
-        let start = Instant::now();
-        let mut results = 0u64;
-        for p in points {
-            let r = index.knn(data, p, k);
-            results += r.len() as u64;
-            out.push(r);
+        self.knn_batch_into(index, data, points, k, &mut PerProbe(out))
+    }
+}
+
+/// Forwarding sink that tallies kNN pushes — how the engine counts results
+/// without imposing a sink type on callers.
+struct KnnTallySink<'a> {
+    inner: &'a mut dyn KnnSink,
+    results: u64,
+}
+
+impl KnnSink for KnnTallySink<'_> {
+    fn begin_query(&mut self, qi: u32) {
+        self.inner.begin_query(qi);
+    }
+
+    #[inline]
+    fn push(&mut self, id: ElementId, dist: f32) {
+        self.results += 1;
+        self.inner.push(id, dist);
+    }
+}
+
+/// A reusable per-probe kNN result collector — the kNN mirror of
+/// [`BatchResults`]: one `(id, distance)` list per probe of the batch,
+/// cleared but not freed by [`KnnBatchResults::reset`], so a collector
+/// reused across batches allocates only until every list reaches its
+/// high-water capacity.
+#[derive(Debug, Default)]
+pub struct KnnBatchResults {
+    lists: Vec<Vec<(ElementId, f32)>>,
+    used: usize,
+}
+
+impl KnnBatchResults {
+    /// An empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Clears all per-probe lists, keeping their allocations.
+    pub fn reset(&mut self) {
+        for list in &mut self.lists {
+            list.clear();
         }
-        QueryStats {
-            elapsed_s: start.elapsed().as_secs_f64(),
-            results,
-            counts: stats::snapshot().since(&before),
+        self.used = 0;
+    }
+
+    /// Number of probes that have produced (possibly empty) result lists.
+    pub fn len(&self) -> usize {
+        self.used
+    }
+
+    /// True when no probe has been announced yet.
+    pub fn is_empty(&self) -> bool {
+        self.used == 0
+    }
+
+    /// Results of probe `qi`, nearest first.
+    pub fn query_results(&self, qi: usize) -> &[(ElementId, f32)] {
+        &self.lists[qi]
+    }
+
+    /// Iterates the per-probe result lists in batch order.
+    pub fn iter(&self) -> impl Iterator<Item = &[(ElementId, f32)]> {
+        self.lists[..self.used].iter().map(Vec::as_slice)
+    }
+
+    /// Total results across all probes.
+    pub fn total(&self) -> usize {
+        self.lists[..self.used].iter().map(Vec::len).sum()
+    }
+}
+
+impl KnnSink for KnnBatchResults {
+    fn begin_query(&mut self, qi: u32) {
+        let qi = qi as usize;
+        while self.used <= qi {
+            if self.used == self.lists.len() {
+                self.lists.push(Vec::new());
+            }
+            self.lists[self.used].clear();
+            self.used += 1;
         }
+    }
+
+    #[inline]
+    fn push(&mut self, id: ElementId, dist: f32) {
+        if self.used == 0 {
+            // Driven directly by a single-probe `knn_into` (which never
+            // announces probes): results belong to probe 0.
+            self.begin_query(0);
+        }
+        self.lists[self.used - 1].push((id, dist));
     }
 }
 

@@ -1,0 +1,632 @@
+//! Region-sharded batch execution on top of [`QueryEngine`].
+//!
+//! The engine is the natural seam for scaling out: everything below it
+//! (index plans, sinks, scratch) already treats a batch as the unit of
+//! work, so a shard layer only has to decide *which* shard executes *which*
+//! queries and how per-shard emissions merge back into one sink.
+//!
+//! [`ShardedEngine`] realises that:
+//!
+//! * **Partitioning** — a [`ShardRouter`] splits the dataset envelope into
+//!   K equal slabs along its longest axis. Every element is **replicated**
+//!   into each shard whose region its bounding box overlaps (elements whose
+//!   bodies straddle a boundary land in several shards), so a query only
+//!   ever needs the shards its box overlaps.
+//! * **Per-shard execution** — each shard owns a compact clone of its
+//!   elements (re-identified with dense local ids so any index type,
+//!   including dataset-dependent structures like the linear scan, works
+//!   unchanged), the index built over them, and its own [`QueryEngine`].
+//!   Shard batches run via the index's ordinary `range_batch` /
+//!   `knn_batch_into` plans; with `SIMSPATIAL_THREADS > 1` the shards
+//!   execute on worker threads via `simspatial_geom::parallel`.
+//! * **Merging** — a sequential merge pass translates local ids back to
+//!   global ids and streams into the caller's sink in batch order. Range
+//!   hits of boundary-straddling (replicated) elements are deduplicated
+//!   with the generation-stamped visited table; per-shard kNN top-k lists
+//!   are merged under the global ascending `(distance, id)` order, so the
+//!   result is **byte-identical** to running the same exact index unsharded
+//!   (approximate structures like LSH hash differently per shard and are
+//!   exempt from that guarantee).
+//! * **Accounting** — per-shard [`QueryStats`] predicate-counter deltas are
+//!   summed (they are captured on the executing thread, so the totals are
+//!   correct under threading); elapsed time is the overall wall clock and
+//!   `results` counts post-merge (deduplicated) emissions.
+
+use crate::engine::{BatchResults, KnnBatchResults, QueryEngine};
+use crate::traits::{KnnIndex, KnnSink, QueryStats, RangeSink, SpatialIndex};
+use simspatial_geom::{parallel, stats, Aabb, Element, ElementId, Point3, QueryScratch};
+use std::ops::Range;
+use std::time::Instant;
+
+/// Uniform region split of a dataset envelope into K slabs along its
+/// longest axis — the routing function shared by element placement and
+/// query fan-out.
+#[derive(Debug, Clone)]
+pub struct ShardRouter {
+    bounds: Aabb,
+    axis: usize,
+    shards: usize,
+    width: f32,
+}
+
+impl ShardRouter {
+    /// A router over `bounds` with `shards` equal slabs along the longest
+    /// axis of `bounds`.
+    pub fn new(bounds: Aabb, shards: usize) -> Self {
+        assert!(shards >= 1, "need at least one shard");
+        let axis = if bounds.is_empty() {
+            0
+        } else {
+            bounds.longest_axis()
+        };
+        let width = if bounds.is_empty() {
+            0.0
+        } else {
+            bounds.extent().axis(axis) / shards as f32
+        };
+        Self {
+            bounds,
+            axis,
+            shards,
+            width,
+        }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The split axis (0 = x, 1 = y, 2 = z).
+    pub fn axis(&self) -> usize {
+        self.axis
+    }
+
+    /// The region of shard `i`: the envelope restricted to slab `i` along
+    /// the split axis.
+    pub fn region(&self, i: usize) -> Aabb {
+        assert!(i < self.shards);
+        if self.bounds.is_empty() || self.width <= 0.0 {
+            return self.bounds;
+        }
+        let lo = self.bounds.min.axis(self.axis) + i as f32 * self.width;
+        let hi = if i + 1 == self.shards {
+            self.bounds.max.axis(self.axis)
+        } else {
+            lo + self.width
+        };
+        let mut region = self.bounds;
+        *region.min.axis_mut(self.axis) = lo;
+        *region.max.axis_mut(self.axis) = hi;
+        region
+    }
+
+    /// The contiguous range of shards whose regions a box overlaps. Boxes
+    /// outside the envelope clamp to the nearest slab, so routing is total;
+    /// a degenerate (zero-width) split routes everything everywhere.
+    pub fn route(&self, b: &Aabb) -> Range<usize> {
+        if self.width <= 0.0 || b.is_empty() {
+            return 0..self.shards;
+        }
+        let lo = self.bounds.min.axis(self.axis);
+        let slab = |v: f32| -> usize {
+            (((v - lo) / self.width).floor() as isize).clamp(0, self.shards as isize - 1) as usize
+        };
+        let first = slab(b.min.axis(self.axis));
+        let last = slab(b.max.axis(self.axis));
+        first..last + 1
+    }
+
+    /// The home shard of a probe point: the slab its (clamped) coordinate
+    /// falls in — where a kNN search is most likely to find its k nearest.
+    pub fn home(&self, p: &Point3) -> usize {
+        self.route(&Aabb::from_point(*p)).start
+    }
+}
+
+/// One shard: a compact re-identified clone of its elements, the index
+/// built over them, a private [`QueryEngine`], and the staging buffers the
+/// batch paths reuse across calls.
+struct Shard<I> {
+    region: Aabb,
+    /// Local elements, re-identified with dense ids `0..n`.
+    data: Vec<Element>,
+    /// Local id → global id.
+    global: Vec<ElementId>,
+    index: I,
+    engine: QueryEngine,
+    /// Global query index per routed query of the current batch (ascending).
+    routed: Vec<u32>,
+    /// The routed query boxes, parallel to `routed`.
+    queries: Vec<Aabb>,
+    /// Merge cursor into `routed`.
+    cursor: usize,
+    results: BatchResults,
+    /// kNN phase-2 staging: global probe index / point per routed probe,
+    /// and the merge cursor (phase 1 reuses `routed`/`points`/`cursor`).
+    routed2: Vec<u32>,
+    points2: Vec<Point3>,
+    cursor2: usize,
+    /// Routed probe points, parallel to `routed` (kNN phase 1).
+    points: Vec<Point3>,
+    knn: KnnBatchResults,
+    knn2: KnnBatchResults,
+    stats: QueryStats,
+}
+
+/// A region-sharded query engine: K shards, each owning a [`QueryEngine`]
+/// and its own index over its slice of the dataset, behind the same sink
+/// contracts as a single engine. See the module docs for the architecture.
+///
+/// ```
+/// use simspatial_datagen::ElementSoupBuilder;
+/// use simspatial_geom::{Aabb, Point3};
+/// use simspatial_index::engine::sharded::ShardedEngine;
+/// use simspatial_index::{BatchResults, GridConfig, UniformGrid};
+///
+/// let data = ElementSoupBuilder::new().count(2000).seed(9).build();
+/// let mut sharded =
+///     ShardedEngine::build(data.elements(), 4, |part| UniformGrid::build(part, GridConfig::auto(part)));
+/// let queries = vec![Aabb::new(Point3::new(10.0, 10.0, 10.0), Point3::new(40.0, 40.0, 40.0))];
+/// let mut results = BatchResults::new();
+/// let stats = sharded.range_collect(&queries, &mut results);
+/// assert_eq!(stats.results as usize, results.total());
+/// ```
+pub struct ShardedEngine<I> {
+    router: ShardRouter,
+    shards: Vec<Shard<I>>,
+    /// Upper bound on global ids (sizes the merge-time dedupe table).
+    id_bound: usize,
+    /// Merge-phase scratch: the visited table dedupes replicated range
+    /// hits; `knn_queue` stages kNN merge candidates.
+    scratch: QueryScratch,
+}
+
+impl<I> ShardedEngine<I> {
+    /// Partitions `data` into `shards` region shards and builds one index
+    /// per shard with `build` (called with the shard's re-identified local
+    /// elements). Replicates boundary-straddling elements into every shard
+    /// their bounding box overlaps.
+    pub fn build(data: &[Element], shards: usize, build: impl Fn(&[Element]) -> I) -> Self {
+        let bounds = Aabb::union_all(data.iter().map(Element::aabb));
+        let router = ShardRouter::new(bounds, shards);
+        let mut parts: Vec<Vec<Element>> = (0..shards).map(|_| Vec::new()).collect();
+        let mut globals: Vec<Vec<ElementId>> = (0..shards).map(|_| Vec::new()).collect();
+        let mut id_bound = 0usize;
+        for e in data {
+            id_bound = id_bound.max(e.id as usize + 1);
+            for s in router.route(&e.aabb()) {
+                let local = parts[s].len() as ElementId;
+                parts[s].push(Element::new(local, e.shape));
+                globals[s].push(e.id);
+            }
+        }
+        let shards = parts
+            .into_iter()
+            .zip(globals)
+            .enumerate()
+            .map(|(i, (part, global))| Shard {
+                region: router.region(i),
+                index: build(&part),
+                data: part,
+                global,
+                engine: QueryEngine::new(),
+                routed: Vec::new(),
+                queries: Vec::new(),
+                cursor: 0,
+                results: BatchResults::new(),
+                routed2: Vec::new(),
+                points2: Vec::new(),
+                cursor2: 0,
+                points: Vec::new(),
+                knn: KnnBatchResults::new(),
+                knn2: KnnBatchResults::new(),
+                stats: QueryStats::default(),
+            })
+            .collect();
+        Self {
+            router,
+            shards,
+            id_bound,
+            scratch: QueryScratch::default(),
+        }
+    }
+
+    /// The routing function in force.
+    pub fn router(&self) -> &ShardRouter {
+        &self.router
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Elements stored per shard (replicas counted once per shard they
+    /// land in — diagnostics for the replication factor).
+    pub fn shard_sizes(&self) -> Vec<usize> {
+        self.shards.iter().map(|s| s.data.len()).collect()
+    }
+
+    /// The routing region of shard `i`.
+    pub fn shard_region(&self, i: usize) -> Aabb {
+        self.shards[i].region
+    }
+}
+
+/// Runs `f` over every shard — on worker threads (one chunk per shard)
+/// when the parallel helpers have threads to spend, inline otherwise.
+fn run_shards<I: Send>(shards: &mut [Shard<I>], f: impl Fn(&mut Shard<I>) + Sync) {
+    if parallel::num_threads() <= 1 || shards.len() <= 1 {
+        for shard in shards {
+            f(shard);
+        }
+        return;
+    }
+    let cuts: Vec<usize> = (1..shards.len()).collect();
+    parallel::par_for_each_slice(parallel::split_at_many(shards, &cuts), |chunk| {
+        for shard in chunk.iter_mut() {
+            f(shard);
+        }
+    });
+}
+
+impl<I: SpatialIndex> ShardedEngine<I> {
+    /// Total structure bytes across the shard indexes (replication makes
+    /// this larger than an unsharded index over the same data).
+    pub fn memory_bytes(&self) -> usize {
+        self.shards.iter().map(|s| s.index.memory_bytes()).sum()
+    }
+}
+
+impl<I: SpatialIndex + Send> ShardedEngine<I> {
+    /// Runs a range batch across the shards: each query fans out to the
+    /// shards its box overlaps, every shard executes its sub-batch through
+    /// its own engine (threaded when `SIMSPATIAL_THREADS > 1`), and the
+    /// merge pass streams deduplicated global ids into `sink` grouped by
+    /// query in batch order. Returns the aggregated accounting.
+    pub fn range_batch(&mut self, queries: &[Aabb], sink: &mut dyn RangeSink) -> QueryStats {
+        let start = Instant::now();
+        for shard in &mut self.shards {
+            shard.routed.clear();
+            shard.queries.clear();
+        }
+        for (qi, q) in queries.iter().enumerate() {
+            for s in self.router.route(q) {
+                self.shards[s].routed.push(qi as u32);
+                self.shards[s].queries.push(*q);
+            }
+        }
+        run_shards(&mut self.shards, |shard| {
+            shard.stats = shard.engine.range_collect(
+                &shard.index,
+                &shard.data,
+                &shard.queries,
+                &mut shard.results,
+            );
+        });
+        // Merge: per query in batch order, translate local → global ids and
+        // drop replicas already emitted by an earlier shard.
+        let mut counts = stats::PredicateCounts::default();
+        for shard in &mut self.shards {
+            shard.cursor = 0;
+            counts.add(&shard.stats.counts);
+        }
+        let mut results = 0u64;
+        for qi in 0..queries.len() {
+            sink.begin_query(qi as u32);
+            self.scratch.visited.begin(self.id_bound);
+            for shard in &mut self.shards {
+                if shard.cursor < shard.routed.len() && shard.routed[shard.cursor] == qi as u32 {
+                    for &local in shard.results.query_results(shard.cursor) {
+                        let global = shard.global[local as usize];
+                        if self.scratch.visited.mark(global) {
+                            sink.push(global);
+                            results += 1;
+                        }
+                    }
+                    shard.cursor += 1;
+                }
+            }
+        }
+        QueryStats {
+            elapsed_s: start.elapsed().as_secs_f64(),
+            results,
+            counts,
+        }
+    }
+
+    /// Runs the batch and collects per-query result lists into `out`
+    /// (reset first, allocations kept).
+    pub fn range_collect(&mut self, queries: &[Aabb], out: &mut BatchResults) -> QueryStats {
+        out.reset();
+        self.range_batch(queries, out)
+    }
+}
+
+impl<I: KnnIndex + Send> ShardedEngine<I> {
+    /// Runs a kNN batch across the shards in **two bounded phases**, so far
+    /// shards never pay an unbounded search:
+    ///
+    /// 1. Every probe executes on its *home* shard (the slab its point
+    ///    falls in), yielding a candidate k-th-best distance per probe.
+    /// 2. The probe then fans out only to shards whose region `MINDIST`
+    ///    can still beat (or tie) that bound — with replication-by-bbox,
+    ///    any element within distance `d` of the probe lives in a shard
+    ///    whose region `MINDIST ≤ d`, so the bounded fan-out is exact.
+    ///
+    /// Both phases run shard-major through each shard's engine (threaded
+    /// when `SIMSPATIAL_THREADS > 1`). The merge pass unions per-shard
+    /// best-k lists under the global ascending `(distance, id)` order —
+    /// dropping replicated boundary elements, which surface from several
+    /// shards at the same distance — and emits the `k` best per probe.
+    pub fn knn_batch_into(
+        &mut self,
+        points: &[Point3],
+        k: usize,
+        sink: &mut dyn KnnSink,
+    ) -> QueryStats {
+        let start = Instant::now();
+        let Self {
+            router,
+            shards,
+            id_bound,
+            scratch,
+        } = self;
+        // Phase 1: each probe on its home shard.
+        for shard in shards.iter_mut() {
+            shard.routed.clear();
+            shard.points.clear();
+        }
+        for (qi, p) in points.iter().enumerate() {
+            let home = router.home(p);
+            shards[home].routed.push(qi as u32);
+            shards[home].points.push(*p);
+        }
+        run_shards(shards, |shard| {
+            shard.stats = shard.engine.knn_collect(
+                &shard.index,
+                &shard.data,
+                &shard.points,
+                k,
+                &mut shard.knn,
+            );
+        });
+        // Per-probe pruning bound: the home shard's k-th best distance
+        // (+∞ when the home shard held fewer than k elements).
+        let bounds = &mut scratch.dists;
+        bounds.clear();
+        bounds.resize(points.len(), f32::INFINITY);
+        for shard in shards.iter() {
+            for (j, &qi) in shard.routed.iter().enumerate() {
+                let list = shard.knn.query_results(j);
+                if k > 0 && list.len() >= k {
+                    bounds[qi as usize] = list[list.len() - 1].1;
+                }
+            }
+        }
+        // Phase 2: bounded fan-out to the shards that can still improve.
+        for shard in shards.iter_mut() {
+            shard.routed2.clear();
+            shard.points2.clear();
+        }
+        for (qi, p) in points.iter().enumerate() {
+            let home = router.home(p);
+            let b = bounds[qi];
+            for (s, shard) in shards.iter_mut().enumerate() {
+                if s == home {
+                    continue;
+                }
+                // Inclusive bound: a tie at distance b with a smaller id
+                // must still be able to displace the home k-th best.
+                if shard.region.min_distance2(p) <= b * b {
+                    shard.routed2.push(qi as u32);
+                    shard.points2.push(*p);
+                }
+            }
+        }
+        run_shards(shards, |shard| {
+            let phase2 = shard.engine.knn_collect(
+                &shard.index,
+                &shard.data,
+                &shard.points2,
+                k,
+                &mut shard.knn2,
+            );
+            shard.stats.counts.add(&phase2.counts);
+        });
+        // Merge: per probe, union home + fan-out lists under ascending
+        // (distance, global id), dropping replicas, and keep the k best.
+        let mut counts = stats::PredicateCounts::default();
+        for shard in shards.iter_mut() {
+            shard.cursor = 0;
+            shard.cursor2 = 0;
+            counts.add(&shard.stats.counts);
+        }
+        let mut results = 0u64;
+        let merge = &mut scratch.knn_queue;
+        for (qi, _) in points.iter().enumerate() {
+            sink.begin_query(qi as u32);
+            merge.clear();
+            for shard in shards.iter_mut() {
+                if shard.cursor < shard.routed.len() && shard.routed[shard.cursor] == qi as u32 {
+                    for &(local, d) in shard.knn.query_results(shard.cursor) {
+                        merge.push((d, shard.global[local as usize]));
+                    }
+                    shard.cursor += 1;
+                }
+                if shard.cursor2 < shard.routed2.len() && shard.routed2[shard.cursor2] == qi as u32
+                {
+                    for &(local, d) in shard.knn2.query_results(shard.cursor2) {
+                        merge.push((d, shard.global[local as usize]));
+                    }
+                    shard.cursor2 += 1;
+                }
+            }
+            merge.sort_unstable_by(crate::util::knn_key_cmp);
+            scratch.visited.begin(*id_bound);
+            let mut taken = 0usize;
+            for &(d, global) in merge.iter() {
+                if taken == k {
+                    break;
+                }
+                if scratch.visited.mark(global) {
+                    sink.push(global, d);
+                    taken += 1;
+                    results += 1;
+                }
+            }
+        }
+        QueryStats {
+            elapsed_s: start.elapsed().as_secs_f64(),
+            results,
+            counts,
+        }
+    }
+
+    /// Runs the kNN batch and collects per-probe result lists into `out`
+    /// (reset first, allocations kept).
+    pub fn knn_collect(
+        &mut self,
+        points: &[Point3],
+        k: usize,
+        out: &mut KnnBatchResults,
+    ) -> QueryStats {
+        out.reset();
+        self.knn_batch_into(points, k, out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GridConfig, LinearScan, UniformGrid};
+    use simspatial_geom::{Shape, Sphere};
+
+    fn soup(n: u32) -> Vec<Element> {
+        (0..n)
+            .map(|i| {
+                let h = i.wrapping_mul(2654435761);
+                let x = (h % 997) as f32 / 10.0;
+                let y = ((h >> 10) % 997) as f32 / 10.0;
+                let z = ((h >> 20) % 997) as f32 / 10.0;
+                let r = if i % 23 == 0 { 4.0 } else { 0.4 };
+                Element::new(i, Shape::Sphere(Sphere::new(Point3::new(x, y, z), r)))
+            })
+            .collect()
+    }
+
+    fn queries() -> Vec<Aabb> {
+        (0..10)
+            .map(|i| {
+                let c = Point3::new((i * 9) as f32, (i * 7) as f32, (i * 5) as f32);
+                Aabb::new(c, Point3::new(c.x + 15.0, c.y + 11.0, c.z + 9.0))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn router_covers_and_clamps() {
+        let bounds = Aabb::new(Point3::ORIGIN, Point3::new(100.0, 10.0, 10.0));
+        let router = ShardRouter::new(bounds, 4);
+        assert_eq!(router.axis(), 0);
+        // Regions tile the envelope.
+        for i in 0..4 {
+            assert!(!router.region(i).is_empty());
+        }
+        assert_eq!(router.region(0).min.x, 0.0);
+        assert_eq!(router.region(3).max.x, 100.0);
+        // A box inside one slab routes to exactly that slab.
+        let b = Aabb::new(Point3::new(30.0, 1.0, 1.0), Point3::new(40.0, 2.0, 2.0));
+        assert_eq!(router.route(&b), 1..2);
+        // A straddling box routes to both.
+        let b = Aabb::new(Point3::new(20.0, 1.0, 1.0), Point3::new(30.0, 2.0, 2.0));
+        assert_eq!(router.route(&b), 0..2);
+        // Out-of-envelope boxes clamp to the nearest slab.
+        let far = Aabb::new(Point3::new(-50.0, 0.0, 0.0), Point3::new(-40.0, 1.0, 1.0));
+        assert_eq!(router.route(&far), 0..1);
+    }
+
+    #[test]
+    fn replication_covers_every_element() {
+        let data = soup(500);
+        let sharded = ShardedEngine::build(&data, 4, LinearScan::build);
+        assert_eq!(sharded.shard_count(), 4);
+        let total: usize = sharded.shard_sizes().iter().sum();
+        assert!(total >= data.len(), "every element must land somewhere");
+        // Every global id appears in at least one shard.
+        let mut seen = vec![false; data.len()];
+        for shard in &sharded.shards {
+            for &g in &shard.global {
+                seen[g as usize] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn sharded_range_matches_single_engine() {
+        let data = soup(2000);
+        for k in [1usize, 2, 4] {
+            let mut sharded = ShardedEngine::build(&data, k, |part| {
+                UniformGrid::build(part, GridConfig::auto(part))
+            });
+            let single = UniformGrid::build(&data, GridConfig::auto(&data));
+            let mut engine = QueryEngine::new();
+            let qs = queries();
+            let mut want = BatchResults::new();
+            engine.range_collect(&single, &data, &qs, &mut want);
+            let mut got = BatchResults::new();
+            let stats = sharded.range_collect(&qs, &mut got);
+            assert_eq!(got.len(), qs.len());
+            assert_eq!(stats.results as usize, got.total());
+            for qi in 0..qs.len() {
+                let mut a = got.query_results(qi).to_vec();
+                let mut b = want.query_results(qi).to_vec();
+                a.sort_unstable();
+                b.sort_unstable();
+                assert_eq!(a, b, "K={k} query {qi}");
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_knn_matches_single_engine() {
+        let data = soup(1500);
+        for k_shards in [1usize, 2, 4] {
+            let mut sharded = ShardedEngine::build(&data, k_shards, |part| {
+                UniformGrid::build(part, GridConfig::auto(part))
+            });
+            let single = UniformGrid::build(&data, GridConfig::auto(&data));
+            let mut engine = QueryEngine::new();
+            let points: Vec<Point3> = (0..8)
+                .map(|i| Point3::new((i * 11) as f32, (i * 9) as f32, (i * 13) as f32))
+                .collect();
+            let mut want = KnnBatchResults::new();
+            engine.knn_collect(&single, &data, &points, 6, &mut want);
+            let mut got = KnnBatchResults::new();
+            sharded.knn_collect(&points, 6, &mut got);
+            for qi in 0..points.len() {
+                assert_eq!(
+                    got.query_results(qi),
+                    want.query_results(qi),
+                    "K={k_shards} probe {qi}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_dataset_and_empty_batch() {
+        let mut sharded = ShardedEngine::build(&[], 3, LinearScan::build);
+        let mut out = BatchResults::new();
+        let stats = sharded.range_collect(&queries(), &mut out);
+        assert_eq!(stats.results, 0);
+        let mut knn = KnnBatchResults::new();
+        let s = sharded.knn_collect(&[Point3::ORIGIN], 5, &mut knn);
+        assert_eq!(s.results, 0);
+        assert_eq!(knn.query_results(0), &[]);
+        let s = sharded.range_batch(&[], &mut out);
+        assert_eq!(s.results, 0);
+    }
+}

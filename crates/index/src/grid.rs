@@ -33,9 +33,9 @@
 //! [`simspatial_geom::QueryScratch`], so the repeat query path is
 //! allocation-free (no per-query `HashSet`, no candidate vector churn).
 
-use crate::traits::{KnnIndex, RangeSink, SpatialIndex};
-use crate::util::OrderedF32;
-use simspatial_geom::scratch::{with_scratch, QueryScratch};
+use crate::traits::{KnnIndex, KnnSink, RangeSink, SpatialIndex};
+use crate::util::KnnHeap;
+use simspatial_geom::scratch::{with_scratch, QueryScratch, VisitedTable};
 use simspatial_geom::{stats, Aabb, Element, ElementId, Point3, SoaAabbs};
 
 /// Placement policy for volumetric elements.
@@ -577,6 +577,10 @@ impl UniformGrid {
     /// for differential tests and the before/after kernel benchmark: dump
     /// raw cell candidate lists (sort + dedup under replication), then run
     /// the scalar filter-and-refine predicate per candidate against `data`.
+    ///
+    /// Compiled only for tests and under the `reference` feature, so release
+    /// binaries do not carry the dead oracle code.
+    #[cfg(any(test, feature = "reference"))]
     pub fn range_scalar_reference(&self, data: &[Element], query: &Aabb) -> Vec<ElementId> {
         let probe = match self.placement {
             GridPlacement::Center => query.inflate(self.max_half_extent),
@@ -642,112 +646,142 @@ impl SpatialIndex for UniformGrid {
     }
 }
 
-impl KnnIndex for UniformGrid {
-    /// Expanding-shell kNN with **batched candidate scoring**: each visited
-    /// cell slab first runs the batched `MINDIST` kernel
+impl UniformGrid {
+    /// The expanding-shell kNN search core, filling a caller-owned best-k
+    /// heap: each visited cell slab first runs the batched `MINDIST` kernel
     /// ([`SoaAabbs::min_dist2_into`]) over its stored boxes; a candidate
     /// pays the exact element-surface distance only when its box lower
     /// bound can still beat the current k-th best. Rings expand outward in
     /// Chebyshev shells and stop once no unvisited ring can improve.
-    fn knn(&self, data: &[Element], p: &Point3, k: usize) -> Vec<(ElementId, f32)> {
-        if k == 0 || self.len == 0 {
-            return Vec::new();
+    ///
+    /// Shared with [`crate::MultiGrid`], which runs every level's search
+    /// against **one** heap so earlier levels' k-th best prunes later
+    /// levels.
+    pub(crate) fn knn_core(
+        &self,
+        data: &[Element],
+        p: &Point3,
+        dists: &mut Vec<f32>,
+        visited: &mut VisitedTable,
+        best: &mut KnnHeap,
+    ) {
+        if self.len == 0 {
+            return;
         }
         let center = self.clamp_coord(p);
         let max_ring = self.dims[0].max(self.dims[1]).max(self.dims[2]);
-        // (distance, id) max-heap of the current best k. Under replication
-        // an element appears in several cells; the generation-stamped
-        // visited table keeps it from being scored (and returned) twice.
-        let mut best: std::collections::BinaryHeap<(OrderedF32, ElementId)> =
-            std::collections::BinaryHeap::new();
+        // Under replication an element appears in several cells; the
+        // generation-stamped visited table keeps it from being scored (and
+        // returned) twice.
+        let dedupe = self.placement == GridPlacement::Replicate;
+        if dedupe {
+            visited.begin(self.id_bound);
+        }
         let mut seen = 0usize;
-        with_scratch(|scratch| {
-            let dedupe = self.placement == GridPlacement::Replicate;
-            if dedupe {
-                scratch.visited.begin(self.id_bound);
-            }
-            let QueryScratch { dists, visited, .. } = scratch;
-            for ring in 0..=max_ring {
-                // Termination: the closest possible element in ring r is at
-                // least (r-1)·cell − max_half_extent away (the point may sit
-                // at its cell's edge, and an element's surface may extend
-                // beyond its centre's cell).
-                if best.len() >= k {
-                    let kth = best.peek().unwrap().0 .0;
-                    let ring_min = (ring as f32 - 1.0) * self.cell - self.max_half_extent;
-                    if ring_min > kth {
-                        break;
-                    }
+        for ring in 0..=max_ring {
+            // Termination: the closest possible element in ring r is at
+            // least (r-1)·cell − max_half_extent away (the point may sit
+            // at its cell's edge, and an element's surface may extend
+            // beyond its centre's cell).
+            if best.is_full() {
+                let ring_min = (ring as f32 - 1.0) * self.cell - self.max_half_extent;
+                if ring_min > best.worst() {
+                    break;
                 }
-                let mut any_cell = false;
-                self.for_ring(center, ring, |cell_idx| {
-                    any_cell = true;
-                    let slab = &self.cells[cell_idx];
-                    if slab.is_empty() {
-                        return;
+            }
+            let mut any_cell = false;
+            self.for_ring(center, ring, |cell_idx| {
+                any_cell = true;
+                let slab = &self.cells[cell_idx];
+                if slab.is_empty() {
+                    return;
+                }
+                // Batched lower bounds pay off only once there is a
+                // k-th best to prune against and the slab is big enough
+                // to amortise the kernel pass; otherwise score direct.
+                let bounded = best.is_full() && slab.len() >= MIN_KNN_BATCH;
+                if bounded {
+                    slab.min_dist2_into(p, dists);
+                    stats::record_lower_bound_evals(slab.len() as u64);
+                }
+                for (i, &id) in slab.ids().iter().enumerate() {
+                    if dedupe && !visited.mark(id) {
+                        continue;
                     }
-                    // Batched lower bounds pay off only once there is a
-                    // k-th best to prune against and the slab is big enough
-                    // to amortise the kernel pass; otherwise score direct.
-                    let bounded = best.len() >= k && slab.len() >= MIN_KNN_BATCH;
-                    if bounded {
-                        slab.min_dist2_into(p, dists);
-                    }
-                    for (i, &id) in slab.ids().iter().enumerate() {
-                        if dedupe && !visited.mark(id) {
+                    seen += 1;
+                    if bounded && best.is_full() {
+                        let kth = best.worst();
+                        // The stored box contains the element surface,
+                        // so lb ≤ exact; a bound beyond the k-th best
+                        // cannot improve the result.
+                        if dists[i] > kth * kth {
                             continue;
                         }
-                        seen += 1;
-                        if bounded && best.len() >= k {
-                            let kth = best.peek().unwrap().0 .0;
-                            // The stored box contains the element surface,
-                            // so lb ≤ exact; a bound beyond the k-th best
-                            // cannot improve the result.
-                            if dists[i] > kth * kth {
-                                continue;
-                            }
-                        }
-                        let d =
-                            simspatial_geom::predicates::element_distance(&data[id as usize], p);
-                        if best.len() < k {
-                            best.push((OrderedF32(d), id));
-                        } else if d < best.peek().unwrap().0 .0 {
-                            best.pop();
-                            best.push((OrderedF32(d), id));
-                        }
                     }
-                });
-                if !any_cell && ring > 0 {
-                    // Ring fully outside the grid: everything farther is too.
-                    if best.len() >= k {
-                        break;
-                    }
-                    // Keep expanding only while rings may still clip the grid.
-                    let beyond = ring > self.dims[0] + self.dims[1] + self.dims[2];
-                    if beyond {
-                        break;
-                    }
+                    let d = simspatial_geom::predicates::element_distance(&data[id as usize], p);
+                    best.consider(id, d);
+                }
+            });
+            if !any_cell && ring > 0 {
+                // Ring fully outside the grid: everything farther is too.
+                if best.is_full() {
+                    break;
+                }
+                // Keep expanding only while rings may still clip the grid.
+                let beyond = ring > self.dims[0] + self.dims[1] + self.dims[2];
+                if beyond {
+                    break;
                 }
             }
-        });
+        }
         stats::record_elements_scanned(seen as u64);
-        let mut out: Vec<(ElementId, f32)> = best.into_iter().map(|(d, id)| (id, d.0)).collect();
-        out.sort_unstable_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
-        out
     }
 }
 
+impl KnnIndex for UniformGrid {
+    /// Expanding-shell kNN with batched candidate scoring (see
+    /// [`UniformGrid::knn_core`]); the best-k heap, batched distances and
+    /// replication-dedupe table all live in the caller's scratch, so repeat
+    /// probes allocate nothing.
+    fn knn_into(
+        &self,
+        data: &[Element],
+        p: &Point3,
+        k: usize,
+        scratch: &mut QueryScratch,
+        sink: &mut dyn KnnSink,
+    ) {
+        if k == 0 || self.len == 0 {
+            return;
+        }
+        let QueryScratch {
+            dists,
+            visited,
+            knn_best,
+            ..
+        } = scratch;
+        let mut best = KnnHeap::new(knn_best, k);
+        self.knn_core(data, p, dists, visited, &mut best);
+        best.emit(sink);
+    }
+}
+
+#[cfg(any(test, feature = "reference"))]
 impl UniformGrid {
     /// The seed implementation's expanding-shell kNN, kept as the reference
     /// for differential tests and the `query_engine` bench: every candidate
     /// in every visited cell is scored with the exact element-surface
-    /// distance, one at a time, with no batched lower-bound pass.
+    /// distance, one at a time, with no batched lower-bound pass. Selects
+    /// under the same ascending `(distance, id)` order as the sink path.
+    ///
+    /// Compiled only for tests and under the `reference` feature.
     pub fn knn_scalar_reference(
         &self,
         data: &[Element],
         p: &Point3,
         k: usize,
     ) -> Vec<(ElementId, f32)> {
+        use crate::util::OrderedF32;
         if k == 0 || self.len == 0 {
             return Vec::new();
         }
@@ -780,11 +814,12 @@ impl UniformGrid {
                         seen += 1;
                         let d =
                             simspatial_geom::predicates::element_distance(&data[id as usize], p);
+                        let key = (OrderedF32(d), id);
                         if best.len() < k {
-                            best.push((OrderedF32(d), id));
-                        } else if d < best.peek().unwrap().0 .0 {
+                            best.push(key);
+                        } else if key < *best.peek().unwrap() {
                             best.pop();
-                            best.push((OrderedF32(d), id));
+                            best.push(key);
                         }
                     }
                 });

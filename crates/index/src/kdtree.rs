@@ -8,8 +8,8 @@
 //! extra candidate tests when elements are large (exactly the trade-off the
 //! paper describes).
 
-use crate::traits::{KnnIndex, RangeSink, SpatialIndex};
-use crate::util::OrderedF32;
+use crate::traits::{KnnIndex, KnnSink, RangeSink, SpatialIndex};
+use crate::util::KnnHeap;
 use simspatial_geom::{predicates, stats, Aabb, Element, ElementId, Point3, QueryScratch};
 
 const NIL: u32 = u32::MAX;
@@ -119,25 +119,13 @@ impl KdTree {
         }
     }
 
-    fn knn_rec(
-        &self,
-        node: u32,
-        p: &Point3,
-        k: usize,
-        data: &[Element],
-        best: &mut std::collections::BinaryHeap<(OrderedF32, ElementId)>,
-    ) {
+    fn knn_rec(&self, node: u32, p: &Point3, data: &[Element], best: &mut KnnHeap) {
         if node == NIL {
             return;
         }
         let n = &self.nodes[node as usize];
         let d = predicates::element_distance(&data[n.id as usize], p);
-        if best.len() < k {
-            best.push((OrderedF32(d), n.id));
-        } else if d < best.peek().unwrap().0 .0 {
-            best.pop();
-            best.push((OrderedF32(d), n.id));
-        }
+        best.consider(n.id, d);
         let axis = n.axis as usize;
         let delta = p.axis(axis) - n.point.axis(axis);
         let (near, far) = if delta <= 0.0 {
@@ -145,16 +133,11 @@ impl KdTree {
         } else {
             (n.right, n.left)
         };
-        self.knn_rec(near, p, k, data, best);
+        self.knn_rec(near, p, data, best);
         // The far half-space can contain a closer element surface when the
         // plane distance (minus the surface slack) beats the k-th best.
-        let kth = if best.len() < k {
-            f32::INFINITY
-        } else {
-            best.peek().unwrap().0 .0
-        };
-        if stats::tree_test(|| delta.abs() - self.max_half_extent <= kth) {
-            self.knn_rec(far, p, k, data, best);
+        if stats::tree_test(|| delta.abs() - self.max_half_extent <= best.worst()) {
+            self.knn_rec(far, p, data, best);
         }
     }
 }
@@ -185,15 +168,20 @@ impl SpatialIndex for KdTree {
 }
 
 impl KnnIndex for KdTree {
-    fn knn(&self, data: &[Element], p: &Point3, k: usize) -> Vec<(ElementId, f32)> {
-        if k == 0 {
-            return Vec::new();
+    fn knn_into(
+        &self,
+        data: &[Element],
+        p: &Point3,
+        k: usize,
+        scratch: &mut QueryScratch,
+        sink: &mut dyn KnnSink,
+    ) {
+        if k == 0 || self.nodes.is_empty() {
+            return;
         }
-        let mut best = std::collections::BinaryHeap::new();
-        self.knn_rec(self.root, p, k, data, &mut best);
-        let mut out: Vec<(ElementId, f32)> = best.into_iter().map(|(d, id)| (id, d.0)).collect();
-        out.sort_unstable_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
-        out
+        let mut best = KnnHeap::new(&mut scratch.knn_best, k);
+        self.knn_rec(self.root, p, data, &mut best);
+        best.emit(sink);
     }
 }
 

@@ -39,36 +39,53 @@
 //! element slice so refinement always sees current geometry — the
 //! index-uses-the-dataset discipline of §4.3.
 //!
-//! ## Architecture: sinks, batches and the query engine
+//! ## Architecture: sinks, batches, the query engine, and shards
 //!
 //! The query layer is **batch-first**: the paper's workloads are batches of
 //! hundreds of range/kNN probes per simulation step, so a batch — not a
 //! single query — is the unit of execution, scheduling and accounting.
-//! Three pieces realise this:
+//! Four pieces realise this:
 //!
-//! 1. **Sinks** ([`RangeSink`]). The required method of [`SpatialIndex`] is
-//!    `range_into(data, query, &mut QueryScratch, &mut dyn RangeSink)`:
-//!    results are *emitted*, not returned. Collecting into vectors
-//!    ([`engine::BatchResults`]), counting ([`engine::CountSink`]), feeding
-//!    a join or streaming to a socket are all sinks; the index plans never
-//!    allocate result storage themselves.
+//! 1. **Sinks** ([`RangeSink`] and [`KnnSink`]). The required methods of
+//!    [`SpatialIndex`] and [`KnnIndex`] are
+//!    `range_into(data, query, &mut QueryScratch, &mut dyn RangeSink)` and
+//!    `knn_into(data, p, k, &mut QueryScratch, &mut dyn KnnSink)`: results
+//!    are *emitted*, not returned. Collecting into vectors
+//!    ([`engine::BatchResults`], [`engine::KnnBatchResults`]), counting
+//!    ([`engine::CountSink`]), feeding a join, merging shards or streaming
+//!    to a socket are all sinks; the index plans never allocate result
+//!    storage themselves. kNN results obey a total order — ascending
+//!    `(distance, id)` — so ties are deterministic and merges are exact.
 //! 2. **Scratch** ([`simspatial_geom::QueryScratch`]). Every transient
 //!    buffer a plan needs — candidate lists from the
 //!    [`simspatial_geom::SoaAabbs`] mask kernels, traversal stacks, the
-//!    generation-stamped visited table, batched kNN distances — is borrowed
-//!    from the caller, so the steady-state batch path performs **zero
-//!    per-query heap allocations** on the grid/R-Tree/FLAT hot paths.
+//!    generation-stamped visited table, batched `MINDIST` lower bounds,
+//!    best-k heaps and best-first queues — is borrowed from the caller, so
+//!    the steady-state batch path performs **zero per-query heap
+//!    allocations** on the grid/R-Tree/FLAT range paths and the
+//!    grid/R-Tree kNN paths.
 //! 3. **The engine** ([`engine::QueryEngine`]). Owns the scratch, drives
-//!    [`SpatialIndex::range_batch`] (which indexes override with genuinely
-//!    batched plans, e.g. the linear scan's one-pass envelope plan),
-//!    centralises wall-clock/result/predicate-counter accounting into
-//!    [`QueryStats`], and can fan a batch across threads via
-//!    `simspatial_geom::parallel` (`SIMSPATIAL_THREADS`-gated).
+//!    [`SpatialIndex::range_batch`] / [`KnnIndex::knn_batch_into`] (which
+//!    indexes override with genuinely batched plans, e.g. the linear
+//!    scan's one-pass envelope plan), centralises
+//!    wall-clock/result/predicate-counter accounting into [`QueryStats`] —
+//!    including the kNN lower-bound vs exact-distance evaluation split —
+//!    and can fan a batch across threads via `simspatial_geom::parallel`
+//!    (`SIMSPATIAL_THREADS`-gated).
+//! 4. **Shards** ([`engine::sharded::ShardedEngine`]). A [`ShardRouter`]
+//!    splits the dataset envelope into K region slabs; each shard owns a
+//!    re-identified clone of its elements (replicated where bounding boxes
+//!    straddle a boundary), its own index and its own engine. Range
+//!    batches fan out to overlapping shards and merge through a
+//!    deduplicating sink; kNN probes run a bounded two-phase fan-out
+//!    (home shard first, then only shards whose region `MINDIST` can still
+//!    improve) and merge per-shard heaps under the `(distance, id)` order
+//!    — byte-identical to unsharded execution for exact indexes. Per-shard
+//!    [`QueryStats`] are aggregated.
 //!
-//! The allocating [`SpatialIndex::range`] remains as a thin compatibility
-//! wrapper over the sink path. Future sharding/async layers schedule
-//! batches against engines; nothing above this crate needs to know how an
-//! individual index traverses its structure.
+//! The allocating [`SpatialIndex::range`] and [`KnnIndex::knn`] remain as
+//! thin compatibility wrappers over the sink paths. Nothing above this
+//! crate needs to know how an individual index traverses its structure.
 
 #![warn(missing_docs)]
 
@@ -86,7 +103,8 @@ mod traits;
 mod util;
 
 pub use crtree::{CrTree, CrTreeConfig};
-pub use engine::{BatchResults, CountSink, QueryEngine};
+pub use engine::sharded::{ShardRouter, ShardedEngine};
+pub use engine::{BatchResults, CountSink, KnnBatchResults, QueryEngine};
 pub use flat::{Flat, FlatConfig};
 pub use grid::{GridConfig, GridPlacement, UniformGrid};
 pub use kdtree::KdTree;
@@ -96,4 +114,4 @@ pub use multigrid::{MultiGrid, MultiGridConfig};
 pub use octree::{Octree, OctreeConfig};
 pub use rtree::disk::DiskRTree;
 pub use rtree::{Curve, RTree, RTreeConfig, SplitStrategy};
-pub use traits::{measure_range, KnnIndex, QueryStats, RangeSink, SpatialIndex};
+pub use traits::{measure_range, KnnIndex, KnnSink, QueryStats, RangeSink, SpatialIndex};

@@ -5,7 +5,8 @@
 //! linear scan over the dataset, may be faster." The scan also serves as
 //! ground truth for every other structure's tests.
 
-use crate::traits::{KnnIndex, RangeSink, SpatialIndex};
+use crate::traits::{KnnIndex, KnnSink, RangeSink, SpatialIndex};
+use crate::util::KnnHeap;
 use simspatial_geom::{predicates, stats, Aabb, Element, ElementId, Point3, QueryScratch};
 
 /// A linear scan over the dataset. Build cost: zero. Update cost: zero (the
@@ -166,24 +167,26 @@ impl SpatialIndex for LinearScan {
 }
 
 impl KnnIndex for LinearScan {
-    fn knn(&self, data: &[Element], p: &Point3, k: usize) -> Vec<(ElementId, f32)> {
+    /// Ground-truth kNN: every element pays the exact surface distance; a
+    /// bounded best-k heap (in `scratch.knn_best`) keeps the `k` smallest by
+    /// `(distance, id)`. O(n log k), allocation-free at steady state.
+    fn knn_into(
+        &self,
+        data: &[Element],
+        p: &Point3,
+        k: usize,
+        scratch: &mut QueryScratch,
+        sink: &mut dyn KnnSink,
+    ) {
         if k == 0 {
-            return Vec::new();
+            return;
         }
         stats::record_elements_scanned(data.len() as u64);
-        let mut dists: Vec<(ElementId, f32)> = data
-            .iter()
-            .map(|e| (e.id, predicates::element_distance(e, p)))
-            .collect();
-        // Partial selection: O(n) average instead of a full sort.
-        let k = k.min(dists.len());
-        if k == 0 {
-            return dists;
+        let mut best = KnnHeap::new(&mut scratch.knn_best, k);
+        for e in data {
+            best.consider(e.id, predicates::element_distance(e, p));
         }
-        dists.select_nth_unstable_by(k - 1, |a, b| a.1.total_cmp(&b.1));
-        dists.truncate(k);
-        dists.sort_unstable_by(|a, b| a.1.total_cmp(&b.1));
-        dists
+        best.emit(sink);
     }
 }
 

@@ -17,10 +17,11 @@
 //! **Approximation contract:** `knn` returns `k` elements that are near but
 //! not guaranteed nearest; recall is a measured quantity (experiment E8).
 
-use crate::traits::KnnIndex;
-use crate::util::OrderedF32;
-use simspatial_geom::scratch::with_scratch;
-use simspatial_geom::{predicates, Aabb, Element, ElementId, Point3, QueryScratch, SoaAabbs, Vec3};
+use crate::traits::{KnnIndex, KnnSink};
+use crate::util::KnnHeap;
+use simspatial_geom::{
+    predicates, stats, Aabb, Element, ElementId, Point3, QueryScratch, SoaAabbs, Vec3,
+};
 use std::collections::HashMap;
 
 /// Configuration of an [`Lsh`] index.
@@ -224,12 +225,16 @@ impl Lsh {
     /// differential tests and the `query_engine` bench: every surfaced
     /// candidate pays the exact element-surface distance; results are the
     /// `k` best by `(distance, id)`.
+    ///
+    /// Compiled only for tests and under the `reference` feature.
+    #[cfg(any(test, feature = "reference"))]
     pub fn knn_scalar_reference(
         &self,
         data: &[Element],
         p: &Point3,
         k: usize,
     ) -> Vec<(ElementId, f32)> {
+        use simspatial_geom::scratch::with_scratch;
         if k == 0 || self.len == 0 {
             return Vec::new();
         }
@@ -257,49 +262,49 @@ impl KnnIndex for Lsh {
     /// gather-addressed [`SoaAabbs::min_dist2_gather_into`] pass computes a
     /// box lower bound per surfaced candidate; the exact element-surface
     /// distance is then paid only by candidates whose bound can still beat
-    /// the current k-th best. Same results as
-    /// [`Lsh::knn_scalar_reference`], fewer exact geometry tests.
-    fn knn(&self, data: &[Element], p: &Point3, k: usize) -> Vec<(ElementId, f32)> {
+    /// the current k-th best. Same results as the seed scoring path
+    /// (`knn_scalar_reference`), fewer exact geometry tests. Candidate
+    /// list, lower bounds and the best-k heap all live in the caller's
+    /// scratch — no allocation per probe.
+    fn knn_into(
+        &self,
+        data: &[Element],
+        p: &Point3,
+        k: usize,
+        scratch: &mut QueryScratch,
+        sink: &mut dyn KnnSink,
+    ) {
         if k == 0 || self.len == 0 {
-            return Vec::new();
+            return;
         }
-        let mut best: std::collections::BinaryHeap<(OrderedF32, ElementId)> =
-            std::collections::BinaryHeap::new();
-        with_scratch(|scratch| {
-            self.candidates_into(p, scratch);
-            if scratch.candidates.len() < k {
-                // Too few candidates surfaced: fall back to scoring
-                // everything (keeps the result total).
-                scratch.candidates.clear();
-                scratch.candidates.extend(0..self.len as ElementId);
+        self.candidates_into(p, scratch);
+        if scratch.candidates.len() < k {
+            // Too few candidates surfaced: fall back to scoring
+            // everything (keeps the result total).
+            scratch.candidates.clear();
+            scratch.candidates.extend(0..self.len as ElementId);
+        }
+        let QueryScratch {
+            candidates,
+            dists,
+            knn_best,
+            ..
+        } = scratch;
+        self.boxes.min_dist2_gather_into(p, candidates, dists);
+        stats::record_lower_bound_evals(candidates.len() as u64);
+        let mut best = KnnHeap::new(knn_best, k);
+        for (i, &id) in candidates.iter().enumerate() {
+            let w = best.worst();
+            // The build-time box contains the element surface, so
+            // lb ≤ exact distance: a bound past the k-th best
+            // cannot enter the result.
+            if best.is_full() && dists[i] > w * w {
+                continue;
             }
-            let QueryScratch {
-                candidates, dists, ..
-            } = scratch;
-            self.boxes.min_dist2_gather_into(p, candidates, dists);
-            for (i, &id) in candidates.iter().enumerate() {
-                if best.len() >= k {
-                    let kth = best.peek().unwrap().0 .0;
-                    // The build-time box contains the element surface, so
-                    // lb ≤ exact distance: a bound past the k-th best
-                    // cannot enter the result.
-                    if dists[i] > kth * kth {
-                        continue;
-                    }
-                }
-                let d = predicates::element_distance(&data[id as usize], p);
-                let key = (OrderedF32(d), id);
-                if best.len() < k {
-                    best.push(key);
-                } else if key < *best.peek().unwrap() {
-                    best.pop();
-                    best.push(key);
-                }
-            }
-        });
-        let mut out: Vec<(ElementId, f32)> = best.into_iter().map(|(d, id)| (id, d.0)).collect();
-        out.sort_unstable_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
-        out
+            let d = predicates::element_distance(&data[id as usize], p);
+            best.consider(id, d);
+        }
+        best.emit(sink);
     }
 }
 

@@ -12,8 +12,9 @@
 //! plain [`UniformGrid`], so there is still no tree to traverse.
 
 use crate::grid::{GridConfig, GridPlacement, UniformGrid};
-use crate::traits::{KnnIndex, RangeSink, SpatialIndex};
-use simspatial_geom::{Aabb, Element, ElementId, Point3, QueryScratch};
+use crate::traits::{KnnIndex, KnnSink, RangeSink, SpatialIndex};
+use crate::util::KnnHeap;
+use simspatial_geom::{Aabb, Element, Point3, QueryScratch};
 
 /// Configuration of a [`MultiGrid`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -123,7 +124,14 @@ impl MultiGrid {
     /// differential tests and the `query_engine` bench: each level runs the
     /// scalar grid path (raw cell dumps, sort + dedup, per-candidate
     /// filter-and-refine) and the per-level vectors are concatenated.
-    pub fn range_seed_reference(&self, data: &[Element], query: &Aabb) -> Vec<ElementId> {
+    ///
+    /// Compiled only for tests and under the `reference` feature.
+    #[cfg(any(test, feature = "reference"))]
+    pub fn range_seed_reference(
+        &self,
+        data: &[Element],
+        query: &Aabb,
+    ) -> Vec<simspatial_geom::ElementId> {
         let mut out = Vec::new();
         for level in &self.levels {
             out.extend(level.range_scalar_reference(data, query));
@@ -163,15 +171,33 @@ impl SpatialIndex for MultiGrid {
 }
 
 impl KnnIndex for MultiGrid {
-    fn knn(&self, data: &[Element], p: &Point3, k: usize) -> Vec<(ElementId, f32)> {
-        // k best per level, merged: correct because levels partition the set.
-        let mut all: Vec<(ElementId, f32)> = Vec::new();
-        for level in &self.levels {
-            all.extend(level.knn(data, p, k));
+    /// Every level's expanding-shell search runs against **one** shared
+    /// best-k heap (correct because levels partition the element set), so
+    /// the k-th best found in earlier levels prunes the ring expansion and
+    /// candidate scoring of later levels — no per-level result vectors, no
+    /// merge pass.
+    fn knn_into(
+        &self,
+        data: &[Element],
+        p: &Point3,
+        k: usize,
+        scratch: &mut QueryScratch,
+        sink: &mut dyn KnnSink,
+    ) {
+        if k == 0 || self.len == 0 {
+            return;
         }
-        all.sort_unstable_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
-        all.truncate(k);
-        all
+        let QueryScratch {
+            dists,
+            visited,
+            knn_best,
+            ..
+        } = scratch;
+        let mut best = KnnHeap::new(knn_best, k);
+        for level in &self.levels {
+            level.knn_core(data, p, dists, visited, &mut best);
+        }
+        best.emit(sink);
     }
 }
 

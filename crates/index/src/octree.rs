@@ -9,13 +9,11 @@
 //! node regions and therefore extra child traversals (the §3.2 criticism,
 //! measurable through the instrumentation).
 
-use crate::traits::{KnnIndex, RangeSink, SpatialIndex};
-use crate::util::OrderedF32;
+use crate::traits::{KnnIndex, KnnSink, RangeSink, SpatialIndex};
+use crate::util::{KnnHeap, MinQueue};
 use simspatial_geom::{
     predicates, stats, Aabb, Element, ElementId, Point3, QueryScratch, SoaAabbs, Vec3,
 };
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 
 const NIL: u32 = u32::MAX;
 
@@ -316,36 +314,64 @@ impl SpatialIndex for Octree {
 }
 
 impl KnnIndex for Octree {
-    fn knn(&self, data: &[Element], p: &Point3, k: usize) -> Vec<(ElementId, f32)> {
+    /// Best-first kNN over loose-cube `MINDIST`, like the R-Tree: nodes pop
+    /// from a min-queue in ascending lower-bound order; each popped node's
+    /// entry slab runs the batched `MINDIST` kernel
+    /// ([`SoaAabbs::min_dist2_into`]) and only entries whose box lower bound
+    /// can still beat the current k-th best pay the exact element-surface
+    /// distance. Terminates when the nearest pending node cannot improve.
+    fn knn_into(
+        &self,
+        data: &[Element],
+        p: &Point3,
+        k: usize,
+        scratch: &mut QueryScratch,
+        sink: &mut dyn KnnSink,
+    ) {
         if k == 0 || self.len == 0 {
-            return Vec::new();
+            return;
         }
-        // Best-first over loose-cube MINDIST, like the R-Tree.
-        let mut heap: BinaryHeap<(Reverse<OrderedF32>, u32, bool)> = BinaryHeap::new();
-        heap.push((Reverse(OrderedF32(0.0)), 0, false));
-        let mut out: Vec<(ElementId, f32)> = Vec::with_capacity(k);
-        while let Some((Reverse(OrderedF32(d)), payload, is_entry)) = heap.pop() {
-            if out.len() == k {
+        let QueryScratch {
+            dists,
+            knn_best,
+            knn_queue,
+            ..
+        } = scratch;
+        let mut best = KnnHeap::new(knn_best, k);
+        let mut queue = MinQueue::new(knn_queue);
+        queue.push(0.0, 0);
+        while let Some((d, node)) = queue.pop() {
+            if best.is_full() && d > best.worst() {
                 break;
             }
-            if is_entry {
-                out.push((payload, d));
-                continue;
-            }
-            let n = &self.nodes[payload as usize];
+            let n = &self.nodes[node as usize];
             stats::record_node_visit();
-            for (_, id) in n.entries.iter() {
-                let exact = predicates::element_distance(&data[id as usize], p);
-                heap.push((Reverse(OrderedF32(exact)), id, true));
+            if !n.entries.is_empty() {
+                n.entries.min_dist2_into(p, dists);
+                stats::record_lower_bound_evals(n.entries.len() as u64);
+                // Element tests are charged per refined candidate inside
+                // `element_distance` — matching the seed octree's one test
+                // per entry, not slab + survivors.
+                for (i, &lb2) in dists.iter().enumerate() {
+                    let w = best.worst();
+                    if best.is_full() && lb2 > w * w {
+                        continue;
+                    }
+                    let id = n.entries.id_at(i);
+                    let exact = predicates::element_distance(&data[id as usize], p);
+                    best.consider(id, exact);
+                }
             }
             for &c in &n.children {
                 if c != NIL {
-                    let d = stats::tree_test(|| self.loose(c).min_distance2(p)).sqrt();
-                    heap.push((Reverse(OrderedF32(d)), c, false));
+                    let md = stats::tree_test(|| self.loose(c).min_distance2(p)).sqrt();
+                    if !(best.is_full() && md > best.worst()) {
+                        queue.push(md, c);
+                    }
                 }
             }
         }
-        out
+        best.emit(sink);
     }
 }
 

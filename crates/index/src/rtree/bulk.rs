@@ -115,6 +115,9 @@ impl RTree {
     /// leaves filled sequentially), kept verbatim as the reference for
     /// differential tests and the bulk-load before/after measurement in
     /// `BENCH_batch_kernel.json`. Produces an identical tree shape.
+    ///
+    /// Compiled only for tests and under the `reference` feature.
+    #[cfg(any(test, feature = "reference"))]
     pub fn bulk_load_entries_reference(
         mut entries: Vec<(Aabb, ElementId)>,
         config: RTreeConfig,
@@ -215,6 +218,7 @@ pub(crate) fn str_tile<T: Copy + Send + Sync>(
 /// re-derive the centre key on every comparison. Kept for the bulk-load
 /// before/after benchmark; produces the same tile structure as
 /// [`str_tile`].
+#[cfg(any(test, feature = "reference"))]
 pub(crate) fn str_tile_reference<T>(
     items: &mut [T],
     cap: usize,

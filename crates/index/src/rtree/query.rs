@@ -6,11 +6,10 @@
 //! touch the live `data` slice for exact refinement.
 
 use super::RTree;
-use crate::traits::{KnnIndex, RangeSink, SpatialIndex};
+use crate::traits::{KnnIndex, KnnSink, RangeSink, SpatialIndex};
+use crate::util::{KnnHeap, MinQueue};
 use simspatial_geom::scratch::with_scratch;
-use simspatial_geom::{stats, Aabb, Element, ElementId, Point3, QueryScratch};
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use simspatial_geom::{predicates, stats, Aabb, Element, ElementId, Point3, QueryScratch};
 
 impl RTree {
     /// Range query on stored bounding boxes only (no exact refinement).
@@ -107,33 +106,6 @@ impl RTree {
     }
 }
 
-/// Heap key ordered by ascending distance (min-heap via `Reverse`).
-#[derive(PartialEq)]
-struct HeapKey(f32);
-
-impl Eq for HeapKey {}
-impl PartialOrd for HeapKey {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for HeapKey {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0.total_cmp(&other.0)
-    }
-}
-
-/// Role of a kNN heap item (payload is a node index or element id).
-#[derive(PartialEq, Eq, PartialOrd, Ord, Clone, Copy)]
-enum KnnItem {
-    /// Internal or leaf node, keyed by MBR `MINDIST`.
-    Node,
-    /// Element keyed by its batched box lower bound; exactified when popped.
-    EntryLowerBound,
-    /// Element keyed by exact surface distance.
-    EntryExact,
-}
-
 impl SpatialIndex for RTree {
     fn name(&self) -> &'static str {
         "R-Tree"
@@ -159,62 +131,63 @@ impl SpatialIndex for RTree {
 }
 
 impl KnnIndex for RTree {
-    /// Best-first kNN (Hjaltason & Samet) with deferred refinement: when a
-    /// leaf is popped, its entries enter the queue keyed by the **batched**
-    /// box `MINDIST` lower bounds ([`simspatial_geom::SoaAabbs::min_dist2_into`]);
-    /// an entry's exact surface distance is computed only when the entry
-    /// itself reaches the queue head — entries that never surface (their
-    /// lower bound already exceeds the k-th result) never pay the exact
-    /// geometry test.
-    fn knn(&self, data: &[Element], p: &Point3, k: usize) -> Vec<(ElementId, f32)> {
+    /// Best-first kNN (Hjaltason & Samet) with deferred refinement: nodes
+    /// pop from a min-queue in ascending MBR-`MINDIST` order; a popped
+    /// leaf's entries run the **batched** box `MINDIST` kernel
+    /// ([`simspatial_geom::SoaAabbs::min_dist2_into`]) and only entries
+    /// whose lower bound can still beat the current k-th best pay the exact
+    /// surface-distance test. Search stops once the nearest pending node
+    /// cannot improve the result. Queue, heap and batched distances all
+    /// live in the caller's scratch — no allocation per probe.
+    fn knn_into(
+        &self,
+        data: &[Element],
+        p: &Point3,
+        k: usize,
+        scratch: &mut QueryScratch,
+        sink: &mut dyn KnnSink,
+    ) {
         if k == 0 || self.is_empty() {
-            return Vec::new();
+            return;
         }
-        let mut heap: BinaryHeap<(Reverse<HeapKey>, usize, KnnItem)> = BinaryHeap::new();
-        heap.push((Reverse(HeapKey(0.0)), self.root, KnnItem::Node));
-        let mut result: Vec<(ElementId, f32)> = Vec::with_capacity(k);
-
-        with_scratch(|scratch| {
-            while let Some((Reverse(HeapKey(dist)), payload, kind)) = heap.pop() {
-                if result.len() == k {
-                    break;
+        let QueryScratch {
+            dists,
+            knn_best,
+            knn_queue,
+            ..
+        } = scratch;
+        let mut best = KnnHeap::new(knn_best, k);
+        let mut queue = MinQueue::new(knn_queue);
+        queue.push(0.0, self.root as u32);
+        while let Some((d, node)) = queue.pop() {
+            if best.is_full() && d > best.worst() {
+                break;
+            }
+            let n = &self.nodes[node as usize];
+            if n.is_leaf() {
+                stats::record_element_tests(n.entries.len() as u64);
+                stats::record_lower_bound_evals(n.entries.len() as u64);
+                n.entries.min_dist2_into(p, dists);
+                for (i, &lb2) in dists.iter().enumerate() {
+                    let w = best.worst();
+                    if best.is_full() && lb2 > w * w {
+                        continue;
+                    }
+                    let id = n.entries.id_at(i);
+                    let exact = predicates::element_distance(&data[id as usize], p);
+                    best.consider(id, exact);
                 }
-                match kind {
-                    KnnItem::EntryExact => {
-                        result.push((payload as ElementId, dist));
-                    }
-                    KnnItem::EntryLowerBound => {
-                        // The lower bound surfaced: refine to the exact
-                        // surface distance and requeue.
-                        let exact =
-                            stats::element_test(|| data[payload].shape.distance_to_point(p));
-                        heap.push((Reverse(HeapKey(exact)), payload, KnnItem::EntryExact));
-                    }
-                    KnnItem::Node => {
-                        let n = &self.nodes[payload];
-                        if n.is_leaf() {
-                            stats::record_element_tests(n.entries.len() as u64);
-                            n.entries.min_dist2_into(p, &mut scratch.dists);
-                            for (i, &d2) in scratch.dists.iter().enumerate() {
-                                heap.push((
-                                    Reverse(HeapKey(d2.sqrt())),
-                                    n.entries.id_at(i) as usize,
-                                    KnnItem::EntryLowerBound,
-                                ));
-                            }
-                        } else {
-                            stats::record_node_visit();
-                            for &c in &n.children {
-                                let d =
-                                    stats::tree_test(|| self.nodes[c].mbr.min_distance2(p)).sqrt();
-                                heap.push((Reverse(HeapKey(d)), c, KnnItem::Node));
-                            }
-                        }
+            } else {
+                stats::record_node_visit();
+                for &c in &n.children {
+                    let md = stats::tree_test(|| self.nodes[c].mbr.min_distance2(p)).sqrt();
+                    if !(best.is_full() && md > best.worst()) {
+                        queue.push(md, c as u32);
                     }
                 }
             }
-        });
-        result
+        }
+        best.emit(sink);
     }
 }
 

@@ -115,16 +115,148 @@ pub trait SpatialIndex {
     fn memory_bytes(&self) -> usize;
 }
 
+/// A consumer of k-nearest-neighbour results — the kNN mirror of
+/// [`RangeSink`].
+///
+/// Results of one probe arrive as a [`KnnSink::begin_query`] call followed
+/// by the probe's results in ascending `(distance, id)` order; batches
+/// announce probes in ascending order. Collecting, counting and
+/// shard-merging are all just different sinks over the same index plans.
+pub trait KnnSink {
+    /// Marks the start of results for probe `qi` of the batch. Single-probe
+    /// entry points call this with `qi = 0` exactly once.
+    fn begin_query(&mut self, qi: u32) {
+        let _ = qi;
+    }
+
+    /// Emits one result for the current probe: `id` at exact element-surface
+    /// distance `dist`. Within a probe, pushes arrive nearest first.
+    fn push(&mut self, id: ElementId, dist: f32);
+}
+
+/// Collecting sink: appends every result, ignoring probe boundaries.
+impl KnnSink for Vec<(ElementId, f32)> {
+    #[inline]
+    fn push(&mut self, id: ElementId, dist: f32) {
+        self.push((id, dist));
+    }
+}
+
 /// A structure that answers k-nearest-neighbour queries.
 ///
 /// Deliberately *not* a subtrait of [`SpatialIndex`]: §3.3 of the paper
 /// proposes LSH precisely because kNN and range workloads may want different
 /// structures, and LSH has no meaningful range interface.
+///
+/// The contract is **batch-first and sink-based**, mirroring
+/// [`SpatialIndex`]: the required method is [`KnnIndex::knn_into`], which
+/// emits the `k` nearest elements into a caller-supplied [`KnnSink`] using
+/// caller-supplied [`QueryScratch`] buffers (best-k heap storage, traversal
+/// queues, batched lower-bound distances) — no allocation per probe once
+/// the buffers have grown. Results are selected and emitted under the total
+/// order *ascending `(distance, id)`*, which makes ties deterministic and
+/// shard merges byte-identical to single-engine execution.
 pub trait KnnIndex {
-    /// The `k` elements nearest to `p` by exact element-surface distance,
-    /// ordered nearest first, as `(id, distance)` pairs. Returns fewer than
-    /// `k` entries only when the dataset is smaller than `k`.
-    fn knn(&self, data: &[Element], p: &Point3, k: usize) -> Vec<(ElementId, f32)>;
+    /// Emits into `sink` the `k` elements nearest to `p` by exact
+    /// element-surface distance, nearest first (ties broken by ascending
+    /// id). Emits fewer than `k` results only when the dataset is smaller
+    /// than `k`. Implementations do **not** call [`KnnSink::begin_query`];
+    /// batch drivers do.
+    fn knn_into(
+        &self,
+        data: &[Element],
+        p: &Point3,
+        k: usize,
+        scratch: &mut QueryScratch,
+        sink: &mut dyn KnnSink,
+    );
+
+    /// Executes a whole batch of kNN probes, announcing each probe to the
+    /// sink via [`KnnSink::begin_query`] in ascending order. The default
+    /// loops [`KnnIndex::knn_into`] over one shared scratch, so heaps and
+    /// candidate buffers are reused across probes.
+    fn knn_batch_into(
+        &self,
+        data: &[Element],
+        points: &[Point3],
+        k: usize,
+        scratch: &mut QueryScratch,
+        sink: &mut dyn KnnSink,
+    ) {
+        for (qi, p) in points.iter().enumerate() {
+            sink.begin_query(qi as u32);
+            self.knn_into(data, p, k, scratch, sink);
+        }
+    }
+
+    /// Allocating convenience wrapper over [`KnnIndex::knn_into`], kept for
+    /// compatibility and one-off probes. Uses the thread-local scratch pool,
+    /// so repeat calls reuse buffers.
+    fn knn(&self, data: &[Element], p: &Point3, k: usize) -> Vec<(ElementId, f32)> {
+        with_scratch(|scratch| {
+            let mut out = Vec::new();
+            self.knn_into(data, p, k, scratch, &mut out);
+            out
+        })
+    }
+}
+
+impl<T: SpatialIndex + ?Sized> SpatialIndex for Box<T> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn len(&self) -> usize {
+        (**self).len()
+    }
+
+    fn range_into(
+        &self,
+        data: &[Element],
+        query: &Aabb,
+        scratch: &mut QueryScratch,
+        sink: &mut dyn RangeSink,
+    ) {
+        (**self).range_into(data, query, scratch, sink);
+    }
+
+    fn range_batch(
+        &self,
+        data: &[Element],
+        queries: &[Aabb],
+        scratch: &mut QueryScratch,
+        sink: &mut dyn RangeSink,
+    ) {
+        (**self).range_batch(data, queries, scratch, sink);
+    }
+
+    fn memory_bytes(&self) -> usize {
+        (**self).memory_bytes()
+    }
+}
+
+impl<T: KnnIndex + ?Sized> KnnIndex for Box<T> {
+    fn knn_into(
+        &self,
+        data: &[Element],
+        p: &Point3,
+        k: usize,
+        scratch: &mut QueryScratch,
+        sink: &mut dyn KnnSink,
+    ) {
+        (**self).knn_into(data, p, k, scratch, sink);
+    }
+
+    fn knn_batch_into(
+        &self,
+        data: &[Element],
+        points: &[Point3],
+        k: usize,
+        scratch: &mut QueryScratch,
+        sink: &mut dyn KnnSink,
+    ) {
+        (**self).knn_batch_into(data, points, k, scratch, sink);
+    }
 }
 
 /// Instrumented result of executing a query batch: wall-clock plus the

@@ -55,6 +55,17 @@ impl UpdateStrategy for RTreeReinsert {
         self.tree.range_exact_into(data, query, scratch, sink);
     }
 
+    fn knn_into(
+        &self,
+        data: &[Element],
+        p: &simspatial_geom::Point3,
+        k: usize,
+        scratch: &mut simspatial_geom::QueryScratch,
+        sink: &mut dyn simspatial_index::KnnSink,
+    ) {
+        simspatial_index::KnnIndex::knn_into(&self.tree, data, p, k, scratch, sink);
+    }
+
     fn memory_bytes(&self) -> usize {
         self.tree.memory_bytes()
     }
@@ -110,6 +121,17 @@ impl UpdateStrategy for RTreeBottomUp {
         self.tree.range_exact_into(data, query, scratch, sink);
     }
 
+    fn knn_into(
+        &self,
+        data: &[Element],
+        p: &simspatial_geom::Point3,
+        k: usize,
+        scratch: &mut simspatial_geom::QueryScratch,
+        sink: &mut dyn simspatial_index::KnnSink,
+    ) {
+        simspatial_index::KnnIndex::knn_into(&self.tree, data, p, k, scratch, sink);
+    }
+
     fn memory_bytes(&self) -> usize {
         self.tree.memory_bytes()
     }
@@ -156,6 +178,17 @@ impl UpdateStrategy for RTreeRebuild {
         sink: &mut dyn simspatial_index::RangeSink,
     ) {
         self.tree.range_exact_into(data, query, scratch, sink);
+    }
+
+    fn knn_into(
+        &self,
+        data: &[Element],
+        p: &simspatial_geom::Point3,
+        k: usize,
+        scratch: &mut simspatial_geom::QueryScratch,
+        sink: &mut dyn simspatial_index::KnnSink,
+    ) {
+        simspatial_index::KnnIndex::knn_into(&self.tree, data, p, k, scratch, sink);
     }
 
     fn memory_bytes(&self) -> usize {

@@ -50,6 +50,17 @@ impl UpdateStrategy for NoIndexScan {
         self.scan.range_into(data, query, scratch, sink);
     }
 
+    fn knn_into(
+        &self,
+        data: &[Element],
+        p: &simspatial_geom::Point3,
+        k: usize,
+        scratch: &mut simspatial_geom::QueryScratch,
+        sink: &mut dyn simspatial_index::KnnSink,
+    ) {
+        simspatial_index::KnnIndex::knn_into(&self.scan, data, p, k, scratch, sink);
+    }
+
     fn memory_bytes(&self) -> usize {
         std::mem::size_of::<Self>()
     }

@@ -1,7 +1,7 @@
 //! The update-strategy trait and factory.
 
-use simspatial_geom::{Aabb, Element, ElementId, QueryScratch};
-use simspatial_index::RangeSink;
+use simspatial_geom::{Aabb, Element, ElementId, Point3, QueryScratch};
+use simspatial_index::{KnnIndex, KnnSink, LinearScan, RangeSink};
 
 /// Cost accounting of one maintenance step (wall-clock is measured by the
 /// caller around [`UpdateStrategy::apply_step`]).
@@ -49,6 +49,25 @@ pub trait UpdateStrategy {
         for id in self.range(data, query) {
             sink.push(id);
         }
+    }
+
+    /// Sink-based kNN against current geometry: emits the `k` nearest
+    /// elements to `p` in ascending `(distance, id)` order.
+    ///
+    /// The default computes the exact answer with a linear scan over the
+    /// live `data` slice — correct for *every* strategy, since the scan
+    /// needs no maintained structure. Strategies backed by a kNN-capable
+    /// index (grids, R-Trees) override it to forward, riding their
+    /// structure's pruning instead.
+    fn knn_into(
+        &self,
+        data: &[Element],
+        p: &Point3,
+        k: usize,
+        scratch: &mut QueryScratch,
+        sink: &mut dyn KnnSink,
+    ) {
+        LinearScan::build(data).knn_into(data, p, k, scratch, sink);
     }
 
     /// Approximate bytes held by the strategy's structures.

@@ -2,11 +2,12 @@
 
 use crate::strategy::UpdateStrategyKind;
 use simspatial_datagen::{Dataset, ElementSoupBuilder, PlasticityModel};
-use simspatial_geom::{Aabb, Point3};
-use simspatial_index::{LinearScan, SpatialIndex};
+use simspatial_geom::{Aabb, Point3, QueryScratch};
+use simspatial_index::{KnnIndex, LinearScan, SpatialIndex};
 
 /// Runs several plasticity steps over a soup and asserts the strategy's
-/// range answers stay identical to a fresh linear scan after every step.
+/// range **and kNN** answers stay identical to a fresh linear scan after
+/// every step.
 pub(crate) fn check_strategy_correctness(kind: UpdateStrategyKind) {
     let mut data: Dataset = ElementSoupBuilder::new()
         .count(800)
@@ -32,6 +33,15 @@ pub(crate) fn check_strategy_correctness(kind: UpdateStrategyKind) {
             a.sort_unstable();
             b.sort_unstable();
             assert_eq!(a, b, "{} step {step} query {i}", strategy.name());
+        }
+
+        let mut scratch = QueryScratch::default();
+        for i in 0..3 {
+            let p = Point3::new((i * 7 + step) as f32, (i * 6) as f32, (i * 9) as f32);
+            let mut got = Vec::new();
+            strategy.knn_into(data.elements(), &p, 4, &mut scratch, &mut got);
+            let want = scan.knn(data.elements(), &p, 4);
+            assert_eq!(got, want, "{} step {step} knn {i}", strategy.name());
         }
     }
 }

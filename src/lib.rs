@@ -81,9 +81,10 @@ pub mod prelude {
     };
     pub use simspatial_index::{
         measure_range, BatchResults, CountSink, CrTree, CrTreeConfig, Curve, DiskRTree, Flat,
-        FlatConfig, GridConfig, GridPlacement, KdTree, KnnIndex, LinearScan, Lsh, LshConfig,
-        MultiGrid, MultiGridConfig, Octree, OctreeConfig, QueryEngine, QueryStats, RTree,
-        RTreeConfig, RangeSink, SpatialIndex, UniformGrid,
+        FlatConfig, GridConfig, GridPlacement, KdTree, KnnBatchResults, KnnIndex, KnnSink,
+        LinearScan, Lsh, LshConfig, MultiGrid, MultiGridConfig, Octree, OctreeConfig, QueryEngine,
+        QueryStats, RTree, RTreeConfig, RangeSink, ShardRouter, ShardedEngine, SpatialIndex,
+        UniformGrid,
     };
     pub use simspatial_join::{join_pair, self_join, JoinAlgorithm, JoinConfig, PairAlgorithm};
     pub use simspatial_mesh::{MeshWalker, TetMesh, WalkStrategy};

@@ -1,6 +1,9 @@
 //! Proof of the engine's steady-state guarantee: repeat `range_batch`
 //! calls through a [`QueryEngine`] perform **zero per-query heap
-//! allocations** on the grid / R-Tree / FLAT hot paths.
+//! allocations** on the grid / R-Tree / FLAT hot paths, and repeat
+//! `knn_batch_into` batches are likewise allocation-free on the grid and
+//! R-Tree kNN paths (best-k heaps, traversal queues and batched
+//! lower-bound buffers all live in the reused scratch).
 //!
 //! A counting global allocator (this test binary only) tallies every
 //! allocation. After warm-up batches grow the scratch and sink buffers to
@@ -81,6 +84,34 @@ fn assert_steady_state_alloc_free(name: &str, index: &dyn SpatialIndex, data: &[
     );
 }
 
+fn knn_points() -> Vec<Point3> {
+    (0..16)
+        .map(|i| Point3::new((i * 7) as f32, (i * 5) as f32, (i * 3) as f32))
+        .collect()
+}
+
+fn assert_knn_steady_state_alloc_free(name: &str, index: &dyn KnnIndex, data: &[Element]) {
+    let points = knn_points();
+    let mut engine = QueryEngine::new();
+    let mut results = KnnBatchResults::new();
+    // Warm-up: grow the scratch heaps/queues and collector lists.
+    for _ in 0..4 {
+        engine.knn_collect(index, data, &points, 10, &mut results);
+    }
+    let total = results.total();
+    let before = allocations();
+    for _ in 0..10 {
+        engine.knn_collect(index, data, &points, 10, &mut results);
+        assert_eq!(results.total(), total, "{name}: results changed");
+    }
+    let after = allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "{name}: steady-state kNN batches must not allocate"
+    );
+}
+
 #[test]
 fn grid_rtree_flat_batches_are_allocation_free() {
     let data = soup(4000);
@@ -98,4 +129,18 @@ fn grid_rtree_flat_batches_are_allocation_free() {
     assert_steady_state_alloc_free("flat", &flat, &data);
     // The scan's one-pass envelope plan buffers through pooled scratch.
     assert_steady_state_alloc_free("scan(one-pass)", &scan, &data);
+}
+
+#[test]
+fn grid_rtree_knn_batches_are_allocation_free() {
+    let data = soup(4000);
+    let grid = UniformGrid::build(&data, GridConfig::auto(&data));
+    let replicated = UniformGrid::build(
+        &data,
+        GridConfig::with_cell_side(GridConfig::auto(&data).cell_side, GridPlacement::Replicate),
+    );
+    let rtree = RTree::bulk_load(&data, RTreeConfig::default());
+    assert_knn_steady_state_alloc_free("grid(center) knn", &grid, &data);
+    assert_knn_steady_state_alloc_free("grid(replicate) knn", &replicated, &data);
+    assert_knn_steady_state_alloc_free("rtree knn", &rtree, &data);
 }

@@ -1,0 +1,289 @@
+//! Differential coverage for the batch-first kNN side (`knn_into` +
+//! `KnnSink`) and the region-sharded engine.
+//!
+//! * Every exact [`KnnIndex`] implementation must return results identical
+//!   to [`LinearScan`]'s ground truth — selected and ordered under the
+//!   ascending `(distance, id)` contract — on random and degenerate
+//!   inputs (duplicate points, `k = 0`, `k > n`, empty dataset). LSH is
+//!   approximate and is diffed against its own seed oracle in
+//!   `differential_batch.rs` instead.
+//! * `knn_batch_into` ≡ looped `knn_into` ≡ legacy `knn()` for every
+//!   implementation.
+//! * [`ShardedEngine`] with K ∈ {1, 2, 4} shards must return result sets
+//!   byte-identical (after sort) to a single [`QueryEngine`] over the same
+//!   index type, for both `range_batch` and `knn_batch_into`.
+
+use simspatial::prelude::*;
+use simspatial_geom::QueryScratch;
+
+/// Mixed-size random soup: mostly small spheres plus some large ones.
+fn mixed(n: u32, seed: u32) -> Vec<Element> {
+    (0..n)
+        .map(|i| {
+            let h = (i ^ seed).wrapping_mul(2654435761);
+            let x = (h % 997) as f32 / 10.0;
+            let y = ((h >> 10) % 997) as f32 / 10.0;
+            let z = ((h >> 20) % 997) as f32 / 10.0;
+            let r = if i % 31 == 0 { 5.0 } else { 0.3 };
+            Element::new(i, Shape::Sphere(Sphere::new(Point3::new(x, y, z), r)))
+        })
+        .collect()
+}
+
+/// Degenerate datasets: empty, a single point, all elements coincident
+/// (distance ties resolved by id), and a line of touching spheres.
+fn degenerate_sets() -> Vec<Vec<Element>> {
+    let coincident: Vec<Element> = (0..64)
+        .map(|i| {
+            Element::new(
+                i,
+                Shape::Sphere(Sphere::new(Point3::new(5.0, 5.0, 5.0), 0.25)),
+            )
+        })
+        .collect();
+    let line: Vec<Element> = (0..40)
+        .map(|i| {
+            Element::new(
+                i,
+                Shape::Sphere(Sphere::new(Point3::new(i as f32 * 0.5, 0.0, 0.0), 0.25)),
+            )
+        })
+        .collect();
+    vec![
+        Vec::new(),
+        vec![Element::new(
+            0,
+            Shape::Sphere(Sphere::new(Point3::ORIGIN, 0.0)),
+        )],
+        coincident,
+        line,
+    ]
+}
+
+fn all_datasets() -> Vec<Vec<Element>> {
+    let mut sets = degenerate_sets();
+    sets.push(mixed(2000, 0));
+    sets.push(mixed(700, 0xF00D));
+    sets
+}
+
+fn probe_points() -> Vec<Point3> {
+    let mut pts: Vec<Point3> = (0..8)
+        .map(|i| Point3::new((i * 13) as f32, (i * 11) as f32, (i * 7) as f32))
+        .collect();
+    pts.push(Point3::new(5.0, 5.0, 5.0)); // on the coincident cluster
+    pts.push(Point3::new(-100.0, -100.0, -100.0)); // far outside
+    pts
+}
+
+/// ks covering the degenerate corners: 0, 1, mid, and k > n for the small
+/// datasets.
+const KS: [usize; 4] = [0, 1, 6, 100];
+
+/// Diffs one implementation's `knn_into` against the scan ground truth and
+/// checks batch ≡ looped ≡ legacy.
+fn check_knn_impl<I: KnnIndex>(name: &str, index: &I, data: &[Element]) {
+    let scan = LinearScan::build(data);
+    let points = probe_points();
+    let mut scratch = QueryScratch::default();
+    let mut engine = QueryEngine::new();
+    let mut batched = KnnBatchResults::new();
+    for &k in &KS {
+        engine.knn_collect(index, data, &points, k, &mut batched);
+        assert_eq!(batched.len(), points.len(), "{name}: probe count");
+        for (qi, p) in points.iter().enumerate() {
+            let truth = scan.knn(data, p, k);
+            let mut looped: Vec<(ElementId, f32)> = Vec::new();
+            index.knn_into(data, p, k, &mut scratch, &mut looped);
+            let legacy = index.knn(data, p, k);
+
+            assert_eq!(
+                looped,
+                truth,
+                "{name}: knn_into diverged from scan at {p:?} k={k} (n={})",
+                data.len()
+            );
+            assert_eq!(legacy, looped, "{name}: legacy knn != knn_into");
+            assert_eq!(
+                batched.query_results(qi),
+                looped.as_slice(),
+                "{name}: knn_batch_into != looped knn_into at probe {qi} k={k}"
+            );
+            if k == 0 {
+                assert!(truth.is_empty(), "k=0 must return nothing");
+            } else {
+                assert_eq!(truth.len(), k.min(data.len()), "{name}: result count");
+            }
+        }
+    }
+}
+
+#[test]
+fn every_exact_impl_matches_scan() {
+    for data in all_datasets() {
+        check_knn_impl("LinearScan", &LinearScan::build(&data), &data);
+        check_knn_impl("KD-Tree", &KdTree::build(&data), &data);
+        check_knn_impl(
+            "Octree",
+            &Octree::build(&data, OctreeConfig::default()),
+            &data,
+        );
+        check_knn_impl(
+            "R-Tree",
+            &RTree::bulk_load(&data, RTreeConfig::default()),
+            &data,
+        );
+        check_knn_impl(
+            "CR-Tree",
+            &CrTree::build(&data, CrTreeConfig::default()),
+            &data,
+        );
+        for placement in [GridPlacement::Center, GridPlacement::Replicate] {
+            let cfg = GridConfig::with_cell_side(GridConfig::auto(&data).cell_side, placement);
+            check_knn_impl("Grid", &UniformGrid::build(&data, cfg), &data);
+        }
+        check_knn_impl(
+            "MultiGrid",
+            &MultiGrid::build(&data, MultiGridConfig::auto(&data)),
+            &data,
+        );
+    }
+}
+
+#[test]
+fn lsh_batch_equals_looped_and_legacy() {
+    // LSH is approximate, so no scan diff — but its batch, looped and
+    // legacy paths must agree with each other.
+    for data in all_datasets() {
+        let lsh = Lsh::build(&data, LshConfig::auto(&data));
+        let points = probe_points();
+        let mut scratch = QueryScratch::default();
+        let mut engine = QueryEngine::new();
+        let mut batched = KnnBatchResults::new();
+        for k in [0usize, 1, 7, 100] {
+            engine.knn_collect(&lsh, &data, &points, k, &mut batched);
+            for (qi, p) in points.iter().enumerate() {
+                let mut looped: Vec<(ElementId, f32)> = Vec::new();
+                lsh.knn_into(&data, p, k, &mut scratch, &mut looped);
+                assert_eq!(lsh.knn(&data, p, k), looped, "legacy != looped k={k}");
+                assert_eq!(batched.query_results(qi), looped.as_slice(), "batch k={k}");
+            }
+        }
+    }
+}
+
+fn queries() -> Vec<Aabb> {
+    let mut qs: Vec<Aabb> = (0..10)
+        .map(|i| {
+            let c = Point3::new((i * 9) as f32, (i * 7) as f32, (i * 5) as f32);
+            Aabb::new(c, Point3::new(c.x + 15.0, c.y + 11.0, c.z + 9.0))
+        })
+        .collect();
+    qs.push(Aabb::from_point(Point3::new(5.0, 5.0, 5.0)));
+    qs.push(Aabb::new(
+        Point3::new(-1e4, -1e4, -1e4),
+        Point3::new(1e4, 1e4, 1e4),
+    ));
+    qs
+}
+
+/// Sharded K ∈ {1, 2, 4} vs a single engine over the same index type:
+/// byte-identical range result sets (after sort) and kNN lists.
+fn check_sharded<I, B>(name: &str, data: &[Element], build: B)
+where
+    I: SpatialIndex + KnnIndex + Send,
+    B: Fn(&[Element]) -> I,
+{
+    let single = build(data);
+    let mut engine = QueryEngine::new();
+    let qs = queries();
+    let points = probe_points();
+    let mut want_range = BatchResults::new();
+    engine.range_collect(&single, data, &qs, &mut want_range);
+    for shards in [1usize, 2, 4] {
+        let mut sharded = ShardedEngine::build(data, shards, &build);
+        let mut got_range = BatchResults::new();
+        let stats = sharded.range_collect(&qs, &mut got_range);
+        assert_eq!(stats.results as usize, got_range.total());
+        for qi in 0..qs.len() {
+            let mut a = got_range.query_results(qi).to_vec();
+            let mut b = want_range.query_results(qi).to_vec();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "{name}: sharded range K={shards} query {qi}");
+        }
+        // k covers the degenerate corners too: 0 and k > n.
+        for k in [0usize, 5, 100] {
+            let mut want_knn = KnnBatchResults::new();
+            engine.knn_collect(&single, data, &points, k, &mut want_knn);
+            let mut got_knn = KnnBatchResults::new();
+            sharded.knn_collect(&points, k, &mut got_knn);
+            for qi in 0..points.len() {
+                assert_eq!(
+                    got_knn.query_results(qi),
+                    want_knn.query_results(qi),
+                    "{name}: sharded knn K={shards} k={k} probe {qi}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn sharded_engine_matches_single_engine_across_indexes() {
+    for data in all_datasets() {
+        check_sharded("LinearScan", &data, LinearScan::build);
+        check_sharded("Grid", &data, |part| {
+            UniformGrid::build(part, GridConfig::auto(part))
+        });
+        check_sharded("Grid/replicate", &data, |part| {
+            UniformGrid::build(
+                part,
+                GridConfig::with_cell_side(
+                    GridConfig::auto(part).cell_side,
+                    GridPlacement::Replicate,
+                ),
+            )
+        });
+        check_sharded("MultiGrid", &data, |part| {
+            MultiGrid::build(part, MultiGridConfig::auto(part))
+        });
+        check_sharded("KD-Tree", &data, KdTree::build);
+        check_sharded("Octree", &data, |part| {
+            Octree::build(part, OctreeConfig::default())
+        });
+        check_sharded("R-Tree", &data, |part| {
+            RTree::bulk_load(part, RTreeConfig::default())
+        });
+        check_sharded("CR-Tree", &data, |part| {
+            CrTree::build(part, CrTreeConfig::default())
+        });
+    }
+}
+
+#[test]
+fn sharded_range_handles_flat() {
+    // FLAT only implements range queries; it depends on the dataset slice
+    // for execution, which is exactly what per-shard re-identified clones
+    // make safe.
+    let data = mixed(1500, 0xAB);
+    let single = Flat::build(&data, FlatConfig::auto(&data));
+    let mut engine = QueryEngine::new();
+    let qs = queries();
+    let mut want = BatchResults::new();
+    engine.range_collect(&single, &data, &qs, &mut want);
+    for shards in [2usize, 4] {
+        let mut sharded = ShardedEngine::build(&data, shards, |part| {
+            Flat::build(part, FlatConfig::auto(part))
+        });
+        let mut got = BatchResults::new();
+        sharded.range_collect(&qs, &mut got);
+        for qi in 0..qs.len() {
+            let mut a = got.query_results(qi).to_vec();
+            let mut b = want.query_results(qi).to_vec();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "flat sharded K={shards} query {qi}");
+        }
+    }
+}
