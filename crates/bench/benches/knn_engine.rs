@@ -167,7 +167,51 @@ fn emit_json(fx: &Fixture) -> BenchJson {
     measure_index(&mut json, fx, "crtree", &fx.crtree, |part| {
         CrTree::build(part, CrTreeConfig::default())
     });
+    measure_shard_balance(&mut json);
     json
+}
+
+/// Uniform vs median-cut shard splits on a *clustered* (skewed) dataset:
+/// records the largest-shard population (the balance metric — lower is
+/// better, `speedup` = imbalance reduction) and the 4-shard batched-kNN
+/// wall clock under each split.
+fn measure_shard_balance(json: &mut BenchJson) {
+    use simspatial_datagen::{ClusteredConfig, ElementSoupBuilder};
+    let data = ElementSoupBuilder::new()
+        .count(20_000)
+        .clustered(ClusteredConfig {
+            clusters: 4,
+            sigma: 3.0,
+        })
+        .seed(0xBA1A)
+        .build();
+    let elements = data.elements();
+    let points = QueryWorkload::new(data.universe(), 0x5EED).knn_points(32);
+    let grid = |part: &[Element]| {
+        UniformGrid::build(
+            part,
+            GridConfig::with_cell_side(GridConfig::auto(part).cell_side, GridPlacement::Replicate),
+        )
+    };
+    let mut uniform = ShardedEngine::build(elements, 4, grid);
+    let mut median = ShardedEngine::build_median(elements, 4, grid);
+    let max_uniform = *uniform.shard_sizes().iter().max().unwrap() as f64;
+    let max_median = *median.shard_sizes().iter().max().unwrap() as f64;
+    json.add(
+        "grid_shard4_skew_max_shard",
+        "elements_in_largest_shard",
+        max_uniform,
+        max_median,
+    );
+    let mut results = KnnBatchResults::new();
+    let t_uniform = time_per_call(|| uniform.knn_collect(&points, K, &mut results).results);
+    let t_median = time_per_call(|| median.knn_collect(&points, K, &mut results).results);
+    json.add(
+        "grid_knn_shard4_skew_median",
+        "knn_batches/s",
+        1.0 / t_uniform,
+        1.0 / t_median,
+    );
 }
 
 fn bench(c: &mut Criterion) {

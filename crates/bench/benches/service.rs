@@ -1,0 +1,204 @@
+//! The concurrent-service throughput harness: closed-loop producers with a
+//! pipelining window drive `SpatialService`, measuring request throughput
+//! with micro-batch coalescing **on vs off** at several producer counts.
+//! Emits `BENCH_service.json` at the workspace root.
+//!
+//! Rows (unit `requests/s`, `before` = coalescing off, `after` = on):
+//!
+//! * `svc_grid_range_p1` / `svc_grid_range_p4` — range requests against a
+//!   single-engine grid backend, 1 and 4 producer threads.
+//! * `svc_grid_knn_p4` — mixed-`k` kNN requests, 4 producers.
+//! * `svc_sharded_range_p4` — range requests against a 4-shard backend
+//!   with per-shard worker threads.
+//!
+//! Producers pipeline `WINDOW` outstanding requests each, so the scheduler
+//! has concurrent traffic to coalesce even single-producer. Numbers on a
+//! single-core host measure scheduling overhead honestly (no parallelism
+//! win is available); the wiring is thread-count agnostic and the same
+//! harness measures scale-up on multicore.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use simspatial_bench::datasets::neuron_dataset;
+use simspatial_bench::report::BenchJson;
+use simspatial_bench::Scale;
+use simspatial_datagen::QueryWorkload;
+use simspatial_geom::{Element, Point3};
+use simspatial_index::{GridConfig, RTree, RTreeConfig, ShardedEngine, UniformGrid};
+use simspatial_service::{
+    EngineBackend, Request, ServiceBackend, ServiceConfig, ShardedBackend, SpatialService,
+};
+use std::collections::VecDeque;
+use std::time::Instant;
+
+/// Outstanding requests each producer keeps in flight.
+const WINDOW: usize = 8;
+
+/// Requests per producer per measurement round.
+fn requests_per_producer() -> usize {
+    if std::env::var("CRITERION_QUICK").is_ok() {
+        150
+    } else {
+        400
+    }
+}
+
+struct Fixture {
+    elements: Vec<Element>,
+    range_pool: Vec<Request>,
+    knn_pool: Vec<Request>,
+}
+
+fn fixture() -> Fixture {
+    let data = neuron_dataset(Scale::Small);
+    let mut workload = QueryWorkload::new(data.universe(), 0x5E21);
+    let boxes = workload.range_queries(0.0005, 256);
+    let range_pool: Vec<Request> = boxes
+        .chunks(4)
+        .map(|c| Request::Range(c.to_vec()))
+        .collect();
+    let points = workload.knn_points(128);
+    let knn_pool: Vec<Request> = points
+        .chunks(4)
+        .enumerate()
+        .map(|(i, c)| {
+            Request::Knn(
+                c.iter()
+                    .enumerate()
+                    .map(|(j, p): (usize, &Point3)| (*p, 4 + (i + j) % 3 * 4)) // k ∈ {4, 8, 12}
+                    .collect(),
+            )
+        })
+        .collect();
+    Fixture {
+        elements: data.elements().to_vec(),
+        range_pool,
+        knn_pool,
+    }
+}
+
+/// Closed-loop load: `producers` threads each submit `n_requests` from
+/// `pool` (round-robin, `WINDOW` outstanding), returning requests/s.
+fn run_load(
+    service: &SpatialService,
+    producers: usize,
+    n_requests: usize,
+    pool: &[Request],
+) -> f64 {
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for tid in 0..producers {
+            let handle = service.handle();
+            scope.spawn(move || {
+                let mut inflight = VecDeque::with_capacity(WINDOW);
+                for i in 0..n_requests {
+                    if inflight.len() == WINDOW {
+                        let t: simspatial_service::Ticket = inflight.pop_front().unwrap();
+                        t.recv().expect("service completes pipelined request");
+                    }
+                    let req = pool[(tid * 37 + i) % pool.len()].clone();
+                    inflight.push_back(handle.submit(req).expect("service accepts"));
+                }
+                for t in inflight {
+                    t.recv().expect("service completes tail request");
+                }
+            });
+        }
+    });
+    (producers * n_requests) as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Spawns a fresh service over `make_backend` and measures one load round.
+fn measure<B: ServiceBackend>(
+    make_backend: impl Fn() -> B,
+    coalesce: bool,
+    producers: usize,
+    pool: &[Request],
+) -> f64 {
+    let cfg = if coalesce {
+        ServiceConfig::default()
+    } else {
+        ServiceConfig::default().no_coalesce()
+    };
+    let service = SpatialService::spawn(make_backend(), cfg);
+    // Warm-up round (buffers grow to high-water marks), then the best of
+    // three measurement rounds — discards scheduler noise on shared or
+    // single-core hosts far better than one long round.
+    run_load(&service, producers, requests_per_producer() / 4, pool);
+    let rps = (0..3)
+        .map(|_| run_load(&service, producers, requests_per_producer(), pool))
+        .fold(0.0f64, f64::max);
+    let stats = service.shutdown();
+    assert_eq!(stats.submitted, stats.completed, "no request lost");
+    rps
+}
+
+fn grid_backend(elements: &[Element]) -> EngineBackend<UniformGrid> {
+    EngineBackend::build(elements.to_vec(), |d| {
+        UniformGrid::build(d, GridConfig::auto(d))
+    })
+}
+
+fn sharded_backend(elements: &[Element]) -> ShardedBackend {
+    ShardedBackend::spawn(ShardedEngine::build(elements, 4, |part| {
+        RTree::bulk_load(part, RTreeConfig::default())
+    }))
+}
+
+fn emit_json(fx: &Fixture) -> BenchJson {
+    let mut json = BenchJson::new("service");
+    for producers in [1usize, 4] {
+        let off = measure(
+            || grid_backend(&fx.elements),
+            false,
+            producers,
+            &fx.range_pool,
+        );
+        let on = measure(
+            || grid_backend(&fx.elements),
+            true,
+            producers,
+            &fx.range_pool,
+        );
+        json.add(
+            &format!("svc_grid_range_p{producers}"),
+            "requests/s",
+            off,
+            on,
+        );
+    }
+    let off = measure(|| grid_backend(&fx.elements), false, 4, &fx.knn_pool);
+    let on = measure(|| grid_backend(&fx.elements), true, 4, &fx.knn_pool);
+    json.add("svc_grid_knn_p4", "requests/s", off, on);
+    let off = measure(|| sharded_backend(&fx.elements), false, 4, &fx.range_pool);
+    let on = measure(|| sharded_backend(&fx.elements), true, 4, &fx.range_pool);
+    json.add("svc_sharded_range_p4", "requests/s", off, on);
+    json
+}
+
+fn bench(c: &mut Criterion) {
+    let fx = fixture();
+
+    let json = emit_json(&fx);
+    let out = std::env::var("SIMSPATIAL_BENCH_OUT")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_service.json", env!("CARGO_MANIFEST_DIR")));
+    json.write_to(std::path::Path::new(&out))
+        .expect("write BENCH_service.json");
+    println!("{}", json.to_json());
+    println!("wrote {out}");
+
+    // A small criterion smoke on top of the manual rounds: one coalesced
+    // closed-loop burst against the grid backend.
+    let mut g = c.benchmark_group("service");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(200));
+    g.measurement_time(std::time::Duration::from_millis(700));
+    let service = SpatialService::spawn(grid_backend(&fx.elements), ServiceConfig::default());
+    g.bench_function("grid_range_p2_coalesced", |b| {
+        b.iter(|| run_load(&service, 2, 40, &fx.range_pool))
+    });
+    g.finish();
+    drop(service);
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -59,6 +59,11 @@ impl VisitedTable {
     pub fn seen(&self, id: ElementId) -> bool {
         self.stamps[id as usize] == self.epoch
     }
+
+    /// Heap bytes held by the stamp table.
+    pub fn memory_bytes(&self) -> usize {
+        self.stamps.capacity() * std::mem::size_of::<u32>()
+    }
 }
 
 /// The transient buffers of one in-flight query.
@@ -83,6 +88,20 @@ pub struct QueryScratch {
 }
 
 impl QueryScratch {
+    /// Heap bytes currently held by the scratch buffers — the steady-state
+    /// memory cost of one engine's query-time state, which the engine and
+    /// service layers fold into their structure-size accounting.
+    pub fn memory_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.candidates.capacity() * size_of::<ElementId>()
+            + self.frontier.capacity() * size_of::<ElementId>()
+            + self.mask.capacity() * size_of::<u64>()
+            + self.dists.capacity() * size_of::<f32>()
+            + self.knn_best.capacity() * size_of::<(f32, ElementId)>()
+            + self.knn_queue.capacity() * size_of::<(f32, ElementId)>()
+            + self.visited.memory_bytes()
+    }
+
     /// Clears the per-query buffers (the visited table is epoch-managed and
     /// needs no clearing).
     pub fn reset(&mut self) {

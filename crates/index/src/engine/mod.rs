@@ -198,6 +198,12 @@ impl QueryEngine {
         Self::default()
     }
 
+    /// Heap bytes held by the engine's scratch buffers (the steady-state
+    /// query-time memory of this engine, grown to its high-water mark).
+    pub fn memory_bytes(&self) -> usize {
+        self.scratch.memory_bytes()
+    }
+
     /// Runs `queries` against `index` through the index's batched plan,
     /// streaming results into `sink` and returning the batch accounting.
     pub fn range_batch<I: SpatialIndex + ?Sized>(

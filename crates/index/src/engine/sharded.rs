@@ -5,32 +5,53 @@
 //! work, so a shard layer only has to decide *which* shard executes *which*
 //! queries and how per-shard emissions merge back into one sink.
 //!
-//! [`ShardedEngine`] realises that:
+//! Since the service layer landed, that decision is split into three
+//! separately addressable pieces, so per-shard execution no longer needs
+//! `&mut ShardedEngine` for the whole fan-out:
 //!
-//! * **Partitioning** — a [`ShardRouter`] splits the dataset envelope into
-//!   K equal slabs along its longest axis. Every element is **replicated**
-//!   into each shard whose region its bounding box overlaps (elements whose
-//!   bodies straddle a boundary land in several shards), so a query only
-//!   ever needs the shards its box overlaps.
-//! * **Per-shard execution** — each shard owns a compact clone of its
-//!   elements (re-identified with dense local ids so any index type,
+//! * [`ShardExecutor`] — one shard's execution state: a compact clone of
+//!   its elements (re-identified with dense local ids so any index type,
 //!   including dataset-dependent structures like the linear scan, works
-//!   unchanged), the index built over them, and its own [`QueryEngine`].
-//!   Shard batches run via the index's ordinary `range_batch` /
-//!   `knn_batch_into` plans; with `SIMSPATIAL_THREADS > 1` the shards
-//!   execute on worker threads via `simspatial_geom::parallel`.
-//! * **Merging** — a sequential merge pass translates local ids back to
-//!   global ids and streams into the caller's sink in batch order. Range
-//!   hits of boundary-straddling (replicated) elements are deduplicated
-//!   with the generation-stamped visited table; per-shard kNN top-k lists
-//!   are merged under the global ascending `(distance, id)` order, so the
-//!   result is **byte-identical** to running the same exact index unsharded
-//!   (approximate structures like LSH hash differently per shard and are
-//!   exempt from that guarantee).
-//! * **Accounting** — per-shard [`QueryStats`] predicate-counter deltas are
-//!   summed (they are captured on the executing thread, so the totals are
-//!   correct under threading); elapsed time is the overall wall clock and
-//!   `results` counts post-merge (deduplicated) emissions.
+//!   unchanged), the index built over them, and a private [`QueryEngine`].
+//!   Its batch entry points ([`ShardExecutor::range_batch`],
+//!   [`ShardExecutor::knn_batch`]) emit **global** ids, so an executor can
+//!   live on its own worker thread and ship results back for merging.
+//! * [`RangeLane`] / [`KnnLane`] — the routed sub-batch for one shard plus
+//!   the buffers its results land in. Lanes are plain owned data (`Send`),
+//!   so they travel through channels to per-shard workers and come back
+//!   for merging; reused lanes keep their allocations.
+//! * [`ShardPlanner`] — the routing and merging half: a [`ShardRouter`]
+//!   fans queries out into lanes, and the merge passes stream deduplicated
+//!   results into the caller's sink in batch order (range hits of
+//!   boundary-straddling replicated elements are deduplicated with the
+//!   generation-stamped visited table; per-shard kNN top-k lists merge
+//!   under the global ascending `(distance, id)` order).
+//!
+//! [`ShardedEngine`] composes the three inline (per-shard worker threads
+//! when `SIMSPATIAL_THREADS > 1`), and [`ShardedEngine::into_parts`] hands
+//! the planner and executors to callers — such as
+//! `simspatial_service::ShardedBackend` — that want to pin each executor to
+//! a persistent worker thread.
+//!
+//! **Partitioning** — the [`ShardRouter`] splits the dataset envelope into
+//! K slabs along its longest axis: equal-width by default
+//! ([`ShardRouter::new`]), or at per-axis coordinate medians
+//! ([`ShardRouter::median_cut`]) so clustered datasets get balanced shard
+//! populations. Every element is **replicated** into each shard whose
+//! bounding box overlaps the shard's region, so a query only ever needs the
+//! shards its box overlaps, and kNN's bounded two-phase fan-out (home shard
+//! first, then only shards whose region `MINDIST` can still improve on the
+//! home k-th bound) stays exact: the result is **byte-identical** to
+//! running the same exact index unsharded (approximate structures like LSH
+//! hash differently per shard and are exempt from that guarantee).
+//!
+//! **Accounting** — per-shard [`QueryStats`] predicate-counter deltas are
+//! summed (they are captured on the executing thread, so the totals are
+//! correct under threading); elapsed time is the overall wall clock and
+//! `results` counts post-merge (deduplicated) emissions.
+//! [`ShardedEngine::memory_bytes`] counts the full sharded structure:
+//! per-shard indexes, the replicated element clones and id maps, every
+//! engine's scratch high-water mark, the router and the merge scratch.
 
 use crate::engine::{BatchResults, KnnBatchResults, QueryEngine};
 use crate::traits::{KnnIndex, KnnSink, QueryStats, RangeSink, SpatialIndex};
@@ -38,15 +59,37 @@ use simspatial_geom::{parallel, stats, Aabb, Element, ElementId, Point3, QuerySc
 use std::ops::Range;
 use std::time::Instant;
 
-/// Uniform region split of a dataset envelope into K slabs along its
-/// longest axis — the routing function shared by element placement and
-/// query fan-out.
+/// How a [`ShardRouter`] places its K-1 interior cuts along the split axis.
+#[derive(Debug, Clone)]
+enum Split {
+    /// Equal-width slabs: slab lookup is one subtract/divide.
+    Uniform { width: f32 },
+    /// Explicit ascending cut positions (median-cut mode): slab lookup is a
+    /// binary search over `shards - 1` cuts.
+    Cuts(Vec<f32>),
+}
+
+/// Region split of a dataset envelope into K slabs along its longest axis —
+/// the routing function shared by element placement and query fan-out.
+///
+/// Two split modes:
+///
+/// * [`ShardRouter::new`] — **uniform** equal-width slabs (the default used
+///   by [`ShardedEngine::build`]).
+/// * [`ShardRouter::median_cut`] — cuts at the per-axis coordinate medians
+///   (quantiles of element centers), so skewed/clustered datasets get
+///   balanced per-shard element counts instead of balanced widths.
+///
+/// Both modes expose identical routing semantics, and the sharded engine's
+/// byte-identical-merge guarantee holds for either: regions tile the
+/// envelope with closed boundaries, and an element is replicated into every
+/// shard its bounding box overlaps.
 #[derive(Debug, Clone)]
 pub struct ShardRouter {
     bounds: Aabb,
     axis: usize,
     shards: usize,
-    width: f32,
+    split: Split,
 }
 
 impl ShardRouter {
@@ -68,7 +111,32 @@ impl ShardRouter {
             bounds,
             axis,
             shards,
-            width,
+            split: Split::Uniform { width },
+        }
+    }
+
+    /// A router over the envelope of `data` with cuts at the `shards`-iles
+    /// of element-center coordinates along the longest axis — balanced
+    /// shard populations for skewed datasets. Falls back to the uniform
+    /// split when there is nothing to take a median of.
+    pub fn median_cut(data: &[Element], shards: usize) -> Self {
+        assert!(shards >= 1, "need at least one shard");
+        let bounds = Aabb::union_all(data.iter().map(Element::aabb));
+        if shards == 1 || bounds.is_empty() || data.is_empty() {
+            return Self::new(bounds, shards);
+        }
+        let axis = bounds.longest_axis();
+        let mut coords: Vec<f32> = data.iter().map(|e| e.aabb().center().axis(axis)).collect();
+        coords.sort_unstable_by(f32::total_cmp);
+        let n = coords.len();
+        let cuts: Vec<f32> = (1..shards)
+            .map(|i| coords[(i * n / shards).min(n - 1)])
+            .collect();
+        Self {
+            bounds,
+            axis,
+            shards,
+            split: Split::Cuts(cuts),
         }
     }
 
@@ -82,18 +150,63 @@ impl ShardRouter {
         self.axis
     }
 
+    /// True when this router uses median cuts rather than uniform slabs.
+    pub fn is_median_cut(&self) -> bool {
+        matches!(self.split, Split::Cuts(_))
+    }
+
+    /// Heap + inline bytes of the routing structure.
+    pub fn memory_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + match &self.split {
+                Split::Uniform { .. } => 0,
+                Split::Cuts(cuts) => cuts.capacity() * std::mem::size_of::<f32>(),
+            }
+    }
+
+    /// True when the split is degenerate (empty envelope or zero width) and
+    /// everything routes everywhere.
+    fn degenerate(&self) -> bool {
+        match &self.split {
+            Split::Uniform { width } => *width <= 0.0,
+            Split::Cuts(_) => false,
+        }
+    }
+
+    /// The slab a coordinate value falls in, clamped into `0..shards`.
+    fn slab(&self, v: f32) -> usize {
+        match &self.split {
+            Split::Uniform { width } => {
+                let lo = self.bounds.min.axis(self.axis);
+                (((v - lo) / width).floor() as isize).clamp(0, self.shards as isize - 1) as usize
+            }
+            Split::Cuts(cuts) => cuts.partition_point(|&c| c <= v),
+        }
+    }
+
+    /// The lower boundary of slab `i` along the split axis.
+    fn slab_lo(&self, i: usize) -> f32 {
+        if i == 0 {
+            return self.bounds.min.axis(self.axis);
+        }
+        match &self.split {
+            Split::Uniform { width } => self.bounds.min.axis(self.axis) + i as f32 * width,
+            Split::Cuts(cuts) => cuts[i - 1],
+        }
+    }
+
     /// The region of shard `i`: the envelope restricted to slab `i` along
     /// the split axis.
     pub fn region(&self, i: usize) -> Aabb {
         assert!(i < self.shards);
-        if self.bounds.is_empty() || self.width <= 0.0 {
+        if self.bounds.is_empty() || self.degenerate() {
             return self.bounds;
         }
-        let lo = self.bounds.min.axis(self.axis) + i as f32 * self.width;
+        let lo = self.slab_lo(i);
         let hi = if i + 1 == self.shards {
             self.bounds.max.axis(self.axis)
         } else {
-            lo + self.width
+            self.slab_lo(i + 1)
         };
         let mut region = self.bounds;
         *region.min.axis_mut(self.axis) = lo;
@@ -105,15 +218,11 @@ impl ShardRouter {
     /// outside the envelope clamp to the nearest slab, so routing is total;
     /// a degenerate (zero-width) split routes everything everywhere.
     pub fn route(&self, b: &Aabb) -> Range<usize> {
-        if self.width <= 0.0 || b.is_empty() {
+        if self.degenerate() || b.is_empty() {
             return 0..self.shards;
         }
-        let lo = self.bounds.min.axis(self.axis);
-        let slab = |v: f32| -> usize {
-            (((v - lo) / self.width).floor() as isize).clamp(0, self.shards as isize - 1) as usize
-        };
-        let first = slab(b.min.axis(self.axis));
-        let last = slab(b.max.axis(self.axis));
+        let first = self.slab(b.min.axis(self.axis));
+        let last = self.slab(b.max.axis(self.axis));
         first..last + 1
     }
 
@@ -124,10 +233,57 @@ impl ShardRouter {
     }
 }
 
-/// One shard: a compact re-identified clone of its elements, the index
-/// built over them, a private [`QueryEngine`], and the staging buffers the
-/// batch paths reuse across calls.
-struct Shard<I> {
+/// Forwarding range sink that translates a shard's dense local ids back to
+/// global element ids as they are emitted.
+struct GlobalRangeSink<'a> {
+    inner: &'a mut dyn RangeSink,
+    global: &'a [ElementId],
+}
+
+impl RangeSink for GlobalRangeSink<'_> {
+    fn begin_query(&mut self, qi: u32) {
+        self.inner.begin_query(qi);
+    }
+
+    #[inline]
+    fn push(&mut self, id: ElementId) {
+        self.inner.push(self.global[id as usize]);
+    }
+}
+
+/// Forwarding kNN sink that translates local ids to global ids.
+///
+/// Local ids are assigned in data-slice order, and the index layer requires
+/// element ids to equal data-slice positions (plans address `data[id]`), so
+/// ascending local id within a shard is ascending global id too: the
+/// shard's `(distance, local id)` top-k selection picks exactly the
+/// elements a global `(distance, id)` selection would, and the merge pass
+/// only has to interleave shards — that is what keeps sharded results
+/// byte-identical to unsharded execution, ties included.
+struct GlobalKnnSink<'a> {
+    inner: &'a mut dyn KnnSink,
+    global: &'a [ElementId],
+}
+
+impl KnnSink for GlobalKnnSink<'_> {
+    fn begin_query(&mut self, qi: u32) {
+        self.inner.begin_query(qi);
+    }
+
+    #[inline]
+    fn push(&mut self, id: ElementId, dist: f32) {
+        self.inner.push(self.global[id as usize], dist);
+    }
+}
+
+/// One shard's execution state: a compact re-identified clone of its
+/// elements, the index built over them, and a private [`QueryEngine`].
+///
+/// Executors are self-contained and `Send` (for `Send` index types): the
+/// service layer moves each one onto a persistent worker thread and drives
+/// it with [`RangeLane`]/[`KnnLane`] jobs. Batch results are emitted with
+/// **global** element ids, so merging never needs shard-local state.
+pub struct ShardExecutor<I> {
     region: Aabb,
     /// Local elements, re-identified with dense ids `0..n`.
     data: Vec<Element>,
@@ -135,23 +291,476 @@ struct Shard<I> {
     global: Vec<ElementId>,
     index: I,
     engine: QueryEngine,
-    /// Global query index per routed query of the current batch (ascending).
+}
+
+impl<I> ShardExecutor<I> {
+    /// The routing region this executor serves.
+    pub fn region(&self) -> Aabb {
+        self.region
+    }
+
+    /// Number of elements stored in this shard (replicas included).
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the shard holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The shard's index.
+    pub fn index(&self) -> &I {
+        &self.index
+    }
+
+    /// Local id → global id translation table.
+    pub fn global_ids(&self) -> &[ElementId] {
+        &self.global
+    }
+
+    /// Bytes of the shard's replicated element clone, id map and engine
+    /// scratch (everything but the index structure itself).
+    fn base_memory_bytes(&self) -> usize {
+        self.data.capacity() * std::mem::size_of::<Element>()
+            + self.global.capacity() * std::mem::size_of::<ElementId>()
+            + self.engine.memory_bytes()
+    }
+}
+
+impl<I: SpatialIndex> ShardExecutor<I> {
+    /// Bytes held by this shard: index structure, replicated element clone,
+    /// id map and engine scratch.
+    pub fn memory_bytes(&self) -> usize {
+        self.index.memory_bytes() + self.base_memory_bytes()
+    }
+
+    /// Runs a routed sub-batch of range queries through the shard's engine,
+    /// collecting **global** ids per query into `out` (reset first).
+    pub fn range_batch(&mut self, queries: &[Aabb], out: &mut BatchResults) -> QueryStats {
+        out.reset();
+        let mut sink = GlobalRangeSink {
+            inner: out,
+            global: &self.global,
+        };
+        self.engine
+            .range_batch(&self.index, &self.data, queries, &mut sink)
+    }
+}
+
+impl<I: KnnIndex> ShardExecutor<I> {
+    /// Runs a routed sub-batch of kNN probes through the shard's engine,
+    /// collecting **global** `(id, distance)` lists per probe into `out`
+    /// (reset first).
+    pub fn knn_batch(
+        &mut self,
+        points: &[Point3],
+        k: usize,
+        out: &mut KnnBatchResults,
+    ) -> QueryStats {
+        out.reset();
+        let mut sink = GlobalKnnSink {
+            inner: out,
+            global: &self.global,
+        };
+        self.engine
+            .knn_batch_into(&self.index, &self.data, points, k, &mut sink)
+    }
+}
+
+/// The routed range sub-batch for one shard plus its result buffers — the
+/// job payload a [`ShardPlanner`] fills, a [`ShardExecutor`] runs, and the
+/// planner's merge pass consumes. Owned data (`Send`): lanes travel through
+/// channels to per-shard workers; reused lanes keep their allocations.
+#[derive(Default)]
+pub struct RangeLane {
+    /// Global query index per routed query (ascending).
     routed: Vec<u32>,
     /// The routed query boxes, parallel to `routed`.
     queries: Vec<Aabb>,
+    /// Per-routed-query global-id result lists, filled by [`RangeLane::run`].
+    results: BatchResults,
+    /// Accounting of the shard execution.
+    stats: QueryStats,
     /// Merge cursor into `routed`.
     cursor: usize,
-    results: BatchResults,
-    /// kNN phase-2 staging: global probe index / point per routed probe,
-    /// and the merge cursor (phase 1 reuses `routed`/`points`/`cursor`).
-    routed2: Vec<u32>,
-    points2: Vec<Point3>,
-    cursor2: usize,
-    /// Routed probe points, parallel to `routed` (kNN phase 1).
+}
+
+impl RangeLane {
+    /// An empty lane.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of queries routed to this lane.
+    pub fn len(&self) -> usize {
+        self.routed.len()
+    }
+
+    /// True when no queries are routed here.
+    pub fn is_empty(&self) -> bool {
+        self.routed.is_empty()
+    }
+
+    /// The routed query boxes.
+    pub fn queries(&self) -> &[Aabb] {
+        &self.queries
+    }
+
+    /// Accounting of the last [`RangeLane::run`].
+    pub fn stats(&self) -> &QueryStats {
+        &self.stats
+    }
+
+    /// Clears the lane for re-routing, keeping allocations.
+    fn reset(&mut self) {
+        self.routed.clear();
+        self.queries.clear();
+        self.results.reset();
+        self.stats = QueryStats::default();
+        self.cursor = 0;
+    }
+
+    /// Executes the lane's sub-batch on `exec`, filling the result buffers
+    /// and recording the shard's [`QueryStats`].
+    pub fn run<I: SpatialIndex>(&mut self, exec: &mut ShardExecutor<I>) {
+        let Self {
+            queries,
+            results,
+            stats,
+            ..
+        } = self;
+        *stats = exec.range_batch(queries, results);
+    }
+
+    /// Heap bytes held by the lane's buffers.
+    pub fn memory_bytes(&self) -> usize {
+        self.routed.capacity() * std::mem::size_of::<u32>()
+            + self.queries.capacity() * std::mem::size_of::<Aabb>()
+    }
+}
+
+/// The routed kNN sub-batch for one shard plus its result buffers — the kNN
+/// mirror of [`RangeLane`], used for both the home phase and the bounded
+/// fan-out phase.
+#[derive(Default)]
+pub struct KnnLane {
+    /// Global probe index per routed probe (ascending).
+    routed: Vec<u32>,
+    /// The routed probe points, parallel to `routed`.
     points: Vec<Point3>,
-    knn: KnnBatchResults,
-    knn2: KnnBatchResults,
+    /// Neighbours requested per probe.
+    k: usize,
+    /// Per-routed-probe global `(id, distance)` lists, filled by
+    /// [`KnnLane::run`].
+    results: KnnBatchResults,
+    /// Accounting of the shard execution.
     stats: QueryStats,
+    /// Merge cursor into `routed`.
+    cursor: usize,
+}
+
+impl KnnLane {
+    /// An empty lane.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of probes routed to this lane.
+    pub fn len(&self) -> usize {
+        self.routed.len()
+    }
+
+    /// True when no probes are routed here.
+    pub fn is_empty(&self) -> bool {
+        self.routed.is_empty()
+    }
+
+    /// The routed probe points.
+    pub fn points(&self) -> &[Point3] {
+        &self.points
+    }
+
+    /// Accounting of the last [`KnnLane::run`].
+    pub fn stats(&self) -> &QueryStats {
+        &self.stats
+    }
+
+    /// Clears the lane for re-routing, keeping allocations.
+    fn reset(&mut self, k: usize) {
+        self.routed.clear();
+        self.points.clear();
+        self.k = k;
+        self.results.reset();
+        self.stats = QueryStats::default();
+        self.cursor = 0;
+    }
+
+    /// Executes the lane's sub-batch on `exec`, filling the result buffers
+    /// and recording the shard's [`QueryStats`].
+    pub fn run<I: KnnIndex>(&mut self, exec: &mut ShardExecutor<I>) {
+        let Self {
+            points,
+            k,
+            results,
+            stats,
+            ..
+        } = self;
+        *stats = exec.knn_batch(points, *k, results);
+    }
+
+    /// Heap bytes held by the lane's buffers.
+    pub fn memory_bytes(&self) -> usize {
+        self.routed.capacity() * std::mem::size_of::<u32>()
+            + self.points.capacity() * std::mem::size_of::<Point3>()
+    }
+}
+
+/// Grows or shrinks `lanes` to exactly `n` entries.
+fn size_lanes<L: Default>(lanes: &mut Vec<L>, n: usize) {
+    lanes.truncate(n);
+    while lanes.len() < n {
+        lanes.push(L::default());
+    }
+}
+
+/// The routing + merging half of sharded execution: fans query batches out
+/// into per-shard [`RangeLane`]s/[`KnnLane`]s and merges executed lanes back
+/// into one sink under the single-engine result contract (deduplicated
+/// range ids; kNN top-k under ascending `(distance, id)`).
+///
+/// A planner never touches shard indexes, so callers are free to run the
+/// lanes wherever they like — inline, via [`ShardedEngine`]'s scoped
+/// threads, or on the service layer's persistent per-shard workers.
+pub struct ShardPlanner {
+    router: ShardRouter,
+    /// Per-shard routing regions, hoisted out of the fan-out hot loops
+    /// (`router.region(i)` re-derives slab bounds on every call).
+    regions: Vec<Aabb>,
+    /// Upper bound on global ids (sizes the merge-time dedupe table).
+    id_bound: usize,
+    /// Merge-phase scratch: the visited table dedupes replicated hits;
+    /// `knn_queue` stages kNN merge candidates; `dists` holds the per-probe
+    /// phase-2 pruning bounds.
+    scratch: QueryScratch,
+}
+
+impl ShardPlanner {
+    /// A planner over `router` for a dataset whose global ids are below
+    /// `id_bound`.
+    pub fn new(router: ShardRouter, id_bound: usize) -> Self {
+        let regions = (0..router.shards()).map(|i| router.region(i)).collect();
+        Self {
+            router,
+            regions,
+            id_bound,
+            scratch: QueryScratch::default(),
+        }
+    }
+
+    /// The routing function in force.
+    pub fn router(&self) -> &ShardRouter {
+        &self.router
+    }
+
+    /// Number of shards planned for.
+    pub fn shard_count(&self) -> usize {
+        self.router.shards()
+    }
+
+    /// Heap bytes held by the router and the merge scratch.
+    pub fn memory_bytes(&self) -> usize {
+        self.router.memory_bytes() + self.scratch.memory_bytes()
+    }
+
+    /// Routes a range batch: each query lands in every lane whose shard
+    /// region its box overlaps. `lanes` is resized to the shard count and
+    /// fully reset (allocations kept).
+    pub fn route_range(&self, queries: &[Aabb], lanes: &mut Vec<RangeLane>) {
+        size_lanes(lanes, self.shard_count());
+        for lane in lanes.iter_mut() {
+            lane.reset();
+        }
+        for (qi, q) in queries.iter().enumerate() {
+            for s in self.router.route(q) {
+                lanes[s].routed.push(qi as u32);
+                lanes[s].queries.push(*q);
+            }
+        }
+    }
+
+    /// Merges executed range lanes into `sink`: per query in batch order,
+    /// replicated hits deduplicated. Returns the post-merge result count
+    /// and the summed per-shard predicate counters (`elapsed_s` is zero —
+    /// the orchestrator owns the wall clock).
+    pub fn merge_range(
+        &mut self,
+        n_queries: usize,
+        lanes: &mut [RangeLane],
+        sink: &mut dyn RangeSink,
+    ) -> QueryStats {
+        let mut counts = stats::PredicateCounts::default();
+        for lane in lanes.iter_mut() {
+            lane.cursor = 0;
+            counts.add(&lane.stats.counts);
+        }
+        let mut results = 0u64;
+        for qi in 0..n_queries {
+            sink.begin_query(qi as u32);
+            self.scratch.visited.begin(self.id_bound);
+            for lane in lanes.iter_mut() {
+                if lane.cursor < lane.routed.len() && lane.routed[lane.cursor] == qi as u32 {
+                    for &global in lane.results.query_results(lane.cursor) {
+                        if self.scratch.visited.mark(global) {
+                            sink.push(global);
+                            results += 1;
+                        }
+                    }
+                    lane.cursor += 1;
+                }
+            }
+        }
+        QueryStats {
+            elapsed_s: 0.0,
+            results,
+            counts,
+        }
+    }
+
+    /// Routes kNN phase 1: every probe lands in the lane of its *home*
+    /// shard (the slab its point falls in). `lanes` is resized to the shard
+    /// count and fully reset.
+    pub fn route_knn_home(&self, points: &[Point3], k: usize, lanes: &mut Vec<KnnLane>) {
+        size_lanes(lanes, self.shard_count());
+        for lane in lanes.iter_mut() {
+            lane.reset(k);
+        }
+        for (qi, p) in points.iter().enumerate() {
+            let home = self.router.home(p);
+            lanes[home].routed.push(qi as u32);
+            lanes[home].points.push(*p);
+        }
+    }
+
+    /// Routes kNN phase 2 from the **executed** home lanes: each probe fans
+    /// out only to the shards whose region `MINDIST` can still beat (or
+    /// tie) its home k-th-best distance — with replication-by-bbox, any
+    /// element within distance `d` of the probe lives in a shard whose
+    /// region `MINDIST ≤ d`, so the bounded fan-out is exact.
+    pub fn route_knn_fanout(
+        &mut self,
+        points: &[Point3],
+        k: usize,
+        home: &[KnnLane],
+        fan: &mut Vec<KnnLane>,
+    ) {
+        size_lanes(fan, self.shard_count());
+        for lane in fan.iter_mut() {
+            lane.reset(k);
+        }
+        // Per-probe pruning bound: the home shard's k-th best distance
+        // (+∞ when the home shard held fewer than k elements).
+        let bounds = &mut self.scratch.dists;
+        bounds.clear();
+        bounds.resize(points.len(), f32::INFINITY);
+        for lane in home {
+            for (j, &qi) in lane.routed.iter().enumerate() {
+                let list = lane.results.query_results(j);
+                if k > 0 && list.len() >= k {
+                    bounds[qi as usize] = list[list.len() - 1].1;
+                }
+            }
+        }
+        for (qi, p) in points.iter().enumerate() {
+            let home_shard = self.router.home(p);
+            let b = bounds[qi];
+            for (s, lane) in fan.iter_mut().enumerate() {
+                if s == home_shard {
+                    continue;
+                }
+                // Inclusive bound: a tie at distance b with a smaller id
+                // must still be able to displace the home k-th best.
+                if self.regions[s].min_distance2(p) <= b * b {
+                    lane.routed.push(qi as u32);
+                    lane.points.push(*p);
+                }
+            }
+        }
+    }
+
+    /// Merges executed home + fan-out kNN lanes into `sink`: per probe, the
+    /// union of per-shard top-k lists sorted under ascending
+    /// `(distance, global id)`, replicas dropped, and the k best emitted.
+    /// Returns the post-merge result count and summed predicate counters.
+    pub fn merge_knn(
+        &mut self,
+        n_probes: usize,
+        k: usize,
+        home: &mut [KnnLane],
+        fan: &mut [KnnLane],
+        sink: &mut dyn KnnSink,
+    ) -> QueryStats {
+        let mut counts = stats::PredicateCounts::default();
+        for lane in home.iter_mut().chain(fan.iter_mut()) {
+            lane.cursor = 0;
+            counts.add(&lane.stats.counts);
+        }
+        let Self {
+            id_bound, scratch, ..
+        } = self;
+        let mut results = 0u64;
+        let merge = &mut scratch.knn_queue;
+        for qi in 0..n_probes {
+            sink.begin_query(qi as u32);
+            merge.clear();
+            for lane in home.iter_mut().chain(fan.iter_mut()) {
+                if lane.cursor < lane.routed.len() && lane.routed[lane.cursor] == qi as u32 {
+                    for &(global, d) in lane.results.query_results(lane.cursor) {
+                        merge.push((d, global));
+                    }
+                    lane.cursor += 1;
+                }
+            }
+            merge.sort_unstable_by(crate::util::knn_key_cmp);
+            scratch.visited.begin(*id_bound);
+            let mut taken = 0usize;
+            for &(d, global) in merge.iter() {
+                if taken == k {
+                    break;
+                }
+                if scratch.visited.mark(global) {
+                    sink.push(global, d);
+                    taken += 1;
+                    results += 1;
+                }
+            }
+        }
+        QueryStats {
+            elapsed_s: 0.0,
+            results,
+            counts,
+        }
+    }
+}
+
+/// Runs `f` over every (executor, lane) pair — on worker threads via the
+/// shared `simspatial_geom::parallel` helpers (one pair per chunk) when
+/// they have threads to spend, inline otherwise.
+fn run_pairs<A: Send, B: Send>(a: &mut [A], b: &mut [B], f: impl Fn(&mut A, &mut B) + Sync) {
+    debug_assert_eq!(a.len(), b.len());
+    if parallel::num_threads() <= 1 || a.len() <= 1 {
+        for (x, y) in a.iter_mut().zip(b.iter_mut()) {
+            f(x, y);
+        }
+        return;
+    }
+    let mut pairs: Vec<(&mut A, &mut B)> = a.iter_mut().zip(b.iter_mut()).collect();
+    let cuts: Vec<usize> = (1..pairs.len()).collect();
+    parallel::par_for_each_slice(parallel::split_at_many(&mut pairs, &cuts), |chunk| {
+        for pair in chunk.iter_mut() {
+            f(pair.0, pair.1);
+        }
+    });
 }
 
 /// A region-sharded query engine: K shards, each owning a [`QueryEngine`]
@@ -173,23 +782,45 @@ struct Shard<I> {
 /// assert_eq!(stats.results as usize, results.total());
 /// ```
 pub struct ShardedEngine<I> {
-    router: ShardRouter,
-    shards: Vec<Shard<I>>,
-    /// Upper bound on global ids (sizes the merge-time dedupe table).
-    id_bound: usize,
-    /// Merge-phase scratch: the visited table dedupes replicated range
-    /// hits; `knn_queue` stages kNN merge candidates.
-    scratch: QueryScratch,
+    planner: ShardPlanner,
+    executors: Vec<ShardExecutor<I>>,
+    range_lanes: Vec<RangeLane>,
+    knn_home: Vec<KnnLane>,
+    knn_fan: Vec<KnnLane>,
 }
 
 impl<I> ShardedEngine<I> {
-    /// Partitions `data` into `shards` region shards and builds one index
-    /// per shard with `build` (called with the shard's re-identified local
-    /// elements). Replicates boundary-straddling elements into every shard
-    /// their bounding box overlaps.
+    /// Partitions `data` into `shards` uniform region shards and builds one
+    /// index per shard with `build` (called with the shard's re-identified
+    /// local elements). Replicates boundary-straddling elements into every
+    /// shard their bounding box overlaps.
     pub fn build(data: &[Element], shards: usize, build: impl Fn(&[Element]) -> I) -> Self {
         let bounds = Aabb::union_all(data.iter().map(Element::aabb));
-        let router = ShardRouter::new(bounds, shards);
+        Self::build_with_router(data, ShardRouter::new(bounds, shards), build)
+    }
+
+    /// Like [`ShardedEngine::build`] but with median-cut shard boundaries
+    /// ([`ShardRouter::median_cut`]): balanced per-shard element counts on
+    /// skewed/clustered datasets.
+    pub fn build_median(data: &[Element], shards: usize, build: impl Fn(&[Element]) -> I) -> Self {
+        Self::build_with_router(data, ShardRouter::median_cut(data, shards), build)
+    }
+
+    /// Partitions `data` with an explicit router and builds one index per
+    /// shard with `build`.
+    ///
+    /// `data` must follow the index layer's identification convention —
+    /// `element.id == position in the slice` (plans address `data[id]`).
+    /// Shard clones are re-identified the same way, which also makes each
+    /// shard's local-id order agree with global-id order: that agreement is
+    /// what keeps per-shard top-k tie-breaking, and therefore the sharded
+    /// results, byte-identical to unsharded execution.
+    pub fn build_with_router(
+        data: &[Element],
+        router: ShardRouter,
+        build: impl Fn(&[Element]) -> I,
+    ) -> Self {
+        let shards = router.shards();
         let mut parts: Vec<Vec<Element>> = (0..shards).map(|_| Vec::new()).collect();
         let mut globals: Vec<Vec<ElementId>> = (0..shards).map(|_| Vec::new()).collect();
         let mut id_bound = 0usize;
@@ -201,81 +832,81 @@ impl<I> ShardedEngine<I> {
                 globals[s].push(e.id);
             }
         }
-        let shards = parts
+        let executors = parts
             .into_iter()
             .zip(globals)
             .enumerate()
-            .map(|(i, (part, global))| Shard {
+            .map(|(i, (part, global))| ShardExecutor {
                 region: router.region(i),
                 index: build(&part),
                 data: part,
                 global,
                 engine: QueryEngine::new(),
-                routed: Vec::new(),
-                queries: Vec::new(),
-                cursor: 0,
-                results: BatchResults::new(),
-                routed2: Vec::new(),
-                points2: Vec::new(),
-                cursor2: 0,
-                points: Vec::new(),
-                knn: KnnBatchResults::new(),
-                knn2: KnnBatchResults::new(),
-                stats: QueryStats::default(),
             })
             .collect();
         Self {
-            router,
-            shards,
-            id_bound,
-            scratch: QueryScratch::default(),
+            planner: ShardPlanner::new(router, id_bound),
+            executors,
+            range_lanes: Vec::new(),
+            knn_home: Vec::new(),
+            knn_fan: Vec::new(),
         }
     }
 
     /// The routing function in force.
     pub fn router(&self) -> &ShardRouter {
-        &self.router
+        self.planner.router()
     }
 
     /// Number of shards.
     pub fn shard_count(&self) -> usize {
-        self.shards.len()
+        self.executors.len()
     }
 
     /// Elements stored per shard (replicas counted once per shard they
-    /// land in — diagnostics for the replication factor).
+    /// land in — diagnostics for the replication factor and for split-mode
+    /// balance comparisons).
     pub fn shard_sizes(&self) -> Vec<usize> {
-        self.shards.iter().map(|s| s.data.len()).collect()
+        self.executors.iter().map(ShardExecutor::len).collect()
     }
 
     /// The routing region of shard `i`.
     pub fn shard_region(&self, i: usize) -> Aabb {
-        self.shards[i].region
+        self.executors[i].region()
     }
-}
 
-/// Runs `f` over every shard — on worker threads (one chunk per shard)
-/// when the parallel helpers have threads to spend, inline otherwise.
-fn run_shards<I: Send>(shards: &mut [Shard<I>], f: impl Fn(&mut Shard<I>) + Sync) {
-    if parallel::num_threads() <= 1 || shards.len() <= 1 {
-        for shard in shards {
-            f(shard);
-        }
-        return;
+    /// Splits the engine into its planner and per-shard executors, for
+    /// callers that pin each executor to its own worker thread (the service
+    /// layer's per-shard workers). The planner routes and merges; executors
+    /// run lanes wherever the caller puts them.
+    pub fn into_parts(self) -> (ShardPlanner, Vec<ShardExecutor<I>>) {
+        (self.planner, self.executors)
     }
-    let cuts: Vec<usize> = (1..shards.len()).collect();
-    parallel::par_for_each_slice(parallel::split_at_many(shards, &cuts), |chunk| {
-        for shard in chunk.iter_mut() {
-            f(shard);
-        }
-    });
 }
 
 impl<I: SpatialIndex> ShardedEngine<I> {
-    /// Total structure bytes across the shard indexes (replication makes
-    /// this larger than an unsharded index over the same data).
+    /// Total bytes of the sharded structure: per-shard indexes, replicated
+    /// element clones and id maps, engine scratch high-water marks, the
+    /// router and the merge/lane scratch. Replication makes this larger
+    /// than an unsharded index over the same data.
     pub fn memory_bytes(&self) -> usize {
-        self.shards.iter().map(|s| s.index.memory_bytes()).sum()
+        self.planner.memory_bytes()
+            + self
+                .executors
+                .iter()
+                .map(ShardExecutor::memory_bytes)
+                .sum::<usize>()
+            + self
+                .range_lanes
+                .iter()
+                .map(RangeLane::memory_bytes)
+                .sum::<usize>()
+            + self
+                .knn_home
+                .iter()
+                .chain(self.knn_fan.iter())
+                .map(KnnLane::memory_bytes)
+                .sum::<usize>()
     }
 }
 
@@ -287,53 +918,15 @@ impl<I: SpatialIndex + Send> ShardedEngine<I> {
     /// query in batch order. Returns the aggregated accounting.
     pub fn range_batch(&mut self, queries: &[Aabb], sink: &mut dyn RangeSink) -> QueryStats {
         let start = Instant::now();
-        for shard in &mut self.shards {
-            shard.routed.clear();
-            shard.queries.clear();
-        }
-        for (qi, q) in queries.iter().enumerate() {
-            for s in self.router.route(q) {
-                self.shards[s].routed.push(qi as u32);
-                self.shards[s].queries.push(*q);
-            }
-        }
-        run_shards(&mut self.shards, |shard| {
-            shard.stats = shard.engine.range_collect(
-                &shard.index,
-                &shard.data,
-                &shard.queries,
-                &mut shard.results,
-            );
+        self.planner.route_range(queries, &mut self.range_lanes);
+        run_pairs(&mut self.executors, &mut self.range_lanes, |exec, lane| {
+            lane.run(exec)
         });
-        // Merge: per query in batch order, translate local → global ids and
-        // drop replicas already emitted by an earlier shard.
-        let mut counts = stats::PredicateCounts::default();
-        for shard in &mut self.shards {
-            shard.cursor = 0;
-            counts.add(&shard.stats.counts);
-        }
-        let mut results = 0u64;
-        for qi in 0..queries.len() {
-            sink.begin_query(qi as u32);
-            self.scratch.visited.begin(self.id_bound);
-            for shard in &mut self.shards {
-                if shard.cursor < shard.routed.len() && shard.routed[shard.cursor] == qi as u32 {
-                    for &local in shard.results.query_results(shard.cursor) {
-                        let global = shard.global[local as usize];
-                        if self.scratch.visited.mark(global) {
-                            sink.push(global);
-                            results += 1;
-                        }
-                    }
-                    shard.cursor += 1;
-                }
-            }
-        }
-        QueryStats {
-            elapsed_s: start.elapsed().as_secs_f64(),
-            results,
-            counts,
-        }
+        let mut stats = self
+            .planner
+            .merge_range(queries.len(), &mut self.range_lanes, sink);
+        stats.elapsed_s = start.elapsed().as_secs_f64();
+        stats
     }
 
     /// Runs the batch and collects per-query result lists into `out`
@@ -367,121 +960,20 @@ impl<I: KnnIndex + Send> ShardedEngine<I> {
         sink: &mut dyn KnnSink,
     ) -> QueryStats {
         let start = Instant::now();
-        let Self {
-            router,
-            shards,
-            id_bound,
-            scratch,
-        } = self;
-        // Phase 1: each probe on its home shard.
-        for shard in shards.iter_mut() {
-            shard.routed.clear();
-            shard.points.clear();
-        }
-        for (qi, p) in points.iter().enumerate() {
-            let home = router.home(p);
-            shards[home].routed.push(qi as u32);
-            shards[home].points.push(*p);
-        }
-        run_shards(shards, |shard| {
-            shard.stats = shard.engine.knn_collect(
-                &shard.index,
-                &shard.data,
-                &shard.points,
-                k,
-                &mut shard.knn,
-            );
+        self.planner.route_knn_home(points, k, &mut self.knn_home);
+        run_pairs(&mut self.executors, &mut self.knn_home, |exec, lane| {
+            lane.run(exec)
         });
-        // Per-probe pruning bound: the home shard's k-th best distance
-        // (+∞ when the home shard held fewer than k elements).
-        let bounds = &mut scratch.dists;
-        bounds.clear();
-        bounds.resize(points.len(), f32::INFINITY);
-        for shard in shards.iter() {
-            for (j, &qi) in shard.routed.iter().enumerate() {
-                let list = shard.knn.query_results(j);
-                if k > 0 && list.len() >= k {
-                    bounds[qi as usize] = list[list.len() - 1].1;
-                }
-            }
-        }
-        // Phase 2: bounded fan-out to the shards that can still improve.
-        for shard in shards.iter_mut() {
-            shard.routed2.clear();
-            shard.points2.clear();
-        }
-        for (qi, p) in points.iter().enumerate() {
-            let home = router.home(p);
-            let b = bounds[qi];
-            for (s, shard) in shards.iter_mut().enumerate() {
-                if s == home {
-                    continue;
-                }
-                // Inclusive bound: a tie at distance b with a smaller id
-                // must still be able to displace the home k-th best.
-                if shard.region.min_distance2(p) <= b * b {
-                    shard.routed2.push(qi as u32);
-                    shard.points2.push(*p);
-                }
-            }
-        }
-        run_shards(shards, |shard| {
-            let phase2 = shard.engine.knn_collect(
-                &shard.index,
-                &shard.data,
-                &shard.points2,
-                k,
-                &mut shard.knn2,
-            );
-            shard.stats.counts.add(&phase2.counts);
+        self.planner
+            .route_knn_fanout(points, k, &self.knn_home, &mut self.knn_fan);
+        run_pairs(&mut self.executors, &mut self.knn_fan, |exec, lane| {
+            lane.run(exec)
         });
-        // Merge: per probe, union home + fan-out lists under ascending
-        // (distance, global id), dropping replicas, and keep the k best.
-        let mut counts = stats::PredicateCounts::default();
-        for shard in shards.iter_mut() {
-            shard.cursor = 0;
-            shard.cursor2 = 0;
-            counts.add(&shard.stats.counts);
-        }
-        let mut results = 0u64;
-        let merge = &mut scratch.knn_queue;
-        for (qi, _) in points.iter().enumerate() {
-            sink.begin_query(qi as u32);
-            merge.clear();
-            for shard in shards.iter_mut() {
-                if shard.cursor < shard.routed.len() && shard.routed[shard.cursor] == qi as u32 {
-                    for &(local, d) in shard.knn.query_results(shard.cursor) {
-                        merge.push((d, shard.global[local as usize]));
-                    }
-                    shard.cursor += 1;
-                }
-                if shard.cursor2 < shard.routed2.len() && shard.routed2[shard.cursor2] == qi as u32
-                {
-                    for &(local, d) in shard.knn2.query_results(shard.cursor2) {
-                        merge.push((d, shard.global[local as usize]));
-                    }
-                    shard.cursor2 += 1;
-                }
-            }
-            merge.sort_unstable_by(crate::util::knn_key_cmp);
-            scratch.visited.begin(*id_bound);
-            let mut taken = 0usize;
-            for &(d, global) in merge.iter() {
-                if taken == k {
-                    break;
-                }
-                if scratch.visited.mark(global) {
-                    sink.push(global, d);
-                    taken += 1;
-                    results += 1;
-                }
-            }
-        }
-        QueryStats {
-            elapsed_s: start.elapsed().as_secs_f64(),
-            results,
-            counts,
-        }
+        let mut stats =
+            self.planner
+                .merge_knn(points.len(), k, &mut self.knn_home, &mut self.knn_fan, sink);
+        stats.elapsed_s = start.elapsed().as_secs_f64();
+        stats
     }
 
     /// Runs the kNN batch and collects per-probe result lists into `out`
@@ -516,6 +1008,20 @@ mod tests {
             .collect()
     }
 
+    /// A heavily skewed soup: most elements in one dense corner cluster.
+    fn skewed(n: u32) -> Vec<Element> {
+        (0..n)
+            .map(|i| {
+                let h = i.wrapping_mul(2654435761);
+                let (scale, base) = if i % 10 == 0 { (99.0, 0.0) } else { (5.0, 2.0) };
+                let x = base + (h % 997) as f32 / 997.0 * scale;
+                let y = base + ((h >> 10) % 997) as f32 / 997.0 * scale;
+                let z = base + ((h >> 20) % 997) as f32 / 997.0 * scale;
+                Element::new(i, Shape::Sphere(Sphere::new(Point3::new(x, y, z), 0.3)))
+            })
+            .collect()
+    }
+
     fn queries() -> Vec<Aabb> {
         (0..10)
             .map(|i| {
@@ -530,6 +1036,7 @@ mod tests {
         let bounds = Aabb::new(Point3::ORIGIN, Point3::new(100.0, 10.0, 10.0));
         let router = ShardRouter::new(bounds, 4);
         assert_eq!(router.axis(), 0);
+        assert!(!router.is_median_cut());
         // Regions tile the envelope.
         for i in 0..4 {
             assert!(!router.region(i).is_empty());
@@ -548,6 +1055,54 @@ mod tests {
     }
 
     #[test]
+    fn median_router_balances_skewed_data() {
+        let data = skewed(2000);
+        let uniform = ShardedEngine::build(&data, 4, LinearScan::build);
+        let median = ShardedEngine::build_median(&data, 4, LinearScan::build);
+        assert!(median.router().is_median_cut());
+        let max_u = *uniform.shard_sizes().iter().max().unwrap();
+        let max_m = *median.shard_sizes().iter().max().unwrap();
+        // ~90% of elements live in the low corner: a uniform split dumps
+        // them in one slab, the median split spreads them out.
+        assert!(
+            max_m * 2 < max_u,
+            "median cut should rebalance: uniform max {max_u}, median max {max_m}"
+        );
+        // Regions still tile the envelope in order.
+        let router = median.router();
+        for i in 1..4 {
+            assert_eq!(
+                router.region(i).min.axis(router.axis()),
+                router.region(i - 1).max.axis(router.axis())
+            );
+        }
+    }
+
+    #[test]
+    fn median_router_degenerate_inputs() {
+        // Empty data: falls back to a uniform router that routes everywhere.
+        let router = ShardRouter::median_cut(&[], 3);
+        assert_eq!(router.route(&Aabb::from_point(Point3::ORIGIN)), 0..3);
+        // All-coincident centers: duplicate cuts, routing still total.
+        let coincident: Vec<Element> = (0..10)
+            .map(|i| {
+                Element::new(
+                    i,
+                    Shape::Sphere(Sphere::new(Point3::new(1.0, 2.0, 3.0), 0.5)),
+                )
+            })
+            .collect();
+        let router = ShardRouter::median_cut(&coincident, 4);
+        let mut seen = 0usize;
+        for e in &coincident {
+            let r = router.route(&e.aabb());
+            assert!(!r.is_empty());
+            seen += r.len();
+        }
+        assert!(seen >= coincident.len());
+    }
+
+    #[test]
     fn replication_covers_every_element() {
         let data = soup(500);
         let sharded = ShardedEngine::build(&data, 4, LinearScan::build);
@@ -556,8 +1111,8 @@ mod tests {
         assert!(total >= data.len(), "every element must land somewhere");
         // Every global id appears in at least one shard.
         let mut seen = vec![false; data.len()];
-        for shard in &sharded.shards {
-            for &g in &shard.global {
+        for exec in &sharded.executors {
+            for &g in exec.global_ids() {
                 seen[g as usize] = true;
             }
         }
@@ -614,6 +1169,82 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn planner_and_executors_compose_manually() {
+        // The decomposed API (route → run → merge) must agree with the
+        // composed ShardedEngine — this is exactly what the service layer's
+        // per-shard workers do.
+        let data = soup(1200);
+        let build = |part: &[Element]| UniformGrid::build(part, GridConfig::auto(part));
+        let mut composed = ShardedEngine::build(&data, 3, build);
+        let qs = queries();
+        let mut want = BatchResults::new();
+        composed.range_collect(&qs, &mut want);
+
+        let (mut planner, mut executors) = ShardedEngine::build(&data, 3, build).into_parts();
+        let mut lanes = Vec::new();
+        planner.route_range(&qs, &mut lanes);
+        for (exec, lane) in executors.iter_mut().zip(lanes.iter_mut()) {
+            lane.run(exec);
+        }
+        let mut got = BatchResults::new();
+        let stats = planner.merge_range(qs.len(), &mut lanes, &mut got);
+        assert_eq!(stats.results as usize, got.total());
+        for qi in 0..qs.len() {
+            assert_eq!(got.query_results(qi), want.query_results(qi), "query {qi}");
+        }
+
+        // kNN: two routed phases, then merge.
+        let points: Vec<Point3> = (0..6)
+            .map(|i| Point3::new((i * 17) as f32, (i * 3) as f32, (i * 8) as f32))
+            .collect();
+        let mut want_knn = KnnBatchResults::new();
+        composed.knn_collect(&points, 5, &mut want_knn);
+        let (mut home, mut fan) = (Vec::new(), Vec::new());
+        planner.route_knn_home(&points, 5, &mut home);
+        for (exec, lane) in executors.iter_mut().zip(home.iter_mut()) {
+            lane.run(exec);
+        }
+        planner.route_knn_fanout(&points, 5, &home, &mut fan);
+        for (exec, lane) in executors.iter_mut().zip(fan.iter_mut()) {
+            lane.run(exec);
+        }
+        let mut got_knn = KnnBatchResults::new();
+        planner.merge_knn(points.len(), 5, &mut home, &mut fan, &mut got_knn);
+        for qi in 0..points.len() {
+            assert_eq!(
+                got_knn.query_results(qi),
+                want_knn.query_results(qi),
+                "probe {qi}"
+            );
+        }
+    }
+
+    #[test]
+    fn memory_accounting_includes_replicas_and_scratch() {
+        let data = soup(800);
+        let mut sharded = ShardedEngine::build(&data, 4, |part| {
+            UniformGrid::build(part, GridConfig::auto(part))
+        });
+        let before = sharded.memory_bytes();
+        let index_only: usize = sharded
+            .executors
+            .iter()
+            .map(|e| e.index().memory_bytes())
+            .sum();
+        assert!(
+            before > index_only,
+            "accounting must include replicas, router and scratch"
+        );
+        // Running batches grows scratch/lane high-water marks, which the
+        // accounting must observe.
+        let mut out = BatchResults::new();
+        sharded.range_collect(&queries(), &mut out);
+        let mut knn = KnnBatchResults::new();
+        sharded.knn_collect(&[Point3::ORIGIN], 5, &mut knn);
+        assert!(sharded.memory_bytes() >= before);
     }
 
     #[test]

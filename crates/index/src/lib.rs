@@ -103,7 +103,9 @@ mod traits;
 mod util;
 
 pub use crtree::{CrTree, CrTreeConfig};
-pub use engine::sharded::{ShardRouter, ShardedEngine};
+pub use engine::sharded::{
+    KnnLane, RangeLane, ShardExecutor, ShardPlanner, ShardRouter, ShardedEngine,
+};
 pub use engine::{BatchResults, CountSink, KnnBatchResults, QueryEngine};
 pub use flat::{Flat, FlatConfig};
 pub use grid::{GridConfig, GridPlacement, UniformGrid};

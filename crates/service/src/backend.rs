@@ -1,0 +1,303 @@
+//! Execution backends the scheduler dispatches coalesced batches to.
+//!
+//! The scheduler is backend-agnostic: anything that can run one range
+//! batch and one per-`k` kNN batch fits. Two implementations ship:
+//!
+//! * [`EngineBackend`] — a single [`QueryEngine`] over one index. The
+//!   dispatcher thread executes inline: one worker total, the degenerate
+//!   (but often fastest single-core) deployment.
+//! * [`ShardedBackend`] — a [`ShardedEngine`] split into its
+//!   [`ShardPlanner`] and per-shard
+//!   [`ShardExecutor`](simspatial_index::ShardExecutor)s, each executor
+//!   pinned to a **persistent worker thread**. The dispatcher routes each
+//!   batch into per-shard lanes, ships lanes over channels, and merges the
+//!   returned lanes through the planner's deduplicating sinks — so shard
+//!   execution overlaps across cores while results stay byte-identical to
+//!   a serial [`ShardedEngine`] run.
+
+use simspatial_geom::{Aabb, Element, Point3};
+use simspatial_index::{
+    BatchResults, KnnBatchResults, KnnIndex, KnnLane, QueryEngine, QueryStats, RangeLane,
+    ShardPlanner, ShardedEngine, SpatialIndex,
+};
+use std::sync::mpsc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// A batch execution target for the service scheduler.
+///
+/// Contract mirrors the engine layer: `range_batch` fills one id list per
+/// query (in plan emission order), `knn_batch` one ascending
+/// `(distance, id)` list per probe; both reset `out` first and return the
+/// batch accounting.
+pub trait ServiceBackend: Send + 'static {
+    /// Executes one coalesced range batch.
+    fn range_batch(&mut self, queries: &[Aabb], out: &mut BatchResults) -> QueryStats;
+
+    /// Executes one coalesced kNN batch at a single `k`.
+    fn knn_batch(&mut self, points: &[Point3], k: usize, out: &mut KnnBatchResults) -> QueryStats;
+
+    /// Structure bytes the backend holds (surfaced through `ServiceStats`).
+    fn memory_bytes(&self) -> usize;
+
+    /// Elements per shard (one entry for unsharded backends).
+    fn shard_sizes(&self) -> Vec<usize>;
+
+    /// Stops any worker threads. Called once by the scheduler on orderly
+    /// shutdown; must be idempotent.
+    fn shutdown(&mut self) {}
+}
+
+/// A single-engine backend: one index, one [`QueryEngine`], executed inline
+/// on the dispatcher thread (the "single worker" deployment).
+pub struct EngineBackend<I> {
+    data: Vec<Element>,
+    index: I,
+    engine: QueryEngine,
+}
+
+impl<I: SpatialIndex + KnnIndex + Send + 'static> EngineBackend<I> {
+    /// A backend over `data` served by a pre-built `index`.
+    pub fn new(data: Vec<Element>, index: I) -> Self {
+        Self {
+            data,
+            index,
+            engine: QueryEngine::new(),
+        }
+    }
+
+    /// Builds the index from `data` with `build`, then wraps both.
+    pub fn build(data: Vec<Element>, build: impl FnOnce(&[Element]) -> I) -> Self {
+        let index = build(&data);
+        Self::new(data, index)
+    }
+
+    /// The wrapped index.
+    pub fn index(&self) -> &I {
+        &self.index
+    }
+}
+
+impl<I: SpatialIndex + KnnIndex + Send + 'static> ServiceBackend for EngineBackend<I> {
+    fn range_batch(&mut self, queries: &[Aabb], out: &mut BatchResults) -> QueryStats {
+        self.engine
+            .range_collect(&self.index, &self.data, queries, out)
+    }
+
+    fn knn_batch(&mut self, points: &[Point3], k: usize, out: &mut KnnBatchResults) -> QueryStats {
+        self.engine
+            .knn_collect(&self.index, &self.data, points, k, out)
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.index.memory_bytes() + self.engine.memory_bytes()
+    }
+
+    fn shard_sizes(&self) -> Vec<usize> {
+        vec![self.data.len()]
+    }
+}
+
+/// A routed lane travelling to a shard worker (to execute) and back (with
+/// results filled) — the same type in both directions, so lane allocations
+/// recycle across dispatches without re-wrapping.
+enum Job {
+    Range(RangeLane),
+    Knn(KnnLane),
+}
+
+struct ShardWorker {
+    /// `None` after shutdown — dropping the sender ends the worker loop.
+    job_tx: Option<mpsc::Sender<Job>>,
+    done_rx: mpsc::Receiver<Job>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl ShardWorker {
+    fn send(&self, job: Job) {
+        self.job_tx
+            .as_ref()
+            .expect("backend already shut down")
+            .send(job)
+            .expect("shard worker exited unexpectedly");
+    }
+
+    fn stop(&mut self) {
+        self.job_tx = None; // closes the channel; the worker loop exits
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// A region-sharded backend with one **persistent worker thread per
+/// shard**. Built by splitting a [`ShardedEngine`] into planner +
+/// executors ([`ShardedEngine::into_parts`]) and moving each executor onto
+/// its own thread; the scheduler-side half routes, scatters lanes,
+/// gathers, and merges.
+///
+/// Results are byte-identical to running the same `ShardedEngine`
+/// serially: routing, execution plans and the deduplicating merge are the
+/// exact same code — only *where* each shard's sub-batch runs changes.
+pub struct ShardedBackend {
+    planner: ShardPlanner,
+    workers: Vec<ShardWorker>,
+    sizes: Vec<usize>,
+    /// Structure bytes captured at spawn (executors live on their threads
+    /// afterwards, so this is a build-time snapshot).
+    base_memory: usize,
+    range_lanes: Vec<RangeLane>,
+    knn_home: Vec<KnnLane>,
+    knn_fan: Vec<KnnLane>,
+    /// Scatter bookkeeping: which workers got a job this phase.
+    sent: Vec<bool>,
+}
+
+impl ShardedBackend {
+    /// Splits `engine` and pins each shard executor to a freshly spawned
+    /// worker thread.
+    pub fn spawn<I: SpatialIndex + KnnIndex + Send + 'static>(engine: ShardedEngine<I>) -> Self {
+        let sizes = engine.shard_sizes();
+        let base_memory = engine.memory_bytes();
+        let (planner, executors) = engine.into_parts();
+        let workers: Vec<ShardWorker> = executors
+            .into_iter()
+            .enumerate()
+            .map(|(i, mut exec)| {
+                let (job_tx, job_rx) = mpsc::channel::<Job>();
+                let (done_tx, done_rx) = mpsc::channel::<Job>();
+                let thread = std::thread::Builder::new()
+                    .name(format!("simspatial-shard-{i}"))
+                    .spawn(move || {
+                        while let Ok(mut job) = job_rx.recv() {
+                            match &mut job {
+                                Job::Range(lane) => lane.run(&mut exec),
+                                Job::Knn(lane) => lane.run(&mut exec),
+                            }
+                            if done_tx.send(job).is_err() {
+                                break;
+                            }
+                        }
+                    })
+                    .expect("spawn shard worker thread");
+                ShardWorker {
+                    job_tx: Some(job_tx),
+                    done_rx,
+                    thread: Some(thread),
+                }
+            })
+            .collect();
+        let n = workers.len();
+        Self {
+            planner,
+            workers,
+            sizes,
+            base_memory,
+            range_lanes: Vec::new(),
+            knn_home: Vec::new(),
+            knn_fan: Vec::new(),
+            sent: vec![false; n],
+        }
+    }
+
+    /// Number of shard workers.
+    pub fn shard_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Ships every non-empty range lane to its worker and waits for all of
+    /// them to come back (empty lanes skip the round trip).
+    fn run_range_lanes(&mut self) {
+        for (i, worker) in self.workers.iter().enumerate() {
+            self.sent[i] = !self.range_lanes[i].is_empty();
+            if self.sent[i] {
+                let lane = std::mem::take(&mut self.range_lanes[i]);
+                worker.send(Job::Range(lane));
+            }
+        }
+        for (i, worker) in self.workers.iter().enumerate() {
+            if !self.sent[i] {
+                continue;
+            }
+            match worker.done_rx.recv().expect("shard worker exited") {
+                Job::Range(lane) => self.range_lanes[i] = lane,
+                Job::Knn(_) => unreachable!("one job in flight per worker"),
+            }
+        }
+    }
+
+    /// Ships every non-empty kNN lane of `which` phase to its worker and
+    /// waits for completion.
+    fn run_knn_lanes(&mut self, fan_phase: bool) {
+        let lanes = if fan_phase {
+            &mut self.knn_fan
+        } else {
+            &mut self.knn_home
+        };
+        for (i, worker) in self.workers.iter().enumerate() {
+            self.sent[i] = !lanes[i].is_empty();
+            if self.sent[i] {
+                let lane = std::mem::take(&mut lanes[i]);
+                worker.send(Job::Knn(lane));
+            }
+        }
+        for (i, worker) in self.workers.iter().enumerate() {
+            if !self.sent[i] {
+                continue;
+            }
+            match worker.done_rx.recv().expect("shard worker exited") {
+                Job::Knn(lane) => lanes[i] = lane,
+                Job::Range(_) => unreachable!("one job in flight per worker"),
+            }
+        }
+    }
+}
+
+impl ServiceBackend for ShardedBackend {
+    fn range_batch(&mut self, queries: &[Aabb], out: &mut BatchResults) -> QueryStats {
+        let start = Instant::now();
+        self.planner.route_range(queries, &mut self.range_lanes);
+        self.run_range_lanes();
+        out.reset();
+        let mut stats = self
+            .planner
+            .merge_range(queries.len(), &mut self.range_lanes, out);
+        stats.elapsed_s = start.elapsed().as_secs_f64();
+        stats
+    }
+
+    fn knn_batch(&mut self, points: &[Point3], k: usize, out: &mut KnnBatchResults) -> QueryStats {
+        let start = Instant::now();
+        self.planner.route_knn_home(points, k, &mut self.knn_home);
+        self.run_knn_lanes(false);
+        self.planner
+            .route_knn_fanout(points, k, &self.knn_home, &mut self.knn_fan);
+        self.run_knn_lanes(true);
+        out.reset();
+        let mut stats =
+            self.planner
+                .merge_knn(points.len(), k, &mut self.knn_home, &mut self.knn_fan, out);
+        stats.elapsed_s = start.elapsed().as_secs_f64();
+        stats
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.base_memory
+    }
+
+    fn shard_sizes(&self) -> Vec<usize> {
+        self.sizes.clone()
+    }
+
+    fn shutdown(&mut self) {
+        for w in &mut self.workers {
+            w.stop();
+        }
+    }
+}
+
+impl Drop for ShardedBackend {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}

@@ -1,0 +1,76 @@
+//! # simspatial-service
+//!
+//! The concurrent query service: many independent clients, one spatial
+//! dataset, kernel-sized batches.
+//!
+//! Everything below this crate is batch-first but single-caller: a
+//! [`QueryEngine`](simspatial_index::QueryEngine) or
+//! [`ShardedEngine`](simspatial_index::ShardedEngine) executes one batch
+//! at a time through `&mut self`. The paper's target workload, though, is
+//! *many* clients issuing dense range/kNN probes against one dataset — and
+//! the roadmap's north star is serving heavy concurrent traffic. This
+//! crate is that front door:
+//!
+//! * **[`ServiceHandle`]** — cloneable, thread-safe submission: clients
+//!   send [`Request`]s (`Range`, `RangeCount`, `Knn` with per-probe `k`)
+//!   into a **bounded** intake queue and redeem a [`Ticket`] for the
+//!   response. The blocking [`ServiceHandle::submit`] applies
+//!   backpressure; [`ServiceHandle::try_submit`] surfaces `Full` for
+//!   open-loop clients. Implemented entirely on `std` MPSC channels and
+//!   worker threads — no async runtime, matching the workspace's
+//!   offline/vendored dependency policy.
+//! * **Micro-batching scheduler** ([`SpatialService`]) — one dispatcher
+//!   thread drains the queue and *coalesces* concurrent requests (up to
+//!   `max_batch`, waiting at most `max_wait` for stragglers) into the wide
+//!   SoA batches the kernels are fastest at: one `range_batch` for every
+//!   range box in the dispatch, one `knn_batch` per distinct `k`. Results
+//!   split back per request in the exact order a serial engine run would
+//!   produce.
+//! * **Backends** ([`ServiceBackend`]) — [`EngineBackend`] executes
+//!   inline on the dispatcher (single worker over any
+//!   `SpatialIndex + KnnIndex`); [`ShardedBackend`] pins each shard of a
+//!   `ShardedEngine` to a persistent worker thread and scatters routed
+//!   lanes over channels, merging through the engine layer's
+//!   deduplicating sinks — byte-identical results to serial execution,
+//!   with per-shard parallelism across dispatches.
+//! * **[`ServiceStats`]** — queue depth and high-water mark, admission /
+//!   rejection counters, batch-size histogram (is coalescing working?),
+//!   per-request latency percentiles, aggregated predicate counters, and
+//!   the backend's memory/shard-size accounting.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use simspatial_datagen::ElementSoupBuilder;
+//! use simspatial_geom::{Aabb, Point3};
+//! use simspatial_index::{GridConfig, ShardedEngine, UniformGrid};
+//! use simspatial_service::{Request, ServiceConfig, ShardedBackend, SpatialService};
+//!
+//! let data = ElementSoupBuilder::new().count(2000).seed(11).build();
+//! let sharded = ShardedEngine::build(data.elements(), 2, |part| {
+//!     UniformGrid::build(part, GridConfig::auto(part))
+//! });
+//! let service = SpatialService::spawn(ShardedBackend::spawn(sharded), ServiceConfig::default());
+//!
+//! // Clients clone the handle and submit concurrently; here, one inline.
+//! let handle = service.handle();
+//! let ticket = handle
+//!     .submit(Request::Knn(vec![(Point3::new(10.0, 10.0, 10.0), 5)]))
+//!     .unwrap();
+//! let neighbours = ticket.recv().unwrap().into_knn().unwrap();
+//! assert_eq!(neighbours[0].len(), 5);
+//! let stats = service.shutdown();
+//! assert_eq!(stats.completed, 1);
+//! ```
+
+#![warn(missing_docs)]
+
+mod backend;
+mod request;
+mod service;
+mod stats;
+
+pub use backend::{EngineBackend, ServiceBackend, ShardedBackend};
+pub use request::{RecvError, Request, Response, SubmitError, Ticket};
+pub use service::{ServiceConfig, ServiceHandle, SpatialService};
+pub use stats::{LatencyHistogram, ServiceStats, BATCH_BUCKETS, LATENCY_BUCKETS};

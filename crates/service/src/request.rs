@@ -1,0 +1,163 @@
+//! The client-facing request/response vocabulary and completion tickets.
+
+use simspatial_geom::{Aabb, ElementId, Point3};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+/// One client request: a small batch of queries of one family. The
+/// scheduler coalesces the queries of many concurrent requests into the
+/// large per-dispatch batches the SoA kernel is fastest at, then splits the
+/// results back per request.
+#[derive(Debug, Clone)]
+pub enum Request {
+    /// Range queries: one result id list per box, in the order the index
+    /// plan emits (identical to a serial `QueryEngine::range_collect`).
+    Range(Vec<Aabb>),
+    /// Range queries where only the per-box result counts are wanted —
+    /// cheapest way to probe selectivity over the wire.
+    RangeCount(Vec<Aabb>),
+    /// kNN probes, each with its own `k`: the `k` nearest elements per
+    /// probe in ascending `(distance, id)` order. Probes with equal `k`
+    /// across concurrent requests coalesce into one batched kernel pass.
+    Knn(Vec<(Point3, usize)>),
+}
+
+impl Request {
+    /// Number of individual queries/probes carried by this request.
+    pub fn len(&self) -> usize {
+        match self {
+            Request::Range(qs) | Request::RangeCount(qs) => qs.len(),
+            Request::Knn(ps) => ps.len(),
+        }
+    }
+
+    /// True when the request carries no queries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The response to one [`Request`], shape-matched per variant.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Per-box result id lists, parallel to `Request::Range`.
+    Range(Vec<Vec<ElementId>>),
+    /// Per-box result counts, parallel to `Request::RangeCount`.
+    RangeCount(Vec<u64>),
+    /// Per-probe `(id, distance)` lists, parallel to `Request::Knn`.
+    Knn(Vec<Vec<(ElementId, f32)>>),
+}
+
+impl Response {
+    /// The range result lists, if this is a `Range` response.
+    pub fn into_range(self) -> Option<Vec<Vec<ElementId>>> {
+        match self {
+            Response::Range(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The per-box counts, if this is a `RangeCount` response.
+    pub fn into_range_counts(self) -> Option<Vec<u64>> {
+        match self {
+            Response::RangeCount(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// The kNN result lists, if this is a `Knn` response.
+    pub fn into_knn(self) -> Option<Vec<Vec<(ElementId, f32)>>> {
+        match self {
+            Response::Knn(r) => Some(r),
+            _ => None,
+        }
+    }
+}
+
+/// Why a submission was not accepted. Both variants hand the request back
+/// so the caller can retry or reroute without cloning up front.
+#[derive(Debug)]
+pub enum SubmitError {
+    /// The service has been shut down (or its dispatcher died).
+    ShutDown(Request),
+    /// The bounded intake queue is full (returned by
+    /// [`ServiceHandle::try_submit`](crate::ServiceHandle::try_submit)
+    /// only — the blocking `submit` waits instead). This is the
+    /// backpressure signal: the client is producing faster than the
+    /// service drains.
+    Full(Request),
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::ShutDown(_) => write!(f, "service is shut down"),
+            SubmitError::Full(_) => write!(f, "service intake queue is full"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// Why a [`Ticket`] produced no response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvError {
+    /// The service shut down before completing this request.
+    ShutDown,
+}
+
+impl std::fmt::Display for RecvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "service shut down before completing the request")
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+/// A completed response plus its measured submit→completion latency.
+#[derive(Debug)]
+pub(crate) struct Completion {
+    pub response: Response,
+    pub latency: Duration,
+}
+
+/// An in-flight request's completion slot. Obtained from
+/// [`ServiceHandle::submit`](crate::ServiceHandle::submit); redeem it with
+/// [`Ticket::recv`]. Tickets are independent of the handle that produced
+/// them, so a client can pipeline: submit several requests, then collect.
+#[derive(Debug)]
+pub struct Ticket {
+    pub(crate) rx: mpsc::Receiver<Completion>,
+    pub(crate) submitted: Instant,
+}
+
+impl Ticket {
+    /// Blocks until the response is ready. Errors only if the service shuts
+    /// down before completing the request.
+    pub fn recv(self) -> Result<Response, RecvError> {
+        self.recv_timed().map(|(response, _)| response)
+    }
+
+    /// Like [`Ticket::recv`], additionally returning the request's
+    /// submit→completion latency as measured by the scheduler.
+    pub fn recv_timed(self) -> Result<(Response, Duration), RecvError> {
+        self.rx
+            .recv()
+            .map(|c| (c.response, c.latency))
+            .map_err(|_| RecvError::ShutDown)
+    }
+
+    /// Non-blocking poll: `None` while the request is still in flight.
+    pub fn try_recv(&self) -> Option<Result<Response, RecvError>> {
+        match self.rx.try_recv() {
+            Ok(c) => Some(Ok(c.response)),
+            Err(mpsc::TryRecvError::Empty) => None,
+            Err(mpsc::TryRecvError::Disconnected) => Some(Err(RecvError::ShutDown)),
+        }
+    }
+
+    /// When the request was submitted (for caller-side latency accounting).
+    pub fn submitted_at(&self) -> Instant {
+        self.submitted
+    }
+}

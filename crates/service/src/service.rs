@@ -1,0 +1,542 @@
+//! The service front door and the micro-batching scheduler.
+//!
+//! Clients clone a [`ServiceHandle`] and submit [`Request`]s into a
+//! **bounded** intake queue (admission control: the blocking
+//! [`ServiceHandle::submit`] applies backpressure, the non-blocking
+//! [`ServiceHandle::try_submit`] reports `Full`). A single scheduler
+//! thread drains the queue, **coalesces** up to `max_batch` concurrent
+//! requests (waiting at most `max_wait` for stragglers once the first is
+//! in hand), executes the merged batches against the backend, splits the
+//! results back per request, and completes each request's [`Ticket`].
+//!
+//! Coalescing is what converts independent client traffic into the wide
+//! SoA batches the kernel layer is fastest at: all range boxes of one
+//! dispatch run as **one** `range_batch`, and kNN probes group by `k` into
+//! one `knn_batch` per distinct `k`. Per-request result order is identical
+//! to a serial engine run, because the coalesced batch preserves each
+//! request's query order and the batch plans are deterministic.
+//!
+//! Shutdown is orderly: [`SpatialService::shutdown`] (and `Drop`) flips
+//! the admission flag — new submissions fail fast with
+//! [`SubmitError::ShutDown`] — then the scheduler drains every request
+//! already admitted before exiting, so accepted work is completed, not
+//! dropped. (Only a submission that races the flag *and* loses its
+//! dispatcher sees its ticket error with `RecvError::ShutDown`.)
+
+use crate::backend::ServiceBackend;
+use crate::request::{Completion, Request, Response, SubmitError, Ticket};
+use crate::stats::{LatencyHistogram, ServiceStats, BATCH_BUCKETS};
+use simspatial_geom::stats::PredicateCounts;
+use simspatial_geom::{Aabb, Point3};
+use simspatial_index::{BatchResults, KnnBatchResults};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Scheduler tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Bound of the intake queue (requests). `submit` blocks and
+    /// `try_submit` rejects once this many requests are pending.
+    pub queue_cap: usize,
+    /// Maximum requests coalesced into one dispatch.
+    pub max_batch: usize,
+    /// How long a **lone** request waits for company before dispatching
+    /// alone. A dispatch already holding two or more requests never
+    /// waits: the scheduler drains whatever is queued and executes.
+    pub max_wait: Duration,
+    /// Micro-batching on/off. Off = every request dispatches alone
+    /// (the baseline the `service` bench compares against).
+    pub coalesce: bool,
+    /// How often the idle scheduler re-checks the shutdown flag.
+    pub idle_poll: Duration,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            queue_cap: 1024,
+            max_batch: 64,
+            max_wait: Duration::from_micros(200),
+            coalesce: true,
+            idle_poll: Duration::from_millis(20),
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// Returns the config with coalescing disabled.
+    pub fn no_coalesce(mut self) -> Self {
+        self.coalesce = false;
+        self
+    }
+
+    /// Returns the config with the given intake queue bound.
+    pub fn with_queue_cap(mut self, cap: usize) -> Self {
+        self.queue_cap = cap.max(1);
+        self
+    }
+
+    /// Returns the config with the given coalescing window.
+    pub fn with_batching(mut self, max_batch: usize, max_wait: Duration) -> Self {
+        self.max_batch = max_batch.max(1);
+        self.max_wait = max_wait;
+        self
+    }
+}
+
+/// One queued request plus its completion channel and admission timestamp.
+struct Envelope {
+    request: Request,
+    reply: mpsc::Sender<Completion>,
+    submitted: Instant,
+}
+
+/// Scheduler-side counters, only ever touched under the lock by the
+/// dispatcher thread (briefly, once per dispatch) and by stats snapshots —
+/// the submit hot path uses the lock-free atomics on [`Shared`] instead.
+#[derive(Default)]
+struct StatsInner {
+    completed: u64,
+    dispatches: u64,
+    coalesced_requests: u64,
+    batch_hist: [u64; BATCH_BUCKETS],
+    exec_elapsed_s: f64,
+    results: u64,
+    counts: PredicateCounts,
+    latency: LatencyHistogram,
+}
+
+/// State shared by every handle, the service, and the scheduler thread.
+struct Shared {
+    open: AtomicBool,
+    queue_depth: AtomicUsize,
+    // Admission-path counters are atomics so producer submits never
+    // contend with the dispatcher's per-dispatch stats update.
+    submitted: AtomicU64,
+    rejected: AtomicU64,
+    max_queue_depth: AtomicUsize,
+    stats: Mutex<StatsInner>,
+    memory_bytes: usize,
+    shard_sizes: Vec<usize>,
+}
+
+impl Shared {
+    fn note_admitted(&self, depth: usize) {
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+        self.max_queue_depth.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> ServiceStats {
+        let inner = self.stats.lock().expect("stats lock");
+        ServiceStats {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            completed: inner.completed,
+            rejected: self.rejected.load(Ordering::Relaxed),
+            queue_depth: self.queue_depth.load(Ordering::Acquire),
+            max_queue_depth: self.max_queue_depth.load(Ordering::Relaxed),
+            dispatches: inner.dispatches,
+            coalesced_requests: inner.coalesced_requests,
+            batch_hist: inner.batch_hist,
+            exec_elapsed_s: inner.exec_elapsed_s,
+            results: inner.results,
+            counts: inner.counts,
+            latency: inner.latency,
+            memory_bytes: self.memory_bytes,
+            shard_sizes: self.shard_sizes.clone(),
+        }
+    }
+}
+
+/// A cloneable client-side handle: submit requests, read stats. All clones
+/// share one service; dropping handles never stops the service (see
+/// [`SpatialService::shutdown`]).
+pub struct ServiceHandle {
+    tx: mpsc::SyncSender<Envelope>,
+    shared: Arc<Shared>,
+}
+
+impl Clone for ServiceHandle {
+    fn clone(&self) -> Self {
+        Self {
+            tx: self.tx.clone(),
+            shared: self.shared.clone(),
+        }
+    }
+}
+
+impl ServiceHandle {
+    /// Submits a request, **blocking** while the intake queue is full
+    /// (admission-control backpressure). Returns the completion ticket,
+    /// or the request back if the service is shut down.
+    pub fn submit(&self, request: Request) -> Result<Ticket, SubmitError> {
+        if !self.shared.open.load(Ordering::Acquire) {
+            return Err(SubmitError::ShutDown(request));
+        }
+        let (reply, rx) = mpsc::channel();
+        let submitted = Instant::now();
+        let env = Envelope {
+            request,
+            reply,
+            submitted,
+        };
+        let depth = self.shared.queue_depth.fetch_add(1, Ordering::AcqRel) + 1;
+        match self.tx.send(env) {
+            Ok(()) => {
+                self.shared.note_admitted(depth);
+                Ok(Ticket { rx, submitted })
+            }
+            Err(mpsc::SendError(env)) => {
+                self.shared.queue_depth.fetch_sub(1, Ordering::AcqRel);
+                Err(SubmitError::ShutDown(env.request))
+            }
+        }
+    }
+
+    /// Non-blocking submit: returns [`SubmitError::Full`] (with the
+    /// request) instead of waiting when the queue is at capacity.
+    pub fn try_submit(&self, request: Request) -> Result<Ticket, SubmitError> {
+        if !self.shared.open.load(Ordering::Acquire) {
+            return Err(SubmitError::ShutDown(request));
+        }
+        let (reply, rx) = mpsc::channel();
+        let submitted = Instant::now();
+        let env = Envelope {
+            request,
+            reply,
+            submitted,
+        };
+        let depth = self.shared.queue_depth.fetch_add(1, Ordering::AcqRel) + 1;
+        match self.tx.try_send(env) {
+            Ok(()) => {
+                self.shared.note_admitted(depth);
+                Ok(Ticket { rx, submitted })
+            }
+            Err(mpsc::TrySendError::Full(env)) => {
+                self.shared.queue_depth.fetch_sub(1, Ordering::AcqRel);
+                self.shared.rejected.fetch_add(1, Ordering::Relaxed);
+                Err(SubmitError::Full(env.request))
+            }
+            Err(mpsc::TrySendError::Disconnected(env)) => {
+                self.shared.queue_depth.fetch_sub(1, Ordering::AcqRel);
+                Err(SubmitError::ShutDown(env.request))
+            }
+        }
+    }
+
+    /// True while the service accepts submissions.
+    pub fn is_open(&self) -> bool {
+        self.shared.open.load(Ordering::Acquire)
+    }
+
+    /// A point-in-time snapshot of the service counters.
+    pub fn stats(&self) -> ServiceStats {
+        self.shared.snapshot()
+    }
+}
+
+/// The scheduler state living on the dispatcher thread.
+struct Scheduler<B: ServiceBackend> {
+    backend: B,
+    shared: Arc<Shared>,
+    cfg: ServiceConfig,
+    // Dispatch scratch, reused across cycles.
+    pending: Vec<Envelope>,
+    responses: Vec<Option<Response>>,
+    boxes: Vec<Aabb>,
+    /// `(pending idx, first box, box count)` per range-family request.
+    range_req: Vec<(usize, usize, usize)>,
+    range_results: BatchResults,
+    /// `(k, pending idx, probe idx within request, point)` per kNN probe.
+    knn_flat: Vec<(usize, usize, usize, Point3)>,
+    knn_points: Vec<Point3>,
+    knn_results: KnnBatchResults,
+}
+
+impl<B: ServiceBackend> Scheduler<B> {
+    fn new(backend: B, shared: Arc<Shared>, cfg: ServiceConfig) -> Self {
+        Self {
+            backend,
+            shared,
+            cfg,
+            pending: Vec::new(),
+            responses: Vec::new(),
+            boxes: Vec::new(),
+            range_req: Vec::new(),
+            range_results: BatchResults::new(),
+            knn_flat: Vec::new(),
+            knn_points: Vec::new(),
+            knn_results: KnnBatchResults::new(),
+        }
+    }
+
+    fn run(mut self, rx: mpsc::Receiver<Envelope>) {
+        loop {
+            match rx.recv_timeout(self.cfg.idle_poll) {
+                Ok(env) => self.collect_and_dispatch(env, &rx),
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    if !self.shared.open.load(Ordering::Acquire) {
+                        break;
+                    }
+                }
+                // Every handle AND the owning service are gone: nothing can
+                // ever submit again.
+                Err(mpsc::RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        // Orderly drain: everything admitted before the flag flipped (and
+        // any sender that was blocked on the bounded queue and completes
+        // while we drain) still gets served.
+        while let Ok(env) = rx.try_recv() {
+            self.collect_and_dispatch(env, &rx);
+        }
+        self.backend.shutdown();
+    }
+
+    /// Eagerly drains up to `max_batch - 1` more queued requests behind
+    /// `first`, then dispatches the coalesced batch. The scheduler never
+    /// stalls a batch it already holds: only a **lone** request waits (up
+    /// to `max_wait`) for company — once at least two requests are in
+    /// hand, an empty queue triggers immediate dispatch, so pipelined
+    /// closed-loop traffic coalesces without paying added latency.
+    fn collect_and_dispatch(&mut self, first: Envelope, rx: &mpsc::Receiver<Envelope>) {
+        self.pending.clear();
+        self.pending.push(first);
+        if self.cfg.coalesce && self.cfg.max_batch > 1 {
+            let deadline = Instant::now() + self.cfg.max_wait;
+            while self.pending.len() < self.cfg.max_batch {
+                match rx.try_recv() {
+                    Ok(env) => self.pending.push(env),
+                    Err(mpsc::TryRecvError::Empty) => {
+                        if self.pending.len() > 1 {
+                            break; // have a batch: go, don't trade latency
+                        }
+                        let now = Instant::now();
+                        if now >= deadline {
+                            break;
+                        }
+                        match rx.recv_timeout(deadline - now) {
+                            Ok(env) => self.pending.push(env),
+                            Err(_) => break,
+                        }
+                    }
+                    Err(mpsc::TryRecvError::Disconnected) => break,
+                }
+            }
+        }
+        self.shared
+            .queue_depth
+            .fetch_sub(self.pending.len(), Ordering::AcqRel);
+        self.dispatch();
+    }
+
+    /// Executes one coalesced dispatch: merge queries across the pending
+    /// requests, run the backend batches, split results per request,
+    /// complete every ticket, record stats.
+    fn dispatch(&mut self) {
+        let n = self.pending.len();
+        self.responses.clear();
+        self.responses.resize_with(n, || None);
+        let mut exec_elapsed_s = 0.0f64;
+        let mut results = 0u64;
+        let mut counts = PredicateCounts::default();
+
+        // ---- Range family: all boxes of all Range/RangeCount requests run
+        // as ONE backend batch.
+        self.boxes.clear();
+        self.range_req.clear();
+        for (i, env) in self.pending.iter().enumerate() {
+            if let Request::Range(qs) | Request::RangeCount(qs) = &env.request {
+                self.range_req.push((i, self.boxes.len(), qs.len()));
+                self.boxes.extend_from_slice(qs);
+            }
+        }
+        if !self.boxes.is_empty() {
+            let stats = self
+                .backend
+                .range_batch(&self.boxes, &mut self.range_results);
+            exec_elapsed_s += stats.elapsed_s;
+            results += stats.results;
+            counts.add(&stats.counts);
+        }
+        for &(i, start, len) in &self.range_req {
+            let resp = match &self.pending[i].request {
+                Request::Range(_) => Response::Range(
+                    (start..start + len)
+                        .map(|q| self.range_results.query_results(q).to_vec())
+                        .collect(),
+                ),
+                Request::RangeCount(_) => Response::RangeCount(
+                    (start..start + len)
+                        .map(|q| self.range_results.query_results(q).len() as u64)
+                        .collect(),
+                ),
+                Request::Knn(_) => unreachable!("range_req only holds range requests"),
+            };
+            self.responses[i] = Some(resp);
+        }
+
+        // ---- kNN family: probes group by k; one backend batch per
+        // distinct k, results scattered back to their requests.
+        self.knn_flat.clear();
+        for (i, env) in self.pending.iter().enumerate() {
+            if let Request::Knn(probes) = &env.request {
+                self.responses[i] = Some(Response::Knn(vec![Vec::new(); probes.len()]));
+                for (j, &(p, k)) in probes.iter().enumerate() {
+                    self.knn_flat.push((k, i, j, p));
+                }
+            }
+        }
+        // Stable order inside each k-group (request order, then probe
+        // order) keeps the coalesced batch deterministic.
+        self.knn_flat.sort_by_key(|&(k, i, j, _)| (k, i, j));
+        let mut g = 0usize;
+        while g < self.knn_flat.len() {
+            let k = self.knn_flat[g].0;
+            let mut end = g;
+            while end < self.knn_flat.len() && self.knn_flat[end].0 == k {
+                end += 1;
+            }
+            self.knn_points.clear();
+            self.knn_points
+                .extend(self.knn_flat[g..end].iter().map(|&(_, _, _, p)| p));
+            let stats = self
+                .backend
+                .knn_batch(&self.knn_points, k, &mut self.knn_results);
+            exec_elapsed_s += stats.elapsed_s;
+            results += stats.results;
+            counts.add(&stats.counts);
+            for (slot, &(_, i, j, _)) in self.knn_flat[g..end].iter().enumerate() {
+                let list = self.knn_results.query_results(slot).to_vec();
+                match self.responses[i].as_mut() {
+                    Some(Response::Knn(lists)) => lists[j] = list,
+                    _ => unreachable!("knn_flat only holds knn requests"),
+                }
+            }
+            g = end;
+        }
+
+        // ---- Record stats (one short critical section — ticket completion
+        // happens after the lock is released, so producer submits never
+        // wait behind the reply sends).
+        {
+            let mut stats = self.shared.stats.lock().expect("stats lock");
+            stats.dispatches += 1;
+            stats.coalesced_requests += n as u64;
+            let bucket = (usize::BITS - 1 - n.leading_zeros()) as usize;
+            stats.batch_hist[bucket.min(BATCH_BUCKETS - 1)] += 1;
+            stats.exec_elapsed_s += exec_elapsed_s;
+            stats.results += results;
+            stats.counts.add(&counts);
+            stats.completed += n as u64;
+            for env in &self.pending {
+                stats.latency.record(env.submitted.elapsed());
+            }
+        }
+
+        // ---- Complete tickets.
+        for (env, resp) in self.pending.drain(..).zip(self.responses.drain(..)) {
+            let latency = env.submitted.elapsed();
+            // A dropped ticket (client gave up) is not an error.
+            let _ = env.reply.send(Completion {
+                response: resp.expect("every request family produced a response"),
+                latency,
+            });
+        }
+    }
+}
+
+/// The owning side of a running service: spawns the scheduler thread,
+/// hands out [`ServiceHandle`]s, and controls shutdown.
+///
+/// ```
+/// use simspatial_datagen::ElementSoupBuilder;
+/// use simspatial_geom::{Aabb, Point3};
+/// use simspatial_index::{GridConfig, UniformGrid};
+/// use simspatial_service::{EngineBackend, Request, ServiceConfig, SpatialService};
+///
+/// let data = ElementSoupBuilder::new().count(500).seed(7).build();
+/// let backend = EngineBackend::build(data.elements().to_vec(), |d| {
+///     UniformGrid::build(d, GridConfig::auto(d))
+/// });
+/// let service = SpatialService::spawn(backend, ServiceConfig::default());
+/// let handle = service.handle();
+/// let ticket = handle
+///     .submit(Request::Range(vec![Aabb::new(
+///         Point3::new(0.0, 0.0, 0.0),
+///         Point3::new(30.0, 30.0, 30.0),
+///     )]))
+///     .unwrap();
+/// let lists = ticket.recv().unwrap().into_range().unwrap();
+/// assert_eq!(lists.len(), 1);
+/// let stats = service.shutdown();
+/// assert_eq!(stats.completed, 1);
+/// ```
+pub struct SpatialService {
+    tx: mpsc::SyncSender<Envelope>,
+    shared: Arc<Shared>,
+    dispatcher: Option<JoinHandle<()>>,
+}
+
+impl SpatialService {
+    /// Spawns the scheduler thread over `backend` with `config`.
+    pub fn spawn<B: ServiceBackend>(backend: B, config: ServiceConfig) -> Self {
+        let shared = Arc::new(Shared {
+            open: AtomicBool::new(true),
+            queue_depth: AtomicUsize::new(0),
+            submitted: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            max_queue_depth: AtomicUsize::new(0),
+            stats: Mutex::new(StatsInner::default()),
+            memory_bytes: backend.memory_bytes(),
+            shard_sizes: backend.shard_sizes(),
+        });
+        let (tx, rx) = mpsc::sync_channel(config.queue_cap.max(1));
+        let sched_shared = Arc::clone(&shared);
+        let dispatcher = std::thread::Builder::new()
+            .name("simspatial-dispatch".into())
+            .spawn(move || Scheduler::new(backend, sched_shared, config).run(rx))
+            .expect("spawn dispatcher thread");
+        Self {
+            tx,
+            shared,
+            dispatcher: Some(dispatcher),
+        }
+    }
+
+    /// A new client handle (cheap; clone freely across threads).
+    pub fn handle(&self) -> ServiceHandle {
+        ServiceHandle {
+            tx: self.tx.clone(),
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// A point-in-time snapshot of the service counters.
+    pub fn stats(&self) -> ServiceStats {
+        self.shared.snapshot()
+    }
+
+    /// Orderly shutdown: stop admitting, drain and complete everything
+    /// already queued, stop the backend workers, and return the final
+    /// stats. Subsequent `submit` calls on surviving handles error with
+    /// [`SubmitError::ShutDown`].
+    pub fn shutdown(mut self) -> ServiceStats {
+        self.shutdown_inner();
+        self.shared.snapshot()
+    }
+
+    fn shutdown_inner(&mut self) {
+        self.shared.open.store(false, Ordering::Release);
+        if let Some(t) = self.dispatcher.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for SpatialService {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}

@@ -1,0 +1,198 @@
+//! Service-level observability: queue depth, coalescing effectiveness,
+//! per-request latency and the aggregated execution accounting.
+
+use simspatial_geom::stats::PredicateCounts;
+use std::time::Duration;
+
+/// Number of power-of-two latency buckets (microsecond-indexed): bucket
+/// `i` counts requests whose latency was below `2^i` µs, giving usable
+/// percentiles from sub-microsecond up to ~35 minutes.
+pub const LATENCY_BUCKETS: usize = 32;
+
+/// Number of power-of-two batch-size buckets: bucket `i` counts dispatches
+/// that coalesced `[2^i, 2^(i+1))` requests.
+pub const BATCH_BUCKETS: usize = 16;
+
+/// A log₂-bucketed latency histogram with exact count/sum/max — compact
+/// enough to update under the stats lock on every completion, precise
+/// enough for p50/p95/p99 summaries.
+#[derive(Debug, Clone, Copy)]
+pub struct LatencyHistogram {
+    /// Requests recorded.
+    pub count: u64,
+    /// Sum of latencies, seconds.
+    pub sum_s: f64,
+    /// Largest latency, seconds.
+    pub max_s: f64,
+    buckets: [u64; LATENCY_BUCKETS],
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self {
+            count: 0,
+            sum_s: 0.0,
+            max_s: 0.0,
+            buckets: [0; LATENCY_BUCKETS],
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Records one request latency.
+    pub fn record(&mut self, latency: Duration) {
+        let s = latency.as_secs_f64();
+        self.count += 1;
+        self.sum_s += s;
+        self.max_s = self.max_s.max(s);
+        let us = latency.as_micros().min(u128::from(u64::MAX)) as u64;
+        let idx = if us == 0 {
+            0
+        } else {
+            (u64::BITS - us.leading_zeros()) as usize
+        };
+        self.buckets[idx.min(LATENCY_BUCKETS - 1)] += 1;
+    }
+
+    /// Mean latency in seconds (0 when nothing was recorded).
+    pub fn mean_s(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_s / self.count as f64
+        }
+    }
+
+    /// Upper-bound estimate of the `q`-quantile latency in seconds
+    /// (`q` in `[0, 1]`): the upper edge of the histogram bucket the
+    /// quantile falls in. 0 when nothing was recorded.
+    pub fn quantile_s(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                // Bucket i spans latencies below 2^i µs.
+                return (1u64 << i) as f64 * 1e-6;
+            }
+        }
+        self.max_s
+    }
+}
+
+/// A point-in-time snapshot of the service counters, returned by
+/// [`ServiceHandle::stats`](crate::ServiceHandle::stats) and
+/// [`SpatialService::stats`](crate::SpatialService::stats).
+///
+/// Everything a load test or operator dashboard needs: admission counters
+/// and queue depth (backpressure), the batch-size histogram (is coalescing
+/// actually forming big batches?), per-request latency percentiles, the
+/// aggregated [`QueryStats`](simspatial_index::QueryStats)-style execution
+/// accounting, and the backend's structure sizes.
+#[derive(Debug, Clone, Default)]
+pub struct ServiceStats {
+    /// Requests accepted into the queue.
+    pub submitted: u64,
+    /// Requests completed (responses delivered or abandoned by the client).
+    pub completed: u64,
+    /// `try_submit` rejections due to a full queue.
+    pub rejected: u64,
+    /// Requests currently queued (admission-time gauge).
+    pub queue_depth: usize,
+    /// High-water mark of `queue_depth`.
+    pub max_queue_depth: usize,
+    /// Scheduler dispatch cycles executed.
+    pub dispatches: u64,
+    /// Total requests over all dispatches (`/ dispatches` = mean coalesced
+    /// batch size).
+    pub coalesced_requests: u64,
+    /// Dispatches by coalesced request count: bucket `i` counts dispatches
+    /// that drained `[2^i, 2^(i+1))` requests.
+    pub batch_hist: [u64; BATCH_BUCKETS],
+    /// Seconds spent inside backend batch execution (excludes queueing).
+    pub exec_elapsed_s: f64,
+    /// Total results emitted across all dispatches.
+    pub results: u64,
+    /// Aggregated predicate counters across all dispatches.
+    pub counts: PredicateCounts,
+    /// Submit→completion latency distribution.
+    pub latency: LatencyHistogram,
+    /// Backend structure bytes (index + replicas + scratch + router), as
+    /// reported at service start.
+    pub memory_bytes: usize,
+    /// Elements per backend shard (one entry for unsharded backends).
+    pub shard_sizes: Vec<usize>,
+}
+
+impl ServiceStats {
+    /// Mean number of requests coalesced per dispatch.
+    pub fn mean_batch(&self) -> f64 {
+        if self.dispatches == 0 {
+            0.0
+        } else {
+            self.coalesced_requests as f64 / self.dispatches as f64
+        }
+    }
+
+    /// Multi-line human-readable summary (for examples and harnesses).
+    pub fn summary(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!(
+            "requests: {} submitted, {} completed, {} rejected (queue depth {}, max {})\n",
+            self.submitted, self.completed, self.rejected, self.queue_depth, self.max_queue_depth
+        ));
+        s.push_str(&format!(
+            "dispatches: {} (mean batch {:.2} requests)\n",
+            self.dispatches,
+            self.mean_batch()
+        ));
+        s.push_str(&format!(
+            "latency: mean {:.1}µs  p50 ≤{:.1}µs  p95 ≤{:.1}µs  p99 ≤{:.1}µs  max {:.1}µs\n",
+            self.latency.mean_s() * 1e6,
+            self.latency.quantile_s(0.50) * 1e6,
+            self.latency.quantile_s(0.95) * 1e6,
+            self.latency.quantile_s(0.99) * 1e6,
+            self.latency.max_s * 1e6,
+        ));
+        s.push_str(&format!(
+            "execution: {:.3}s in backend, {} results, {} tree / {} element tests\n",
+            self.exec_elapsed_s, self.results, self.counts.tree_tests, self.counts.element_tests
+        ));
+        s.push_str(&format!(
+            "backend: {} bytes, shard sizes {:?}",
+            self.memory_bytes, self.shard_sizes
+        ));
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_histogram_percentiles() {
+        let mut h = LatencyHistogram::default();
+        for us in [1u64, 2, 4, 100, 100, 100, 100, 100, 10_000, 50_000] {
+            h.record(Duration::from_micros(us));
+        }
+        assert_eq!(h.count, 10);
+        assert!(h.mean_s() > 0.0);
+        // p50 falls in the 100µs cluster → upper bound 128µs.
+        let p50 = h.quantile_s(0.5);
+        assert!((100e-6..=256e-6).contains(&p50), "p50 = {p50}");
+        // p99 falls at the 50ms outlier → upper bound 65.536ms.
+        let p99 = h.quantile_s(0.99);
+        assert!((50e-3..=128e-3).contains(&p99), "p99 = {p99}");
+        assert!(h.quantile_s(0.0) > 0.0);
+        assert_eq!(LatencyHistogram::default().quantile_s(0.5), 0.0);
+    }
+
+    #[test]
+    fn mean_batch_handles_zero() {
+        assert_eq!(ServiceStats::default().mean_batch(), 0.0);
+    }
+}

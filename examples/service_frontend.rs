@@ -1,0 +1,137 @@
+//! Bursty open-loop clients against the concurrent query service.
+//!
+//! Simulates the roadmap's target deployment in miniature: several client
+//! threads generate *open-loop* traffic (requests arrive in bursts on a
+//! schedule, whether or not earlier responses came back) against one
+//! shared spatial dataset, first through a single-engine grid backend,
+//! then through a 2-shard R-Tree backend with per-shard worker threads.
+//! Clients use `try_submit`, so a saturated intake queue sheds load
+//! instead of blocking the arrival process — watch the `rejected` counter.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release --example service_frontend
+//! ```
+
+use simspatial::prelude::*;
+use std::time::{Duration, Instant};
+
+const PRODUCERS: u32 = 4;
+const BURSTS: u32 = 30;
+const BURST_SIZE: u32 = 16;
+const BURST_GAP: Duration = Duration::from_millis(1);
+
+fn mix(h: u32) -> u32 {
+    let mut h = h.wrapping_mul(0x9E3779B9) ^ 0x5151_7EA3;
+    h ^= h >> 16;
+    h = h.wrapping_mul(0x85EB_CA6B);
+    h ^ (h >> 13)
+}
+
+/// One deterministic pseudo-random request: range boxes, count probes and
+/// kNN probes (varying k) in a 2:1:1 mix.
+fn request(universe: &Aabb, h: u32) -> Request {
+    let e = universe.extent();
+    let f = |sh: u32, span: f32| (mix(h ^ sh) % 1000) as f32 / 1000.0 * span;
+    let corner = Point3::new(
+        universe.min.x + f(1, e.x),
+        universe.min.y + f(2, e.y),
+        universe.min.z + f(3, e.z),
+    );
+    match h % 4 {
+        0 | 1 => Request::Range(vec![Aabb::new(
+            corner,
+            Point3::new(
+                corner.x + e.x * 0.05,
+                corner.y + e.y * 0.05,
+                corner.z + e.z * 0.05,
+            ),
+        )]),
+        2 => Request::RangeCount(vec![Aabb::new(
+            corner,
+            Point3::new(
+                corner.x + e.x * 0.1,
+                corner.y + e.y * 0.1,
+                corner.z + e.z * 0.1,
+            ),
+        )]),
+        _ => Request::Knn(vec![(corner, 2 + (h % 7) as usize)]),
+    }
+}
+
+/// Drives the open-loop workload against `service` and reports its stats.
+fn drive(name: &str, service: SpatialService, universe: Aabb) {
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for tid in 0..PRODUCERS {
+            let handle = service.handle();
+            scope.spawn(move || {
+                let mut dropped = 0u32;
+                for burst in 0..BURSTS {
+                    for i in 0..BURST_SIZE {
+                        let req = request(&universe, mix(tid << 20 | burst << 8 | i));
+                        // Open loop: fire and forget — completion latency is
+                        // recorded by the scheduler even if the ticket is
+                        // dropped; a full queue sheds the request.
+                        match handle.try_submit(req) {
+                            Ok(_ticket) => {}
+                            Err(SubmitError::Full(_)) => dropped += 1,
+                            Err(e) => panic!("service vanished: {e}"),
+                        }
+                    }
+                    std::thread::sleep(BURST_GAP);
+                }
+                dropped
+            });
+        }
+    });
+    let stats = service.shutdown();
+    let wall = start.elapsed().as_secs_f64();
+    println!("== {name} ==");
+    println!("{}", stats.summary());
+    println!(
+        "throughput: {:.0} completed requests/s over {:.2}s wall\n",
+        stats.completed as f64 / wall,
+        wall
+    );
+}
+
+fn main() {
+    let dataset = NeuronDatasetBuilder::new()
+        .neurons(60)
+        .segments_per_neuron(120)
+        .seed(0xF00D)
+        .build();
+    let universe = dataset.universe();
+    println!(
+        "dataset: {} elements, universe {:?} → {:?}",
+        dataset.len(),
+        universe.min,
+        universe.max
+    );
+    println!(
+        "workload: {PRODUCERS} open-loop producers × {BURSTS} bursts × {BURST_SIZE} requests, {BURST_GAP:?} gap\n",
+    );
+
+    // 1. Single-engine backend: the dispatcher thread is the worker.
+    let grid = EngineBackend::build(dataset.elements().to_vec(), |d| {
+        UniformGrid::build(d, GridConfig::auto(d))
+    });
+    drive(
+        "UniformGrid · single engine backend",
+        SpatialService::spawn(grid, ServiceConfig::default()),
+        universe,
+    );
+
+    // 2. Region-sharded backend: one worker thread per shard, lanes over
+    // channels, deduplicating merge — same results, overlapped execution.
+    let sharded = ShardedBackend::spawn(ShardedEngine::build(dataset.elements(), 2, |part| {
+        RTree::bulk_load(part, RTreeConfig::default())
+    }));
+    drive(
+        "R-Tree · 2-shard backend (per-shard workers)",
+        SpatialService::spawn(sharded, ServiceConfig::default()),
+        universe,
+    );
+}

@@ -60,6 +60,11 @@
 //! | [`join`] | `simspatial-join` | nested-loop, sweep, PBSM, TOUCH-style, small-cell joins |
 //! | [`moving`] | `simspatial-moving` | update/rebuild/scan strategies & crossover analysis |
 //! | [`sim`] | `simspatial-sim` | time-stepped simulation engine + workloads |
+//! | [`service`] | `simspatial-service` | concurrent query service: micro-batching scheduler + per-shard workers |
+//!
+//! See `ARCHITECTURE.md` at the repository root for how the layers (SoA
+//! kernel → index → engine → sharded engine → service) fit together and
+//! when to pick each entry point.
 
 pub use simspatial_datagen as datagen;
 pub use simspatial_geom as geom;
@@ -67,6 +72,7 @@ pub use simspatial_index as index;
 pub use simspatial_join as join;
 pub use simspatial_mesh as mesh;
 pub use simspatial_moving as moving;
+pub use simspatial_service as service;
 pub use simspatial_sim as sim;
 pub use simspatial_storage as storage;
 
@@ -81,14 +87,18 @@ pub mod prelude {
     };
     pub use simspatial_index::{
         measure_range, BatchResults, CountSink, CrTree, CrTreeConfig, Curve, DiskRTree, Flat,
-        FlatConfig, GridConfig, GridPlacement, KdTree, KnnBatchResults, KnnIndex, KnnSink,
+        FlatConfig, GridConfig, GridPlacement, KdTree, KnnBatchResults, KnnIndex, KnnLane, KnnSink,
         LinearScan, Lsh, LshConfig, MultiGrid, MultiGridConfig, Octree, OctreeConfig, QueryEngine,
-        QueryStats, RTree, RTreeConfig, RangeSink, ShardRouter, ShardedEngine, SpatialIndex,
-        UniformGrid,
+        QueryStats, RTree, RTreeConfig, RangeLane, RangeSink, ShardExecutor, ShardPlanner,
+        ShardRouter, ShardedEngine, SpatialIndex, UniformGrid,
     };
     pub use simspatial_join::{join_pair, self_join, JoinAlgorithm, JoinConfig, PairAlgorithm};
     pub use simspatial_mesh::{MeshWalker, TetMesh, WalkStrategy};
     pub use simspatial_moving::{StepCost, UpdateStrategy, UpdateStrategyKind};
+    pub use simspatial_service::{
+        EngineBackend, Request, Response, ServiceBackend, ServiceConfig, ServiceHandle,
+        ServiceStats, ShardedBackend, SpatialService, SubmitError, Ticket,
+    };
     pub use simspatial_sim::{
         MaterialWorkload, NBodyWorkload, PlasticityWorkload, Simulation, SimulationConfig,
         StepReport, Workload,

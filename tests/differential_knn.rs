@@ -188,8 +188,10 @@ fn queries() -> Vec<Aabb> {
 }
 
 /// Sharded K ∈ {1, 2, 4} vs a single engine over the same index type:
-/// byte-identical range result sets (after sort) and kNN lists.
-fn check_sharded<I, B>(name: &str, data: &[Element], build: B)
+/// byte-identical range result sets (after sort) and kNN lists. Runs with
+/// either split mode — uniform slabs or median cuts — since the merge
+/// contract is identical for both.
+fn check_sharded_split<I, B>(name: &str, data: &[Element], build: B, median: bool)
 where
     I: SpatialIndex + KnnIndex + Send,
     B: Fn(&[Element]) -> I,
@@ -201,7 +203,11 @@ where
     let mut want_range = BatchResults::new();
     engine.range_collect(&single, data, &qs, &mut want_range);
     for shards in [1usize, 2, 4] {
-        let mut sharded = ShardedEngine::build(data, shards, &build);
+        let mut sharded = if median {
+            ShardedEngine::build_median(data, shards, &build)
+        } else {
+            ShardedEngine::build(data, shards, &build)
+        };
         let mut got_range = BatchResults::new();
         let stats = sharded.range_collect(&qs, &mut got_range);
         assert_eq!(stats.results as usize, got_range.total());
@@ -226,6 +232,51 @@ where
                 );
             }
         }
+    }
+}
+
+fn check_sharded<I, B>(name: &str, data: &[Element], build: B)
+where
+    I: SpatialIndex + KnnIndex + Send,
+    B: Fn(&[Element]) -> I,
+{
+    check_sharded_split(name, data, build, false);
+}
+
+#[test]
+fn median_cut_sharding_matches_single_engine() {
+    // Median-cut routing must preserve the byte-identical merge guarantee,
+    // on both the uniform soups and the clustered dataset shape it targets
+    // (datagen's Gaussian-cluster soup; shard-balance numbers for it live
+    // in the knn_engine bench, and the router's balance property is unit-
+    // tested in engine/sharded.rs).
+    let mut sets = all_datasets();
+    sets.push(
+        ElementSoupBuilder::new()
+            .count(1800)
+            .clustered(ClusteredConfig {
+                clusters: 3,
+                sigma: 2.5,
+            })
+            .seed(0x11)
+            .build()
+            .elements()
+            .to_vec(),
+    );
+    for data in sets {
+        check_sharded_split(
+            "Grid/median",
+            &data,
+            |part| UniformGrid::build(part, GridConfig::auto(part)),
+            true,
+        );
+        check_sharded_split(
+            "R-Tree/median",
+            &data,
+            |part| RTree::bulk_load(part, RTreeConfig::default()),
+            true,
+        );
+        check_sharded_split("LinearScan/median", &data, LinearScan::build, true);
     }
 }
 

@@ -1,0 +1,452 @@
+//! Concurrency coverage for the query service.
+//!
+//! * **Differential**: concurrent submissions from ≥4 producer threads
+//!   must return results *identical* — same id ordering per range query,
+//!   same `(id, distance)` lists per kNN probe — to a serial
+//!   `QueryEngine` (resp. `ShardedEngine`) run over the same requests,
+//!   with micro-batch coalescing both on and off.
+//! * **Lifecycle**: orderly shutdown drains and completes everything
+//!   already admitted; submissions after shutdown fail cleanly with
+//!   `SubmitError::ShutDown`.
+//! * **Backpressure**: with the dispatcher wedged, the bounded intake
+//!   queue fills and `try_submit` reports `Full` instead of blocking.
+
+use simspatial::prelude::*;
+use simspatial_service::{RecvError, ServiceBackend};
+use std::sync::mpsc;
+use std::time::Duration;
+
+/// Mixed-size random soup (same recipe as the engine differential tests).
+fn soup(n: u32, seed: u32) -> Vec<Element> {
+    (0..n)
+        .map(|i| {
+            let h = (i ^ seed).wrapping_mul(2654435761);
+            let x = (h % 997) as f32 / 10.0;
+            let y = ((h >> 10) % 997) as f32 / 10.0;
+            let z = ((h >> 20) % 997) as f32 / 10.0;
+            let r = if i % 29 == 0 { 4.0 } else { 0.35 };
+            Element::new(i, Shape::Sphere(Sphere::new(Point3::new(x, y, z), r)))
+        })
+        .collect()
+}
+
+fn mix(h: u32) -> u32 {
+    let mut h = h.wrapping_mul(0x9E3779B9) ^ 0xABCD_1234;
+    h ^= h >> 16;
+    h = h.wrapping_mul(0x85EB_CA6B);
+    h ^ (h >> 13)
+}
+
+/// Deterministic request stream for producer `tid`: a mix of `Range`,
+/// `RangeCount` and `Knn` (per-probe k varying 1..9, including k=0 and a
+/// far-outside probe), so coalescing sees all families and k-groups.
+fn requests_for(tid: u32, count: u32) -> Vec<Request> {
+    (0..count)
+        .map(|i| {
+            let h = mix(tid.wrapping_mul(1000) + i);
+            let cx = (h % 90) as f32;
+            let cy = ((h >> 8) % 90) as f32;
+            let cz = ((h >> 16) % 90) as f32;
+            match h % 3 {
+                0 => Request::Range(
+                    (0..(h % 4 + 1))
+                        .map(|q| {
+                            let o = q as f32 * 7.0;
+                            Aabb::new(
+                                Point3::new(cx - o, cy, cz),
+                                Point3::new(cx + 9.0, cy + 12.0, cz + 8.0 + o),
+                            )
+                        })
+                        .collect(),
+                ),
+                1 => Request::RangeCount(vec![Aabb::new(
+                    Point3::new(cx, cy, cz),
+                    Point3::new(cx + 20.0, cy + 20.0, cz + 20.0),
+                )]),
+                _ => Request::Knn(
+                    (0..(h % 3 + 1))
+                        .map(|q| {
+                            let k = ((h >> (q * 4)) % 9) as usize; // 0..=8, k=0 included
+                            let p = if q == 2 {
+                                Point3::new(-500.0, -500.0, -500.0)
+                            } else {
+                                Point3::new(cx + q as f32, cy, cz)
+                            };
+                            (p, k)
+                        })
+                        .collect(),
+                ),
+            }
+        })
+        .collect()
+}
+
+/// The serial oracle: one request at a time through a caller-owned engine.
+trait SerialOracle {
+    fn range(&mut self, qs: &[Aabb]) -> Vec<Vec<ElementId>>;
+    fn knn(&mut self, p: &Point3, k: usize) -> Vec<(ElementId, f32)>;
+}
+
+struct EngineOracle<'a, I> {
+    engine: QueryEngine,
+    index: &'a I,
+    data: &'a [Element],
+}
+
+impl<I: SpatialIndex + KnnIndex> SerialOracle for EngineOracle<'_, I> {
+    fn range(&mut self, qs: &[Aabb]) -> Vec<Vec<ElementId>> {
+        let mut out = BatchResults::new();
+        self.engine
+            .range_collect(self.index, self.data, qs, &mut out);
+        (0..qs.len())
+            .map(|q| out.query_results(q).to_vec())
+            .collect()
+    }
+
+    fn knn(&mut self, p: &Point3, k: usize) -> Vec<(ElementId, f32)> {
+        let mut out = KnnBatchResults::new();
+        self.engine
+            .knn_collect(self.index, self.data, &[*p], k, &mut out);
+        out.query_results(0).to_vec()
+    }
+}
+
+struct ShardedOracle<I>(ShardedEngine<I>);
+
+impl<I: SpatialIndex + KnnIndex + Send> SerialOracle for ShardedOracle<I> {
+    fn range(&mut self, qs: &[Aabb]) -> Vec<Vec<ElementId>> {
+        let mut out = BatchResults::new();
+        self.0.range_collect(qs, &mut out);
+        (0..qs.len())
+            .map(|q| out.query_results(q).to_vec())
+            .collect()
+    }
+
+    fn knn(&mut self, p: &Point3, k: usize) -> Vec<(ElementId, f32)> {
+        let mut out = KnnBatchResults::new();
+        self.0.knn_collect(&[*p], k, &mut out);
+        out.query_results(0).to_vec()
+    }
+}
+
+fn expected(oracle: &mut dyn SerialOracle, request: &Request) -> Response {
+    match request {
+        Request::Range(qs) => Response::Range(oracle.range(qs)),
+        Request::RangeCount(qs) => Response::RangeCount(
+            oracle
+                .range(qs)
+                .into_iter()
+                .map(|l| l.len() as u64)
+                .collect(),
+        ),
+        Request::Knn(probes) => {
+            Response::Knn(probes.iter().map(|(p, k)| oracle.knn(p, *k)).collect())
+        }
+    }
+}
+
+const PRODUCERS: u32 = 4;
+const REQUESTS_PER_PRODUCER: u32 = 40;
+
+/// Drives `service` from `PRODUCERS` threads (pipelined submissions, so the
+/// scheduler has something to coalesce) and checks every response against
+/// the serial oracle.
+fn drive_and_verify(service: SpatialService, oracle: &mut dyn SerialOracle, label: &str) {
+    let collected: Vec<(u32, Vec<Response>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..PRODUCERS)
+            .map(|tid| {
+                let h = service.handle();
+                scope.spawn(move || {
+                    let requests = requests_for(tid, REQUESTS_PER_PRODUCER);
+                    // Pipeline: submit everything, then collect in order.
+                    let tickets: Vec<Ticket> = requests
+                        .iter()
+                        .map(|r| h.submit(r.clone()).expect("open service accepts"))
+                        .collect();
+                    let responses: Vec<Response> = tickets
+                        .into_iter()
+                        .map(|t| t.recv().expect("response arrives"))
+                        .collect();
+                    (tid, responses)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let stats = service.shutdown();
+    assert_eq!(
+        stats.completed,
+        u64::from(PRODUCERS * REQUESTS_PER_PRODUCER),
+        "{label}: all requests complete"
+    );
+    assert_eq!(
+        stats.latency.count, stats.completed,
+        "{label}: latency per request"
+    );
+    assert!(stats.dispatches >= 1);
+    assert!(stats.memory_bytes > 0, "{label}: backend memory surfaced");
+    assert!(
+        !stats.shard_sizes.is_empty(),
+        "{label}: shard sizes surfaced"
+    );
+    for (tid, responses) in collected {
+        let requests = requests_for(tid, REQUESTS_PER_PRODUCER);
+        assert_eq!(responses.len(), requests.len());
+        for (i, (request, got)) in requests.iter().zip(&responses).enumerate() {
+            let want = expected(oracle, request);
+            assert_eq!(got, &want, "{label}: producer {tid} request {i} diverged");
+        }
+    }
+}
+
+#[test]
+fn service_matches_serial_engine() {
+    let data = soup(2500, 0xBEEF);
+    let index = UniformGrid::build(&data, GridConfig::auto(&data));
+    let mut oracle = EngineOracle {
+        engine: QueryEngine::new(),
+        index: &index,
+        data: &data,
+    };
+    for coalesce in [true, false] {
+        let backend =
+            EngineBackend::build(data.clone(), |d| UniformGrid::build(d, GridConfig::auto(d)));
+        let cfg = if coalesce {
+            ServiceConfig::default()
+        } else {
+            ServiceConfig::default().no_coalesce()
+        };
+        let service = SpatialService::spawn(backend, cfg);
+        let label = format!("engine/grid coalesce={coalesce}");
+        drive_and_verify(service, &mut oracle, &label);
+    }
+}
+
+#[test]
+fn service_matches_serial_sharded() {
+    let data = soup(2000, 0xCAFE);
+    let build = |part: &[Element]| RTree::bulk_load(part, RTreeConfig::default());
+    let mut oracle = ShardedOracle(ShardedEngine::build(&data, 3, build));
+    for coalesce in [true, false] {
+        let backend = ShardedBackend::spawn(ShardedEngine::build(&data, 3, build));
+        assert_eq!(backend.shard_count(), 3);
+        let cfg = if coalesce {
+            ServiceConfig::default()
+        } else {
+            ServiceConfig::default().no_coalesce()
+        };
+        let service = SpatialService::spawn(backend, cfg);
+        let label = format!("sharded/rtree coalesce={coalesce}");
+        drive_and_verify(service, &mut oracle, &label);
+    }
+}
+
+#[test]
+fn service_on_median_cut_shards_matches_serial() {
+    let data = soup(1500, 0x5EED);
+    let build = |part: &[Element]| UniformGrid::build(part, GridConfig::auto(part));
+    let mut oracle = ShardedOracle(ShardedEngine::build_median(&data, 4, build));
+    let backend = ShardedBackend::spawn(ShardedEngine::build_median(&data, 4, build));
+    let service = SpatialService::spawn(backend, ServiceConfig::default());
+    drive_and_verify(service, &mut oracle, "sharded/grid median-cut");
+}
+
+/// A backend whose FIRST dispatch blocks until the test releases a gate —
+/// the deterministic way to wedge the scheduler and observe queueing,
+/// backpressure and drain-during-shutdown.
+struct GatedBackend<B: ServiceBackend> {
+    inner: B,
+    gate: Option<mpsc::Receiver<()>>,
+}
+
+impl<B: ServiceBackend> GatedBackend<B> {
+    fn new(inner: B) -> (Self, mpsc::Sender<()>) {
+        let (tx, rx) = mpsc::channel();
+        (
+            Self {
+                inner,
+                gate: Some(rx),
+            },
+            tx,
+        )
+    }
+
+    fn wait_gate(&mut self) {
+        if let Some(gate) = self.gate.take() {
+            let _ = gate.recv();
+        }
+    }
+}
+
+impl<B: ServiceBackend> ServiceBackend for GatedBackend<B> {
+    fn range_batch(&mut self, queries: &[Aabb], out: &mut BatchResults) -> QueryStats {
+        self.wait_gate();
+        self.inner.range_batch(queries, out)
+    }
+
+    fn knn_batch(&mut self, points: &[Point3], k: usize, out: &mut KnnBatchResults) -> QueryStats {
+        self.wait_gate();
+        self.inner.knn_batch(points, k, out)
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.inner.memory_bytes()
+    }
+
+    fn shard_sizes(&self) -> Vec<usize> {
+        self.inner.shard_sizes()
+    }
+
+    fn shutdown(&mut self) {
+        self.inner.shutdown();
+    }
+}
+
+fn small_backend(data: &[Element]) -> EngineBackend<LinearScan> {
+    EngineBackend::build(data.to_vec(), LinearScan::build)
+}
+
+fn one_box() -> Request {
+    Request::Range(vec![Aabb::new(
+        Point3::ORIGIN,
+        Point3::new(50.0, 50.0, 50.0),
+    )])
+}
+
+#[test]
+fn shutdown_drains_queue_and_rejects_new_submissions() {
+    let data = soup(300, 1);
+    let (backend, gate) = GatedBackend::new(small_backend(&data));
+    let service = SpatialService::spawn(backend, ServiceConfig::default().no_coalesce());
+    let handle = service.handle();
+    // Admit a backlog; the first dispatch wedges on the gate, the rest queue.
+    let tickets: Vec<Ticket> = (0..6)
+        .map(|_| handle.submit(one_box()).expect("open service accepts"))
+        .collect();
+    // Shut down from another thread (it blocks joining the dispatcher).
+    let closer = std::thread::spawn(move || service.shutdown());
+    // The admission flag flips before the drain finishes…
+    while handle.is_open() {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    // …so new submissions already fail, while the backlog is still queued.
+    match handle.submit(one_box()) {
+        Err(SubmitError::ShutDown(_)) => {}
+        other => panic!("submit after shutdown must fail cleanly, got {other:?}"),
+    }
+    // Release the gate: the drain completes every admitted request.
+    gate.send(()).unwrap();
+    let stats = closer.join().unwrap();
+    assert_eq!(stats.completed, 6, "orderly shutdown drains the queue");
+    for (i, t) in tickets.into_iter().enumerate() {
+        let lists = t
+            .recv()
+            .unwrap_or_else(|_| panic!("admitted request {i} must be completed"))
+            .into_range()
+            .unwrap();
+        assert_eq!(lists.len(), 1);
+    }
+    // A ticket for a request that was never admitted errors, not hangs.
+    match handle.try_submit(one_box()) {
+        Err(SubmitError::ShutDown(_)) => {}
+        other => panic!("try_submit after shutdown must fail cleanly, got {other:?}"),
+    }
+}
+
+#[test]
+fn bounded_queue_reports_backpressure() {
+    let data = soup(200, 2);
+    let (backend, gate) = GatedBackend::new(small_backend(&data));
+    let service = SpatialService::spawn(
+        backend,
+        ServiceConfig::default().no_coalesce().with_queue_cap(2),
+    );
+    let handle = service.handle();
+    // Wedge the dispatcher, then fill the bounded queue without blocking.
+    let mut accepted = Vec::new();
+    let mut saw_full = false;
+    for _ in 0..5 {
+        match handle.try_submit(one_box()) {
+            Ok(t) => accepted.push(t),
+            Err(SubmitError::Full(req)) => {
+                saw_full = true;
+                // The request comes back for retry.
+                assert_eq!(req.len(), 1);
+            }
+            Err(e) => panic!("unexpected submit error: {e}"),
+        }
+    }
+    assert!(
+        saw_full,
+        "cap-2 queue must reject within 5 wedged submissions"
+    );
+    assert!(accepted.len() >= 2, "the queue accepts up to its bound");
+    let pre = handle.stats();
+    assert!(pre.rejected >= 1, "rejections are counted");
+    gate.send(()).unwrap();
+    let stats = service.shutdown();
+    assert_eq!(stats.completed, accepted.len() as u64);
+    for t in accepted {
+        assert!(t.recv().is_ok(), "accepted requests complete");
+    }
+    assert_eq!(stats.queue_depth, 0, "drained queue gauge returns to zero");
+}
+
+#[test]
+fn dropped_service_errors_outstanding_tickets_cleanly() {
+    // A ticket whose service vanished reports ShutDown rather than hanging.
+    let data = soup(100, 3);
+    let (backend, gate) = GatedBackend::new(small_backend(&data));
+    // With the sender gone, wait_gate's recv errors and returns, so the
+    // backend is NOT wedged; this test only checks lifecycle.
+    drop(gate);
+    let service = SpatialService::spawn(backend, ServiceConfig::default());
+    let handle = service.handle();
+    let t = handle.submit(one_box()).unwrap();
+    t.recv().expect("live service completes the request");
+    drop(service); // Drop shuts the service down.
+    match handle.submit(one_box()) {
+        Err(SubmitError::ShutDown(_)) => {}
+        other => panic!("submit into dropped service must fail, got {other:?}"),
+    }
+    // recv on a never-admitted ticket path: construct via try_submit race is
+    // not reachable deterministically; instead check RecvError Display.
+    assert_eq!(
+        RecvError::ShutDown.to_string(),
+        "service shut down before completing the request"
+    );
+}
+
+#[test]
+fn coalescing_forms_multi_request_batches() {
+    // With a wedged first dispatch and pipelined submissions, the second
+    // dispatch must coalesce several requests into one batch.
+    let data = soup(400, 4);
+    let (backend, gate) = GatedBackend::new(small_backend(&data));
+    let service = SpatialService::spawn(
+        backend,
+        ServiceConfig::default().with_batching(64, Duration::from_micros(50)),
+    );
+    let handle = service.handle();
+    let first = handle.submit(one_box()).unwrap();
+    // Wait until the dispatcher has the first request in hand (queue empty),
+    // then pile up a burst behind the gate.
+    while handle.stats().queue_depth > 0 {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let burst: Vec<Ticket> = (0..12).map(|_| handle.submit(one_box()).unwrap()).collect();
+    gate.send(()).unwrap();
+    first.recv().unwrap();
+    for t in burst {
+        t.recv().unwrap();
+    }
+    let stats = service.shutdown();
+    assert_eq!(stats.completed, 13);
+    assert!(
+        stats.dispatches < 13,
+        "burst must coalesce: {} dispatches for 13 requests",
+        stats.dispatches
+    );
+    assert!(stats.mean_batch() > 1.0);
+    assert!(stats.max_queue_depth >= 2);
+}
