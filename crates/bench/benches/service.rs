@@ -11,6 +11,15 @@
 //! * `svc_sharded_range_p4` — range requests against a 4-shard backend
 //!   with per-shard worker threads.
 //!
+//! Write-path rows (`before` = 1 shard, `after` = 4 shards, 4 producers,
+//! writable sharded backends — the paper's alternating update/query
+//! workload through the service admission path):
+//!
+//! * `svc_mixed_f00_shards` / `svc_mixed_f25_shards` /
+//!   `svc_mixed_f50_shards` — request throughput at 0 / 25 / 50 % update
+//!   fraction (updates are 4-element `Request::Update` batches of small
+//!   displacements, so shard migrations occur at boundaries).
+//!
 //! Producers pipeline `WINDOW` outstanding requests each, so the scheduler
 //! has concurrent traffic to coalesce even single-producer. Numbers on a
 //! single-core host measure scheduling overhead honestly (no parallelism
@@ -46,6 +55,9 @@ struct Fixture {
     elements: Vec<Element>,
     range_pool: Vec<Request>,
     knn_pool: Vec<Request>,
+    /// Pools at 0/25/50 % update fraction (updates interleaved round-robin
+    /// so producers alternate writes and reads like a simulation loop).
+    mixed_pools: [(u32, Vec<Request>); 3],
 }
 
 fn fixture() -> Fixture {
@@ -69,10 +81,51 @@ fn fixture() -> Fixture {
             )
         })
         .collect();
+    // Update requests: 4 elements each, displaced by a small step — the
+    // paper's "massive yet minimal" movement profile.
+    let elements = data.elements().to_vec();
+    let n = elements.len() as u64;
+    let update_pool: Vec<Request> = (0..256u64)
+        .map(|i| {
+            Request::Update(
+                (0..4u64)
+                    .map(|j| {
+                        let id = ((i * 37 + j * 101) * 2654435761) % n;
+                        let e = &elements[id as usize];
+                        let d = ((i + j) % 7) as f32 * 0.15 - 0.45;
+                        let mut bb = e.aabb();
+                        bb.min.x += d;
+                        bb.max.x += d;
+                        bb.min.y -= d;
+                        bb.max.y -= d;
+                        (id as u32, bb)
+                    })
+                    .collect(),
+            )
+        })
+        .collect();
+    let mixed = |updates_per_4: usize| -> Vec<Request> {
+        // Of every 4 pool slots, `updates_per_4` are update requests.
+        let mut pool = Vec::new();
+        let (mut r, mut u) = (0usize, 0usize);
+        for _ in 0..64 {
+            for _ in 0..4 - updates_per_4 {
+                pool.push(range_pool[r % range_pool.len()].clone());
+                r += 1;
+            }
+            for _ in 0..updates_per_4 {
+                pool.push(update_pool[u % update_pool.len()].clone());
+                u += 1;
+            }
+        }
+        pool
+    };
+    let mixed_pools = [(0u32, mixed(0)), (25, mixed(1)), (50, mixed(2))];
     Fixture {
-        elements: data.elements().to_vec(),
+        elements,
         range_pool,
         knn_pool,
+        mixed_pools,
     }
 }
 
@@ -144,6 +197,13 @@ fn sharded_backend(elements: &[Element]) -> ShardedBackend {
     }))
 }
 
+/// A writable sharded grid backend (grid rebuilds are the cheap per-shard
+/// maintenance path) at `shards` shards.
+fn writable_sharded_backend(elements: &[Element], shards: usize) -> ShardedBackend {
+    let build = |part: &[Element]| UniformGrid::build(part, GridConfig::auto(part));
+    ShardedBackend::spawn(ShardedEngine::build(elements, shards, build).with_rebuild(build))
+}
+
 fn emit_json(fx: &Fixture) -> BenchJson {
     let mut json = BenchJson::new("service");
     for producers in [1usize, 4] {
@@ -172,6 +232,18 @@ fn emit_json(fx: &Fixture) -> BenchJson {
     let off = measure(|| sharded_backend(&fx.elements), false, 4, &fx.range_pool);
     let on = measure(|| sharded_backend(&fx.elements), true, 4, &fx.range_pool);
     json.add("svc_sharded_range_p4", "requests/s", off, on);
+    // Write path: update/query mix at 0/25/50 % update fraction, 1 vs 4
+    // shards (coalescing on, 4 producers).
+    for (frac, pool) in &fx.mixed_pools {
+        let one = measure(|| writable_sharded_backend(&fx.elements, 1), true, 4, pool);
+        let four = measure(|| writable_sharded_backend(&fx.elements, 4), true, 4, pool);
+        json.add(
+            &format!("svc_mixed_f{frac:02}_shards"),
+            "requests/s",
+            one,
+            four,
+        );
+    }
     json
 }
 

@@ -33,6 +33,22 @@
 //! `simspatial_service::ShardedBackend` — that want to pin each executor to
 //! a persistent worker thread.
 //!
+//! **The write path** mirrors the query path lane for lane: a coalesced
+//! `(id, new geometry)` batch routes through
+//! [`ShardPlanner::route_updates`] into per-shard [`UpdateLane`]s (the
+//! planner tracks every element's current envelope, so each write touches
+//! only the shards of the old and new envelope), executors apply their
+//! lane ([`UpdateLane::run`]: upserts, cross-shard **migrations** that keep
+//! replicas and id maps consistent, then an index rebuild via the function
+//! attached with [`ShardedEngine::with_rebuild`]), and the
+//! [`UpdateLaneReport`]s carry post-migration shard sizes and memory back
+//! for accounting. [`ShardedEngine::update_batch`] composes the round trip
+//! inline; the service layer ships the same lanes to its per-shard
+//! workers. After any batch, executors hold their elements sorted by
+//! global id — the invariant that keeps per-shard top-k tie-breaking, and
+//! therefore post-update query results, byte-identical to an unsharded
+//! engine over the same updated data.
+//!
 //! **Partitioning** — the [`ShardRouter`] splits the dataset envelope into
 //! K slabs along its longest axis: equal-width by default
 //! ([`ShardRouter::new`]), or at per-axis coordinate medians
@@ -54,10 +70,17 @@
 //! engine's scratch high-water mark, the router and the merge scratch.
 
 use crate::engine::{BatchResults, KnnBatchResults, QueryEngine};
-use crate::traits::{KnnIndex, KnnSink, QueryStats, RangeSink, SpatialIndex};
-use simspatial_geom::{parallel, stats, Aabb, Element, ElementId, Point3, QueryScratch};
+use crate::traits::{KnnIndex, KnnSink, QueryStats, RangeSink, SpatialIndex, UpdateStats};
+use simspatial_geom::{parallel, stats, Aabb, Element, ElementId, Point3, QueryScratch, Shape};
 use std::ops::Range;
+use std::sync::Arc;
 use std::time::Instant;
+
+/// The per-shard index (re)build function stored by updatable executors:
+/// called with the shard's re-identified local elements after a write batch
+/// mutates them. Shared (`Arc`) so every shard and every rebuild reuses one
+/// allocation; `Send + Sync` so executors can live on worker threads.
+pub type ShardRebuild<I> = Arc<dyn Fn(&[Element]) -> I + Send + Sync>;
 
 /// How a [`ShardRouter`] places its K-1 interior cuts along the split axis.
 #[derive(Debug, Clone)]
@@ -285,12 +308,19 @@ impl KnnSink for GlobalKnnSink<'_> {
 /// **global** element ids, so merging never needs shard-local state.
 pub struct ShardExecutor<I> {
     region: Aabb,
-    /// Local elements, re-identified with dense ids `0..n`.
+    /// Local elements, re-identified with dense ids `0..n`. Kept sorted by
+    /// global id (see [`ShardExecutor::global_ids`]) so local-id order
+    /// always agrees with global-id order — the invariant behind the
+    /// byte-identical kNN tie-breaking — and so update lanes can resolve
+    /// global ids by binary search.
     data: Vec<Element>,
-    /// Local id → global id.
+    /// Local id → global id; strictly ascending.
     global: Vec<ElementId>,
     index: I,
     engine: QueryEngine,
+    /// Index (re)build function for the write path; `None` for read-only
+    /// engines (see [`ShardedEngine::with_rebuild`]).
+    rebuild: Option<ShardRebuild<I>>,
 }
 
 impl<I> ShardExecutor<I> {
@@ -314,9 +344,18 @@ impl<I> ShardExecutor<I> {
         &self.index
     }
 
-    /// Local id → global id translation table.
+    /// Local id → global id translation table (strictly ascending: shard
+    /// clones are kept sorted by global id, which is what makes per-shard
+    /// `(distance, local id)` top-k selection agree with the global
+    /// `(distance, id)` order, ties included).
     pub fn global_ids(&self) -> &[ElementId] {
         &self.global
+    }
+
+    /// True when this executor can apply update lanes (a rebuild function
+    /// was attached, see [`ShardedEngine::with_rebuild`]).
+    pub fn is_updatable(&self) -> bool {
+        self.rebuild.is_some()
     }
 
     /// Bytes of the shard's replicated element clone, id map and engine
@@ -325,6 +364,87 @@ impl<I> ShardExecutor<I> {
         self.data.capacity() * std::mem::size_of::<Element>()
             + self.global.capacity() * std::mem::size_of::<ElementId>()
             + self.engine.memory_bytes()
+    }
+}
+
+impl<I> ShardExecutor<I> {
+    /// Applies one routed write sub-batch: upserts (`updates` ∪ `inserts`),
+    /// then removals, then restores the sorted-by-global-id element order
+    /// and rebuilds the shard index with the attached rebuild function.
+    /// Returns `(upserts applied, elements inserted, elements removed)`.
+    ///
+    /// Upsert semantics make the executor robust to a planner whose
+    /// envelope view is stale: an "update" for an id the shard does not
+    /// hold inserts it, an "insert" for an id already present overwrites
+    /// its geometry, and removals of absent ids are no-ops.
+    ///
+    /// Panics when no rebuild function is attached
+    /// ([`ShardExecutor::is_updatable`] is false).
+    fn apply_updates(
+        &mut self,
+        updates: &[(ElementId, Shape)],
+        inserts: &[(ElementId, Shape)],
+        removals: &[ElementId],
+    ) -> (u64, u64, u64) {
+        let rebuild = Arc::clone(
+            self.rebuild
+                .as_ref()
+                .expect("write batch on a read-only shard — build the engine with_rebuild"),
+        );
+        // Phase 1: upserts. Binary searches stay valid because misses are
+        // parked in `pending` instead of being appended mid-loop. The
+        // accounting follows what actually happened, not which list the
+        // entry arrived in (a stale-envelope planner may route an "update"
+        // for an element the shard does not hold yet): in-place geometry
+        // overwrites count as applied, additions as inserted.
+        let mut pending: Vec<(ElementId, Shape)> = Vec::new();
+        let mut applied = 0u64;
+        let mut inserted = 0u64;
+        for &(gid, shape) in updates.iter().chain(inserts) {
+            match self.global.binary_search(&gid) {
+                Ok(li) => {
+                    self.data[li].shape = shape;
+                    applied += 1;
+                }
+                Err(_) => {
+                    pending.push((gid, shape));
+                    inserted += 1;
+                }
+            }
+        }
+        // Phase 2: removals, as a liveness mask over current local ids.
+        let mut dead = vec![false; self.data.len()];
+        let mut removed = 0u64;
+        for gid in removals {
+            if let Ok(li) = self.global.binary_search(gid) {
+                if !dead[li] {
+                    dead[li] = true;
+                    removed += 1;
+                }
+            }
+        }
+        // Phase 3: re-establish the sorted-by-global-id order with dense
+        // local ids, shrink the clone/id map to the post-migration size,
+        // and rebuild the index over the new local slice.
+        let survivors = self.data.len() - removed as usize + pending.len();
+        let mut pairs: Vec<(ElementId, Shape)> = Vec::with_capacity(survivors);
+        for (li, e) in self.data.iter().enumerate() {
+            if !dead[li] {
+                pairs.push((self.global[li], e.shape));
+            }
+        }
+        pairs.extend_from_slice(&pending);
+        pairs.sort_unstable_by_key(|&(g, _)| g);
+        self.data.clear();
+        self.global.clear();
+        for (li, &(gid, shape)) in pairs.iter().enumerate() {
+            self.data.push(Element::new(li as ElementId, shape));
+            self.global.push(gid);
+        }
+        self.data.shrink_to_fit();
+        self.global.shrink_to_fit();
+        self.index = rebuild(&self.data);
+        (applied, inserted, removed)
     }
 }
 
@@ -516,6 +636,101 @@ impl KnnLane {
     }
 }
 
+/// Per-shard accounting of one executed [`UpdateLane`], filled by
+/// [`UpdateLane::run`]. `len_after`/`memory_bytes` let orchestrators that
+/// moved their executors onto worker threads (the service's sharded
+/// backend) keep shard-size and memory gauges current without another
+/// round trip.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct UpdateLaneReport {
+    /// Geometry upserts applied to elements already resident in the shard.
+    pub applied: u64,
+    /// Elements migrated *into* the shard by this batch.
+    pub migrated_in: u64,
+    /// Elements migrated *out of* the shard by this batch.
+    pub migrated_out: u64,
+    /// Elements resident in the shard after the batch (replicas included).
+    pub len_after: usize,
+    /// Shard bytes (index + clone + id map + engine scratch) after the
+    /// batch — reflects post-migration sizes, since the executor shrinks
+    /// its buffers on apply.
+    pub memory_bytes: usize,
+}
+
+/// The routed write sub-batch for one shard — the write-path mirror of
+/// [`RangeLane`]/[`KnnLane`]: a [`ShardPlanner`] fills it
+/// ([`ShardPlanner::route_updates`]), a [`ShardExecutor`] applies it
+/// ([`UpdateLane::run`]), and the post-apply [`UpdateLaneReport`] travels
+/// back for accounting. Owned data (`Send`), so lanes ship over channels to
+/// per-shard workers; reused lanes keep their allocations.
+#[derive(Default)]
+pub struct UpdateLane {
+    /// `(global id, new geometry)` for elements staying in this shard.
+    updates: Vec<(ElementId, Shape)>,
+    /// `(global id, new geometry)` for elements entering this shard.
+    inserts: Vec<(ElementId, Shape)>,
+    /// Global ids leaving this shard.
+    removals: Vec<ElementId>,
+    /// Accounting of the last [`UpdateLane::run`].
+    report: UpdateLaneReport,
+}
+
+impl UpdateLane {
+    /// An empty lane.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of write operations (updates + inserts + removals) routed to
+    /// this lane.
+    pub fn len(&self) -> usize {
+        self.updates.len() + self.inserts.len() + self.removals.len()
+    }
+
+    /// True when no write operations are routed here (the executor round
+    /// trip can be skipped entirely).
+    pub fn is_empty(&self) -> bool {
+        self.updates.is_empty() && self.inserts.is_empty() && self.removals.is_empty()
+    }
+
+    /// Accounting of the last [`UpdateLane::run`].
+    pub fn report(&self) -> &UpdateLaneReport {
+        &self.report
+    }
+
+    /// Clears the lane for re-routing, keeping allocations.
+    fn reset(&mut self) {
+        self.updates.clear();
+        self.inserts.clear();
+        self.removals.clear();
+        self.report = UpdateLaneReport::default();
+    }
+
+    /// Applies the lane's write sub-batch to `exec` (upserts, migrations,
+    /// re-sort, index rebuild) and records the post-apply report.
+    ///
+    /// Panics when `exec` has no rebuild function attached
+    /// ([`ShardedEngine::with_rebuild`]).
+    pub fn run<I: SpatialIndex>(&mut self, exec: &mut ShardExecutor<I>) {
+        let (applied, migrated_in, migrated_out) =
+            exec.apply_updates(&self.updates, &self.inserts, &self.removals);
+        self.report = UpdateLaneReport {
+            applied,
+            migrated_in,
+            migrated_out,
+            len_after: exec.len(),
+            memory_bytes: exec.memory_bytes(),
+        };
+    }
+
+    /// Heap bytes held by the lane's buffers.
+    pub fn memory_bytes(&self) -> usize {
+        (self.updates.capacity() + self.inserts.capacity())
+            * std::mem::size_of::<(ElementId, Shape)>()
+            + self.removals.capacity() * std::mem::size_of::<ElementId>()
+    }
+}
+
 /// Grows or shrinks `lanes` to exactly `n` entries.
 fn size_lanes<L: Default>(lanes: &mut Vec<L>, n: usize) {
     lanes.truncate(n);
@@ -534,11 +749,22 @@ fn size_lanes<L: Default>(lanes: &mut Vec<L>, n: usize) {
 /// threads, or on the service layer's persistent per-shard workers.
 pub struct ShardPlanner {
     router: ShardRouter,
-    /// Per-shard routing regions, hoisted out of the fan-out hot loops
-    /// (`router.region(i)` re-derives slab bounds on every call).
-    regions: Vec<Aabb>,
+    /// Per-shard kNN fan-out pruning regions, hoisted out of the hot loops.
+    /// These are the *extended* regions — restricted only on the split
+    /// axis, with the two outer slabs open-ended — so the `MINDIST` bound
+    /// stays exact even after updates move elements outside the build-time
+    /// envelope (routing clamps such elements into the nearest slab; the
+    /// extended region of that slab still covers them).
+    fan_regions: Vec<Aabb>,
     /// Upper bound on global ids (sizes the merge-time dedupe table).
     id_bound: usize,
+    /// Global id → current envelope, maintained by
+    /// [`ShardPlanner::route_updates`]. Routes each update's *old* shard
+    /// set without consulting the executors. Empty for planners built via
+    /// [`ShardPlanner::new`], whose update routing then falls back to
+    /// conservative all-shard fan-out (upsert semantics keep executors
+    /// correct either way).
+    envelopes: Vec<Aabb>,
     /// Merge-phase scratch: the visited table dedupes replicated hits;
     /// `knn_queue` stages kNN merge candidates; `dists` holds the per-probe
     /// phase-2 pruning bounds.
@@ -547,13 +773,49 @@ pub struct ShardPlanner {
 
 impl ShardPlanner {
     /// A planner over `router` for a dataset whose global ids are below
-    /// `id_bound`.
+    /// `id_bound`, without envelope tracking (query routing only; update
+    /// routing degrades to all-shard fan-out). Prefer
+    /// [`ShardPlanner::with_envelopes`] when the write path matters.
     pub fn new(router: ShardRouter, id_bound: usize) -> Self {
-        let regions = (0..router.shards()).map(|i| router.region(i)).collect();
+        Self::with_envelopes_inner(router, id_bound, Vec::new())
+    }
+
+    /// A planner over `router` that tracks per-element envelopes
+    /// (`envelopes[id]` = the element's current bounding box), enabling
+    /// precise update routing: each write touches only the shards of the
+    /// element's old and new envelope.
+    pub fn with_envelopes(router: ShardRouter, envelopes: Vec<Aabb>) -> Self {
+        let id_bound = envelopes.len();
+        Self::with_envelopes_inner(router, id_bound, envelopes)
+    }
+
+    fn with_envelopes_inner(router: ShardRouter, id_bound: usize, envelopes: Vec<Aabb>) -> Self {
+        let shards = router.shards();
+        let axis = router.axis();
+        let all = Aabb::new(
+            Point3::new(f32::NEG_INFINITY, f32::NEG_INFINITY, f32::NEG_INFINITY),
+            Point3::new(f32::INFINITY, f32::INFINITY, f32::INFINITY),
+        );
+        let fan_regions = (0..shards)
+            .map(|i| {
+                if router.degenerate() || router.bounds.is_empty() {
+                    return all;
+                }
+                let mut r = all;
+                if i > 0 {
+                    *r.min.axis_mut(axis) = router.slab_lo(i);
+                }
+                if i + 1 < shards {
+                    *r.max.axis_mut(axis) = router.slab_lo(i + 1);
+                }
+                r
+            })
+            .collect();
         Self {
             router,
-            regions,
+            fan_regions,
             id_bound,
+            envelopes,
             scratch: QueryScratch::default(),
         }
     }
@@ -568,9 +830,13 @@ impl ShardPlanner {
         self.router.shards()
     }
 
-    /// Heap bytes held by the router and the merge scratch.
+    /// Heap bytes held by the router, the envelope table, the fan-out
+    /// regions and the merge scratch.
     pub fn memory_bytes(&self) -> usize {
-        self.router.memory_bytes() + self.scratch.memory_bytes()
+        self.router.memory_bytes()
+            + self.scratch.memory_bytes()
+            + self.envelopes.capacity() * std::mem::size_of::<Aabb>()
+            + self.fan_regions.capacity() * std::mem::size_of::<Aabb>()
     }
 
     /// Routes a range batch: each query lands in every lane whose shard
@@ -627,6 +893,68 @@ impl ShardPlanner {
         }
     }
 
+    /// Routes a write batch into per-shard [`UpdateLane`]s and advances the
+    /// planner's envelope view. `lanes` is resized to the shard count and
+    /// fully reset (allocations kept); the returned [`UpdateStats`] carries
+    /// the plan-level accounting (`elapsed_s` is zero — the orchestrator
+    /// owns the wall clock).
+    ///
+    /// Semantics per `(id, shape)` entry: the element's geometry becomes
+    /// `shape`. Duplicate ids within one batch coalesce **last-write-wins**
+    /// (equivalent to applying them in order, since each entry overwrites
+    /// the whole geometry); superseded duplicates and unknown ids count as
+    /// `skipped`. An element whose new envelope overlaps a different shard
+    /// set than its old one is migrated: removed from departed shards,
+    /// inserted into entered ones, updated in place where it stays — so
+    /// boundary replicas remain exactly the set of shards the envelope
+    /// overlaps, which is what keeps post-update query fan-out and the
+    /// byte-identical merge guarantee intact.
+    pub fn route_updates(
+        &mut self,
+        updates: &[(ElementId, Shape)],
+        lanes: &mut Vec<UpdateLane>,
+    ) -> UpdateStats {
+        size_lanes(lanes, self.shard_count());
+        for lane in lanes.iter_mut() {
+            lane.reset();
+        }
+        let mut stats = UpdateStats::default();
+        // Last-write-wins: iterate in reverse, first sighting of an id wins.
+        self.scratch.visited.begin(self.id_bound.max(1));
+        for &(id, shape) in updates.iter().rev() {
+            if id as usize >= self.id_bound || !self.scratch.visited.mark(id) {
+                stats.skipped += 1;
+                continue;
+            }
+            let new_bb = shape.aabb();
+            let new_route = self.router.route(&new_bb);
+            let old_route = match self.envelopes.get(id as usize) {
+                Some(env) => {
+                    let r = self.router.route(env);
+                    self.envelopes[id as usize] = new_bb;
+                    r
+                }
+                // No envelope tracking: conservative all-shard fan-out
+                // (executors upsert/ignore as appropriate).
+                None => 0..self.shard_count(),
+            };
+            if old_route != new_route {
+                stats.migrations += 1;
+            }
+            let span = old_route.start.min(new_route.start)..old_route.end.max(new_route.end);
+            for (s, lane) in lanes.iter_mut().enumerate().take(span.end).skip(span.start) {
+                match (old_route.contains(&s), new_route.contains(&s)) {
+                    (true, true) => lane.updates.push((id, shape)),
+                    (true, false) => lane.removals.push(id),
+                    (false, true) => lane.inserts.push((id, shape)),
+                    (false, false) => {}
+                }
+            }
+            stats.applied += 1;
+        }
+        stats
+    }
+
     /// Routes kNN phase 1: every probe lands in the lane of its *home*
     /// shard (the slab its point falls in). `lanes` is resized to the shard
     /// count and fully reset.
@@ -680,7 +1008,7 @@ impl ShardPlanner {
                 }
                 // Inclusive bound: a tie at distance b with a smaller id
                 // must still be able to displace the home k-th best.
-                if self.regions[s].min_distance2(p) <= b * b {
+                if self.fan_regions[s].min_distance2(p) <= b * b {
                     lane.routed.push(qi as u32);
                     lane.points.push(*p);
                 }
@@ -787,6 +1115,7 @@ pub struct ShardedEngine<I> {
     range_lanes: Vec<RangeLane>,
     knn_home: Vec<KnnLane>,
     knn_fan: Vec<KnnLane>,
+    update_lanes: Vec<UpdateLane>,
 }
 
 impl<I> ShardedEngine<I> {
@@ -842,15 +1171,60 @@ impl<I> ShardedEngine<I> {
                 data: part,
                 global,
                 engine: QueryEngine::new(),
+                rebuild: None,
             })
             .collect();
+        let mut envelopes = vec![Aabb::empty(); id_bound];
+        for e in data {
+            envelopes[e.id as usize] = e.aabb();
+        }
         Self {
-            planner: ShardPlanner::new(router, id_bound),
+            planner: ShardPlanner::with_envelopes(router, envelopes),
             executors,
             range_lanes: Vec::new(),
             knn_home: Vec::new(),
             knn_fan: Vec::new(),
+            update_lanes: Vec::new(),
         }
+    }
+
+    /// Attaches an index (re)build function to every shard, enabling the
+    /// write path ([`ShardedEngine::update_batch`] and the service layer's
+    /// update lanes). Called with a shard's re-identified local elements
+    /// whenever a write batch mutates them.
+    ///
+    /// Separate from the build closure so the read-only constructors keep
+    /// accepting short-lived borrows; pass the same function to both for
+    /// identical build parameters:
+    ///
+    /// ```
+    /// use simspatial_datagen::ElementSoupBuilder;
+    /// use simspatial_geom::{Aabb, Point3, Shape};
+    /// use simspatial_index::{BatchResults, LinearScan, ShardedEngine};
+    ///
+    /// let data = ElementSoupBuilder::new().count(500).seed(3).build();
+    /// let mut sharded =
+    ///     ShardedEngine::build(data.elements(), 2, LinearScan::build).with_rebuild(LinearScan::build);
+    /// // Move element 7 to a new envelope (its geometry becomes the box).
+    /// let target = Aabb::new(Point3::new(1.0, 1.0, 1.0), Point3::new(2.0, 2.0, 2.0));
+    /// let stats = sharded.update_batch(&[(7, Shape::Box(target))]);
+    /// assert_eq!(stats.applied, 1);
+    /// let mut out = BatchResults::new();
+    /// sharded.range_collect(&[target], &mut out);
+    /// assert!(out.query_results(0).contains(&7));
+    /// ```
+    pub fn with_rebuild(mut self, build: impl Fn(&[Element]) -> I + Send + Sync + 'static) -> Self {
+        let rebuild: ShardRebuild<I> = Arc::new(build);
+        for exec in &mut self.executors {
+            exec.rebuild = Some(Arc::clone(&rebuild));
+        }
+        self
+    }
+
+    /// True when every shard can apply write batches (a rebuild function is
+    /// attached, see [`ShardedEngine::with_rebuild`]).
+    pub fn is_updatable(&self) -> bool {
+        self.executors.iter().all(ShardExecutor::is_updatable)
     }
 
     /// The routing function in force.
@@ -907,6 +1281,11 @@ impl<I: SpatialIndex> ShardedEngine<I> {
                 .chain(self.knn_fan.iter())
                 .map(KnnLane::memory_bytes)
                 .sum::<usize>()
+            + self
+                .update_lanes
+                .iter()
+                .map(UpdateLane::memory_bytes)
+                .sum::<usize>()
     }
 }
 
@@ -934,6 +1313,34 @@ impl<I: SpatialIndex + Send> ShardedEngine<I> {
     pub fn range_collect(&mut self, queries: &[Aabb], out: &mut BatchResults) -> QueryStats {
         out.reset();
         self.range_batch(queries, out)
+    }
+
+    /// Applies one coalesced write batch across the shards: each
+    /// `(id, shape)` entry replaces that element's geometry (duplicate ids
+    /// coalesce last-write-wins). Elements whose new envelope overlaps a
+    /// different shard set are **migrated** — removed from departed shards,
+    /// inserted into entered ones — keeping replicas and id maps exactly
+    /// consistent with envelope overlap; every touched shard then rebuilds
+    /// its index over its post-batch local elements (threaded when
+    /// `SIMSPATIAL_THREADS > 1`). After the batch, query results are
+    /// byte-identical to a single engine over the same updated dataset.
+    ///
+    /// Requires a rebuild function ([`ShardedEngine::with_rebuild`]);
+    /// panics on an engine without one.
+    pub fn update_batch(&mut self, updates: &[(ElementId, Shape)]) -> UpdateStats {
+        assert!(
+            self.is_updatable(),
+            "write batch on a read-only sharded engine — attach a rebuild function with with_rebuild"
+        );
+        let start = Instant::now();
+        let mut stats = self.planner.route_updates(updates, &mut self.update_lanes);
+        run_pairs(&mut self.executors, &mut self.update_lanes, |exec, lane| {
+            if !lane.is_empty() {
+                lane.run(exec);
+            }
+        });
+        stats.elapsed_s = start.elapsed().as_secs_f64();
+        stats
     }
 }
 
@@ -1245,6 +1652,187 @@ mod tests {
         let mut knn = KnnBatchResults::new();
         sharded.knn_collect(&[Point3::ORIGIN], 5, &mut knn);
         assert!(sharded.memory_bytes() >= before);
+    }
+
+    /// Applies `updates` to a plain element vector with the write-path
+    /// semantics (geometry replaced, last write wins) — the oracle state.
+    fn apply_serially(data: &mut [Element], updates: &[(ElementId, Shape)]) {
+        for &(id, shape) in updates {
+            if (id as usize) < data.len() {
+                data[id as usize].shape = shape;
+            }
+        }
+    }
+
+    fn box_at(x: f32, y: f32, z: f32, half: f32) -> Shape {
+        Shape::Box(Aabb::new(
+            Point3::new(x - half, y - half, z - half),
+            Point3::new(x + half, y + half, z + half),
+        ))
+    }
+
+    #[test]
+    fn update_batch_migrates_and_matches_single_engine() {
+        let data = soup(1500);
+        let build = |part: &[Element]| UniformGrid::build(part, GridConfig::auto(part));
+        for median in [false, true] {
+            let mut sharded = if median {
+                ShardedEngine::build_median(&data, 4, build)
+            } else {
+                ShardedEngine::build(&data, 4, build)
+            }
+            .with_rebuild(build);
+            assert!(sharded.is_updatable());
+            let sizes_before = sharded.shard_sizes();
+
+            // Sweep a batch of elements across the whole split axis (forcing
+            // cross-shard migrations), move some out of the build envelope
+            // entirely, and fatten one straddler.
+            let mut updates: Vec<(ElementId, Shape)> = Vec::new();
+            for i in 0..120u32 {
+                let t = (i % 10) as f32 / 10.0;
+                updates.push((i * 7, box_at(99.0 * t, 50.0, 50.0, 0.4)));
+            }
+            updates.push((3, box_at(250.0, 250.0, 250.0, 1.0))); // escapes the envelope
+            updates.push((9, box_at(50.0, 50.0, 50.0, 30.0))); // straddles many shards
+            let stats = sharded.update_batch(&updates);
+            assert_eq!(stats.applied, 122);
+            assert!(stats.migrations > 0, "sweep must cross shard boundaries");
+
+            // Oracle: a single engine over the serially updated dataset.
+            let mut updated = data.clone();
+            apply_serially(&mut updated, &updates);
+            let single = UniformGrid::build(&updated, GridConfig::auto(&updated));
+            let mut engine = QueryEngine::new();
+            let mut qs = queries();
+            qs.push(Aabb::new(
+                Point3::new(240.0, 240.0, 240.0),
+                Point3::new(260.0, 260.0, 260.0),
+            ));
+            let mut want = BatchResults::new();
+            engine.range_collect(&single, &updated, &qs, &mut want);
+            let mut got = BatchResults::new();
+            sharded.range_collect(&qs, &mut got);
+            for qi in 0..qs.len() {
+                let mut a = got.query_results(qi).to_vec();
+                let mut b = want.query_results(qi).to_vec();
+                a.sort_unstable();
+                b.sort_unstable();
+                assert_eq!(a, b, "median={median} range query {qi}");
+            }
+
+            // kNN stays exact too, including a probe near the escapee.
+            let points: Vec<Point3> = (0..8)
+                .map(|i| Point3::new((i * 11) as f32, (i * 9) as f32, (i * 13) as f32))
+                .chain([Point3::new(251.0, 249.0, 250.0)])
+                .collect();
+            let mut want_knn = KnnBatchResults::new();
+            engine.knn_collect(&single, &updated, &points, 6, &mut want_knn);
+            let mut got_knn = KnnBatchResults::new();
+            sharded.knn_collect(&points, 6, &mut got_knn);
+            for qi in 0..points.len() {
+                assert_eq!(
+                    got_knn.query_results(qi),
+                    want_knn.query_results(qi),
+                    "median={median} probe {qi}"
+                );
+            }
+
+            // Migration bookkeeping: shard populations changed, every shard
+            // stays sorted by global id, and every element is replicated in
+            // exactly the shards its new envelope overlaps.
+            let sizes_after = sharded.shard_sizes();
+            assert_ne!(sizes_before, sizes_after, "migrations reshape shards");
+            for exec in &sharded.executors {
+                assert!(exec.global_ids().windows(2).all(|w| w[0] < w[1]));
+            }
+            let router = sharded.router().clone();
+            for e in &updated {
+                let want_shards: Vec<usize> = router.route(&e.aabb()).collect();
+                let got_shards: Vec<usize> = (0..sharded.shard_count())
+                    .filter(|&s| {
+                        sharded.executors[s]
+                            .global_ids()
+                            .binary_search(&e.id)
+                            .is_ok()
+                    })
+                    .collect();
+                assert_eq!(got_shards, want_shards, "median={median} element {}", e.id);
+            }
+        }
+    }
+
+    #[test]
+    fn update_batch_last_write_wins_and_skips_unknown() {
+        let data = soup(400);
+        let build = |part: &[Element]| UniformGrid::build(part, GridConfig::auto(part));
+        let mut sharded = ShardedEngine::build(&data, 3, build).with_rebuild(build);
+        let final_box = box_at(10.0, 10.0, 10.0, 0.5);
+        let updates = vec![
+            (5u32, box_at(90.0, 90.0, 90.0, 0.5)), // superseded
+            (9999u32, final_box),                  // unknown id
+            (5u32, final_box),                     // wins
+        ];
+        let stats = sharded.update_batch(&updates);
+        assert_eq!(stats.applied, 1);
+        assert_eq!(stats.skipped, 2);
+        let mut out = KnnBatchResults::new();
+        sharded.knn_collect(&[Point3::new(10.0, 10.0, 10.0)], 1, &mut out);
+        assert_eq!(out.query_results(0)[0].0, 5);
+    }
+
+    #[test]
+    fn repeated_update_batches_track_memory_and_sizes() {
+        let data = soup(1000);
+        let build = |part: &[Element]| UniformGrid::build(part, GridConfig::auto(part));
+        let mut sharded = ShardedEngine::build(&data, 4, build).with_rebuild(build);
+        // Drain (almost) everything into the last slab: earlier shards must
+        // shrink, and the memory accounting must follow the shrink.
+        let mem_before = sharded.memory_bytes();
+        let sizes_before = sharded.shard_sizes();
+        for round in 0..4u32 {
+            let updates: Vec<(ElementId, Shape)> = (0..1000u32)
+                .filter(|i| i % 4 == round)
+                .map(|i| (i, box_at(95.0, 95.0, 95.0, 0.2)))
+                .collect();
+            sharded.update_batch(&updates);
+        }
+        let sizes_after = sharded.shard_sizes();
+        let last = sharded.shard_count() - 1;
+        // The last shard holds (at least) everything that was moved there.
+        assert!(sizes_after[last] >= 1000, "{sizes_after:?}");
+        for s in 0..last {
+            assert!(
+                sizes_after[s] <= sizes_before[s],
+                "shard {s}: {sizes_before:?} -> {sizes_after:?}"
+            );
+        }
+        // Replication collapses (everything is in one slab now), so the
+        // element clones + id maps shrink and the accounting observes it.
+        assert!(
+            sizes_after.iter().sum::<usize>() <= sizes_before.iter().sum::<usize>(),
+            "replication must not grow when elements collapse into one slab"
+        );
+        let _ = mem_before; // memory depends on index internals; key check:
+        let clone_bytes: usize = sharded
+            .executors
+            .iter()
+            .map(|e| e.data.capacity() * std::mem::size_of::<Element>())
+            .sum();
+        assert_eq!(
+            clone_bytes,
+            sizes_after.iter().sum::<usize>() * std::mem::size_of::<Element>(),
+            "shrunk clones must be counted at their post-migration size"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "read-only shard")]
+    fn update_batch_without_rebuild_panics() {
+        let data = soup(50);
+        let mut sharded = ShardedEngine::build(&data, 2, LinearScan::build);
+        assert!(!sharded.is_updatable());
+        sharded.update_batch(&[(0, box_at(1.0, 1.0, 1.0, 0.5))]);
     }
 
     #[test]

@@ -104,7 +104,8 @@ mod util;
 
 pub use crtree::{CrTree, CrTreeConfig};
 pub use engine::sharded::{
-    KnnLane, RangeLane, ShardExecutor, ShardPlanner, ShardRouter, ShardedEngine,
+    KnnLane, RangeLane, ShardExecutor, ShardPlanner, ShardRebuild, ShardRouter, ShardedEngine,
+    UpdateLane, UpdateLaneReport,
 };
 pub use engine::{BatchResults, CountSink, KnnBatchResults, QueryEngine};
 pub use flat::{Flat, FlatConfig};
@@ -116,4 +117,6 @@ pub use multigrid::{MultiGrid, MultiGridConfig};
 pub use octree::{Octree, OctreeConfig};
 pub use rtree::disk::DiskRTree;
 pub use rtree::{Curve, RTree, RTreeConfig, SplitStrategy};
-pub use traits::{measure_range, KnnIndex, KnnSink, QueryStats, RangeSink, SpatialIndex};
+pub use traits::{
+    measure_range, KnnIndex, KnnSink, QueryStats, RangeSink, SpatialIndex, UpdateStats,
+};

@@ -283,6 +283,36 @@ impl QueryStats {
     }
 }
 
+/// Instrumented result of applying one coalesced write batch — the update
+/// mirror of [`QueryStats`], shared by every write path (sharded update
+/// lanes, engine-backend updaters, the service's update dispatches).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct UpdateStats {
+    /// Wall-clock seconds spent applying the batch.
+    pub elapsed_s: f64,
+    /// Element updates applied (after last-write-wins coalescing of
+    /// duplicate ids within the batch).
+    pub applied: u64,
+    /// Elements whose placement in the structure changed: shard migrations
+    /// for the sharded engine, structural modifications (cell switches,
+    /// reinserted entries, rebuild-touched elements) for strategy-backed
+    /// single engines.
+    pub migrations: u64,
+    /// Updates not applied: ids outside the dataset, plus duplicates
+    /// superseded by a later update to the same id in the same batch.
+    pub skipped: u64,
+}
+
+impl UpdateStats {
+    /// Accumulates another batch's accounting into `self`.
+    pub fn add(&mut self, other: &UpdateStats) {
+        self.elapsed_s += other.elapsed_s;
+        self.applied += other.applied;
+        self.migrations += other.migrations;
+        self.skipped += other.skipped;
+    }
+}
+
 /// Runs a batch of range queries against `index`, collecting wall-clock and
 /// predicate-counter deltas. The thread-local counters are reset first.
 ///

@@ -36,6 +36,7 @@ mod grid_migrate;
 mod lazy;
 mod rtree_strategies;
 mod scan;
+pub mod service;
 mod strategy;
 #[cfg(test)]
 pub(crate) mod testutil;
@@ -46,5 +47,6 @@ pub use grid_migrate::GridMigrate;
 pub use lazy::LazyGraceWindow;
 pub use rtree_strategies::{RTreeBottomUp, RTreeRebuild, RTreeReinsert};
 pub use scan::NoIndexScan;
+pub use service::{strategy_backend, StrategyIndex, StrategyWrites};
 pub use strategy::{StepCost, UpdateStrategy, UpdateStrategyKind};
 pub use throwaway::ThrowawayGrid;

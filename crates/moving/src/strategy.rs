@@ -1,6 +1,6 @@
 //! The update-strategy trait and factory.
 
-use simspatial_geom::{Aabb, Element, ElementId, Point3, QueryScratch};
+use simspatial_geom::{Aabb, Element, ElementId, Point3, QueryScratch, Shape};
 use simspatial_index::{KnnIndex, KnnSink, LinearScan, RangeSink};
 
 /// Cost accounting of one maintenance step (wall-clock is measured by the
@@ -23,13 +23,40 @@ pub struct StepCost {
 /// Contract: after `apply_step(old, new)` the strategy answers `range`
 /// queries *exactly* against the `new` element geometry (every strategy
 /// here preserves correctness; what varies is where the time goes).
-pub trait UpdateStrategy {
+///
+/// `Send` so a strategy can serve as a concurrent service's write path
+/// (see [`UpdateStrategy::update_batch`] and the `service` module) — every
+/// strategy here is plain owned data.
+pub trait UpdateStrategy: Send {
     /// Display name for the harness.
     fn name(&self) -> &'static str;
 
     /// Reacts to one simulation step. `old` and `new` are the full element
     /// slices before and after the step (same ids, same order).
     fn apply_step(&mut self, old: &[Element], new: &[Element]) -> StepCost;
+
+    /// Applies a sparse coalesced write batch: each `(id, shape)` entry
+    /// replaces that element's geometry in `data` (the live slice, which
+    /// follows the `id == position` convention; out-of-range ids are
+    /// skipped), then brings the maintained structure in sync. Duplicate
+    /// ids resolve last-write-wins, matching sequential application.
+    ///
+    /// The default snapshots the old geometry and reuses
+    /// [`UpdateStrategy::apply_step`], so every strategy supports the
+    /// service's batched-update admission path unchanged; strategies with
+    /// a cheaper sparse path can override.
+    fn update_batch(&mut self, data: &mut [Element], updates: &[(ElementId, Shape)]) -> StepCost {
+        if updates.is_empty() {
+            return StepCost::default();
+        }
+        let old: Vec<Element> = data.to_vec();
+        for &(id, shape) in updates {
+            if let Some(e) = data.get_mut(id as usize) {
+                e.shape = shape;
+            }
+        }
+        self.apply_step(&old, data)
+    }
 
     /// Range query against current geometry.
     fn range(&self, data: &[Element], query: &Aabb) -> Vec<ElementId>;

@@ -15,10 +15,10 @@
 //!   execution overlaps across cores while results stay byte-identical to
 //!   a serial [`ShardedEngine`] run.
 
-use simspatial_geom::{Aabb, Element, Point3};
+use simspatial_geom::{Aabb, Element, ElementId, Point3, Shape};
 use simspatial_index::{
     BatchResults, KnnBatchResults, KnnIndex, KnnLane, QueryEngine, QueryStats, RangeLane,
-    ShardPlanner, ShardedEngine, SpatialIndex,
+    ShardExecutor, ShardPlanner, ShardedEngine, SpatialIndex, UpdateLane, UpdateStats,
 };
 use std::sync::mpsc;
 use std::thread::JoinHandle;
@@ -29,7 +29,11 @@ use std::time::Instant;
 /// Contract mirrors the engine layer: `range_batch` fills one id list per
 /// query (in plan emission order), `knn_batch` one ascending
 /// `(distance, id)` list per probe; both reset `out` first and return the
-/// batch accounting.
+/// batch accounting. Writable backends additionally apply coalesced write
+/// batches through [`ServiceBackend::update_batch`] and advertise it via
+/// [`ServiceBackend::supports_updates`] — the service rejects write
+/// requests at admission ([`SubmitError::ReadOnly`](crate::SubmitError))
+/// when the backend does not.
 pub trait ServiceBackend: Send + 'static {
     /// Executes one coalesced range batch.
     fn range_batch(&mut self, queries: &[Aabb], out: &mut BatchResults) -> QueryStats;
@@ -37,10 +41,32 @@ pub trait ServiceBackend: Send + 'static {
     /// Executes one coalesced kNN batch at a single `k`.
     fn knn_batch(&mut self, points: &[Point3], k: usize, out: &mut KnnBatchResults) -> QueryStats;
 
-    /// Structure bytes the backend holds (surfaced through `ServiceStats`).
+    /// Applies one coalesced write batch: each `(id, shape)` entry replaces
+    /// that element's geometry (duplicate ids resolve last-write-wins).
+    /// Called by the scheduler between query runs so the write-barrier
+    /// ordering holds. The default (read-only backend) applies nothing and
+    /// reports every entry skipped — unreachable through the service,
+    /// which rejects writes at admission when
+    /// [`ServiceBackend::supports_updates`] is false.
+    fn update_batch(&mut self, updates: &[(ElementId, Shape)]) -> UpdateStats {
+        UpdateStats {
+            skipped: updates.len() as u64,
+            ..UpdateStats::default()
+        }
+    }
+
+    /// True when [`ServiceBackend::update_batch`] actually applies updates.
+    fn supports_updates(&self) -> bool {
+        false
+    }
+
+    /// Structure bytes the backend holds (surfaced through `ServiceStats`;
+    /// refreshed after every update application, so post-migration shrink
+    /// is visible).
     fn memory_bytes(&self) -> usize;
 
-    /// Elements per shard (one entry for unsharded backends).
+    /// Elements per shard (one entry for unsharded backends); refreshed
+    /// after every update application.
     fn shard_sizes(&self) -> Vec<usize>;
 
     /// Stops any worker threads. Called once by the scheduler on orderly
@@ -48,28 +74,125 @@ pub trait ServiceBackend: Send + 'static {
     fn shutdown(&mut self) {}
 }
 
+/// A pluggable write path for [`EngineBackend`]: applies a coalesced
+/// update batch to the element data and brings the index in sync.
+///
+/// Two families of implementations ship:
+///
+/// * [`RebuildUpdater`] (this crate) — mutates the data and rebuilds the
+///   index from scratch with a stored build function; works for **any**
+///   index type, and the paper's own measurements show full rebuilds are
+///   competitive under massive movement.
+/// * `simspatial_moving::StrategyWrites` — adapts any
+///   `UpdateStrategy` (grid migration, bottom-up R-Tree updates, buffered
+///   updates, …) so a simulation's maintenance strategy serves the
+///   service's write path directly.
+pub trait IndexUpdater<I>: Send + 'static {
+    /// Applies `updates` (last-write-wins per id) to `data` and brings
+    /// `index` in sync. `data` follows the dataset convention
+    /// (`element.id == position`); entries with out-of-range ids must be
+    /// skipped and counted.
+    fn apply(
+        &mut self,
+        index: &mut I,
+        data: &mut [Element],
+        updates: &[(ElementId, Shape)],
+    ) -> UpdateStats;
+}
+
+/// The stored index build function of a [`RebuildUpdater`].
+pub type BuildFn<I> = Box<dyn Fn(&[Element]) -> I + Send>;
+
+/// The rebuild-from-scratch [`IndexUpdater`]: applies the geometry changes
+/// to the element data, then rebuilds the index over the updated slice with
+/// the stored build function. Correct for every index type.
+pub struct RebuildUpdater<I> {
+    build: BuildFn<I>,
+}
+
+impl<I> RebuildUpdater<I> {
+    /// An updater that rebuilds with `build` after every write batch.
+    pub fn new(build: impl Fn(&[Element]) -> I + Send + 'static) -> Self {
+        Self {
+            build: Box::new(build),
+        }
+    }
+}
+
+impl<I: Send + 'static> IndexUpdater<I> for RebuildUpdater<I> {
+    fn apply(
+        &mut self,
+        index: &mut I,
+        data: &mut [Element],
+        updates: &[(ElementId, Shape)],
+    ) -> UpdateStats {
+        let start = Instant::now();
+        let mut stats = UpdateStats::default();
+        // Last-write-wins: reverse iteration, first sighting of an id wins.
+        let mut seen = vec![false; data.len()];
+        for &(id, shape) in updates.iter().rev() {
+            match data.get_mut(id as usize) {
+                Some(e) if !seen[id as usize] => {
+                    seen[id as usize] = true;
+                    e.shape = shape;
+                    stats.applied += 1;
+                }
+                _ => stats.skipped += 1,
+            }
+        }
+        // Every element is (re)placed by the rebuild.
+        stats.migrations = stats.applied;
+        *index = (self.build)(data);
+        stats.elapsed_s = start.elapsed().as_secs_f64();
+        stats
+    }
+}
+
 /// A single-engine backend: one index, one [`QueryEngine`], executed inline
-/// on the dispatcher thread (the "single worker" deployment).
+/// on the dispatcher thread (the "single worker" deployment). Read-only by
+/// default; attach an [`IndexUpdater`] ([`EngineBackend::with_updater`] or
+/// [`EngineBackend::build_writable`]) to serve the write path too.
 pub struct EngineBackend<I> {
     data: Vec<Element>,
     index: I,
     engine: QueryEngine,
+    updater: Option<Box<dyn IndexUpdater<I>>>,
 }
 
 impl<I: SpatialIndex + KnnIndex + Send + 'static> EngineBackend<I> {
-    /// A backend over `data` served by a pre-built `index`.
+    /// A read-only backend over `data` served by a pre-built `index`.
     pub fn new(data: Vec<Element>, index: I) -> Self {
         Self {
             data,
             index,
             engine: QueryEngine::new(),
+            updater: None,
         }
     }
 
-    /// Builds the index from `data` with `build`, then wraps both.
+    /// Builds the index from `data` with `build`, then wraps both
+    /// (read-only).
     pub fn build(data: Vec<Element>, build: impl FnOnce(&[Element]) -> I) -> Self {
         let index = build(&data);
         Self::new(data, index)
+    }
+
+    /// A writable backend: queries as usual, write batches applied through
+    /// `updater` (e.g. a `simspatial_moving` strategy adapter).
+    pub fn with_updater(data: Vec<Element>, index: I, updater: impl IndexUpdater<I>) -> Self {
+        let mut backend = Self::new(data, index);
+        backend.updater = Some(Box::new(updater));
+        backend
+    }
+
+    /// A writable backend whose write path rebuilds the index with `build`
+    /// after every update application ([`RebuildUpdater`]).
+    pub fn build_writable(
+        data: Vec<Element>,
+        build: impl Fn(&[Element]) -> I + Send + 'static,
+    ) -> Self {
+        let index = build(&data);
+        Self::with_updater(data, index, RebuildUpdater::new(build))
     }
 
     /// The wrapped index.
@@ -89,6 +212,20 @@ impl<I: SpatialIndex + KnnIndex + Send + 'static> ServiceBackend for EngineBacke
             .knn_collect(&self.index, &self.data, points, k, out)
     }
 
+    fn update_batch(&mut self, updates: &[(ElementId, Shape)]) -> UpdateStats {
+        match self.updater.as_mut() {
+            Some(updater) => updater.apply(&mut self.index, &mut self.data, updates),
+            None => UpdateStats {
+                skipped: updates.len() as u64,
+                ..UpdateStats::default()
+            },
+        }
+    }
+
+    fn supports_updates(&self) -> bool {
+        self.updater.is_some()
+    }
+
     fn memory_bytes(&self) -> usize {
         self.index.memory_bytes() + self.engine.memory_bytes()
     }
@@ -104,6 +241,7 @@ impl<I: SpatialIndex + KnnIndex + Send + 'static> ServiceBackend for EngineBacke
 enum Job {
     Range(RangeLane),
     Knn(KnnLane),
+    Update(UpdateLane),
 }
 
 struct ShardWorker {
@@ -143,23 +281,32 @@ pub struct ShardedBackend {
     planner: ShardPlanner,
     workers: Vec<ShardWorker>,
     sizes: Vec<usize>,
-    /// Structure bytes captured at spawn (executors live on their threads
-    /// afterwards, so this is a build-time snapshot).
-    base_memory: usize,
+    /// Per-shard structure bytes, captured at spawn and refreshed from the
+    /// [`UpdateLane`] reports after every write batch — so post-migration
+    /// shrink is reflected even though the executors live on their worker
+    /// threads.
+    shard_memory: Vec<usize>,
+    /// Whether every executor had a rebuild function attached
+    /// (`ShardedEngine::with_rebuild`) — the write path needs it.
+    updatable: bool,
     range_lanes: Vec<RangeLane>,
     knn_home: Vec<KnnLane>,
     knn_fan: Vec<KnnLane>,
+    update_lanes: Vec<UpdateLane>,
     /// Scatter bookkeeping: which workers got a job this phase.
     sent: Vec<bool>,
 }
 
 impl ShardedBackend {
     /// Splits `engine` and pins each shard executor to a freshly spawned
-    /// worker thread.
+    /// worker thread. The backend is writable iff the engine was built
+    /// with a rebuild function
+    /// ([`ShardedEngine::with_rebuild`]).
     pub fn spawn<I: SpatialIndex + KnnIndex + Send + 'static>(engine: ShardedEngine<I>) -> Self {
         let sizes = engine.shard_sizes();
-        let base_memory = engine.memory_bytes();
+        let updatable = engine.is_updatable();
         let (planner, executors) = engine.into_parts();
+        let shard_memory: Vec<usize> = executors.iter().map(ShardExecutor::memory_bytes).collect();
         let workers: Vec<ShardWorker> = executors
             .into_iter()
             .enumerate()
@@ -173,6 +320,7 @@ impl ShardedBackend {
                             match &mut job {
                                 Job::Range(lane) => lane.run(&mut exec),
                                 Job::Knn(lane) => lane.run(&mut exec),
+                                Job::Update(lane) => lane.run(&mut exec),
                             }
                             if done_tx.send(job).is_err() {
                                 break;
@@ -192,10 +340,12 @@ impl ShardedBackend {
             planner,
             workers,
             sizes,
-            base_memory,
+            shard_memory,
+            updatable,
             range_lanes: Vec::new(),
             knn_home: Vec::new(),
             knn_fan: Vec::new(),
+            update_lanes: Vec::new(),
             sent: vec![false; n],
         }
     }
@@ -221,7 +371,33 @@ impl ShardedBackend {
             }
             match worker.done_rx.recv().expect("shard worker exited") {
                 Job::Range(lane) => self.range_lanes[i] = lane,
-                Job::Knn(_) => unreachable!("one job in flight per worker"),
+                _ => unreachable!("one job in flight per worker"),
+            }
+        }
+    }
+
+    /// Ships every non-empty update lane to its worker, waits for all to
+    /// come back, and refreshes the per-shard size/memory gauges from the
+    /// lane reports.
+    fn run_update_lanes(&mut self) {
+        for (i, worker) in self.workers.iter().enumerate() {
+            self.sent[i] = !self.update_lanes[i].is_empty();
+            if self.sent[i] {
+                let lane = std::mem::take(&mut self.update_lanes[i]);
+                worker.send(Job::Update(lane));
+            }
+        }
+        for (i, worker) in self.workers.iter().enumerate() {
+            if !self.sent[i] {
+                continue;
+            }
+            match worker.done_rx.recv().expect("shard worker exited") {
+                Job::Update(lane) => {
+                    self.sizes[i] = lane.report().len_after;
+                    self.shard_memory[i] = lane.report().memory_bytes;
+                    self.update_lanes[i] = lane;
+                }
+                _ => unreachable!("one job in flight per worker"),
             }
         }
     }
@@ -247,7 +423,7 @@ impl ShardedBackend {
             }
             match worker.done_rx.recv().expect("shard worker exited") {
                 Job::Knn(lane) => lanes[i] = lane,
-                Job::Range(_) => unreachable!("one job in flight per worker"),
+                _ => unreachable!("one job in flight per worker"),
             }
         }
     }
@@ -281,8 +457,45 @@ impl ServiceBackend for ShardedBackend {
         stats
     }
 
+    fn update_batch(&mut self, updates: &[(ElementId, Shape)]) -> UpdateStats {
+        // Fail on the calling thread with a clear message (the service
+        // never routes writes here when read-only, but the trait is
+        // public): without this, the panic would surface on a detached
+        // worker thread after the planner already advanced its envelopes.
+        assert!(
+            self.updatable,
+            "write batch on a read-only sharded backend — build the engine with_rebuild"
+        );
+        let start = Instant::now();
+        let mut stats = self.planner.route_updates(updates, &mut self.update_lanes);
+        self.run_update_lanes();
+        stats.elapsed_s = start.elapsed().as_secs_f64();
+        stats
+    }
+
+    fn supports_updates(&self) -> bool {
+        self.updatable
+    }
+
     fn memory_bytes(&self) -> usize {
-        self.base_memory
+        self.planner.memory_bytes()
+            + self.shard_memory.iter().sum::<usize>()
+            + self
+                .range_lanes
+                .iter()
+                .map(RangeLane::memory_bytes)
+                .sum::<usize>()
+            + self
+                .knn_home
+                .iter()
+                .chain(self.knn_fan.iter())
+                .map(KnnLane::memory_bytes)
+                .sum::<usize>()
+            + self
+                .update_lanes
+                .iter()
+                .map(UpdateLane::memory_bytes)
+                .sum::<usize>()
     }
 
     fn shard_sizes(&self) -> Vec<usize> {

@@ -26,17 +26,32 @@
 //!   range box in the dispatch, one `knn_batch` per distinct `k`. Results
 //!   split back per request in the exact order a serial engine run would
 //!   produce.
+//! * **The write path** — the paper's workload is an *alternating* stream
+//!   of position updates and queries, so the service is read–write:
+//!   [`Request::Update`] carries sparse `(id, envelope)` changes,
+//!   [`Request::Step`] a whole simulation tick. Every write request is a
+//!   **barrier** in the admission order (queries admitted before it see
+//!   pre-write state, queries after it see post-write state — exactly a
+//!   serial interleaving), and consecutive writes coalesce into one
+//!   backend `update_batch` application per dispatch. Read-only backends
+//!   reject writes at admission with [`SubmitError::ReadOnly`].
 //! * **Backends** ([`ServiceBackend`]) — [`EngineBackend`] executes
 //!   inline on the dispatcher (single worker over any
-//!   `SpatialIndex + KnnIndex`); [`ShardedBackend`] pins each shard of a
-//!   `ShardedEngine` to a persistent worker thread and scatters routed
-//!   lanes over channels, merging through the engine layer's
-//!   deduplicating sinks — byte-identical results to serial execution,
-//!   with per-shard parallelism across dispatches.
+//!   `SpatialIndex + KnnIndex`; writable via a pluggable [`IndexUpdater`]
+//!   — [`RebuildUpdater`] or a `simspatial_moving` strategy adapter);
+//!   [`ShardedBackend`] pins each shard of a `ShardedEngine` to a
+//!   persistent worker thread and scatters routed lanes over channels,
+//!   merging through the engine layer's deduplicating sinks —
+//!   byte-identical results to serial execution, with per-shard
+//!   parallelism across dispatches. Its write path routes update lanes to
+//!   the same workers, **migrating** elements whose new envelope crosses
+//!   shard boundaries (replicas and id maps stay consistent).
 //! * **[`ServiceStats`]** — queue depth and high-water mark, admission /
 //!   rejection counters, batch-size histogram (is coalescing working?),
-//!   per-request latency percentiles, aggregated predicate counters, and
-//!   the backend's memory/shard-size accounting.
+//!   per-request latency percentiles, aggregated predicate counters,
+//!   write counters (updates applied, shard migrations, coalesced update
+//!   batch sizes), and the backend's memory/shard-size accounting
+//!   (refreshed after every write, so migrations show up).
 //!
 //! ## Quick start
 //!
@@ -62,6 +77,40 @@
 //! let stats = service.shutdown();
 //! assert_eq!(stats.completed, 1);
 //! ```
+//!
+//! ## Writing through the service
+//!
+//! A writable backend serves the full simulation loop — updates and the
+//! queries that monitor them share one admission path:
+//!
+//! ```
+//! use simspatial_datagen::ElementSoupBuilder;
+//! use simspatial_geom::{Aabb, Point3};
+//! use simspatial_index::{GridConfig, ShardedEngine, UniformGrid};
+//! use simspatial_service::{Request, ServiceConfig, ShardedBackend, SpatialService};
+//!
+//! let data = ElementSoupBuilder::new().count(2000).seed(11).build();
+//! let build = |part: &[simspatial_geom::Element]| UniformGrid::build(part, GridConfig::auto(part));
+//! // `with_rebuild` attaches the per-shard write path.
+//! let sharded = ShardedEngine::build(data.elements(), 2, build).with_rebuild(build);
+//! let service = SpatialService::spawn(ShardedBackend::spawn(sharded), ServiceConfig::default());
+//!
+//! let handle = service.handle();
+//! assert!(handle.is_writable());
+//! // Move element 42 — a write barrier: queries admitted after it see it.
+//! let target = Aabb::new(Point3::new(5.0, 5.0, 5.0), Point3::new(6.0, 6.0, 6.0));
+//! handle.submit(Request::Update(vec![(42, target)])).unwrap().recv().unwrap();
+//! let hits = handle
+//!     .submit(Request::Range(vec![target]))
+//!     .unwrap()
+//!     .recv()
+//!     .unwrap()
+//!     .into_range()
+//!     .unwrap();
+//! assert!(hits[0].contains(&42));
+//! let stats = service.shutdown();
+//! assert_eq!(stats.updates_applied, 1);
+//! ```
 
 #![warn(missing_docs)]
 
@@ -70,7 +119,7 @@ mod request;
 mod service;
 mod stats;
 
-pub use backend::{EngineBackend, ServiceBackend, ShardedBackend};
+pub use backend::{EngineBackend, IndexUpdater, RebuildUpdater, ServiceBackend, ShardedBackend};
 pub use request::{RecvError, Request, Response, SubmitError, Ticket};
 pub use service::{ServiceConfig, ServiceHandle, SpatialService};
 pub use stats::{LatencyHistogram, ServiceStats, BATCH_BUCKETS, LATENCY_BUCKETS};

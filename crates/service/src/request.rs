@@ -4,10 +4,17 @@ use simspatial_geom::{Aabb, ElementId, Point3};
 use std::sync::mpsc;
 use std::time::{Duration, Instant};
 
-/// One client request: a small batch of queries of one family. The
-/// scheduler coalesces the queries of many concurrent requests into the
-/// large per-dispatch batches the SoA kernel is fastest at, then splits the
-/// results back per request.
+/// One client request: a small batch of queries of one family, or a batch
+/// of element updates. The scheduler coalesces the queries of many
+/// concurrent requests into the large per-dispatch batches the SoA kernel
+/// is fastest at, then splits the results back per request; consecutive
+/// write requests coalesce into one backend update application.
+///
+/// **Write-barrier ordering**: every write request is a barrier in the
+/// admission order. A query admitted *before* a write sees the pre-write
+/// dataset; a query admitted *after* it sees the post-write dataset —
+/// exactly as if all requests ran serially in admission order
+/// (differentially tested in `tests/service_stress.rs`).
 #[derive(Debug, Clone)]
 pub enum Request {
     /// Range queries: one result id list per box, in the order the index
@@ -20,20 +27,42 @@ pub enum Request {
     /// probe in ascending `(distance, id)` order. Probes with equal `k`
     /// across concurrent requests coalesce into one batched kernel pass.
     Knn(Vec<(Point3, usize)>),
+    /// Sparse element updates: each `(id, aabb)` entry replaces that
+    /// element's geometry with the box `aabb` (its new envelope — the
+    /// paper's indexes approximate elements by bounding box, and the wire
+    /// vocabulary does the same). Duplicate ids — within one request or
+    /// across requests coalesced into the same application — resolve
+    /// last-write-wins in admission order. Requires a writable backend
+    /// ([`SubmitError::ReadOnly`] otherwise).
+    Update(Vec<(ElementId, Aabb)>),
+    /// One whole simulation tick: entry `i` is the new envelope of element
+    /// `i` (ids are implicit positions, matching the dataset convention).
+    /// The bulk mirror of [`Request::Update`] for stepping an entire
+    /// moving dataset through the same admission path as the queries that
+    /// monitor it. Requires a writable backend.
+    Step(Vec<Aabb>),
 }
 
 impl Request {
-    /// Number of individual queries/probes carried by this request.
+    /// Number of individual queries/probes/updates carried by this request.
     pub fn len(&self) -> usize {
         match self {
             Request::Range(qs) | Request::RangeCount(qs) => qs.len(),
             Request::Knn(ps) => ps.len(),
+            Request::Update(us) => us.len(),
+            Request::Step(envs) => envs.len(),
         }
     }
 
-    /// True when the request carries no queries.
+    /// True when the request carries no queries or updates.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// True for the write-path variants (`Update`/`Step`), which act as
+    /// write barriers in the admission order.
+    pub fn is_write(&self) -> bool {
+        matches!(self, Request::Update(_) | Request::Step(_))
     }
 }
 
@@ -46,6 +75,17 @@ pub enum Response {
     RangeCount(Vec<u64>),
     /// Per-probe `(id, distance)` lists, parallel to `Request::Knn`.
     Knn(Vec<Vec<(ElementId, f32)>>),
+    /// Acknowledgement of a `Request::Update`: the write barrier has been
+    /// applied. Carries the number of update entries the request held —
+    /// entries with unknown ids or superseded by later duplicates are
+    /// included here but counted as skipped in the authoritative
+    /// dataset-wide totals, [`ServiceStats`](crate::ServiceStats)
+    /// `updates_applied`/`updates_skipped`.
+    Update(u64),
+    /// Acknowledgement of a `Request::Step`: the tick has been applied.
+    /// Carries the number of envelope entries the tick held (see
+    /// [`Response::Update`] for the carried-vs-applied distinction).
+    Step(u64),
 }
 
 impl Response {
@@ -72,6 +112,16 @@ impl Response {
             _ => None,
         }
     }
+
+    /// The carried entry count, if this is an `Update` or `Step` write
+    /// acknowledgement (entries skipped as unknown/superseded are counted
+    /// in [`ServiceStats`](crate::ServiceStats), not here).
+    pub fn into_applied(self) -> Option<u64> {
+        match self {
+            Response::Update(n) | Response::Step(n) => Some(n),
+            _ => None,
+        }
+    }
 }
 
 /// Why a submission was not accepted. Both variants hand the request back
@@ -86,6 +136,10 @@ pub enum SubmitError {
     /// backpressure signal: the client is producing faster than the
     /// service drains.
     Full(Request),
+    /// A write request (`Update`/`Step`) was submitted to a service whose
+    /// backend has no write path (no updater / no shard rebuild function).
+    /// Rejected at admission so no write ever reaches a read-only backend.
+    ReadOnly(Request),
 }
 
 impl std::fmt::Display for SubmitError {
@@ -93,6 +147,7 @@ impl std::fmt::Display for SubmitError {
         match self {
             SubmitError::ShutDown(_) => write!(f, "service is shut down"),
             SubmitError::Full(_) => write!(f, "service intake queue is full"),
+            SubmitError::ReadOnly(_) => write!(f, "service backend is read-only"),
         }
     }
 }

@@ -27,8 +27,8 @@ use crate::backend::ServiceBackend;
 use crate::request::{Completion, Request, Response, SubmitError, Ticket};
 use crate::stats::{LatencyHistogram, ServiceStats, BATCH_BUCKETS};
 use simspatial_geom::stats::PredicateCounts;
-use simspatial_geom::{Aabb, Point3};
-use simspatial_index::{BatchResults, KnnBatchResults};
+use simspatial_geom::{Aabb, ElementId, Point3, Shape};
+use simspatial_index::{BatchResults, KnnBatchResults, UpdateStats};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
@@ -106,11 +106,25 @@ struct StatsInner {
     results: u64,
     counts: PredicateCounts,
     latency: LatencyHistogram,
+    updates_applied: u64,
+    migrations: u64,
+    updates_skipped: u64,
+    update_dispatches: u64,
+    coalesced_updates: u64,
+    update_hist: [u64; BATCH_BUCKETS],
+    /// Backend memory/shard gauges: captured at spawn, refreshed by the
+    /// dispatcher after every update application (migrations move elements
+    /// and shrink/grow shards).
+    memory_bytes: usize,
+    shard_sizes: Vec<usize>,
 }
 
 /// State shared by every handle, the service, and the scheduler thread.
 struct Shared {
     open: AtomicBool,
+    /// Whether the backend applies write batches; write requests are
+    /// rejected at admission otherwise.
+    writable: bool,
     queue_depth: AtomicUsize,
     // Admission-path counters are atomics so producer submits never
     // contend with the dispatcher's per-dispatch stats update.
@@ -118,8 +132,6 @@ struct Shared {
     rejected: AtomicU64,
     max_queue_depth: AtomicUsize,
     stats: Mutex<StatsInner>,
-    memory_bytes: usize,
-    shard_sizes: Vec<usize>,
 }
 
 impl Shared {
@@ -143,8 +155,14 @@ impl Shared {
             results: inner.results,
             counts: inner.counts,
             latency: inner.latency,
-            memory_bytes: self.memory_bytes,
-            shard_sizes: self.shard_sizes.clone(),
+            updates_applied: inner.updates_applied,
+            migrations: inner.migrations,
+            updates_skipped: inner.updates_skipped,
+            update_dispatches: inner.update_dispatches,
+            coalesced_updates: inner.coalesced_updates,
+            update_hist: inner.update_hist,
+            memory_bytes: inner.memory_bytes,
+            shard_sizes: inner.shard_sizes.clone(),
         }
     }
 }
@@ -169,10 +187,14 @@ impl Clone for ServiceHandle {
 impl ServiceHandle {
     /// Submits a request, **blocking** while the intake queue is full
     /// (admission-control backpressure). Returns the completion ticket,
-    /// or the request back if the service is shut down.
+    /// or the request back if the service is shut down (or the request is
+    /// a write and the backend is read-only).
     pub fn submit(&self, request: Request) -> Result<Ticket, SubmitError> {
         if !self.shared.open.load(Ordering::Acquire) {
             return Err(SubmitError::ShutDown(request));
+        }
+        if request.is_write() && !self.shared.writable {
+            return Err(SubmitError::ReadOnly(request));
         }
         let (reply, rx) = mpsc::channel();
         let submitted = Instant::now();
@@ -199,6 +221,9 @@ impl ServiceHandle {
     pub fn try_submit(&self, request: Request) -> Result<Ticket, SubmitError> {
         if !self.shared.open.load(Ordering::Acquire) {
             return Err(SubmitError::ShutDown(request));
+        }
+        if request.is_write() && !self.shared.writable {
+            return Err(SubmitError::ReadOnly(request));
         }
         let (reply, rx) = mpsc::channel();
         let submitted = Instant::now();
@@ -230,6 +255,12 @@ impl ServiceHandle {
         self.shared.open.load(Ordering::Acquire)
     }
 
+    /// True when the backend applies write requests (`Update`/`Step`);
+    /// false means such submissions return [`SubmitError::ReadOnly`].
+    pub fn is_writable(&self) -> bool {
+        self.shared.writable
+    }
+
     /// A point-in-time snapshot of the service counters.
     pub fn stats(&self) -> ServiceStats {
         self.shared.snapshot()
@@ -252,6 +283,21 @@ struct Scheduler<B: ServiceBackend> {
     knn_flat: Vec<(usize, usize, usize, Point3)>,
     knn_points: Vec<Point3>,
     knn_results: KnnBatchResults,
+    /// Flattened `(id, geometry)` write batch of the current update run.
+    updates: Vec<(ElementId, Shape)>,
+}
+
+/// Accounting accumulated across the runs of one dispatch, folded into
+/// [`StatsInner`] in a single critical section at the end.
+#[derive(Default)]
+struct DispatchTotals {
+    exec_elapsed_s: f64,
+    results: u64,
+    counts: PredicateCounts,
+    update: UpdateStats,
+    /// Coalesced update counts per backend application this dispatch
+    /// (feeds the update batch-size histogram).
+    update_runs: Vec<usize>,
 }
 
 impl<B: ServiceBackend> Scheduler<B> {
@@ -268,6 +314,7 @@ impl<B: ServiceBackend> Scheduler<B> {
             knn_flat: Vec::new(),
             knn_points: Vec::new(),
             knn_results: KnnBatchResults::new(),
+            updates: Vec::new(),
         }
     }
 
@@ -331,24 +378,92 @@ impl<B: ServiceBackend> Scheduler<B> {
         self.dispatch();
     }
 
-    /// Executes one coalesced dispatch: merge queries across the pending
-    /// requests, run the backend batches, split results per request,
-    /// complete every ticket, record stats.
+    /// Executes one coalesced dispatch. The pending requests are processed
+    /// as consecutive **runs** in admission order: maximal runs of query
+    /// requests coalesce into backend query batches exactly as before, and
+    /// maximal runs of write requests coalesce into **one** backend
+    /// `update_batch` application each. Runs execute strictly in order, so
+    /// every write request is a barrier: queries admitted before it see
+    /// pre-write state, queries admitted after it see post-write state —
+    /// the dispatch is observationally identical to a serial run of the
+    /// requests in admission order.
     fn dispatch(&mut self) {
         let n = self.pending.len();
         self.responses.clear();
         self.responses.resize_with(n, || None);
-        let mut exec_elapsed_s = 0.0f64;
-        let mut results = 0u64;
-        let mut counts = PredicateCounts::default();
+        let mut totals = DispatchTotals::default();
+        let mut lo = 0usize;
+        let mut wrote = false;
+        while lo < n {
+            let write = self.pending[lo].request.is_write();
+            let mut hi = lo + 1;
+            while hi < n && self.pending[hi].request.is_write() == write {
+                hi += 1;
+            }
+            if write {
+                self.run_update_batch(lo, hi, &mut totals);
+                wrote = true;
+            } else {
+                self.run_query_batch(lo, hi, &mut totals);
+            }
+            lo = hi;
+        }
 
-        // ---- Range family: all boxes of all Range/RangeCount requests run
-        // as ONE backend batch.
+        // ---- Record stats (one short critical section — ticket completion
+        // happens after the lock is released, so producer submits never
+        // wait behind the reply sends).
+        {
+            let mut stats = self.shared.stats.lock().expect("stats lock");
+            stats.dispatches += 1;
+            stats.coalesced_requests += n as u64;
+            let bucket = (usize::BITS - 1 - n.leading_zeros()) as usize;
+            stats.batch_hist[bucket.min(BATCH_BUCKETS - 1)] += 1;
+            stats.exec_elapsed_s += totals.exec_elapsed_s;
+            stats.results += totals.results;
+            stats.counts.add(&totals.counts);
+            stats.updates_applied += totals.update.applied;
+            stats.migrations += totals.update.migrations;
+            stats.updates_skipped += totals.update.skipped;
+            for &sz in &totals.update_runs {
+                stats.update_dispatches += 1;
+                stats.coalesced_updates += sz as u64;
+                let b = (usize::BITS - 1 - sz.max(1).leading_zeros()) as usize;
+                stats.update_hist[b.min(BATCH_BUCKETS - 1)] += 1;
+            }
+            if wrote {
+                // Migrations moved elements between shards: refresh the
+                // memory/shard gauges from the backend.
+                stats.memory_bytes = self.backend.memory_bytes();
+                stats.shard_sizes = self.backend.shard_sizes();
+            }
+            stats.completed += n as u64;
+            for env in &self.pending {
+                stats.latency.record(env.submitted.elapsed());
+            }
+        }
+
+        // ---- Complete tickets.
+        for (env, resp) in self.pending.drain(..).zip(self.responses.drain(..)) {
+            let latency = env.submitted.elapsed();
+            // A dropped ticket (client gave up) is not an error.
+            let _ = env.reply.send(Completion {
+                response: resp.expect("every request family produced a response"),
+                latency,
+            });
+        }
+    }
+
+    /// Executes one query run (`pending[lo..hi]`, all non-write): all range
+    /// boxes of the run coalesce into ONE backend `range_batch`, kNN probes
+    /// group by `k` into one backend batch per distinct `k`, and results
+    /// split back per request.
+    fn run_query_batch(&mut self, lo: usize, hi: usize, totals: &mut DispatchTotals) {
+        // ---- Range family.
         self.boxes.clear();
         self.range_req.clear();
-        for (i, env) in self.pending.iter().enumerate() {
+        for (i, env) in self.pending[lo..hi].iter().enumerate() {
             if let Request::Range(qs) | Request::RangeCount(qs) = &env.request {
-                self.range_req.push((i, self.boxes.len(), qs.len()));
+                self.range_req.push((lo + i, self.boxes.len(), qs.len()));
                 self.boxes.extend_from_slice(qs);
             }
         }
@@ -356,9 +471,9 @@ impl<B: ServiceBackend> Scheduler<B> {
             let stats = self
                 .backend
                 .range_batch(&self.boxes, &mut self.range_results);
-            exec_elapsed_s += stats.elapsed_s;
-            results += stats.results;
-            counts.add(&stats.counts);
+            totals.exec_elapsed_s += stats.elapsed_s;
+            totals.results += stats.results;
+            totals.counts.add(&stats.counts);
         }
         for &(i, start, len) in &self.range_req {
             let resp = match &self.pending[i].request {
@@ -372,19 +487,18 @@ impl<B: ServiceBackend> Scheduler<B> {
                         .map(|q| self.range_results.query_results(q).len() as u64)
                         .collect(),
                 ),
-                Request::Knn(_) => unreachable!("range_req only holds range requests"),
+                _ => unreachable!("range_req only holds range requests"),
             };
             self.responses[i] = Some(resp);
         }
 
-        // ---- kNN family: probes group by k; one backend batch per
-        // distinct k, results scattered back to their requests.
+        // ---- kNN family.
         self.knn_flat.clear();
-        for (i, env) in self.pending.iter().enumerate() {
+        for (i, env) in self.pending[lo..hi].iter().enumerate() {
             if let Request::Knn(probes) = &env.request {
-                self.responses[i] = Some(Response::Knn(vec![Vec::new(); probes.len()]));
+                self.responses[lo + i] = Some(Response::Knn(vec![Vec::new(); probes.len()]));
                 for (j, &(p, k)) in probes.iter().enumerate() {
-                    self.knn_flat.push((k, i, j, p));
+                    self.knn_flat.push((k, lo + i, j, p));
                 }
             }
         }
@@ -404,9 +518,9 @@ impl<B: ServiceBackend> Scheduler<B> {
             let stats = self
                 .backend
                 .knn_batch(&self.knn_points, k, &mut self.knn_results);
-            exec_elapsed_s += stats.elapsed_s;
-            results += stats.results;
-            counts.add(&stats.counts);
+            totals.exec_elapsed_s += stats.elapsed_s;
+            totals.results += stats.results;
+            totals.counts.add(&stats.counts);
             for (slot, &(_, i, j, _)) in self.knn_flat[g..end].iter().enumerate() {
                 let list = self.knn_results.query_results(slot).to_vec();
                 match self.responses[i].as_mut() {
@@ -416,33 +530,38 @@ impl<B: ServiceBackend> Scheduler<B> {
             }
             g = end;
         }
+    }
 
-        // ---- Record stats (one short critical section — ticket completion
-        // happens after the lock is released, so producer submits never
-        // wait behind the reply sends).
-        {
-            let mut stats = self.shared.stats.lock().expect("stats lock");
-            stats.dispatches += 1;
-            stats.coalesced_requests += n as u64;
-            let bucket = (usize::BITS - 1 - n.leading_zeros()) as usize;
-            stats.batch_hist[bucket.min(BATCH_BUCKETS - 1)] += 1;
-            stats.exec_elapsed_s += exec_elapsed_s;
-            stats.results += results;
-            stats.counts.add(&counts);
-            stats.completed += n as u64;
-            for env in &self.pending {
-                stats.latency.record(env.submitted.elapsed());
+    /// Executes one write run (`pending[lo..hi]`, all `Update`/`Step`):
+    /// flattens every request's updates — in admission order, so duplicate
+    /// ids resolve last-write-wins across requests exactly as a serial run
+    /// would — into ONE backend `update_batch` application.
+    fn run_update_batch(&mut self, lo: usize, hi: usize, totals: &mut DispatchTotals) {
+        self.updates.clear();
+        for (i, env) in self.pending[lo..hi].iter().enumerate() {
+            match &env.request {
+                Request::Update(pairs) => {
+                    self.updates
+                        .extend(pairs.iter().map(|&(id, bb)| (id, Shape::Box(bb))));
+                    self.responses[lo + i] = Some(Response::Update(pairs.len() as u64));
+                }
+                Request::Step(envelopes) => {
+                    self.updates.extend(
+                        envelopes
+                            .iter()
+                            .enumerate()
+                            .map(|(id, &bb)| (id as ElementId, Shape::Box(bb))),
+                    );
+                    self.responses[lo + i] = Some(Response::Step(envelopes.len() as u64));
+                }
+                _ => unreachable!("update runs only hold write requests"),
             }
         }
-
-        // ---- Complete tickets.
-        for (env, resp) in self.pending.drain(..).zip(self.responses.drain(..)) {
-            let latency = env.submitted.elapsed();
-            // A dropped ticket (client gave up) is not an error.
-            let _ = env.reply.send(Completion {
-                response: resp.expect("every request family produced a response"),
-                latency,
-            });
+        if !self.updates.is_empty() {
+            let stats = self.backend.update_batch(&self.updates);
+            totals.exec_elapsed_s += stats.elapsed_s;
+            totals.update.add(&stats);
+            totals.update_runs.push(self.updates.len());
         }
     }
 }
@@ -484,13 +603,16 @@ impl SpatialService {
     pub fn spawn<B: ServiceBackend>(backend: B, config: ServiceConfig) -> Self {
         let shared = Arc::new(Shared {
             open: AtomicBool::new(true),
+            writable: backend.supports_updates(),
             queue_depth: AtomicUsize::new(0),
             submitted: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
             max_queue_depth: AtomicUsize::new(0),
-            stats: Mutex::new(StatsInner::default()),
-            memory_bytes: backend.memory_bytes(),
-            shard_sizes: backend.shard_sizes(),
+            stats: Mutex::new(StatsInner {
+                memory_bytes: backend.memory_bytes(),
+                shard_sizes: backend.shard_sizes(),
+                ..StatsInner::default()
+            }),
         });
         let (tx, rx) = mpsc::sync_channel(config.queue_cap.max(1));
         let sched_shared = Arc::clone(&shared);

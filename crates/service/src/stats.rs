@@ -120,10 +120,30 @@ pub struct ServiceStats {
     pub counts: PredicateCounts,
     /// Submit→completion latency distribution.
     pub latency: LatencyHistogram,
-    /// Backend structure bytes (index + replicas + scratch + router), as
-    /// reported at service start.
+    /// Element updates applied through the write path (after
+    /// last-write-wins coalescing of duplicate ids per application).
+    pub updates_applied: u64,
+    /// Elements whose placement changed while applying updates: shard
+    /// migrations on a sharded backend, structural modifications (cell
+    /// switches, reinsertions, rebuild-touched elements) on a single
+    /// engine.
+    pub migrations: u64,
+    /// Updates not applied: unknown ids plus superseded duplicates.
+    pub updates_skipped: u64,
+    /// Backend update applications executed (one per coalesced write run).
+    pub update_dispatches: u64,
+    /// Total element updates over all applications (`/ update_dispatches`
+    /// = mean coalesced update batch size).
+    pub coalesced_updates: u64,
+    /// Update applications by coalesced update count: bucket `i` counts
+    /// applications that carried `[2^i, 2^(i+1))` element updates.
+    pub update_hist: [u64; BATCH_BUCKETS],
+    /// Backend structure bytes (index + replicas + scratch + router),
+    /// captured at service start and refreshed after every update
+    /// application (so post-migration shrink is visible).
     pub memory_bytes: usize,
-    /// Elements per backend shard (one entry for unsharded backends).
+    /// Elements per backend shard (one entry for unsharded backends);
+    /// refreshed after every update application.
     pub shard_sizes: Vec<usize>,
 }
 
@@ -134,6 +154,16 @@ impl ServiceStats {
             0.0
         } else {
             self.coalesced_requests as f64 / self.dispatches as f64
+        }
+    }
+
+    /// Mean number of element updates coalesced per backend update
+    /// application.
+    pub fn mean_update_batch(&self) -> f64 {
+        if self.update_dispatches == 0 {
+            0.0
+        } else {
+            self.coalesced_updates as f64 / self.update_dispatches as f64
         }
     }
 
@@ -160,6 +190,14 @@ impl ServiceStats {
         s.push_str(&format!(
             "execution: {:.3}s in backend, {} results, {} tree / {} element tests\n",
             self.exec_elapsed_s, self.results, self.counts.tree_tests, self.counts.element_tests
+        ));
+        s.push_str(&format!(
+            "writes: {} applied, {} migrations, {} skipped in {} applications (mean update batch {:.2})\n",
+            self.updates_applied,
+            self.migrations,
+            self.updates_skipped,
+            self.update_dispatches,
+            self.mean_update_batch()
         ));
         s.push_str(&format!(
             "backend: {} bytes, shard sizes {:?}",

@@ -32,8 +32,10 @@ mod engine;
 mod material;
 mod nbody;
 mod plasticity;
+mod service_loop;
 
 pub use engine::{Simulation, SimulationConfig, StepReport, Workload};
 pub use material::MaterialWorkload;
 pub use nbody::NBodyWorkload;
 pub use plasticity::PlasticityWorkload;
+pub use service_loop::{ServedSimulation, ServedStepReport};

@@ -1,0 +1,269 @@
+//! Driving a simulation through the concurrent query service.
+//!
+//! The classic [`Simulation`](crate::Simulation) owns its index strategy
+//! and runs single-threaded: update → maintain → monitor. This module is
+//! the served variant of the same loop — Figure 1's alternating
+//! update/query workload pushed through one `simspatial-service` admission
+//! path, so simulation ticks and the (possibly many, possibly remote)
+//! monitoring clients share the scheduler, the write-barrier ordering and
+//! the stats:
+//!
+//! 1. **update phase** (local): the [`Workload`] computes displacements
+//!    against the driver's own probe strategy, and the dataset moves.
+//! 2. **tick submission**: the full per-element envelope vector goes to
+//!    the service as one [`Request::Step`] — a write barrier: every query
+//!    admitted after it sees the post-step dataset.
+//! 3. **monitor phase** (served): the in-situ analysis range queries are
+//!    submitted as ordinary requests and coalesce with everyone else's.
+//!
+//! The service stores tick geometry as envelope boxes (the wire vocabulary
+//! of [`Request::Step`]), so served monitor results are against bounding
+//! boxes rather than exact shapes — the approximation every index in the
+//! paper makes at its filter stage anyway.
+
+use crate::engine::{SimulationConfig, Workload};
+use simspatial_datagen::{Dataset, QueryWorkload};
+use simspatial_geom::{Aabb, Element};
+use simspatial_moving::{StepCost, UpdateStrategy};
+use simspatial_service::{Request, ServiceHandle, SubmitError, Ticket};
+use std::time::Instant;
+
+/// Timing and accounting of one step driven through the service.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServedStepReport {
+    /// Step number (0-based).
+    pub step: usize,
+    /// Seconds computing displacements (local update phase).
+    pub update_s: f64,
+    /// Seconds from submitting the tick to its acknowledgement (includes
+    /// queueing behind other clients — that is the point).
+    pub tick_s: f64,
+    /// Element envelope entries acknowledged by the tick (every entry of a
+    /// `Step` targets a valid id, so this equals the dataset size).
+    pub applied: u64,
+    /// Seconds executing the served monitoring queries.
+    pub monitor_s: f64,
+    /// Total monitoring query results.
+    pub monitor_results: u64,
+    /// Local maintenance accounting of the driver's probe strategy.
+    pub probe_cost: StepCost,
+}
+
+/// A time-stepped simulation whose ticks and monitoring queries are served
+/// by a [`SpatialService`](simspatial_service::SpatialService).
+///
+/// The driver keeps a local probe strategy (configured by
+/// [`SimulationConfig::strategy`]) as the workload's query surface during
+/// the update phase; the *served* dataset is maintained exclusively through
+/// [`Request::Step`] write barriers, so any number of concurrent clients
+/// can query the simulation mid-flight with serial semantics.
+pub struct ServedSimulation {
+    data: Dataset,
+    workload: Box<dyn Workload>,
+    probe: Box<dyn UpdateStrategy>,
+    queries: QueryWorkload,
+    handle: ServiceHandle,
+    config: SimulationConfig,
+    step: usize,
+    old: Vec<Element>,
+}
+
+impl ServedSimulation {
+    /// Sets up the driver. `handle` must belong to a **writable** service
+    /// whose backend was built over the same initial elements as `data`
+    /// (same ids, same order) — e.g.
+    /// `EngineBackend::build_writable(data.elements().to_vec(), …)`.
+    pub fn new(
+        data: Dataset,
+        workload: Box<dyn Workload>,
+        handle: ServiceHandle,
+        config: SimulationConfig,
+    ) -> Self {
+        assert!(
+            handle.is_writable(),
+            "ServedSimulation needs a writable service backend"
+        );
+        let probe = config.strategy.create(data.elements());
+        let universe = data.universe();
+        assert!(
+            !universe.is_empty(),
+            "simulation needs a non-empty universe"
+        );
+        Self {
+            probe,
+            workload,
+            queries: QueryWorkload::new(universe, config.seed),
+            data,
+            handle,
+            config,
+            step: 0,
+            old: Vec::new(),
+        }
+    }
+
+    /// The live (driver-side) dataset.
+    pub fn data(&self) -> &Dataset {
+        &self.data
+    }
+
+    /// Steps executed so far.
+    pub fn steps_done(&self) -> usize {
+        self.step
+    }
+
+    /// Executes one step: local update phase, one [`Request::Step`] tick
+    /// through the service, then the monitoring queries through the
+    /// service. Returns the phase-split report.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SubmitError`] when the service shuts down mid-step
+    /// (a tick acknowledged with an error also maps to `ShutDown`).
+    pub fn run_step(&mut self) -> Result<ServedStepReport, SubmitError> {
+        let mut report = ServedStepReport {
+            step: self.step,
+            ..Default::default()
+        };
+
+        // --- update phase (local) ---------------------------------------
+        let t = Instant::now();
+        let moves = self.workload.displacements(&self.data, self.probe.as_ref());
+        assert_eq!(
+            moves.len(),
+            self.data.len(),
+            "workload must move every element"
+        );
+        self.old.clear();
+        self.old.extend_from_slice(self.data.elements());
+        for (id, d) in moves.iter().enumerate() {
+            self.data.displace(id as u32, *d);
+        }
+        report.update_s = t.elapsed().as_secs_f64();
+        report.probe_cost = self.probe.apply_step(&self.old, self.data.elements());
+
+        // --- tick through the service (write barrier) -------------------
+        let t = Instant::now();
+        let envelopes: Vec<Aabb> = self.data.elements().iter().map(Element::aabb).collect();
+        let ticket = self.handle.submit(Request::Step(envelopes))?;
+        report.applied = recv(ticket)?.into_applied().unwrap_or(0);
+        report.tick_s = t.elapsed().as_secs_f64();
+
+        // --- monitor phase (served) -------------------------------------
+        let t = Instant::now();
+        let boxes: Vec<Aabb> = (0..self.config.monitor_queries_per_step)
+            .map(|_| self.queries.range_query(self.config.monitor_selectivity))
+            .collect();
+        if !boxes.is_empty() {
+            let ticket = self.handle.submit(Request::RangeCount(boxes))?;
+            if let Some(counts) = recv(ticket)?.into_range_counts() {
+                report.monitor_results = counts.iter().sum();
+            }
+        }
+        report.monitor_s = t.elapsed().as_secs_f64();
+
+        self.step += 1;
+        Ok(report)
+    }
+
+    /// Runs `n` steps, stopping early if the service shuts down.
+    pub fn run(&mut self, n: usize) -> Result<Vec<ServedStepReport>, SubmitError> {
+        (0..n).map(|_| self.run_step()).collect()
+    }
+}
+
+/// Maps a ticket's shutdown error back onto [`SubmitError`] so the step
+/// loop has one error type.
+fn recv(ticket: Ticket) -> Result<simspatial_service::Response, SubmitError> {
+    ticket
+        .recv()
+        .map_err(|_| SubmitError::ShutDown(Request::Range(Vec::new())))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PlasticityWorkload;
+    use simspatial_datagen::ElementSoupBuilder;
+    use simspatial_geom::{Point3, Shape};
+    use simspatial_index::{GridConfig, LinearScan, UniformGrid};
+    use simspatial_moving::UpdateStrategyKind;
+    use simspatial_service::{EngineBackend, ServiceConfig, SpatialService};
+
+    #[test]
+    fn served_steps_match_local_state() {
+        let data = ElementSoupBuilder::new()
+            .count(400)
+            .universe_side(30.0)
+            .seed(42)
+            .build();
+        let backend = EngineBackend::build_writable(data.elements().to_vec(), |d| {
+            UniformGrid::build(d, GridConfig::auto(d))
+        });
+        let service = SpatialService::spawn(backend, ServiceConfig::default());
+        let mut sim = ServedSimulation::new(
+            data,
+            Box::new(PlasticityWorkload::with_sigma(0.05, 9)),
+            service.handle(),
+            SimulationConfig {
+                strategy: UpdateStrategyKind::NoIndexScan,
+                monitor_queries_per_step: 8,
+                monitor_selectivity: 1e-3,
+                seed: 11,
+            },
+        );
+        let reports = sim.run(3).expect("service stays up");
+        assert_eq!(reports.len(), 3);
+        assert_eq!(sim.steps_done(), 3);
+        for (i, r) in reports.iter().enumerate() {
+            assert_eq!(r.step, i);
+            assert_eq!(r.applied, 400, "every tick applies the whole dataset");
+        }
+
+        // The served dataset is the driver's elements with box geometry:
+        // an arbitrary served range query must match a local scan over
+        // that state exactly.
+        let boxed: Vec<Element> = sim
+            .data()
+            .elements()
+            .iter()
+            .map(|e| Element::new(e.id, Shape::Box(e.aabb())))
+            .collect();
+        let q = Aabb::new(Point3::new(5.0, 5.0, 5.0), Point3::new(20.0, 20.0, 20.0));
+        let handle = service.handle();
+        let mut got = handle
+            .submit(Request::Range(vec![q]))
+            .unwrap()
+            .recv()
+            .unwrap()
+            .into_range()
+            .unwrap()
+            .remove(0);
+        let scan = LinearScan::build(&boxed);
+        let mut want = simspatial_index::SpatialIndex::range(&scan, &boxed, &q);
+        got.sort_unstable();
+        want.sort_unstable();
+        assert_eq!(got, want);
+
+        let stats = service.shutdown();
+        assert_eq!(stats.updates_applied, 3 * 400);
+        assert_eq!(stats.update_dispatches, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "writable")]
+    fn read_only_service_is_rejected_up_front() {
+        let data = ElementSoupBuilder::new()
+            .count(50)
+            .universe_side(10.0)
+            .seed(1)
+            .build();
+        let backend = EngineBackend::build(data.elements().to_vec(), LinearScan::build);
+        let service = SpatialService::spawn(backend, ServiceConfig::default());
+        let _sim = ServedSimulation::new(
+            data,
+            Box::new(PlasticityWorkload::with_sigma(0.05, 9)),
+            service.handle(),
+            SimulationConfig::default(),
+        );
+    }
+}

@@ -4,9 +4,12 @@
 //! threads generate *open-loop* traffic (requests arrive in bursts on a
 //! schedule, whether or not earlier responses came back) against one
 //! shared spatial dataset, first through a single-engine grid backend,
-//! then through a 2-shard R-Tree backend with per-shard worker threads.
-//! Clients use `try_submit`, so a saturated intake queue sheds load
-//! instead of blocking the arrival process — watch the `rejected` counter.
+//! then through a 2-shard writable grid backend with per-shard worker
+//! threads where one producer doubles as the *simulation*, interleaving
+//! `Request::Update` write barriers with everyone else's queries — watch
+//! the `writes:` line of the stats. Clients use `try_submit`, so a
+//! saturated intake queue sheds load instead of blocking the arrival
+//! process — watch the `rejected` counter.
 //!
 //! Run with:
 //!
@@ -60,9 +63,34 @@ fn request(universe: &Aabb, h: u32) -> Request {
     }
 }
 
+/// A small update burst: producer 0's simulation tick — a handful of
+/// elements displaced slightly along x (the massive-yet-minimal profile).
+fn update_request(universe: &Aabb, n_elements: u32, h: u32) -> Request {
+    let step = universe.extent().x * 0.01;
+    Request::Update(
+        (0..8u32)
+            .map(|j| {
+                let id = mix(h ^ j) % n_elements;
+                let d = (mix(h ^ (j << 8)) % 3) as f32 * step - step;
+                let lo = Point3::new(
+                    universe.min.x + (mix(id) % 900) as f32 / 900.0 * universe.extent().x + d,
+                    universe.min.y + (mix(id ^ 7) % 900) as f32 / 900.0 * universe.extent().y,
+                    universe.min.z + (mix(id ^ 13) % 900) as f32 / 900.0 * universe.extent().z,
+                );
+                (
+                    id,
+                    Aabb::new(lo, Point3::new(lo.x + 0.8, lo.y + 0.8, lo.z + 0.8)),
+                )
+            })
+            .collect(),
+    )
+}
+
 /// Drives the open-loop workload against `service` and reports its stats.
-fn drive(name: &str, service: SpatialService, universe: Aabb) {
+/// When the backend is writable, producer 0 interleaves update bursts.
+fn drive(name: &str, service: SpatialService, universe: Aabb, n_elements: u32) {
     let start = Instant::now();
+    let writable = service.handle().is_writable();
     std::thread::scope(|scope| {
         for tid in 0..PRODUCERS {
             let handle = service.handle();
@@ -70,7 +98,12 @@ fn drive(name: &str, service: SpatialService, universe: Aabb) {
                 let mut dropped = 0u32;
                 for burst in 0..BURSTS {
                     for i in 0..BURST_SIZE {
-                        let req = request(&universe, mix(tid << 20 | burst << 8 | i));
+                        let h = mix(tid << 20 | burst << 8 | i);
+                        let req = if writable && tid == 0 && i % 4 == 0 {
+                            update_request(&universe, n_elements, h)
+                        } else {
+                            request(&universe, h)
+                        };
                         // Open loop: fire and forget — completion latency is
                         // recorded by the scheduler even if the ticket is
                         // dropped; a full queue sheds the request.
@@ -114,24 +147,29 @@ fn main() {
         "workload: {PRODUCERS} open-loop producers × {BURSTS} bursts × {BURST_SIZE} requests, {BURST_GAP:?} gap\n",
     );
 
-    // 1. Single-engine backend: the dispatcher thread is the worker.
+    // 1. Single-engine backend: the dispatcher thread is the worker
+    // (read-only — writes would be rejected at admission).
     let grid = EngineBackend::build(dataset.elements().to_vec(), |d| {
         UniformGrid::build(d, GridConfig::auto(d))
     });
     drive(
-        "UniformGrid · single engine backend",
+        "UniformGrid · single engine backend (read-only)",
         SpatialService::spawn(grid, ServiceConfig::default()),
         universe,
+        dataset.len() as u32,
     );
 
-    // 2. Region-sharded backend: one worker thread per shard, lanes over
-    // channels, deduplicating merge — same results, overlapped execution.
-    let sharded = ShardedBackend::spawn(ShardedEngine::build(dataset.elements(), 2, |part| {
-        RTree::bulk_load(part, RTreeConfig::default())
-    }));
+    // 2. Region-sharded writable backend: one worker thread per shard,
+    // lanes over channels, deduplicating merge — and producer 0 acts as
+    // the simulation, pushing update barriers through the same queue.
+    let build = |part: &[Element]| UniformGrid::build(part, GridConfig::auto(part));
+    let sharded = ShardedBackend::spawn(
+        ShardedEngine::build(dataset.elements(), 2, build).with_rebuild(build),
+    );
     drive(
-        "R-Tree · 2-shard backend (per-shard workers)",
+        "UniformGrid · 2-shard writable backend (per-shard workers + updates)",
         SpatialService::spawn(sharded, ServiceConfig::default()),
         universe,
+        dataset.len() as u32,
     );
 }

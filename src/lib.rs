@@ -90,18 +90,23 @@ pub mod prelude {
         FlatConfig, GridConfig, GridPlacement, KdTree, KnnBatchResults, KnnIndex, KnnLane, KnnSink,
         LinearScan, Lsh, LshConfig, MultiGrid, MultiGridConfig, Octree, OctreeConfig, QueryEngine,
         QueryStats, RTree, RTreeConfig, RangeLane, RangeSink, ShardExecutor, ShardPlanner,
-        ShardRouter, ShardedEngine, SpatialIndex, UniformGrid,
+        ShardRouter, ShardedEngine, SpatialIndex, UniformGrid, UpdateLane, UpdateLaneReport,
+        UpdateStats,
     };
     pub use simspatial_join::{join_pair, self_join, JoinAlgorithm, JoinConfig, PairAlgorithm};
     pub use simspatial_mesh::{MeshWalker, TetMesh, WalkStrategy};
-    pub use simspatial_moving::{StepCost, UpdateStrategy, UpdateStrategyKind};
+    pub use simspatial_moving::{
+        strategy_backend, StepCost, StrategyIndex, StrategyWrites, UpdateStrategy,
+        UpdateStrategyKind,
+    };
     pub use simspatial_service::{
-        EngineBackend, Request, Response, ServiceBackend, ServiceConfig, ServiceHandle,
-        ServiceStats, ShardedBackend, SpatialService, SubmitError, Ticket,
+        EngineBackend, IndexUpdater, RebuildUpdater, Request, Response, ServiceBackend,
+        ServiceConfig, ServiceHandle, ServiceStats, ShardedBackend, SpatialService, SubmitError,
+        Ticket,
     };
     pub use simspatial_sim::{
-        MaterialWorkload, NBodyWorkload, PlasticityWorkload, Simulation, SimulationConfig,
-        StepReport, Workload,
+        MaterialWorkload, NBodyWorkload, PlasticityWorkload, ServedSimulation, ServedStepReport,
+        Simulation, SimulationConfig, StepReport, Workload,
     };
     pub use simspatial_storage::{BufferPool, BufferPoolConfig, DiskModel, PageStore};
 }
