@@ -34,7 +34,8 @@ use simspatial_datagen::QueryWorkload;
 use simspatial_geom::{Element, Point3};
 use simspatial_index::{GridConfig, RTree, RTreeConfig, ShardedEngine, UniformGrid};
 use simspatial_service::{
-    EngineBackend, Request, ServiceBackend, ServiceConfig, ShardedBackend, SpatialService,
+    ChaosBackend, EngineBackend, FaultPlan, Request, ServiceBackend, ServiceConfig, ShardedBackend,
+    SpatialService,
 };
 use std::collections::VecDeque;
 use std::time::Instant;
@@ -244,6 +245,30 @@ fn emit_json(fx: &Fixture) -> BenchJson {
             four,
         );
     }
+    // Fault-free supervision guardrail: the same writable 4-shard backend
+    // bare (`before`) vs wrapped in a `ChaosBackend` with an **empty**
+    // fault plan (`after`), on the 25 %-updates mix so reads and writes
+    // are both priced. The wrapper exercises the whole supervision stack
+    // on the hot path — catch-unwind framing around every shard job,
+    // job-sequence bookkeeping, fault-schedule lookups — and the guardrail
+    // insists all of it costs at most 5 % throughput when nothing fails.
+    let pool = &fx.mixed_pools[1].1;
+    let supervised =
+        || ChaosBackend::new(writable_sharded_backend(&fx.elements, 4), FaultPlan::new());
+    let mut bare = measure(|| writable_sharded_backend(&fx.elements, 4), true, 4, pool);
+    let mut wrapped = measure(supervised, true, 4, pool);
+    if wrapped < bare * 0.95 {
+        // One grace re-measure before declaring a regression: best-of-three
+        // rounds absorb most scheduler noise, but shared CI hosts still
+        // produce the occasional outlier pair.
+        bare = measure(|| writable_sharded_backend(&fx.elements, 4), true, 4, pool);
+        wrapped = measure(supervised, true, 4, pool);
+    }
+    assert!(
+        wrapped >= bare * 0.95,
+        "fault-free supervision overhead exceeds 5%: bare {bare:.0} req/s vs supervised {wrapped:.0} req/s"
+    );
+    json.add("svc_supervised_fault_free", "requests/s", bare, wrapped);
     json
 }
 

@@ -358,6 +358,49 @@ impl<I> ShardExecutor<I> {
         self.rebuild.is_some()
     }
 
+    /// A clone of the attached index (re)build function, if any — lets a
+    /// supervisor capture the rebuild recipe before moving the executor
+    /// onto a worker thread, so a crashed shard can be reconstructed later
+    /// via [`ShardExecutor::from_planner`].
+    pub fn rebuild_fn(&self) -> Option<ShardRebuild<I>> {
+        self.rebuild.clone()
+    }
+
+    /// Reconstructs shard `shard`'s executor from the planner's retained
+    /// element store ([`ShardPlanner::with_elements`]): the exact element
+    /// clone [`ShardPlanner::shard_elements`] reproduces, re-identified
+    /// with dense local ids, indexed by `rebuild`, and updatable (the
+    /// rebuild function stays attached). Because the store advances in
+    /// lockstep with routed updates, the reconstruction is byte-identical
+    /// to the executor the shard would hold had it never been lost — the
+    /// supervisor's shard-restart path.
+    ///
+    /// Panics when the planner has no element store
+    /// ([`ShardPlanner::has_element_store`] is false).
+    pub fn from_planner(planner: &ShardPlanner, shard: usize, rebuild: ShardRebuild<I>) -> Self {
+        assert!(
+            planner.has_element_store(),
+            "shard rebuild requires a planner with a retained element store \
+             (ShardPlanner::with_elements)"
+        );
+        let pairs = planner.shard_elements(shard);
+        let mut data = Vec::with_capacity(pairs.len());
+        let mut global = Vec::with_capacity(pairs.len());
+        for (li, &(gid, shape)) in pairs.iter().enumerate() {
+            data.push(Element::new(li as ElementId, shape));
+            global.push(gid);
+        }
+        let index = rebuild(&data);
+        Self {
+            region: planner.router().region(shard),
+            data,
+            global,
+            index,
+            engine: QueryEngine::new(),
+            rebuild: Some(rebuild),
+        }
+    }
+
     /// Bytes of the shard's replicated element clone, id map and engine
     /// scratch (everything but the index structure itself).
     fn base_memory_bytes(&self) -> usize {
@@ -527,9 +570,23 @@ impl RangeLane {
         &self.queries
     }
 
+    /// Global query indices routed to this lane (ascending) — lets an
+    /// orchestrator attribute a lane it decided to skip (a dead shard) to
+    /// the batch queries it would have served.
+    pub fn routed(&self) -> &[u32] {
+        &self.routed
+    }
+
     /// Accounting of the last [`RangeLane::run`].
     pub fn stats(&self) -> &QueryStats {
         &self.stats
+    }
+
+    /// Empties the lane (allocations kept): an emptied lane is skipped by
+    /// the scatter and contributes nothing to the merge — how an
+    /// orchestrator drops a routed sub-batch aimed at a dead shard.
+    pub fn clear(&mut self) {
+        self.reset();
     }
 
     /// Clears the lane for re-routing, keeping allocations.
@@ -601,9 +658,23 @@ impl KnnLane {
         &self.points
     }
 
+    /// Global probe indices routed to this lane (ascending) — lets an
+    /// orchestrator attribute a lane it decided to skip (a dead shard) to
+    /// the batch probes it would have served.
+    pub fn routed(&self) -> &[u32] {
+        &self.routed
+    }
+
     /// Accounting of the last [`KnnLane::run`].
     pub fn stats(&self) -> &QueryStats {
         &self.stats
+    }
+
+    /// Empties the lane, keeping `k` and allocations (see
+    /// [`RangeLane::clear`]).
+    pub fn clear(&mut self) {
+        let k = self.k;
+        self.reset(k);
     }
 
     /// Clears the lane for re-routing, keeping allocations.
@@ -698,6 +769,13 @@ impl UpdateLane {
         &self.report
     }
 
+    /// Empties the lane (allocations kept) — how an orchestrator drops a
+    /// routed write sub-batch aimed at a dead shard (the planner's element
+    /// store already advanced; there is no executor left to apply to).
+    pub fn clear(&mut self) {
+        self.reset();
+    }
+
     /// Clears the lane for re-routing, keeping allocations.
     fn reset(&mut self) {
         self.updates.clear();
@@ -765,6 +843,16 @@ pub struct ShardPlanner {
     /// conservative all-shard fan-out (upsert semantics keep executors
     /// correct either way).
     envelopes: Vec<Aabb>,
+    /// Global id → current exact geometry, captured by
+    /// [`ShardPlanner::with_elements`] and advanced in lockstep with
+    /// `envelopes` by [`ShardPlanner::route_updates`]. This is the
+    /// planner's **retained element store**: together with the router it
+    /// is enough to reconstruct any shard's exact element clone
+    /// ([`ShardPlanner::shard_elements`]), which is what lets a
+    /// supervisor rebuild a crashed shard executor without reaching the
+    /// (lost) executor state. Empty for planners without an element store
+    /// ([`ShardPlanner::new`]/[`ShardPlanner::with_envelopes`]).
+    shapes: Vec<Shape>,
     /// Merge-phase scratch: the visited table dedupes replicated hits;
     /// `knn_queue` stages kNN merge candidates; `dists` holds the per-probe
     /// phase-2 pruning bounds.
@@ -787,6 +875,27 @@ impl ShardPlanner {
     pub fn with_envelopes(router: ShardRouter, envelopes: Vec<Aabb>) -> Self {
         let id_bound = envelopes.len();
         Self::with_envelopes_inner(router, id_bound, envelopes)
+    }
+
+    /// A planner over `router` that retains the full per-element state —
+    /// envelopes **and** exact geometry — of `data` (dataset convention:
+    /// `element.id == position`). On top of the precise update routing of
+    /// [`ShardPlanner::with_envelopes`], the retained element store makes
+    /// the planner the authoritative copy of the dataset:
+    /// [`ShardPlanner::shard_elements`] can reproduce any shard's exact
+    /// element clone at any time, enabling shard rebuilds after an
+    /// executor is lost ([`ShardExecutor::from_planner`]).
+    pub fn with_elements(router: ShardRouter, data: &[Element]) -> Self {
+        let id_bound = data.iter().map(|e| e.id as usize + 1).max().unwrap_or(0);
+        let mut envelopes = vec![Aabb::empty(); id_bound];
+        let mut shapes = vec![Shape::Box(Aabb::empty()); id_bound];
+        for e in data {
+            envelopes[e.id as usize] = e.aabb();
+            shapes[e.id as usize] = e.shape;
+        }
+        let mut planner = Self::with_envelopes_inner(router, id_bound, envelopes);
+        planner.shapes = shapes;
+        planner
     }
 
     fn with_envelopes_inner(router: ShardRouter, id_bound: usize, envelopes: Vec<Aabb>) -> Self {
@@ -816,8 +925,42 @@ impl ShardPlanner {
             fan_regions,
             id_bound,
             envelopes,
+            shapes: Vec::new(),
             scratch: QueryScratch::default(),
         }
+    }
+
+    /// True when the planner retains the element store
+    /// ([`ShardPlanner::with_elements`]): exact per-element geometry, kept
+    /// current through [`ShardPlanner::route_updates`], from which
+    /// [`ShardPlanner::shard_elements`] can reproduce any shard.
+    pub fn has_element_store(&self) -> bool {
+        !self.shapes.is_empty() && self.shapes.len() == self.envelopes.len()
+    }
+
+    /// Reconstructs shard `shard`'s element membership from the retained
+    /// element store: every live element whose current envelope overlaps
+    /// the shard's region, as `(global id, exact geometry)` pairs in
+    /// ascending global-id order — exactly the clone a freshly built (or
+    /// freshly updated) [`ShardExecutor`] for that shard holds, replicas
+    /// included. Returns an empty list when the planner has no element
+    /// store ([`ShardPlanner::has_element_store`]).
+    pub fn shard_elements(&self, shard: usize) -> Vec<(ElementId, Shape)> {
+        if !self.has_element_store() {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for (id, (env, &shape)) in self.envelopes.iter().zip(&self.shapes).enumerate() {
+            // An empty envelope marks an id that never existed; routing it
+            // would conservatively fan to every shard.
+            if env.is_empty() {
+                continue;
+            }
+            if self.router.route(env).contains(&shard) {
+                out.push((id as ElementId, shape));
+            }
+        }
+        out
     }
 
     /// The routing function in force.
@@ -836,6 +979,7 @@ impl ShardPlanner {
         self.router.memory_bytes()
             + self.scratch.memory_bytes()
             + self.envelopes.capacity() * std::mem::size_of::<Aabb>()
+            + self.shapes.capacity() * std::mem::size_of::<Shape>()
             + self.fan_regions.capacity() * std::mem::size_of::<Aabb>()
     }
 
@@ -927,6 +1071,9 @@ impl ShardPlanner {
                 continue;
             }
             let new_bb = shape.aabb();
+            if let Some(slot) = self.shapes.get_mut(id as usize) {
+                *slot = shape;
+            }
             let new_route = self.router.route(&new_bb);
             let old_route = match self.envelopes.get(id as usize) {
                 Some(env) => {
@@ -1152,9 +1299,7 @@ impl<I> ShardedEngine<I> {
         let shards = router.shards();
         let mut parts: Vec<Vec<Element>> = (0..shards).map(|_| Vec::new()).collect();
         let mut globals: Vec<Vec<ElementId>> = (0..shards).map(|_| Vec::new()).collect();
-        let mut id_bound = 0usize;
         for e in data {
-            id_bound = id_bound.max(e.id as usize + 1);
             for s in router.route(&e.aabb()) {
                 let local = parts[s].len() as ElementId;
                 parts[s].push(Element::new(local, e.shape));
@@ -1174,12 +1319,12 @@ impl<I> ShardedEngine<I> {
                 rebuild: None,
             })
             .collect();
-        let mut envelopes = vec![Aabb::empty(); id_bound];
-        for e in data {
-            envelopes[e.id as usize] = e.aabb();
-        }
         Self {
-            planner: ShardPlanner::with_envelopes(router, envelopes),
+            // The planner retains the full element store (envelopes +
+            // exact shapes): precise update routing, plus the ability to
+            // reconstruct any shard from planner state alone (the
+            // service layer's shard-restart path).
+            planner: ShardPlanner::with_elements(router, data),
             executors,
             range_lanes: Vec::new(),
             knn_home: Vec::new(),
@@ -1847,5 +1992,73 @@ mod tests {
         assert_eq!(knn.query_results(0), &[]);
         let s = sharded.range_batch(&[], &mut out);
         assert_eq!(s.results, 0);
+    }
+
+    #[test]
+    fn planner_element_store_reproduces_build_time_shards() {
+        let data = soup(900);
+        let sharded = ShardedEngine::build(&data, 3, LinearScan::build);
+        let (planner, executors) = sharded.into_parts();
+        assert!(planner.has_element_store());
+        for (s, exec) in executors.iter().enumerate() {
+            let pairs = planner.shard_elements(s);
+            let gids: Vec<ElementId> = pairs.iter().map(|&(g, _)| g).collect();
+            assert_eq!(gids, exec.global_ids(), "shard {s} membership");
+            for (&(g, shape), e) in pairs.iter().zip(&exec.data) {
+                assert_eq!(shape.aabb(), e.aabb(), "shard {s} element {g}");
+            }
+        }
+        // Planners without the store answer honestly.
+        let bare = ShardPlanner::new(ShardRouter::new(Aabb::empty(), 2), 10);
+        assert!(!bare.has_element_store());
+        assert!(bare.shard_elements(0).is_empty());
+    }
+
+    #[test]
+    fn executor_rebuilt_from_planner_is_byte_identical_after_updates() {
+        let data = soup(1000);
+        let build = |part: &[Element]| UniformGrid::build(part, GridConfig::auto(part));
+        let mut sharded = ShardedEngine::build(&data, 4, build).with_rebuild(build);
+        // Move a third of the elements (some across shard boundaries) so the
+        // store must have tracked migrations, not just the initial layout.
+        let updates: Vec<(ElementId, Shape)> = (0..1000u32)
+            .filter(|i| i % 3 == 0)
+            .map(|i| {
+                (
+                    i,
+                    box_at((i % 97) as f32, (i % 89) as f32, (i % 83) as f32, 0.3),
+                )
+            })
+            .collect();
+        sharded.update_batch(&updates);
+        let qs = queries();
+        let points: Vec<Point3> = (0..6)
+            .map(|i| Point3::new((i * 17) as f32, (i * 3) as f32, (i * 8) as f32))
+            .collect();
+        let (planner, mut executors) = sharded.into_parts();
+        for (s, exec) in executors.iter_mut().enumerate() {
+            let rebuild = exec.rebuild_fn().expect("with_rebuild attached");
+            let mut twin = ShardExecutor::from_planner(&planner, s, rebuild);
+            assert_eq!(twin.global_ids(), exec.global_ids(), "shard {s} id map");
+            assert_eq!(twin.region(), exec.region());
+            assert!(twin.is_updatable());
+            // Same results, byte for byte, from the reconstructed twin.
+            let (mut a, mut b) = (BatchResults::new(), BatchResults::new());
+            exec.range_batch(&qs, &mut a);
+            twin.range_batch(&qs, &mut b);
+            for qi in 0..qs.len() {
+                assert_eq!(a.query_results(qi), b.query_results(qi), "shard {s} q{qi}");
+            }
+            let (mut ka, mut kb) = (KnnBatchResults::new(), KnnBatchResults::new());
+            exec.knn_batch(&points, 5, &mut ka);
+            twin.knn_batch(&points, 5, &mut kb);
+            for qi in 0..points.len() {
+                assert_eq!(
+                    ka.query_results(qi),
+                    kb.query_results(qi),
+                    "shard {s} probe {qi}"
+                );
+            }
+        }
     }
 }

@@ -116,8 +116,19 @@ impl KnnIndex for StrategyIndex {
 /// The [`IndexUpdater`] that applies the service's coalesced write batches
 /// through [`UpdateStrategy::update_batch`] — grid migration absorbs cell
 /// switches, buffered strategies park the moves, rebuild strategies
-/// rebuild, all behind the same service request.
-pub struct StrategyWrites;
+/// rebuild, all behind the same service request. Remembers the strategy
+/// kind so a panic mid-write can be recovered by recreating the strategy
+/// over the (partially updated) dataset.
+pub struct StrategyWrites {
+    kind: UpdateStrategyKind,
+}
+
+impl StrategyWrites {
+    /// An updater that recreates strategies of `kind` on recovery.
+    pub fn new(kind: UpdateStrategyKind) -> Self {
+        Self { kind }
+    }
+}
 
 impl IndexUpdater<StrategyIndex> for StrategyWrites {
     fn apply(
@@ -144,6 +155,15 @@ impl IndexUpdater<StrategyIndex> for StrategyWrites {
             skipped: updates.len() as u64 - applied,
         }
     }
+
+    fn recover(&mut self, index: &mut StrategyIndex, data: &mut [Element]) -> bool {
+        // A panic mid-`update_batch` may leave the strategy's structure
+        // torn, but the dataset (`data`) is the source of truth: recreate
+        // the strategy over it. This restores index–data consistency, not
+        // the interrupted write's atomicity (see `IndexUpdater::recover`).
+        *index = StrategyIndex::build(self.kind, data);
+        true
+    }
 }
 
 /// A writable service backend over the update strategy `kind`: queries run
@@ -155,7 +175,7 @@ pub fn strategy_backend(
     kind: UpdateStrategyKind,
 ) -> EngineBackend<StrategyIndex> {
     let index = StrategyIndex::build(kind, &data);
-    EngineBackend::with_updater(data, index, StrategyWrites)
+    EngineBackend::with_updater(data, index, StrategyWrites::new(kind))
 }
 
 #[cfg(test)]

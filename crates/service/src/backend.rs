@@ -15,14 +15,112 @@
 //!   execution overlaps across cores while results stay byte-identical to
 //!   a serial [`ShardedEngine`] run.
 
+use crate::fault::FaultKind;
 use simspatial_geom::{Aabb, Element, ElementId, Point3, Shape};
 use simspatial_index::{
     BatchResults, KnnBatchResults, KnnIndex, KnnLane, QueryEngine, QueryStats, RangeLane,
     ShardExecutor, ShardPlanner, ShardedEngine, SpatialIndex, UpdateLane, UpdateStats,
 };
-use std::sync::mpsc;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// The report of one executed query batch: the usual execution accounting
+/// plus the failure metadata the supervision layer needs to complete every
+/// request honestly.
+#[derive(Debug, Clone, Default)]
+pub struct BatchReport {
+    /// The execution accounting (timings, result counts, predicate tests).
+    pub stats: QueryStats,
+    /// Queries/probes the backend could **not** answer correctly:
+    /// `(index within the batch, shard held responsible)`. The scheduler
+    /// completes the owning requests with
+    /// [`RecvError::WorkerFailed`](crate::RecvError::WorkerFailed) instead
+    /// of returning silently-wrong results — today this is kNN probes
+    /// whose home or fan-out set includes a dead shard.
+    pub failed: Vec<(u32, usize)>,
+    /// Queries answered with **reduced coverage**:
+    /// `(index within the batch, number of shards skipped)`. Range and
+    /// count queries over dead shards degrade rather than fail: the result
+    /// is correct over the surviving shards, and the skip count travels to
+    /// the client as partial-coverage metadata.
+    pub partial: Vec<(u32, u32)>,
+}
+
+impl From<QueryStats> for BatchReport {
+    fn from(stats: QueryStats) -> Self {
+        Self {
+            stats,
+            failed: Vec::new(),
+            partial: Vec::new(),
+        }
+    }
+}
+
+/// The report of one applied write batch: accounting plus the shard (if
+/// any) on which the write could not be (fully) applied.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct UpdateReport {
+    /// The write accounting (applied/migrations/skipped, timing).
+    pub stats: UpdateStats,
+    /// `Some(shard)` when the write's durability is compromised: a shard
+    /// died while applying it, or an injected fault dropped it before it
+    /// reached the backend. The scheduler completes the affected write
+    /// requests with
+    /// [`RecvError::WorkerFailed`](crate::RecvError::WorkerFailed).
+    pub failed: Option<usize>,
+}
+
+impl From<UpdateStats> for UpdateReport {
+    fn from(stats: UpdateStats) -> Self {
+        Self {
+            stats,
+            failed: None,
+        }
+    }
+}
+
+/// Cumulative failure counters a backend exposes to the service stats:
+/// what the supervision layer caught, repaired, and gave up on.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BackendTelemetry {
+    /// Panics caught on backend worker threads (shard-worker jobs).
+    pub panics_caught: u64,
+    /// Shard executors successfully rebuilt from the planner's retained
+    /// element store after a panic.
+    pub shard_restarts: u64,
+    /// Shards declared dead: restart budget exhausted, or no rebuild path
+    /// available. Dead shards are skipped by queries (range/count degrade
+    /// to partial coverage; kNN fails typed) and never resurrect.
+    pub shards_dead: u64,
+}
+
+/// Restart discipline for supervised shard workers: how many times a shard
+/// may be rebuilt over its lifetime, and how the supervisor backs off
+/// between attempts when rebuilding itself keeps failing.
+#[derive(Debug, Clone)]
+pub struct SupervisorPolicy {
+    /// Lifetime restart budget per shard; the panic that exceeds it (or
+    /// any panic, when no rebuild path exists) declares the shard dead.
+    pub max_restarts: u32,
+    /// Backoff before the second restart attempt; doubles per subsequent
+    /// attempt (the first attempt is immediate).
+    pub backoff: Duration,
+    /// Upper bound on the exponential backoff.
+    pub max_backoff: Duration,
+}
+
+impl Default for SupervisorPolicy {
+    fn default() -> Self {
+        Self {
+            max_restarts: 3,
+            backoff: Duration::from_millis(2),
+            max_backoff: Duration::from_millis(100),
+        }
+    }
+}
 
 /// A batch execution target for the service scheduler.
 ///
@@ -35,11 +133,15 @@ use std::time::Instant;
 /// requests at admission ([`SubmitError::ReadOnly`](crate::SubmitError))
 /// when the backend does not.
 pub trait ServiceBackend: Send + 'static {
-    /// Executes one coalesced range batch.
-    fn range_batch(&mut self, queries: &[Aabb], out: &mut BatchResults) -> QueryStats;
+    /// Executes one coalesced range batch. The returned
+    /// [`BatchReport::partial`] entries flag queries answered with reduced
+    /// shard coverage; [`BatchReport::failed`] flags queries that must
+    /// complete with a typed error.
+    fn range_batch(&mut self, queries: &[Aabb], out: &mut BatchResults) -> BatchReport;
 
-    /// Executes one coalesced kNN batch at a single `k`.
-    fn knn_batch(&mut self, points: &[Point3], k: usize, out: &mut KnnBatchResults) -> QueryStats;
+    /// Executes one coalesced kNN batch at a single `k` (same report
+    /// contract as [`ServiceBackend::range_batch`]).
+    fn knn_batch(&mut self, points: &[Point3], k: usize, out: &mut KnnBatchResults) -> BatchReport;
 
     /// Applies one coalesced write batch: each `(id, shape)` entry replaces
     /// that element's geometry (duplicate ids resolve last-write-wins).
@@ -48,17 +150,45 @@ pub trait ServiceBackend: Send + 'static {
     /// reports every entry skipped — unreachable through the service,
     /// which rejects writes at admission when
     /// [`ServiceBackend::supports_updates`] is false.
-    fn update_batch(&mut self, updates: &[(ElementId, Shape)]) -> UpdateStats {
+    fn update_batch(&mut self, updates: &[(ElementId, Shape)]) -> UpdateReport {
         UpdateStats {
             skipped: updates.len() as u64,
             ..UpdateStats::default()
         }
+        .into()
     }
 
     /// True when [`ServiceBackend::update_batch`] actually applies updates.
     fn supports_updates(&self) -> bool {
         false
     }
+
+    /// Called by the scheduler after a panic unwound out of a backend call
+    /// on the dispatcher thread. Returns `true` when the backend restored
+    /// (or never lost) a consistent state and can keep serving; `false`
+    /// poisons the service — every subsequent request completes with
+    /// [`RecvError::WorkerFailed`](crate::RecvError::WorkerFailed) instead
+    /// of touching a possibly-corrupt backend.
+    ///
+    /// The default is honest for a generic backend: a query panic is
+    /// recoverable (queries must not mutate durable state), a write panic
+    /// is not (the batch may be half-applied with no way to verify).
+    fn recover(&mut self, after_write: bool) -> bool {
+        !after_write
+    }
+
+    /// Cumulative supervision counters (panics caught on worker threads,
+    /// shard restarts, shards dead). Pulled into
+    /// [`ServiceStats`](crate::ServiceStats) after every dispatch.
+    fn telemetry(&self) -> BackendTelemetry {
+        BackendTelemetry::default()
+    }
+
+    /// Installs deterministic worker-level faults (`(shard, job sequence,
+    /// kind)` triples) into the backend's worker threads — the test-only
+    /// hook [`ChaosBackend`](crate::ChaosBackend) uses to schedule shard
+    /// crashes and stalls. Backends without worker threads ignore it.
+    fn install_worker_faults(&mut self, _faults: &[(usize, u64, FaultKind)]) {}
 
     /// Structure bytes the backend holds (surfaced through `ServiceStats`;
     /// refreshed after every update application, so post-migration shrink
@@ -98,6 +228,23 @@ pub trait IndexUpdater<I>: Send + 'static {
         data: &mut [Element],
         updates: &[(ElementId, Shape)],
     ) -> UpdateStats;
+
+    /// Restores index–data consistency after a panic unwound out of
+    /// [`IndexUpdater::apply`], returning `true` on success. Recovery is
+    /// about **consistency, not atomicity**: the interrupted batch may be
+    /// partially applied to `data` (each element holds either its old or
+    /// its new geometry — the affected write requests complete with a
+    /// typed error either way); a successful recovery guarantees the index
+    /// agrees with whatever `data` now holds, so subsequent queries are
+    /// correct over it.
+    ///
+    /// The default returns `false` — an updater that cannot re-derive its
+    /// index from the data cannot make that guarantee, and the service
+    /// poisons itself rather than serve from a possibly-inconsistent
+    /// index.
+    fn recover(&mut self, _index: &mut I, _data: &mut [Element]) -> bool {
+        false
+    }
 }
 
 /// The stored index build function of a [`RebuildUpdater`].
@@ -145,6 +292,13 @@ impl<I: Send + 'static> IndexUpdater<I> for RebuildUpdater<I> {
         *index = (self.build)(data);
         stats.elapsed_s = start.elapsed().as_secs_f64();
         stats
+    }
+
+    /// A rebuild updater always recovers: rebuilding from the current data
+    /// restores index–data consistency by construction.
+    fn recover(&mut self, index: &mut I, data: &mut [Element]) -> bool {
+        *index = (self.build)(data);
+        true
     }
 }
 
@@ -202,17 +356,19 @@ impl<I: SpatialIndex + KnnIndex + Send + 'static> EngineBackend<I> {
 }
 
 impl<I: SpatialIndex + KnnIndex + Send + 'static> ServiceBackend for EngineBackend<I> {
-    fn range_batch(&mut self, queries: &[Aabb], out: &mut BatchResults) -> QueryStats {
+    fn range_batch(&mut self, queries: &[Aabb], out: &mut BatchResults) -> BatchReport {
         self.engine
             .range_collect(&self.index, &self.data, queries, out)
+            .into()
     }
 
-    fn knn_batch(&mut self, points: &[Point3], k: usize, out: &mut KnnBatchResults) -> QueryStats {
+    fn knn_batch(&mut self, points: &[Point3], k: usize, out: &mut KnnBatchResults) -> BatchReport {
         self.engine
             .knn_collect(&self.index, &self.data, points, k, out)
+            .into()
     }
 
-    fn update_batch(&mut self, updates: &[(ElementId, Shape)]) -> UpdateStats {
+    fn update_batch(&mut self, updates: &[(ElementId, Shape)]) -> UpdateReport {
         match self.updater.as_mut() {
             Some(updater) => updater.apply(&mut self.index, &mut self.data, updates),
             None => UpdateStats {
@@ -220,10 +376,24 @@ impl<I: SpatialIndex + KnnIndex + Send + 'static> ServiceBackend for EngineBacke
                 ..UpdateStats::default()
             },
         }
+        .into()
     }
 
     fn supports_updates(&self) -> bool {
         self.updater.is_some()
+    }
+
+    fn recover(&mut self, after_write: bool) -> bool {
+        if !after_write {
+            // Queries only touch per-call engine scratch, which the next
+            // call resets.
+            return true;
+        }
+        match self.updater.as_mut() {
+            Some(updater) => updater.recover(&mut self.index, &mut self.data),
+            // No write path, so nothing could have been mid-mutation.
+            None => true,
+        }
     }
 
     fn memory_bytes(&self) -> usize {
@@ -244,20 +414,41 @@ enum Job {
     Update(UpdateLane),
 }
 
+/// What a shard worker sends back per job: the lane (results filled on
+/// success, torn on panic — the gather never uses a panicked lane's
+/// contents) and whether the job panicked. A worker always reports, even
+/// for a job it failed — that is the no-hang guarantee: the gather's
+/// `recv` is matched by exactly one `WorkerDone` per job sent.
+struct WorkerDone {
+    job: Job,
+    panicked: bool,
+}
+
+/// A shard's scheduled worker-level faults, shared between the backend
+/// (installation) and the worker thread (lookup). Survives worker
+/// restarts, as does the job sequence counter, so a fault schedule spans
+/// worker incarnations deterministically.
+type WorkerFaults = Arc<Mutex<Vec<(u64, FaultKind)>>>;
+
 struct ShardWorker {
     /// `None` after shutdown — dropping the sender ends the worker loop.
     job_tx: Option<mpsc::Sender<Job>>,
-    done_rx: mpsc::Receiver<Job>,
+    done_rx: mpsc::Receiver<WorkerDone>,
     thread: Option<JoinHandle<()>>,
 }
 
 impl ShardWorker {
-    fn send(&self, job: Job) {
+    /// Ships a job; hands it back if the worker thread is already gone
+    /// (the caller treats that as a panicked shard). The `Err` variant
+    /// deliberately carries the whole job so the lane can restore it for
+    /// the restart retry — boxing would defeat the buffer recycling.
+    #[allow(clippy::result_large_err)]
+    fn send(&self, job: Job) -> Result<(), Job> {
         self.job_tx
             .as_ref()
             .expect("backend already shut down")
             .send(job)
-            .expect("shard worker exited unexpectedly");
+            .map_err(|mpsc::SendError(job)| job)
     }
 
     fn stop(&mut self) {
@@ -267,6 +458,76 @@ impl ShardWorker {
         }
     }
 }
+
+/// Spawns the persistent worker thread for one shard executor.
+///
+/// Every job runs under `catch_unwind` (over an `AssertUnwindSafe` closure
+/// — the executor never crosses the boundary again after a panic, see
+/// below): a panicking job still produces a `WorkerDone { panicked: true }`
+/// report, after which the worker **retires** — the executor may be torn
+/// mid-update, so the only safe continuation is a supervisor rebuild from
+/// the planner's retained element store.
+fn spawn_worker<I: SpatialIndex + KnnIndex + Send + 'static>(
+    shard: usize,
+    mut exec: ShardExecutor<I>,
+    faults: WorkerFaults,
+    seq: Arc<AtomicU64>,
+) -> ShardWorker {
+    let (job_tx, job_rx) = mpsc::channel::<Job>();
+    let (done_tx, done_rx) = mpsc::channel::<WorkerDone>();
+    let thread = std::thread::Builder::new()
+        .name(format!("simspatial-shard-{shard}"))
+        .spawn(move || {
+            while let Ok(mut job) = job_rx.recv() {
+                let n = seq.fetch_add(1, Ordering::Relaxed);
+                let fault = faults
+                    .lock()
+                    .ok()
+                    .and_then(|f| f.iter().find(|&&(at, _)| at == n).map(|&(_, k)| k));
+                let panicked = catch_unwind(AssertUnwindSafe(|| {
+                    match fault {
+                        Some(FaultKind::Panic) => {
+                            panic!("chaos: injected fault on shard {shard}, job {n}")
+                        }
+                        Some(FaultKind::Delay(d)) => std::thread::sleep(d),
+                        _ => {}
+                    }
+                    match &mut job {
+                        Job::Range(lane) => lane.run(&mut exec),
+                        Job::Knn(lane) => lane.run(&mut exec),
+                        Job::Update(lane) => lane.run(&mut exec),
+                    }
+                }))
+                .is_err();
+                if done_tx.send(WorkerDone { job, panicked }).is_err() || panicked {
+                    // Disconnected gather, or a torn executor: retire. The
+                    // supervisor decides whether the shard restarts.
+                    break;
+                }
+            }
+        })
+        .expect("spawn shard worker thread");
+    ShardWorker {
+        job_tx: Some(job_tx),
+        done_rx,
+        thread: Some(thread),
+    }
+}
+
+/// The type-erased shard-restart recipe a [`ShardedBackend`] stores at
+/// spawn: rebuilds shard `i`'s executor from the planner's element store
+/// and spawns a fresh worker around it, returning the worker plus the
+/// rebuilt shard's `(len, memory_bytes)` gauges. `Err` when the rebuild
+/// itself panicked (the supervisor backs off and retries).
+type RespawnFn = Box<
+    dyn Fn(
+            &ShardPlanner,
+            usize,
+            WorkerFaults,
+            Arc<AtomicU64>,
+        ) -> Result<(ShardWorker, usize, usize), ()>
+        + Send,
+>;
 
 /// A region-sharded backend with one **persistent worker thread per
 /// shard**. Built by splitting a [`ShardedEngine`] into planner +
@@ -279,7 +540,10 @@ impl ShardWorker {
 /// exact same code — only *where* each shard's sub-batch runs changes.
 pub struct ShardedBackend {
     planner: ShardPlanner,
-    workers: Vec<ShardWorker>,
+    /// `None` marks a quarantined slot between a panic and the supervisor's
+    /// verdict (restarted or dead); outside `handle_panics` every live
+    /// shard is `Some` and every dead shard is `None`.
+    workers: Vec<Option<ShardWorker>>,
     sizes: Vec<usize>,
     /// Per-shard structure bytes, captured at spawn and refreshed from the
     /// [`UpdateLane`] reports after every write batch — so post-migration
@@ -289,6 +553,21 @@ pub struct ShardedBackend {
     /// Whether every executor had a rebuild function attached
     /// (`ShardedEngine::with_rebuild`) — the write path needs it.
     updatable: bool,
+    policy: SupervisorPolicy,
+    /// Remaining lifetime restart budget per shard.
+    restarts_left: Vec<u32>,
+    /// Shards whose restart budget is exhausted (or that panicked with no
+    /// rebuild path). Dead shards never resurrect.
+    dead: Vec<bool>,
+    telemetry: BackendTelemetry,
+    /// Rebuilds a shard's executor from the planner's element store and
+    /// spawns a fresh worker around it. `None` when the engine was built
+    /// without a rebuild function — then any panic kills its shard.
+    factory: Option<RespawnFn>,
+    /// Per-shard fault schedules and job sequence counters, shared with
+    /// the worker threads (and their restarted successors).
+    fault_lists: Vec<WorkerFaults>,
+    seqs: Vec<Arc<AtomicU64>>,
     range_lanes: Vec<RangeLane>,
     knn_home: Vec<KnnLane>,
     knn_fan: Vec<KnnLane>,
@@ -299,49 +578,73 @@ pub struct ShardedBackend {
 
 impl ShardedBackend {
     /// Splits `engine` and pins each shard executor to a freshly spawned
-    /// worker thread. The backend is writable iff the engine was built
-    /// with a rebuild function
-    /// ([`ShardedEngine::with_rebuild`]).
+    /// worker thread, supervised under [`SupervisorPolicy::default`]. The
+    /// backend is writable iff the engine was built with a rebuild
+    /// function ([`ShardedEngine::with_rebuild`]).
     pub fn spawn<I: SpatialIndex + KnnIndex + Send + 'static>(engine: ShardedEngine<I>) -> Self {
+        Self::spawn_with(engine, SupervisorPolicy::default())
+    }
+
+    /// [`ShardedBackend::spawn`] with an explicit restart discipline.
+    pub fn spawn_with<I: SpatialIndex + KnnIndex + Send + 'static>(
+        engine: ShardedEngine<I>,
+        policy: SupervisorPolicy,
+    ) -> Self {
         let sizes = engine.shard_sizes();
         let updatable = engine.is_updatable();
         let (planner, executors) = engine.into_parts();
         let shard_memory: Vec<usize> = executors.iter().map(ShardExecutor::memory_bytes).collect();
-        let workers: Vec<ShardWorker> = executors
+        // Every executor of one engine shares the same rebuild function, so
+        // the first one's copy serves as the restart recipe for all shards.
+        let rebuild = executors.first().and_then(ShardExecutor::rebuild_fn);
+        let n = executors.len();
+        let fault_lists: Vec<WorkerFaults> =
+            (0..n).map(|_| Arc::new(Mutex::new(Vec::new()))).collect();
+        let seqs: Vec<Arc<AtomicU64>> = (0..n).map(|_| Arc::new(AtomicU64::new(0))).collect();
+        let workers: Vec<Option<ShardWorker>> = executors
             .into_iter()
             .enumerate()
-            .map(|(i, mut exec)| {
-                let (job_tx, job_rx) = mpsc::channel::<Job>();
-                let (done_tx, done_rx) = mpsc::channel::<Job>();
-                let thread = std::thread::Builder::new()
-                    .name(format!("simspatial-shard-{i}"))
-                    .spawn(move || {
-                        while let Ok(mut job) = job_rx.recv() {
-                            match &mut job {
-                                Job::Range(lane) => lane.run(&mut exec),
-                                Job::Knn(lane) => lane.run(&mut exec),
-                                Job::Update(lane) => lane.run(&mut exec),
-                            }
-                            if done_tx.send(job).is_err() {
-                                break;
-                            }
-                        }
-                    })
-                    .expect("spawn shard worker thread");
-                ShardWorker {
-                    job_tx: Some(job_tx),
-                    done_rx,
-                    thread: Some(thread),
-                }
+            .map(|(i, exec)| {
+                Some(spawn_worker(
+                    i,
+                    exec,
+                    Arc::clone(&fault_lists[i]),
+                    Arc::clone(&seqs[i]),
+                ))
             })
             .collect();
-        let n = workers.len();
+        let factory: Option<RespawnFn> = rebuild.map(|rb| {
+            Box::new(
+                move |planner: &ShardPlanner,
+                      shard: usize,
+                      faults: WorkerFaults,
+                      seq: Arc<AtomicU64>| {
+                    let rb = rb.clone();
+                    // The rebuild closure is user code: a panic inside it
+                    // must not take down the supervisor.
+                    catch_unwind(AssertUnwindSafe(move || {
+                        let exec = ShardExecutor::from_planner(planner, shard, rb);
+                        let len = exec.len();
+                        let mem = exec.memory_bytes();
+                        (spawn_worker(shard, exec, faults, seq), len, mem)
+                    }))
+                    .map_err(|_| ())
+                },
+            ) as RespawnFn
+        });
         Self {
             planner,
             workers,
             sizes,
             shard_memory,
             updatable,
+            restarts_left: vec![policy.max_restarts; n],
+            policy,
+            dead: vec![false; n],
+            telemetry: BackendTelemetry::default(),
+            factory,
+            fault_lists,
+            seqs,
             range_lanes: Vec::new(),
             knn_home: Vec::new(),
             knn_fan: Vec::new(),
@@ -350,114 +653,333 @@ impl ShardedBackend {
         }
     }
 
-    /// Number of shard workers.
+    /// Number of shard workers (live, quarantined, or dead).
     pub fn shard_count(&self) -> usize {
         self.workers.len()
     }
 
-    /// Ships every non-empty range lane to its worker and waits for all of
-    /// them to come back (empty lanes skip the round trip).
-    fn run_range_lanes(&mut self) {
-        for (i, worker) in self.workers.iter().enumerate() {
-            self.sent[i] = !self.range_lanes[i].is_empty();
-            if self.sent[i] {
-                let lane = std::mem::take(&mut self.range_lanes[i]);
-                worker.send(Job::Range(lane));
+    /// Indices of shards declared dead by the supervisor.
+    pub fn dead_shards(&self) -> Vec<usize> {
+        self.dead
+            .iter()
+            .enumerate()
+            .filter(|(_, &d)| d)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Quarantine → restart → dead transition for every shard in
+    /// `panicked`: stops the retired worker, then attempts a rebuild from
+    /// the planner's element store under the restart budget, with
+    /// exponential backoff between consecutive failing attempts. A shard
+    /// that cannot be restarted (budget exhausted, rebuild itself
+    /// panicking, or no rebuild path at all) is declared dead.
+    fn handle_panics(&mut self, panicked: &[usize]) {
+        for &i in panicked {
+            if self.dead[i] {
+                continue;
+            }
+            self.telemetry.panics_caught += 1;
+            if let Some(mut w) = self.workers[i].take() {
+                w.stop();
+            }
+            let mut restarted = false;
+            let mut attempt = 0u32;
+            while self.restarts_left[i] > 0 {
+                self.restarts_left[i] -= 1;
+                if attempt > 0 {
+                    let shift = (attempt - 1).min(10);
+                    let backoff =
+                        (self.policy.backoff * (1u32 << shift)).min(self.policy.max_backoff);
+                    std::thread::sleep(backoff);
+                }
+                attempt += 1;
+                if !self.planner.has_element_store() {
+                    break;
+                }
+                let Some(factory) = self.factory.as_ref() else {
+                    break;
+                };
+                match factory(
+                    &self.planner,
+                    i,
+                    Arc::clone(&self.fault_lists[i]),
+                    Arc::clone(&self.seqs[i]),
+                ) {
+                    Ok((worker, len, mem)) => {
+                        self.workers[i] = Some(worker);
+                        self.sizes[i] = len;
+                        self.shard_memory[i] = mem;
+                        self.telemetry.shard_restarts += 1;
+                        restarted = true;
+                        break;
+                    }
+                    Err(()) => continue,
+                }
+            }
+            if !restarted {
+                self.dead[i] = true;
+                self.telemetry.shards_dead += 1;
+                self.sizes[i] = 0;
+                self.shard_memory[i] = 0;
             }
         }
-        for (i, worker) in self.workers.iter().enumerate() {
+    }
+
+    /// Ships every non-empty range lane to its worker and waits for all of
+    /// them to come back (empty lanes skip the round trip). Returns the
+    /// shards whose job panicked — their lanes carry torn results and the
+    /// batch must be re-run after supervision.
+    fn run_range_lanes(&mut self) -> Vec<usize> {
+        let mut panicked = Vec::new();
+        for i in 0..self.workers.len() {
+            self.sent[i] = false;
+            if self.range_lanes[i].is_empty() {
+                continue;
+            }
+            let Some(worker) = self.workers[i].as_ref() else {
+                panicked.push(i);
+                continue;
+            };
+            let lane = std::mem::take(&mut self.range_lanes[i]);
+            match worker.send(Job::Range(lane)) {
+                Ok(()) => self.sent[i] = true,
+                Err(Job::Range(lane)) => {
+                    self.range_lanes[i] = lane;
+                    panicked.push(i);
+                }
+                Err(_) => unreachable!("send returns the job it was given"),
+            }
+        }
+        for i in 0..self.workers.len() {
             if !self.sent[i] {
                 continue;
             }
-            match worker.done_rx.recv().expect("shard worker exited") {
-                Job::Range(lane) => self.range_lanes[i] = lane,
-                _ => unreachable!("one job in flight per worker"),
+            let worker = self.workers[i].as_ref().expect("sent to a live worker");
+            match worker.done_rx.recv() {
+                Ok(WorkerDone {
+                    job: Job::Range(lane),
+                    panicked: p,
+                }) => {
+                    self.range_lanes[i] = lane;
+                    if p {
+                        panicked.push(i);
+                    }
+                }
+                Ok(_) => unreachable!("one job in flight per worker"),
+                Err(_) => panicked.push(i),
             }
         }
+        panicked
     }
 
     /// Ships every non-empty update lane to its worker, waits for all to
     /// come back, and refreshes the per-shard size/memory gauges from the
-    /// lane reports.
-    fn run_update_lanes(&mut self) {
-        for (i, worker) in self.workers.iter().enumerate() {
-            self.sent[i] = !self.update_lanes[i].is_empty();
-            if self.sent[i] {
-                let lane = std::mem::take(&mut self.update_lanes[i]);
-                worker.send(Job::Update(lane));
+    /// lane reports of the shards that succeeded. Returns panicked shards.
+    fn run_update_lanes(&mut self) -> Vec<usize> {
+        let mut panicked = Vec::new();
+        for i in 0..self.workers.len() {
+            self.sent[i] = false;
+            if self.update_lanes[i].is_empty() {
+                continue;
+            }
+            let Some(worker) = self.workers[i].as_ref() else {
+                panicked.push(i);
+                continue;
+            };
+            let lane = std::mem::take(&mut self.update_lanes[i]);
+            match worker.send(Job::Update(lane)) {
+                Ok(()) => self.sent[i] = true,
+                Err(Job::Update(lane)) => {
+                    self.update_lanes[i] = lane;
+                    panicked.push(i);
+                }
+                Err(_) => unreachable!("send returns the job it was given"),
             }
         }
-        for (i, worker) in self.workers.iter().enumerate() {
+        for i in 0..self.workers.len() {
             if !self.sent[i] {
                 continue;
             }
-            match worker.done_rx.recv().expect("shard worker exited") {
-                Job::Update(lane) => {
-                    self.sizes[i] = lane.report().len_after;
-                    self.shard_memory[i] = lane.report().memory_bytes;
+            let worker = self.workers[i].as_ref().expect("sent to a live worker");
+            match worker.done_rx.recv() {
+                Ok(WorkerDone {
+                    job: Job::Update(lane),
+                    panicked: p,
+                }) => {
+                    if p {
+                        panicked.push(i);
+                    } else {
+                        self.sizes[i] = lane.report().len_after;
+                        self.shard_memory[i] = lane.report().memory_bytes;
+                    }
                     self.update_lanes[i] = lane;
                 }
-                _ => unreachable!("one job in flight per worker"),
+                Ok(_) => unreachable!("one job in flight per worker"),
+                Err(_) => panicked.push(i),
             }
         }
+        panicked
     }
 
-    /// Ships every non-empty kNN lane of `which` phase to its worker and
-    /// waits for completion.
-    fn run_knn_lanes(&mut self, fan_phase: bool) {
-        let lanes = if fan_phase {
-            &mut self.knn_fan
-        } else {
-            &mut self.knn_home
-        };
-        for (i, worker) in self.workers.iter().enumerate() {
-            self.sent[i] = !lanes[i].is_empty();
-            if self.sent[i] {
-                let lane = std::mem::take(&mut lanes[i]);
-                worker.send(Job::Knn(lane));
+    /// Ships every non-empty kNN lane of the given phase to its worker and
+    /// waits for completion. Returns panicked shards.
+    fn run_knn_lanes(&mut self, fan_phase: bool) -> Vec<usize> {
+        let mut panicked = Vec::new();
+        for i in 0..self.workers.len() {
+            let lanes = if fan_phase {
+                &mut self.knn_fan
+            } else {
+                &mut self.knn_home
+            };
+            self.sent[i] = false;
+            if lanes[i].is_empty() {
+                continue;
+            }
+            let Some(worker) = self.workers[i].as_ref() else {
+                panicked.push(i);
+                continue;
+            };
+            let lane = std::mem::take(&mut lanes[i]);
+            match worker.send(Job::Knn(lane)) {
+                Ok(()) => self.sent[i] = true,
+                Err(Job::Knn(lane)) => {
+                    let lanes = if fan_phase {
+                        &mut self.knn_fan
+                    } else {
+                        &mut self.knn_home
+                    };
+                    lanes[i] = lane;
+                    panicked.push(i);
+                }
+                Err(_) => unreachable!("send returns the job it was given"),
             }
         }
-        for (i, worker) in self.workers.iter().enumerate() {
+        for i in 0..self.workers.len() {
             if !self.sent[i] {
                 continue;
             }
-            match worker.done_rx.recv().expect("shard worker exited") {
-                Job::Knn(lane) => lanes[i] = lane,
-                _ => unreachable!("one job in flight per worker"),
+            let worker = self.workers[i].as_ref().expect("sent to a live worker");
+            match worker.done_rx.recv() {
+                Ok(WorkerDone {
+                    job: Job::Knn(lane),
+                    panicked: p,
+                }) => {
+                    let lanes = if fan_phase {
+                        &mut self.knn_fan
+                    } else {
+                        &mut self.knn_home
+                    };
+                    lanes[i] = lane;
+                    if p {
+                        panicked.push(i);
+                    }
+                }
+                Ok(_) => unreachable!("one job in flight per worker"),
+                Err(_) => panicked.push(i),
             }
         }
+        panicked
     }
 }
 
 impl ServiceBackend for ShardedBackend {
-    fn range_batch(&mut self, queries: &[Aabb], out: &mut BatchResults) -> QueryStats {
+    fn range_batch(&mut self, queries: &[Aabb], out: &mut BatchResults) -> BatchReport {
         let start = Instant::now();
-        self.planner.route_range(queries, &mut self.range_lanes);
-        self.run_range_lanes();
+        // Reads are idempotent, so supervision is a retry loop: route,
+        // drop lanes aimed at dead shards (recording partial coverage),
+        // run; if any worker panicked, quarantine/restart it and re-run
+        // the whole batch against the post-supervision shard set.
+        let mut partial = vec![0u32; queries.len()];
+        loop {
+            self.planner.route_range(queries, &mut self.range_lanes);
+            partial.iter_mut().for_each(|n| *n = 0);
+            for (i, &dead) in self.dead.iter().enumerate() {
+                if dead {
+                    for &qi in self.range_lanes[i].routed() {
+                        partial[qi as usize] += 1;
+                    }
+                    self.range_lanes[i].clear();
+                }
+            }
+            let panicked = self.run_range_lanes();
+            if panicked.is_empty() {
+                break;
+            }
+            self.handle_panics(&panicked);
+        }
         out.reset();
         let mut stats = self
             .planner
             .merge_range(queries.len(), &mut self.range_lanes, out);
         stats.elapsed_s = start.elapsed().as_secs_f64();
-        stats
+        BatchReport {
+            stats,
+            failed: Vec::new(),
+            partial: partial
+                .iter()
+                .enumerate()
+                .filter(|(_, &n)| n > 0)
+                .map(|(q, &n)| (q as u32, n))
+                .collect(),
+        }
     }
 
-    fn knn_batch(&mut self, points: &[Point3], k: usize, out: &mut KnnBatchResults) -> QueryStats {
+    fn knn_batch(&mut self, points: &[Point3], k: usize, out: &mut KnnBatchResults) -> BatchReport {
         let start = Instant::now();
-        self.planner.route_knn_home(points, k, &mut self.knn_home);
-        self.run_knn_lanes(false);
-        self.planner
-            .route_knn_fanout(points, k, &self.knn_home, &mut self.knn_fan);
-        self.run_knn_lanes(true);
+        // Same retry-loop discipline as `range_batch`, over both kNN
+        // phases. A query touching a dead shard (home or fanout) cannot be
+        // answered correctly — partial neighbours would be silently wrong
+        // — so it is reported failed instead of degraded.
+        let mut failed: Vec<(u32, usize)> = Vec::new();
+        loop {
+            failed.clear();
+            self.planner.route_knn_home(points, k, &mut self.knn_home);
+            for (i, &dead) in self.dead.iter().enumerate() {
+                if dead {
+                    for &qi in self.knn_home[i].routed() {
+                        failed.push((qi, i));
+                    }
+                    self.knn_home[i].clear();
+                }
+            }
+            let panicked = self.run_knn_lanes(false);
+            if !panicked.is_empty() {
+                self.handle_panics(&panicked);
+                continue;
+            }
+            self.planner
+                .route_knn_fanout(points, k, &self.knn_home, &mut self.knn_fan);
+            for (i, &dead) in self.dead.iter().enumerate() {
+                if dead {
+                    for &qi in self.knn_fan[i].routed() {
+                        failed.push((qi, i));
+                    }
+                    self.knn_fan[i].clear();
+                }
+            }
+            let panicked = self.run_knn_lanes(true);
+            if !panicked.is_empty() {
+                self.handle_panics(&panicked);
+                continue;
+            }
+            break;
+        }
         out.reset();
         let mut stats =
             self.planner
                 .merge_knn(points.len(), k, &mut self.knn_home, &mut self.knn_fan, out);
         stats.elapsed_s = start.elapsed().as_secs_f64();
-        stats
+        failed.sort_unstable();
+        failed.dedup_by_key(|&mut (q, _)| q);
+        BatchReport {
+            stats,
+            failed,
+            partial: Vec::new(),
+        }
     }
 
-    fn update_batch(&mut self, updates: &[(ElementId, Shape)]) -> UpdateStats {
+    fn update_batch(&mut self, updates: &[(ElementId, Shape)]) -> UpdateReport {
         // Fail on the calling thread with a clear message (the service
         // never routes writes here when read-only, but the trait is
         // public): without this, the panic would surface on a detached
@@ -467,14 +989,56 @@ impl ServiceBackend for ShardedBackend {
             "write batch on a read-only sharded backend — build the engine with_rebuild"
         );
         let start = Instant::now();
+        // Single pass, no retry: routing advances the planner's element
+        // store, which is authoritative. A shard that panics mid-write and
+        // restarts is rebuilt *from that advanced store*, so the write is
+        // fully applied on it — only a shard that ends dead loses data,
+        // and that is surfaced as a typed failure.
         let mut stats = self.planner.route_updates(updates, &mut self.update_lanes);
-        self.run_update_lanes();
+        for (i, &dead) in self.dead.iter().enumerate() {
+            // Writes routed to already-dead shards: coverage is already
+            // degraded and the planner store stays authoritative, so the
+            // lane is dropped without failing the batch.
+            if dead {
+                self.update_lanes[i].clear();
+            }
+        }
+        let panicked = self.run_update_lanes();
+        let mut failed = None;
+        if !panicked.is_empty() {
+            self.handle_panics(&panicked);
+            failed = panicked.iter().copied().find(|&i| self.dead[i]);
+        }
         stats.elapsed_s = start.elapsed().as_secs_f64();
-        stats
+        UpdateReport { stats, failed }
     }
 
     fn supports_updates(&self) -> bool {
         self.updatable
+    }
+
+    fn recover(&mut self, after_write: bool) -> bool {
+        // Shard-worker panics never unwind to the dispatcher — they are
+        // supervised internally. A panic that *does* cross this backend's
+        // boundary happened in routing/merge code on the dispatcher
+        // thread: reads re-route from scratch every batch (nothing torn),
+        // but a write may have torn the planner's element store mid-route,
+        // so the backend must poison.
+        !after_write
+    }
+
+    fn telemetry(&self) -> BackendTelemetry {
+        self.telemetry
+    }
+
+    fn install_worker_faults(&mut self, faults: &[(usize, u64, FaultKind)]) {
+        for &(shard, op, kind) in faults {
+            if let Some(list) = self.fault_lists.get(shard) {
+                if let Ok(mut l) = list.lock() {
+                    l.push((op, kind));
+                }
+            }
+        }
     }
 
     fn memory_bytes(&self) -> usize {
@@ -503,7 +1067,7 @@ impl ServiceBackend for ShardedBackend {
     }
 
     fn shutdown(&mut self) {
-        for w in &mut self.workers {
+        for w in self.workers.iter_mut().flatten() {
             w.stop();
         }
     }

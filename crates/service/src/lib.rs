@@ -50,8 +50,26 @@
 //!   rejection counters, batch-size histogram (is coalescing working?),
 //!   per-request latency percentiles, aggregated predicate counters,
 //!   write counters (updates applied, shard migrations, coalesced update
-//!   batch sizes), and the backend's memory/shard-size accounting
-//!   (refreshed after every write, so migrations show up).
+//!   batch sizes), failure telemetry (panics caught, shard restarts and
+//!   deaths, deadline expiries, partial-coverage responses, client
+//!   retries), and the backend's memory/shard-size accounting (refreshed
+//!   after every write, so migrations show up).
+//! * **Fault tolerance** — the serving path survives panics by
+//!   construction: every shard-worker job and every dispatcher-inline
+//!   backend call runs under `catch_unwind`. A panicked shard is
+//!   quarantined, restarted from the planner's retained element store
+//!   (bounded attempts with exponential backoff, see
+//!   [`SupervisorPolicy`]), and finally declared dead — after which
+//!   range/count queries **degrade** (skip it and report partial coverage
+//!   via [`Reply::shards_skipped`]) while kNN queries touching it **fail
+//!   typed** with [`RecvError::WorkerFailed`]. Requests carry deadlines
+//!   ([`ServiceConfig::default_deadline`],
+//!   [`ServiceHandle::submit_with_deadline`]) checked at admission and
+//!   completion; [`ServiceHandle::submit_with_retry`] retries `Full`
+//!   rejections with jittered backoff ([`RetryPolicy`] — and documents
+//!   why admitted writes are never blindly retried). The whole failure
+//!   matrix is exercised deterministically in ordinary tests through
+//!   [`FaultPlan`] and [`ChaosBackend`].
 //!
 //! ## Quick start
 //!
@@ -115,11 +133,16 @@
 #![warn(missing_docs)]
 
 mod backend;
+mod fault;
 mod request;
 mod service;
 mod stats;
 
-pub use backend::{EngineBackend, IndexUpdater, RebuildUpdater, ServiceBackend, ShardedBackend};
-pub use request::{RecvError, Request, Response, SubmitError, Ticket};
-pub use service::{ServiceConfig, ServiceHandle, SpatialService};
+pub use backend::{
+    BackendTelemetry, BatchReport, EngineBackend, IndexUpdater, RebuildUpdater, ServiceBackend,
+    ShardedBackend, SupervisorPolicy, UpdateReport,
+};
+pub use fault::{ChaosBackend, FaultKind, FaultPlan, ScheduledFault};
+pub use request::{RecvError, Reply, Request, Response, SubmitError, Ticket};
+pub use service::{RetryPolicy, ServiceConfig, ServiceHandle, SpatialService};
 pub use stats::{LatencyHistogram, ServiceStats, BATCH_BUCKETS, LATENCY_BUCKETS};

@@ -154,26 +154,69 @@ impl std::fmt::Display for SubmitError {
 
 impl std::error::Error for SubmitError {}
 
-/// Why a [`Ticket`] produced no response.
+/// Why a [`Ticket`] produced no response. Every admitted ticket completes
+/// with exactly one outcome — a [`Response`] or one of these — on every
+/// service exit path; a ticket never hangs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RecvError {
     /// The service shut down before completing this request.
     ShutDown,
+    /// A backend worker failed while serving this request and could not be
+    /// recovered in a way that preserves the request's correctness: a dead
+    /// shard overlapping a kNN probe, a write lost to a shard death, or a
+    /// dispatcher-level backend panic that poisoned the service.
+    WorkerFailed {
+        /// The shard the failure is attributed to (0 for unsharded
+        /// backends and service-level poisoning).
+        shard: usize,
+    },
+    /// The request's deadline expired — either before dispatch (shed at
+    /// admission, the backend never saw it) or by completion time (the
+    /// work ran but the answer arrived too late to be useful).
+    DeadlineExceeded,
 }
 
 impl std::fmt::Display for RecvError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "service shut down before completing the request")
+        match self {
+            RecvError::ShutDown => {
+                write!(f, "service shut down before completing the request")
+            }
+            RecvError::WorkerFailed { shard } => {
+                write!(
+                    f,
+                    "backend worker failed serving the request (shard {shard})"
+                )
+            }
+            RecvError::DeadlineExceeded => write!(f, "request deadline exceeded"),
+        }
     }
 }
 
 impl std::error::Error for RecvError {}
 
-/// A completed response plus its measured submit→completion latency.
+/// A completed request outcome plus its measured submit→completion latency
+/// and coverage metadata — the scheduler-side payload behind a [`Ticket`].
 #[derive(Debug)]
 pub(crate) struct Completion {
-    pub response: Response,
+    pub result: Result<Response, RecvError>,
     pub latency: Duration,
+    pub shards_skipped: u32,
+}
+
+/// A full completion record: the response, its latency, and degradation
+/// metadata. Returned by [`Ticket::recv_reply`] for callers that need to
+/// know whether a successful range/count response has partial coverage.
+#[derive(Debug)]
+pub struct Reply {
+    /// The response payload.
+    pub response: Response,
+    /// Submit→completion latency as measured by the scheduler.
+    pub latency: Duration,
+    /// Dead shards skipped while serving this request (range/count only —
+    /// nonzero means the result is a lower bound over the surviving
+    /// shards, not the full dataset).
+    pub shards_skipped: u32,
 }
 
 /// An in-flight request's completion slot. Obtained from
@@ -187,25 +230,51 @@ pub struct Ticket {
 }
 
 impl Ticket {
-    /// Blocks until the response is ready. Errors only if the service shuts
-    /// down before completing the request.
+    /// Blocks until the request completes. Errors if the service shuts
+    /// down, a worker failure loses the request, or its deadline expires —
+    /// never hangs: every admitted ticket is completed exactly once.
     pub fn recv(self) -> Result<Response, RecvError> {
         self.recv_timed().map(|(response, _)| response)
     }
 
     /// Like [`Ticket::recv`], additionally returning the request's
-    /// submit→completion latency as measured by the scheduler.
+    /// submit→completion latency. The latency is measured by the scheduler
+    /// on the monotonic clock ([`Instant`]): from the `submit`/`try_submit`
+    /// call to the moment the completion was delivered into the ticket —
+    /// it includes queueing and dispatch, not the caller's time-to-`recv`.
     pub fn recv_timed(self) -> Result<(Response, Duration), RecvError> {
-        self.rx
-            .recv()
-            .map(|c| (c.response, c.latency))
-            .map_err(|_| RecvError::ShutDown)
+        self.recv_reply().map(|r| (r.response, r.latency))
+    }
+
+    /// Blocks for the full completion record, including partial-coverage
+    /// metadata (see [`Reply::shards_skipped`]).
+    pub fn recv_reply(self) -> Result<Reply, RecvError> {
+        match self.rx.recv() {
+            Ok(c) => c.result.map(|response| Reply {
+                response,
+                latency: c.latency,
+                shards_skipped: c.shards_skipped,
+            }),
+            Err(mpsc::RecvError) => Err(RecvError::ShutDown),
+        }
+    }
+
+    /// Blocks at most `timeout` (measured here, on the caller's monotonic
+    /// clock — independent of any service-side deadline on the request).
+    /// `None` when the wait timed out with the request still in flight;
+    /// the ticket stays redeemable afterwards.
+    pub fn recv_deadline(&self, timeout: Duration) -> Option<Result<Response, RecvError>> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(c) => Some(c.result),
+            Err(mpsc::RecvTimeoutError::Timeout) => None,
+            Err(mpsc::RecvTimeoutError::Disconnected) => Some(Err(RecvError::ShutDown)),
+        }
     }
 
     /// Non-blocking poll: `None` while the request is still in flight.
     pub fn try_recv(&self) -> Option<Result<Response, RecvError>> {
         match self.rx.try_recv() {
-            Ok(c) => Some(Ok(c.response)),
+            Ok(c) => Some(c.result),
             Err(mpsc::TryRecvError::Empty) => None,
             Err(mpsc::TryRecvError::Disconnected) => Some(Err(RecvError::ShutDown)),
         }

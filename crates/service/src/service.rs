@@ -23,16 +23,27 @@
 //! dropped. (Only a submission that races the flag *and* loses its
 //! dispatcher sees its ticket error with `RecvError::ShutDown`.)
 
-use crate::backend::ServiceBackend;
-use crate::request::{Completion, Request, Response, SubmitError, Ticket};
+use crate::backend::{BackendTelemetry, ServiceBackend};
+use crate::request::{Completion, RecvError, Request, Response, SubmitError, Ticket};
 use crate::stats::{LatencyHistogram, ServiceStats, BATCH_BUCKETS};
 use simspatial_geom::stats::PredicateCounts;
 use simspatial_geom::{Aabb, ElementId, Point3, Shape};
 use simspatial_index::{BatchResults, KnnBatchResults, UpdateStats};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// SplitMix64 step — the deterministic jitter source for
+/// [`ServiceHandle::submit_with_retry`] backoff.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
 
 /// Scheduler tuning knobs.
 #[derive(Debug, Clone)]
@@ -51,6 +62,12 @@ pub struct ServiceConfig {
     pub coalesce: bool,
     /// How often the idle scheduler re-checks the shutdown flag.
     pub idle_poll: Duration,
+    /// Deadline applied to every request that does not carry its own
+    /// (see [`ServiceHandle::submit_with_deadline`]). `None` = requests
+    /// never expire. Expired requests are shed before dispatch when
+    /// possible and complete with
+    /// [`RecvError::DeadlineExceeded`] either way.
+    pub default_deadline: Option<Duration>,
 }
 
 impl Default for ServiceConfig {
@@ -61,6 +78,7 @@ impl Default for ServiceConfig {
             max_wait: Duration::from_micros(200),
             coalesce: true,
             idle_poll: Duration::from_millis(20),
+            default_deadline: None,
         }
     }
 }
@@ -84,13 +102,104 @@ impl ServiceConfig {
         self.max_wait = max_wait;
         self
     }
+
+    /// Returns the config with the given default request deadline.
+    pub fn with_default_deadline(mut self, deadline: Duration) -> Self {
+        self.default_deadline = Some(deadline);
+        self
+    }
 }
 
-/// One queued request plus its completion channel and admission timestamp.
+/// Backoff discipline for [`ServiceHandle::submit_with_retry`]: how many
+/// times a [`SubmitError::Full`] rejection is retried and how the jittered
+/// exponential backoff between attempts grows.
+///
+/// Only the *pre-admission* `Full` rejection is ever retried — the request
+/// was never accepted, so resubmitting cannot double-apply anything.
+/// **Once admitted, a write is never blindly retried** by the service or
+/// by this helper: every admitted write is a barrier in the admission
+/// order, and a ticket error (e.g. [`RecvError::DeadlineExceeded`] at
+/// completion time) does not mean the write was not applied — a blind
+/// resubmit could apply it twice, interleaved with other clients' writes.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Maximum retry attempts after the initial submission.
+    pub max_retries: u32,
+    /// Backoff before the first retry; doubles per attempt.
+    pub base_backoff: Duration,
+    /// Upper bound on the exponential backoff (before jitter).
+    pub max_backoff: Duration,
+    /// Seed of the deterministic jitter sequence (each sleep is scaled to
+    /// 50–100% of the capped backoff, decorrelating competing clients).
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_retries: 8,
+            base_backoff: Duration::from_micros(100),
+            max_backoff: Duration::from_millis(10),
+            jitter_seed: 0x5EED,
+        }
+    }
+}
+
+/// One queued request plus its completion channel, admission timestamp and
+/// (optional) absolute deadline.
+///
+/// The envelope doubles as the **exactly-once completion guard**: a ticket
+/// is completed either explicitly through [`Envelope::complete`] (which
+/// takes the reply sender) or, if the envelope is dropped with the sender
+/// still in place — scheduler unwind, drain abort, any exit path — by the
+/// `Drop` impl, with a typed error. An admitted ticket therefore never
+/// hangs and never receives two completions.
 struct Envelope {
     request: Request,
-    reply: mpsc::Sender<Completion>,
+    reply: Option<mpsc::Sender<Completion>>,
     submitted: Instant,
+    deadline: Option<Instant>,
+    shared: Arc<Shared>,
+}
+
+impl Envelope {
+    /// Completes the ticket exactly once and disarms the drop-guard.
+    fn complete(mut self, result: Result<Response, RecvError>, shards_skipped: u32) {
+        let latency = self.submitted.elapsed();
+        if let Some(reply) = self.reply.take() {
+            // A dropped ticket (client gave up) is not an error.
+            let _ = reply.send(Completion {
+                result,
+                latency,
+                shards_skipped,
+            });
+        }
+    }
+}
+
+impl Drop for Envelope {
+    fn drop(&mut self) {
+        let Some(reply) = self.reply.take() else {
+            return; // completed normally
+        };
+        // Straggler path: the scheduler died (dispatcher panic) or exited
+        // without serving this envelope. Classify by the service's dead
+        // flag, set before unwinding envelopes drop (see `DeadGuard`).
+        let err = if self.shared.dead.load(Ordering::Acquire) {
+            RecvError::WorkerFailed { shard: 0 }
+        } else {
+            RecvError::ShutDown
+        };
+        let _ = reply.send(Completion {
+            result: Err(err),
+            latency: self.submitted.elapsed(),
+            shards_skipped: 0,
+        });
+        if let Ok(mut stats) = self.shared.stats.lock() {
+            stats.completed += 1;
+            stats.failed_requests += 1;
+        }
+    }
 }
 
 /// Scheduler-side counters, only ever touched under the lock by the
@@ -117,20 +226,40 @@ struct StatsInner {
     /// and shrink/grow shards).
     memory_bytes: usize,
     shard_sizes: Vec<usize>,
+    /// Backend panics that unwound to the dispatcher thread and were
+    /// caught there (distinct from the panics the backend supervises
+    /// internally, which arrive via `telemetry`).
+    sched_panics: u64,
+    /// Requests completed with [`RecvError::DeadlineExceeded`].
+    deadline_expired: u64,
+    /// Successful range/count responses with partial shard coverage.
+    partial_responses: u64,
+    /// Requests completed with [`RecvError::WorkerFailed`].
+    failed_requests: u64,
+    /// Latest backend failure counters, refreshed every dispatch.
+    telemetry: BackendTelemetry,
 }
 
 /// State shared by every handle, the service, and the scheduler thread.
 struct Shared {
     open: AtomicBool,
+    /// Set when the dispatcher died abnormally (unwinding panic) or the
+    /// backend was poisoned by a write-path panic — stragglers then
+    /// complete with [`RecvError::WorkerFailed`] instead of `ShutDown`.
+    dead: AtomicBool,
     /// Whether the backend applies write batches; write requests are
     /// rejected at admission otherwise.
     writable: bool,
+    /// Deadline stamped onto requests that do not carry their own.
+    default_deadline: Option<Duration>,
     queue_depth: AtomicUsize,
     // Admission-path counters are atomics so producer submits never
     // contend with the dispatcher's per-dispatch stats update.
     submitted: AtomicU64,
     rejected: AtomicU64,
     max_queue_depth: AtomicUsize,
+    /// Client-side `submit_with_retry` backoff sleeps taken, fleet-wide.
+    retries_attempted: AtomicU64,
     stats: Mutex<StatsInner>,
 }
 
@@ -163,6 +292,13 @@ impl Shared {
             update_hist: inner.update_hist,
             memory_bytes: inner.memory_bytes,
             shard_sizes: inner.shard_sizes.clone(),
+            panics_caught: inner.sched_panics + inner.telemetry.panics_caught,
+            shard_restarts: inner.telemetry.shard_restarts,
+            shards_dead: inner.telemetry.shards_dead,
+            deadline_expired: inner.deadline_expired,
+            retries_attempted: self.retries_attempted.load(Ordering::Relaxed),
+            partial_responses: inner.partial_responses,
+            failed_requests: inner.failed_requests,
         }
     }
 }
@@ -188,37 +324,82 @@ impl ServiceHandle {
     /// Submits a request, **blocking** while the intake queue is full
     /// (admission-control backpressure). Returns the completion ticket,
     /// or the request back if the service is shut down (or the request is
-    /// a write and the backend is read-only).
+    /// a write and the backend is read-only). The config's
+    /// `default_deadline` (if any) applies.
     pub fn submit(&self, request: Request) -> Result<Ticket, SubmitError> {
-        if !self.shared.open.load(Ordering::Acquire) {
-            return Err(SubmitError::ShutDown(request));
-        }
-        if request.is_write() && !self.shared.writable {
-            return Err(SubmitError::ReadOnly(request));
-        }
-        let (reply, rx) = mpsc::channel();
-        let submitted = Instant::now();
-        let env = Envelope {
-            request,
-            reply,
-            submitted,
-        };
-        let depth = self.shared.queue_depth.fetch_add(1, Ordering::AcqRel) + 1;
-        match self.tx.send(env) {
-            Ok(()) => {
-                self.shared.note_admitted(depth);
-                Ok(Ticket { rx, submitted })
-            }
-            Err(mpsc::SendError(env)) => {
-                self.shared.queue_depth.fetch_sub(1, Ordering::AcqRel);
-                Err(SubmitError::ShutDown(env.request))
-            }
-        }
+        self.submit_inner(request, None, true)
+    }
+
+    /// [`ServiceHandle::submit`] with an explicit per-request deadline
+    /// (measured from now, overriding the config default). An expired
+    /// request completes with [`RecvError::DeadlineExceeded`] — shed
+    /// before the backend sees it when it expires in the queue.
+    pub fn submit_with_deadline(
+        &self,
+        request: Request,
+        deadline: Duration,
+    ) -> Result<Ticket, SubmitError> {
+        self.submit_inner(request, Some(deadline), true)
     }
 
     /// Non-blocking submit: returns [`SubmitError::Full`] (with the
     /// request) instead of waiting when the queue is at capacity.
     pub fn try_submit(&self, request: Request) -> Result<Ticket, SubmitError> {
+        self.submit_inner(request, None, false)
+    }
+
+    /// [`ServiceHandle::try_submit`] with an explicit per-request deadline.
+    pub fn try_submit_with_deadline(
+        &self,
+        request: Request,
+        deadline: Duration,
+    ) -> Result<Ticket, SubmitError> {
+        self.submit_inner(request, Some(deadline), false)
+    }
+
+    /// Non-blocking submit that retries [`SubmitError::Full`] rejections
+    /// with jittered exponential backoff (see [`RetryPolicy`]). Safe for
+    /// writes too: `Full` means the request was **never admitted**, so
+    /// resubmitting cannot double-apply it. Admitted requests are never
+    /// retried by this helper (see the [`RetryPolicy`] docs for why a
+    /// blind post-admission write retry would be unsafe). `ShutDown` and
+    /// `ReadOnly` rejections are returned immediately.
+    pub fn submit_with_retry(
+        &self,
+        request: Request,
+        policy: &RetryPolicy,
+    ) -> Result<Ticket, SubmitError> {
+        let mut state = policy.jitter_seed;
+        let mut attempt = 0u32;
+        let mut request = request;
+        loop {
+            match self.try_submit(request) {
+                Ok(ticket) => return Ok(ticket),
+                Err(SubmitError::Full(r)) if attempt < policy.max_retries => {
+                    attempt += 1;
+                    self.shared
+                        .retries_attempted
+                        .fetch_add(1, Ordering::Relaxed);
+                    let shift = (attempt - 1).min(10);
+                    let capped = (policy.base_backoff * (1u32 << shift)).min(policy.max_backoff);
+                    // Jitter to 50–100% of the capped backoff so competing
+                    // clients decorrelate instead of retrying in lockstep.
+                    let frac =
+                        0.5 + 0.5 * ((splitmix64(&mut state) >> 11) as f64 / (1u64 << 53) as f64);
+                    std::thread::sleep(capped.mul_f64(frac));
+                    request = r;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn submit_inner(
+        &self,
+        request: Request,
+        deadline: Option<Duration>,
+        blocking: bool,
+    ) -> Result<Ticket, SubmitError> {
         if !self.shared.open.load(Ordering::Acquire) {
             return Err(SubmitError::ShutDown(request));
         }
@@ -227,25 +408,57 @@ impl ServiceHandle {
         }
         let (reply, rx) = mpsc::channel();
         let submitted = Instant::now();
+        let deadline = deadline
+            .or(self.shared.default_deadline)
+            .map(|d| submitted + d);
         let env = Envelope {
             request,
-            reply,
+            reply: Some(reply),
             submitted,
+            deadline,
+            shared: Arc::clone(&self.shared),
         };
         let depth = self.shared.queue_depth.fetch_add(1, Ordering::AcqRel) + 1;
-        match self.tx.try_send(env) {
-            Ok(()) => {
-                self.shared.note_admitted(depth);
-                Ok(Ticket { rx, submitted })
+        if blocking {
+            match self.tx.send(env) {
+                Ok(()) => {
+                    self.shared.note_admitted(depth);
+                    Ok(Ticket { rx, submitted })
+                }
+                Err(mpsc::SendError(mut env)) => {
+                    self.shared.queue_depth.fetch_sub(1, Ordering::AcqRel);
+                    // Hand the request back un-completed: dropping the
+                    // reply sender here must not fire the straggler guard.
+                    env.reply = None;
+                    Err(SubmitError::ShutDown(std::mem::replace(
+                        &mut env.request,
+                        Request::Range(Vec::new()),
+                    )))
+                }
             }
-            Err(mpsc::TrySendError::Full(env)) => {
-                self.shared.queue_depth.fetch_sub(1, Ordering::AcqRel);
-                self.shared.rejected.fetch_add(1, Ordering::Relaxed);
-                Err(SubmitError::Full(env.request))
-            }
-            Err(mpsc::TrySendError::Disconnected(env)) => {
-                self.shared.queue_depth.fetch_sub(1, Ordering::AcqRel);
-                Err(SubmitError::ShutDown(env.request))
+        } else {
+            match self.tx.try_send(env) {
+                Ok(()) => {
+                    self.shared.note_admitted(depth);
+                    Ok(Ticket { rx, submitted })
+                }
+                Err(mpsc::TrySendError::Full(mut env)) => {
+                    self.shared.queue_depth.fetch_sub(1, Ordering::AcqRel);
+                    self.shared.rejected.fetch_add(1, Ordering::Relaxed);
+                    env.reply = None;
+                    Err(SubmitError::Full(std::mem::replace(
+                        &mut env.request,
+                        Request::Range(Vec::new()),
+                    )))
+                }
+                Err(mpsc::TrySendError::Disconnected(mut env)) => {
+                    self.shared.queue_depth.fetch_sub(1, Ordering::AcqRel);
+                    env.reply = None;
+                    Err(SubmitError::ShutDown(std::mem::replace(
+                        &mut env.request,
+                        Request::Range(Vec::new()),
+                    )))
+                }
             }
         }
     }
@@ -285,6 +498,17 @@ struct Scheduler<B: ServiceBackend> {
     knn_results: KnnBatchResults,
     /// Flattened `(id, geometry)` write batch of the current update run.
     updates: Vec<(ElementId, Shape)>,
+    /// Per-pending-request failure slot for the current dispatch: a
+    /// request with a failure set is excluded from backend batches and
+    /// completes with that error.
+    failures: Vec<Option<RecvError>>,
+    /// Per-pending-request dead-shards-skipped count (partial coverage).
+    skipped: Vec<u32>,
+    /// Set when a backend panic unwound to the dispatcher on a write path
+    /// the backend could not recover: the dataset state is unknown, so
+    /// every subsequent request fails fast with
+    /// [`RecvError::WorkerFailed`] until shutdown.
+    poisoned: bool,
 }
 
 /// Accounting accumulated across the runs of one dispatch, folded into
@@ -298,6 +522,32 @@ struct DispatchTotals {
     /// Coalesced update counts per backend application this dispatch
     /// (feeds the update batch-size histogram).
     update_runs: Vec<usize>,
+    /// Backend panics that unwound into the dispatcher and were caught.
+    sched_panics: u64,
+}
+
+/// Declared in [`Scheduler::run`] before the dispatch loop: if the
+/// dispatcher thread unwinds past it (a panic the per-call `catch_unwind`s
+/// did not absorb), the guard marks the service dead **before** the
+/// scheduler's pending envelopes drop — locals drop before function
+/// parameters — so their straggler completions classify as
+/// [`RecvError::WorkerFailed`], not a clean shutdown, and new submissions
+/// stop being admitted.
+struct DeadGuard {
+    shared: Arc<Shared>,
+    armed: bool,
+}
+
+impl Drop for DeadGuard {
+    fn drop(&mut self) {
+        if self.armed {
+            self.shared.dead.store(true, Ordering::Release);
+            self.shared.open.store(false, Ordering::Release);
+            if let Ok(mut stats) = self.shared.stats.lock() {
+                stats.sched_panics += 1;
+            }
+        }
+    }
 }
 
 impl<B: ServiceBackend> Scheduler<B> {
@@ -315,10 +565,17 @@ impl<B: ServiceBackend> Scheduler<B> {
             knn_points: Vec::new(),
             knn_results: KnnBatchResults::new(),
             updates: Vec::new(),
+            failures: Vec::new(),
+            skipped: Vec::new(),
+            poisoned: false,
         }
     }
 
     fn run(mut self, rx: mpsc::Receiver<Envelope>) {
+        let mut guard = DeadGuard {
+            shared: Arc::clone(&self.shared),
+            armed: true,
+        };
         loop {
             match rx.recv_timeout(self.cfg.idle_poll) {
                 Ok(env) => self.collect_and_dispatch(env, &rx),
@@ -339,6 +596,7 @@ impl<B: ServiceBackend> Scheduler<B> {
             self.collect_and_dispatch(env, &rx);
         }
         self.backend.shutdown();
+        guard.armed = false;
     }
 
     /// Eagerly drains up to `max_batch - 1` more queued requests behind
@@ -391,10 +649,35 @@ impl<B: ServiceBackend> Scheduler<B> {
         let n = self.pending.len();
         self.responses.clear();
         self.responses.resize_with(n, || None);
+        self.failures.clear();
+        self.failures.resize(n, None);
+        self.skipped.clear();
+        self.skipped.resize(n, 0);
         let mut totals = DispatchTotals::default();
+
+        // ---- Admission-time deadline shed: a request that expired in the
+        // queue is excluded from every backend batch below — the backend
+        // never sees it.
+        let now = Instant::now();
+        for (i, env) in self.pending.iter().enumerate() {
+            if env.deadline.is_some_and(|d| now >= d) {
+                self.failures[i] = Some(RecvError::DeadlineExceeded);
+            }
+        }
+
         let mut lo = 0usize;
         let mut wrote = false;
         while lo < n {
+            if self.poisoned {
+                // Backend state is unknown after an unrecovered write-path
+                // panic: fail everything not yet served, fast.
+                for f in self.failures[lo..n].iter_mut() {
+                    if f.is_none() {
+                        *f = Some(RecvError::WorkerFailed { shard: 0 });
+                    }
+                }
+                break;
+            }
             let write = self.pending[lo].request.is_write();
             let mut hi = lo + 1;
             while hi < n && self.pending[hi].request.is_write() == write {
@@ -408,6 +691,27 @@ impl<B: ServiceBackend> Scheduler<B> {
             }
             lo = hi;
         }
+
+        // ---- Completion-time deadline check and outcome classification.
+        let now = Instant::now();
+        let mut deadline_expired = 0u64;
+        let mut failed_requests = 0u64;
+        let mut partial_responses = 0u64;
+        for (i, env) in self.pending.iter().enumerate() {
+            if self.failures[i].is_none() && env.deadline.is_some_and(|d| now >= d) {
+                self.failures[i] = Some(RecvError::DeadlineExceeded);
+            }
+            match self.failures[i] {
+                Some(RecvError::DeadlineExceeded) => deadline_expired += 1,
+                Some(_) => failed_requests += 1,
+                None => {
+                    if self.skipped[i] > 0 {
+                        partial_responses += 1;
+                    }
+                }
+            }
+        }
+        let telemetry = self.backend.telemetry();
 
         // ---- Record stats (one short critical section — ticket completion
         // happens after the lock is released, so producer submits never
@@ -436,20 +740,31 @@ impl<B: ServiceBackend> Scheduler<B> {
                 stats.memory_bytes = self.backend.memory_bytes();
                 stats.shard_sizes = self.backend.shard_sizes();
             }
+            stats.sched_panics += totals.sched_panics;
+            stats.deadline_expired += deadline_expired;
+            stats.failed_requests += failed_requests;
+            stats.partial_responses += partial_responses;
+            stats.telemetry = telemetry;
             stats.completed += n as u64;
             for env in &self.pending {
                 stats.latency.record(env.submitted.elapsed());
             }
         }
 
-        // ---- Complete tickets.
-        for (env, resp) in self.pending.drain(..).zip(self.responses.drain(..)) {
-            let latency = env.submitted.elapsed();
-            // A dropped ticket (client gave up) is not an error.
-            let _ = env.reply.send(Completion {
-                response: resp.expect("every request family produced a response"),
-                latency,
-            });
+        // ---- Complete tickets (exactly once, on every path — a request
+        // with no failure must have a response; the envelope's drop-guard
+        // covers any path that somehow skips this loop).
+        for (i, (env, resp)) in self
+            .pending
+            .drain(..)
+            .zip(self.responses.drain(..))
+            .enumerate()
+        {
+            let result = match self.failures[i].take() {
+                Some(err) => Err(err),
+                None => Ok(resp.expect("every surviving request produced a response")),
+            };
+            env.complete(result, self.skipped[i]);
         }
     }
 
@@ -462,39 +777,85 @@ impl<B: ServiceBackend> Scheduler<B> {
         self.boxes.clear();
         self.range_req.clear();
         for (i, env) in self.pending[lo..hi].iter().enumerate() {
+            if self.failures[lo + i].is_some() {
+                continue; // shed at admission — the backend never sees it
+            }
             if let Request::Range(qs) | Request::RangeCount(qs) = &env.request {
                 self.range_req.push((lo + i, self.boxes.len(), qs.len()));
                 self.boxes.extend_from_slice(qs);
             }
         }
+        let mut range_ok = false;
         if !self.boxes.is_empty() {
-            let stats = self
-                .backend
-                .range_batch(&self.boxes, &mut self.range_results);
-            totals.exec_elapsed_s += stats.elapsed_s;
-            totals.results += stats.results;
-            totals.counts.add(&stats.counts);
+            let call = catch_unwind(AssertUnwindSafe(|| {
+                self.backend
+                    .range_batch(&self.boxes, &mut self.range_results)
+            }));
+            match call {
+                // Arity mismatch = the backend lost the batch (e.g. an
+                // injected dropped response): no per-query results exist.
+                Ok(report) if self.range_results.len() == self.boxes.len() => {
+                    totals.exec_elapsed_s += report.stats.elapsed_s;
+                    totals.results += report.stats.results;
+                    totals.counts.add(&report.stats.counts);
+                    for &(q, shard) in &report.failed {
+                        if let Some(&(i, ..)) = self
+                            .range_req
+                            .iter()
+                            .find(|&&(_, s, l)| (q as usize) >= s && (q as usize) < s + l)
+                        {
+                            self.failures[i] = Some(RecvError::WorkerFailed { shard });
+                        }
+                    }
+                    for &(q, n_skipped) in &report.partial {
+                        if let Some(&(i, ..)) = self
+                            .range_req
+                            .iter()
+                            .find(|&&(_, s, l)| (q as usize) >= s && (q as usize) < s + l)
+                        {
+                            self.skipped[i] += n_skipped;
+                        }
+                    }
+                    range_ok = true;
+                }
+                Ok(_) => self.fail_requests(&self.range_req.clone(), 0),
+                Err(_) => {
+                    totals.sched_panics += 1;
+                    self.fail_requests(&self.range_req.clone(), 0);
+                    if !self.backend.recover(false) {
+                        self.poison();
+                    }
+                }
+            }
         }
-        for &(i, start, len) in &self.range_req {
-            let resp = match &self.pending[i].request {
-                Request::Range(_) => Response::Range(
-                    (start..start + len)
-                        .map(|q| self.range_results.query_results(q).to_vec())
-                        .collect(),
-                ),
-                Request::RangeCount(_) => Response::RangeCount(
-                    (start..start + len)
-                        .map(|q| self.range_results.query_results(q).len() as u64)
-                        .collect(),
-                ),
-                _ => unreachable!("range_req only holds range requests"),
-            };
-            self.responses[i] = Some(resp);
+        if range_ok {
+            for &(i, start, len) in &self.range_req {
+                if self.failures[i].is_some() {
+                    continue;
+                }
+                let resp = match &self.pending[i].request {
+                    Request::Range(_) => Response::Range(
+                        (start..start + len)
+                            .map(|q| self.range_results.query_results(q).to_vec())
+                            .collect(),
+                    ),
+                    Request::RangeCount(_) => Response::RangeCount(
+                        (start..start + len)
+                            .map(|q| self.range_results.query_results(q).len() as u64)
+                            .collect(),
+                    ),
+                    _ => unreachable!("range_req only holds range requests"),
+                };
+                self.responses[i] = Some(resp);
+            }
         }
 
         // ---- kNN family.
         self.knn_flat.clear();
         for (i, env) in self.pending[lo..hi].iter().enumerate() {
+            if self.failures[lo + i].is_some() {
+                continue;
+            }
             if let Request::Knn(probes) = &env.request {
                 self.responses[lo + i] = Some(Response::Knn(vec![Vec::new(); probes.len()]));
                 for (j, &(p, k)) in probes.iter().enumerate() {
@@ -515,21 +876,75 @@ impl<B: ServiceBackend> Scheduler<B> {
             self.knn_points.clear();
             self.knn_points
                 .extend(self.knn_flat[g..end].iter().map(|&(_, _, _, p)| p));
-            let stats = self
-                .backend
-                .knn_batch(&self.knn_points, k, &mut self.knn_results);
-            totals.exec_elapsed_s += stats.elapsed_s;
-            totals.results += stats.results;
-            totals.counts.add(&stats.counts);
-            for (slot, &(_, i, j, _)) in self.knn_flat[g..end].iter().enumerate() {
-                let list = self.knn_results.query_results(slot).to_vec();
-                match self.responses[i].as_mut() {
-                    Some(Response::Knn(lists)) => lists[j] = list,
-                    _ => unreachable!("knn_flat only holds knn requests"),
+            let call = catch_unwind(AssertUnwindSafe(|| {
+                self.backend
+                    .knn_batch(&self.knn_points, k, &mut self.knn_results)
+            }));
+            match call {
+                Ok(report) if self.knn_results.len() == self.knn_points.len() => {
+                    totals.exec_elapsed_s += report.stats.elapsed_s;
+                    totals.results += report.stats.results;
+                    totals.counts.add(&report.stats.counts);
+                    // A probe over a dead shard fails its whole request —
+                    // partial neighbour lists would be silently wrong.
+                    for &(q, shard) in &report.failed {
+                        let (_, i, _, _) = self.knn_flat[g + q as usize];
+                        self.failures[i] = Some(RecvError::WorkerFailed { shard });
+                    }
+                    for (slot, &(_, i, j, _)) in self.knn_flat[g..end].iter().enumerate() {
+                        if self.failures[i].is_some() {
+                            continue;
+                        }
+                        let list = self.knn_results.query_results(slot).to_vec();
+                        match self.responses[i].as_mut() {
+                            Some(Response::Knn(lists)) => lists[j] = list,
+                            _ => unreachable!("knn_flat only holds knn requests"),
+                        }
+                    }
                 }
+                Ok(_) => {
+                    for &(_, i, _, _) in &self.knn_flat[g..end] {
+                        self.failures[i] = Some(RecvError::WorkerFailed { shard: 0 });
+                    }
+                }
+                Err(_) => {
+                    totals.sched_panics += 1;
+                    for &(_, i, _, _) in &self.knn_flat[g..end] {
+                        self.failures[i] = Some(RecvError::WorkerFailed { shard: 0 });
+                    }
+                    if !self.backend.recover(false) {
+                        self.poison();
+                    }
+                }
+            }
+            if self.poisoned {
+                // Remaining k-groups fail via the dispatch-level fast path.
+                for &(_, i, _, _) in &self.knn_flat[end..] {
+                    self.failures[i] = Some(RecvError::WorkerFailed { shard: 0 });
+                }
+                break;
             }
             g = end;
         }
+    }
+
+    /// Marks every request of `reqs` (range-request bookkeeping triples)
+    /// failed with [`RecvError::WorkerFailed`] on `shard`.
+    fn fail_requests(&mut self, reqs: &[(usize, usize, usize)], shard: usize) {
+        for &(i, ..) in reqs {
+            self.failures[i] = Some(RecvError::WorkerFailed { shard });
+        }
+    }
+
+    /// Transitions the service into the poisoned terminal state: the
+    /// backend could not vouch for its dataset after a write-path panic,
+    /// so admission closes and everything still in flight or queued fails
+    /// fast. The `dead` flag makes racing stragglers classify as
+    /// [`RecvError::WorkerFailed`] rather than a clean shutdown.
+    fn poison(&mut self) {
+        self.poisoned = true;
+        self.shared.dead.store(true, Ordering::Release);
+        self.shared.open.store(false, Ordering::Release);
     }
 
     /// Executes one write run (`pending[lo..hi]`, all `Update`/`Step`):
@@ -539,6 +954,10 @@ impl<B: ServiceBackend> Scheduler<B> {
     fn run_update_batch(&mut self, lo: usize, hi: usize, totals: &mut DispatchTotals) {
         self.updates.clear();
         for (i, env) in self.pending[lo..hi].iter().enumerate() {
+            if self.failures[lo + i].is_some() {
+                continue; // shed at admission: the write never happens, so
+                          // later queries correctly see state without it
+            }
             match &env.request {
                 Request::Update(pairs) => {
                     self.updates
@@ -557,11 +976,45 @@ impl<B: ServiceBackend> Scheduler<B> {
                 _ => unreachable!("update runs only hold write requests"),
             }
         }
-        if !self.updates.is_empty() {
-            let stats = self.backend.update_batch(&self.updates);
-            totals.exec_elapsed_s += stats.elapsed_s;
-            totals.update.add(&stats);
-            totals.update_runs.push(self.updates.len());
+        if self.updates.is_empty() {
+            return;
+        }
+        let call = catch_unwind(AssertUnwindSafe(|| {
+            self.backend.update_batch(&self.updates)
+        }));
+        match call {
+            Ok(report) => {
+                totals.exec_elapsed_s += report.stats.elapsed_s;
+                totals.update.add(&report.stats);
+                totals.update_runs.push(self.updates.len());
+                if let Some(shard) = report.failed {
+                    // Part of the coalesced write died with a shard. Which
+                    // requests' entries landed there is not attributable
+                    // after coalescing, so the whole run fails — the typed
+                    // error tells clients the write *may* be partially
+                    // applied (it is applied on every surviving shard).
+                    for i in lo..hi {
+                        if self.failures[i].is_none() && self.pending[i].request.is_write() {
+                            self.failures[i] = Some(RecvError::WorkerFailed { shard });
+                        }
+                    }
+                }
+            }
+            Err(_) => {
+                totals.sched_panics += 1;
+                for i in lo..hi {
+                    if self.failures[i].is_none() && self.pending[i].request.is_write() {
+                        self.failures[i] = Some(RecvError::WorkerFailed { shard: 0 });
+                    }
+                }
+                // A panic that unwound out of a *write* is only survivable
+                // if the backend can restore index–data consistency
+                // (recovery restores consistency, not the write's
+                // atomicity — the batch may be partially applied).
+                if !self.backend.recover(true) {
+                    self.poison();
+                }
+            }
         }
     }
 }
@@ -603,11 +1056,14 @@ impl SpatialService {
     pub fn spawn<B: ServiceBackend>(backend: B, config: ServiceConfig) -> Self {
         let shared = Arc::new(Shared {
             open: AtomicBool::new(true),
+            dead: AtomicBool::new(false),
             writable: backend.supports_updates(),
+            default_deadline: config.default_deadline,
             queue_depth: AtomicUsize::new(0),
             submitted: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
             max_queue_depth: AtomicUsize::new(0),
+            retries_attempted: AtomicU64::new(0),
             stats: Mutex::new(StatsInner {
                 memory_bytes: backend.memory_bytes(),
                 shard_sizes: backend.shard_sizes(),

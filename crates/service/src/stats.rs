@@ -145,6 +145,26 @@ pub struct ServiceStats {
     /// Elements per backend shard (one entry for unsharded backends);
     /// refreshed after every update application.
     pub shard_sizes: Vec<usize>,
+    /// Panics caught anywhere in the serving path: shard-worker jobs
+    /// supervised inside the backend plus backend panics that unwound to
+    /// the dispatcher and were absorbed there.
+    pub panics_caught: u64,
+    /// Shards successfully rebuilt from the planner's element store after
+    /// a panic.
+    pub shard_restarts: u64,
+    /// Shards declared dead (restart budget exhausted / no rebuild path).
+    pub shards_dead: u64,
+    /// Requests completed with `RecvError::DeadlineExceeded` — shed in the
+    /// queue or expired by completion time.
+    pub deadline_expired: u64,
+    /// Client-side backoff retries taken by `submit_with_retry` across all
+    /// handles.
+    pub retries_attempted: u64,
+    /// Successful range/count responses that skipped dead shards (their
+    /// results are lower bounds over the surviving shards).
+    pub partial_responses: u64,
+    /// Requests completed with `RecvError::WorkerFailed`.
+    pub failed_requests: u64,
 }
 
 impl ServiceStats {
@@ -198,6 +218,16 @@ impl ServiceStats {
             self.updates_skipped,
             self.update_dispatches,
             self.mean_update_batch()
+        ));
+        s.push_str(&format!(
+            "failures: {} panics caught, {} shard restarts, {} shards dead, {} deadline-expired, {} failed, {} partial, {} retries\n",
+            self.panics_caught,
+            self.shard_restarts,
+            self.shards_dead,
+            self.deadline_expired,
+            self.failed_requests,
+            self.partial_responses,
+            self.retries_attempted,
         ));
         s.push_str(&format!(
             "backend: {} bytes, shard sizes {:?}",

@@ -100,9 +100,9 @@ pub mod prelude {
         UpdateStrategyKind,
     };
     pub use simspatial_service::{
-        EngineBackend, IndexUpdater, RebuildUpdater, Request, Response, ServiceBackend,
-        ServiceConfig, ServiceHandle, ServiceStats, ShardedBackend, SpatialService, SubmitError,
-        Ticket,
+        ChaosBackend, EngineBackend, FaultKind, FaultPlan, IndexUpdater, RebuildUpdater, Reply,
+        Request, Response, RetryPolicy, ServiceBackend, ServiceConfig, ServiceHandle, ServiceStats,
+        ShardedBackend, SpatialService, SubmitError, SupervisorPolicy, Ticket,
     };
     pub use simspatial_sim::{
         MaterialWorkload, NBodyWorkload, PlasticityWorkload, ServedSimulation, ServedStepReport,

@@ -1,0 +1,877 @@
+//! Deterministic chaos coverage for the fault-tolerant service.
+//!
+//! Every test drives the service **sequentially** (submit one request,
+//! redeem its ticket, then submit the next) so each request maps to
+//! exactly one backend call and a [`FaultPlan`]'s op indices line up with
+//! request indices — the same plan and the same request stream reproduce
+//! the exact same failures on every run. The properties checked:
+//!
+//! * **No hangs**: every admitted ticket resolves (all redemptions go
+//!   through `recv_deadline` with a generous bound, so a lost completion
+//!   fails the test instead of wedging it).
+//! * **Differential**: requests untouched by dispatcher-level faults
+//!   return responses *byte-identical* to a serial oracle over the same
+//!   surviving write stream; faulted requests fail **typed**
+//!   ([`RecvError::WorkerFailed`]) and their writes are provably not
+//!   applied (the oracle skips them and later reads still agree).
+//! * **Supervision**: a panicked shard worker is quarantined and
+//!   restarted from the planner's element store (telemetry counters match
+//!   the plan); with the restart budget exhausted the shard dies, after
+//!   which range/count degrade to partial coverage
+//!   ([`Reply::shards_skipped`]) and kNN fails typed.
+//! * **Deadlines & retries**: expiry at admission and at completion, all
+//!   four ticket-redemption flavours against a stalled backend, and
+//!   `submit_with_retry` waiting out a full intake queue.
+//! * **Poisoning**: a write panic with no recovery path fails fast — every
+//!   queued and subsequent request completes typed, nothing hangs.
+
+use simspatial::prelude::*;
+use simspatial_service::{BatchReport, RecvError, ServiceBackend, UpdateReport};
+use std::sync::Once;
+use std::time::Duration;
+
+/// Installs a panic hook that silences the *injected* panics (payloads
+/// prefixed `"chaos:"`) so chaos runs don't spray expected backtraces over
+/// the test output. Real panics still print through the default hook.
+fn quiet_panics() {
+    static QUIET: Once = Once::new();
+    QUIET.call_once(|| {
+        let default = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let payload = info.payload();
+            let injected = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.contains("chaos:"))
+                .or_else(|| {
+                    payload
+                        .downcast_ref::<String>()
+                        .map(|s| s.contains("chaos:"))
+                })
+                .unwrap_or(false);
+            if !injected {
+                default(info);
+            }
+        }));
+    });
+}
+
+/// Mixed-size random soup (same recipe as the service stress tests).
+fn soup(n: u32, seed: u32) -> Vec<Element> {
+    (0..n)
+        .map(|i| {
+            let h = (i ^ seed).wrapping_mul(2654435761);
+            let x = (h % 997) as f32 / 10.0;
+            let y = ((h >> 10) % 997) as f32 / 10.0;
+            let z = ((h >> 20) % 997) as f32 / 10.0;
+            let r = if i % 29 == 0 { 4.0 } else { 0.35 };
+            Element::new(i, Shape::Sphere(Sphere::new(Point3::new(x, y, z), r)))
+        })
+        .collect()
+}
+
+fn mix(h: u32) -> u32 {
+    let mut h = h.wrapping_mul(0x9E3779B9) ^ 0xABCD_1234;
+    h ^= h >> 16;
+    h = h.wrapping_mul(0x85EB_CA6B);
+    h ^ (h >> 13)
+}
+
+/// A box covering the whole soup — routes to every shard of a region
+/// decomposition, so each full-coverage request costs each live shard
+/// exactly one worker job (what makes per-shard job sequences predictable).
+fn full_cover() -> Aabb {
+    Aabb::new(
+        Point3::new(-10.0, -10.0, -10.0),
+        Point3::new(120.0, 120.0, 120.0),
+    )
+}
+
+/// A full simulation tick: every element gets a fresh envelope derived from
+/// `h` — the bulk write that makes every shard's update lane non-empty and
+/// forces cross-shard migrations.
+fn step_envelopes(data_len: u32, h: u32) -> Vec<Aabb> {
+    (0..data_len)
+        .map(|id| {
+            let g = mix(id ^ h);
+            let x = (g % 900) as f32 / 10.0;
+            let y = ((g >> 8) % 900) as f32 / 10.0;
+            let z = ((g >> 16) % 900) as f32 / 10.0;
+            Aabb::new(Point3::new(x, y, z), Point3::new(x + 1.0, y + 1.0, z + 1.0))
+        })
+        .collect()
+}
+
+/// Deterministic single-op request stream: every request coalesces into
+/// exactly **one** backend call (kNN requests carry a single `k`, families
+/// never mix), so request index `i` is dispatcher op index `i` and a
+/// [`FaultPlan`] keyed on op indices is keyed on request indices.
+fn chaos_requests(count: u32, data_len: u32, writable: bool, seed: u32) -> Vec<Request> {
+    (0..count)
+        .map(|i| {
+            let h = mix(i.wrapping_mul(31).wrapping_add(seed));
+            let cx = (h % 90) as f32;
+            let cy = ((h >> 8) % 90) as f32;
+            let cz = ((h >> 16) % 90) as f32;
+            let family = if writable { h % 6 } else { h % 3 };
+            match family {
+                0 | 5 => Request::Range(
+                    (0..(h % 3 + 1))
+                        .map(|q| {
+                            let o = q as f32 * 5.0;
+                            Aabb::new(
+                                Point3::new(cx - o, cy, cz),
+                                Point3::new(cx + 8.0, cy + 10.0, cz + 7.0 + o),
+                            )
+                        })
+                        .collect(),
+                ),
+                1 => Request::RangeCount(vec![Aabb::new(
+                    Point3::new(cx, cy, cz),
+                    Point3::new(cx + 18.0, cy + 18.0, cz + 18.0),
+                )]),
+                2 => {
+                    // One k per request: mixed ks would split into one
+                    // backend call per distinct k and desynchronise the op
+                    // indices the plan keys on.
+                    let k = (h >> 20) as usize % 9;
+                    Request::Knn(
+                        (0..(h % 3 + 1))
+                            .map(|q| (Point3::new(cx + q as f32, cy, cz), k))
+                            .collect(),
+                    )
+                }
+                3 => Request::Update(
+                    (0..(h % 4 + 1))
+                        .map(|q| {
+                            let id = h.wrapping_add(q * 77) % data_len;
+                            let bx = ((h >> (q % 8 + 3)) % 90) as f32;
+                            (
+                                id,
+                                Aabb::new(
+                                    Point3::new(bx, cy, cz),
+                                    Point3::new(bx + 1.5, cy + 1.5, cz + 1.5),
+                                ),
+                            )
+                        })
+                        .collect(),
+                ),
+                _ => Request::Step(step_envelopes(data_len, h)),
+            }
+        })
+        .collect()
+}
+
+/// The serial oracle: one request at a time through a caller-owned engine,
+/// applying exactly the writes the service acknowledged.
+trait SerialOracle {
+    fn range(&mut self, qs: &[Aabb]) -> Vec<Vec<ElementId>>;
+    fn knn(&mut self, p: &Point3, k: usize) -> Vec<(ElementId, f32)>;
+    fn apply(&mut self, updates: &[(ElementId, Shape)]);
+}
+
+/// Serial mirror of a sharded backend: the same `ShardedEngine`, driven one
+/// request at a time.
+struct ShardedOracle<I>(ShardedEngine<I>);
+
+impl<I: SpatialIndex + KnnIndex + Send> SerialOracle for ShardedOracle<I> {
+    fn range(&mut self, qs: &[Aabb]) -> Vec<Vec<ElementId>> {
+        let mut out = BatchResults::new();
+        self.0.range_collect(qs, &mut out);
+        (0..qs.len())
+            .map(|q| out.query_results(q).to_vec())
+            .collect()
+    }
+
+    fn knn(&mut self, p: &Point3, k: usize) -> Vec<(ElementId, f32)> {
+        let mut out = KnnBatchResults::new();
+        self.0.knn_collect(&[*p], k, &mut out);
+        out.query_results(0).to_vec()
+    }
+
+    fn apply(&mut self, updates: &[(ElementId, Shape)]) {
+        self.0.update_batch(updates);
+    }
+}
+
+/// Serial mirror of `EngineBackend::build_writable`: owns the data, applies
+/// writes, rebuilds its index.
+struct RebuildOracle<I, F: Fn(&[Element]) -> I> {
+    engine: QueryEngine,
+    data: Vec<Element>,
+    index: I,
+    build: F,
+}
+
+impl<I: SpatialIndex + KnnIndex, F: Fn(&[Element]) -> I> RebuildOracle<I, F> {
+    fn new(data: Vec<Element>, build: F) -> Self {
+        let index = build(&data);
+        Self {
+            engine: QueryEngine::new(),
+            data,
+            index,
+            build,
+        }
+    }
+}
+
+impl<I: SpatialIndex + KnnIndex, F: Fn(&[Element]) -> I> SerialOracle for RebuildOracle<I, F> {
+    fn range(&mut self, qs: &[Aabb]) -> Vec<Vec<ElementId>> {
+        let mut out = BatchResults::new();
+        self.engine
+            .range_collect(&self.index, &self.data, qs, &mut out);
+        (0..qs.len())
+            .map(|q| out.query_results(q).to_vec())
+            .collect()
+    }
+
+    fn knn(&mut self, p: &Point3, k: usize) -> Vec<(ElementId, f32)> {
+        let mut out = KnnBatchResults::new();
+        self.engine
+            .knn_collect(&self.index, &self.data, &[*p], k, &mut out);
+        out.query_results(0).to_vec()
+    }
+
+    fn apply(&mut self, updates: &[(ElementId, Shape)]) {
+        for &(id, shape) in updates {
+            if let Some(e) = self.data.get_mut(id as usize) {
+                e.shape = shape;
+            }
+        }
+        self.index = (self.build)(&self.data);
+    }
+}
+
+fn expected(oracle: &mut dyn SerialOracle, request: &Request) -> Response {
+    match request {
+        Request::Range(qs) => Response::Range(oracle.range(qs)),
+        Request::RangeCount(qs) => Response::RangeCount(
+            oracle
+                .range(qs)
+                .into_iter()
+                .map(|l| l.len() as u64)
+                .collect(),
+        ),
+        Request::Knn(probes) => {
+            Response::Knn(probes.iter().map(|(p, k)| oracle.knn(p, *k)).collect())
+        }
+        Request::Update(pairs) => {
+            let updates: Vec<(ElementId, Shape)> =
+                pairs.iter().map(|&(id, bb)| (id, Shape::Box(bb))).collect();
+            oracle.apply(&updates);
+            Response::Update(pairs.len() as u64)
+        }
+        Request::Step(envs) => {
+            let updates: Vec<(ElementId, Shape)> = envs
+                .iter()
+                .enumerate()
+                .map(|(id, &bb)| (id as ElementId, Shape::Box(bb)))
+                .collect();
+            oracle.apply(&updates);
+            Response::Step(envs.len() as u64)
+        }
+    }
+}
+
+/// Redeems a ticket with a generous bound so a lost completion fails loudly
+/// instead of wedging the test binary — the no-hang assertion every chaos
+/// test makes on every single request.
+fn recv_bounded(ticket: &Ticket, label: &str, op: usize) -> Result<Response, RecvError> {
+    ticket
+        .recv_deadline(Duration::from_secs(30))
+        .unwrap_or_else(|| panic!("{label}: ticket for op {op} hung"))
+}
+
+/// Drives `requests` sequentially through `service` under `plan` and checks
+/// every outcome against the serial oracle: requests whose dispatcher op is
+/// scheduled to panic or lose its response must fail typed (and their
+/// writes stay un-applied — the oracle skips them, so every later read
+/// cross-checks that too); everything else must match the oracle
+/// byte-for-byte. Returns the drained service stats.
+fn drive_differential(
+    service: SpatialService,
+    oracle: &mut dyn SerialOracle,
+    plan: &FaultPlan,
+    requests: &[Request],
+    label: &str,
+) -> ServiceStats {
+    let handle = service.handle();
+    for (op, req) in requests.iter().enumerate() {
+        let ticket = handle
+            .submit(req.clone())
+            .unwrap_or_else(|e| panic!("{label}: submit of op {op} rejected: {e:?}"));
+        let got = recv_bounded(&ticket, label, op);
+        match plan.dispatcher_fault(op as u64) {
+            Some(FaultKind::Panic) | Some(FaultKind::DropResponse) => match got {
+                Err(RecvError::WorkerFailed { .. }) => {}
+                other => panic!("{label}: op {op} should fail typed, got {other:?}"),
+            },
+            _ => {
+                let want = expected(oracle, req);
+                match got {
+                    Ok(resp) => {
+                        assert_eq!(resp, want, "{label}: op {op} diverged from serial oracle")
+                    }
+                    Err(e) => panic!("{label}: op {op} unexpectedly failed: {e}"),
+                }
+            }
+        }
+    }
+    service.shutdown()
+}
+
+/// Dispatcher-level faults on the single-engine backend: panic mid-query,
+/// lost write, panic mid-write, slow call, lost query response — the
+/// service keeps serving, failed requests complete typed, their writes are
+/// not applied, and every surviving response matches the serial oracle.
+#[test]
+fn engine_dispatcher_faults_fail_typed_and_survivors_match_oracle() {
+    quiet_panics();
+    let data = soup(1500, 0xD15E);
+    let build = |d: &[Element]| UniformGrid::build(d, GridConfig::auto(d));
+    let t1 = Aabb::new(Point3::new(2.0, 2.0, 2.0), Point3::new(3.5, 3.5, 3.5));
+    let t4 = Aabb::new(Point3::new(95.0, 95.0, 95.0), Point3::new(96.5, 96.5, 96.5));
+    let requests = vec![
+        Request::Range(vec![full_cover(), t1]),  // op 0: panics
+        Request::Update(vec![(3, t1), (5, t1)]), // op 1: response lost
+        Request::Range(vec![t1]),                // op 2: must NOT see op 1
+        Request::Knn(vec![(Point3::new(40.0, 40.0, 40.0), 4)]), // op 3: delayed
+        Request::Update(vec![(7, t1)]),          // op 4: panics
+        Request::Range(vec![t1]),                // op 5: response lost
+        Request::RangeCount(vec![full_cover()]), // op 6
+        Request::Update(vec![(9, t4)]),          // op 7: applies
+        Request::Range(vec![t4]),                // op 8: must see op 7
+    ];
+    let plan = FaultPlan::new()
+        .panic_at(0)
+        .drop_at(1)
+        .delay_at(3, Duration::from_millis(2))
+        .panic_at(4)
+        .drop_at(5);
+    let backend = ChaosBackend::new(
+        EngineBackend::build_writable(data.clone(), build),
+        plan.clone(),
+    );
+    let mut oracle = RebuildOracle::new(data, build);
+    let stats = drive_differential(
+        SpatialService::spawn(backend, ServiceConfig::default().no_coalesce()),
+        &mut oracle,
+        &plan,
+        &requests,
+        "engine/fixed-plan",
+    );
+    assert_eq!(stats.panics_caught, 2, "both injected panics were caught");
+    assert_eq!(stats.failed_requests, 4, "ops 0, 1, 4, 5 failed typed");
+    assert_eq!(stats.completed, requests.len() as u64, "no ticket was lost");
+    assert_eq!(stats.deadline_expired, 0);
+    assert_eq!(stats.shards_dead, 0);
+}
+
+/// A panicking shard worker is quarantined, restarted from the planner's
+/// element store, and the interrupted read batch is re-run: every response
+/// — including the one whose first attempt panicked — is byte-identical to
+/// the serial oracle, and the telemetry counters equal the plan's.
+#[test]
+fn sharded_worker_panic_restarts_and_matches_oracle() {
+    quiet_panics();
+    let data = soup(2000, 0xABBA);
+    let build = |part: &[Element]| UniformGrid::build(part, GridConfig::auto(part));
+    let engine = ShardedEngine::build(&data, 4, build).with_rebuild(build);
+    let mut oracle = ShardedOracle(ShardedEngine::build(&data, 4, build).with_rebuild(build));
+    // Every request routes one job to every shard (full-coverage reads,
+    // whole-tick writes), so shard 2's job #1 is request #1.
+    let requests = vec![
+        Request::Range(vec![full_cover()]),
+        Request::Range(vec![full_cover()]), // shard 2 panics mid-read here
+        Request::RangeCount(vec![full_cover()]),
+        Request::Step(step_envelopes(2000, 0x7E11)),
+        Request::Range(vec![full_cover()]),
+    ];
+    let plan = FaultPlan::new().panic_on_shard(2, 1);
+    let backend = ChaosBackend::new(ShardedBackend::spawn(engine), plan.clone());
+    let stats = drive_differential(
+        SpatialService::spawn(backend, ServiceConfig::default().no_coalesce()),
+        &mut oracle,
+        &plan,
+        &requests,
+        "sharded/worker-panic",
+    );
+    assert_eq!(
+        stats.panics_caught,
+        plan.planned_panics(),
+        "counters match the plan"
+    );
+    assert_eq!(stats.shard_restarts, 1, "the shard came back");
+    assert_eq!(stats.shards_dead, 0);
+    assert_eq!(stats.failed_requests, 0, "restart + re-run hid the panic");
+    assert_eq!(stats.partial_responses, 0);
+}
+
+/// A worker panic *mid-write* with restart budget left: the shard is
+/// rebuilt from the planner's already-advanced element store, so the
+/// interrupted write is fully applied and every query admitted after it
+/// sees it — the write barrier holds across a restart.
+#[test]
+fn post_restart_writes_stay_barrier_ordered() {
+    quiet_panics();
+    let data = soup(2000, 0xF00D);
+    let build = |part: &[Element]| UniformGrid::build(part, GridConfig::auto(part));
+    let engine = ShardedEngine::build(&data, 4, build).with_rebuild(build);
+    let mut oracle = ShardedOracle(ShardedEngine::build(&data, 4, build).with_rebuild(build));
+    let requests = vec![
+        Request::Range(vec![full_cover()]),
+        Request::Step(step_envelopes(2000, 0xAA01)),
+        Request::Range(vec![full_cover()]),
+        Request::Step(step_envelopes(2000, 0xAA02)), // shard 2 panics mid-write
+        Request::Range(vec![full_cover()]),
+    ];
+    let plan = FaultPlan::new().panic_on_shard(2, 3);
+    let backend = ChaosBackend::new(ShardedBackend::spawn(engine), plan.clone());
+    let stats = drive_differential(
+        SpatialService::spawn(backend, ServiceConfig::default().no_coalesce()),
+        &mut oracle,
+        &plan,
+        &requests,
+        "sharded/write-restart",
+    );
+    assert_eq!(stats.panics_caught, 1);
+    assert_eq!(stats.shard_restarts, 1);
+    assert_eq!(stats.shards_dead, 0);
+    assert_eq!(
+        stats.failed_requests, 0,
+        "the interrupted write still applied in full"
+    );
+    assert!(stats.updates_applied > 0);
+}
+
+/// With the restart budget exhausted the shard dies: range/count queries
+/// degrade to partial coverage (reported per reply and in the stats), kNN
+/// probes that need the dead shard fail typed, and writes keep flowing —
+/// an element moved out of the dead region becomes visible again through
+/// its new live shard.
+#[test]
+fn dead_shard_degrades_reads_and_fails_knn_typed() {
+    quiet_panics();
+    let data = soup(2000, 0xDEAD);
+    let build = |part: &[Element]| UniformGrid::build(part, GridConfig::auto(part));
+    let engine = ShardedEngine::build(&data, 4, build).with_rebuild(build);
+    let mut oracle = ShardedOracle(ShardedEngine::build(&data, 4, build).with_rebuild(build));
+    let plan = FaultPlan::new().panic_on_shard(1, 1);
+    let no_restarts = SupervisorPolicy {
+        max_restarts: 0,
+        ..SupervisorPolicy::default()
+    };
+    let backend = ChaosBackend::new(ShardedBackend::spawn_with(engine, no_restarts), plan);
+    let service = SpatialService::spawn(backend, ServiceConfig::default().no_coalesce());
+    let handle = service.handle();
+    let label = "sharded/dead-shard";
+
+    // Job 0 on every shard: full coverage, byte-identical.
+    let t = handle.submit(Request::Range(vec![full_cover()])).unwrap();
+    let full = expected(&mut oracle, &Request::Range(vec![full_cover()]));
+    let reply = t.recv_reply().expect("healthy read");
+    assert_eq!(reply.response, full);
+    assert_eq!(reply.shards_skipped, 0);
+    let full_ids = match &full {
+        Response::Range(lists) => lists[0].clone(),
+        _ => unreachable!(),
+    };
+
+    // Job 1 kills shard 1; the re-run degrades to the surviving shards.
+    let t = handle.submit(Request::Range(vec![full_cover()])).unwrap();
+    let reply = t.recv_reply().expect("degraded read still completes");
+    assert_eq!(reply.shards_skipped, 1, "one shard's coverage is gone");
+    let got_ids = match &reply.response {
+        Response::Range(lists) => lists[0].clone(),
+        other => panic!("{label}: expected a range response, got {other:?}"),
+    };
+    assert!(
+        got_ids.iter().all(|id| full_ids.contains(id)),
+        "{label}: partial result must be a subset of full coverage"
+    );
+    assert!(
+        got_ids.len() < full_ids.len(),
+        "{label}: the dead shard owned some of the full result"
+    );
+
+    // Counts degrade the same way.
+    let t = handle
+        .submit(Request::RangeCount(vec![full_cover()]))
+        .unwrap();
+    let reply = t.recv_reply().expect("degraded count completes");
+    assert_eq!(reply.shards_skipped, 1);
+    match reply.response {
+        Response::RangeCount(counts) => assert!(
+            counts[0] < full_ids.len() as u64,
+            "{label}: partial count below full coverage"
+        ),
+        other => panic!("{label}: expected a count response, got {other:?}"),
+    }
+
+    // A kNN probe that must consult the dead shard (k = whole dataset
+    // forces the fan-out everywhere) fails typed instead of returning a
+    // silently short neighbour list.
+    let t = handle
+        .submit(Request::Knn(vec![(Point3::new(0.5, 0.5, 0.5), 2000)]))
+        .unwrap();
+    match recv_bounded(&t, label, 3) {
+        Err(RecvError::WorkerFailed { shard }) => assert_eq!(shard, 1),
+        other => panic!("{label}: kNN over a dead shard should fail typed, got {other:?}"),
+    }
+
+    // Writes keep flowing: moving an element into a live shard's region
+    // makes it queryable again through that shard.
+    let target = Aabb::new(Point3::new(0.5, 0.5, 0.5), Point3::new(1.5, 1.5, 1.5));
+    let t = handle.submit(Request::Update(vec![(42, target)])).unwrap();
+    assert!(
+        recv_bounded(&t, label, 4).is_ok(),
+        "write through a degraded backend"
+    );
+    let t = handle.submit(Request::Range(vec![target])).unwrap();
+    let reply = t.recv_reply().expect("read-back completes");
+    assert_eq!(
+        reply.shards_skipped, 0,
+        "the target box never touches the dead region"
+    );
+    match reply.response {
+        Response::Range(lists) => assert!(
+            lists[0].contains(&42),
+            "{label}: the migrated element is visible through its new shard"
+        ),
+        other => panic!("{label}: expected a range response, got {other:?}"),
+    }
+
+    let stats = service.shutdown();
+    assert_eq!(stats.panics_caught, 1);
+    assert_eq!(stats.shard_restarts, 0, "no budget, no restart");
+    assert_eq!(stats.shards_dead, 1);
+    assert!(stats.partial_responses >= 2, "range + count were partial");
+}
+
+/// Randomized chaos differential: a seeded pseudo-random plan (fresh from
+/// `SIMSPATIAL_FAULT_SEED` when set — CI's randomized row — fixed seeds
+/// otherwise) mixing dispatcher panics, lost responses, delays and worker
+/// crashes, against all three serving stacks. Every failure message echoes
+/// the seed, so any red run reproduces locally.
+#[test]
+fn randomized_chaos_differential_across_backends() {
+    quiet_panics();
+    const OPS: u32 = 90;
+    let generous = SupervisorPolicy {
+        max_restarts: 1000,
+        backoff: Duration::from_micros(200),
+        max_backoff: Duration::from_millis(2),
+    };
+    let seeds: Vec<u64> = match FaultPlan::from_env(u64::from(OPS), 4) {
+        Some(plan) => vec![plan.seed()],
+        None => vec![0xC0FFEE, 7, 0x5EED5EED],
+    };
+    for seed in seeds {
+        let data = soup(1200, seed as u32 ^ 0x9E37);
+        let build = |part: &[Element]| UniformGrid::build(part, GridConfig::auto(part));
+
+        // Single-engine backend: dispatcher-level faults only.
+        let plan = FaultPlan::random(seed, u64::from(OPS), 0);
+        let requests = chaos_requests(OPS, 1200, true, seed as u32);
+        let mut oracle = RebuildOracle::new(data.clone(), build);
+        let stats = drive_differential(
+            SpatialService::spawn(
+                ChaosBackend::new(
+                    EngineBackend::build_writable(data.clone(), build),
+                    plan.clone(),
+                ),
+                ServiceConfig::default().no_coalesce(),
+            ),
+            &mut oracle,
+            &plan,
+            &requests,
+            &format!("random/engine SIMSPATIAL_FAULT_SEED={seed}"),
+        );
+        assert_eq!(
+            stats.completed,
+            u64::from(OPS),
+            "seed {seed}: engine lost a ticket"
+        );
+
+        // Sharded backends (uniform slabs and median-cut regions): worker
+        // crashes join the mix; a generous restart budget means every
+        // worker-level panic is absorbed by quarantine + restart and only
+        // dispatcher-level faults surface to clients.
+        let plan = FaultPlan::random(seed, u64::from(OPS), 4);
+        // Dispatcher panics fire deterministically (sequential driving, one
+        // op per request, first fault per op wins); worker panics fire only
+        // if their shard reaches the scheduled job sequence.
+        let dispatcher_panics = (0..u64::from(OPS))
+            .filter(|&op| plan.dispatcher_fault(op) == Some(FaultKind::Panic))
+            .count() as u64;
+        for median in [false, true] {
+            let engine = if median {
+                ShardedEngine::build_median(&data, 4, build).with_rebuild(build)
+            } else {
+                ShardedEngine::build(&data, 4, build).with_rebuild(build)
+            };
+            let oracle_engine = if median {
+                ShardedEngine::build_median(&data, 4, build).with_rebuild(build)
+            } else {
+                ShardedEngine::build(&data, 4, build).with_rebuild(build)
+            };
+            let mut oracle = ShardedOracle(oracle_engine);
+            let label = format!(
+                "random/sharded{} SIMSPATIAL_FAULT_SEED={seed}",
+                if median { "-median" } else { "-uniform" }
+            );
+            let backend = ChaosBackend::new(
+                ShardedBackend::spawn_with(engine, generous.clone()),
+                plan.clone(),
+            );
+            let stats = drive_differential(
+                SpatialService::spawn(backend, ServiceConfig::default().no_coalesce()),
+                &mut oracle,
+                &plan,
+                &requests,
+                &label,
+            );
+            assert_eq!(stats.completed, u64::from(OPS), "{label}: lost a ticket");
+            assert_eq!(stats.shards_dead, 0, "{label}: generous budget, no deaths");
+            assert!(
+                stats.panics_caught >= dispatcher_panics,
+                "{label}: every scheduled dispatcher panic fired"
+            );
+            assert_eq!(
+                stats.shard_restarts,
+                stats.panics_caught - dispatcher_panics,
+                "{label}: every worker panic was absorbed by a restart"
+            );
+        }
+    }
+}
+
+/// Deadlines expire in both places they are checked: a request that goes
+/// stale while queued behind a slow dispatch is shed at admission (the
+/// backend never sees it), and a request whose own backend call outlives
+/// its deadline completes with the same typed error.
+#[test]
+fn deadlines_expire_at_admission_and_completion() {
+    quiet_panics();
+    let data = soup(600, 0x7E57);
+    let build = |d: &[Element]| UniformGrid::build(d, GridConfig::auto(d));
+
+    // Completion-time expiry: the first dispatch itself is slow.
+    let backend = ChaosBackend::new(
+        EngineBackend::build(data.clone(), build),
+        FaultPlan::new().delay_at(0, Duration::from_millis(120)),
+    );
+    let service = SpatialService::spawn(backend, ServiceConfig::default().no_coalesce());
+    let handle = service.handle();
+    let t = handle
+        .submit_with_deadline(
+            Request::Range(vec![full_cover()]),
+            Duration::from_millis(20),
+        )
+        .unwrap();
+    match recv_bounded(&t, "deadline/completion", 0) {
+        Err(RecvError::DeadlineExceeded) => {}
+        other => panic!("slow dispatch should expire the deadline, got {other:?}"),
+    }
+    let stats = service.shutdown();
+    assert_eq!(stats.deadline_expired, 1);
+
+    // Admission-time shed: a fresh request goes stale while the dispatcher
+    // is stuck in the previous (slow) call; it is dropped before the
+    // backend ever sees it. The config-level default deadline applies to
+    // plain submits.
+    let backend = ChaosBackend::new(
+        EngineBackend::build(data, build),
+        FaultPlan::new().delay_at(0, Duration::from_millis(150)),
+    );
+    let config = ServiceConfig::default()
+        .no_coalesce()
+        .with_default_deadline(Duration::from_millis(25));
+    let service = SpatialService::spawn(backend, config);
+    let handle = service.handle();
+    let slow = handle
+        .submit_with_deadline(Request::Range(vec![full_cover()]), Duration::from_secs(10))
+        .unwrap();
+    std::thread::sleep(Duration::from_millis(10)); // let the dispatcher grab `slow`
+    let stale = handle.submit(Request::Range(vec![full_cover()])).unwrap();
+    assert!(recv_bounded(&slow, "deadline/admission", 0).is_ok());
+    match recv_bounded(&stale, "deadline/admission", 1) {
+        Err(RecvError::DeadlineExceeded) => {}
+        other => panic!("queued-stale request should be shed, got {other:?}"),
+    }
+    let stats = service.shutdown();
+    assert_eq!(stats.deadline_expired, 1);
+    // The shed request never reached the backend: only `slow` consumed an op.
+    assert_eq!(stats.completed, 2);
+}
+
+/// All four ticket-redemption flavours against a stalled backend: the
+/// non-blocking probes report "not yet" without consuming the ticket, the
+/// bounded wait times out and later succeeds, and the blocking flavours
+/// deliver response, latency and coverage metadata.
+#[test]
+fn recv_flavours_resolve_against_a_stalled_backend() {
+    quiet_panics();
+    let data = soup(600, 0x51A7);
+    let build = |d: &[Element]| UniformGrid::build(d, GridConfig::auto(d));
+    let backend = ChaosBackend::new(
+        EngineBackend::build(data, build),
+        FaultPlan::new().delay_at(0, Duration::from_millis(150)),
+    );
+    let service = SpatialService::spawn(backend, ServiceConfig::default().no_coalesce());
+    let handle = service.handle();
+
+    // Stalled: the probe flavours observe "pending", the ticket survives.
+    let t = handle.submit(Request::Range(vec![full_cover()])).unwrap();
+    assert!(t.try_recv().is_none(), "stalled ticket is still pending");
+    assert!(
+        t.recv_deadline(Duration::from_millis(10)).is_none(),
+        "bounded wait times out while the backend stalls"
+    );
+    let got = t
+        .recv_deadline(Duration::from_secs(30))
+        .expect("stall ends well before the bound");
+    assert!(got.is_ok());
+
+    // Healthy: the consuming flavours deliver the metadata variants.
+    let t = handle.submit(Request::Range(vec![full_cover()])).unwrap();
+    let (resp, latency) = t.recv_timed().expect("timed recv completes");
+    assert!(matches!(resp, Response::Range(_)));
+    assert!(latency > Duration::ZERO);
+    let t = handle.submit(Request::Range(vec![full_cover()])).unwrap();
+    let reply = t.recv_reply().expect("reply recv completes");
+    assert_eq!(reply.shards_skipped, 0);
+    let t = handle.submit(Request::Range(vec![full_cover()])).unwrap();
+    assert!(t.recv().is_ok());
+    service.shutdown();
+}
+
+/// `submit_with_retry` waits out a full intake queue with jittered backoff
+/// instead of failing fast, and the attempts are counted. Only the
+/// pre-admission `Full` rejection is retried — which is why this is safe
+/// for writes too.
+#[test]
+fn submit_with_retry_waits_out_a_full_queue() {
+    quiet_panics();
+    let data = soup(600, 0xF011);
+    let build = |d: &[Element]| UniformGrid::build(d, GridConfig::auto(d));
+    let backend = ChaosBackend::new(
+        EngineBackend::build(data, build),
+        FaultPlan::new().delay_at(0, Duration::from_millis(120)),
+    );
+    let config = ServiceConfig::default().no_coalesce().with_queue_cap(1);
+    let service = SpatialService::spawn(backend, config);
+    let handle = service.handle();
+
+    // Wedge the dispatcher in the slow op, then fill the 1-slot queue.
+    let slow = handle.submit(Request::Range(vec![full_cover()])).unwrap();
+    // Let the dispatcher pick `slow` up before filling the queue, so the
+    // retrying submit below observes `Full` for the rest of the stall (and
+    // the retry counter provably moves).
+    std::thread::sleep(Duration::from_millis(20));
+    let mut queued = Vec::new();
+    for attempt in 0.. {
+        assert!(attempt < 1000, "queue never filled");
+        match handle.try_submit(Request::Range(vec![full_cover()])) {
+            Ok(t) => queued.push(t),
+            Err(SubmitError::Full(_)) => break,
+            Err(e) => panic!("unexpected rejection: {e:?}"),
+        }
+    }
+
+    // A plain try_submit bounces; the retrying submit rides out the stall.
+    let policy = RetryPolicy {
+        max_retries: 400,
+        base_backoff: Duration::from_millis(1),
+        max_backoff: Duration::from_millis(4),
+        jitter_seed: 0xFA11,
+    };
+    let t = handle
+        .submit_with_retry(Request::Range(vec![full_cover()]), &policy)
+        .expect("retries outlast the stall");
+    assert!(recv_bounded(&slow, "retry/full", 0).is_ok());
+    for (i, t) in queued.iter().enumerate() {
+        assert!(recv_bounded(t, "retry/full", 1 + i).is_ok());
+    }
+    assert!(recv_bounded(&t, "retry/full", 99).is_ok());
+    let stats = service.shutdown();
+    assert!(
+        stats.retries_attempted >= 1,
+        "the backoff path actually ran"
+    );
+}
+
+/// A backend whose queries work but whose write path panics *inside* the
+/// inner backend with no recovery override: the trait-default `recover`
+/// refuses to vouch for a torn write, so the service poisons itself —
+/// every in-flight and subsequent request completes typed, nothing hangs.
+struct TornWriteBackend {
+    inner: EngineBackend<UniformGrid>,
+}
+
+impl ServiceBackend for TornWriteBackend {
+    fn range_batch(&mut self, queries: &[Aabb], out: &mut BatchResults) -> BatchReport {
+        self.inner.range_batch(queries, out)
+    }
+
+    fn knn_batch(&mut self, points: &[Point3], k: usize, out: &mut KnnBatchResults) -> BatchReport {
+        self.inner.knn_batch(points, k, out)
+    }
+
+    fn update_batch(&mut self, _updates: &[(ElementId, Shape)]) -> UpdateReport {
+        panic!("chaos: torn write without a recovery path");
+    }
+
+    fn supports_updates(&self) -> bool {
+        true
+    }
+
+    // `recover` deliberately left at the trait default: `false` after a
+    // write panic — the poisoning path under test.
+
+    fn memory_bytes(&self) -> usize {
+        self.inner.memory_bytes()
+    }
+
+    fn shard_sizes(&self) -> Vec<usize> {
+        self.inner.shard_sizes()
+    }
+}
+
+#[test]
+fn unrecovered_write_panic_poisons_the_service() {
+    quiet_panics();
+    let data = soup(600, 0xBAD);
+    let build = |d: &[Element]| UniformGrid::build(d, GridConfig::auto(d));
+    let backend = TornWriteBackend {
+        inner: EngineBackend::build(data, build),
+    };
+    let service = SpatialService::spawn(backend, ServiceConfig::default());
+    let handle = service.handle();
+
+    // Pipeline a write and a read behind it, then redeem both: the write
+    // panics, recovery refuses, and the queued read fails fast instead of
+    // touching a possibly-torn backend.
+    let target = Aabb::new(Point3::new(1.0, 1.0, 1.0), Point3::new(2.0, 2.0, 2.0));
+    let w = handle.submit(Request::Update(vec![(3, target)])).unwrap();
+    let r = handle.submit(Request::Range(vec![full_cover()])).unwrap();
+    match recv_bounded(&w, "poison", 0) {
+        Err(RecvError::WorkerFailed { .. }) => {}
+        other => panic!("torn write should fail typed, got {other:?}"),
+    }
+    match recv_bounded(&r, "poison", 1) {
+        Err(RecvError::WorkerFailed { .. }) => {}
+        other => panic!("request behind the poison barrier should fail typed, got {other:?}"),
+    }
+
+    // The poisoned service closes its intake; new submissions are rejected
+    // cleanly rather than queued into a void.
+    assert!(!handle.is_open(), "poisoning closes the intake");
+    assert!(matches!(
+        handle.submit(Request::Range(vec![full_cover()])),
+        Err(SubmitError::ShutDown(_))
+    ));
+
+    let stats = service.shutdown();
+    assert_eq!(stats.panics_caught, 1);
+    assert!(stats.failed_requests >= 2);
+}

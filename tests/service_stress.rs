@@ -18,7 +18,7 @@
 
 use simspatial::prelude::*;
 use simspatial_geom::QueryScratch;
-use simspatial_service::{RecvError, ServiceBackend};
+use simspatial_service::{BatchReport, RecvError, ServiceBackend, UpdateReport};
 use std::sync::mpsc;
 use std::time::Duration;
 
@@ -391,17 +391,17 @@ impl<B: ServiceBackend> GatedBackend<B> {
 }
 
 impl<B: ServiceBackend> ServiceBackend for GatedBackend<B> {
-    fn range_batch(&mut self, queries: &[Aabb], out: &mut BatchResults) -> QueryStats {
+    fn range_batch(&mut self, queries: &[Aabb], out: &mut BatchResults) -> BatchReport {
         self.wait_gate();
         self.inner.range_batch(queries, out)
     }
 
-    fn knn_batch(&mut self, points: &[Point3], k: usize, out: &mut KnnBatchResults) -> QueryStats {
+    fn knn_batch(&mut self, points: &[Point3], k: usize, out: &mut KnnBatchResults) -> BatchReport {
         self.wait_gate();
         self.inner.knn_batch(points, k, out)
     }
 
-    fn update_batch(&mut self, updates: &[(ElementId, Shape)]) -> UpdateStats {
+    fn update_batch(&mut self, updates: &[(ElementId, Shape)]) -> UpdateReport {
         self.wait_gate();
         self.inner.update_batch(updates)
     }
