@@ -76,20 +76,40 @@ fn emit_json(fx: &Fixture) -> BenchJson {
     // 1. Raw kernel: scalar AoS loop vs batched SoA mask.
     let soa = SoaAabbs::from_entries(&fx.entries);
     let query = fx.queries[0];
-    let scalar = time_per_call(|| {
-        let mut hits = 0usize;
-        for (b, _) in &fx.entries {
-            if b.intersects(&query) {
-                hits += 1;
-            }
-        }
-        hits
-    });
     let mut mask = Vec::new();
-    let batched = time_per_call(|| {
-        soa.intersect_mask(&query, &mut mask);
-        mask.iter().map(|w| w.count_ones()).sum::<u32>()
-    });
+    let measure_kernel = |mask: &mut Vec<u64>| {
+        let scalar = time_per_call(|| {
+            let mut hits = 0usize;
+            for (b, _) in &fx.entries {
+                if b.intersects(&query) {
+                    hits += 1;
+                }
+            }
+            hits
+        });
+        let batched = time_per_call(|| {
+            soa.intersect_mask(&query, mask);
+            mask.iter().map(|w| w.count_ones()).sum::<u32>()
+        });
+        (scalar, batched)
+    };
+    let (mut scalar, mut batched) = measure_kernel(&mut mask);
+    // With the explicit SIMD kernels active, the SoA mask must beat the
+    // scalar AoS loop — the movemask lanes replace the seed's per-element
+    // byte-pack fold, which is what had dragged this row below 1.0×. One
+    // grace re-measure absorbs shared-host scheduler outliers.
+    let simd_active = cfg!(feature = "simd")
+        && simspatial_geom::simd::level() != simspatial_geom::simd::SimdLevel::Scalar;
+    if simd_active && batched > scalar {
+        (scalar, batched) = measure_kernel(&mut mask);
+        assert!(
+            batched <= scalar,
+            "SIMD intersect kernel slower than the scalar loop: \
+             {:.0} boxes/s vs {:.0} boxes/s",
+            n / batched,
+            n / scalar,
+        );
+    }
     json.add("aabb_intersect_kernel", "boxes/s", n / scalar, n / batched);
 
     // Sanity: identical verdicts.
@@ -136,6 +156,24 @@ fn emit_json(fx: &Fixture) -> BenchJson {
         time_per_call(|| RTree::bulk_load_entries_reference(fx.entries.clone(), config).len());
     let after = time_per_call(|| RTree::bulk_load_entries(fx.entries.clone(), config).len());
     json.add("rtree_bulk_load", "elements/s", n / before, n / after);
+
+    // 4. Thread sweep over the parallel STR tiling: `before` is always the
+    // 1-thread wall clock, `after` the row's thread count (stamped in the
+    // JSON). On a single-core host the sweep records honest ~1.0× rows.
+    let old_threads = simspatial_geom::parallel::num_threads();
+    simspatial_geom::parallel::set_num_threads(1);
+    let t1 = time_per_call(|| RTree::bulk_load_entries(fx.entries.clone(), config).len());
+    for threads in [1usize, 2, 4] {
+        simspatial_geom::parallel::set_num_threads(threads);
+        let tn = time_per_call(|| RTree::bulk_load_entries(fx.entries.clone(), config).len());
+        json.add(
+            &format!("rtree_bulk_load_t{threads}"),
+            "elements/s",
+            n / t1,
+            n / tn,
+        );
+    }
+    simspatial_geom::parallel::set_num_threads(old_threads);
 
     json
 }

@@ -168,7 +168,38 @@ fn emit_json(fx: &Fixture) -> BenchJson {
         CrTree::build(part, CrTreeConfig::default())
     });
     measure_shard_balance(&mut json);
+    measure_thread_sweep(&mut json, fx);
     json
+}
+
+/// Pool-worker thread sweep over the 4-shard batched-kNN path: `before`
+/// is always the 1-thread wall clock, `after` the row's thread count
+/// (stamped in the JSON by `BenchJson::add`). On a single-core host the
+/// sweep records honest ~1.0× rows; on multicore it shows shard fan-out
+/// scaling.
+fn measure_thread_sweep(json: &mut BenchJson, fx: &Fixture) {
+    let grid = |part: &[Element]| {
+        UniformGrid::build(
+            part,
+            GridConfig::with_cell_side(GridConfig::auto(part).cell_side, GridPlacement::Replicate),
+        )
+    };
+    let mut four = ShardedEngine::build(&fx.elements, 4, grid);
+    let mut results = KnnBatchResults::new();
+    let old_threads = simspatial_geom::parallel::num_threads();
+    simspatial_geom::parallel::set_num_threads(1);
+    let t1 = time_per_call(|| four.knn_collect(&fx.points, K, &mut results).results);
+    for threads in [1usize, 2, 4] {
+        simspatial_geom::parallel::set_num_threads(threads);
+        let tn = time_per_call(|| four.knn_collect(&fx.points, K, &mut results).results);
+        json.add(
+            &format!("grid_knn_shard4_t{threads}"),
+            "knn_batches/s",
+            1.0 / t1,
+            1.0 / tn,
+        );
+    }
+    simspatial_geom::parallel::set_num_threads(old_threads);
 }
 
 /// Uniform vs median-cut shard splits on a *clustered* (skewed) dataset:

@@ -31,7 +31,7 @@ use simspatial_bench::datasets::neuron_dataset;
 use simspatial_bench::report::BenchJson;
 use simspatial_bench::Scale;
 use simspatial_datagen::QueryWorkload;
-use simspatial_geom::{Element, Point3};
+use simspatial_geom::{parallel, Element, Point3};
 use simspatial_index::{GridConfig, RTree, RTreeConfig, ShardedEngine, UniformGrid};
 use simspatial_service::{
     ChaosBackend, EngineBackend, FaultPlan, Request, ServiceBackend, ServiceConfig, ShardedBackend,
@@ -269,6 +269,45 @@ fn emit_json(fx: &Fixture) -> BenchJson {
         "fault-free supervision overhead exceeds 5%: bare {bare:.0} req/s vs supervised {wrapped:.0} req/s"
     );
     json.add("svc_supervised_fault_free", "requests/s", bare, wrapped);
+    // Pool-worker thread sweep: the sharded range path and the
+    // 25 %-updates mix at 1/2/4 pool workers (4 shards, coalescing on,
+    // 4 producers). `before` is always the 1-worker throughput; the row's
+    // own worker count is stamped into the JSON by `BenchJson::add`. On a
+    // single-core host these record honest ~1.0× rows; on multicore they
+    // show the work-stealing pool's scale-up.
+    let old_threads = parallel::num_threads();
+    parallel::set_num_threads(1);
+    let range_t1 = measure(|| sharded_backend(&fx.elements), true, 4, &fx.range_pool);
+    let mixed_pool = &fx.mixed_pools[1].1;
+    let mixed_t1 = measure(
+        || writable_sharded_backend(&fx.elements, 4),
+        true,
+        4,
+        mixed_pool,
+    );
+    for threads in [1usize, 2, 4] {
+        parallel::set_num_threads(threads);
+        let range_tn = measure(|| sharded_backend(&fx.elements), true, 4, &fx.range_pool);
+        json.add(
+            &format!("svc_sharded_range_t{threads}"),
+            "requests/s",
+            range_t1,
+            range_tn,
+        );
+        let mixed_tn = measure(
+            || writable_sharded_backend(&fx.elements, 4),
+            true,
+            4,
+            mixed_pool,
+        );
+        json.add(
+            &format!("svc_mixed_f25_t{threads}"),
+            "requests/s",
+            mixed_t1,
+            mixed_tn,
+        );
+    }
+    parallel::set_num_threads(old_threads);
     json
 }
 

@@ -69,6 +69,10 @@ struct JsonEntry {
     unit: String,
     before: f64,
     after: f64,
+    /// Worker thread count active when the row was measured (captured
+    /// from `simspatial_geom::parallel::num_threads()` at `add` time, so
+    /// thread-sweep rows are self-describing).
+    threads: usize,
 }
 
 impl BenchJson {
@@ -81,13 +85,16 @@ impl BenchJson {
     }
 
     /// Records one before/after throughput comparison (higher is better;
-    /// `unit` describes the throughput unit, e.g. `"elements/s"`).
+    /// `unit` describes the throughput unit, e.g. `"elements/s"`). The
+    /// row stamps the thread count active at the `after` measurement, so
+    /// record the row while any `set_num_threads` override is in effect.
     pub fn add(&mut self, name: &str, unit: &str, before: f64, after: f64) -> &mut Self {
         self.entries.push(JsonEntry {
             name: name.to_string(),
             unit: unit.to_string(),
             before,
             after,
+            threads: simspatial_geom::parallel::num_threads(),
         });
         self
     }
@@ -109,9 +116,10 @@ impl BenchJson {
             let comma = if i + 1 < self.entries.len() { "," } else { "" };
             let _ = writeln!(
                 out,
-                "    {{\"name\": {}, \"unit\": {}, \"before\": {}, \"after\": {}, \"speedup\": {}}}{comma}",
+                "    {{\"name\": {}, \"unit\": {}, \"threads\": {}, \"before\": {}, \"after\": {}, \"speedup\": {}}}{comma}",
                 json_string(&e.name),
                 json_string(&e.unit),
+                e.threads,
                 json_number(e.before),
                 json_number(e.after),
                 json_number(e.after / e.before),
@@ -192,6 +200,10 @@ mod tests {
         let s = j.to_json();
         assert!(s.contains("\"benchmark\": \"batch_kernel\""));
         assert!(s.contains("\"speedup\": 2.500"));
+        assert!(s.contains(&format!(
+            "\"threads\": {}",
+            simspatial_geom::parallel::num_threads()
+        )));
         assert!(s.contains("\\\"quotes\\\""));
         assert_eq!(j.speedup("range_query"), Some(2.5));
         assert_eq!(j.speedup("missing"), None);

@@ -30,6 +30,9 @@
 //! * [`scratch`] — reusable per-thread query buffers ([`QueryScratch`]) and
 //!   the generation-stamped [`scratch::VisitedTable`], making the repeat
 //!   query path allocation-free.
+//! * [`simd`] — explicit `std::arch` backends for the batch kernels
+//!   (x86_64 SSE2/AVX2 behind the `simd` cargo feature, runtime-detected,
+//!   bit-identical to the scalar paths).
 //! * [`parallel`] — slice-parallel build helpers over scoped threads.
 //! * [`stats`] — thread-local instrumentation counters.
 //!
@@ -55,6 +58,7 @@ mod point;
 pub mod predicates;
 pub mod scratch;
 mod shape;
+pub mod simd;
 pub mod soa;
 mod sphere;
 pub mod stats;

@@ -14,9 +14,10 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+static CACHED: AtomicUsize = AtomicUsize::new(0);
+
 /// The number of worker threads parallel helpers will use.
 pub fn num_threads() -> usize {
-    static CACHED: AtomicUsize = AtomicUsize::new(0);
     let cached = CACHED.load(Ordering::Relaxed);
     if cached != 0 {
         return cached;
@@ -32,6 +33,14 @@ pub fn num_threads() -> usize {
         });
     CACHED.store(n, Ordering::Relaxed);
     n
+}
+
+/// Overrides the thread count for every subsequent parallel helper call
+/// (and the sharded-backend worker pool), bypassing `SIMSPATIAL_THREADS`.
+/// The bench thread sweeps use this to measure 1/2/4-thread rows inside
+/// one process; `n` is clamped to at least 1.
+pub fn set_num_threads(n: usize) {
+    CACHED.store(n.max(1), Ordering::Relaxed);
 }
 
 /// Maps disjoint chunks of `items` through `f` on worker threads, returning

@@ -8,22 +8,31 @@
 //!   (but often fastest single-core) deployment.
 //! * [`ShardedBackend`] — a [`ShardedEngine`] split into its
 //!   [`ShardPlanner`] and per-shard
-//!   [`ShardExecutor`](simspatial_index::ShardExecutor)s, each executor
-//!   pinned to a **persistent worker thread**. The dispatcher routes each
-//!   batch into per-shard lanes, ships lanes over channels, and merges the
-//!   returned lanes through the planner's deduplicating sinks — so shard
-//!   execution overlaps across cores while results stay byte-identical to
-//!   a serial [`ShardedEngine`] run.
+//!   [`ShardExecutor`](simspatial_index::ShardExecutor)s, executed on a
+//!   **work-stealing worker pool**. The dispatcher routes each batch into
+//!   per-shard lanes and scatters them as stealable jobs: each pool worker
+//!   owns a local deque (a shard's jobs land on its owner's queue) and
+//!   steals the oldest job from a sibling when its own queue drains, so an
+//!   uneven shard split no longer leaves workers idle. Results stay
+//!   byte-identical to a serial [`ShardedEngine`] run: routing, execution
+//!   plans and the deduplicating merges are the exact same code — only
+//!   *where* each shard's sub-batch runs changes.
+//!
+//! The pool is sized `min(parallel::num_threads(), shard count)` at spawn,
+//! so `SIMSPATIAL_THREADS=1` (or a single-core host) degrades to one
+//! worker without cross-thread ping-pong, and a backend never spawns more
+//! threads than it has shards to run.
 
 use crate::fault::FaultKind;
-use simspatial_geom::{Aabb, Element, ElementId, Point3, Shape};
+use simspatial_geom::{parallel, Aabb, Element, ElementId, Point3, Shape};
 use simspatial_index::{
     BatchResults, KnnBatchResults, KnnIndex, KnnLane, QueryEngine, QueryStats, RangeLane,
     ShardExecutor, ShardPlanner, ShardedEngine, SpatialIndex, UpdateLane, UpdateStats,
 };
+use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{mpsc, Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -83,8 +92,9 @@ impl From<UpdateStats> for UpdateReport {
 }
 
 /// Cumulative failure counters a backend exposes to the service stats:
-/// what the supervision layer caught, repaired, and gave up on.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+/// what the supervision layer caught, repaired, and gave up on — plus the
+/// worker-pool utilisation gauges that make load imbalance observable.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct BackendTelemetry {
     /// Panics caught on backend worker threads (shard-worker jobs).
     pub panics_caught: u64,
@@ -95,6 +105,12 @@ pub struct BackendTelemetry {
     /// available. Dead shards are skipped by queries (range/count degrade
     /// to partial coverage; kNN fails typed) and never resurrect.
     pub shards_dead: u64,
+    /// Pool jobs executed by a worker other than the owner of the queue
+    /// they were scattered to — the work-stealing rebalance counter.
+    pub worker_steals: u64,
+    /// Per-pool-worker cumulative busy time (nanoseconds spent executing
+    /// shard jobs). Empty for backends without a worker pool.
+    pub worker_busy_ns: Vec<u64>,
 }
 
 /// Restart discipline for supervised shard workers: how many times a shard
@@ -122,6 +138,78 @@ impl Default for SupervisorPolicy {
     }
 }
 
+/// One coalesced **query run** of a dispatch: the maximal run of query
+/// requests between two write barriers, flattened into the coalesced range
+/// batch plus one kNN batch per distinct `k`. Built by the scheduler,
+/// executed in one call through [`ServiceBackend::query_run`] — which is
+/// what lets a backend run the independent sub-batches concurrently.
+#[derive(Debug, Default)]
+pub struct QueryRun {
+    /// Every range/count box of the run, in admission order.
+    pub range: Vec<Aabb>,
+    /// Per-`k` probe groups, ascending by `k`, probes in admission order
+    /// within each group.
+    pub knn: Vec<(usize, Vec<Point3>)>,
+}
+
+impl QueryRun {
+    /// True when the run carries no work at all.
+    pub fn is_empty(&self) -> bool {
+        self.range.is_empty() && self.knn.is_empty()
+    }
+}
+
+/// Result buffers for one [`QueryRun`]; the scheduler reuses one across
+/// dispatches so the buffers recycle.
+#[derive(Debug, Default)]
+pub struct QueryRunResults {
+    /// Results of the range sub-batch (one id list per box).
+    pub range: BatchResults,
+    /// One result set per kNN group, index-aligned with [`QueryRun::knn`]
+    /// (surplus buffers from wider earlier runs are left in place).
+    pub knn: Vec<KnnBatchResults>,
+}
+
+impl QueryRunResults {
+    /// Grows the per-group kNN buffer list to at least `groups` entries.
+    pub fn ensure_knn(&mut self, groups: usize) {
+        while self.knn.len() < groups {
+            self.knn.push(KnnBatchResults::new());
+        }
+    }
+}
+
+/// What happened to one sub-batch of an executed [`QueryRun`].
+#[derive(Debug, Clone)]
+pub enum SubBatchOutcome {
+    /// The sub-batch executed and reported. (Its results may still be
+    /// arity-mismatched under fault injection — the scheduler validates
+    /// result counts before trusting them.)
+    Ran(BatchReport),
+    /// The backend call panicked; the panic was caught and the backend
+    /// recovered, so later sub-batches still ran.
+    Panicked,
+    /// Not executed: an earlier sub-batch panicked and the backend could
+    /// not vouch for its state ([`QueryRunReport::poisoned`] is set).
+    Skipped,
+}
+
+/// The per-sub-batch outcomes of one [`ServiceBackend::query_run`] call.
+#[derive(Debug, Clone, Default)]
+pub struct QueryRunReport {
+    /// Outcome of the range sub-batch; `None` when the run had no boxes.
+    pub range: Option<SubBatchOutcome>,
+    /// Outcome per kNN group, index-aligned with [`QueryRun::knn`].
+    pub knn: Vec<SubBatchOutcome>,
+    /// Panics caught inside the run (the scheduler folds these into its
+    /// `panics_caught` accounting).
+    pub panics: u64,
+    /// Set when a panic occurred and [`ServiceBackend::recover`] returned
+    /// `false`: the backend state is unknown and the scheduler must poison
+    /// the service.
+    pub poisoned: bool,
+}
+
 /// A batch execution target for the service scheduler.
 ///
 /// Contract mirrors the engine layer: `range_batch` fills one id list per
@@ -142,6 +230,62 @@ pub trait ServiceBackend: Send + 'static {
     /// Executes one coalesced kNN batch at a single `k` (same report
     /// contract as [`ServiceBackend::range_batch`]).
     fn knn_batch(&mut self, points: &[Point3], k: usize, out: &mut KnnBatchResults) -> BatchReport;
+
+    /// Executes one whole [`QueryRun`] — the independent sub-batches
+    /// (range + one kNN batch per `k`) between two write barriers.
+    ///
+    /// The default runs them **sequentially** in the canonical order
+    /// (range first, then kNN groups ascending by `k`), each under
+    /// `catch_unwind` with the same panic/recover discipline the scheduler
+    /// used to apply per call — so existing backends (and the chaos
+    /// wrapper, whose fault schedule is keyed by backend-call index in
+    /// exactly this order) behave identically. [`ShardedBackend`]
+    /// overrides it to scatter **all** sub-batches' shard lanes onto its
+    /// worker pool at once, overlapping independent sub-batches across
+    /// cores while keeping results byte-identical to the sequential order
+    /// (the per-sub-batch merges are deterministic and unordered between
+    /// independent sub-batches).
+    fn query_run(&mut self, run: &QueryRun, out: &mut QueryRunResults) -> QueryRunReport {
+        out.ensure_knn(run.knn.len());
+        let mut report = QueryRunReport::default();
+        let mut aborted = false;
+        if !run.range.is_empty() {
+            let call = catch_unwind(AssertUnwindSafe(|| {
+                self.range_batch(&run.range, &mut out.range)
+            }));
+            report.range = Some(match call {
+                Ok(r) => SubBatchOutcome::Ran(r),
+                Err(_) => {
+                    report.panics += 1;
+                    if !self.recover(false) {
+                        report.poisoned = true;
+                        aborted = true;
+                    }
+                    SubBatchOutcome::Panicked
+                }
+            });
+        }
+        for (g, (k, points)) in run.knn.iter().enumerate() {
+            if aborted {
+                report.knn.push(SubBatchOutcome::Skipped);
+                continue;
+            }
+            let out_g = &mut out.knn[g];
+            let call = catch_unwind(AssertUnwindSafe(|| self.knn_batch(points, *k, out_g)));
+            report.knn.push(match call {
+                Ok(r) => SubBatchOutcome::Ran(r),
+                Err(_) => {
+                    report.panics += 1;
+                    if !self.recover(false) {
+                        report.poisoned = true;
+                        aborted = true;
+                    }
+                    SubBatchOutcome::Panicked
+                }
+            });
+        }
+        report
+    }
 
     /// Applies one coalesced write batch: each `(id, shape)` entry replaces
     /// that element's geometry (duplicate ids resolve last-write-wins).
@@ -414,136 +558,293 @@ enum Job {
     Update(UpdateLane),
 }
 
-/// What a shard worker sends back per job: the lane (results filled on
-/// success, torn on panic — the gather never uses a panicked lane's
-/// contents) and whether the job panicked. A worker always reports, even
-/// for a job it failed — that is the no-hang guarantee: the gather's
-/// `recv` is matched by exactly one `WorkerDone` per job sent.
+/// What a pool worker sends back per job: which shard it ran on, the tag
+/// the scatter phase attached (e.g. the kNN group index, so the gather can
+/// route the lane home), the lane (results filled on success, torn on
+/// panic — the gather never uses a panicked lane's contents) and whether
+/// the job panicked. A worker always reports, even for a job it failed —
+/// that is the no-hang guarantee: the gather's `recv` is matched by
+/// exactly one `WorkerDone` per job scattered.
 struct WorkerDone {
+    shard: usize,
+    tag: usize,
     job: Job,
     panicked: bool,
 }
 
-/// A shard's scheduled worker-level faults, shared between the backend
-/// (installation) and the worker thread (lookup). Survives worker
-/// restarts, as does the job sequence counter, so a fault schedule spans
-/// worker incarnations deterministically.
-type WorkerFaults = Arc<Mutex<Vec<(u64, FaultKind)>>>;
-
-struct ShardWorker {
-    /// `None` after shutdown — dropping the sender ends the worker loop.
-    job_tx: Option<mpsc::Sender<Job>>,
-    done_rx: mpsc::Receiver<WorkerDone>,
-    thread: Option<JoinHandle<()>>,
+/// A job travelling through the worker pool: the shard whose executor must
+/// run it, the scatter phase's routing tag, and the lane itself.
+struct PoolJob {
+    shard: usize,
+    tag: usize,
+    job: Job,
 }
 
-impl ShardWorker {
-    /// Ships a job; hands it back if the worker thread is already gone
-    /// (the caller treats that as a panicked shard). The `Err` variant
-    /// deliberately carries the whole job so the lane can restore it for
-    /// the restart retry — boxing would defeat the buffer recycling.
-    #[allow(clippy::result_large_err)]
-    fn send(&self, job: Job) -> Result<(), Job> {
-        self.job_tx
-            .as_ref()
-            .expect("backend already shut down")
-            .send(job)
-            .map_err(|mpsc::SendError(job)| job)
+/// A shard's scheduled worker-level faults, shared between the backend
+/// (installation) and the pool workers (lookup). Survives shard restarts,
+/// as does the job sequence counter, so a fault schedule spans executor
+/// incarnations deterministically.
+type WorkerFaults = Arc<Mutex<Vec<(u64, FaultKind)>>>;
+
+/// The type-erased per-shard execution closure a pool worker calls: owns
+/// the shard's [`ShardExecutor`] and runs any lane variant against it.
+type ShardRunner = Box<dyn FnMut(&mut Job) + Send>;
+
+/// The per-shard executor slots, shared between the backend (supervision:
+/// rebuild, declare dead) and the pool workers (execution). `None` marks a
+/// torn executor — a job panicked inside it and only a supervisor rebuild
+/// from the planner's retained element store may bring the shard back.
+/// The slot mutex also serialises same-shard jobs when a scatter put more
+/// than one in flight (independent sub-batches of one query run).
+type RunnerSlots = Arc<Vec<Mutex<Option<ShardRunner>>>>;
+
+fn lock_slot(slot: &Mutex<Option<ShardRunner>>) -> std::sync::MutexGuard<'_, Option<ShardRunner>> {
+    // A panic can never unwind while the guard is held (job panics are
+    // caught inside), but stay robust against poisoning anyway.
+    slot.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Wraps one shard executor into its type-erased pool runner.
+fn make_runner<I: SpatialIndex + KnnIndex + Send + 'static>(
+    mut exec: ShardExecutor<I>,
+) -> ShardRunner {
+    Box::new(move |job: &mut Job| match job {
+        Job::Range(lane) => lane.run(&mut exec),
+        Job::Knn(lane) => lane.run(&mut exec),
+        Job::Update(lane) => lane.run(&mut exec),
+    })
+}
+
+/// The deque state of the worker pool, under one mutex: cheap to lock
+/// (queue operations only — jobs execute outside it) and simple to reason
+/// about, which is what the byte-identical guarantee rides on.
+struct PoolState {
+    /// One local deque per pool worker. A shard's jobs are scattered onto
+    /// queue `shard % workers`; the owner pops its **front**, thieves pop
+    /// other queues' **backs** — stolen work is the oldest queued, which
+    /// keeps a queue's jobs flowing roughly in scatter order.
+    queues: Vec<VecDeque<PoolJob>>,
+    shutdown: bool,
+}
+
+/// Everything the pool workers share with the backend.
+struct PoolShared {
+    state: Mutex<PoolState>,
+    work_available: Condvar,
+    /// Jobs executed by a worker other than their queue's owner.
+    steals: AtomicU64,
+    /// Per-worker cumulative busy nanoseconds (time executing jobs).
+    busy_ns: Vec<AtomicU64>,
+}
+
+impl PoolShared {
+    fn lock_state(&self) -> std::sync::MutexGuard<'_, PoolState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// The work-stealing worker pool of a [`ShardedBackend`]: `min(threads,
+/// shards)` persistent workers executing shard jobs from per-worker local
+/// deques, with idle workers stealing across queues.
+struct WorkerPool {
+    shared: Arc<PoolShared>,
+    done_rx: mpsc::Receiver<WorkerDone>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns the pool: `min(parallel::num_threads(), shards)` workers
+    /// (at least one), each holding clones of the executor slots, fault
+    /// schedules and sequence counters.
+    fn spawn(
+        shards: usize,
+        slots: &RunnerSlots,
+        fault_lists: &[WorkerFaults],
+        seqs: &[Arc<AtomicU64>],
+    ) -> Self {
+        let workers = parallel::num_threads().min(shards.max(1)).max(1);
+        let shared = Arc::new(PoolShared {
+            state: Mutex::new(PoolState {
+                queues: (0..workers).map(|_| VecDeque::new()).collect(),
+                shutdown: false,
+            }),
+            work_available: Condvar::new(),
+            steals: AtomicU64::new(0),
+            busy_ns: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+        });
+        let (done_tx, done_rx) = mpsc::channel::<WorkerDone>();
+        let threads = (0..workers)
+            .map(|w| {
+                let shared = Arc::clone(&shared);
+                let slots = Arc::clone(slots);
+                let faults: Vec<WorkerFaults> = fault_lists.iter().map(Arc::clone).collect();
+                let seqs: Vec<Arc<AtomicU64>> = seqs.iter().map(Arc::clone).collect();
+                let done_tx = done_tx.clone();
+                std::thread::Builder::new()
+                    .name(format!("simspatial-pool-{w}"))
+                    .spawn(move || pool_worker_loop(w, &shared, &slots, &faults, &seqs, &done_tx))
+                    .expect("spawn pool worker thread")
+            })
+            .collect();
+        Self {
+            shared,
+            done_rx,
+            threads,
+        }
     }
 
+    /// Number of pool workers.
+    fn workers(&self) -> usize {
+        self.threads.len().max(1)
+    }
+
+    /// Enqueues one job onto its shard's owner queue and wakes a worker.
+    fn submit(&self, shard: usize, tag: usize, job: Job) {
+        let mut state = self.shared.lock_state();
+        assert!(!state.shutdown, "backend already shut down");
+        let owner = shard % state.queues.len();
+        state.queues[owner].push_back(PoolJob { shard, tag, job });
+        drop(state);
+        self.shared.work_available.notify_one();
+    }
+
+    /// Receives one completion. Every scattered job produces exactly one
+    /// (panicked jobs included), so a gather of `in_flight` `recv_done`
+    /// calls never hangs.
+    fn recv_done(&self) -> WorkerDone {
+        self.done_rx
+            .recv()
+            .expect("pool workers outlive in-flight jobs")
+    }
+
+    /// Stops and joins every worker. Idempotent.
     fn stop(&mut self) {
-        self.job_tx = None; // closes the channel; the worker loop exits
-        if let Some(t) = self.thread.take() {
+        self.shared.lock_state().shutdown = true;
+        self.shared.work_available.notify_all();
+        for t in self.threads.drain(..) {
             let _ = t.join();
         }
     }
 }
 
-/// Spawns the persistent worker thread for one shard executor.
+/// One pool worker: pop the front of the own queue, steal the back of a
+/// sibling's otherwise, sleep on the condvar when everything is empty.
 ///
 /// Every job runs under `catch_unwind` (over an `AssertUnwindSafe` closure
-/// — the executor never crosses the boundary again after a panic, see
-/// below): a panicking job still produces a `WorkerDone { panicked: true }`
-/// report, after which the worker **retires** — the executor may be torn
-/// mid-update, so the only safe continuation is a supervisor rebuild from
-/// the planner's retained element store.
-fn spawn_worker<I: SpatialIndex + KnnIndex + Send + 'static>(
-    shard: usize,
-    mut exec: ShardExecutor<I>,
-    faults: WorkerFaults,
-    seq: Arc<AtomicU64>,
-) -> ShardWorker {
-    let (job_tx, job_rx) = mpsc::channel::<Job>();
-    let (done_tx, done_rx) = mpsc::channel::<WorkerDone>();
-    let thread = std::thread::Builder::new()
-        .name(format!("simspatial-shard-{shard}"))
-        .spawn(move || {
-            while let Ok(mut job) = job_rx.recv() {
-                let n = seq.fetch_add(1, Ordering::Relaxed);
-                let fault = faults
-                    .lock()
-                    .ok()
-                    .and_then(|f| f.iter().find(|&&(at, _)| at == n).map(|&(_, k)| k));
-                let panicked = catch_unwind(AssertUnwindSafe(|| {
-                    match fault {
-                        Some(FaultKind::Panic) => {
-                            panic!("chaos: injected fault on shard {shard}, job {n}")
-                        }
-                        Some(FaultKind::Delay(d)) => std::thread::sleep(d),
-                        _ => {}
-                    }
-                    match &mut job {
-                        Job::Range(lane) => lane.run(&mut exec),
-                        Job::Knn(lane) => lane.run(&mut exec),
-                        Job::Update(lane) => lane.run(&mut exec),
-                    }
-                }))
-                .is_err();
-                if done_tx.send(WorkerDone { job, panicked }).is_err() || panicked {
-                    // Disconnected gather, or a torn executor: retire. The
-                    // supervisor decides whether the shard restarts.
-                    break;
+/// — the executor never crosses the boundary again after a panic): a
+/// panicking job clears the shard's executor slot (the executor may be
+/// torn mid-update, so the only safe continuation is a supervisor rebuild)
+/// and still produces a `WorkerDone { panicked: true }` report. Fault
+/// lookup and the per-shard job sequence counter live here — outside the
+/// executor slot's runner — so a schedule keyed by sequence number spans
+/// executor incarnations deterministically.
+fn pool_worker_loop(
+    worker: usize,
+    shared: &PoolShared,
+    slots: &RunnerSlots,
+    faults: &[WorkerFaults],
+    seqs: &[Arc<AtomicU64>],
+    done_tx: &mpsc::Sender<WorkerDone>,
+) {
+    loop {
+        let (pool_job, stolen) = {
+            let mut state = shared.lock_state();
+            loop {
+                if let Some(job) = state.queues[worker].pop_front() {
+                    break (job, false);
                 }
+                let n = state.queues.len();
+                let victim = (1..n)
+                    .map(|d| (worker + d) % n)
+                    .find(|&v| !state.queues[v].is_empty());
+                if let Some(v) = victim {
+                    let job = state.queues[v].pop_back().expect("victim queue non-empty");
+                    break (job, true);
+                }
+                if state.shutdown {
+                    return;
+                }
+                state = shared
+                    .work_available
+                    .wait(state)
+                    .unwrap_or_else(PoisonError::into_inner);
             }
-        })
-        .expect("spawn shard worker thread");
-    ShardWorker {
-        job_tx: Some(job_tx),
-        done_rx,
-        thread: Some(thread),
+        };
+        if stolen {
+            shared.steals.fetch_add(1, Ordering::Relaxed);
+        }
+        let PoolJob {
+            shard,
+            tag,
+            mut job,
+        } = pool_job;
+        let started = Instant::now();
+        let seq = seqs[shard].fetch_add(1, Ordering::Relaxed);
+        let fault = faults[shard]
+            .lock()
+            .ok()
+            .and_then(|f| f.iter().find(|&&(at, _)| at == seq).map(|&(_, k)| k));
+        let mut slot = lock_slot(&slots[shard]);
+        let panicked = match slot.as_mut() {
+            // Torn since the scatter (an earlier in-flight job panicked):
+            // report as panicked without running — the supervisor decides.
+            None => true,
+            Some(runner) => catch_unwind(AssertUnwindSafe(|| {
+                match fault {
+                    Some(FaultKind::Panic) => {
+                        panic!("chaos: injected fault on shard {shard}, job {seq}")
+                    }
+                    Some(FaultKind::Delay(d)) => std::thread::sleep(d),
+                    _ => {}
+                }
+                runner(&mut job)
+            }))
+            .is_err(),
+        };
+        if panicked {
+            *slot = None;
+        }
+        drop(slot);
+        shared.busy_ns[worker].fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        if done_tx
+            .send(WorkerDone {
+                shard,
+                tag,
+                job,
+                panicked,
+            })
+            .is_err()
+        {
+            return; // the backend is gone; nothing left to report to
+        }
     }
 }
 
 /// The type-erased shard-restart recipe a [`ShardedBackend`] stores at
 /// spawn: rebuilds shard `i`'s executor from the planner's element store
-/// and spawns a fresh worker around it, returning the worker plus the
+/// and wraps it into a fresh pool runner, returning the runner plus the
 /// rebuilt shard's `(len, memory_bytes)` gauges. `Err` when the rebuild
 /// itself panicked (the supervisor backs off and retries).
-type RespawnFn = Box<
-    dyn Fn(
-            &ShardPlanner,
-            usize,
-            WorkerFaults,
-            Arc<AtomicU64>,
-        ) -> Result<(ShardWorker, usize, usize), ()>
-        + Send,
->;
+type RespawnFn =
+    Box<dyn Fn(&ShardPlanner, usize) -> Result<(ShardRunner, usize, usize), ()> + Send>;
 
-/// A region-sharded backend with one **persistent worker thread per
-/// shard**. Built by splitting a [`ShardedEngine`] into planner +
-/// executors ([`ShardedEngine::into_parts`]) and moving each executor onto
-/// its own thread; the scheduler-side half routes, scatters lanes,
-/// gathers, and merges.
+/// A region-sharded backend executing on a **work-stealing worker pool**.
+/// Built by splitting a [`ShardedEngine`] into planner + executors
+/// ([`ShardedEngine::into_parts`]) and parking each executor in a shared
+/// slot the pool workers run jobs against; the scheduler-side half routes,
+/// scatters lanes as stealable jobs, gathers, and merges.
 ///
 /// Results are byte-identical to running the same `ShardedEngine`
 /// serially: routing, execution plans and the deduplicating merge are the
 /// exact same code — only *where* each shard's sub-batch runs changes.
 pub struct ShardedBackend {
     planner: ShardPlanner,
-    /// `None` marks a quarantined slot between a panic and the supervisor's
-    /// verdict (restarted or dead); outside `handle_panics` every live
-    /// shard is `Some` and every dead shard is `None`.
-    workers: Vec<Option<ShardWorker>>,
+    pool: WorkerPool,
+    /// Per-shard executor slots, shared with the pool workers. `None`
+    /// marks a torn executor between a panic and the supervisor's verdict
+    /// (rebuilt or dead); outside `handle_panics` every live shard is
+    /// `Some` and every dead shard is `None`.
+    slots: RunnerSlots,
     sizes: Vec<usize>,
     /// Per-shard structure bytes, captured at spawn and refreshed from the
     /// [`UpdateLane`] reports after every write batch — so post-migration
@@ -561,26 +862,29 @@ pub struct ShardedBackend {
     dead: Vec<bool>,
     telemetry: BackendTelemetry,
     /// Rebuilds a shard's executor from the planner's element store and
-    /// spawns a fresh worker around it. `None` when the engine was built
+    /// wraps it into a fresh pool runner. `None` when the engine was built
     /// without a rebuild function — then any panic kills its shard.
     factory: Option<RespawnFn>,
-    /// Per-shard fault schedules and job sequence counters, shared with
-    /// the worker threads (and their restarted successors).
+    /// Per-shard fault schedules, shared with the pool workers (the
+    /// matching per-shard job sequence counters live in the workers'
+    /// cloned `Arc`s and survive executor rebuilds).
     fault_lists: Vec<WorkerFaults>,
-    seqs: Vec<Arc<AtomicU64>>,
     range_lanes: Vec<RangeLane>,
     knn_home: Vec<KnnLane>,
     knn_fan: Vec<KnnLane>,
+    /// Per-kNN-group lane scratch for [`ServiceBackend::query_run`]'s
+    /// combined scatter (indexed `[group][shard]`).
+    knn_home_groups: Vec<Vec<KnnLane>>,
+    knn_fan_groups: Vec<Vec<KnnLane>>,
     update_lanes: Vec<UpdateLane>,
-    /// Scatter bookkeeping: which workers got a job this phase.
-    sent: Vec<bool>,
 }
 
 impl ShardedBackend {
-    /// Splits `engine` and pins each shard executor to a freshly spawned
-    /// worker thread, supervised under [`SupervisorPolicy::default`]. The
-    /// backend is writable iff the engine was built with a rebuild
-    /// function ([`ShardedEngine::with_rebuild`]).
+    /// Splits `engine` into planner + executors and spawns the
+    /// work-stealing worker pool over them, supervised under
+    /// [`SupervisorPolicy::default`]. The backend is writable iff the
+    /// engine was built with a rebuild function
+    /// ([`ShardedEngine::with_rebuild`]).
     pub fn spawn<I: SpatialIndex + KnnIndex + Send + 'static>(engine: ShardedEngine<I>) -> Self {
         Self::spawn_with(engine, SupervisorPolicy::default())
     }
@@ -601,40 +905,31 @@ impl ShardedBackend {
         let fault_lists: Vec<WorkerFaults> =
             (0..n).map(|_| Arc::new(Mutex::new(Vec::new()))).collect();
         let seqs: Vec<Arc<AtomicU64>> = (0..n).map(|_| Arc::new(AtomicU64::new(0))).collect();
-        let workers: Vec<Option<ShardWorker>> = executors
-            .into_iter()
-            .enumerate()
-            .map(|(i, exec)| {
-                Some(spawn_worker(
-                    i,
-                    exec,
-                    Arc::clone(&fault_lists[i]),
-                    Arc::clone(&seqs[i]),
-                ))
-            })
-            .collect();
+        let slots: RunnerSlots = Arc::new(
+            executors
+                .into_iter()
+                .map(|exec| Mutex::new(Some(make_runner(exec))))
+                .collect(),
+        );
+        let pool = WorkerPool::spawn(n, &slots, &fault_lists, &seqs);
         let factory: Option<RespawnFn> = rebuild.map(|rb| {
-            Box::new(
-                move |planner: &ShardPlanner,
-                      shard: usize,
-                      faults: WorkerFaults,
-                      seq: Arc<AtomicU64>| {
-                    let rb = rb.clone();
-                    // The rebuild closure is user code: a panic inside it
-                    // must not take down the supervisor.
-                    catch_unwind(AssertUnwindSafe(move || {
-                        let exec = ShardExecutor::from_planner(planner, shard, rb);
-                        let len = exec.len();
-                        let mem = exec.memory_bytes();
-                        (spawn_worker(shard, exec, faults, seq), len, mem)
-                    }))
-                    .map_err(|_| ())
-                },
-            ) as RespawnFn
+            Box::new(move |planner: &ShardPlanner, shard: usize| {
+                let rb = rb.clone();
+                // The rebuild closure is user code: a panic inside it
+                // must not take down the supervisor.
+                catch_unwind(AssertUnwindSafe(move || {
+                    let exec = ShardExecutor::from_planner(planner, shard, rb);
+                    let len = exec.len();
+                    let mem = exec.memory_bytes();
+                    (make_runner(exec), len, mem)
+                }))
+                .map_err(|_| ())
+            }) as RespawnFn
         });
         Self {
             planner,
-            workers,
+            pool,
+            slots,
             sizes,
             shard_memory,
             updatable,
@@ -644,18 +939,23 @@ impl ShardedBackend {
             telemetry: BackendTelemetry::default(),
             factory,
             fault_lists,
-            seqs,
             range_lanes: Vec::new(),
             knn_home: Vec::new(),
             knn_fan: Vec::new(),
+            knn_home_groups: Vec::new(),
+            knn_fan_groups: Vec::new(),
             update_lanes: Vec::new(),
-            sent: vec![false; n],
         }
     }
 
-    /// Number of shard workers (live, quarantined, or dead).
+    /// Number of shards (live, quarantined, or dead).
     pub fn shard_count(&self) -> usize {
-        self.workers.len()
+        self.slots.len()
+    }
+
+    /// Number of pool worker threads executing shard jobs.
+    pub fn pool_workers(&self) -> usize {
+        self.pool.workers()
     }
 
     /// Indices of shards declared dead by the supervisor.
@@ -669,20 +969,27 @@ impl ShardedBackend {
     }
 
     /// Quarantine → restart → dead transition for every shard in
-    /// `panicked`: stops the retired worker, then attempts a rebuild from
-    /// the planner's element store under the restart budget, with
-    /// exponential backoff between consecutive failing attempts. A shard
-    /// that cannot be restarted (budget exhausted, rebuild itself
-    /// panicking, or no rebuild path at all) is declared dead.
+    /// `panicked`: attempts a rebuild from the planner's element store
+    /// under the restart budget, with exponential backoff between
+    /// consecutive failing attempts. A shard that cannot be restarted
+    /// (budget exhausted, rebuild itself panicking, or no rebuild path at
+    /// all) is declared dead. Runs strictly after a gather completed, so
+    /// no job of these shards is in flight while the slot is rebuilt.
     fn handle_panics(&mut self, panicked: &[usize]) {
-        for &i in panicked {
+        // A combined scatter can have several jobs of one shard in flight;
+        // all of them report panicked once the slot tears. One supervision
+        // verdict per shard.
+        let mut list = panicked.to_vec();
+        list.sort_unstable();
+        list.dedup();
+        for i in list {
             if self.dead[i] {
                 continue;
             }
             self.telemetry.panics_caught += 1;
-            if let Some(mut w) = self.workers[i].take() {
-                w.stop();
-            }
+            // The panicking worker already cleared the slot; clear it
+            // anyway to cover every report path.
+            *lock_slot(&self.slots[i]) = None;
             let mut restarted = false;
             let mut attempt = 0u32;
             while self.restarts_left[i] > 0 {
@@ -700,14 +1007,9 @@ impl ShardedBackend {
                 let Some(factory) = self.factory.as_ref() else {
                     break;
                 };
-                match factory(
-                    &self.planner,
-                    i,
-                    Arc::clone(&self.fault_lists[i]),
-                    Arc::clone(&self.seqs[i]),
-                ) {
-                    Ok((worker, len, mem)) => {
-                        self.workers[i] = Some(worker);
+                match factory(&self.planner, i) {
+                    Ok((runner, len, mem)) => {
+                        *lock_slot(&self.slots[i]) = Some(runner);
                         self.sizes[i] = len;
                         self.shard_memory[i] = mem;
                         self.telemetry.shard_restarts += 1;
@@ -726,160 +1028,102 @@ impl ShardedBackend {
         }
     }
 
-    /// Ships every non-empty range lane to its worker and waits for all of
-    /// them to come back (empty lanes skip the round trip). Returns the
+    /// Gathers `in_flight` completions from the pool, routing each lane
+    /// back to its scratch slot: range lanes to `range_lanes`, update
+    /// lanes to `update_lanes` (refreshing the size/memory gauges of
+    /// shards that succeeded), kNN lanes to the single-batch scratch
+    /// (`grouped == false`, `tag` 0 = home, 1 = fanout) or the per-group
+    /// scratch (`grouped == true`, `tag` = group; `fan_phase` picks home
+    /// vs fanout). Returns the panicked shards, deduplicated.
+    fn gather(&mut self, in_flight: usize, grouped: bool, fan_phase: bool) -> Vec<usize> {
+        let mut panicked = Vec::new();
+        for _ in 0..in_flight {
+            let done = self.pool.recv_done();
+            let WorkerDone {
+                shard,
+                tag,
+                job,
+                panicked: p,
+            } = done;
+            match job {
+                Job::Range(lane) => self.range_lanes[shard] = lane,
+                Job::Update(lane) => {
+                    if !p {
+                        self.sizes[shard] = lane.report().len_after;
+                        self.shard_memory[shard] = lane.report().memory_bytes;
+                    }
+                    self.update_lanes[shard] = lane;
+                }
+                Job::Knn(lane) => {
+                    let lanes = match (grouped, fan_phase, tag) {
+                        (true, false, g) => &mut self.knn_home_groups[g],
+                        (true, true, g) => &mut self.knn_fan_groups[g],
+                        (false, _, 0) => &mut self.knn_home,
+                        (false, _, _) => &mut self.knn_fan,
+                    };
+                    lanes[shard] = lane;
+                }
+            }
+            if p {
+                panicked.push(shard);
+            }
+        }
+        panicked.sort_unstable();
+        panicked.dedup();
+        panicked
+    }
+
+    /// Scatters every non-empty range lane onto the pool and waits for all
+    /// of them to come back (empty lanes skip the round trip). Returns the
     /// shards whose job panicked — their lanes carry torn results and the
     /// batch must be re-run after supervision.
     fn run_range_lanes(&mut self) -> Vec<usize> {
-        let mut panicked = Vec::new();
-        for i in 0..self.workers.len() {
-            self.sent[i] = false;
+        let mut in_flight = 0usize;
+        for i in 0..self.range_lanes.len() {
             if self.range_lanes[i].is_empty() {
                 continue;
             }
-            let Some(worker) = self.workers[i].as_ref() else {
-                panicked.push(i);
-                continue;
-            };
             let lane = std::mem::take(&mut self.range_lanes[i]);
-            match worker.send(Job::Range(lane)) {
-                Ok(()) => self.sent[i] = true,
-                Err(Job::Range(lane)) => {
-                    self.range_lanes[i] = lane;
-                    panicked.push(i);
-                }
-                Err(_) => unreachable!("send returns the job it was given"),
-            }
+            self.pool.submit(i, 0, Job::Range(lane));
+            in_flight += 1;
         }
-        for i in 0..self.workers.len() {
-            if !self.sent[i] {
-                continue;
-            }
-            let worker = self.workers[i].as_ref().expect("sent to a live worker");
-            match worker.done_rx.recv() {
-                Ok(WorkerDone {
-                    job: Job::Range(lane),
-                    panicked: p,
-                }) => {
-                    self.range_lanes[i] = lane;
-                    if p {
-                        panicked.push(i);
-                    }
-                }
-                Ok(_) => unreachable!("one job in flight per worker"),
-                Err(_) => panicked.push(i),
-            }
-        }
-        panicked
+        self.gather(in_flight, false, false)
     }
 
-    /// Ships every non-empty update lane to its worker, waits for all to
-    /// come back, and refreshes the per-shard size/memory gauges from the
-    /// lane reports of the shards that succeeded. Returns panicked shards.
+    /// Scatters every non-empty update lane, waits for all to come back,
+    /// and refreshes the per-shard size/memory gauges from the lane
+    /// reports of the shards that succeeded. Returns panicked shards.
     fn run_update_lanes(&mut self) -> Vec<usize> {
-        let mut panicked = Vec::new();
-        for i in 0..self.workers.len() {
-            self.sent[i] = false;
+        let mut in_flight = 0usize;
+        for i in 0..self.update_lanes.len() {
             if self.update_lanes[i].is_empty() {
                 continue;
             }
-            let Some(worker) = self.workers[i].as_ref() else {
-                panicked.push(i);
-                continue;
-            };
             let lane = std::mem::take(&mut self.update_lanes[i]);
-            match worker.send(Job::Update(lane)) {
-                Ok(()) => self.sent[i] = true,
-                Err(Job::Update(lane)) => {
-                    self.update_lanes[i] = lane;
-                    panicked.push(i);
-                }
-                Err(_) => unreachable!("send returns the job it was given"),
-            }
+            self.pool.submit(i, 0, Job::Update(lane));
+            in_flight += 1;
         }
-        for i in 0..self.workers.len() {
-            if !self.sent[i] {
-                continue;
-            }
-            let worker = self.workers[i].as_ref().expect("sent to a live worker");
-            match worker.done_rx.recv() {
-                Ok(WorkerDone {
-                    job: Job::Update(lane),
-                    panicked: p,
-                }) => {
-                    if p {
-                        panicked.push(i);
-                    } else {
-                        self.sizes[i] = lane.report().len_after;
-                        self.shard_memory[i] = lane.report().memory_bytes;
-                    }
-                    self.update_lanes[i] = lane;
-                }
-                Ok(_) => unreachable!("one job in flight per worker"),
-                Err(_) => panicked.push(i),
-            }
-        }
-        panicked
+        self.gather(in_flight, false, false)
     }
 
-    /// Ships every non-empty kNN lane of the given phase to its worker and
-    /// waits for completion. Returns panicked shards.
+    /// Scatters every non-empty kNN lane of the given single-batch phase
+    /// and waits for completion. Returns panicked shards.
     fn run_knn_lanes(&mut self, fan_phase: bool) -> Vec<usize> {
-        let mut panicked = Vec::new();
-        for i in 0..self.workers.len() {
-            let lanes = if fan_phase {
-                &mut self.knn_fan
-            } else {
-                &mut self.knn_home
-            };
-            self.sent[i] = false;
-            if lanes[i].is_empty() {
+        let mut in_flight = 0usize;
+        let tag = usize::from(fan_phase);
+        let lanes = if fan_phase {
+            &mut self.knn_fan
+        } else {
+            &mut self.knn_home
+        };
+        for (i, lane) in lanes.iter_mut().enumerate() {
+            if lane.is_empty() {
                 continue;
             }
-            let Some(worker) = self.workers[i].as_ref() else {
-                panicked.push(i);
-                continue;
-            };
-            let lane = std::mem::take(&mut lanes[i]);
-            match worker.send(Job::Knn(lane)) {
-                Ok(()) => self.sent[i] = true,
-                Err(Job::Knn(lane)) => {
-                    let lanes = if fan_phase {
-                        &mut self.knn_fan
-                    } else {
-                        &mut self.knn_home
-                    };
-                    lanes[i] = lane;
-                    panicked.push(i);
-                }
-                Err(_) => unreachable!("send returns the job it was given"),
-            }
+            self.pool.submit(i, tag, Job::Knn(std::mem::take(lane)));
+            in_flight += 1;
         }
-        for i in 0..self.workers.len() {
-            if !self.sent[i] {
-                continue;
-            }
-            let worker = self.workers[i].as_ref().expect("sent to a live worker");
-            match worker.done_rx.recv() {
-                Ok(WorkerDone {
-                    job: Job::Knn(lane),
-                    panicked: p,
-                }) => {
-                    let lanes = if fan_phase {
-                        &mut self.knn_fan
-                    } else {
-                        &mut self.knn_home
-                    };
-                    lanes[i] = lane;
-                    if p {
-                        panicked.push(i);
-                    }
-                }
-                Ok(_) => unreachable!("one job in flight per worker"),
-                Err(_) => panicked.push(i),
-            }
-        }
-        panicked
+        self.gather(in_flight, false, fan_phase)
     }
 }
 
@@ -979,6 +1223,170 @@ impl ServiceBackend for ShardedBackend {
         }
     }
 
+    /// The multicore override: the whole query run — range batch plus
+    /// every per-`k` kNN batch — scatters onto the worker pool as **one
+    /// wave** of shard jobs, so independent sub-batches overlap across
+    /// cores instead of executing back-to-back. kNN fan-out (which needs
+    /// each group's home results as seeds) forms a second wave. The
+    /// per-sub-batch merges run on the backend thread afterwards and are
+    /// the exact same deterministic code as the sequential path, so
+    /// results are byte-identical to executing the sub-batches one by one.
+    fn query_run(&mut self, run: &QueryRun, out: &mut QueryRunResults) -> QueryRunReport {
+        let start = Instant::now();
+        out.ensure_knn(run.knn.len());
+        while self.knn_home_groups.len() < run.knn.len() {
+            self.knn_home_groups.push(Vec::new());
+            self.knn_fan_groups.push(Vec::new());
+        }
+        // Reads are idempotent, so supervision is the same retry loop as
+        // the per-batch paths, over the whole run: any panic quarantines/
+        // restarts the shard and re-runs the run against the
+        // post-supervision shard set.
+        let mut partial = vec![0u32; run.range.len()];
+        let mut failed: Vec<Vec<(u32, usize)>> = vec![Vec::new(); run.knn.len()];
+        loop {
+            // ---- Route wave-1 work: the coalesced range batch plus each
+            // kNN group's home lanes, dropping lanes aimed at dead shards
+            // (partial coverage for range, typed failure for kNN).
+            self.planner.route_range(&run.range, &mut self.range_lanes);
+            partial.iter_mut().for_each(|n| *n = 0);
+            for (i, &dead) in self.dead.iter().enumerate() {
+                if dead {
+                    for &qi in self.range_lanes[i].routed() {
+                        partial[qi as usize] += 1;
+                    }
+                    self.range_lanes[i].clear();
+                }
+            }
+            for (g, (k, points)) in run.knn.iter().enumerate() {
+                failed[g].clear();
+                self.planner
+                    .route_knn_home(points, *k, &mut self.knn_home_groups[g]);
+                for (i, &dead) in self.dead.iter().enumerate() {
+                    if dead {
+                        for &qi in self.knn_home_groups[g][i].routed() {
+                            failed[g].push((qi, i));
+                        }
+                        self.knn_home_groups[g][i].clear();
+                    }
+                }
+            }
+            // ---- Wave 1: every range lane and every group's home lanes
+            // scatter together. One shard's jobs serialise on its executor
+            // slot; independent shards (and stolen jobs) overlap.
+            let mut in_flight = 0usize;
+            for i in 0..self.range_lanes.len() {
+                if self.range_lanes[i].is_empty() {
+                    continue;
+                }
+                let lane = std::mem::take(&mut self.range_lanes[i]);
+                self.pool.submit(i, 0, Job::Range(lane));
+                in_flight += 1;
+            }
+            for g in 0..run.knn.len() {
+                for i in 0..self.knn_home_groups[g].len() {
+                    if self.knn_home_groups[g][i].is_empty() {
+                        continue;
+                    }
+                    let lane = std::mem::take(&mut self.knn_home_groups[g][i]);
+                    self.pool.submit(i, g, Job::Knn(lane));
+                    in_flight += 1;
+                }
+            }
+            let panicked = self.gather(in_flight, true, false);
+            if !panicked.is_empty() {
+                self.handle_panics(&panicked);
+                continue;
+            }
+            // ---- Wave 2: each group's fan-out lanes (seeded by its home
+            // results), again as one combined scatter.
+            let mut in_flight = 0usize;
+            for (g, (k, points)) in run.knn.iter().enumerate() {
+                self.planner.route_knn_fanout(
+                    points,
+                    *k,
+                    &self.knn_home_groups[g],
+                    &mut self.knn_fan_groups[g],
+                );
+                for (i, &dead) in self.dead.iter().enumerate() {
+                    if dead {
+                        for &qi in self.knn_fan_groups[g][i].routed() {
+                            failed[g].push((qi, i));
+                        }
+                        self.knn_fan_groups[g][i].clear();
+                    }
+                }
+                for i in 0..self.knn_fan_groups[g].len() {
+                    if self.knn_fan_groups[g][i].is_empty() {
+                        continue;
+                    }
+                    let lane = std::mem::take(&mut self.knn_fan_groups[g][i]);
+                    self.pool.submit(i, g, Job::Knn(lane));
+                    in_flight += 1;
+                }
+            }
+            let panicked = self.gather(in_flight, true, true);
+            if !panicked.is_empty() {
+                self.handle_panics(&panicked);
+                continue;
+            }
+            break;
+        }
+        // ---- Deterministic merges, sub-batch by sub-batch.
+        let mut report = QueryRunReport::default();
+        if !run.range.is_empty() {
+            out.range.reset();
+            let stats =
+                self.planner
+                    .merge_range(run.range.len(), &mut self.range_lanes, &mut out.range);
+            report.range = Some(SubBatchOutcome::Ran(BatchReport {
+                stats,
+                failed: Vec::new(),
+                partial: partial
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &n)| n > 0)
+                    .map(|(q, &n)| (q as u32, n))
+                    .collect(),
+            }));
+        }
+        for (g, (k, points)) in run.knn.iter().enumerate() {
+            out.knn[g].reset();
+            let stats = self.planner.merge_knn(
+                points.len(),
+                *k,
+                &mut self.knn_home_groups[g],
+                &mut self.knn_fan_groups[g],
+                &mut out.knn[g],
+            );
+            let mut f = std::mem::take(&mut failed[g]);
+            f.sort_unstable();
+            f.dedup_by_key(|&mut (q, _)| q);
+            report.knn.push(SubBatchOutcome::Ran(BatchReport {
+                stats,
+                failed: f,
+                partial: Vec::new(),
+            }));
+        }
+        // The run executed as one combined scatter, so per-sub-batch wall
+        // time is not attributable: the whole run's elapsed lands on the
+        // first sub-batch and the rest report zero, keeping the *summed*
+        // execution time honest.
+        let elapsed = start.elapsed().as_secs_f64();
+        let mut assigned = false;
+        if let Some(SubBatchOutcome::Ran(r)) = report.range.as_mut() {
+            r.stats.elapsed_s = elapsed;
+            assigned = true;
+        }
+        for o in report.knn.iter_mut() {
+            if let SubBatchOutcome::Ran(r) = o {
+                r.stats.elapsed_s = if assigned { 0.0 } else { elapsed };
+                assigned = true;
+            }
+        }
+        report
+    }
+
     fn update_batch(&mut self, updates: &[(ElementId, Shape)]) -> UpdateReport {
         // Fail on the calling thread with a clear message (the service
         // never routes writes here when read-only, but the trait is
@@ -1028,7 +1436,16 @@ impl ServiceBackend for ShardedBackend {
     }
 
     fn telemetry(&self) -> BackendTelemetry {
-        self.telemetry
+        let mut t = self.telemetry.clone();
+        t.worker_steals = self.pool.shared.steals.load(Ordering::Relaxed);
+        t.worker_busy_ns = self
+            .pool
+            .shared
+            .busy_ns
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        t
     }
 
     fn install_worker_faults(&mut self, faults: &[(usize, u64, FaultKind)]) {
@@ -1056,6 +1473,13 @@ impl ServiceBackend for ShardedBackend {
                 .map(KnnLane::memory_bytes)
                 .sum::<usize>()
             + self
+                .knn_home_groups
+                .iter()
+                .chain(self.knn_fan_groups.iter())
+                .flatten()
+                .map(KnnLane::memory_bytes)
+                .sum::<usize>()
+            + self
                 .update_lanes
                 .iter()
                 .map(UpdateLane::memory_bytes)
@@ -1067,9 +1491,7 @@ impl ServiceBackend for ShardedBackend {
     }
 
     fn shutdown(&mut self) {
-        for w in self.workers.iter_mut().flatten() {
-            w.stop();
-        }
+        self.pool.stop();
     }
 }
 

@@ -139,8 +139,9 @@ mod service;
 mod stats;
 
 pub use backend::{
-    BackendTelemetry, BatchReport, EngineBackend, IndexUpdater, RebuildUpdater, ServiceBackend,
-    ShardedBackend, SupervisorPolicy, UpdateReport,
+    BackendTelemetry, BatchReport, EngineBackend, IndexUpdater, QueryRun, QueryRunReport,
+    QueryRunResults, RebuildUpdater, ServiceBackend, ShardedBackend, SubBatchOutcome,
+    SupervisorPolicy, UpdateReport,
 };
 pub use fault::{ChaosBackend, FaultKind, FaultPlan, ScheduledFault};
 pub use request::{RecvError, Reply, Request, Response, SubmitError, Ticket};

@@ -23,12 +23,14 @@
 //! dropped. (Only a submission that races the flag *and* loses its
 //! dispatcher sees its ticket error with `RecvError::ShutDown`.)
 
-use crate::backend::{BackendTelemetry, ServiceBackend};
+use crate::backend::{
+    BackendTelemetry, QueryRun, QueryRunResults, ServiceBackend, SubBatchOutcome,
+};
 use crate::request::{Completion, RecvError, Request, Response, SubmitError, Ticket};
 use crate::stats::{LatencyHistogram, ServiceStats, BATCH_BUCKETS};
 use simspatial_geom::stats::PredicateCounts;
-use simspatial_geom::{Aabb, ElementId, Point3, Shape};
-use simspatial_index::{BatchResults, KnnBatchResults, UpdateStats};
+use simspatial_geom::{ElementId, Point3, Shape};
+use simspatial_index::UpdateStats;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
@@ -295,6 +297,8 @@ impl Shared {
             panics_caught: inner.sched_panics + inner.telemetry.panics_caught,
             shard_restarts: inner.telemetry.shard_restarts,
             shards_dead: inner.telemetry.shards_dead,
+            worker_steals: inner.telemetry.worker_steals,
+            worker_busy_ns: inner.telemetry.worker_busy_ns.clone(),
             deadline_expired: inner.deadline_expired,
             retries_attempted: self.retries_attempted.load(Ordering::Relaxed),
             partial_responses: inner.partial_responses,
@@ -488,14 +492,21 @@ struct Scheduler<B: ServiceBackend> {
     // Dispatch scratch, reused across cycles.
     pending: Vec<Envelope>,
     responses: Vec<Option<Response>>,
-    boxes: Vec<Aabb>,
+    /// The coalesced query run under construction/execution: every range
+    /// box and every per-`k` kNN probe group of the dispatch, handed to the
+    /// backend in ONE `query_run` call so a parallel backend can overlap
+    /// the independent sub-batches.
+    run: QueryRun,
+    run_out: QueryRunResults,
     /// `(pending idx, first box, box count)` per range-family request.
     range_req: Vec<(usize, usize, usize)>,
-    range_results: BatchResults,
     /// `(k, pending idx, probe idx within request, point)` per kNN probe.
     knn_flat: Vec<(usize, usize, usize, Point3)>,
-    knn_points: Vec<Point3>,
-    knn_results: KnnBatchResults,
+    /// `(flat start, flat end)` per kNN group of the current run, parallel
+    /// to `run.knn`.
+    knn_groups: Vec<(usize, usize)>,
+    /// Retired probe buffers recycled into the next run's groups.
+    knn_spare: Vec<Vec<Point3>>,
     /// Flattened `(id, geometry)` write batch of the current update run.
     updates: Vec<(ElementId, Shape)>,
     /// Per-pending-request failure slot for the current dispatch: a
@@ -558,12 +569,12 @@ impl<B: ServiceBackend> Scheduler<B> {
             cfg,
             pending: Vec::new(),
             responses: Vec::new(),
-            boxes: Vec::new(),
+            run: QueryRun::default(),
+            run_out: QueryRunResults::default(),
             range_req: Vec::new(),
-            range_results: BatchResults::new(),
             knn_flat: Vec::new(),
-            knn_points: Vec::new(),
-            knn_results: KnnBatchResults::new(),
+            knn_groups: Vec::new(),
+            knn_spare: Vec::new(),
             updates: Vec::new(),
             failures: Vec::new(),
             skipped: Vec::new(),
@@ -769,88 +780,27 @@ impl<B: ServiceBackend> Scheduler<B> {
     }
 
     /// Executes one query run (`pending[lo..hi]`, all non-write): all range
-    /// boxes of the run coalesce into ONE backend `range_batch`, kNN probes
-    /// group by `k` into one backend batch per distinct `k`, and results
-    /// split back per request.
+    /// boxes of the run coalesce into one range sub-batch, kNN probes group
+    /// by `k` into one sub-batch per distinct `k`, and the whole run goes
+    /// to the backend in ONE [`ServiceBackend::query_run`] call — so a
+    /// parallel backend can overlap the independent sub-batches — before
+    /// results split back per request.
     fn run_query_batch(&mut self, lo: usize, hi: usize, totals: &mut DispatchTotals) {
-        // ---- Range family.
-        self.boxes.clear();
+        // ---- Build the run: range family.
+        self.run.range.clear();
         self.range_req.clear();
         for (i, env) in self.pending[lo..hi].iter().enumerate() {
             if self.failures[lo + i].is_some() {
                 continue; // shed at admission — the backend never sees it
             }
             if let Request::Range(qs) | Request::RangeCount(qs) = &env.request {
-                self.range_req.push((lo + i, self.boxes.len(), qs.len()));
-                self.boxes.extend_from_slice(qs);
-            }
-        }
-        let mut range_ok = false;
-        if !self.boxes.is_empty() {
-            let call = catch_unwind(AssertUnwindSafe(|| {
-                self.backend
-                    .range_batch(&self.boxes, &mut self.range_results)
-            }));
-            match call {
-                // Arity mismatch = the backend lost the batch (e.g. an
-                // injected dropped response): no per-query results exist.
-                Ok(report) if self.range_results.len() == self.boxes.len() => {
-                    totals.exec_elapsed_s += report.stats.elapsed_s;
-                    totals.results += report.stats.results;
-                    totals.counts.add(&report.stats.counts);
-                    for &(q, shard) in &report.failed {
-                        if let Some(&(i, ..)) = self
-                            .range_req
-                            .iter()
-                            .find(|&&(_, s, l)| (q as usize) >= s && (q as usize) < s + l)
-                        {
-                            self.failures[i] = Some(RecvError::WorkerFailed { shard });
-                        }
-                    }
-                    for &(q, n_skipped) in &report.partial {
-                        if let Some(&(i, ..)) = self
-                            .range_req
-                            .iter()
-                            .find(|&&(_, s, l)| (q as usize) >= s && (q as usize) < s + l)
-                        {
-                            self.skipped[i] += n_skipped;
-                        }
-                    }
-                    range_ok = true;
-                }
-                Ok(_) => self.fail_requests(&self.range_req.clone(), 0),
-                Err(_) => {
-                    totals.sched_panics += 1;
-                    self.fail_requests(&self.range_req.clone(), 0);
-                    if !self.backend.recover(false) {
-                        self.poison();
-                    }
-                }
-            }
-        }
-        if range_ok {
-            for &(i, start, len) in &self.range_req {
-                if self.failures[i].is_some() {
-                    continue;
-                }
-                let resp = match &self.pending[i].request {
-                    Request::Range(_) => Response::Range(
-                        (start..start + len)
-                            .map(|q| self.range_results.query_results(q).to_vec())
-                            .collect(),
-                    ),
-                    Request::RangeCount(_) => Response::RangeCount(
-                        (start..start + len)
-                            .map(|q| self.range_results.query_results(q).len() as u64)
-                            .collect(),
-                    ),
-                    _ => unreachable!("range_req only holds range requests"),
-                };
-                self.responses[i] = Some(resp);
+                self.range_req
+                    .push((lo + i, self.run.range.len(), qs.len()));
+                self.run.range.extend_from_slice(qs);
             }
         }
 
-        // ---- kNN family.
+        // ---- Build the run: kNN family.
         self.knn_flat.clear();
         for (i, env) in self.pending[lo..hi].iter().enumerate() {
             if self.failures[lo + i].is_some() {
@@ -866,6 +816,9 @@ impl<B: ServiceBackend> Scheduler<B> {
         // Stable order inside each k-group (request order, then probe
         // order) keeps the coalesced batch deterministic.
         self.knn_flat.sort_by_key(|&(k, i, j, _)| (k, i, j));
+        self.knn_groups.clear();
+        self.knn_spare
+            .extend(self.run.knn.drain(..).map(|(_, points)| points));
         let mut g = 0usize;
         while g < self.knn_flat.len() {
             let k = self.knn_flat[g].0;
@@ -873,58 +826,132 @@ impl<B: ServiceBackend> Scheduler<B> {
             while end < self.knn_flat.len() && self.knn_flat[end].0 == k {
                 end += 1;
             }
-            self.knn_points.clear();
-            self.knn_points
-                .extend(self.knn_flat[g..end].iter().map(|&(_, _, _, p)| p));
-            let call = catch_unwind(AssertUnwindSafe(|| {
-                self.backend
-                    .knn_batch(&self.knn_points, k, &mut self.knn_results)
-            }));
-            match call {
-                Ok(report) if self.knn_results.len() == self.knn_points.len() => {
-                    totals.exec_elapsed_s += report.stats.elapsed_s;
-                    totals.results += report.stats.results;
-                    totals.counts.add(&report.stats.counts);
-                    // A probe over a dead shard fails its whole request —
-                    // partial neighbour lists would be silently wrong.
-                    for &(q, shard) in &report.failed {
-                        let (_, i, _, _) = self.knn_flat[g + q as usize];
-                        self.failures[i] = Some(RecvError::WorkerFailed { shard });
-                    }
-                    for (slot, &(_, i, j, _)) in self.knn_flat[g..end].iter().enumerate() {
-                        if self.failures[i].is_some() {
-                            continue;
-                        }
-                        let list = self.knn_results.query_results(slot).to_vec();
-                        match self.responses[i].as_mut() {
-                            Some(Response::Knn(lists)) => lists[j] = list,
-                            _ => unreachable!("knn_flat only holds knn requests"),
-                        }
-                    }
-                }
-                Ok(_) => {
-                    for &(_, i, _, _) in &self.knn_flat[g..end] {
-                        self.failures[i] = Some(RecvError::WorkerFailed { shard: 0 });
-                    }
-                }
-                Err(_) => {
-                    totals.sched_panics += 1;
-                    for &(_, i, _, _) in &self.knn_flat[g..end] {
-                        self.failures[i] = Some(RecvError::WorkerFailed { shard: 0 });
-                    }
-                    if !self.backend.recover(false) {
-                        self.poison();
-                    }
-                }
-            }
-            if self.poisoned {
-                // Remaining k-groups fail via the dispatch-level fast path.
-                for &(_, i, _, _) in &self.knn_flat[end..] {
+            let mut points = self.knn_spare.pop().unwrap_or_default();
+            points.clear();
+            points.extend(self.knn_flat[g..end].iter().map(|&(.., p)| p));
+            self.knn_groups.push((g, end));
+            self.run.knn.push((k, points));
+            g = end;
+        }
+        if self.run.is_empty() {
+            return;
+        }
+
+        // ---- Execute the whole run through one backend call. Sub-batch
+        // panics are caught *inside* `query_run`; a panic that escapes it
+        // (routing/merge code) fails the entire run.
+        let call = catch_unwind(AssertUnwindSafe(|| {
+            self.backend.query_run(&self.run, &mut self.run_out)
+        }));
+        let report = match call {
+            Ok(report) => report,
+            Err(_) => {
+                totals.sched_panics += 1;
+                self.fail_requests(&self.range_req.clone(), 0);
+                for idx in 0..self.knn_flat.len() {
+                    let (_, i, _, _) = self.knn_flat[idx];
                     self.failures[i] = Some(RecvError::WorkerFailed { shard: 0 });
                 }
-                break;
+                if !self.backend.recover(false) {
+                    self.poison();
+                }
+                return;
             }
-            g = end;
+        };
+        totals.sched_panics += report.panics;
+
+        // ---- Range outcome.
+        let mut range_ok = false;
+        match &report.range {
+            None => {}
+            // Arity mismatch = the backend lost the batch (e.g. an
+            // injected dropped response): no per-query results exist.
+            Some(SubBatchOutcome::Ran(r)) if self.run_out.range.len() == self.run.range.len() => {
+                totals.exec_elapsed_s += r.stats.elapsed_s;
+                totals.results += r.stats.results;
+                totals.counts.add(&r.stats.counts);
+                for &(q, shard) in &r.failed {
+                    if let Some(&(i, ..)) = self
+                        .range_req
+                        .iter()
+                        .find(|&&(_, s, l)| (q as usize) >= s && (q as usize) < s + l)
+                    {
+                        self.failures[i] = Some(RecvError::WorkerFailed { shard });
+                    }
+                }
+                for &(q, n_skipped) in &r.partial {
+                    if let Some(&(i, ..)) = self
+                        .range_req
+                        .iter()
+                        .find(|&&(_, s, l)| (q as usize) >= s && (q as usize) < s + l)
+                    {
+                        self.skipped[i] += n_skipped;
+                    }
+                }
+                range_ok = true;
+            }
+            Some(_) => self.fail_requests(&self.range_req.clone(), 0),
+        }
+        if range_ok {
+            for &(i, start, len) in &self.range_req {
+                if self.failures[i].is_some() {
+                    continue;
+                }
+                let resp = match &self.pending[i].request {
+                    Request::Range(_) => Response::Range(
+                        (start..start + len)
+                            .map(|q| self.run_out.range.query_results(q).to_vec())
+                            .collect(),
+                    ),
+                    Request::RangeCount(_) => Response::RangeCount(
+                        (start..start + len)
+                            .map(|q| self.run_out.range.query_results(q).len() as u64)
+                            .collect(),
+                    ),
+                    _ => unreachable!("range_req only holds range requests"),
+                };
+                self.responses[i] = Some(resp);
+            }
+        }
+
+        // ---- kNN outcomes, group by group.
+        for (gi, &(start, end)) in self.knn_groups.iter().enumerate() {
+            let outcome = report.knn.get(gi);
+            let ran = match outcome {
+                Some(SubBatchOutcome::Ran(r)) if self.run_out.knn[gi].len() == end - start => {
+                    Some(r)
+                }
+                _ => None,
+            };
+            let Some(r) = ran else {
+                for &(_, i, _, _) in &self.knn_flat[start..end] {
+                    self.failures[i] = Some(RecvError::WorkerFailed { shard: 0 });
+                }
+                continue;
+            };
+            totals.exec_elapsed_s += r.stats.elapsed_s;
+            totals.results += r.stats.results;
+            totals.counts.add(&r.stats.counts);
+            // A probe over a dead shard fails its whole request — partial
+            // neighbour lists would be silently wrong.
+            for &(q, shard) in &r.failed {
+                let (_, i, _, _) = self.knn_flat[start + q as usize];
+                self.failures[i] = Some(RecvError::WorkerFailed { shard });
+            }
+            for (slot, &(_, i, j, _)) in self.knn_flat[start..end].iter().enumerate() {
+                if self.failures[i].is_some() {
+                    continue;
+                }
+                let list = self.run_out.knn[gi].query_results(slot).to_vec();
+                match self.responses[i].as_mut() {
+                    Some(Response::Knn(lists)) => lists[j] = list,
+                    _ => unreachable!("knn_flat only holds knn requests"),
+                }
+            }
+        }
+
+        if report.poisoned {
+            self.poison();
         }
     }
 

@@ -154,6 +154,14 @@ pub struct ServiceStats {
     pub shard_restarts: u64,
     /// Shards declared dead (restart budget exhausted / no rebuild path).
     pub shards_dead: u64,
+    /// Backend pool jobs executed by a worker other than the owner of the
+    /// queue they were scattered to — how often work-stealing rebalanced
+    /// an uneven shard split. Zero for unsharded backends.
+    pub worker_steals: u64,
+    /// Per-pool-worker cumulative busy time (nanoseconds executing shard
+    /// jobs). The spread across entries shows load imbalance; empty for
+    /// backends without a worker pool.
+    pub worker_busy_ns: Vec<u64>,
     /// Requests completed with `RecvError::DeadlineExceeded` — shed in the
     /// queue or expired by completion time.
     pub deadline_expired: u64,
@@ -229,6 +237,19 @@ impl ServiceStats {
             self.partial_responses,
             self.retries_attempted,
         ));
+        if !self.worker_busy_ns.is_empty() {
+            let busy_ms: Vec<String> = self
+                .worker_busy_ns
+                .iter()
+                .map(|&ns| format!("{:.1}", ns as f64 / 1e6))
+                .collect();
+            s.push_str(&format!(
+                "pool: {} workers, busy [{}] ms, {} steals\n",
+                self.worker_busy_ns.len(),
+                busy_ms.join(", "),
+                self.worker_steals,
+            ));
+        }
         s.push_str(&format!(
             "backend: {} bytes, shard sizes {:?}",
             self.memory_bytes, self.shard_sizes

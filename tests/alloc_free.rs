@@ -131,6 +131,46 @@ fn grid_rtree_flat_batches_are_allocation_free() {
     assert_steady_state_alloc_free("scan(one-pass)", &scan, &data);
 }
 
+/// The SoA batch kernels themselves — including the explicit SIMD
+/// dispatchers when the `simd` feature is on — must not allocate once the
+/// mask/output buffers reached their high-water marks. Runs identically
+/// (scalar dispatch) without the feature, so the guarantee is pinned on
+/// both paths.
+#[test]
+fn soa_simd_kernels_are_allocation_free() {
+    let data = soup(4000);
+    let entries: Vec<(Aabb, ElementId)> = data.iter().map(|e| (e.aabb(), e.id)).collect();
+    let soa = simspatial_geom::SoaAabbs::from_entries(&entries);
+    let queries = queries();
+    let points = knn_points();
+    let gather: Vec<ElementId> = (0..data.len() as u32).step_by(3).collect();
+    let mut mask = Vec::new();
+    let mut dists = Vec::new();
+    // Warm-up: every output buffer grows to its final size.
+    soa.intersect_mask(&queries[0], &mut mask);
+    soa.contains_mask(&queries[0], &mut mask);
+    soa.min_dist2_into(&points[0], &mut dists);
+    soa.min_dist2_gather_into(&points[0], &gather, &mut dists);
+    let before = allocations();
+    for _ in 0..10 {
+        for q in &queries {
+            soa.intersect_mask(q, &mut mask);
+            soa.contains_mask(q, &mut mask);
+        }
+        for p in &points {
+            soa.min_dist2_into(p, &mut dists);
+            soa.min_dist2_gather_into(p, &gather, &mut dists);
+        }
+    }
+    let after = allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state SoA kernels must not allocate (simd level: {:?})",
+        simspatial_geom::simd::level()
+    );
+}
+
 #[test]
 fn grid_rtree_knn_batches_are_allocation_free() {
     let data = soup(4000);

@@ -1,0 +1,190 @@
+//! Multicore pool coverage for the sharded service backend.
+//!
+//! * **Work stealing**: with 2 pool workers and shard 0 wedged by an
+//!   injected delay, the idle worker must steal shard 2's job from the
+//!   wedged owner's queue — observable in `worker_steals` — and the batch
+//!   still returns complete results.
+//! * **Thread-count differential**: a coalesced mixed range/kNN run
+//!   through `ShardedBackend::query_run` returns byte-identical results
+//!   at 1, 2 and 4 pool workers, and matches the sequential per-sub-batch
+//!   `range_batch`/`knn_batch` path.
+//! * **Observability**: the pool gauges (`worker_busy_ns`,
+//!   `worker_steals`) flow through `ServiceStats` and its `summary()`.
+
+use simspatial::prelude::*;
+use simspatial_geom::parallel;
+use simspatial_service::{QueryRun, QueryRunResults, SubBatchOutcome};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// `parallel::set_num_threads` is process-global, so tests that reconfigure
+/// it serialize on this lock and restore the previous value before exit.
+static THREADS_LOCK: Mutex<()> = Mutex::new(());
+
+fn soup(n: u32, seed: u32) -> Vec<Element> {
+    (0..n)
+        .map(|i| {
+            let h = (i ^ seed).wrapping_mul(2654435761);
+            let x = (h % 997) as f32 / 10.0;
+            let y = ((h >> 10) % 997) as f32 / 10.0;
+            let z = ((h >> 20) % 997) as f32 / 10.0;
+            let r = if i % 29 == 0 { 4.0 } else { 0.35 };
+            Element::new(i, Shape::Sphere(Sphere::new(Point3::new(x, y, z), r)))
+        })
+        .collect()
+}
+
+fn sharded_backend(shards: usize) -> ShardedBackend {
+    let data = soup(4000, 7);
+    let engine = ShardedEngine::build(&data, shards, |part| {
+        UniformGrid::build(part, GridConfig::auto(part))
+    });
+    ShardedBackend::spawn(engine)
+}
+
+fn mix(h: u32) -> u32 {
+    let mut h = h.wrapping_mul(0x9E37_79B9) ^ 0xABCD_1234;
+    h ^= h >> 16;
+    h = h.wrapping_mul(0x85EB_CA6B);
+    h ^ (h >> 13)
+}
+
+/// A run with every sub-batch family: 12 range boxes plus three kNN
+/// groups (k = 1, 5, 9) of 8 probes each, spread across all shards.
+fn mixed_run() -> QueryRun {
+    let mut run = QueryRun::default();
+    for i in 0..12u32 {
+        let h = mix(i);
+        let c = Point3::new(
+            (h % 90) as f32,
+            ((h >> 8) % 90) as f32,
+            ((h >> 16) % 90) as f32,
+        );
+        let w = 4.0 + (h % 5) as f32 * 6.0;
+        run.range
+            .push(Aabb::new(c, Point3::new(c.x + w, c.y + w, c.z + w)));
+    }
+    for k in [1usize, 5, 9] {
+        let probes: Vec<Point3> = (0..8u32)
+            .map(|i| {
+                let h = mix(1000 + 31 * k as u32 + i);
+                Point3::new(
+                    (h % 97) as f32,
+                    ((h >> 8) % 97) as f32,
+                    ((h >> 16) % 97) as f32,
+                )
+            })
+            .collect();
+        run.knn.push((k, probes));
+    }
+    run
+}
+
+#[test]
+fn idle_worker_steals_from_wedged_owner_queue() {
+    let _g = THREADS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let old = parallel::num_threads();
+    parallel::set_num_threads(2);
+    let mut backend = sharded_backend(4);
+    assert_eq!(backend.pool_workers(), 2);
+    // Shards 0 and 2 land on worker 0's queue, shards 1 and 3 on worker
+    // 1's. Wedging shard 0's first job forces worker 1 (done with its own
+    // queue long before the delay elapses) to steal shard 2's job.
+    backend.install_worker_faults(&[(0, 0, FaultKind::Delay(Duration::from_millis(80)))]);
+    let everything = Aabb::new(Point3::new(-1e6, -1e6, -1e6), Point3::new(1e6, 1e6, 1e6));
+    let mut out = BatchResults::new();
+    let report = backend.range_batch(&[everything], &mut out);
+    assert!(report.failed.is_empty() && report.partial.is_empty());
+    assert_eq!(out.query_results(0).len(), 4000);
+    let t = backend.telemetry();
+    assert!(t.worker_steals >= 1, "expected a steal, telemetry: {t:?}");
+    assert_eq!(t.worker_busy_ns.len(), 2);
+    assert!(t.worker_busy_ns.iter().sum::<u64>() > 0);
+    parallel::set_num_threads(old);
+}
+
+#[test]
+fn query_run_matches_sequential_at_every_thread_count() {
+    let _g = THREADS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let old = parallel::num_threads();
+    let run = mixed_run();
+
+    // Oracle: the per-sub-batch sequential path at one worker.
+    parallel::set_num_threads(1);
+    let mut oracle = sharded_backend(4);
+    let mut range_out = BatchResults::new();
+    oracle.range_batch(&run.range, &mut range_out);
+    let oracle_range: Vec<Vec<ElementId>> = (0..run.range.len())
+        .map(|q| range_out.query_results(q).to_vec())
+        .collect();
+    let mut oracle_knn = Vec::new();
+    for (k, pts) in &run.knn {
+        let mut out = KnnBatchResults::new();
+        oracle.knn_batch(pts, *k, &mut out);
+        oracle_knn.push(
+            (0..pts.len())
+                .map(|p| out.query_results(p).to_vec())
+                .collect::<Vec<_>>(),
+        );
+    }
+
+    for threads in [1usize, 2, 4] {
+        parallel::set_num_threads(threads);
+        let mut backend = sharded_backend(4);
+        assert_eq!(backend.pool_workers(), threads);
+        let mut out = QueryRunResults::default();
+        let report = backend.query_run(&run, &mut out);
+        assert_eq!(report.panics, 0);
+        assert!(!report.poisoned);
+        assert!(matches!(report.range, Some(SubBatchOutcome::Ran(_))));
+        for g in 0..run.knn.len() {
+            assert!(matches!(report.knn[g], SubBatchOutcome::Ran(_)));
+        }
+        for (q, expected) in oracle_range.iter().enumerate() {
+            assert_eq!(
+                out.range.query_results(q),
+                &expected[..],
+                "range query {q} diverged at {threads} threads"
+            );
+        }
+        for (g, (k, _)) in run.knn.iter().enumerate() {
+            for (p, expected) in oracle_knn[g].iter().enumerate() {
+                assert_eq!(
+                    out.knn[g].query_results(p),
+                    &expected[..],
+                    "kNN k={k} probe {p} diverged at {threads} threads"
+                );
+            }
+        }
+    }
+    parallel::set_num_threads(old);
+}
+
+#[test]
+fn service_stats_surface_pool_gauges() {
+    let _g = THREADS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let old = parallel::num_threads();
+    parallel::set_num_threads(2);
+    let service = SpatialService::spawn(sharded_backend(4), ServiceConfig::default());
+    let handle = service.handle();
+    let tickets: Vec<_> = (0..16u32)
+        .map(|i| {
+            let c = i as f32 * 5.0;
+            handle
+                .submit(Request::Range(vec![Aabb::new(
+                    Point3::new(c, c, c),
+                    Point3::new(c + 20.0, c + 20.0, c + 20.0),
+                )]))
+                .unwrap()
+        })
+        .collect();
+    for t in tickets {
+        t.recv().unwrap();
+    }
+    let stats = service.shutdown();
+    assert_eq!(stats.worker_busy_ns.len(), 2);
+    assert!(stats.worker_busy_ns.iter().sum::<u64>() > 0);
+    let summary = stats.summary();
+    assert!(summary.contains("pool: 2 workers"), "summary:\n{summary}");
+    parallel::set_num_threads(old);
+}
