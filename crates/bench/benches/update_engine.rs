@@ -1,0 +1,183 @@
+//! Tick throughput of the sharded write path: **rebuild vs incremental**
+//! in-shard application, across update fractions and shard counts. Emits
+//! `BENCH_update_engine.json` at the workspace root.
+//!
+//! One *tick* is one coalesced `update_batch` carrying `frac · n` moved
+//! elements (small in-place displacements — the paper's massive-yet-minimal
+//! profile, so migrations are rare and incremental lanes stay eligible).
+//! Rows (unit `ticks/s`, `before` = rebuild mode, `after` = incremental
+//! mode, grid-migration strategy shards):
+//!
+//! * `upd_1e5_f01_s1` / `upd_1e5_f01_s4` — 10⁵ elements, 1 % moved,
+//!   1 and 4 shards.
+//! * `upd_1e5_f10_s1` / `upd_1e5_f10_s4` — 10⁵ elements, 10 % moved.
+//! * `upd_1e6_f10_s4` — 10⁶ elements, 10 % moved, 4 shards (skipped under
+//!   `CRITERION_QUICK` — the CI smoke stays at 10⁵).
+//!
+//! The guardrail mirrors the experiment that motivates the incremental
+//! mode: at ≤ 10 % update fraction on 10⁵ elements, in-place application
+//! must deliver at least **3×** the rebuild mode's ticks/s — otherwise the
+//! fast path has regressed into the fallback.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use simspatial_bench::report::BenchJson;
+use simspatial_datagen::ElementSoupBuilder;
+use simspatial_geom::{Element, Shape};
+use simspatial_index::ShardedEngine;
+use simspatial_moving::{
+    sharded_strategy_engine, ShardWriteMode, StrategyIndex, UpdateStrategyKind,
+};
+use std::time::Instant;
+
+fn quick() -> bool {
+    std::env::var("CRITERION_QUICK").is_ok()
+}
+
+/// Ticks per measurement round (each tick is one whole update batch).
+fn ticks_per_round(rebuild: bool) -> usize {
+    match (quick(), rebuild) {
+        (true, true) => 3,
+        (true, false) => 8,
+        (false, true) => 6,
+        (false, false) => 20,
+    }
+}
+
+fn soup(n: usize) -> Vec<Element> {
+    ElementSoupBuilder::new()
+        .count(n)
+        .universe_side(100.0)
+        .seed(0x0BE5)
+        .build()
+        .elements()
+        .to_vec()
+}
+
+/// Precomputes `rounds` delta ticks of `k` moved elements each: every
+/// mover oscillates ±0.05 along x around its seed position, far below the
+/// auto cell side, so the grid absorbs most moves and shard boundaries are
+/// crossed only by the handful of elements that straddle them.
+fn delta_ticks(elements: &[Element], k: usize, rounds: usize) -> Vec<Vec<(u32, Shape)>> {
+    let n = elements.len() as u64;
+    (0..rounds)
+        .map(|round| {
+            (0..k as u64)
+                .map(|j| {
+                    let id = ((round as u64 * k as u64 + j) * 2654435761) % n;
+                    let d = if round % 2 == 0 { 0.05 } else { -0.05 };
+                    let mut bb = elements[id as usize].aabb();
+                    bb.min.x += d;
+                    bb.max.x += d;
+                    (id as u32, Shape::Box(bb))
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Ticks/s of one engine over the precomputed tick stream: warm-up tick,
+/// then best of two timed rounds.
+fn measure(engine: &mut ShardedEngine<StrategyIndex>, ticks: &[Vec<(u32, Shape)>]) -> f64 {
+    engine.update_batch(&ticks[0]);
+    let mut best = 0.0f64;
+    for _ in 0..2 {
+        let start = Instant::now();
+        for tick in ticks {
+            engine.update_batch(tick);
+        }
+        best = best.max(ticks.len() as f64 / start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn row(
+    json: &mut BenchJson,
+    name: &str,
+    elements: &[Element],
+    frac: f64,
+    shards: usize,
+) -> (f64, f64) {
+    let k = ((elements.len() as f64 * frac) as usize).max(1);
+    let kind = UpdateStrategyKind::GridMigrate;
+    let mut reb = sharded_strategy_engine(elements, shards, kind, ShardWriteMode::Rebuild);
+    let mut inc = sharded_strategy_engine(elements, shards, kind, ShardWriteMode::Incremental);
+    let rebuild = measure(&mut reb, &delta_ticks(elements, k, ticks_per_round(true)));
+    let incremental = measure(&mut inc, &delta_ticks(elements, k, ticks_per_round(false)));
+    json.add(name, "ticks/s", rebuild, incremental);
+    (rebuild, incremental)
+}
+
+fn emit_json() -> BenchJson {
+    let mut json = BenchJson::new("update_engine");
+    let elements = soup(100_000);
+    let mut guard = f64::MAX;
+    for frac in [0.01f64, 0.10] {
+        for shards in [1usize, 4] {
+            let name = format!("upd_1e5_f{:02}_s{shards}", (frac * 100.0) as u32);
+            let (rebuild, incremental) = row(&mut json, &name, &elements, frac, shards);
+            guard = guard.min(incremental / rebuild);
+        }
+    }
+    // The ≥3× guardrail at ≤10 % update fraction on 10⁵ elements, with one
+    // grace re-measure for shared-host noise before declaring a regression.
+    if guard < 3.0 {
+        let mut json2 = BenchJson::new("update_engine_retry");
+        guard = f64::MAX;
+        for frac in [0.01f64, 0.10] {
+            for shards in [1usize, 4] {
+                let name = format!("retry_f{:02}_s{shards}", (frac * 100.0) as u32);
+                let (rebuild, incremental) = row(&mut json2, &name, &elements, frac, shards);
+                guard = guard.min(incremental / rebuild);
+            }
+        }
+    }
+    assert!(
+        guard >= 3.0,
+        "incremental write path lost its edge: worst incremental/rebuild ratio {guard:.2}× (need ≥3×)"
+    );
+    if !quick() {
+        let elements = soup(1_000_000);
+        row(&mut json, "upd_1e6_f10_s4", &elements, 0.10, 4);
+    }
+    json
+}
+
+fn bench(c: &mut Criterion) {
+    let json = emit_json();
+    let out = std::env::var("SIMSPATIAL_BENCH_OUT").unwrap_or_else(|_| {
+        format!(
+            "{}/../../BENCH_update_engine.json",
+            env!("CARGO_MANIFEST_DIR")
+        )
+    });
+    json.write_to(std::path::Path::new(&out))
+        .expect("write BENCH_update_engine.json");
+    println!("{}", json.to_json());
+    println!("wrote {out}");
+
+    // A small criterion smoke on top of the manual rounds: one incremental
+    // 1 %-fraction tick at 10⁵ elements.
+    let elements = soup(100_000);
+    let mut engine = sharded_strategy_engine(
+        &elements,
+        4,
+        UpdateStrategyKind::GridMigrate,
+        ShardWriteMode::Incremental,
+    );
+    let ticks = delta_ticks(&elements, 1_000, 8);
+    let mut i = 0usize;
+    let mut g = c.benchmark_group("update_engine");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(200));
+    g.measurement_time(std::time::Duration::from_millis(700));
+    g.bench_function("incremental_tick_1e5_f01_s4", |b| {
+        b.iter(|| {
+            i = (i + 1) % ticks.len();
+            engine.update_batch(&ticks[i])
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -82,6 +82,37 @@ use std::time::Instant;
 /// allocation; `Send + Sync` so executors can live on worker threads.
 pub type ShardRebuild<I> = Arc<dyn Fn(&[Element]) -> I + Send + Sync>;
 
+/// Cost report of one **incremental** in-shard apply (see [`ShardApply`]):
+/// how much index structure a lane of updates actually dirtied, versus how
+/// many moves were absorbed in place for free.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardApplyCost {
+    /// Structural index modifications: grid cell switches, R-Tree
+    /// reinsertions/repairs — the nodes/cells the lane dirtied.
+    pub structural: u64,
+    /// Updates absorbed with no structural work (same cell, inside a
+    /// buffered batch or grace window).
+    pub absorbed: u64,
+    /// Full rebuilds the *strategy itself* chose to perform (a buffered
+    /// strategy flushing, a rebuild strategy) — distinct from the
+    /// executor-level fallback rebuild, which this path avoids.
+    pub rebuilds: u64,
+}
+
+/// The pluggable **incremental** in-shard write mode: an updatable executor
+/// holding one of these applies a geometry-only lane by mutating its index
+/// in place instead of rebuilding it ([`ShardExecutor::apply_updates`]).
+///
+/// Called with the shard's index, its re-identified local element clone,
+/// and the lane's updates translated to **local dense ids** — the executor
+/// guarantees every id resolves and that the lane carries no membership
+/// changes (inserts/removals fall back to the rebuild path, which stays
+/// attached as the differential oracle and the restart recipe). The
+/// closure must leave `data[id].shape` equal to the new geometry, exactly
+/// as a rebuild-path apply would.
+pub type ShardApply<I> =
+    Arc<dyn Fn(&mut I, &mut [Element], &[(ElementId, Shape)]) -> ShardApplyCost + Send + Sync>;
+
 /// How a [`ShardRouter`] places its K-1 interior cuts along the split axis.
 #[derive(Debug, Clone)]
 enum Split {
@@ -321,6 +352,9 @@ pub struct ShardExecutor<I> {
     /// Index (re)build function for the write path; `None` for read-only
     /// engines (see [`ShardedEngine::with_rebuild`]).
     rebuild: Option<ShardRebuild<I>>,
+    /// Incremental in-shard write mode; `None` means every lane rebuilds
+    /// (see [`ShardedEngine::with_apply`]).
+    apply: Option<ShardApply<I>>,
 }
 
 impl<I> ShardExecutor<I> {
@@ -366,6 +400,27 @@ impl<I> ShardExecutor<I> {
         self.rebuild.clone()
     }
 
+    /// True when this executor applies geometry-only lanes incrementally
+    /// (an in-shard apply function is attached, see
+    /// [`ShardedEngine::with_apply`]).
+    pub fn is_incremental(&self) -> bool {
+        self.apply.is_some()
+    }
+
+    /// A clone of the attached incremental apply function, if any — the
+    /// supervisor captures it alongside [`ShardExecutor::rebuild_fn`] so a
+    /// restarted shard comes back in the same write mode.
+    pub fn apply_fn(&self) -> Option<ShardApply<I>> {
+        self.apply.clone()
+    }
+
+    /// Attaches (or clears) the incremental apply function on this
+    /// executor — the restart path uses this to restore the write mode
+    /// after [`ShardExecutor::from_planner`] rebuilt the shard.
+    pub fn set_apply(&mut self, apply: Option<ShardApply<I>>) {
+        self.apply = apply;
+    }
+
     /// Reconstructs shard `shard`'s executor from the planner's retained
     /// element store ([`ShardPlanner::with_elements`]): the exact element
     /// clone [`ShardPlanner::shard_elements`] reproduces, re-identified
@@ -398,6 +453,7 @@ impl<I> ShardExecutor<I> {
             index,
             engine: QueryEngine::new(),
             rebuild: Some(rebuild),
+            apply: None,
         }
     }
 
@@ -410,16 +466,41 @@ impl<I> ShardExecutor<I> {
     }
 }
 
+/// Executor-level accounting of one applied write sub-batch — what
+/// [`UpdateLane::run`] folds into the lane's [`UpdateLaneReport`].
+#[derive(Debug, Clone, Copy, Default)]
+struct ApplyOutcome {
+    applied: u64,
+    inserted: u64,
+    removed: u64,
+    structural: u64,
+    absorbed: u64,
+    rebuilds: u64,
+    rebuilds_avoided: u64,
+}
+
 impl<I> ShardExecutor<I> {
-    /// Applies one routed write sub-batch: upserts (`updates` ∪ `inserts`),
-    /// then removals, then restores the sorted-by-global-id element order
-    /// and rebuilds the shard index with the attached rebuild function.
-    /// Returns `(upserts applied, elements inserted, elements removed)`.
+    /// Applies one routed write sub-batch.
     ///
-    /// Upsert semantics make the executor robust to a planner whose
+    /// **Incremental fast path**: when an in-shard apply function is
+    /// attached ([`ShardExecutor::is_incremental`]), the lane carries no
+    /// membership changes (no inserts/removals — the element set and its
+    /// sorted-by-global-id order are untouched), and every update id
+    /// resolves to a resident element, the updates are translated to local
+    /// dense ids and handed to the apply function, which mutates the index
+    /// in place — K updates dirty only the cells/nodes they touch, and the
+    /// full rebuild is skipped.
+    ///
+    /// **Rebuild fallback** (also the only mode when no apply function is
+    /// attached): upserts (`updates` ∪ `inserts`), then removals, then
+    /// restores the sorted-by-global-id element order and rebuilds the
+    /// shard index with the attached rebuild function.
+    ///
+    /// Upsert semantics make the fallback robust to a planner whose
     /// envelope view is stale: an "update" for an id the shard does not
-    /// hold inserts it, an "insert" for an id already present overwrites
-    /// its geometry, and removals of absent ids are no-ops.
+    /// hold inserts it (which is also why such lanes bypass the fast
+    /// path), an "insert" for an id already present overwrites its
+    /// geometry, and removals of absent ids are no-ops.
     ///
     /// Panics when no rebuild function is attached
     /// ([`ShardExecutor::is_updatable`] is false).
@@ -428,12 +509,40 @@ impl<I> ShardExecutor<I> {
         updates: &[(ElementId, Shape)],
         inserts: &[(ElementId, Shape)],
         removals: &[ElementId],
-    ) -> (u64, u64, u64) {
+    ) -> ApplyOutcome {
         let rebuild = Arc::clone(
             self.rebuild
                 .as_ref()
                 .expect("write batch on a read-only shard — build the engine with_rebuild"),
         );
+        if let Some(apply) = self
+            .apply
+            .as_ref()
+            .filter(|_| inserts.is_empty() && removals.is_empty())
+        {
+            let apply = Arc::clone(apply);
+            // Translate to local ids; any miss means the planner's envelope
+            // view and this shard's membership disagree (stale planner), so
+            // fall through to the upsert-capable rebuild path.
+            let mut local: Vec<(ElementId, Shape)> = Vec::with_capacity(updates.len());
+            let resident = updates.iter().all(|&(gid, shape)| {
+                self.global.binary_search(&gid).is_ok_and(|li| {
+                    local.push((li as ElementId, shape));
+                    true
+                })
+            });
+            if resident {
+                let cost = apply(&mut self.index, &mut self.data, &local);
+                return ApplyOutcome {
+                    applied: updates.len() as u64,
+                    structural: cost.structural,
+                    absorbed: cost.absorbed,
+                    rebuilds: cost.rebuilds,
+                    rebuilds_avoided: 1,
+                    ..ApplyOutcome::default()
+                };
+            }
+        }
         // Phase 1: upserts. Binary searches stay valid because misses are
         // parked in `pending` instead of being appended mid-loop. The
         // accounting follows what actually happened, not which list the
@@ -487,7 +596,18 @@ impl<I> ShardExecutor<I> {
         self.data.shrink_to_fit();
         self.global.shrink_to_fit();
         self.index = rebuild(&self.data);
-        (applied, inserted, removed)
+        ApplyOutcome {
+            applied,
+            inserted,
+            removed,
+            // A rebuild touches every surviving element's index entry —
+            // that is exactly the write amplification the incremental
+            // path exists to avoid, so charge it as structural work.
+            structural: self.data.len() as u64,
+            absorbed: 0,
+            rebuilds: 1,
+            rebuilds_avoided: 0,
+        }
     }
 }
 
@@ -726,6 +846,33 @@ pub struct UpdateLaneReport {
     /// batch — reflects post-migration sizes, since the executor shrinks
     /// its buffers on apply.
     pub memory_bytes: usize,
+    /// Write operations shipped to this shard (updates + inserts +
+    /// removals) — the lane's share of the write-amplification numerator.
+    pub shipped: u64,
+    /// Structural index work this lane caused: cells/nodes dirtied on the
+    /// incremental path, every surviving element on a rebuild.
+    pub structural: u64,
+    /// Updates absorbed in place with no structural work.
+    pub absorbed: u64,
+    /// Full index rebuilds this lane performed (the executor fallback, or
+    /// a strategy-internal rebuild on the incremental path).
+    pub rebuilds: u64,
+    /// 1 when the lane ran incrementally (the mandatory rebuild of rebuild
+    /// mode was skipped), 0 otherwise.
+    pub rebuilds_avoided: u64,
+}
+
+impl UpdateLaneReport {
+    /// Folds this lane's write-amplification counters into batch-level
+    /// [`UpdateStats`] (plan-level fields — applied/migrations/skipped and
+    /// membership counts — are the planner's to fill).
+    pub fn fold_into(&self, stats: &mut UpdateStats) {
+        stats.shipped += self.shipped;
+        stats.structural += self.structural;
+        stats.absorbed += self.absorbed;
+        stats.rebuilds += self.rebuilds;
+        stats.rebuilds_avoided += self.rebuilds_avoided;
+    }
 }
 
 /// The routed write sub-batch for one shard — the write-path mirror of
@@ -790,14 +937,19 @@ impl UpdateLane {
     /// Panics when `exec` has no rebuild function attached
     /// ([`ShardedEngine::with_rebuild`]).
     pub fn run<I: SpatialIndex>(&mut self, exec: &mut ShardExecutor<I>) {
-        let (applied, migrated_in, migrated_out) =
-            exec.apply_updates(&self.updates, &self.inserts, &self.removals);
+        let shipped = self.len() as u64;
+        let outcome = exec.apply_updates(&self.updates, &self.inserts, &self.removals);
         self.report = UpdateLaneReport {
-            applied,
-            migrated_in,
-            migrated_out,
+            applied: outcome.applied,
+            migrated_in: outcome.inserted,
+            migrated_out: outcome.removed,
             len_after: exec.len(),
             memory_bytes: exec.memory_bytes(),
+            shipped,
+            structural: outcome.structural,
+            absorbed: outcome.absorbed,
+            rebuilds: outcome.rebuilds,
+            rebuilds_avoided: outcome.rebuilds_avoided,
         };
     }
 
@@ -1063,10 +1215,19 @@ impl ShardPlanner {
             lane.reset();
         }
         let mut stats = UpdateStats::default();
+        let tracked = self.envelopes.len() == self.id_bound;
         // Last-write-wins: iterate in reverse, first sighting of an id wins.
         self.scratch.visited.begin(self.id_bound.max(1));
         for &(id, shape) in updates.iter().rev() {
             if id as usize >= self.id_bound || !self.scratch.visited.mark(id) {
+                stats.skipped += 1;
+                continue;
+            }
+            // With envelope tracking, an empty envelope marks an id that
+            // never existed or was removed ([`ShardPlanner::route_removals`]
+            // tombstones) — updates to dead ids are skipped, not
+            // resurrected.
+            if tracked && self.envelopes[id as usize].is_empty() {
                 stats.skipped += 1;
                 continue;
             }
@@ -1098,6 +1259,107 @@ impl ShardPlanner {
                 }
             }
             stats.applied += 1;
+        }
+        stats
+    }
+
+    /// Allocates fresh global ids for `shapes` and routes each new element
+    /// into the lanes of every shard its envelope overlaps — planner-side
+    /// id allocation, the half of insert the executor upsert path cannot
+    /// do on its own. Returns the allocated ids (ascending, contiguous
+    /// from the previous id bound) and the plan-level accounting.
+    ///
+    /// The id bound and, when present, the envelope table and element
+    /// store grow in lockstep, so shard restarts
+    /// ([`ShardPlanner::shard_elements`]) and the merge-time dedupe tables
+    /// see the new elements immediately. `lanes` is resized to the shard
+    /// count and fully reset (allocations kept).
+    pub fn route_inserts(
+        &mut self,
+        shapes: &[Shape],
+        lanes: &mut Vec<UpdateLane>,
+    ) -> (Vec<ElementId>, UpdateStats) {
+        size_lanes(lanes, self.shard_count());
+        for lane in lanes.iter_mut() {
+            lane.reset();
+        }
+        let mut stats = UpdateStats::default();
+        let track_env = self.envelopes.len() == self.id_bound;
+        let track_shape = track_env && self.shapes.len() == self.envelopes.len();
+        let mut ids = Vec::with_capacity(shapes.len());
+        for &shape in shapes {
+            let id = self.id_bound as ElementId;
+            self.id_bound += 1;
+            let bb = shape.aabb();
+            if track_env {
+                self.envelopes.push(bb);
+            }
+            if track_shape {
+                self.shapes.push(shape);
+            }
+            let route = if track_env {
+                self.router.route(&bb)
+            } else {
+                // No envelope tracking: conservative all-shard fan-out
+                // (executors insert; queries route by region either way).
+                0..self.shard_count()
+            };
+            for lane in &mut lanes[route] {
+                lane.inserts.push((id, shape));
+            }
+            ids.push(id);
+            stats.inserted += 1;
+        }
+        (ids, stats)
+    }
+
+    /// Routes a removal batch: each live id is removed from every shard
+    /// its current envelope overlaps, and its envelope-table entry becomes
+    /// the empty-box **tombstone** — [`ShardPlanner::shard_elements`]
+    /// skips it (restarted shards exclude it) and
+    /// [`ShardPlanner::route_updates`] refuses to resurrect it. Unknown,
+    /// duplicate and already-removed ids count as `skipped`. `lanes` is
+    /// resized to the shard count and fully reset (allocations kept).
+    pub fn route_removals(
+        &mut self,
+        ids: &[ElementId],
+        lanes: &mut Vec<UpdateLane>,
+    ) -> UpdateStats {
+        size_lanes(lanes, self.shard_count());
+        for lane in lanes.iter_mut() {
+            lane.reset();
+        }
+        let mut stats = UpdateStats::default();
+        self.scratch.visited.begin(self.id_bound.max(1));
+        for &id in ids {
+            if id as usize >= self.id_bound || !self.scratch.visited.mark(id) {
+                stats.skipped += 1;
+                continue;
+            }
+            match self.envelopes.get(id as usize) {
+                Some(env) if env.is_empty() => {
+                    stats.skipped += 1;
+                    continue;
+                }
+                Some(env) => {
+                    for s in self.router.route(env) {
+                        lanes[s].removals.push(id);
+                    }
+                    self.envelopes[id as usize] = Aabb::empty();
+                    if let Some(slot) = self.shapes.get_mut(id as usize) {
+                        *slot = Shape::Box(Aabb::empty());
+                    }
+                }
+                // No envelope tracking: conservative all-shard removal;
+                // the id stays routable, so a later update resurrects it
+                // (precise membership needs envelope tracking).
+                None => {
+                    for lane in lanes.iter_mut() {
+                        lane.removals.push(id);
+                    }
+                }
+            }
+            stats.removed += 1;
         }
         stats
     }
@@ -1317,6 +1579,7 @@ impl<I> ShardedEngine<I> {
                 global,
                 engine: QueryEngine::new(),
                 rebuild: None,
+                apply: None,
             })
             .collect();
         Self {
@@ -1366,10 +1629,47 @@ impl<I> ShardedEngine<I> {
         self
     }
 
+    /// Switches every shard into the **incremental** write mode: a
+    /// geometry-only update lane whose ids all resolve in the shard is
+    /// applied in place through `apply` (index mutated cell-by-cell /
+    /// node-by-node) instead of rebuilding the shard index. Lanes carrying
+    /// membership changes — migrations in or out, inserts, removals — and
+    /// lanes with unresolved ids still take the rebuild path, so a rebuild
+    /// function must already be attached ([`ShardedEngine::with_rebuild`]).
+    ///
+    /// `apply` receives the shard index, the shard's re-identified local
+    /// element clone, and the lane translated to local dense ids; it must
+    /// leave `data[id].shape` equal to the new geometry, exactly as a
+    /// rebuild would (that equivalence is what the differential suite
+    /// checks, with rebuild mode as the oracle).
+    pub fn with_apply(
+        mut self,
+        apply: impl Fn(&mut I, &mut [Element], &[(ElementId, Shape)]) -> ShardApplyCost
+            + Send
+            + Sync
+            + 'static,
+    ) -> Self {
+        assert!(
+            self.is_updatable(),
+            "incremental write mode needs the rebuild fallback — call with_rebuild first"
+        );
+        let apply: ShardApply<I> = Arc::new(apply);
+        for exec in &mut self.executors {
+            exec.apply = Some(Arc::clone(&apply));
+        }
+        self
+    }
+
     /// True when every shard can apply write batches (a rebuild function is
     /// attached, see [`ShardedEngine::with_rebuild`]).
     pub fn is_updatable(&self) -> bool {
         self.executors.iter().all(ShardExecutor::is_updatable)
+    }
+
+    /// True when every shard applies geometry-only lanes incrementally
+    /// (see [`ShardedEngine::with_apply`]).
+    pub fn is_incremental(&self) -> bool {
+        self.executors.iter().all(ShardExecutor::is_incremental)
     }
 
     /// The routing function in force.
@@ -1484,8 +1784,68 @@ impl<I: SpatialIndex + Send> ShardedEngine<I> {
                 lane.run(exec);
             }
         });
+        fold_lane_reports(&mut stats, &self.update_lanes);
         stats.elapsed_s = start.elapsed().as_secs_f64();
         stats
+    }
+
+    /// Inserts new elements: the planner allocates fresh global ids
+    /// ([`ShardPlanner::route_inserts`]), every shard whose region the new
+    /// envelope overlaps receives the element, and post-insert query
+    /// results are byte-identical to a single engine over the grown
+    /// dataset. Returns the allocated ids (ascending) and the accounting.
+    ///
+    /// Requires a rebuild function ([`ShardedEngine::with_rebuild`]);
+    /// panics on an engine without one.
+    pub fn insert_batch(&mut self, shapes: &[Shape]) -> (Vec<ElementId>, UpdateStats) {
+        assert!(
+            self.is_updatable(),
+            "insert on a read-only sharded engine — attach a rebuild function with with_rebuild"
+        );
+        let start = Instant::now();
+        let (ids, mut stats) = self.planner.route_inserts(shapes, &mut self.update_lanes);
+        run_pairs(&mut self.executors, &mut self.update_lanes, |exec, lane| {
+            if !lane.is_empty() {
+                lane.run(exec);
+            }
+        });
+        fold_lane_reports(&mut stats, &self.update_lanes);
+        stats.elapsed_s = start.elapsed().as_secs_f64();
+        (ids, stats)
+    }
+
+    /// Removes elements by global id: each live id leaves every shard its
+    /// envelope overlaps and its planner entry becomes a tombstone
+    /// ([`ShardPlanner::route_removals`] — later updates to the id are
+    /// skipped, restarts exclude it). Post-removal query results are
+    /// byte-identical to a single engine over the shrunk dataset.
+    ///
+    /// Requires a rebuild function ([`ShardedEngine::with_rebuild`]);
+    /// panics on an engine without one.
+    pub fn remove_batch(&mut self, ids: &[ElementId]) -> UpdateStats {
+        assert!(
+            self.is_updatable(),
+            "remove on a read-only sharded engine — attach a rebuild function with with_rebuild"
+        );
+        let start = Instant::now();
+        let mut stats = self.planner.route_removals(ids, &mut self.update_lanes);
+        run_pairs(&mut self.executors, &mut self.update_lanes, |exec, lane| {
+            if !lane.is_empty() {
+                lane.run(exec);
+            }
+        });
+        fold_lane_reports(&mut stats, &self.update_lanes);
+        stats.elapsed_s = start.elapsed().as_secs_f64();
+        stats
+    }
+}
+
+/// Folds executed lanes' [`UpdateLaneReport`]s into batch-level
+/// [`UpdateStats`] — the write-amplification counters travel up exactly
+/// once per batch.
+fn fold_lane_reports(stats: &mut UpdateStats, lanes: &[UpdateLane]) {
+    for lane in lanes {
+        lane.report().fold_into(stats);
     }
 }
 

@@ -104,8 +104,8 @@ mod util;
 
 pub use crtree::{CrTree, CrTreeConfig};
 pub use engine::sharded::{
-    KnnLane, RangeLane, ShardExecutor, ShardPlanner, ShardRebuild, ShardRouter, ShardedEngine,
-    UpdateLane, UpdateLaneReport,
+    KnnLane, RangeLane, ShardApply, ShardApplyCost, ShardExecutor, ShardPlanner, ShardRebuild,
+    ShardRouter, ShardedEngine, UpdateLane, UpdateLaneReport,
 };
 pub use engine::{BatchResults, CountSink, KnnBatchResults, QueryEngine};
 pub use flat::{Flat, FlatConfig};

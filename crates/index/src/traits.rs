@@ -301,6 +301,30 @@ pub struct UpdateStats {
     /// Updates not applied: ids outside the dataset, plus duplicates
     /// superseded by a later update to the same id in the same batch.
     pub skipped: u64,
+    /// Write operations shipped to the storage layer after routing:
+    /// per-shard lane entries (updates + migrations in/out) for the
+    /// sharded engine, batch entries for a single engine. `shipped /
+    /// applied` is the write-amplification factor replication introduces.
+    pub shipped: u64,
+    /// Structural index work performed while applying the batch: grid cell
+    /// switches, R-Tree reinsertions/repairs, and — for shards or
+    /// strategies that fell back to a rebuild — every element the rebuild
+    /// touched. The denominator of "how much index did K updates dirty".
+    pub structural: u64,
+    /// Updates absorbed with **no** structural work (same grid cell, inside
+    /// a buffered batch or grace window) — the incremental write path's
+    /// best case.
+    pub absorbed: u64,
+    /// Full index (re)builds performed while applying the batch (one per
+    /// shard lane in rebuild mode; strategy-internal rebuilds count too).
+    pub rebuilds: u64,
+    /// Shard lanes applied incrementally that rebuild mode would have
+    /// rebuilt — the rebuilds the incremental write path saved.
+    pub rebuilds_avoided: u64,
+    /// Elements newly inserted into the dataset (planner-allocated ids).
+    pub inserted: u64,
+    /// Elements removed from the dataset (tombstoned ids).
+    pub removed: u64,
 }
 
 impl UpdateStats {
@@ -310,6 +334,13 @@ impl UpdateStats {
         self.applied += other.applied;
         self.migrations += other.migrations;
         self.skipped += other.skipped;
+        self.shipped += other.shipped;
+        self.structural += other.structural;
+        self.absorbed += other.absorbed;
+        self.rebuilds += other.rebuilds;
+        self.rebuilds_avoided += other.rebuilds_avoided;
+        self.inserted += other.inserted;
+        self.removed += other.removed;
     }
 }
 

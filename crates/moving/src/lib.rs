@@ -47,6 +47,8 @@ pub use grid_migrate::GridMigrate;
 pub use lazy::LazyGraceWindow;
 pub use rtree_strategies::{RTreeBottomUp, RTreeRebuild, RTreeReinsert};
 pub use scan::NoIndexScan;
-pub use service::{strategy_backend, StrategyIndex, StrategyWrites};
+pub use service::{
+    sharded_strategy_engine, strategy_backend, ShardWriteMode, StrategyIndex, StrategyWrites,
+};
 pub use strategy::{StepCost, UpdateStrategy, UpdateStrategyKind};
 pub use throwaway::ThrowawayGrid;

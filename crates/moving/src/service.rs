@@ -45,7 +45,9 @@
 
 use crate::strategy::{UpdateStrategy, UpdateStrategyKind};
 use simspatial_geom::{Aabb, Element, ElementId, Point3, QueryScratch, Shape};
-use simspatial_index::{KnnIndex, KnnSink, RangeSink, SpatialIndex, UpdateStats};
+use simspatial_index::{
+    KnnIndex, KnnSink, RangeSink, ShardApplyCost, ShardedEngine, SpatialIndex, UpdateStats,
+};
 use simspatial_service::{EngineBackend, IndexUpdater};
 use std::time::Instant;
 
@@ -73,6 +75,12 @@ impl StrategyIndex {
     /// The wrapped strategy.
     pub fn strategy(&self) -> &dyn UpdateStrategy {
         self.strategy.as_ref()
+    }
+
+    /// The wrapped strategy, mutably — the hook incremental shard
+    /// executors use to push write lanes into the maintained structure.
+    pub fn strategy_mut(&mut self) -> &mut dyn UpdateStrategy {
+        self.strategy.as_mut()
     }
 }
 
@@ -153,6 +161,11 @@ impl IndexUpdater<StrategyIndex> for StrategyWrites {
             applied,
             migrations: cost.structural_updates + cost.rebuilds,
             skipped: updates.len() as u64 - applied,
+            shipped: updates.len() as u64,
+            structural: cost.structural_updates,
+            absorbed: cost.absorbed,
+            rebuilds: cost.rebuilds,
+            ..UpdateStats::default()
         }
     }
 
@@ -176,6 +189,48 @@ pub fn strategy_backend(
 ) -> EngineBackend<StrategyIndex> {
     let index = StrategyIndex::build(kind, &data);
     EngineBackend::with_updater(data, index, StrategyWrites::new(kind))
+}
+
+/// The in-shard write mode of a strategy-backed sharded engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardWriteMode {
+    /// Every write lane rebuilds the shard's strategy structure from its
+    /// (updated) element clone — the differential oracle, and the only
+    /// mode that handles membership changes inside the lane itself.
+    Rebuild,
+    /// Geometry-only lanes whose ids all resolve in the shard are pushed
+    /// through [`UpdateStrategy::update_batch`] in place, touching only
+    /// the dirty cells/nodes; lanes carrying migrations, inserts or
+    /// removals — and supervised restarts — fall back to the rebuild path.
+    Incremental,
+}
+
+/// A strategy-backed [`ShardedEngine`]: each shard holds its own instance
+/// of the update strategy `kind` over the shard's element clone, and write
+/// lanes are applied per `mode`. `data` must follow the dataset convention
+/// (`element.id == position`); shard-local re-identification restores that
+/// convention inside every shard, which is what lets position-addressed
+/// strategies run there.
+pub fn sharded_strategy_engine(
+    data: &[Element],
+    shards: usize,
+    kind: UpdateStrategyKind,
+    mode: ShardWriteMode,
+) -> ShardedEngine<StrategyIndex> {
+    let engine = ShardedEngine::build(data, shards, move |els| StrategyIndex::build(kind, els))
+        .with_rebuild(move |els| StrategyIndex::build(kind, els));
+    match mode {
+        ShardWriteMode::Rebuild => engine,
+        ShardWriteMode::Incremental => engine.with_apply(|index, data, updates| {
+            let cost = index.strategy_mut().update_batch(data, updates);
+            index.len = data.len();
+            ShardApplyCost {
+                structural: cost.structural_updates,
+                absorbed: cost.absorbed,
+                rebuilds: cost.rebuilds,
+            }
+        }),
+    }
 }
 
 #[cfg(test)]

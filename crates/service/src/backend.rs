@@ -307,6 +307,42 @@ pub trait ServiceBackend: Send + 'static {
         false
     }
 
+    /// Inserts new elements, allocating fresh element ids (id allocation
+    /// is the backend's job — for the sharded backend, the planner's).
+    /// Returns the allocated ids in input order. The default (no
+    /// membership support) allocates nothing and reports every entry
+    /// skipped — unreachable through the service, which rejects
+    /// [`Request::Insert`](crate::Request::Insert) at admission when
+    /// [`ServiceBackend::supports_membership`] is false.
+    fn insert_batch(&mut self, shapes: &[Shape]) -> (Vec<ElementId>, UpdateReport) {
+        (
+            Vec::new(),
+            UpdateStats {
+                skipped: shapes.len() as u64,
+                ..UpdateStats::default()
+            }
+            .into(),
+        )
+    }
+
+    /// Removes elements by id (tombstoned: the ids never come back, and
+    /// later updates to them are skipped). Same default/admission contract
+    /// as [`ServiceBackend::insert_batch`].
+    fn remove_batch(&mut self, ids: &[ElementId]) -> UpdateReport {
+        UpdateStats {
+            skipped: ids.len() as u64,
+            ..UpdateStats::default()
+        }
+        .into()
+    }
+
+    /// True when [`ServiceBackend::insert_batch`] /
+    /// [`ServiceBackend::remove_batch`] actually change dataset
+    /// membership.
+    fn supports_membership(&self) -> bool {
+        false
+    }
+
     /// Called by the scheduler after a panic unwound out of a backend call
     /// on the dispatcher thread. Returns `true` when the backend restored
     /// (or never lost) a consistent state and can keep serving; `false`
@@ -433,6 +469,9 @@ impl<I: Send + 'static> IndexUpdater<I> for RebuildUpdater<I> {
         }
         // Every element is (re)placed by the rebuild.
         stats.migrations = stats.applied;
+        stats.shipped = updates.len() as u64;
+        stats.structural = data.len() as u64;
+        stats.rebuilds = 1;
         *index = (self.build)(data);
         stats.elapsed_s = start.elapsed().as_secs_f64();
         stats
@@ -900,7 +939,11 @@ impl ShardedBackend {
         let shard_memory: Vec<usize> = executors.iter().map(ShardExecutor::memory_bytes).collect();
         // Every executor of one engine shares the same rebuild function, so
         // the first one's copy serves as the restart recipe for all shards.
+        // Likewise the incremental apply function: the supervisor restores
+        // it after a planner-store rebuild, so a restarted shard comes back
+        // in the same write mode it crashed in.
         let rebuild = executors.first().and_then(ShardExecutor::rebuild_fn);
+        let apply = executors.first().and_then(ShardExecutor::apply_fn);
         let n = executors.len();
         let fault_lists: Vec<WorkerFaults> =
             (0..n).map(|_| Arc::new(Mutex::new(Vec::new()))).collect();
@@ -915,10 +958,15 @@ impl ShardedBackend {
         let factory: Option<RespawnFn> = rebuild.map(|rb| {
             Box::new(move |planner: &ShardPlanner, shard: usize| {
                 let rb = rb.clone();
+                let ap = apply.clone();
                 // The rebuild closure is user code: a panic inside it
                 // must not take down the supervisor.
                 catch_unwind(AssertUnwindSafe(move || {
-                    let exec = ShardExecutor::from_planner(planner, shard, rb);
+                    // Restart rebuilds from the planner store (writes
+                    // already folded in), then restores the incremental
+                    // write mode for subsequent lanes.
+                    let mut exec = ShardExecutor::from_planner(planner, shard, rb);
+                    exec.set_apply(ap);
                     let len = exec.len();
                     let mem = exec.memory_bytes();
                     (make_runner(exec), len, mem)
@@ -1104,6 +1152,31 @@ impl ShardedBackend {
             in_flight += 1;
         }
         self.gather(in_flight, false, false)
+    }
+
+    /// The shared tail of every write-path call (updates, inserts,
+    /// removals): drops lanes aimed at already-dead shards (coverage is
+    /// already degraded and the planner store stays authoritative, so the
+    /// batch does not fail), scatters the rest, supervises panicked
+    /// shards, and folds the executed lanes' write-amplification counters
+    /// into `stats`. Returns the first shard that ended **dead**, if any —
+    /// the typed write failure.
+    fn finish_write(&mut self, stats: &mut UpdateStats) -> Option<usize> {
+        for (i, &dead) in self.dead.iter().enumerate() {
+            if dead {
+                self.update_lanes[i].clear();
+            }
+        }
+        let panicked = self.run_update_lanes();
+        let mut failed = None;
+        if !panicked.is_empty() {
+            self.handle_panics(&panicked);
+            failed = panicked.iter().copied().find(|&i| self.dead[i]);
+        }
+        for lane in &self.update_lanes {
+            lane.report().fold_into(stats);
+        }
+        failed
     }
 
     /// Scatters every non-empty kNN lane of the given single-batch phase
@@ -1403,25 +1476,45 @@ impl ServiceBackend for ShardedBackend {
         // fully applied on it — only a shard that ends dead loses data,
         // and that is surfaced as a typed failure.
         let mut stats = self.planner.route_updates(updates, &mut self.update_lanes);
-        for (i, &dead) in self.dead.iter().enumerate() {
-            // Writes routed to already-dead shards: coverage is already
-            // degraded and the planner store stays authoritative, so the
-            // lane is dropped without failing the batch.
-            if dead {
-                self.update_lanes[i].clear();
-            }
-        }
-        let panicked = self.run_update_lanes();
-        let mut failed = None;
-        if !panicked.is_empty() {
-            self.handle_panics(&panicked);
-            failed = panicked.iter().copied().find(|&i| self.dead[i]);
-        }
+        let failed = self.finish_write(&mut stats);
         stats.elapsed_s = start.elapsed().as_secs_f64();
         UpdateReport { stats, failed }
     }
 
     fn supports_updates(&self) -> bool {
+        self.updatable
+    }
+
+    fn insert_batch(&mut self, shapes: &[Shape]) -> (Vec<ElementId>, UpdateReport) {
+        assert!(
+            self.updatable,
+            "insert batch on a read-only sharded backend — build the engine with_rebuild"
+        );
+        let start = Instant::now();
+        // Same single-pass discipline as `update_batch`: the planner
+        // allocates the ids and grows its element store first, so a shard
+        // that panics mid-insert is restarted *with* the new elements.
+        let (ids, mut stats) = self.planner.route_inserts(shapes, &mut self.update_lanes);
+        let failed = self.finish_write(&mut stats);
+        stats.elapsed_s = start.elapsed().as_secs_f64();
+        (ids, UpdateReport { stats, failed })
+    }
+
+    fn remove_batch(&mut self, ids: &[ElementId]) -> UpdateReport {
+        assert!(
+            self.updatable,
+            "remove batch on a read-only sharded backend — build the engine with_rebuild"
+        );
+        let start = Instant::now();
+        // The planner tombstones removed ids up front: a restarted shard
+        // excludes them, and later updates to them are skipped.
+        let mut stats = self.planner.route_removals(ids, &mut self.update_lanes);
+        let failed = self.finish_write(&mut stats);
+        stats.elapsed_s = start.elapsed().as_secs_f64();
+        UpdateReport { stats, failed }
+    }
+
+    fn supports_membership(&self) -> bool {
         self.updatable
     }
 

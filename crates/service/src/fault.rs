@@ -327,6 +327,23 @@ impl<B: ServiceBackend> ServiceBackend for ChaosBackend<B> {
         self.inner.supports_updates()
     }
 
+    // Membership batches forward directly without consuming a fault-plan
+    // op: fault schedules are keyed by (dispatcher) backend-call index over
+    // the query/update call sequence, and membership ops joining a plan
+    // must not shift existing schedules. Worker-level faults installed via
+    // `install_worker_faults` still fire inside membership lanes.
+    fn insert_batch(&mut self, shapes: &[Shape]) -> (Vec<ElementId>, UpdateReport) {
+        self.inner.insert_batch(shapes)
+    }
+
+    fn remove_batch(&mut self, ids: &[ElementId]) -> UpdateReport {
+        self.inner.remove_batch(ids)
+    }
+
+    fn supports_membership(&self) -> bool {
+        self.inner.supports_membership()
+    }
+
     fn recover(&mut self, after_write: bool) -> bool {
         if self.injected_panic {
             // The panic was ours and fired before the inner backend was

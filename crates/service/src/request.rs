@@ -41,6 +41,27 @@ pub enum Request {
     /// moving dataset through the same admission path as the queries that
     /// monitor it. Requires a writable backend.
     Step(Vec<Aabb>),
+    /// A **delta tick**: one simulation tick carrying only the elements
+    /// that actually moved, as explicit `(id, new envelope)` pairs. Same
+    /// write-barrier ordering and cross-shard migration semantics as
+    /// [`Request::Step`] — a delta tick followed by queries is
+    /// indistinguishable from the full tick it abbreviates — but the wire
+    /// payload and the backend write work scale with the *moved* count,
+    /// not the dataset size. Emitted by `ServedSimulation` when the moved
+    /// fraction falls below its delta threshold. Requires a writable
+    /// backend.
+    StepDelta(Vec<(ElementId, Aabb)>),
+    /// Inserts new elements with the given envelopes. The backend
+    /// allocates fresh ids (ascending, in input order) and returns them in
+    /// [`Response::Insert`]. A write barrier like `Update`. Requires a
+    /// backend with membership support ([`SubmitError::ReadOnly`]
+    /// otherwise — only the sharded backend's planner can allocate ids).
+    Insert(Vec<Aabb>),
+    /// Removes elements by id. Removed ids are tombstoned: they never come
+    /// back, later updates to them are skipped, and queries no longer see
+    /// them. Unknown/duplicate ids are counted skipped. A write barrier.
+    /// Requires a backend with membership support.
+    Remove(Vec<ElementId>),
 }
 
 impl Request {
@@ -50,7 +71,9 @@ impl Request {
             Request::Range(qs) | Request::RangeCount(qs) => qs.len(),
             Request::Knn(ps) => ps.len(),
             Request::Update(us) => us.len(),
-            Request::Step(envs) => envs.len(),
+            Request::Step(envs) | Request::Insert(envs) => envs.len(),
+            Request::StepDelta(moves) => moves.len(),
+            Request::Remove(ids) => ids.len(),
         }
     }
 
@@ -59,10 +82,25 @@ impl Request {
         self.len() == 0
     }
 
-    /// True for the write-path variants (`Update`/`Step`), which act as
-    /// write barriers in the admission order.
+    /// True for the write-path variants
+    /// (`Update`/`Step`/`StepDelta`/`Insert`/`Remove`), which act as write
+    /// barriers in the admission order.
     pub fn is_write(&self) -> bool {
-        matches!(self, Request::Update(_) | Request::Step(_))
+        matches!(
+            self,
+            Request::Update(_)
+                | Request::Step(_)
+                | Request::StepDelta(_)
+                | Request::Insert(_)
+                | Request::Remove(_)
+        )
+    }
+
+    /// True for the membership-changing variants (`Insert`/`Remove`),
+    /// which need a backend that can allocate and tombstone ids
+    /// ([`ServiceBackend::supports_membership`](crate::ServiceBackend::supports_membership)).
+    pub fn is_membership(&self) -> bool {
+        matches!(self, Request::Insert(_) | Request::Remove(_))
     }
 }
 
@@ -86,6 +124,16 @@ pub enum Response {
     /// Carries the number of envelope entries the tick held (see
     /// [`Response::Update`] for the carried-vs-applied distinction).
     Step(u64),
+    /// Acknowledgement of a `Request::StepDelta`: the delta tick has been
+    /// applied. Carries the number of moved-element entries it held.
+    StepDelta(u64),
+    /// Acknowledgement of a `Request::Insert`: the ids the backend
+    /// allocated, ascending, parallel to the request's envelopes.
+    Insert(Vec<ElementId>),
+    /// Acknowledgement of a `Request::Remove`: the number of id entries
+    /// the request held (unknown/duplicate ids are counted skipped in
+    /// [`ServiceStats`](crate::ServiceStats), not here).
+    Remove(u64),
 }
 
 impl Response {
@@ -118,7 +166,19 @@ impl Response {
     /// in [`ServiceStats`](crate::ServiceStats), not here).
     pub fn into_applied(self) -> Option<u64> {
         match self {
-            Response::Update(n) | Response::Step(n) => Some(n),
+            Response::Update(n)
+            | Response::Step(n)
+            | Response::StepDelta(n)
+            | Response::Remove(n) => Some(n),
+            Response::Insert(ids) => Some(ids.len() as u64),
+            _ => None,
+        }
+    }
+
+    /// The allocated element ids, if this is an `Insert` response.
+    pub fn into_inserted_ids(self) -> Option<Vec<ElementId>> {
+        match self {
+            Response::Insert(ids) => Some(ids),
             _ => None,
         }
     }

@@ -220,6 +220,14 @@ struct StatsInner {
     updates_applied: u64,
     migrations: u64,
     updates_skipped: u64,
+    // Write-amplification counters (see `UpdateStats` for semantics).
+    updates_shipped: u64,
+    structural_touches: u64,
+    updates_absorbed: u64,
+    shard_rebuilds: u64,
+    rebuilds_avoided: u64,
+    elements_inserted: u64,
+    elements_removed: u64,
     update_dispatches: u64,
     coalesced_updates: u64,
     update_hist: [u64; BATCH_BUCKETS],
@@ -252,6 +260,10 @@ struct Shared {
     /// Whether the backend applies write batches; write requests are
     /// rejected at admission otherwise.
     writable: bool,
+    /// Whether the backend supports membership changes (`Insert`/`Remove`
+    /// with planner-side id allocation); such requests are rejected at
+    /// admission otherwise.
+    membership: bool,
     /// Deadline stamped onto requests that do not carry their own.
     default_deadline: Option<Duration>,
     queue_depth: AtomicUsize,
@@ -289,6 +301,13 @@ impl Shared {
             updates_applied: inner.updates_applied,
             migrations: inner.migrations,
             updates_skipped: inner.updates_skipped,
+            updates_shipped: inner.updates_shipped,
+            structural_touches: inner.structural_touches,
+            updates_absorbed: inner.updates_absorbed,
+            shard_rebuilds: inner.shard_rebuilds,
+            rebuilds_avoided: inner.rebuilds_avoided,
+            elements_inserted: inner.elements_inserted,
+            elements_removed: inner.elements_removed,
             update_dispatches: inner.update_dispatches,
             coalesced_updates: inner.coalesced_updates,
             update_hist: inner.update_hist,
@@ -410,6 +429,9 @@ impl ServiceHandle {
         if request.is_write() && !self.shared.writable {
             return Err(SubmitError::ReadOnly(request));
         }
+        if request.is_membership() && !self.shared.membership {
+            return Err(SubmitError::ReadOnly(request));
+        }
         let (reply, rx) = mpsc::channel();
         let submitted = Instant::now();
         let deadline = deadline
@@ -476,6 +498,13 @@ impl ServiceHandle {
     /// false means such submissions return [`SubmitError::ReadOnly`].
     pub fn is_writable(&self) -> bool {
         self.shared.writable
+    }
+
+    /// True when the backend also supports membership changes
+    /// (`Insert`/`Remove`); false means such submissions return
+    /// [`SubmitError::ReadOnly`] even on a writable service.
+    pub fn supports_membership(&self) -> bool {
+        self.shared.membership
     }
 
     /// A point-in-time snapshot of the service counters.
@@ -739,6 +768,13 @@ impl<B: ServiceBackend> Scheduler<B> {
             stats.updates_applied += totals.update.applied;
             stats.migrations += totals.update.migrations;
             stats.updates_skipped += totals.update.skipped;
+            stats.updates_shipped += totals.update.shipped;
+            stats.structural_touches += totals.update.structural;
+            stats.updates_absorbed += totals.update.absorbed;
+            stats.shard_rebuilds += totals.update.rebuilds;
+            stats.rebuilds_avoided += totals.update.rebuilds_avoided;
+            stats.elements_inserted += totals.update.inserted;
+            stats.elements_removed += totals.update.removed;
             for &sz in &totals.update_runs {
                 stats.update_dispatches += 1;
                 stats.coalesced_updates += sz as u64;
@@ -979,17 +1015,35 @@ impl<B: ServiceBackend> Scheduler<B> {
     /// ids resolve last-write-wins across requests exactly as a serial run
     /// would — into ONE backend `update_batch` application.
     fn run_update_batch(&mut self, lo: usize, hi: usize, totals: &mut DispatchTotals) {
+        // A write run executes as ordered **segments**: consecutive
+        // geometry writes (`Update`/`Step`/`StepDelta`) flatten into one
+        // coalesced backend application, while each membership request
+        // (`Insert`/`Remove`) is its own backend call at its admission
+        // position — so id allocation and tombstoning stay strictly
+        // ordered against the geometry writes around them, and the write
+        // barrier an observer sees is identical to serial execution in
+        // admission order.
         self.updates.clear();
-        for (i, env) in self.pending[lo..hi].iter().enumerate() {
-            if self.failures[lo + i].is_some() {
+        let mut seg = lo;
+        for i in lo..hi {
+            if self.poisoned {
+                for f in self.failures[i..hi].iter_mut() {
+                    if f.is_none() {
+                        *f = Some(RecvError::WorkerFailed { shard: 0 });
+                    }
+                }
+                return;
+            }
+            if self.failures[i].is_some() {
                 continue; // shed at admission: the write never happens, so
                           // later queries correctly see state without it
             }
-            match &env.request {
+            match &self.pending[i].request {
                 Request::Update(pairs) => {
                     self.updates
                         .extend(pairs.iter().map(|&(id, bb)| (id, Shape::Box(bb))));
-                    self.responses[lo + i] = Some(Response::Update(pairs.len() as u64));
+                    self.responses[i] = Some(Response::Update(pairs.len() as u64));
+                    continue;
                 }
                 Request::Step(envelopes) => {
                     self.updates.extend(
@@ -998,11 +1052,43 @@ impl<B: ServiceBackend> Scheduler<B> {
                             .enumerate()
                             .map(|(id, &bb)| (id as ElementId, Shape::Box(bb))),
                     );
-                    self.responses[lo + i] = Some(Response::Step(envelopes.len() as u64));
+                    self.responses[i] = Some(Response::Step(envelopes.len() as u64));
+                    continue;
                 }
+                Request::StepDelta(moves) => {
+                    self.updates
+                        .extend(moves.iter().map(|&(id, bb)| (id, Shape::Box(bb))));
+                    self.responses[i] = Some(Response::StepDelta(moves.len() as u64));
+                    continue;
+                }
+                Request::Insert(_) | Request::Remove(_) => {}
                 _ => unreachable!("update runs only hold write requests"),
             }
+            // Membership barrier: flush the geometry segment admitted
+            // before it, then run the membership call itself.
+            self.flush_geometry(seg, i, totals);
+            if self.poisoned {
+                for f in self.failures[i..hi].iter_mut() {
+                    if f.is_none() {
+                        *f = Some(RecvError::WorkerFailed { shard: 0 });
+                    }
+                }
+                return;
+            }
+            self.run_membership(i, totals);
+            seg = i + 1;
         }
+        self.flush_geometry(seg, hi, totals);
+    }
+
+    /// Applies the flattened geometry writes of requests `[seg_lo, seg_hi)`
+    /// as one coalesced backend application. On a shard death the
+    /// segment's surviving write requests fail with the typed error — the
+    /// write *may* be partially applied (it is applied on every surviving
+    /// shard); which requests' entries landed on the dead shard is not
+    /// attributable after coalescing, so the whole segment fails. On an
+    /// unrecovered dispatcher-level write panic the service poisons.
+    fn flush_geometry(&mut self, seg_lo: usize, seg_hi: usize, totals: &mut DispatchTotals) {
         if self.updates.is_empty() {
             return;
         }
@@ -1015,12 +1101,7 @@ impl<B: ServiceBackend> Scheduler<B> {
                 totals.update.add(&report.stats);
                 totals.update_runs.push(self.updates.len());
                 if let Some(shard) = report.failed {
-                    // Part of the coalesced write died with a shard. Which
-                    // requests' entries landed there is not attributable
-                    // after coalescing, so the whole run fails — the typed
-                    // error tells clients the write *may* be partially
-                    // applied (it is applied on every surviving shard).
-                    for i in lo..hi {
+                    for i in seg_lo..seg_hi {
                         if self.failures[i].is_none() && self.pending[i].request.is_write() {
                             self.failures[i] = Some(RecvError::WorkerFailed { shard });
                         }
@@ -1029,7 +1110,7 @@ impl<B: ServiceBackend> Scheduler<B> {
             }
             Err(_) => {
                 totals.sched_panics += 1;
-                for i in lo..hi {
+                for i in seg_lo..seg_hi {
                     if self.failures[i].is_none() && self.pending[i].request.is_write() {
                         self.failures[i] = Some(RecvError::WorkerFailed { shard: 0 });
                     }
@@ -1038,6 +1119,47 @@ impl<B: ServiceBackend> Scheduler<B> {
                 // if the backend can restore index–data consistency
                 // (recovery restores consistency, not the write's
                 // atomicity — the batch may be partially applied).
+                if !self.backend.recover(true) {
+                    self.poison();
+                }
+            }
+        }
+        self.updates.clear();
+    }
+
+    /// Runs the membership request at pending index `i` (`Insert` or
+    /// `Remove`) as its own backend call, with the same failure discipline
+    /// as a geometry segment — scoped to this single request, since the
+    /// backend call carries nothing else.
+    fn run_membership(&mut self, i: usize, totals: &mut DispatchTotals) {
+        let call = match &self.pending[i].request {
+            Request::Insert(envelopes) => {
+                let shapes: Vec<Shape> = envelopes.iter().map(|&bb| Shape::Box(bb)).collect();
+                catch_unwind(AssertUnwindSafe(|| {
+                    let (ids, report) = self.backend.insert_batch(&shapes);
+                    (Response::Insert(ids), report)
+                }))
+            }
+            Request::Remove(ids) => catch_unwind(AssertUnwindSafe(|| {
+                let report = self.backend.remove_batch(ids);
+                (Response::Remove(ids.len() as u64), report)
+            })),
+            _ => unreachable!("run_membership called on a non-membership request"),
+        };
+        match call {
+            Ok((response, report)) => {
+                totals.exec_elapsed_s += report.stats.elapsed_s;
+                totals.update.add(&report.stats);
+                totals.update_runs.push(self.pending[i].request.len());
+                if let Some(shard) = report.failed {
+                    self.failures[i] = Some(RecvError::WorkerFailed { shard });
+                } else {
+                    self.responses[i] = Some(response);
+                }
+            }
+            Err(_) => {
+                totals.sched_panics += 1;
+                self.failures[i] = Some(RecvError::WorkerFailed { shard: 0 });
                 if !self.backend.recover(true) {
                     self.poison();
                 }
@@ -1085,6 +1207,7 @@ impl SpatialService {
             open: AtomicBool::new(true),
             dead: AtomicBool::new(false),
             writable: backend.supports_updates(),
+            membership: backend.supports_membership(),
             default_deadline: config.default_deadline,
             queue_depth: AtomicUsize::new(0),
             submitted: AtomicU64::new(0),

@@ -130,6 +130,26 @@ pub struct ServiceStats {
     pub migrations: u64,
     /// Updates not applied: unknown ids plus superseded duplicates.
     pub updates_skipped: u64,
+    /// Element updates shipped into shard lanes before the executor
+    /// decided what to touch. `updates_shipped / structural_touches` is
+    /// the write-amplification ratio: a rebuild charges every surviving
+    /// element, an incremental application only the dirty cells/nodes.
+    pub updates_shipped: u64,
+    /// Elements structurally touched while applying writes (moved between
+    /// cells/nodes, reinserted, or rewritten by a rebuild).
+    pub structural_touches: u64,
+    /// Updates absorbed in place by an incremental executor: geometry
+    /// rewritten with no structural work at all.
+    pub updates_absorbed: u64,
+    /// Whole-shard index rebuilds performed by write applications.
+    pub shard_rebuilds: u64,
+    /// Shard write lanes served incrementally where the rebuild fallback
+    /// would otherwise have run.
+    pub rebuilds_avoided: u64,
+    /// Elements added through `Request::Insert` (planner-allocated ids).
+    pub elements_inserted: u64,
+    /// Elements tombstoned through `Request::Remove`.
+    pub elements_removed: u64,
     /// Backend update applications executed (one per coalesced write run).
     pub update_dispatches: u64,
     /// Total element updates over all applications (`/ update_dispatches`
@@ -226,6 +246,16 @@ impl ServiceStats {
             self.updates_skipped,
             self.update_dispatches,
             self.mean_update_batch()
+        ));
+        s.push_str(&format!(
+            "write amp: {} shipped → {} structural + {} absorbed ({} rebuilds, {} avoided); {} inserted, {} removed\n",
+            self.updates_shipped,
+            self.structural_touches,
+            self.updates_absorbed,
+            self.shard_rebuilds,
+            self.rebuilds_avoided,
+            self.elements_inserted,
+            self.elements_removed,
         ));
         s.push_str(&format!(
             "failures: {} panics caught, {} shard restarts, {} shards dead, {} deadline-expired, {} failed, {} partial, {} retries\n",

@@ -38,9 +38,14 @@ pub struct ServedStepReport {
     /// Seconds from submitting the tick to its acknowledgement (includes
     /// queueing behind other clients — that is the point).
     pub tick_s: f64,
-    /// Element envelope entries acknowledged by the tick (every entry of a
-    /// `Step` targets a valid id, so this equals the dataset size).
+    /// Element envelope entries acknowledged by the tick: the dataset size
+    /// for a full `Step`, the moved-element count for a `StepDelta`.
     pub applied: u64,
+    /// Elements whose envelope actually changed this step.
+    pub moved: u64,
+    /// Whether the tick was emitted as a [`Request::StepDelta`] carrying
+    /// only the moved elements (moved fraction below the delta threshold).
+    pub delta: bool,
     /// Seconds executing the served monitoring queries.
     pub monitor_s: f64,
     /// Total monitoring query results.
@@ -66,6 +71,7 @@ pub struct ServedSimulation {
     config: SimulationConfig,
     step: usize,
     old: Vec<Element>,
+    delta_threshold: f64,
 }
 
 impl ServedSimulation {
@@ -98,7 +104,17 @@ impl ServedSimulation {
             config,
             step: 0,
             old: Vec::new(),
+            delta_threshold: 0.25,
         }
+    }
+
+    /// Sets the moved-element fraction below which a tick is emitted as a
+    /// [`Request::StepDelta`] carrying only the moved elements instead of
+    /// a full [`Request::Step`]. `0.0` disables delta ticks, `1.0` makes
+    /// every tick a delta. Defaults to `0.25`.
+    pub fn with_delta_threshold(mut self, threshold: f64) -> Self {
+        self.delta_threshold = threshold.clamp(0.0, 1.0);
+        self
     }
 
     /// The live (driver-side) dataset.
@@ -142,9 +158,28 @@ impl ServedSimulation {
         report.probe_cost = self.probe.apply_step(&self.old, self.data.elements());
 
         // --- tick through the service (write barrier) -------------------
+        // A sparse step ships only the moved elements as a `StepDelta`
+        // (same write-barrier and migration semantics as `Step`, a
+        // fraction of the wire and apply cost); dense steps ship the full
+        // envelope vector.
         let t = Instant::now();
-        let envelopes: Vec<Aabb> = self.data.elements().iter().map(Element::aabb).collect();
-        let ticket = self.handle.submit(Request::Step(envelopes))?;
+        let moved: Vec<(u32, Aabb)> = self
+            .data
+            .elements()
+            .iter()
+            .zip(&self.old)
+            .filter(|(new, old)| new.aabb() != old.aabb())
+            .map(|(new, _)| (new.id, new.aabb()))
+            .collect();
+        report.moved = moved.len() as u64;
+        report.delta = (moved.len() as f64) < self.delta_threshold * self.data.len().max(1) as f64;
+        let request = if report.delta {
+            Request::StepDelta(moved)
+        } else {
+            let envelopes: Vec<Aabb> = self.data.elements().iter().map(Element::aabb).collect();
+            Request::Step(envelopes)
+        };
+        let ticket = self.handle.submit(request)?;
         report.applied = recv(ticket)?.into_applied().unwrap_or(0);
         report.tick_s = t.elapsed().as_secs_f64();
 
@@ -247,6 +282,98 @@ mod tests {
         let stats = service.shutdown();
         assert_eq!(stats.updates_applied, 3 * 400);
         assert_eq!(stats.update_dispatches, 3);
+    }
+
+    /// Moves only the first `movers` elements by a fixed offset — a
+    /// deterministic sparse workload for exercising delta ticks.
+    struct SparseWorkload {
+        movers: usize,
+    }
+
+    impl Workload for SparseWorkload {
+        fn name(&self) -> &'static str {
+            "sparse"
+        }
+
+        fn displacements(
+            &mut self,
+            data: &simspatial_datagen::Dataset,
+            _index: &dyn simspatial_moving::UpdateStrategy,
+        ) -> Vec<simspatial_geom::Vec3> {
+            (0..data.len())
+                .map(|i| {
+                    if i < self.movers {
+                        simspatial_geom::Vec3::new(0.4, 0.0, 0.0)
+                    } else {
+                        simspatial_geom::Vec3::ZERO
+                    }
+                })
+                .collect()
+        }
+    }
+
+    #[test]
+    fn sparse_steps_ship_delta_ticks() {
+        let data = ElementSoupBuilder::new()
+            .count(400)
+            .universe_side(30.0)
+            .seed(7)
+            .build();
+        let backend = EngineBackend::build_writable(data.elements().to_vec(), |d| {
+            UniformGrid::build(d, GridConfig::auto(d))
+        });
+        let service = SpatialService::spawn(backend, ServiceConfig::default());
+        let mut sim = ServedSimulation::new(
+            data,
+            Box::new(SparseWorkload { movers: 10 }),
+            service.handle(),
+            SimulationConfig {
+                strategy: UpdateStrategyKind::NoIndexScan,
+                monitor_queries_per_step: 0,
+                monitor_selectivity: 1e-3,
+                seed: 3,
+            },
+        );
+        let reports = sim.run(3).expect("service stays up");
+        for r in &reports {
+            assert!(r.delta, "2.5% moved is far below the 25% threshold");
+            assert_eq!(r.moved, 10);
+            assert_eq!(r.applied, 10, "a delta tick ships only the movers");
+        }
+
+        // Served state after three delta ticks must match the driver's
+        // elements exactly, including the 390 never-shipped elements.
+        let boxed: Vec<Element> = sim
+            .data()
+            .elements()
+            .iter()
+            .map(|e| Element::new(e.id, Shape::Box(e.aabb())))
+            .collect();
+        let q = Aabb::new(Point3::new(0.0, 0.0, 0.0), Point3::new(30.0, 30.0, 30.0));
+        let handle = service.handle();
+        let mut got = handle
+            .submit(Request::Range(vec![q]))
+            .unwrap()
+            .recv()
+            .unwrap()
+            .into_range()
+            .unwrap()
+            .remove(0);
+        let scan = LinearScan::build(&boxed);
+        let mut want = simspatial_index::SpatialIndex::range(&scan, &boxed, &q);
+        got.sort_unstable();
+        want.sort_unstable();
+        assert_eq!(got, want);
+
+        // Dense mode still available: threshold 0 disables deltas.
+        let mut sim = sim.with_delta_threshold(0.0);
+        let r = sim.run_step().expect("service stays up");
+        assert!(!r.delta);
+        assert_eq!(r.applied, 400);
+
+        let stats = service.shutdown();
+        assert_eq!(stats.updates_applied, 3 * 10 + 400);
+        assert_eq!(stats.updates_shipped, 3 * 10 + 400);
     }
 
     #[test]

@@ -269,6 +269,17 @@ fn expected(oracle: &mut dyn SerialOracle, request: &Request) -> Response {
             oracle.apply(&updates);
             Response::Step(envs.len() as u64)
         }
+        Request::StepDelta(moves) => {
+            let updates: Vec<(ElementId, Shape)> =
+                moves.iter().map(|&(id, bb)| (id, Shape::Box(bb))).collect();
+            oracle.apply(&updates);
+            Response::StepDelta(moves.len() as u64)
+        }
+        Request::Insert(_) | Request::Remove(_) => {
+            unimplemented!(
+                "membership requests are exercised by the incremental differential suite"
+            )
+        }
     }
 }
 
@@ -439,6 +450,80 @@ fn post_restart_writes_stay_barrier_ordered() {
     assert_eq!(
         stats.failed_requests, 0,
         "the interrupted write still applied in full"
+    );
+    assert!(stats.updates_applied > 0);
+}
+
+/// A worker panic *mid-write* on a backend running **incremental** shard
+/// executors: the shard restarts **exactly once**, the restart rebuilds
+/// from the planner's already-advanced element store (so the interrupted
+/// write is fully applied), the apply hook is re-attached, and later
+/// sparse writes go back to the in-place path — all byte-identical to a
+/// rebuild-mode oracle over the same write stream.
+#[test]
+fn incremental_executor_mid_write_panic_restarts_exactly_once() {
+    quiet_panics();
+    let data = soup(2000, 0x17C5);
+    let engine = sharded_strategy_engine(
+        &data,
+        4,
+        UpdateStrategyKind::GridMigrate,
+        ShardWriteMode::Incremental,
+    );
+    // The oracle runs the *rebuild* mode: the two write modes must be
+    // indistinguishable through queries, panic or no panic.
+    let mut oracle = ShardedOracle(sharded_strategy_engine(
+        &data,
+        4,
+        UpdateStrategyKind::GridMigrate,
+        ShardWriteMode::Rebuild,
+    ));
+    // A sparse jitter tick: a handful of elements nudged slightly from
+    // where the *last full step* (h = 0xB2) left them — the lanes stay
+    // geometry-only and resident, so incremental shards apply them
+    // without rebuilding.
+    let delta: Vec<(u32, Aabb)> = (0..12u32)
+        .map(|j| {
+            let id = mix(j ^ 0xD17) % 2000;
+            let g = mix(id ^ 0xB2);
+            let x = (g % 900) as f32 / 10.0 + 0.05;
+            let y = ((g >> 8) % 900) as f32 / 10.0;
+            let z = ((g >> 16) % 900) as f32 / 10.0;
+            (
+                id,
+                Aabb::new(Point3::new(x, y, z), Point3::new(x + 1.0, y + 1.0, z + 1.0)),
+            )
+        })
+        .collect();
+    let requests = vec![
+        Request::Range(vec![full_cover()]),        // job 0 on every shard
+        Request::Step(step_envelopes(2000, 0xB1)), // job 1
+        Request::Range(vec![full_cover()]),        // job 2
+        Request::Step(step_envelopes(2000, 0xB2)), // job 3: shard 2 panics mid-write
+        Request::Range(vec![full_cover()]),        // restarted shard serves reads
+        Request::StepDelta(delta),                 // back on the in-place path
+        Request::Range(vec![full_cover()]),
+    ];
+    let plan = FaultPlan::new().panic_on_shard(2, 3);
+    let backend = ChaosBackend::new(ShardedBackend::spawn(engine), plan.clone());
+    let stats = drive_differential(
+        SpatialService::spawn(backend, ServiceConfig::default().no_coalesce()),
+        &mut oracle,
+        &plan,
+        &requests,
+        "sharded/incremental-write-restart",
+    );
+    assert_eq!(stats.panics_caught, 1);
+    assert_eq!(stats.shard_restarts, 1, "exactly one restart");
+    assert_eq!(stats.shards_dead, 0);
+    assert_eq!(
+        stats.failed_requests, 0,
+        "the interrupted write still applied in full"
+    );
+    assert!(
+        stats.rebuilds_avoided >= 1,
+        "sparse lanes used the in-place path (got {})",
+        stats.rebuilds_avoided
     );
     assert!(stats.updates_applied > 0);
 }

@@ -254,6 +254,15 @@ fn expected(oracle: &mut dyn SerialOracle, request: &Request) -> Response {
             oracle.apply(&updates);
             Response::Step(envs.len() as u64)
         }
+        Request::StepDelta(moves) => {
+            let updates: Vec<(ElementId, Shape)> =
+                moves.iter().map(|&(id, bb)| (id, Shape::Box(bb))).collect();
+            oracle.apply(&updates);
+            Response::StepDelta(moves.len() as u64)
+        }
+        Request::Insert(_) | Request::Remove(_) => {
+            unimplemented!("membership requests are exercised by tests/incremental_differential.rs")
+        }
     }
 }
 
