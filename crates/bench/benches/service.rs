@@ -25,6 +25,20 @@
 //! single-core host measure scheduling overhead honestly (no parallelism
 //! win is available); the wiring is thread-count agnostic and the same
 //! harness measures scale-up on multicore.
+//!
+//! TCP front-end rows (8 connections through `simspatial-net` against the
+//! 4-shard backend, swept at 1/2/4 pool-worker threads):
+//!
+//! * `svc_net_range_c8_t{1,2,4}` — goodput: `before` = 8 in-process
+//!   producers, `after` = 8 pipelined TCP connections (what the wire +
+//!   multiplexing layers cost end to end).
+//! * `svc_net_p99_c8_t{1,2,4}` — client-observed p99 latency (µs), same
+//!   before/after pairing.
+//! * `svc_net_overload_c8` — `before` = closed-loop TCP peak goodput,
+//!   `after` = goodput under **open-loop 2× overload** with clients that
+//!   honour the server's congestion-scaled `Retry` hints. The guardrail
+//!   asserts overload goodput stays within 20 % of the closed-loop peak —
+//!   load shedding must degrade gracefully, not collapse.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use simspatial_bench::datasets::neuron_dataset;
@@ -33,12 +47,17 @@ use simspatial_bench::Scale;
 use simspatial_datagen::QueryWorkload;
 use simspatial_geom::{parallel, Element, Point3};
 use simspatial_index::{GridConfig, RTree, RTreeConfig, ShardedEngine, UniformGrid};
+use simspatial_net::wire::{self, ServerMsg};
+use simspatial_net::{NetClient, NetConfig, NetServer};
 use simspatial_service::{
     ChaosBackend, EngineBackend, FaultPlan, Request, ServiceBackend, ServiceConfig, ShardedBackend,
     SpatialService,
 };
-use std::collections::VecDeque;
-use std::time::Instant;
+use std::collections::{HashMap, VecDeque};
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 /// Outstanding requests each producer keeps in flight.
 const WINDOW: usize = 8;
@@ -186,6 +205,236 @@ fn measure<B: ServiceBackend>(
     rps
 }
 
+/// Like [`run_load`], additionally returning every client-observed
+/// submit→response latency (via `recv_timed`).
+fn run_load_lat(
+    service: &SpatialService,
+    producers: usize,
+    n_requests: usize,
+    pool: &[Request],
+) -> (f64, Vec<Duration>) {
+    let start = Instant::now();
+    let mut all = Vec::with_capacity(producers * n_requests);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..producers)
+            .map(|tid| {
+                let handle = service.handle();
+                scope.spawn(move || {
+                    let mut inflight: VecDeque<(simspatial_service::Ticket, Instant)> =
+                        VecDeque::with_capacity(WINDOW);
+                    let mut lat = Vec::with_capacity(n_requests);
+                    for i in 0..n_requests {
+                        if inflight.len() == WINDOW {
+                            let (t, sent) = inflight.pop_front().unwrap();
+                            t.recv().expect("service completes pipelined request");
+                            lat.push(sent.elapsed());
+                        }
+                        let req = pool[(tid * 37 + i) % pool.len()].clone();
+                        inflight.push_back((handle.submit(req).expect("accepts"), Instant::now()));
+                    }
+                    for (t, sent) in inflight {
+                        t.recv().expect("service completes tail request");
+                        lat.push(sent.elapsed());
+                    }
+                    lat
+                })
+            })
+            .collect();
+        for h in handles {
+            all.extend(h.join().unwrap());
+        }
+    });
+    (
+        (producers * n_requests) as f64 / start.elapsed().as_secs_f64(),
+        all,
+    )
+}
+
+/// Closed-loop TCP load: `conns` connections each pipeline `WINDOW`
+/// outstanding requests over the wire. Returns requests/s and every
+/// client-observed latency.
+fn run_tcp_load(
+    addr: SocketAddr,
+    conns: usize,
+    n_requests: usize,
+    pool: &[Request],
+) -> (f64, Vec<Duration>) {
+    let start = Instant::now();
+    let mut all = Vec::with_capacity(conns * n_requests);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..conns)
+            .map(|tid| {
+                scope.spawn(move || {
+                    let tenant = format!("c{tid}");
+                    let mut client = NetClient::connect(addr, &tenant).expect("connect");
+                    let mut sent: HashMap<u64, Instant> = HashMap::with_capacity(WINDOW);
+                    let mut lat = Vec::with_capacity(n_requests);
+                    let recv_one = |client: &mut NetClient,
+                                    sent: &mut HashMap<u64, Instant>,
+                                    lat: &mut Vec<Duration>| {
+                        match client.recv_msg().expect("server reply") {
+                            ServerMsg::Reply { corr, .. } => {
+                                lat.push(sent.remove(&corr).expect("known corr").elapsed());
+                            }
+                            other => panic!("closed-loop request failed: {other:?}"),
+                        }
+                    };
+                    for i in 0..n_requests {
+                        if sent.len() == WINDOW {
+                            recv_one(&mut client, &mut sent, &mut lat);
+                        }
+                        let req = &pool[(tid * 37 + i) % pool.len()];
+                        let corr = client.enqueue(req).expect("enqueue");
+                        sent.insert(corr, Instant::now());
+                        client.flush().expect("flush");
+                    }
+                    while !sent.is_empty() {
+                        recv_one(&mut client, &mut sent, &mut lat);
+                    }
+                    lat
+                })
+            })
+            .collect();
+        for h in handles {
+            all.extend(h.join().unwrap());
+        }
+    });
+    (
+        (conns * n_requests) as f64 / start.elapsed().as_secs_f64(),
+        all,
+    )
+}
+
+/// Open-loop TCP overload: `conns` connections each *schedule*
+/// `n_requests` sends at `rate_per_conn` req/s regardless of responses
+/// (sender and receiver threads per connection), honouring server `Retry`
+/// hints by pausing the arrival process — never by resending. Returns
+/// goodput (completed replies/s) and the completed requests' latencies.
+fn run_tcp_open_loop(
+    addr: SocketAddr,
+    conns: usize,
+    rate_per_conn: f64,
+    n_requests: usize,
+    pool: &[Request],
+) -> (f64, Vec<Duration>) {
+    let interval = Duration::from_secs_f64(1.0 / rate_per_conn.max(1.0));
+    let start = Instant::now();
+    let mut all = Vec::new();
+    let mut total_replies = 0u64;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..conns)
+            .map(|tid| {
+                scope.spawn(move || {
+                    let stream = TcpStream::connect(addr).expect("connect");
+                    stream.set_nodelay(true).unwrap();
+                    let mut w = BufWriter::new(stream.try_clone().unwrap());
+                    let mut r = BufReader::new(stream);
+                    let mut buf = Vec::new();
+                    let mut frame = Vec::new();
+                    wire::encode_hello(&mut buf, &format!("o{tid}"));
+                    wire::write_frame(&mut w, &buf).unwrap();
+                    w.flush().unwrap();
+                    assert!(wire::read_frame(&mut r, 64 << 20, &mut frame).unwrap());
+                    assert!(matches!(
+                        wire::decode_server_msg(&frame).unwrap(),
+                        ServerMsg::HelloAck { .. }
+                    ));
+
+                    let sent: Mutex<HashMap<u64, Instant>> = Mutex::new(HashMap::new());
+                    let backoff_until: Mutex<Instant> = Mutex::new(Instant::now());
+                    let (sent, backoff_until) = (&sent, &backoff_until);
+                    let mut lat = Vec::new();
+                    let mut replies = 0u64;
+                    std::thread::scope(|inner| {
+                        inner.spawn(move || {
+                            // Open-loop sender: fixed schedule + Retry
+                            // backoff; drops behind-schedule slots rather
+                            // than bursting to catch up.
+                            let t0 = Instant::now();
+                            for i in 0..n_requests {
+                                let due = t0 + interval.mul_f64(i as f64);
+                                let hold = *backoff_until.lock().unwrap();
+                                let release = due.max(hold);
+                                let now = Instant::now();
+                                if release > now {
+                                    std::thread::sleep(release - now);
+                                }
+                                let corr = i as u64 + 1;
+                                wire::encode_request(
+                                    &mut buf,
+                                    corr,
+                                    &pool[(tid * 37 + i) % pool.len()],
+                                );
+                                sent.lock().unwrap().insert(corr, Instant::now());
+                                if wire::write_frame(&mut w, &buf).is_err() {
+                                    break;
+                                }
+                                if w.flush().is_err() {
+                                    break;
+                                }
+                            }
+                        });
+                        // Receiver: one outcome per sent request — Reply
+                        // counts toward goodput, Retry backs the sender
+                        // off by the server's hint.
+                        for _ in 0..n_requests {
+                            if !wire::read_frame(&mut r, 64 << 20, &mut frame).expect("read") {
+                                break;
+                            }
+                            match wire::decode_server_msg(&frame).expect("decode") {
+                                ServerMsg::Reply { corr, .. } => {
+                                    replies += 1;
+                                    let at = sent.lock().unwrap().remove(&corr);
+                                    if let Some(at) = at {
+                                        lat.push(at.elapsed());
+                                    }
+                                }
+                                ServerMsg::Retry { corr, after, .. } => {
+                                    sent.lock().unwrap().remove(&corr);
+                                    let mut hold = backoff_until.lock().unwrap();
+                                    *hold = (*hold).max(Instant::now() + after);
+                                }
+                                other => panic!("unexpected under overload: {other:?}"),
+                            }
+                        }
+                    });
+                    (replies, lat)
+                })
+            })
+            .collect();
+        for h in handles {
+            let (replies, lat) = h.join().unwrap();
+            total_replies += replies;
+            all.extend(lat);
+        }
+    });
+    (total_replies as f64 / start.elapsed().as_secs_f64(), all)
+}
+
+fn p99_us(lat: &mut [Duration]) -> f64 {
+    assert!(!lat.is_empty());
+    lat.sort_unstable();
+    lat[(lat.len() * 99 / 100).min(lat.len() - 1)].as_secs_f64() * 1e6
+}
+
+/// Spawns a fresh `NetServer` over a 4-shard backend and measures one
+/// closed-loop TCP round (warm-up + best of three).
+fn measure_tcp(elements: &[Element], conns: usize, pool: &[Request]) -> (f64, Vec<Duration>) {
+    let service = SpatialService::spawn(sharded_backend(elements), ServiceConfig::default());
+    let server = NetServer::bind(service, "127.0.0.1:0", NetConfig::default()).expect("bind");
+    let addr = server.local_addr();
+    run_tcp_load(addr, conns, requests_per_producer() / 4, pool);
+    let mut best = (0.0f64, Vec::new());
+    for _ in 0..3 {
+        let round = run_tcp_load(addr, conns, requests_per_producer(), pool);
+        if round.0 > best.0 {
+            best = round;
+        }
+    }
+    server.shutdown();
+    best
+}
+
 fn grid_backend(elements: &[Element]) -> EngineBackend<UniformGrid> {
     EngineBackend::build(elements.to_vec(), |d| {
         UniformGrid::build(d, GridConfig::auto(d))
@@ -306,6 +555,75 @@ fn emit_json(fx: &Fixture) -> BenchJson {
             mixed_t1,
             mixed_tn,
         );
+    }
+    // TCP front-end sweep: 8 clients, closed loop, 1/2/4 pool workers.
+    // `before` = the same 8-way closed loop submitting in-process through
+    // `ServiceHandle`; `after` = 8 pipelined TCP connections through the
+    // full wire/admission/collector stack. The gap between them is the
+    // whole network layer's price. The p99 rows pair the same two runs'
+    // client-observed latencies.
+    let net_requests = requests_per_producer();
+    for threads in [1usize, 2, 4] {
+        parallel::set_num_threads(threads);
+        let service =
+            SpatialService::spawn(sharded_backend(&fx.elements), ServiceConfig::default());
+        run_load_lat(&service, 8, net_requests / 4, &fx.range_pool);
+        let mut inproc = (0.0f64, Vec::new());
+        for _ in 0..3 {
+            let round = run_load_lat(&service, 8, net_requests, &fx.range_pool);
+            if round.0 > inproc.0 {
+                inproc = round;
+            }
+        }
+        service.shutdown();
+        let tcp = measure_tcp(&fx.elements, 8, &fx.range_pool);
+        json.add(
+            &format!("svc_net_range_c8_t{threads}"),
+            "requests/s",
+            inproc.0,
+            tcp.0,
+        );
+        let (mut in_lat, mut tcp_lat) = (inproc.1, tcp.1);
+        json.add(
+            &format!("svc_net_p99_c8_t{threads}"),
+            "us(p99)",
+            p99_us(&mut in_lat),
+            p99_us(&mut tcp_lat),
+        );
+        if threads == 4 {
+            // Overload guardrail: open-loop arrivals at 2× the closed-loop
+            // peak, clients honouring `Retry` hints. Load shedding must
+            // keep goodput within 20 % of the peak — a server that
+            // collapses under overload (queues thrashing, admission
+            // livelock) fails here.
+            let peak = tcp.0;
+            let measure_overload = || {
+                let service =
+                    SpatialService::spawn(sharded_backend(&fx.elements), ServiceConfig::default());
+                let server =
+                    NetServer::bind(service, "127.0.0.1:0", NetConfig::default()).expect("bind");
+                let (goodput, _) = run_tcp_open_loop(
+                    server.local_addr(),
+                    8,
+                    (peak * 2.0) / 8.0,
+                    net_requests,
+                    &fx.range_pool,
+                );
+                server.shutdown();
+                goodput
+            };
+            let mut goodput = measure_overload();
+            if goodput < peak * 0.8 {
+                // Same grace policy as the supervision guardrail: one
+                // re-measure absorbs shared-host scheduler outliers.
+                goodput = measure_overload();
+            }
+            assert!(
+                goodput >= peak * 0.8,
+                "overload goodput collapsed: {goodput:.0} replies/s vs closed-loop peak {peak:.0} req/s"
+            );
+            json.add("svc_net_overload_c8", "requests/s", peak, goodput);
+        }
     }
     parallel::set_num_threads(old_threads);
     json

@@ -1,0 +1,917 @@
+//! The multiplexed TCP server: acceptor + per-connection reader/writer
+//! threads, a deficit-round-robin admission pump, and a completion
+//! collector.
+//!
+//! ## Thread anatomy
+//!
+//! ```text
+//!            ┌─────────┐   staged (per tenant)   ┌──────┐  try_submit  ┌─────────┐
+//! conn 1 ──▶ │ reader 1│ ──────────────┐         │ pump │ ───────────▶ │ service │
+//! conn 2 ──▶ │ reader 2│ ──────────────┼──DRR──▶ │      │   tickets    │dispatch │
+//!            └─────────┘               │         └──┬───┘              └────┬────┘
+//!            ┌─────────┐   frames      │            │ in-flight fifo        │
+//! conn 1 ◀── │ writer 1│ ◀── replies ──┴────────────▼───────── completions ─┘
+//! conn 2 ◀── │ writer 2│ ◀───────────────────── collector
+//!            └─────────┘
+//! ```
+//!
+//! * Each connection gets a **reader** (decodes frames, stages requests
+//!   under the connection's tenant, answers `Stats` inline) and a
+//!   **writer** (serializes response frames from an unbounded channel, so
+//!   responses to one connection never block another's).
+//! * One **pump** thread is the only caller of
+//!   [`ServiceHandle::try_submit`]: it sweeps the per-tenant staging
+//!   queues in deficit-round-robin order, which makes the service-side
+//!   admission order — and therefore write-barrier placement — a single
+//!   deterministic sequence regardless of how many connections race.
+//! * One **collector** thread redeems tickets in admission order and
+//!   routes each encoded reply to its connection's writer. A connection
+//!   that died mid-request just loses the frame (the send fails
+//!   silently); the ticket is still redeemed, so no completion leaks.
+//!
+//! ## Multi-tenant admission
+//!
+//! Tenants are declared at handshake. Each has a bounded **staging
+//! queue** (overflow sheds as a protocol `Retry` frame whose hint scales
+//! with service congestion), an **in-flight cap** (bounding its share of
+//! the service queue), and a **weight**. The pump refreshes each
+//! backlogged tenant's deficit by `quantum x weight` once per sweep round
+//! and admits head-of-line requests while the deficit covers their cost
+//! (the item count), so a hot tenant flooding one connection cannot
+//! starve a light one: the light tenant's requests keep flowing at its
+//! weighted share (see `tests/net_fairness.rs`).
+
+use crate::wire::{self, DecodeLimits, FatalCode, FrameReadError, RequestError};
+use simspatial_service::{
+    LatencyHistogram, Request, ServiceHandle, ServiceStats, SpatialService, SubmitError,
+    TenantStats, Ticket,
+};
+use std::collections::{HashMap, VecDeque};
+use std::io::{BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// One tenant's admission contract, declared in [`NetConfig`] (or minted
+/// from [`NetConfig::default_tenant`] at handshake for undeclared names).
+#[derive(Debug, Clone)]
+pub struct TenantSpec {
+    /// Tenant name, matched against the `Hello` declaration.
+    pub name: String,
+    /// Deficit-round-robin weight: the tenant's share of admission
+    /// bandwidth under contention is `weight / total weight` (≥ 1).
+    pub weight: u32,
+    /// Maximum requests this tenant may have admitted-but-incomplete —
+    /// bounds its share of the service's intake queue.
+    pub max_in_flight: usize,
+    /// Staging queue bound: requests arriving beyond it are shed with a
+    /// `Retry` frame instead of queueing unboundedly.
+    pub stage_cap: usize,
+}
+
+impl TenantSpec {
+    /// A spec with the default caps (256 in flight, 256 staged).
+    pub fn new(name: impl Into<String>, weight: u32) -> Self {
+        TenantSpec {
+            name: name.into(),
+            weight: weight.max(1),
+            max_in_flight: 256,
+            stage_cap: 256,
+        }
+    }
+
+    /// Overrides the in-flight and staging bounds.
+    pub fn with_caps(mut self, max_in_flight: usize, stage_cap: usize) -> Self {
+        self.max_in_flight = max_in_flight.max(1);
+        self.stage_cap = stage_cap.max(1);
+        self
+    }
+}
+
+/// Server configuration: wire limits plus the multi-tenant admission
+/// policy.
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// Largest accepted client→server frame payload, bytes.
+    pub max_frame: usize,
+    /// Largest accepted per-request item count (boxes/probes/updates).
+    pub max_items: usize,
+    /// Tenants declared up front with explicit weights and caps.
+    pub tenants: Vec<TenantSpec>,
+    /// Spec applied to tenants that connect without being declared
+    /// (`name` is replaced by the declared one). `None` rejects unknown
+    /// tenants at handshake with [`FatalCode::UnknownTenant`].
+    pub default_tenant: Option<TenantSpec>,
+    /// Deficit-round-robin quantum: deficit credited per weight unit per
+    /// sweep round, in request items.
+    pub quantum: u32,
+    /// Base retry hint for shed requests; scaled up by observed service
+    /// congestion before it goes on the wire.
+    pub retry_hint_base: Duration,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            max_frame: 1 << 20,
+            max_items: 4096,
+            tenants: Vec::new(),
+            default_tenant: Some(TenantSpec::new("default", 1)),
+            quantum: 32,
+            retry_hint_base: Duration::from_micros(200),
+        }
+    }
+}
+
+impl NetConfig {
+    /// Declares tenants with explicit weights/caps.
+    pub fn with_tenants(mut self, tenants: Vec<TenantSpec>) -> Self {
+        self.tenants = tenants;
+        self
+    }
+
+    /// Rejects connections from tenants not declared in
+    /// [`NetConfig::tenants`].
+    pub fn reject_unknown_tenants(mut self) -> Self {
+        self.default_tenant = None;
+        self
+    }
+
+    /// Overrides the decode limits (frame bytes, request items).
+    pub fn with_limits(mut self, max_frame: usize, max_items: usize) -> Self {
+        self.max_frame = max_frame;
+        self.max_items = max_items.max(1);
+        self
+    }
+
+    fn limits(&self) -> DecodeLimits {
+        DecodeLimits {
+            max_frame: self.max_frame,
+            max_items: self.max_items,
+        }
+    }
+}
+
+/// A staged request: decoded, accounted to a tenant, waiting for the
+/// pump to admit it.
+struct Staged {
+    corr: u64,
+    request: Request,
+    writer: mpsc::Sender<Vec<u8>>,
+    staged_at: Instant,
+}
+
+/// One tenant's live admission state.
+struct TenantState {
+    spec: TenantSpec,
+    staged: VecDeque<Staged>,
+    in_flight: usize,
+    deficit: u64,
+    admitted: u64,
+    shed: u64,
+    completed: u64,
+    failed: u64,
+    latency: LatencyHistogram,
+}
+
+impl TenantState {
+    fn new(spec: TenantSpec) -> Self {
+        TenantState {
+            spec,
+            staged: VecDeque::new(),
+            in_flight: 0,
+            deficit: 0,
+            admitted: 0,
+            shed: 0,
+            completed: 0,
+            failed: 0,
+            latency: LatencyHistogram::default(),
+        }
+    }
+}
+
+struct AdmissionInner {
+    tenants: Vec<TenantState>,
+    index: HashMap<String, usize>,
+    cursor: usize,
+    draining: bool,
+}
+
+impl AdmissionInner {
+    fn staged_total(&self) -> usize {
+        self.tenants.iter().map(|t| t.staged.len()).sum()
+    }
+
+    /// One deficit-round-robin decision: the tenant whose head-of-line
+    /// request to admit next, or `None` when nothing is admissible.
+    ///
+    /// Pass 1 spends existing deficits in round-robin order from the
+    /// cursor; if nothing admits, every backlogged tenant below its
+    /// in-flight cap is credited `quantum x weight` (classic DRR — an
+    /// idle tenant's deficit resets instead, so it cannot bank credit
+    /// while absent) and pass 2 retries. Costs are request item counts,
+    /// so weights divide *work*, not just request counts.
+    fn drr_next(&mut self, quantum: u64) -> Option<usize> {
+        let n = self.tenants.len();
+        if n == 0 {
+            return None;
+        }
+        for pass in 0..2 {
+            for off in 0..n {
+                let i = (self.cursor + off) % n;
+                let t = &mut self.tenants[i];
+                if t.in_flight >= t.spec.max_in_flight {
+                    continue;
+                }
+                let Some(head) = t.staged.front() else {
+                    continue;
+                };
+                let cost = head.request.len().max(1) as u64;
+                if t.deficit >= cost {
+                    t.deficit -= cost;
+                    // Stay on this tenant while its deficit lasts.
+                    self.cursor = i;
+                    return Some(i);
+                }
+            }
+            if pass == 0 {
+                let mut any_backlogged = false;
+                for t in &mut self.tenants {
+                    if t.staged.is_empty() {
+                        t.deficit = 0;
+                    } else if t.in_flight < t.spec.max_in_flight {
+                        t.deficit += quantum * u64::from(t.spec.weight);
+                        any_backlogged = true;
+                    }
+                }
+                if !any_backlogged {
+                    return None;
+                }
+                self.cursor = (self.cursor + 1) % n;
+            }
+        }
+        None
+    }
+
+    fn tenant_stats(&self) -> Vec<TenantStats> {
+        self.tenants
+            .iter()
+            .map(|t| TenantStats {
+                name: t.spec.name.clone(),
+                weight: t.spec.weight,
+                admitted: t.admitted,
+                shed: t.shed,
+                completed: t.completed,
+                failed: t.failed,
+                latency: t.latency,
+            })
+            .collect()
+    }
+}
+
+struct Admission {
+    inner: Mutex<AdmissionInner>,
+    cv: Condvar,
+}
+
+/// An admitted request awaiting completion, in admission order.
+struct InFlight {
+    ticket: Ticket,
+    corr: u64,
+    writer: mpsc::Sender<Vec<u8>>,
+    tenant: usize,
+    staged_at: Instant,
+}
+
+struct Registry {
+    conns: Vec<TcpStream>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+/// A running TCP front end over one [`SpatialService`].
+///
+/// Accepts connections until [`NetServer::shutdown`], which performs an
+/// orderly drain: stop accepting, close the read half of every
+/// connection (no new requests), admit and complete everything already
+/// staged, flush the replies, then shut the service down and return its
+/// final [`ServiceStats`] with per-tenant counters attached.
+pub struct NetServer {
+    service: Option<SpatialService>,
+    handle: ServiceHandle,
+    admission: Arc<Admission>,
+    accepting: Arc<AtomicBool>,
+    local_addr: SocketAddr,
+    registry: Arc<Mutex<Registry>>,
+    acceptor: Option<JoinHandle<()>>,
+    pump: Option<JoinHandle<()>>,
+    collector: Option<JoinHandle<()>>,
+}
+
+impl NetServer {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts
+    /// serving `service`.
+    pub fn bind(
+        service: SpatialService,
+        addr: impl ToSocketAddrs,
+        cfg: NetConfig,
+    ) -> std::io::Result<NetServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let handle = service.handle();
+
+        let mut tenants = Vec::new();
+        let mut index = HashMap::new();
+        for spec in &cfg.tenants {
+            index.insert(spec.name.clone(), tenants.len());
+            tenants.push(TenantState::new(spec.clone()));
+        }
+        let admission = Arc::new(Admission {
+            inner: Mutex::new(AdmissionInner {
+                tenants,
+                index,
+                cursor: 0,
+                draining: false,
+            }),
+            cv: Condvar::new(),
+        });
+        let accepting = Arc::new(AtomicBool::new(true));
+        let registry = Arc::new(Mutex::new(Registry {
+            conns: Vec::new(),
+            threads: Vec::new(),
+        }));
+        let cfg = Arc::new(cfg);
+
+        let (inflight_tx, inflight_rx) = mpsc::channel::<InFlight>();
+
+        let pump = {
+            let admission = Arc::clone(&admission);
+            let handle = service.handle();
+            let quantum = u64::from(cfg.quantum.max(1));
+            std::thread::Builder::new()
+                .name("net-pump".into())
+                .spawn(move || pump_loop(&admission, &handle, quantum, &inflight_tx))?
+        };
+
+        let collector = {
+            let admission = Arc::clone(&admission);
+            std::thread::Builder::new()
+                .name("net-collector".into())
+                .spawn(move || collector_loop(&admission, &inflight_rx))?
+        };
+
+        let acceptor = {
+            let admission = Arc::clone(&admission);
+            let accepting = Arc::clone(&accepting);
+            let registry = Arc::clone(&registry);
+            let handle = service.handle();
+            let cfg = Arc::clone(&cfg);
+            std::thread::Builder::new()
+                .name("net-accept".into())
+                .spawn(move || {
+                    for stream in listener.incoming() {
+                        if !accepting.load(Ordering::Acquire) {
+                            break;
+                        }
+                        let Ok(stream) = stream else { continue };
+                        let _ = stream.set_nodelay(true);
+                        let Ok(write_half) = stream.try_clone() else {
+                            continue;
+                        };
+                        let Ok(tracked) = stream.try_clone() else {
+                            continue;
+                        };
+                        let (frame_tx, frame_rx) = mpsc::channel::<Vec<u8>>();
+                        let writer = std::thread::Builder::new()
+                            .name("net-writer".into())
+                            .spawn(move || writer_loop(write_half, &frame_rx));
+                        let reader = {
+                            let admission = Arc::clone(&admission);
+                            let handle = handle.clone();
+                            let cfg = Arc::clone(&cfg);
+                            std::thread::Builder::new()
+                                .name("net-reader".into())
+                                .spawn(move || {
+                                    reader_loop(stream, frame_tx, &admission, &handle, &cfg)
+                                })
+                        };
+                        let mut reg = registry.lock().unwrap();
+                        reg.conns.push(tracked);
+                        if let Ok(h) = writer {
+                            reg.threads.push(h);
+                        }
+                        if let Ok(h) = reader {
+                            reg.threads.push(h);
+                        }
+                    }
+                })?
+        };
+
+        Ok(NetServer {
+            service: Some(service),
+            handle,
+            admission,
+            accepting,
+            local_addr,
+            registry,
+            acceptor: Some(acceptor),
+            pump: Some(pump),
+            collector: Some(collector),
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// A live stats snapshot with per-tenant counters attached — the
+    /// same payload a wire `Stats` request returns.
+    pub fn stats(&self) -> ServiceStats {
+        let mut stats = self.handle.stats();
+        stats.tenants = self.admission.inner.lock().unwrap().tenant_stats();
+        stats
+    }
+
+    /// Orderly drain: stop accepting, stop reading, complete everything
+    /// already staged or in flight, flush replies, shut the service
+    /// down, and return the final stats (with per-tenant counters).
+    pub fn shutdown(mut self) -> ServiceStats {
+        self.drain();
+        let mut stats = match self.service.take() {
+            Some(service) => service.shutdown(),
+            None => self.handle.stats(),
+        };
+        stats.tenants = self.admission.inner.lock().unwrap().tenant_stats();
+        stats
+    }
+
+    fn drain(&mut self) {
+        // 1. Stop accepting; a dummy connection unblocks `accept`.
+        self.accepting.store(false, Ordering::Release);
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        // 2. Close the read half of every connection: readers see EOF
+        // and exit; already-staged requests stay in the queues.
+        let (conns, threads) = {
+            let mut reg = self.registry.lock().unwrap();
+            (
+                std::mem::take(&mut reg.conns),
+                std::mem::take(&mut reg.threads),
+            )
+        };
+        for conn in &conns {
+            let _ = conn.shutdown(std::net::Shutdown::Read);
+        }
+        // 3. Tell the pump to drain: it admits everything staged, then
+        // exits, dropping the collector's intake; the collector redeems
+        // every outstanding ticket and exits.
+        {
+            let mut inner = self.admission.inner.lock().unwrap();
+            inner.draining = true;
+        }
+        self.admission.cv.notify_all();
+        if let Some(h) = self.pump.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.collector.take() {
+            let _ = h.join();
+        }
+        // 4. Readers are gone (EOF), staged queues empty, tickets
+        // redeemed — every frame sender is dropped, so writers flush
+        // their last frames and exit.
+        for h in threads {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        if self.service.is_some() {
+            self.drain();
+            if let Some(service) = self.service.take() {
+                let _ = service.shutdown();
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Connection threads.
+// ---------------------------------------------------------------------
+
+fn send_frame(tx: &mpsc::Sender<Vec<u8>>, buf: &[u8]) {
+    // Best effort: a dead connection just loses the frame.
+    let _ = tx.send(buf.to_vec());
+}
+
+fn writer_loop(stream: TcpStream, rx: &mpsc::Receiver<Vec<u8>>) {
+    let mut w = std::io::BufWriter::new(stream);
+    'conn: while let Ok(frame) = rx.recv() {
+        let mut fatal = frame.first() == Some(&wire::op::FATAL);
+        if wire::write_frame(&mut w, &frame).is_err() {
+            break;
+        }
+        // Opportunistically coalesce queued frames into one flush.
+        while let Ok(next) = rx.try_recv() {
+            fatal |= next.first() == Some(&wire::op::FATAL);
+            if wire::write_frame(&mut w, &next).is_err() {
+                break 'conn;
+            }
+        }
+        if w.flush().is_err() {
+            break;
+        }
+        if fatal {
+            // A Fatal frame is always terminal: actively close so the
+            // peer sees EOF now, not at server shutdown (other clones of
+            // this stream — the shutdown registry's — stay open).
+            let _ = w.get_ref().shutdown(std::net::Shutdown::Both);
+            break;
+        }
+    }
+    // Drain remaining senders' frames so late completions never block
+    // (they wouldn't anyway — the channel is unbounded — but this keeps
+    // the receiver alive until the last sender drops, silencing sends).
+    while rx.recv().is_ok() {}
+}
+
+/// Per-connection read loop: handshake, then decode-and-stage until EOF
+/// or a protocol violation (answered with a `Fatal` frame).
+fn reader_loop(
+    stream: TcpStream,
+    frame_tx: mpsc::Sender<Vec<u8>>,
+    admission: &Admission,
+    handle: &ServiceHandle,
+    cfg: &NetConfig,
+) {
+    let limits = cfg.limits();
+    let mut r = BufReader::new(stream);
+    let mut frame = Vec::new();
+    let mut out = Vec::new();
+
+    // Handshake: the first frame must be a well-formed `Hello` naming an
+    // admissible tenant.
+    let tenant = match read_client_msg(&mut r, &limits, &mut frame) {
+        Ok(Some(wire::ClientMsg::Hello { tenant, .. })) => tenant,
+        Ok(Some(_)) => {
+            wire::encode_fatal(&mut out, FatalCode::BadHandshake, "expected Hello first");
+            send_frame(&frame_tx, &out);
+            return;
+        }
+        Ok(None) => return,
+        Err(e) => {
+            wire::encode_fatal(&mut out, FatalCode::for_wire_error(&e), &e.to_string());
+            send_frame(&frame_tx, &out);
+            return;
+        }
+    };
+    let tenant_idx = {
+        let mut inner = admission.inner.lock().unwrap();
+        match inner.index.get(&tenant) {
+            Some(&i) => i,
+            None => match &cfg.default_tenant {
+                Some(default) => {
+                    let mut spec = default.clone();
+                    spec.name = tenant.clone();
+                    let i = inner.tenants.len();
+                    inner.index.insert(tenant, i);
+                    inner.tenants.push(TenantState::new(spec));
+                    i
+                }
+                None => {
+                    drop(inner);
+                    wire::encode_fatal(
+                        &mut out,
+                        FatalCode::UnknownTenant,
+                        "tenant not declared and defaults are disabled",
+                    );
+                    send_frame(&frame_tx, &out);
+                    return;
+                }
+            },
+        }
+    };
+    wire::encode_hello_ack(&mut out, cfg.max_frame as u32, cfg.max_items as u32);
+    send_frame(&frame_tx, &out);
+
+    loop {
+        let msg = match read_client_msg(&mut r, &limits, &mut frame) {
+            Ok(Some(msg)) => msg,
+            Ok(None) => return, // clean close (or drain's Shutdown::Read)
+            Err(e) => {
+                wire::encode_fatal(&mut out, FatalCode::for_wire_error(&e), &e.to_string());
+                send_frame(&frame_tx, &out);
+                return;
+            }
+        };
+        match msg {
+            wire::ClientMsg::Hello { .. } => {
+                wire::encode_fatal(&mut out, FatalCode::BadHandshake, "duplicate Hello");
+                send_frame(&frame_tx, &out);
+                return;
+            }
+            wire::ClientMsg::Stats { corr } => {
+                // Telemetry bypasses admission: reads a snapshot, never
+                // queues behind tenant backlogs.
+                let mut stats = handle.stats();
+                stats.tenants = admission.inner.lock().unwrap().tenant_stats();
+                wire::encode_stats_reply(&mut out, corr, &stats.to_json());
+                send_frame(&frame_tx, &out);
+            }
+            wire::ClientMsg::Request { corr, request } => {
+                let mut inner = admission.inner.lock().unwrap();
+                if inner.draining {
+                    wire::encode_error(&mut out, corr, RequestError::ShutDown);
+                    send_frame(&frame_tx, &out);
+                    continue;
+                }
+                let t = &mut inner.tenants[tenant_idx];
+                if t.staged.len() >= t.spec.stage_cap {
+                    // Load shed: hint scales with how congested the
+                    // service actually is, so a saturated queue backs
+                    // clients off harder than a momentary blip.
+                    t.shed += 1;
+                    let depth = handle.queue_depth();
+                    let capacity = handle.queue_capacity().max(1);
+                    let congestion = (depth as f64 / capacity as f64).clamp(0.0, 1.0);
+                    let after = cfg.retry_hint_base.mul_f64(1.0 + 3.0 * congestion);
+                    drop(inner);
+                    wire::encode_retry(&mut out, corr, after, depth as u32, capacity as u32);
+                    send_frame(&frame_tx, &out);
+                    continue;
+                }
+                t.staged.push_back(Staged {
+                    corr,
+                    request,
+                    writer: frame_tx.clone(),
+                    staged_at: Instant::now(),
+                });
+                drop(inner);
+                admission.cv.notify_all();
+            }
+        }
+    }
+}
+
+fn read_client_msg(
+    r: &mut impl std::io::Read,
+    limits: &DecodeLimits,
+    frame: &mut Vec<u8>,
+) -> Result<Option<wire::ClientMsg>, wire::WireError> {
+    match wire::read_frame(r, limits.max_frame, frame) {
+        Ok(false) => Ok(None),
+        Ok(true) => wire::decode_client_msg(frame, limits).map(Some),
+        // EOF inside a frame is a protocol violation (the peer promised
+        // more bytes), answered typed on the write half if it is still
+        // open; a reset/aborted transport is just a gone peer.
+        Err(FrameReadError::Io(e)) if e.kind() == std::io::ErrorKind::UnexpectedEof => {
+            Err(wire::WireError::Truncated)
+        }
+        Err(FrameReadError::Io(_)) => Ok(None),
+        Err(FrameReadError::Wire(e)) => Err(e),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Admission pump + completion collector.
+// ---------------------------------------------------------------------
+
+/// The single admission thread: sweeps staging queues in DRR order and
+/// feeds the service. Holding the admission lock across `try_submit`
+/// (non-blocking) makes the service-side admission order — and the write
+/// barriers in it — one deterministic sequence.
+fn pump_loop(
+    admission: &Admission,
+    handle: &ServiceHandle,
+    quantum: u64,
+    inflight_tx: &mpsc::Sender<InFlight>,
+) {
+    let mut inner = admission.inner.lock().unwrap();
+    loop {
+        if let Some(i) = inner.drr_next(quantum) {
+            let Staged {
+                corr,
+                request,
+                writer,
+                staged_at,
+            } = inner.tenants[i]
+                .staged
+                .pop_front()
+                .expect("drr admitted a head");
+            let cost = request.len().max(1) as u64;
+            match handle.try_submit(request) {
+                Ok(ticket) => {
+                    inner.tenants[i].in_flight += 1;
+                    inner.tenants[i].admitted += 1;
+                    if inflight_tx
+                        .send(InFlight {
+                            ticket,
+                            corr,
+                            writer,
+                            tenant: i,
+                            staged_at,
+                        })
+                        .is_err()
+                    {
+                        return;
+                    }
+                }
+                Err(e @ SubmitError::Full { .. }) => {
+                    // Intake full: put the request back at the head with
+                    // its deficit refunded and wait for a completion to
+                    // free space (the collector notifies).
+                    inner.tenants[i].deficit += cost;
+                    inner.tenants[i].staged.push_front(Staged {
+                        corr,
+                        request: e.into_request(),
+                        writer,
+                        staged_at,
+                    });
+                    inner = admission
+                        .cv
+                        .wait_timeout(inner, Duration::from_micros(500))
+                        .unwrap()
+                        .0;
+                }
+                Err(SubmitError::ReadOnly(_)) => {
+                    inner.tenants[i].failed += 1;
+                    let mut out = Vec::new();
+                    wire::encode_error(&mut out, corr, RequestError::ReadOnly);
+                    let _ = writer.send(out);
+                }
+                Err(SubmitError::ShutDown(_)) => {
+                    inner.tenants[i].failed += 1;
+                    let mut out = Vec::new();
+                    wire::encode_error(&mut out, corr, RequestError::ShutDown);
+                    let _ = writer.send(out);
+                }
+            }
+            continue;
+        }
+        if inner.draining && inner.staged_total() == 0 {
+            return; // drops inflight_tx → collector drains and exits
+        }
+        inner = admission
+            .cv
+            .wait_timeout(inner, Duration::from_millis(5))
+            .unwrap()
+            .0;
+    }
+}
+
+/// Redeems tickets in admission order, encodes the outcome, and routes
+/// it to the owning connection's writer. Every admitted ticket is
+/// redeemed exactly once — dead connections just lose the frame.
+fn collector_loop(admission: &Admission, inflight_rx: &mpsc::Receiver<InFlight>) {
+    let mut out = Vec::new();
+    while let Ok(inf) = inflight_rx.recv() {
+        let ok = match inf.ticket.recv_reply() {
+            Ok(reply) => {
+                wire::encode_reply(&mut out, inf.corr, reply.shards_skipped, &reply.response);
+                true
+            }
+            Err(e) => {
+                wire::encode_error(&mut out, inf.corr, e.into());
+                false
+            }
+        };
+        send_frame(&inf.writer, &out);
+        let mut inner = admission.inner.lock().unwrap();
+        let t = &mut inner.tenants[inf.tenant];
+        t.in_flight -= 1;
+        if ok {
+            t.completed += 1;
+            t.latency.record(inf.staged_at.elapsed());
+        } else {
+            t.failed += 1;
+        }
+        drop(inner);
+        admission.cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simspatial_geom::{Aabb, Point3};
+
+    fn staged(writer: &mpsc::Sender<Vec<u8>>) -> Staged {
+        Staged {
+            corr: 0,
+            request: Request::RangeCount(vec![Aabb::new(
+                Point3::new(0.0, 0.0, 0.0),
+                Point3::new(1.0, 1.0, 1.0),
+            )]),
+            writer: writer.clone(),
+            staged_at: Instant::now(),
+        }
+    }
+
+    /// The DRR invariant, deterministically: with weights 9:1, equal
+    /// unit-cost requests and both queues always backlogged, admissions
+    /// split 9:1 (exactly, over any whole number of refresh rounds).
+    #[test]
+    fn drr_sweep_honours_weights() {
+        let (tx, _rx) = mpsc::channel();
+        let mut inner = AdmissionInner {
+            tenants: vec![
+                TenantState::new(TenantSpec::new("hot", 9)),
+                TenantState::new(TenantSpec::new("trickle", 1)),
+            ],
+            index: HashMap::new(),
+            cursor: 0,
+            draining: false,
+        };
+        for _ in 0..600 {
+            inner.tenants[0].staged.push_back(staged(&tx));
+            inner.tenants[1].staged.push_back(staged(&tx));
+        }
+        let mut admitted = [0u64; 2];
+        for _ in 0..500 {
+            let i = inner.drr_next(1).expect("backlogged queues always admit");
+            inner.tenants[i].staged.pop_front();
+            admitted[i] += 1;
+        }
+        assert_eq!(admitted[0] + admitted[1], 500);
+        // 9:1 within one refresh round of slack.
+        assert!(
+            admitted[0] >= 440 && admitted[0] <= 460,
+            "hot tenant took {} of 500",
+            admitted[0]
+        );
+        assert!(
+            admitted[1] >= 40 && admitted[1] <= 60,
+            "trickle tenant took {} of 500",
+            admitted[1]
+        );
+    }
+
+    /// An in-flight-capped tenant is skipped without losing its turn:
+    /// when the cap clears it resumes at its weighted share.
+    #[test]
+    fn drr_skips_capped_tenants() {
+        let (tx, _rx) = mpsc::channel();
+        let mut inner = AdmissionInner {
+            tenants: vec![
+                TenantState::new(TenantSpec::new("a", 1).with_caps(1, 64)),
+                TenantState::new(TenantSpec::new("b", 1)),
+            ],
+            index: HashMap::new(),
+            cursor: 0,
+            draining: false,
+        };
+        for _ in 0..100 {
+            inner.tenants[0].staged.push_back(staged(&tx));
+            inner.tenants[1].staged.push_back(staged(&tx));
+        }
+        // Tenant a sits at its in-flight cap: the sweep keeps serving b.
+        inner.tenants[0].in_flight = 1;
+        for _ in 0..10 {
+            let i = inner.drr_next(1).expect("b stays admissible");
+            assert_eq!(i, 1, "capped tenant must be skipped");
+            inner.tenants[i].staged.pop_front();
+        }
+        // Completion clears the cap; a resumes.
+        inner.tenants[0].in_flight = 0;
+        let resumed = (0..10)
+            .map(|_| {
+                let i = inner.drr_next(1).unwrap();
+                inner.tenants[i].staged.pop_front();
+                i
+            })
+            .filter(|&i| i == 0)
+            .count();
+        assert!(resumed >= 4, "uncapped tenant resumed only {resumed}/10");
+    }
+
+    /// Empty queues reset deficits: a tenant cannot bank credit while
+    /// idle and then burst past its weight when it returns.
+    #[test]
+    fn drr_resets_idle_deficit() {
+        let (tx, _rx) = mpsc::channel();
+        let mut inner = AdmissionInner {
+            tenants: vec![
+                TenantState::new(TenantSpec::new("idle", 9)),
+                TenantState::new(TenantSpec::new("busy", 1)),
+            ],
+            index: HashMap::new(),
+            cursor: 0,
+            draining: false,
+        };
+        for _ in 0..50 {
+            inner.tenants[1].staged.push_back(staged(&tx));
+        }
+        // Many rounds with `idle` absent: its deficit must stay 0.
+        for _ in 0..20 {
+            let i = inner.drr_next(1).unwrap();
+            inner.tenants[i].staged.pop_front();
+            assert_eq!(i, 1);
+        }
+        assert_eq!(inner.tenants[0].deficit, 0, "idle tenant banked deficit");
+    }
+}

@@ -146,4 +146,4 @@ pub use backend::{
 pub use fault::{ChaosBackend, FaultKind, FaultPlan, ScheduledFault};
 pub use request::{RecvError, Reply, Request, Response, SubmitError, Ticket};
 pub use service::{RetryPolicy, ServiceConfig, ServiceHandle, SpatialService};
-pub use stats::{LatencyHistogram, ServiceStats, BATCH_BUCKETS, LATENCY_BUCKETS};
+pub use stats::{LatencyHistogram, ServiceStats, TenantStats, BATCH_BUCKETS, LATENCY_BUCKETS};

@@ -15,7 +15,7 @@ use std::time::{Duration, Instant};
 /// dataset; a query admitted *after* it sees the post-write dataset —
 /// exactly as if all requests ran serially in admission order
 /// (differentially tested in `tests/service_stress.rs`).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Request {
     /// Range queries: one result id list per box, in the order the index
     /// plan emits (identical to a serial `QueryEngine::range_collect`).
@@ -184,7 +184,7 @@ impl Response {
     }
 }
 
-/// Why a submission was not accepted. Both variants hand the request back
+/// Why a submission was not accepted. Every variant hands the request back
 /// so the caller can retry or reroute without cloning up front.
 #[derive(Debug)]
 pub enum SubmitError {
@@ -194,19 +194,66 @@ pub enum SubmitError {
     /// [`ServiceHandle::try_submit`](crate::ServiceHandle::try_submit)
     /// only — the blocking `submit` waits instead). This is the
     /// backpressure signal: the client is producing faster than the
-    /// service drains.
-    Full(Request),
+    /// service drains. The rejection carries the congestion gauges
+    /// observed at rejection time, so backoff (client-side
+    /// [`submit_with_retry`](crate::ServiceHandle::submit_with_retry), or
+    /// a protocol-level retry hint in a network front end) can scale to
+    /// actual congestion instead of blind jitter.
+    Full {
+        /// The rejected request, handed back for retry.
+        request: Request,
+        /// Queue depth observed at rejection time (≈ `capacity`; can lag
+        /// a concurrent drain by a few entries).
+        depth: usize,
+        /// The intake queue bound
+        /// ([`ServiceConfig::queue_cap`](crate::ServiceConfig::queue_cap)).
+        capacity: usize,
+        /// High-water mark of the queue depth over the service lifetime —
+        /// `high_water` pinned at `capacity` means sustained overload,
+        /// not a burst.
+        high_water: usize,
+    },
     /// A write request (`Update`/`Step`) was submitted to a service whose
     /// backend has no write path (no updater / no shard rebuild function).
     /// Rejected at admission so no write ever reaches a read-only backend.
     ReadOnly(Request),
 }
 
+impl SubmitError {
+    /// Takes the rejected request back out of the error.
+    pub fn into_request(self) -> Request {
+        match self {
+            SubmitError::ShutDown(r) | SubmitError::ReadOnly(r) => r,
+            SubmitError::Full { request, .. } => request,
+        }
+    }
+
+    /// Queue congestion at rejection time in `[0, 1]` — `depth/capacity`
+    /// for [`SubmitError::Full`], `1.0` for the terminal variants (they
+    /// never clear, so maximal backoff is the honest hint).
+    pub fn congestion(&self) -> f64 {
+        match self {
+            SubmitError::Full {
+                depth, capacity, ..
+            } => (*depth as f64 / (*capacity).max(1) as f64).clamp(0.0, 1.0),
+            _ => 1.0,
+        }
+    }
+}
+
 impl std::fmt::Display for SubmitError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SubmitError::ShutDown(_) => write!(f, "service is shut down"),
-            SubmitError::Full(_) => write!(f, "service intake queue is full"),
+            SubmitError::Full {
+                depth,
+                capacity,
+                high_water,
+                ..
+            } => write!(
+                f,
+                "service intake queue is full ({depth}/{capacity}, high-water {high_water})"
+            ),
             SubmitError::ReadOnly(_) => write!(f, "service backend is read-only"),
         }
     }

@@ -266,6 +266,9 @@ struct Shared {
     membership: bool,
     /// Deadline stamped onto requests that do not carry their own.
     default_deadline: Option<Duration>,
+    /// The intake queue bound, surfaced in [`SubmitError::Full`] so
+    /// rejected clients can scale their backoff to actual congestion.
+    queue_cap: usize,
     queue_depth: AtomicUsize,
     // Admission-path counters are atomics so producer submits never
     // contend with the dispatcher's per-dispatch stats update.
@@ -322,6 +325,7 @@ impl Shared {
             retries_attempted: self.retries_attempted.load(Ordering::Relaxed),
             partial_responses: inner.partial_responses,
             failed_requests: inner.failed_requests,
+            tenants: Vec::new(),
         }
     }
 }
@@ -387,6 +391,12 @@ impl ServiceHandle {
     /// retried by this helper (see the [`RetryPolicy`] docs for why a
     /// blind post-admission write retry would be unsafe). `ShutDown` and
     /// `ReadOnly` rejections are returned immediately.
+    ///
+    /// The backoff scales to the congestion the rejection reported
+    /// ([`SubmitError::congestion`]): a queue rejecting at a transient
+    /// burst peak sleeps roughly half as long as one pinned at sustained
+    /// overload, so recovering services refill quickly while overloaded
+    /// ones are not hammered.
     pub fn submit_with_retry(
         &self,
         request: Request,
@@ -398,19 +408,22 @@ impl ServiceHandle {
         loop {
             match self.try_submit(request) {
                 Ok(ticket) => return Ok(ticket),
-                Err(SubmitError::Full(r)) if attempt < policy.max_retries => {
+                Err(e @ SubmitError::Full { .. }) if attempt < policy.max_retries => {
                     attempt += 1;
                     self.shared
                         .retries_attempted
                         .fetch_add(1, Ordering::Relaxed);
                     let shift = (attempt - 1).min(10);
                     let capped = (policy.base_backoff * (1u32 << shift)).min(policy.max_backoff);
-                    // Jitter to 50–100% of the capped backoff so competing
-                    // clients decorrelate instead of retrying in lockstep.
+                    // Scale to reported congestion (50% floor: a rejection
+                    // always means *some* pressure), then jitter to
+                    // 50–100% so competing clients decorrelate instead of
+                    // retrying in lockstep.
+                    let scaled = capped.mul_f64(0.5 + 0.5 * e.congestion());
                     let frac =
                         0.5 + 0.5 * ((splitmix64(&mut state) >> 11) as f64 / (1u64 << 53) as f64);
-                    std::thread::sleep(capped.mul_f64(frac));
-                    request = r;
+                    std::thread::sleep(scaled.mul_f64(frac));
+                    request = e.into_request();
                 }
                 Err(e) => return Err(e),
             }
@@ -469,13 +482,22 @@ impl ServiceHandle {
                     Ok(Ticket { rx, submitted })
                 }
                 Err(mpsc::TrySendError::Full(mut env)) => {
-                    self.shared.queue_depth.fetch_sub(1, Ordering::AcqRel);
+                    // Undo our own provisional increment; what remains is
+                    // the congestion the rejected client should back off
+                    // against.
+                    let depth = self
+                        .shared
+                        .queue_depth
+                        .fetch_sub(1, Ordering::AcqRel)
+                        .saturating_sub(1);
                     self.shared.rejected.fetch_add(1, Ordering::Relaxed);
                     env.reply = None;
-                    Err(SubmitError::Full(std::mem::replace(
-                        &mut env.request,
-                        Request::Range(Vec::new()),
-                    )))
+                    Err(SubmitError::Full {
+                        request: std::mem::replace(&mut env.request, Request::Range(Vec::new())),
+                        depth,
+                        capacity: self.shared.queue_cap,
+                        high_water: self.shared.max_queue_depth.load(Ordering::Relaxed),
+                    })
                 }
                 Err(mpsc::TrySendError::Disconnected(mut env)) => {
                     self.shared.queue_depth.fetch_sub(1, Ordering::AcqRel);
@@ -492,6 +514,20 @@ impl ServiceHandle {
     /// True while the service accepts submissions.
     pub fn is_open(&self) -> bool {
         self.shared.open.load(Ordering::Acquire)
+    }
+
+    /// Current intake queue depth (admitted, not yet drained by the
+    /// dispatcher). A lock-free gauge — cheap enough for admission-control
+    /// front ends to read per request.
+    pub fn queue_depth(&self) -> usize {
+        self.shared.queue_depth.load(Ordering::Acquire)
+    }
+
+    /// The intake queue bound this service was configured with
+    /// ([`ServiceConfig::queue_cap`]). `queue_depth() / queue_capacity()`
+    /// is the congestion fraction backoff hints should scale with.
+    pub fn queue_capacity(&self) -> usize {
+        self.shared.queue_cap
     }
 
     /// True when the backend applies write requests (`Update`/`Step`);
@@ -1209,6 +1245,7 @@ impl SpatialService {
             writable: backend.supports_updates(),
             membership: backend.supports_membership(),
             default_deadline: config.default_deadline,
+            queue_cap: config.queue_cap.max(1),
             queue_depth: AtomicUsize::new(0),
             submitted: AtomicU64::new(0),
             rejected: AtomicU64::new(0),

@@ -83,6 +83,35 @@ impl LatencyHistogram {
     }
 }
 
+/// Per-tenant admission/completion accounting for multi-tenant front
+/// ends. The in-process service has no tenant dimension — every
+/// [`ServiceStats`](crate::ServiceStats) it snapshots carries an empty
+/// tenant list — but a front end multiplexing many clients onto the
+/// intake queue (e.g. `simspatial-net`'s TCP server, which admits tenants
+/// by weighted deficit round-robin) maintains one of these per declared
+/// tenant and injects them into the snapshots it exports.
+#[derive(Debug, Clone, Default)]
+pub struct TenantStats {
+    /// Tenant name as declared at handshake.
+    pub name: String,
+    /// Configured fair-admission weight (share of intake capacity under
+    /// contention).
+    pub weight: u32,
+    /// Requests admitted into the shared intake queue on this tenant's
+    /// behalf.
+    pub admitted: u64,
+    /// Requests shed before admission (staging quota exceeded) and
+    /// answered with a protocol-level retry hint.
+    pub shed: u64,
+    /// Admitted requests that completed with a successful response.
+    pub completed: u64,
+    /// Admitted requests that completed with a typed error.
+    pub failed: u64,
+    /// Stage→completion latency distribution (includes fair-admission
+    /// queueing, so a starved tenant shows up here, not just in `shed`).
+    pub latency: LatencyHistogram,
+}
+
 /// A point-in-time snapshot of the service counters, returned by
 /// [`ServiceHandle::stats`](crate::ServiceHandle::stats) and
 /// [`SpatialService::stats`](crate::SpatialService::stats).
@@ -193,6 +222,9 @@ pub struct ServiceStats {
     pub partial_responses: u64,
     /// Requests completed with `RecvError::WorkerFailed`.
     pub failed_requests: u64,
+    /// Per-tenant admission accounting, populated by multi-tenant front
+    /// ends (empty for in-process services — see [`TenantStats`]).
+    pub tenants: Vec<TenantStats>,
 }
 
 impl ServiceStats {
@@ -213,6 +245,84 @@ impl ServiceStats {
         } else {
             self.coalesced_updates as f64 / self.update_dispatches as f64
         }
+    }
+
+    /// Machine-readable JSON snapshot (hand-rolled — the offline build has
+    /// no serde). Single line, stable key order; latency histograms are
+    /// summarized as mean/p50/p95/p99/max in microseconds. This is the
+    /// payload a `Stats` wire request returns and the bench drivers embed
+    /// in their reports.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::with_capacity(1024);
+        s.push('{');
+        let _ = write!(
+            s,
+            "\"submitted\":{},\"completed\":{},\"rejected\":{},\"queue_depth\":{},\"max_queue_depth\":{}",
+            self.submitted, self.completed, self.rejected, self.queue_depth, self.max_queue_depth
+        );
+        let _ = write!(
+            s,
+            ",\"dispatches\":{},\"coalesced_requests\":{},\"mean_batch\":{:.3}",
+            self.dispatches,
+            self.coalesced_requests,
+            self.mean_batch()
+        );
+        let _ = write!(
+            s,
+            ",\"exec_elapsed_s\":{:.6},\"results\":{}",
+            self.exec_elapsed_s, self.results
+        );
+        s.push_str(",\"latency\":");
+        latency_json(&mut s, &self.latency);
+        let _ = write!(
+            s,
+            ",\"updates_applied\":{},\"migrations\":{},\"updates_skipped\":{},\"elements_inserted\":{},\"elements_removed\":{}",
+            self.updates_applied,
+            self.migrations,
+            self.updates_skipped,
+            self.elements_inserted,
+            self.elements_removed
+        );
+        let _ = write!(
+            s,
+            ",\"panics_caught\":{},\"shard_restarts\":{},\"shards_dead\":{},\"deadline_expired\":{},\"retries_attempted\":{},\"partial_responses\":{},\"failed_requests\":{}",
+            self.panics_caught,
+            self.shard_restarts,
+            self.shards_dead,
+            self.deadline_expired,
+            self.retries_attempted,
+            self.partial_responses,
+            self.failed_requests
+        );
+        let _ = write!(s, ",\"memory_bytes\":{}", self.memory_bytes);
+        s.push_str(",\"shard_sizes\":[");
+        for (i, sz) in self.shard_sizes.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "{sz}");
+        }
+        s.push_str("],\"tenants\":[");
+        for (i, t) in self.tenants.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "{{\"name\":{},\"weight\":{},\"admitted\":{},\"shed\":{},\"completed\":{},\"failed\":{},\"latency\":",
+                json_string(&t.name),
+                t.weight,
+                t.admitted,
+                t.shed,
+                t.completed,
+                t.failed
+            );
+            latency_json(&mut s, &t.latency);
+            s.push('}');
+        }
+        s.push_str("]}");
+        s
     }
 
     /// Multi-line human-readable summary (for examples and harnesses).
@@ -280,12 +390,59 @@ impl ServiceStats {
                 self.worker_steals,
             ));
         }
+        for t in &self.tenants {
+            s.push_str(&format!(
+                "tenant {}: weight {}, {} admitted, {} shed, {} completed, {} failed, p99 ≤{:.1}µs\n",
+                t.name,
+                t.weight,
+                t.admitted,
+                t.shed,
+                t.completed,
+                t.failed,
+                t.latency.quantile_s(0.99) * 1e6,
+            ));
+        }
         s.push_str(&format!(
             "backend: {} bytes, shard sizes {:?}",
             self.memory_bytes, self.shard_sizes
         ));
         s
     }
+}
+
+/// Appends the JSON summary object of one latency histogram
+/// (microsecond-scaled mean/p50/p95/p99/max plus the count).
+fn latency_json(out: &mut String, h: &LatencyHistogram) {
+    use std::fmt::Write as _;
+    let _ = write!(
+        out,
+        "{{\"count\":{},\"mean_us\":{:.1},\"p50_us\":{:.1},\"p95_us\":{:.1},\"p99_us\":{:.1},\"max_us\":{:.1}}}",
+        h.count,
+        h.mean_s() * 1e6,
+        h.quantile_s(0.50) * 1e6,
+        h.quantile_s(0.95) * 1e6,
+        h.quantile_s(0.99) * 1e6,
+        h.max_s * 1e6,
+    );
+}
+
+/// Minimal JSON string escaping for tenant names.
+fn json_string(s: &str) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 #[cfg(test)]
@@ -313,5 +470,32 @@ mod tests {
     #[test]
     fn mean_batch_handles_zero() {
         assert_eq!(ServiceStats::default().mean_batch(), 0.0);
+    }
+
+    #[test]
+    fn stats_json_shape() {
+        let mut stats = ServiceStats {
+            submitted: 7,
+            completed: 6,
+            ..ServiceStats::default()
+        };
+        stats.latency.record(Duration::from_micros(120));
+        stats.shard_sizes = vec![3, 4];
+        stats.tenants.push(TenantStats {
+            name: "si\"m".into(),
+            weight: 9,
+            admitted: 5,
+            shed: 2,
+            ..TenantStats::default()
+        });
+        let json = stats.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
+        assert!(json.contains("\"submitted\":7"), "{json}");
+        assert!(json.contains("\"shard_sizes\":[3,4]"), "{json}");
+        assert!(json.contains("\"name\":\"si\\\"m\""), "{json}");
+        assert!(json.contains("\"weight\":9"), "{json}");
+        assert!(json.contains("\"shed\":2"), "{json}");
+        assert!(json.contains("\"p99_us\""), "{json}");
+        assert!(!json.contains('\n'), "single line: {json}");
     }
 }

@@ -11,12 +11,20 @@
 //! saturated intake queue sheds load instead of blocking the arrival
 //! process — watch the `rejected` counter.
 //!
+//! The final stanza serves the same workload over TCP: a `NetServer`
+//! wraps the service on a loopback socket and the producers become real
+//! `NetClient` connections — one tenant per producer — pipelining frames
+//! through the deficit-round-robin admission pump. The per-tenant lines
+//! of the closing stats show each connection's admitted/shed/completed
+//! split and latency quantiles.
+//!
 //! Run with:
 //!
 //! ```sh
 //! cargo run --release --example service_frontend
 //! ```
 
+use simspatial::net::wire::ServerMsg;
 use simspatial::prelude::*;
 use std::time::{Duration, Instant};
 
@@ -126,7 +134,7 @@ fn drive(name: &str, service: SpatialService, universe: Aabb, n_elements: u32) {
                         // dropped; a full queue sheds the request.
                         match handle.try_submit(req) {
                             Ok(_ticket) => {}
-                            Err(SubmitError::Full(_)) => dropped += 1,
+                            Err(SubmitError::Full { .. }) => dropped += 1,
                             Err(e) => panic!("service vanished: {e}"),
                         }
                     }
@@ -137,6 +145,78 @@ fn drive(name: &str, service: SpatialService, universe: Aabb, n_elements: u32) {
         }
     });
     let stats = service.shutdown();
+    let wall = start.elapsed().as_secs_f64();
+    println!("== {name} ==");
+    println!("{}", stats.summary());
+    println!(
+        "throughput: {:.0} completed requests/s over {:.2}s wall\n",
+        stats.completed as f64 / wall,
+        wall
+    );
+}
+
+/// Drives the same workload over loopback TCP: each producer is a real
+/// `NetClient` connection with its own tenant name, pipelining up to 8
+/// frames before reaping replies. Server `Retry` frames (per-tenant
+/// staging overflow) count as drops, mirroring `try_submit` shedding in
+/// the in-process stanzas.
+fn drive_tcp(name: &str, service: SpatialService, universe: Aabb, n_elements: u32) {
+    let tenants = (0..PRODUCERS)
+        .map(|tid| TenantSpec::new(format!("producer{tid}"), if tid == 0 { 2 } else { 1 }))
+        .collect();
+    let server = NetServer::bind(
+        service,
+        "127.0.0.1:0",
+        NetConfig::default().with_tenants(tenants),
+    )
+    .expect("bind loopback");
+    let addr = server.local_addr();
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for tid in 0..PRODUCERS {
+            scope.spawn(move || {
+                let tenant = format!("producer{tid}");
+                let mut conn = NetClient::connect(addr, &tenant).expect("connect");
+                let writable = tid == 0;
+                let mut outstanding = 0u32;
+                let mut dropped = 0u32;
+                for burst in 0..BURSTS {
+                    for i in 0..BURST_SIZE {
+                        let h = mix(tid << 20 | burst << 8 | i);
+                        let req = if writable && i % 4 == 0 {
+                            tick_request(&universe, n_elements, h)
+                        } else {
+                            request(&universe, h)
+                        };
+                        if outstanding >= 8 {
+                            // Push the buffered frames out before blocking
+                            // on a reply, or the window deadlocks.
+                            conn.flush().expect("flush");
+                        }
+                        while outstanding >= 8 {
+                            if let ServerMsg::Retry { .. } = conn.recv_msg().expect("reply") {
+                                dropped += 1;
+                            }
+                            outstanding -= 1;
+                        }
+                        conn.enqueue(&req).expect("enqueue");
+                        outstanding += 1;
+                    }
+                    conn.flush().expect("flush");
+                    std::thread::sleep(BURST_GAP);
+                }
+                conn.flush().expect("flush");
+                while outstanding > 0 {
+                    if let ServerMsg::Retry { .. } = conn.recv_msg().expect("reply") {
+                        dropped += 1;
+                    }
+                    outstanding -= 1;
+                }
+                dropped
+            });
+        }
+    });
+    let stats = server.shutdown();
     let wall = start.elapsed().as_secs_f64();
     println!("== {name} ==");
     println!("{}", stats.summary());
@@ -203,6 +283,19 @@ fn main() {
     drive(
         "GridMigrate · 2-shard incremental backend (delta ticks, in-place writes)",
         SpatialService::spawn(incremental, ServiceConfig::default()),
+        universe,
+        dataset.len() as u32,
+    );
+
+    // 4. The same writable 2-shard backend served over loopback TCP: real
+    // sockets, length-prefixed frames, per-tenant DRR admission. Compare
+    // its throughput line to stanza 2 — the gap is the wire stack's cost.
+    let sharded = ShardedBackend::spawn(
+        ShardedEngine::build(dataset.elements(), 2, build).with_rebuild(build),
+    );
+    drive_tcp(
+        "UniformGrid · 2-shard writable backend over TCP (4 tenant connections)",
+        SpatialService::spawn(sharded, ServiceConfig::default()),
         universe,
         dataset.len() as u32,
     );

@@ -61,6 +61,7 @@
 //! | [`moving`] | `simspatial-moving` | update/rebuild/scan strategies & crossover analysis |
 //! | [`sim`] | `simspatial-sim` | time-stepped simulation engine + workloads |
 //! | [`service`] | `simspatial-service` | concurrent query service: micro-batching scheduler + per-shard workers |
+//! | [`net`] | `simspatial-net` | TCP front end: binary wire protocol, multiplexed connections, multi-tenant fair admission |
 //!
 //! See `ARCHITECTURE.md` at the repository root for how the layers (SoA
 //! kernel → index → engine → sharded engine → service) fit together and
@@ -72,6 +73,7 @@ pub use simspatial_index as index;
 pub use simspatial_join as join;
 pub use simspatial_mesh as mesh;
 pub use simspatial_moving as moving;
+pub use simspatial_net as net;
 pub use simspatial_service as service;
 pub use simspatial_sim as sim;
 pub use simspatial_storage as storage;
@@ -99,10 +101,11 @@ pub mod prelude {
         sharded_strategy_engine, strategy_backend, ShardWriteMode, StepCost, StrategyIndex,
         StrategyWrites, UpdateStrategy, UpdateStrategyKind,
     };
+    pub use simspatial_net::{CallOutcome, NetClient, NetConfig, NetServer, TenantSpec};
     pub use simspatial_service::{
         ChaosBackend, EngineBackend, FaultKind, FaultPlan, IndexUpdater, RebuildUpdater, Reply,
         Request, Response, RetryPolicy, ServiceBackend, ServiceConfig, ServiceHandle, ServiceStats,
-        ShardedBackend, SpatialService, SubmitError, SupervisorPolicy, Ticket,
+        ShardedBackend, SpatialService, SubmitError, SupervisorPolicy, TenantStats, Ticket,
     };
     pub use simspatial_sim::{
         MaterialWorkload, NBodyWorkload, PlasticityWorkload, ServedSimulation, ServedStepReport,

@@ -858,7 +858,7 @@ fn submit_with_retry_waits_out_a_full_queue() {
         assert!(attempt < 1000, "queue never filled");
         match handle.try_submit(Request::Range(vec![full_cover()])) {
             Ok(t) => queued.push(t),
-            Err(SubmitError::Full(_)) => break,
+            Err(SubmitError::Full { .. }) => break,
             Err(e) => panic!("unexpected rejection: {e:?}"),
         }
     }

@@ -498,10 +498,19 @@ fn bounded_queue_reports_backpressure() {
     for _ in 0..5 {
         match handle.try_submit(one_box()) {
             Ok(t) => accepted.push(t),
-            Err(SubmitError::Full(req)) => {
+            Err(SubmitError::Full {
+                request: req,
+                depth,
+                capacity,
+                high_water,
+            }) => {
                 saw_full = true;
-                // The request comes back for retry.
+                // The request comes back for retry, and the rejection
+                // carries honest congestion gauges for backoff scaling.
                 assert_eq!(req.len(), 1);
+                assert_eq!(capacity, 2, "capacity mirrors the configured cap");
+                assert!(depth >= 1, "a full queue reports its depth");
+                assert!(high_water >= depth, "high-water dominates depth");
             }
             Err(e) => panic!("unexpected submit error: {e}"),
         }
