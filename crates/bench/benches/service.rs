@@ -20,6 +20,19 @@
 //!   fraction (updates are 4-element `Request::Update` batches of small
 //!   displacements, so shard migrations occur at boundaries).
 //!
+//! Snapshot read rows (4-shard snapshot-publishing backend, 4 producers,
+//! identical write traffic on both sides, latencies recorded for reads
+//! only so p99 excludes write application time):
+//!
+//! * `svc_snapshot_f25` / `svc_snapshot_f50` — read throughput, `before` =
+//!   reads at `Consistency::Barrier`, `after` = `Consistency::Snapshot`;
+//!   guardrailed: snapshot reads must never be slower.
+//! * `svc_snapshot_p99_f{25,50}` — the same runs' read p99 (µs).
+//! * `svc_snapshot_f25_s1` — the single-shard pairing (worst-case barrier
+//!   stall).
+//! * `svc_snapshot_f25_t{1,2,4}` — snapshot read throughput across the
+//!   pool-worker thread sweep (`before` = 1 worker).
+//!
 //! Producers pipeline `WINDOW` outstanding requests each, so the scheduler
 //! has concurrent traffic to coalesce even single-producer. Numbers on a
 //! single-core host measure scheduling overhead honestly (no parallelism
@@ -50,8 +63,8 @@ use simspatial_index::{GridConfig, RTree, RTreeConfig, ShardedEngine, UniformGri
 use simspatial_net::wire::{self, ServerMsg};
 use simspatial_net::{NetClient, NetConfig, NetServer};
 use simspatial_service::{
-    ChaosBackend, EngineBackend, FaultPlan, Request, ServiceBackend, ServiceConfig, ShardedBackend,
-    SpatialService,
+    ChaosBackend, Consistency, EngineBackend, FaultPlan, Request, ServiceBackend, ServiceConfig,
+    ShardedBackend, SpatialService,
 };
 use std::collections::{HashMap, VecDeque};
 use std::io::{BufReader, BufWriter, Write};
@@ -250,6 +263,101 @@ fn run_load_lat(
     )
 }
 
+/// Closed-loop mixed load where writes take the normal barrier write path
+/// and every **read** is submitted at `consistency`. Returns completed
+/// *reads* per second and each read's client-observed submit→response
+/// latency — writes are driven but never timed, so the p99 rows price what
+/// a read costs under write pressure, not the `Step`/`Update` application
+/// it may or may not queue behind (the snapshot-vs-barrier gap is exactly
+/// that wait).
+fn run_load_reads_at(
+    service: &SpatialService,
+    producers: usize,
+    n_requests: usize,
+    pool: &[Request],
+    consistency: Consistency,
+) -> (f64, Vec<Duration>) {
+    let start = Instant::now();
+    let mut all = Vec::with_capacity(producers * n_requests);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..producers)
+            .map(|tid| {
+                let handle = service.handle();
+                scope.spawn(move || {
+                    let mut inflight: VecDeque<(simspatial_service::Ticket, Option<Instant>)> =
+                        VecDeque::with_capacity(WINDOW);
+                    let mut lat = Vec::with_capacity(n_requests);
+                    for i in 0..n_requests {
+                        if inflight.len() == WINDOW {
+                            let (t, sent) = inflight.pop_front().unwrap();
+                            t.recv().expect("service completes pipelined request");
+                            if let Some(sent) = sent {
+                                lat.push(sent.elapsed());
+                            }
+                        }
+                        let req = pool[(tid * 37 + i) % pool.len()].clone();
+                        let (ticket, sent) = if req.is_write() {
+                            (handle.submit(req).expect("accepts"), None)
+                        } else {
+                            (
+                                handle.submit_at(req, consistency).expect("accepts"),
+                                Some(Instant::now()),
+                            )
+                        };
+                        inflight.push_back((ticket, sent));
+                    }
+                    for (t, sent) in inflight {
+                        t.recv().expect("service completes tail request");
+                        if let Some(sent) = sent {
+                            lat.push(sent.elapsed());
+                        }
+                    }
+                    lat
+                })
+            })
+            .collect();
+        for h in handles {
+            all.extend(h.join().unwrap());
+        }
+    });
+    (all.len() as f64 / start.elapsed().as_secs_f64(), all)
+}
+
+/// Spawns a fresh snapshot-publishing service over `make_backend` and
+/// measures one [`run_load_reads_at`] round (coalescing on, warm-up + best
+/// of three by read throughput, keeping the best round's latencies).
+fn measure_reads_at<B: ServiceBackend>(
+    make_backend: impl Fn() -> B,
+    consistency: Consistency,
+    producers: usize,
+    pool: &[Request],
+) -> (f64, Vec<Duration>) {
+    let service = SpatialService::spawn(make_backend(), ServiceConfig::default());
+    run_load_reads_at(
+        &service,
+        producers,
+        requests_per_producer() / 4,
+        pool,
+        consistency,
+    );
+    let mut best = (0.0f64, Vec::new());
+    for _ in 0..3 {
+        let round = run_load_reads_at(
+            &service,
+            producers,
+            requests_per_producer(),
+            pool,
+            consistency,
+        );
+        if round.0 > best.0 {
+            best = round;
+        }
+    }
+    let stats = service.shutdown();
+    assert_eq!(stats.submitted, stats.completed, "no request lost");
+    best
+}
+
 /// Closed-loop TCP load: `conns` connections each pipeline `WINDOW`
 /// outstanding requests over the wire. Returns requests/s and every
 /// client-observed latency.
@@ -363,6 +471,7 @@ fn run_tcp_open_loop(
                                 wire::encode_request(
                                     &mut buf,
                                     corr,
+                                    None,
                                     &pool[(tid * 37 + i) % pool.len()],
                                 );
                                 sent.lock().unwrap().insert(corr, Instant::now());
@@ -454,6 +563,18 @@ fn writable_sharded_backend(elements: &[Element], shards: usize) -> ShardedBacke
     ShardedBackend::spawn(ShardedEngine::build(elements, shards, build).with_rebuild(build))
 }
 
+/// The same writable grid backend, additionally publishing per-shard read
+/// snapshots after every write barrier — the backend the snapshot-read
+/// rows run both their `Barrier` and `Snapshot` sides against, so the
+/// only difference priced is the read consistency mode, not the
+/// publication cost.
+fn snapshot_sharded_backend(elements: &[Element], shards: usize) -> ShardedBackend {
+    let build = |part: &[Element]| UniformGrid::build(part, GridConfig::auto(part));
+    ShardedBackend::spawn_snapshot(
+        ShardedEngine::build(elements, shards, build).with_rebuild(build),
+    )
+}
+
 fn emit_json(fx: &Fixture) -> BenchJson {
     let mut json = BenchJson::new("service");
     for producers in [1usize, 4] {
@@ -493,6 +614,73 @@ fn emit_json(fx: &Fixture) -> BenchJson {
             one,
             four,
         );
+    }
+    // Snapshot read path: the same mixed pools against a
+    // snapshot-publishing 4-shard backend, reads submitted at
+    // `Consistency::Barrier` (`before`) vs `Consistency::Snapshot`
+    // (`after`) — write traffic identical on both sides, latencies
+    // recorded for reads only. Snapshot reads skip the write barriers the
+    // pool's updates keep raising, so the guardrail insists they are
+    // never slower than the barrier reads they replace (one grace
+    // re-measure absorbs shared-host scheduler outliers, like the other
+    // guardrails).
+    for (frac, pool) in &fx.mixed_pools[1..] {
+        let measure_pair = || {
+            let bar = measure_reads_at(
+                || snapshot_sharded_backend(&fx.elements, 4),
+                Consistency::Barrier,
+                4,
+                pool,
+            );
+            let snap = measure_reads_at(
+                || snapshot_sharded_backend(&fx.elements, 4),
+                Consistency::Snapshot,
+                4,
+                pool,
+            );
+            (bar, snap)
+        };
+        let (mut bar, mut snap) = measure_pair();
+        if snap.0 < bar.0 * 0.95 {
+            (bar, snap) = measure_pair();
+        }
+        assert!(
+            snap.0 >= bar.0 * 0.95,
+            "snapshot reads slower than barrier reads at f{frac:02}: \
+             {:.0} vs {:.0} reads/s",
+            snap.0,
+            bar.0
+        );
+        json.add(
+            &format!("svc_snapshot_f{frac:02}"),
+            "requests/s",
+            bar.0,
+            snap.0,
+        );
+        json.add(
+            &format!("svc_snapshot_p99_f{frac:02}"),
+            "us(p99)",
+            p99_us(&mut bar.1),
+            p99_us(&mut snap.1),
+        );
+        if *frac == 25 {
+            // The single-shard pairing: one shard means every write
+            // barrier stalls the whole backend, so this is the
+            // worst-case gap snapshot reads close.
+            let (b1, _) = measure_reads_at(
+                || snapshot_sharded_backend(&fx.elements, 1),
+                Consistency::Barrier,
+                4,
+                pool,
+            );
+            let (s1, _) = measure_reads_at(
+                || snapshot_sharded_backend(&fx.elements, 1),
+                Consistency::Snapshot,
+                4,
+                pool,
+            );
+            json.add("svc_snapshot_f25_s1", "requests/s", b1, s1);
+        }
     }
     // Fault-free supervision guardrail: the same writable 4-shard backend
     // bare (`before`) vs wrapped in a `ChaosBackend` with an **empty**
@@ -534,6 +722,12 @@ fn emit_json(fx: &Fixture) -> BenchJson {
         4,
         mixed_pool,
     );
+    let (snap_t1, _) = measure_reads_at(
+        || snapshot_sharded_backend(&fx.elements, 4),
+        Consistency::Snapshot,
+        4,
+        mixed_pool,
+    );
     for threads in [1usize, 2, 4] {
         parallel::set_num_threads(threads);
         let range_tn = measure(|| sharded_backend(&fx.elements), true, 4, &fx.range_pool);
@@ -554,6 +748,18 @@ fn emit_json(fx: &Fixture) -> BenchJson {
             "requests/s",
             mixed_t1,
             mixed_tn,
+        );
+        let (snap_tn, _) = measure_reads_at(
+            || snapshot_sharded_backend(&fx.elements, 4),
+            Consistency::Snapshot,
+            4,
+            mixed_pool,
+        );
+        json.add(
+            &format!("svc_snapshot_f25_t{threads}"),
+            "requests/s",
+            snap_t1,
+            snap_tn,
         );
     }
     // TCP front-end sweep: 8 clients, closed loop, 1/2/4 pool workers.

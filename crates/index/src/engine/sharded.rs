@@ -466,6 +466,25 @@ impl<I> ShardExecutor<I> {
     }
 }
 
+impl<I: Clone> ShardExecutor<I> {
+    /// A frozen copy of this executor for snapshot reads: same elements,
+    /// id map and index, fresh query scratch. The copy shares nothing
+    /// mutable with `self`, so the service layer can keep serving queries
+    /// from it while the live executor applies later write barriers —
+    /// the copy-on-publish half of epoch-published snapshot reads.
+    pub fn fork(&self) -> Self {
+        Self {
+            region: self.region,
+            data: self.data.clone(),
+            global: self.global.clone(),
+            index: self.index.clone(),
+            engine: QueryEngine::new(),
+            rebuild: self.rebuild.clone(),
+            apply: self.apply.clone(),
+        }
+    }
+}
+
 /// Executor-level accounting of one applied write sub-batch — what
 /// [`UpdateLane::run`] folds into the lane's [`UpdateLaneReport`].
 #[derive(Debug, Clone, Copy, Default)]
@@ -1239,7 +1258,16 @@ impl ShardPlanner {
             let old_route = match self.envelopes.get(id as usize) {
                 Some(env) => {
                     let r = self.router.route(env);
-                    self.envelopes[id as usize] = new_bb;
+                    // Resident fast path: when the new envelope routes to the
+                    // same shard set and is not a tombstone, the stale entry
+                    // routes identically everywhere the table is consulted
+                    // (routing and emptiness are its only readers), so the
+                    // write-back is skipped. Empty boxes always write back —
+                    // the tombstone check above depends on them.
+                    if r != new_route || new_bb.is_empty() {
+                        self.envelopes[id as usize] = new_bb;
+                        stats.envelope_writebacks += 1;
+                    }
                     r
                 }
                 // No envelope tracking: conservative all-shard fan-out

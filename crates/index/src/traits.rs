@@ -325,6 +325,12 @@ pub struct UpdateStats {
     pub inserted: u64,
     /// Elements removed from the dataset (tombstoned ids).
     pub removed: u64,
+    /// Envelope-table entries rewritten while routing the batch. Resident
+    /// updates whose new envelope routes to the same shard set skip the
+    /// write-back (the stale envelope routes identically), so under a
+    /// jitter workload this stays at 0 — the work bound
+    /// `tests/incremental_differential.rs` asserts.
+    pub envelope_writebacks: u64,
 }
 
 impl UpdateStats {
@@ -341,6 +347,7 @@ impl UpdateStats {
         self.rebuilds_avoided += other.rebuilds_avoided;
         self.inserted += other.inserted;
         self.removed += other.removed;
+        self.envelope_writebacks += other.envelope_writebacks;
     }
 }
 

@@ -19,7 +19,7 @@
 
 use crate::wire::{self, DecodeLimits, ServerMsg};
 use crate::NetError;
-use simspatial_service::{Request, Response};
+use simspatial_service::{Consistency, Request, Response};
 use std::io::{BufReader, BufWriter, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
@@ -33,6 +33,13 @@ pub enum CallOutcome {
         response: Response,
         /// Dead shards skipped serving it (partial coverage when > 0).
         shards_skipped: u32,
+        /// The epoch the service reported: the published epoch a
+        /// snapshot read ran against, or — for a write — the epoch whose
+        /// publication made it visible. Feed it back as
+        /// `Consistency::ReadYourWrites { min_epoch }` to guarantee a
+        /// later read observes this request. Zero when the backend does
+        /// not publish snapshots.
+        epoch: u64,
     },
     /// The request was admitted but failed typed.
     Rejected(wire::RequestError),
@@ -57,6 +64,7 @@ pub struct NetClient {
     max_reply_frame: usize,
     server_max_frame: u32,
     server_max_items: u32,
+    consistency: Option<Consistency>,
 }
 
 impl NetClient {
@@ -75,6 +83,7 @@ impl NetClient {
             max_reply_frame: 64 << 20,
             server_max_frame: 0,
             server_max_items: 0,
+            consistency: None,
         };
         wire::encode_hello(&mut client.buf, tenant);
         wire::write_frame(&mut client.writer, &client.buf)?;
@@ -111,13 +120,36 @@ impl NetClient {
         self.server_max_items
     }
 
+    /// Sets the consistency mode stamped on every subsequent request
+    /// from this client. `None` (the initial state) emits the
+    /// tenant-default byte, letting the server resolve the mode from
+    /// the connection's tenant profile.
+    pub fn set_consistency(&mut self, consistency: Option<Consistency>) {
+        self.consistency = consistency;
+    }
+
+    /// The consistency mode currently stamped on requests.
+    pub fn consistency(&self) -> Option<Consistency> {
+        self.consistency
+    }
+
     /// Queues one request without flushing; returns its correlation id.
     /// Pair with [`NetClient::flush`] and [`NetClient::recv_msg`] to
     /// pipeline many in-flight requests on one connection.
     pub fn enqueue(&mut self, request: &Request) -> Result<u64, NetError> {
+        self.enqueue_at(request, self.consistency)
+    }
+
+    /// Queues one request under an explicit consistency mode,
+    /// overriding the client-level setting for this request only.
+    pub fn enqueue_at(
+        &mut self,
+        request: &Request,
+        consistency: Option<Consistency>,
+    ) -> Result<u64, NetError> {
         let corr = self.next_corr;
         self.next_corr += 1;
-        wire::encode_request(&mut self.buf, corr, request);
+        wire::encode_request(&mut self.buf, corr, consistency, request);
         wire::write_frame(&mut self.writer, &self.buf)?;
         Ok(corr)
     }
@@ -153,15 +185,28 @@ impl NetClient {
     /// API otherwise): a response with a different correlation id is a
     /// protocol error.
     pub fn call(&mut self, request: &Request) -> Result<CallOutcome, NetError> {
-        let corr = self.send(request)?;
+        self.call_at(request, self.consistency)
+    }
+
+    /// Like [`NetClient::call`], under an explicit consistency mode for
+    /// this request only (`None` defers to the tenant default).
+    pub fn call_at(
+        &mut self,
+        request: &Request,
+        consistency: Option<Consistency>,
+    ) -> Result<CallOutcome, NetError> {
+        let corr = self.enqueue_at(request, consistency)?;
+        self.flush()?;
         match self.recv_msg()? {
             ServerMsg::Reply {
                 corr: c,
                 shards_skipped,
+                epoch,
                 response,
             } if c == corr => Ok(CallOutcome::Reply {
                 response,
                 shards_skipped,
+                epoch,
             }),
             ServerMsg::Error { corr: c, error } if c == corr => Ok(CallOutcome::Rejected(error)),
             ServerMsg::Retry {

@@ -26,7 +26,11 @@
 //!   handshake; a deficit-round-robin pump drains per-tenant staging
 //!   queues by weight, per-tenant in-flight caps bound any one tenant's
 //!   queue share, and a full staging queue sheds load as a protocol
-//!   `Retry` frame whose hint scales with observed congestion.
+//!   `Retry` frame whose hint scales with observed congestion. Each
+//!   request carries a consistency byte (wire version 2): per-request
+//!   `Barrier`/`Snapshot`/`ReadYourWrites`, or the tenant's configured
+//!   default ([`TenantSpec::with_consistency`]); every reply reports
+//!   the epoch the service answered at.
 //! * **[`NetClient`]** — a minimal blocking client used by the tests,
 //!   the bench driver and the examples: pipelined `enqueue`/`flush`/
 //!   `recv_msg`, or synchronous [`NetClient::call`] /

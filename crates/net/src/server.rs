@@ -43,8 +43,8 @@
 
 use crate::wire::{self, DecodeLimits, FatalCode, FrameReadError, RequestError};
 use simspatial_service::{
-    LatencyHistogram, Request, ServiceHandle, ServiceStats, SpatialService, SubmitError,
-    TenantStats, Ticket,
+    Consistency, LatencyHistogram, Request, ServiceHandle, ServiceStats, SpatialService,
+    SubmitError, TenantStats, Ticket,
 };
 use std::collections::{HashMap, VecDeque};
 use std::io::{BufReader, Write};
@@ -69,16 +69,24 @@ pub struct TenantSpec {
     /// Staging queue bound: requests arriving beyond it are shed with a
     /// `Retry` frame instead of queueing unboundedly.
     pub stage_cap: usize,
+    /// Consistency applied to this tenant's requests that carry the
+    /// tenant-default byte on the wire. Defaults to
+    /// [`Consistency::Barrier`] — the pre-epoch semantics — so existing
+    /// deployments observe no behaviour change until a tenant (or a
+    /// request) opts into snapshot reads.
+    pub default_consistency: Consistency,
 }
 
 impl TenantSpec {
-    /// A spec with the default caps (256 in flight, 256 staged).
+    /// A spec with the default caps (256 in flight, 256 staged) and
+    /// [`Consistency::Barrier`] as the tenant default.
     pub fn new(name: impl Into<String>, weight: u32) -> Self {
         TenantSpec {
             name: name.into(),
             weight: weight.max(1),
             max_in_flight: 256,
             stage_cap: 256,
+            default_consistency: Consistency::Barrier,
         }
     }
 
@@ -86,6 +94,13 @@ impl TenantSpec {
     pub fn with_caps(mut self, max_in_flight: usize, stage_cap: usize) -> Self {
         self.max_in_flight = max_in_flight.max(1);
         self.stage_cap = stage_cap.max(1);
+        self
+    }
+
+    /// Overrides the consistency applied when a request defers to the
+    /// tenant default (the `0` consistency byte on the wire).
+    pub fn with_consistency(mut self, consistency: Consistency) -> Self {
+        self.default_consistency = consistency;
         self
     }
 }
@@ -159,6 +174,8 @@ impl NetConfig {
 struct Staged {
     corr: u64,
     request: Request,
+    /// `None` defers to the tenant's configured default consistency.
+    consistency: Option<Consistency>,
     writer: mpsc::Sender<Vec<u8>>,
     staged_at: Instant,
 }
@@ -623,7 +640,11 @@ fn reader_loop(
                 wire::encode_stats_reply(&mut out, corr, &stats.to_json());
                 send_frame(&frame_tx, &out);
             }
-            wire::ClientMsg::Request { corr, request } => {
+            wire::ClientMsg::Request {
+                corr,
+                consistency,
+                request,
+            } => {
                 let mut inner = admission.inner.lock().unwrap();
                 if inner.draining {
                     wire::encode_error(&mut out, corr, RequestError::ShutDown);
@@ -648,6 +669,7 @@ fn reader_loop(
                 t.staged.push_back(Staged {
                     corr,
                     request,
+                    consistency,
                     writer: frame_tx.clone(),
                     staged_at: Instant::now(),
                 });
@@ -697,6 +719,7 @@ fn pump_loop(
             let Staged {
                 corr,
                 request,
+                consistency,
                 writer,
                 staged_at,
             } = inner.tenants[i]
@@ -704,7 +727,10 @@ fn pump_loop(
                 .pop_front()
                 .expect("drr admitted a head");
             let cost = request.len().max(1) as u64;
-            match handle.try_submit(request) {
+            // Per-request consistency wins; the tenant-default byte
+            // resolves here, where the tenant's spec is at hand.
+            let resolved = consistency.unwrap_or(inner.tenants[i].spec.default_consistency);
+            match handle.try_submit_at(request, resolved) {
                 Ok(ticket) => {
                     inner.tenants[i].in_flight += 1;
                     inner.tenants[i].admitted += 1;
@@ -729,6 +755,7 @@ fn pump_loop(
                     inner.tenants[i].staged.push_front(Staged {
                         corr,
                         request: e.into_request(),
+                        consistency,
                         writer,
                         staged_at,
                     });
@@ -772,7 +799,13 @@ fn collector_loop(admission: &Admission, inflight_rx: &mpsc::Receiver<InFlight>)
     while let Ok(inf) = inflight_rx.recv() {
         let ok = match inf.ticket.recv_reply() {
             Ok(reply) => {
-                wire::encode_reply(&mut out, inf.corr, reply.shards_skipped, &reply.response);
+                wire::encode_reply(
+                    &mut out,
+                    inf.corr,
+                    reply.shards_skipped,
+                    reply.epoch,
+                    &reply.response,
+                );
                 true
             }
             Err(e) => {
@@ -807,6 +840,7 @@ mod tests {
                 Point3::new(0.0, 0.0, 0.0),
                 Point3::new(1.0, 1.0, 1.0),
             )]),
+            consistency: None,
             writer: writer.clone(),
             staged_at: Instant::now(),
         }

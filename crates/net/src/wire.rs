@@ -28,10 +28,10 @@
 //! | opcode | direction | message |
 //! |---|---|---|
 //! | `0x01` | c→s | `Hello { magic, version, tenant }` — must be first |
-//! | `0x02` | c→s | `Request { corr, request }` — any [`Request`] variant |
+//! | `0x02` | c→s | `Request { corr, consistency, request }` — any [`Request`] variant |
 //! | `0x03` | c→s | `Stats { corr }` — snapshot request |
 //! | `0x81` | s→c | `HelloAck { version, max_frame, max_items }` |
-//! | `0x82` | s→c | `Reply { corr, shards_skipped, response }` |
+//! | `0x82` | s→c | `Reply { corr, shards_skipped, epoch, response }` |
 //! | `0x83` | s→c | `Error { corr, error }` — typed per-request failure |
 //! | `0x84` | s→c | `Retry { corr, after, depth, capacity }` — load shed |
 //! | `0x85` | s→c | `StatsReply { corr, json }` |
@@ -40,9 +40,21 @@
 //! Correlation ids are chosen by the client; the server echoes them
 //! verbatim, so a client may pipeline any number of in-flight requests
 //! per connection and match responses in any arrival order.
+//!
+//! ## Consistency on the wire (version 2)
+//!
+//! Each `Request` frame carries one consistency byte after the
+//! correlation id — `0` defers to the tenant's configured default,
+//! `1` forces [`Consistency::Barrier`], `2` forces
+//! [`Consistency::Snapshot`], and `3` (followed by a `u64` minimum
+//! epoch) forces [`Consistency::ReadYourWrites`]. Every `Reply` carries
+//! the `u64` epoch the service reported for that request (the published
+//! epoch a snapshot read ran against, or the epoch whose publication
+//! made an acknowledged write visible), letting clients thread
+//! read-your-writes floors through subsequent requests.
 
 use simspatial_geom::{Aabb, ElementId, Point3};
-use simspatial_service::{RecvError, Request, Response};
+use simspatial_service::{Consistency, RecvError, Request, Response};
 use std::io::{Read, Write};
 use std::time::Duration;
 
@@ -50,8 +62,9 @@ use std::time::Duration;
 pub const MAGIC: u32 = 0x5353_504E;
 
 /// Protocol version this build speaks. A server rejects a `Hello` with a
-/// different major version with [`FatalCode::BadHandshake`].
-pub const VERSION: u16 = 1;
+/// different major version with [`FatalCode::BadHandshake`]. Version 2
+/// added the per-request consistency byte and the per-reply epoch.
+pub const VERSION: u16 = 2;
 
 /// Payload opcodes (first byte of every frame payload).
 pub mod op {
@@ -73,6 +86,18 @@ pub mod op {
     pub const STATS_REPLY: u8 = 0x85;
     /// Connection-level protocol failure; the server closes after sending.
     pub const FATAL: u8 = 0x86;
+}
+
+/// Consistency-byte values carried by a `REQUEST` frame.
+mod consistency {
+    /// Use the tenant's configured default consistency.
+    pub const TENANT_DEFAULT: u8 = 0;
+    /// Force `Consistency::Barrier` for this request.
+    pub const BARRIER: u8 = 1;
+    /// Force `Consistency::Snapshot` for this request.
+    pub const SNAPSHOT: u8 = 2;
+    /// Force `Consistency::ReadYourWrites`; followed by a `u64` epoch.
+    pub const READ_YOUR_WRITES: u8 = 3;
 }
 
 /// Request-body tags (one per [`Request`] variant).
@@ -286,6 +311,9 @@ pub enum ClientMsg {
     Request {
         /// Client-chosen correlation id, echoed on the response.
         corr: u64,
+        /// Requested consistency mode; `None` defers to the tenant's
+        /// configured default.
+        consistency: Option<Consistency>,
         /// The decoded request.
         request: Request,
     },
@@ -314,6 +342,11 @@ pub enum ServerMsg {
         corr: u64,
         /// Dead shards skipped serving this request (partial coverage).
         shards_skipped: u32,
+        /// The epoch the service reported for this request: the
+        /// published epoch a snapshot read was answered at, or the epoch
+        /// whose publication made an acknowledged write visible. Zero
+        /// when the backend does not publish snapshots.
+        epoch: u64,
         /// The response payload.
         response: Response,
     },
@@ -554,10 +587,26 @@ pub fn encode_hello(buf: &mut Vec<u8>, tenant: &str) {
 }
 
 /// Encodes one request under `corr` into `buf` (cleared first).
-pub fn encode_request(buf: &mut Vec<u8>, corr: u64, request: &Request) {
+/// `consistency: None` emits the tenant-default byte, letting the
+/// server resolve the mode from the connection's tenant profile.
+pub fn encode_request(
+    buf: &mut Vec<u8>,
+    corr: u64,
+    consistency: Option<Consistency>,
+    request: &Request,
+) {
     buf.clear();
     buf.push(op::REQUEST);
     put_u64(buf, corr);
+    match consistency {
+        None => buf.push(consistency::TENANT_DEFAULT),
+        Some(Consistency::Barrier) => buf.push(consistency::BARRIER),
+        Some(Consistency::Snapshot) => buf.push(consistency::SNAPSHOT),
+        Some(Consistency::ReadYourWrites { min_epoch }) => {
+            buf.push(consistency::READ_YOUR_WRITES);
+            put_u64(buf, min_epoch);
+        }
+    }
     match request {
         Request::Range(boxes) | Request::RangeCount(boxes) => {
             buf.push(if matches!(request, Request::Range(_)) {
@@ -638,8 +687,21 @@ pub fn decode_client_msg(payload: &[u8], limits: &DecodeLimits) -> Result<Client
         }
         op::REQUEST => {
             let corr = c.u64()?;
+            let consistency = match c.u8()? {
+                consistency::TENANT_DEFAULT => None,
+                consistency::BARRIER => Some(Consistency::Barrier),
+                consistency::SNAPSHOT => Some(Consistency::Snapshot),
+                consistency::READ_YOUR_WRITES => Some(Consistency::ReadYourWrites {
+                    min_epoch: c.u64()?,
+                }),
+                other => return Err(WireError::UnknownTag(other)),
+            };
             let request = decode_request_body(&mut c, limits)?;
-            ClientMsg::Request { corr, request }
+            ClientMsg::Request {
+                corr,
+                consistency,
+                request,
+            }
         }
         op::STATS => ClientMsg::Stats { corr: c.u64()? },
         other => return Err(WireError::UnknownOpcode(other)),
@@ -724,14 +786,21 @@ pub fn encode_hello_ack(buf: &mut Vec<u8>, max_frame: u32, max_items: u32) {
 }
 
 /// Encodes a successful response. Deterministic: the bytes are a pure
-/// function of `(corr, shards_skipped, response)` — the differential
-/// tests rely on this to diff TCP replies against an in-process oracle
-/// byte-for-byte.
-pub fn encode_reply(buf: &mut Vec<u8>, corr: u64, shards_skipped: u32, response: &Response) {
+/// function of `(corr, shards_skipped, epoch, response)` — the
+/// differential tests rely on this to diff TCP replies against an
+/// in-process oracle byte-for-byte.
+pub fn encode_reply(
+    buf: &mut Vec<u8>,
+    corr: u64,
+    shards_skipped: u32,
+    epoch: u64,
+    response: &Response,
+) {
     buf.clear();
     buf.push(op::REPLY);
     put_u64(buf, corr);
     put_u32(buf, shards_skipped);
+    put_u64(buf, epoch);
     match response {
         Response::Range(lists) => {
             buf.push(tag::RANGE);
@@ -852,10 +921,12 @@ pub fn decode_server_msg(payload: &[u8]) -> Result<ServerMsg, WireError> {
         op::REPLY => {
             let corr = c.u64()?;
             let shards_skipped = c.u32()?;
+            let epoch = c.u64()?;
             let response = decode_response_body(&mut c)?;
             ServerMsg::Reply {
                 corr,
                 shards_skipped,
+                epoch,
                 response,
             }
         }
@@ -968,15 +1039,27 @@ mod tests {
     }
 
     fn roundtrip_request(request: Request) {
-        let mut buf = Vec::new();
-        encode_request(&mut buf, 42, &request);
         let limits = DecodeLimits::default();
-        match decode_client_msg(&buf, &limits).expect("decodes") {
-            ClientMsg::Request { corr, request: got } => {
-                assert_eq!(corr, 42);
-                assert_eq!(format!("{got:?}"), format!("{request:?}"));
+        let mut buf = Vec::new();
+        for mode in [
+            None,
+            Some(Consistency::Barrier),
+            Some(Consistency::Snapshot),
+            Some(Consistency::ReadYourWrites { min_epoch: 917 }),
+        ] {
+            encode_request(&mut buf, 42, mode, &request);
+            match decode_client_msg(&buf, &limits).expect("decodes") {
+                ClientMsg::Request {
+                    corr,
+                    consistency,
+                    request: got,
+                } => {
+                    assert_eq!(corr, 42);
+                    assert_eq!(consistency, mode);
+                    assert_eq!(format!("{got:?}"), format!("{request:?}"));
+                }
+                other => panic!("wrong message: {other:?}"),
             }
-            other => panic!("wrong message: {other:?}"),
         }
     }
 
@@ -995,15 +1078,17 @@ mod tests {
 
     fn roundtrip_response(response: Response) {
         let mut buf = Vec::new();
-        encode_reply(&mut buf, 7, 1, &response);
+        encode_reply(&mut buf, 7, 1, 33, &response);
         match decode_server_msg(&buf).expect("decodes") {
             ServerMsg::Reply {
                 corr,
                 shards_skipped,
+                epoch,
                 response: got,
             } => {
                 assert_eq!(corr, 7);
                 assert_eq!(shards_skipped, 1);
+                assert_eq!(epoch, 33);
                 assert_eq!(got, response);
             }
             other => panic!("wrong message: {other:?}"),
@@ -1088,7 +1173,7 @@ mod tests {
         let limits = DecodeLimits::default();
         // Truncated mid-item.
         let mut buf = Vec::new();
-        encode_request(&mut buf, 1, &Request::Range(vec![bb(0.0)]));
+        encode_request(&mut buf, 1, None, &Request::Range(vec![bb(0.0)]));
         assert_eq!(
             decode_client_msg(&buf[..buf.len() - 3], &limits),
             Err(WireError::Truncated)
@@ -1104,6 +1189,7 @@ mod tests {
         // cross-check, not by attempting the allocation.
         let mut forged = vec![op::REQUEST];
         forged.extend_from_slice(&1u64.to_le_bytes());
+        forged.push(0); // tenant-default consistency
         forged.push(1); // RANGE
         forged.extend_from_slice(&1_000u32.to_le_bytes());
         assert_eq!(
@@ -1113,6 +1199,7 @@ mod tests {
         // Count above the cap.
         let mut over = vec![op::REQUEST];
         over.extend_from_slice(&1u64.to_le_bytes());
+        over.push(0); // tenant-default consistency
         over.push(8); // REMOVE (4-byte items keep the frame small)
         over.extend_from_slice(&(limits.max_items as u32 + 1).to_le_bytes());
         over.extend(std::iter::repeat_n(0u8, (limits.max_items + 1) * 4));
@@ -1130,10 +1217,27 @@ mod tests {
         );
         let mut badtag = vec![op::REQUEST];
         badtag.extend_from_slice(&1u64.to_le_bytes());
+        badtag.push(0); // tenant-default consistency
         badtag.push(99);
         assert_eq!(
             decode_client_msg(&badtag, &limits),
             Err(WireError::UnknownTag(99))
+        );
+        // Unknown consistency byte fails typed before the body decodes.
+        let mut badmode = vec![op::REQUEST];
+        badmode.extend_from_slice(&1u64.to_le_bytes());
+        badmode.push(77); // not a consistency value
+        assert_eq!(
+            decode_client_msg(&badmode, &limits),
+            Err(WireError::UnknownTag(77))
+        );
+        // Read-your-writes truncated before its min-epoch.
+        let mut shortryw = vec![op::REQUEST];
+        shortryw.extend_from_slice(&1u64.to_le_bytes());
+        shortryw.push(3); // READ_YOUR_WRITES, but no u64 follows
+        assert_eq!(
+            decode_client_msg(&shortryw, &limits),
+            Err(WireError::Truncated)
         );
         // Bad handshake magic.
         let mut hello = Vec::new();

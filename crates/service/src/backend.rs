@@ -370,6 +370,46 @@ pub trait ServiceBackend: Send + 'static {
     /// crashes and stalls. Backends without worker threads ignore it.
     fn install_worker_faults(&mut self, _faults: &[(usize, u64, FaultKind)]) {}
 
+    /// True when the backend serves **published snapshot reads**: the
+    /// scheduler then hoists [`Consistency::Snapshot`](crate::Consistency)
+    /// reads ahead of a dispatch's write barriers (executing them through
+    /// [`ServiceBackend::snapshot_query_run`]) and calls
+    /// [`ServiceBackend::publish`] after every applied write.
+    fn supports_snapshots(&self) -> bool {
+        false
+    }
+
+    /// Publishes the backend's current state as the read snapshot for
+    /// `epoch`. The scheduler calls this once at startup (epoch 0) and
+    /// immediately after **every** applied write barrier, strictly between
+    /// backend calls (no queries or writes in flight) — which is the
+    /// invariant everything else leans on: between two publishes, live
+    /// state is byte-identical to the last published epoch. Must be
+    /// idempotent per epoch: the scheduler retries after a caught panic,
+    /// and a retried publish must not publish the epoch twice. The default
+    /// does nothing — a backend without snapshot copies already satisfies
+    /// the contract, because its current state *is* the published state.
+    fn publish(&mut self, _epoch: u64) {}
+
+    /// Executes one query run against the **last published snapshot**
+    /// instead of live state. The default forwards to
+    /// [`ServiceBackend::query_run`]: for a backend without snapshot
+    /// copies, current state equals the last published epoch whenever a
+    /// snapshot run executes (see [`ServiceBackend::publish`]), so the
+    /// live path already answers at the published epoch.
+    fn snapshot_query_run(&mut self, run: &QueryRun, out: &mut QueryRunResults) -> QueryRunReport {
+        self.query_run(run, out)
+    }
+
+    /// Bytes currently held by published snapshot copies (0 for backends
+    /// that share state instead of copying). Surfaced through
+    /// [`ServiceStats`](crate::ServiceStats) and guarded by the
+    /// epoch-reclamation property test: replaced copies are freed, so an
+    /// idle service holds at most one published snapshot per shard.
+    fn snapshot_clone_bytes(&self) -> u64 {
+        0
+    }
+
     /// Structure bytes the backend holds (surfaced through `ServiceStats`;
     /// refreshed after every update application, so post-migration shrink
     /// is visible).
@@ -566,6 +606,16 @@ impl<I: SpatialIndex + KnnIndex + Send + 'static> ServiceBackend for EngineBacke
         self.updater.is_some()
     }
 
+    /// Snapshot reads are free on a single inline engine: the scheduler
+    /// publishes after every write application and runs everything on one
+    /// thread, so current state always equals the last published epoch —
+    /// the default `publish`/`snapshot_query_run` (share, don't copy) are
+    /// exact, and hoisted snapshot reads still skip ahead of the write
+    /// barriers queued behind them.
+    fn supports_snapshots(&self) -> bool {
+        true
+    }
+
     fn recover(&mut self, after_write: bool) -> bool {
         if !after_write {
             // Queries only touch per-call engine scratch, which the next
@@ -612,11 +662,14 @@ struct WorkerDone {
 }
 
 /// A job travelling through the worker pool: the shard whose executor must
-/// run it, the scatter phase's routing tag, and the lane itself.
+/// run it, the scatter phase's routing tag, the lane itself, and which
+/// slot set it runs against (`snap` = the shard's published snapshot
+/// executor instead of its live one).
 struct PoolJob {
     shard: usize,
     tag: usize,
     job: Job,
+    snap: bool,
 }
 
 /// A shard's scheduled worker-level faults, shared between the backend
@@ -625,9 +678,66 @@ struct PoolJob {
 /// incarnations deterministically.
 type WorkerFaults = Arc<Mutex<Vec<(u64, FaultKind)>>>;
 
-/// The type-erased per-shard execution closure a pool worker calls: owns
-/// the shard's [`ShardExecutor`] and runs any lane variant against it.
-type ShardRunner = Box<dyn FnMut(&mut Job) + Send>;
+/// The type-erased per-shard execution core a pool worker calls: owns the
+/// shard's [`ShardExecutor`] and runs any lane variant against it. The
+/// `fork` hook is what snapshot publication is built on — it freezes a
+/// copy of the executor without the backend knowing the index type.
+trait RunnerCore: Send {
+    /// Runs one routed lane against the owned executor.
+    fn run(&mut self, job: &mut Job);
+    /// A frozen copy of the owned executor for snapshot serving, or `None`
+    /// when the index type is not `Clone` (backend spawned without
+    /// snapshot support).
+    fn fork(&self) -> Option<ShardRunner>;
+    /// Bytes held by the owned executor (snapshot-clone accounting).
+    fn memory_bytes(&self) -> usize;
+}
+
+/// A boxed [`RunnerCore`] — what executor slots hold.
+type ShardRunner = Box<dyn RunnerCore>;
+
+/// The plain runner: executes lanes, cannot fork (no `Clone` bound).
+struct ExecRunner<I>(ShardExecutor<I>);
+
+impl<I: SpatialIndex + KnnIndex + Send + 'static> RunnerCore for ExecRunner<I> {
+    fn run(&mut self, job: &mut Job) {
+        match job {
+            Job::Range(lane) => lane.run(&mut self.0),
+            Job::Knn(lane) => lane.run(&mut self.0),
+            Job::Update(lane) => lane.run(&mut self.0),
+        }
+    }
+
+    fn fork(&self) -> Option<ShardRunner> {
+        None
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.0.memory_bytes()
+    }
+}
+
+/// The snapshot-capable runner: identical execution, plus
+/// [`ShardExecutor::fork`] at publish time.
+struct ForkableRunner<I>(ShardExecutor<I>);
+
+impl<I: SpatialIndex + KnnIndex + Clone + Send + 'static> RunnerCore for ForkableRunner<I> {
+    fn run(&mut self, job: &mut Job) {
+        match job {
+            Job::Range(lane) => lane.run(&mut self.0),
+            Job::Knn(lane) => lane.run(&mut self.0),
+            Job::Update(lane) => lane.run(&mut self.0),
+        }
+    }
+
+    fn fork(&self) -> Option<ShardRunner> {
+        Some(Box::new(ForkableRunner(self.0.fork())))
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.0.memory_bytes()
+    }
+}
 
 /// The per-shard executor slots, shared between the backend (supervision:
 /// rebuild, declare dead) and the pool workers (execution). `None` marks a
@@ -644,14 +754,15 @@ fn lock_slot(slot: &Mutex<Option<ShardRunner>>) -> std::sync::MutexGuard<'_, Opt
 }
 
 /// Wraps one shard executor into its type-erased pool runner.
-fn make_runner<I: SpatialIndex + KnnIndex + Send + 'static>(
-    mut exec: ShardExecutor<I>,
+fn make_runner<I: SpatialIndex + KnnIndex + Send + 'static>(exec: ShardExecutor<I>) -> ShardRunner {
+    Box::new(ExecRunner(exec))
+}
+
+/// Wraps one shard executor into a snapshot-capable pool runner.
+fn make_forkable_runner<I: SpatialIndex + KnnIndex + Clone + Send + 'static>(
+    exec: ShardExecutor<I>,
 ) -> ShardRunner {
-    Box::new(move |job: &mut Job| match job {
-        Job::Range(lane) => lane.run(&mut exec),
-        Job::Knn(lane) => lane.run(&mut exec),
-        Job::Update(lane) => lane.run(&mut exec),
-    })
+    Box::new(ForkableRunner(exec))
 }
 
 /// The deque state of the worker pool, under one mutex: cheap to lock
@@ -698,6 +809,7 @@ impl WorkerPool {
     fn spawn(
         shards: usize,
         slots: &RunnerSlots,
+        snap_slots: &RunnerSlots,
         fault_lists: &[WorkerFaults],
         seqs: &[Arc<AtomicU64>],
     ) -> Self {
@@ -716,12 +828,15 @@ impl WorkerPool {
             .map(|w| {
                 let shared = Arc::clone(&shared);
                 let slots = Arc::clone(slots);
+                let snap_slots = Arc::clone(snap_slots);
                 let faults: Vec<WorkerFaults> = fault_lists.iter().map(Arc::clone).collect();
                 let seqs: Vec<Arc<AtomicU64>> = seqs.iter().map(Arc::clone).collect();
                 let done_tx = done_tx.clone();
                 std::thread::Builder::new()
                     .name(format!("simspatial-pool-{w}"))
-                    .spawn(move || pool_worker_loop(w, &shared, &slots, &faults, &seqs, &done_tx))
+                    .spawn(move || {
+                        pool_worker_loop(w, &shared, &slots, &snap_slots, &faults, &seqs, &done_tx)
+                    })
                     .expect("spawn pool worker thread")
             })
             .collect();
@@ -738,11 +853,17 @@ impl WorkerPool {
     }
 
     /// Enqueues one job onto its shard's owner queue and wakes a worker.
-    fn submit(&self, shard: usize, tag: usize, job: Job) {
+    /// `snap` routes it to the shard's published snapshot executor.
+    fn submit(&self, shard: usize, tag: usize, job: Job, snap: bool) {
         let mut state = self.shared.lock_state();
         assert!(!state.shutdown, "backend already shut down");
         let owner = shard % state.queues.len();
-        state.queues[owner].push_back(PoolJob { shard, tag, job });
+        state.queues[owner].push_back(PoolJob {
+            shard,
+            tag,
+            job,
+            snap,
+        });
         drop(state);
         self.shared.work_available.notify_one();
     }
@@ -781,6 +902,7 @@ fn pool_worker_loop(
     worker: usize,
     shared: &PoolShared,
     slots: &RunnerSlots,
+    snap_slots: &RunnerSlots,
     faults: &[WorkerFaults],
     seqs: &[Arc<AtomicU64>],
     done_tx: &mpsc::Sender<WorkerDone>,
@@ -816,14 +938,20 @@ fn pool_worker_loop(
             shard,
             tag,
             mut job,
+            snap,
         } = pool_job;
         let started = Instant::now();
+        // Snapshot jobs draw from the same per-shard sequence as live jobs,
+        // so one schedule covers both paths deterministically (runs that
+        // never submit snapshot jobs consume exactly the pre-snapshot
+        // sequence, keeping existing fault plans stable).
         let seq = seqs[shard].fetch_add(1, Ordering::Relaxed);
         let fault = faults[shard]
             .lock()
             .ok()
             .and_then(|f| f.iter().find(|&&(at, _)| at == seq).map(|&(_, k)| k));
-        let mut slot = lock_slot(&slots[shard]);
+        let slot_set = if snap { snap_slots } else { slots };
+        let mut slot = lock_slot(&slot_set[shard]);
         let panicked = match slot.as_mut() {
             // Torn since the scatter (an earlier in-flight job panicked):
             // report as panicked without running — the supervisor decides.
@@ -836,7 +964,7 @@ fn pool_worker_loop(
                     Some(FaultKind::Delay(d)) => std::thread::sleep(d),
                     _ => {}
                 }
-                runner(&mut job)
+                runner.run(&mut job)
             }))
             .is_err(),
         };
@@ -908,6 +1036,21 @@ pub struct ShardedBackend {
     /// matching per-shard job sequence counters live in the workers'
     /// cloned `Arc`s and survive executor rebuilds).
     fault_lists: Vec<WorkerFaults>,
+    /// Per-shard **published snapshot** executor slots, shared with the
+    /// pool workers (snapshot jobs run against these). `None` for shards
+    /// with no published snapshot (pre-first-publish, dead, or torn by a
+    /// panicked snapshot job awaiting repair). Replacing a slot drops the
+    /// previous copy — at most one published snapshot per shard, ever.
+    snap_slots: RunnerSlots,
+    /// Shards whose live state changed since the last publish (write
+    /// lanes routed to them, or restarts mid-write); only these are forked
+    /// at the next [`ServiceBackend::publish`].
+    snap_dirty: Vec<bool>,
+    /// Per-shard snapshot copy bytes (the clone-bytes gauge input).
+    snap_bytes: Vec<usize>,
+    /// Whether executors can fork snapshot copies
+    /// ([`ShardedBackend::spawn_snapshot`]).
+    snapshots: bool,
     range_lanes: Vec<RangeLane>,
     knn_home: Vec<KnnLane>,
     knn_fan: Vec<KnnLane>,
@@ -933,6 +1076,37 @@ impl ShardedBackend {
         engine: ShardedEngine<I>,
         policy: SupervisorPolicy,
     ) -> Self {
+        Self::spawn_inner(engine, policy, make_runner::<I>, false)
+    }
+
+    /// [`ShardedBackend::spawn`] with **published snapshot reads**
+    /// enabled: requires a `Clone` index type so each shard executor can
+    /// fork a frozen copy at publish time ([`ShardExecutor::fork`] —
+    /// copy-on-publish of the dirtied shards only). The scheduler detects
+    /// the capability through [`ServiceBackend::supports_snapshots`] and
+    /// serves [`Consistency::Snapshot`](crate::Consistency) reads from the
+    /// copies while live executors apply later write barriers.
+    pub fn spawn_snapshot<I: SpatialIndex + KnnIndex + Clone + Send + 'static>(
+        engine: ShardedEngine<I>,
+    ) -> Self {
+        Self::spawn_snapshot_with(engine, SupervisorPolicy::default())
+    }
+
+    /// [`ShardedBackend::spawn_snapshot`] with an explicit restart
+    /// discipline.
+    pub fn spawn_snapshot_with<I: SpatialIndex + KnnIndex + Clone + Send + 'static>(
+        engine: ShardedEngine<I>,
+        policy: SupervisorPolicy,
+    ) -> Self {
+        Self::spawn_inner(engine, policy, make_forkable_runner::<I>, true)
+    }
+
+    fn spawn_inner<I: SpatialIndex + KnnIndex + Send + 'static>(
+        engine: ShardedEngine<I>,
+        policy: SupervisorPolicy,
+        wrap: fn(ShardExecutor<I>) -> ShardRunner,
+        snapshots: bool,
+    ) -> Self {
         let sizes = engine.shard_sizes();
         let updatable = engine.is_updatable();
         let (planner, executors) = engine.into_parts();
@@ -951,10 +1125,13 @@ impl ShardedBackend {
         let slots: RunnerSlots = Arc::new(
             executors
                 .into_iter()
-                .map(|exec| Mutex::new(Some(make_runner(exec))))
+                .map(|exec| Mutex::new(Some(wrap(exec))))
                 .collect(),
         );
-        let pool = WorkerPool::spawn(n, &slots, &fault_lists, &seqs);
+        // Snapshot slots start empty; the scheduler's startup publish
+        // (epoch 0) forks the initial copies when snapshots are enabled.
+        let snap_slots: RunnerSlots = Arc::new((0..n).map(|_| Mutex::new(None)).collect());
+        let pool = WorkerPool::spawn(n, &slots, &snap_slots, &fault_lists, &seqs);
         let factory: Option<RespawnFn> = rebuild.map(|rb| {
             Box::new(move |planner: &ShardPlanner, shard: usize| {
                 let rb = rb.clone();
@@ -969,7 +1146,7 @@ impl ShardedBackend {
                     exec.set_apply(ap);
                     let len = exec.len();
                     let mem = exec.memory_bytes();
-                    (make_runner(exec), len, mem)
+                    (wrap(exec), len, mem)
                 }))
                 .map_err(|_| ())
             }) as RespawnFn
@@ -987,6 +1164,10 @@ impl ShardedBackend {
             telemetry: BackendTelemetry::default(),
             factory,
             fault_lists,
+            snap_slots,
+            snap_dirty: vec![true; n],
+            snap_bytes: vec![0; n],
+            snapshots,
             range_lanes: Vec::new(),
             knn_home: Vec::new(),
             knn_fan: Vec::new(),
@@ -1072,6 +1253,12 @@ impl ShardedBackend {
                 self.telemetry.shards_dead += 1;
                 self.sizes[i] = 0;
                 self.shard_memory[i] = 0;
+                // A dead shard drops its published snapshot too: snapshot
+                // reads degrade over exactly the surviving shard set, same
+                // as the live path.
+                *lock_slot(&self.snap_slots[i]) = None;
+                self.snap_bytes[i] = 0;
+                self.snap_dirty[i] = false;
             }
         }
     }
@@ -1132,7 +1319,7 @@ impl ShardedBackend {
                 continue;
             }
             let lane = std::mem::take(&mut self.range_lanes[i]);
-            self.pool.submit(i, 0, Job::Range(lane));
+            self.pool.submit(i, 0, Job::Range(lane), false);
             in_flight += 1;
         }
         self.gather(in_flight, false, false)
@@ -1148,7 +1335,7 @@ impl ShardedBackend {
                 continue;
             }
             let lane = std::mem::take(&mut self.update_lanes[i]);
-            self.pool.submit(i, 0, Job::Update(lane));
+            self.pool.submit(i, 0, Job::Update(lane), false);
             in_flight += 1;
         }
         self.gather(in_flight, false, false)
@@ -1165,6 +1352,15 @@ impl ShardedBackend {
         for (i, &dead) in self.dead.iter().enumerate() {
             if dead {
                 self.update_lanes[i].clear();
+            }
+        }
+        // Shards receiving any write work are dirty for the next publish —
+        // a restart mid-write is covered too (it rebuilds from the
+        // already-advanced planner store, and the lane that provoked it
+        // was non-empty by definition).
+        for (i, lane) in self.update_lanes.iter().enumerate() {
+            if !lane.is_empty() {
+                self.snap_dirty[i] = true;
             }
         }
         let panicked = self.run_update_lanes();
@@ -1193,10 +1389,233 @@ impl ShardedBackend {
             if lane.is_empty() {
                 continue;
             }
-            self.pool.submit(i, tag, Job::Knn(std::mem::take(lane)));
+            self.pool
+                .submit(i, tag, Job::Knn(std::mem::take(lane)), false);
             in_flight += 1;
         }
         self.gather(in_flight, false, fan_phase)
+    }
+
+    /// Shards a query run must route around. For a live run that is the
+    /// dead set; a snapshot run additionally avoids live shards whose
+    /// snapshot slot is empty (a fork that failed and could not be
+    /// repaired), which get the same partial/failed treatment as dead
+    /// shards rather than silently answering from the wrong epoch.
+    fn blocked_shards(&self, snap: bool) -> Vec<bool> {
+        (0..self.slots.len())
+            .map(|i| self.dead[i] || (snap && lock_slot(&self.snap_slots[i]).is_none()))
+            .collect()
+    }
+
+    /// Supervision for a panic inside a *snapshot* job: the live shard is
+    /// untouched (the job ran against the frozen copy), so instead of a
+    /// quarantine/restart cycle the snapshot is simply re-forked from the
+    /// live executor. That is exact, not approximate: the scheduler
+    /// publishes after every write barrier, so whenever a snapshot run is
+    /// on the pool the live state *is* the published epoch's state.
+    fn repair_snapshots(&mut self, panicked: &[usize]) {
+        let mut shards: Vec<usize> = panicked.to_vec();
+        shards.sort_unstable();
+        shards.dedup();
+        for i in shards {
+            self.telemetry.panics_caught += 1;
+            let forked = if self.dead[i] {
+                None
+            } else {
+                catch_unwind(AssertUnwindSafe(|| {
+                    lock_slot(&self.slots[i]).as_ref().and_then(|r| r.fork())
+                }))
+                .ok()
+                .flatten()
+            };
+            self.snap_bytes[i] = forked.as_ref().map_or(0, |r| r.memory_bytes());
+            *lock_slot(&self.snap_slots[i]) = forked;
+        }
+    }
+
+    /// Shared body of `query_run` / `snapshot_query_run`: the whole query
+    /// run — range batch plus every per-`k` kNN batch — scatters onto the
+    /// worker pool as **one wave** of shard jobs, so independent
+    /// sub-batches overlap across cores instead of executing back-to-back.
+    /// kNN fan-out (which needs each group's home results as seeds) forms
+    /// a second wave. The per-sub-batch merges run on the backend thread
+    /// afterwards and are the exact same deterministic code as the
+    /// sequential path, so results are byte-identical to executing the
+    /// sub-batches one by one. With `snap` set, jobs execute against the
+    /// published snapshot executors instead of the live ones; routing
+    /// still uses the planner, which is exact because the planner's
+    /// region/envelope state only gates *which shards are visited*, and
+    /// snapshot runs only execute when live and published state agree on
+    /// membership (the scheduler publishes after every write barrier).
+    fn run_query_run(
+        &mut self,
+        run: &QueryRun,
+        out: &mut QueryRunResults,
+        snap: bool,
+    ) -> QueryRunReport {
+        let start = Instant::now();
+        out.ensure_knn(run.knn.len());
+        while self.knn_home_groups.len() < run.knn.len() {
+            self.knn_home_groups.push(Vec::new());
+            self.knn_fan_groups.push(Vec::new());
+        }
+        // Reads are idempotent, so supervision is the same retry loop as
+        // the per-batch paths, over the whole run: any panic quarantines/
+        // restarts the shard (live run) or re-forks its snapshot (snapshot
+        // run) and re-runs the run against the post-supervision shard set.
+        let mut partial = vec![0u32; run.range.len()];
+        let mut failed: Vec<Vec<(u32, usize)>> = vec![Vec::new(); run.knn.len()];
+        loop {
+            // ---- Route wave-1 work: the coalesced range batch plus each
+            // kNN group's home lanes, dropping lanes aimed at blocked
+            // shards (partial coverage for range, typed failure for kNN).
+            let blocked = self.blocked_shards(snap);
+            self.planner.route_range(&run.range, &mut self.range_lanes);
+            partial.iter_mut().for_each(|n| *n = 0);
+            for (i, &blk) in blocked.iter().enumerate() {
+                if blk {
+                    for &qi in self.range_lanes[i].routed() {
+                        partial[qi as usize] += 1;
+                    }
+                    self.range_lanes[i].clear();
+                }
+            }
+            for (g, (k, points)) in run.knn.iter().enumerate() {
+                failed[g].clear();
+                self.planner
+                    .route_knn_home(points, *k, &mut self.knn_home_groups[g]);
+                for (i, &blk) in blocked.iter().enumerate() {
+                    if blk {
+                        for &qi in self.knn_home_groups[g][i].routed() {
+                            failed[g].push((qi, i));
+                        }
+                        self.knn_home_groups[g][i].clear();
+                    }
+                }
+            }
+            // ---- Wave 1: every range lane and every group's home lanes
+            // scatter together. One shard's jobs serialise on its executor
+            // slot; independent shards (and stolen jobs) overlap.
+            let mut in_flight = 0usize;
+            for i in 0..self.range_lanes.len() {
+                if self.range_lanes[i].is_empty() {
+                    continue;
+                }
+                let lane = std::mem::take(&mut self.range_lanes[i]);
+                self.pool.submit(i, 0, Job::Range(lane), snap);
+                in_flight += 1;
+            }
+            for g in 0..run.knn.len() {
+                for i in 0..self.knn_home_groups[g].len() {
+                    if self.knn_home_groups[g][i].is_empty() {
+                        continue;
+                    }
+                    let lane = std::mem::take(&mut self.knn_home_groups[g][i]);
+                    self.pool.submit(i, g, Job::Knn(lane), snap);
+                    in_flight += 1;
+                }
+            }
+            let panicked = self.gather(in_flight, true, false);
+            if !panicked.is_empty() {
+                if snap {
+                    self.repair_snapshots(&panicked);
+                } else {
+                    self.handle_panics(&panicked);
+                }
+                continue;
+            }
+            // ---- Wave 2: each group's fan-out lanes (seeded by its home
+            // results), again as one combined scatter.
+            let blocked = self.blocked_shards(snap);
+            let mut in_flight = 0usize;
+            for (g, (k, points)) in run.knn.iter().enumerate() {
+                self.planner.route_knn_fanout(
+                    points,
+                    *k,
+                    &self.knn_home_groups[g],
+                    &mut self.knn_fan_groups[g],
+                );
+                for (i, &blk) in blocked.iter().enumerate() {
+                    if blk {
+                        for &qi in self.knn_fan_groups[g][i].routed() {
+                            failed[g].push((qi, i));
+                        }
+                        self.knn_fan_groups[g][i].clear();
+                    }
+                }
+                for i in 0..self.knn_fan_groups[g].len() {
+                    if self.knn_fan_groups[g][i].is_empty() {
+                        continue;
+                    }
+                    let lane = std::mem::take(&mut self.knn_fan_groups[g][i]);
+                    self.pool.submit(i, g, Job::Knn(lane), snap);
+                    in_flight += 1;
+                }
+            }
+            let panicked = self.gather(in_flight, true, true);
+            if !panicked.is_empty() {
+                if snap {
+                    self.repair_snapshots(&panicked);
+                } else {
+                    self.handle_panics(&panicked);
+                }
+                continue;
+            }
+            break;
+        }
+        // ---- Deterministic merges, sub-batch by sub-batch.
+        let mut report = QueryRunReport::default();
+        if !run.range.is_empty() {
+            out.range.reset();
+            let stats =
+                self.planner
+                    .merge_range(run.range.len(), &mut self.range_lanes, &mut out.range);
+            report.range = Some(SubBatchOutcome::Ran(BatchReport {
+                stats,
+                failed: Vec::new(),
+                partial: partial
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &n)| n > 0)
+                    .map(|(q, &n)| (q as u32, n))
+                    .collect(),
+            }));
+        }
+        for (g, (k, points)) in run.knn.iter().enumerate() {
+            out.knn[g].reset();
+            let stats = self.planner.merge_knn(
+                points.len(),
+                *k,
+                &mut self.knn_home_groups[g],
+                &mut self.knn_fan_groups[g],
+                &mut out.knn[g],
+            );
+            let mut f = std::mem::take(&mut failed[g]);
+            f.sort_unstable();
+            f.dedup_by_key(|&mut (q, _)| q);
+            report.knn.push(SubBatchOutcome::Ran(BatchReport {
+                stats,
+                failed: f,
+                partial: Vec::new(),
+            }));
+        }
+        // The run executed as one combined scatter, so per-sub-batch wall
+        // time is not attributable: the whole run's elapsed lands on the
+        // first sub-batch and the rest report zero, keeping the *summed*
+        // execution time honest.
+        let elapsed = start.elapsed().as_secs_f64();
+        let mut assigned = false;
+        if let Some(SubBatchOutcome::Ran(r)) = report.range.as_mut() {
+            r.stats.elapsed_s = elapsed;
+            assigned = true;
+        }
+        for o in report.knn.iter_mut() {
+            if let SubBatchOutcome::Ran(r) = o {
+                r.stats.elapsed_s = if assigned { 0.0 } else { elapsed };
+                assigned = true;
+            }
+        }
+        report
     }
 }
 
@@ -1305,159 +1724,69 @@ impl ServiceBackend for ShardedBackend {
     /// the exact same deterministic code as the sequential path, so
     /// results are byte-identical to executing the sub-batches one by one.
     fn query_run(&mut self, run: &QueryRun, out: &mut QueryRunResults) -> QueryRunReport {
-        let start = Instant::now();
-        out.ensure_knn(run.knn.len());
-        while self.knn_home_groups.len() < run.knn.len() {
-            self.knn_home_groups.push(Vec::new());
-            self.knn_fan_groups.push(Vec::new());
+        self.run_query_run(run, out, false)
+    }
+
+    /// The snapshot override: identical routing, scatter and merge to
+    /// [`ServiceBackend::query_run`], but every lane executes against the
+    /// shard's **published snapshot** executor — so hoisted snapshot reads
+    /// answer at the last published epoch while live executors are free to
+    /// apply the write barriers queued behind them.
+    fn snapshot_query_run(&mut self, run: &QueryRun, out: &mut QueryRunResults) -> QueryRunReport {
+        if !self.snapshots {
+            return self.run_query_run(run, out, false);
         }
-        // Reads are idempotent, so supervision is the same retry loop as
-        // the per-batch paths, over the whole run: any panic quarantines/
-        // restarts the shard and re-runs the run against the
-        // post-supervision shard set.
-        let mut partial = vec![0u32; run.range.len()];
-        let mut failed: Vec<Vec<(u32, usize)>> = vec![Vec::new(); run.knn.len()];
-        loop {
-            // ---- Route wave-1 work: the coalesced range batch plus each
-            // kNN group's home lanes, dropping lanes aimed at dead shards
-            // (partial coverage for range, typed failure for kNN).
-            self.planner.route_range(&run.range, &mut self.range_lanes);
-            partial.iter_mut().for_each(|n| *n = 0);
-            for (i, &dead) in self.dead.iter().enumerate() {
-                if dead {
-                    for &qi in self.range_lanes[i].routed() {
-                        partial[qi as usize] += 1;
-                    }
-                    self.range_lanes[i].clear();
-                }
-            }
-            for (g, (k, points)) in run.knn.iter().enumerate() {
-                failed[g].clear();
-                self.planner
-                    .route_knn_home(points, *k, &mut self.knn_home_groups[g]);
-                for (i, &dead) in self.dead.iter().enumerate() {
-                    if dead {
-                        for &qi in self.knn_home_groups[g][i].routed() {
-                            failed[g].push((qi, i));
-                        }
-                        self.knn_home_groups[g][i].clear();
-                    }
-                }
-            }
-            // ---- Wave 1: every range lane and every group's home lanes
-            // scatter together. One shard's jobs serialise on its executor
-            // slot; independent shards (and stolen jobs) overlap.
-            let mut in_flight = 0usize;
-            for i in 0..self.range_lanes.len() {
-                if self.range_lanes[i].is_empty() {
-                    continue;
-                }
-                let lane = std::mem::take(&mut self.range_lanes[i]);
-                self.pool.submit(i, 0, Job::Range(lane));
-                in_flight += 1;
-            }
-            for g in 0..run.knn.len() {
-                for i in 0..self.knn_home_groups[g].len() {
-                    if self.knn_home_groups[g][i].is_empty() {
-                        continue;
-                    }
-                    let lane = std::mem::take(&mut self.knn_home_groups[g][i]);
-                    self.pool.submit(i, g, Job::Knn(lane));
-                    in_flight += 1;
-                }
-            }
-            let panicked = self.gather(in_flight, true, false);
-            if !panicked.is_empty() {
-                self.handle_panics(&panicked);
+        self.run_query_run(run, out, true)
+    }
+
+    fn supports_snapshots(&self) -> bool {
+        self.snapshots
+    }
+
+    /// Copy-on-publish: forks a frozen executor copy for every shard whose
+    /// state changed since the last publish and parks it in the shard's
+    /// snapshot slot, replacing — and thereby freeing — the previous copy.
+    /// Untouched shards keep their existing snapshot (no clone, no
+    /// traffic), so a sparse tick copies only the shards it dirtied. Dead
+    /// shards publish nothing. Idempotent per epoch: a clean pass leaves
+    /// no shard dirty, so a scheduler retry after a caught panic re-forks
+    /// only what the interrupted pass had not finished. A panic inside the
+    /// user index's `Clone` is supervised like a worker panic — the shard
+    /// restarts from the planner store and the fork is retried once
+    /// against the rebuilt executor.
+    fn publish(&mut self, _epoch: u64) {
+        if !self.snapshots {
+            return;
+        }
+        for i in 0..self.slots.len() {
+            if !self.snap_dirty[i] {
                 continue;
             }
-            // ---- Wave 2: each group's fan-out lanes (seeded by its home
-            // results), again as one combined scatter.
-            let mut in_flight = 0usize;
-            for (g, (k, points)) in run.knn.iter().enumerate() {
-                self.planner.route_knn_fanout(
-                    points,
-                    *k,
-                    &self.knn_home_groups[g],
-                    &mut self.knn_fan_groups[g],
-                );
-                for (i, &dead) in self.dead.iter().enumerate() {
-                    if dead {
-                        for &qi in self.knn_fan_groups[g][i].routed() {
-                            failed[g].push((qi, i));
-                        }
-                        self.knn_fan_groups[g][i].clear();
-                    }
+            let mut attempts = 0u32;
+            let forked = loop {
+                if self.dead[i] {
+                    break None;
                 }
-                for i in 0..self.knn_fan_groups[g].len() {
-                    if self.knn_fan_groups[g][i].is_empty() {
-                        continue;
+                let fork = catch_unwind(AssertUnwindSafe(|| {
+                    lock_slot(&self.slots[i]).as_ref().and_then(|r| r.fork())
+                }));
+                match fork {
+                    Ok(f) => break f,
+                    Err(_) if attempts == 0 => {
+                        attempts += 1;
+                        self.handle_panics(&[i]);
                     }
-                    let lane = std::mem::take(&mut self.knn_fan_groups[g][i]);
-                    self.pool.submit(i, g, Job::Knn(lane));
-                    in_flight += 1;
+                    Err(_) => break None,
                 }
-            }
-            let panicked = self.gather(in_flight, true, true);
-            if !panicked.is_empty() {
-                self.handle_panics(&panicked);
-                continue;
-            }
-            break;
+            };
+            self.snap_bytes[i] = forked.as_ref().map_or(0, |r| r.memory_bytes());
+            *lock_slot(&self.snap_slots[i]) = forked;
+            self.snap_dirty[i] = false;
         }
-        // ---- Deterministic merges, sub-batch by sub-batch.
-        let mut report = QueryRunReport::default();
-        if !run.range.is_empty() {
-            out.range.reset();
-            let stats =
-                self.planner
-                    .merge_range(run.range.len(), &mut self.range_lanes, &mut out.range);
-            report.range = Some(SubBatchOutcome::Ran(BatchReport {
-                stats,
-                failed: Vec::new(),
-                partial: partial
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, &n)| n > 0)
-                    .map(|(q, &n)| (q as u32, n))
-                    .collect(),
-            }));
-        }
-        for (g, (k, points)) in run.knn.iter().enumerate() {
-            out.knn[g].reset();
-            let stats = self.planner.merge_knn(
-                points.len(),
-                *k,
-                &mut self.knn_home_groups[g],
-                &mut self.knn_fan_groups[g],
-                &mut out.knn[g],
-            );
-            let mut f = std::mem::take(&mut failed[g]);
-            f.sort_unstable();
-            f.dedup_by_key(|&mut (q, _)| q);
-            report.knn.push(SubBatchOutcome::Ran(BatchReport {
-                stats,
-                failed: f,
-                partial: Vec::new(),
-            }));
-        }
-        // The run executed as one combined scatter, so per-sub-batch wall
-        // time is not attributable: the whole run's elapsed lands on the
-        // first sub-batch and the rest report zero, keeping the *summed*
-        // execution time honest.
-        let elapsed = start.elapsed().as_secs_f64();
-        let mut assigned = false;
-        if let Some(SubBatchOutcome::Ran(r)) = report.range.as_mut() {
-            r.stats.elapsed_s = elapsed;
-            assigned = true;
-        }
-        for o in report.knn.iter_mut() {
-            if let SubBatchOutcome::Ran(r) = o {
-                r.stats.elapsed_s = if assigned { 0.0 } else { elapsed };
-                assigned = true;
-            }
-        }
-        report
+    }
+
+    fn snapshot_clone_bytes(&self) -> u64 {
+        self.snap_bytes.iter().map(|&b| b as u64).sum()
     }
 
     fn update_batch(&mut self, updates: &[(ElementId, Shape)]) -> UpdateReport {

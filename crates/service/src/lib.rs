@@ -70,6 +70,20 @@
 //!   why admitted writes are never blindly retried). The whole failure
 //!   matrix is exercised deterministically in ordinary tests through
 //!   [`FaultPlan`] and [`ChaosBackend`].
+//! * **Epoch-published snapshot reads** — every applied write barrier
+//!   publishes a monotonically increasing **epoch**; reads submitted at
+//!   [`Consistency::Snapshot`] (via [`ServiceHandle::submit_at`]) are
+//!   hoisted in front of a dispatch's pending write barriers and answered
+//!   from the last published per-shard snapshots (copy-on-publish of the
+//!   *touched* shards only), so one slow `Step` no longer stalls the read
+//!   fleet. `ReadYourWrites { min_epoch }` floors freshness at the
+//!   submitter's last acknowledged write (acks carry the publishing epoch
+//!   in [`Reply::epoch`]); `Barrier` keeps the strict pre-epoch ordering
+//!   and doubles as the differential oracle the snapshot consistency
+//!   suite compares against. Snapshot serving is opt-in on the sharded
+//!   backend ([`ShardedBackend::spawn_snapshot`], requiring `Clone`
+//!   indexes) and free on [`EngineBackend`] (serial execution already
+//!   answers at the published epoch).
 //!
 //! ## Quick start
 //!
@@ -144,6 +158,6 @@ pub use backend::{
     SupervisorPolicy, UpdateReport,
 };
 pub use fault::{ChaosBackend, FaultKind, FaultPlan, ScheduledFault};
-pub use request::{RecvError, Reply, Request, Response, SubmitError, Ticket};
+pub use request::{Consistency, RecvError, Reply, Request, Response, SubmitError, Ticket};
 pub use service::{RetryPolicy, ServiceConfig, ServiceHandle, SpatialService};
 pub use stats::{LatencyHistogram, ServiceStats, TenantStats, BATCH_BUCKETS, LATENCY_BUCKETS};

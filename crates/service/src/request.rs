@@ -104,6 +104,44 @@ impl Request {
     }
 }
 
+/// How strongly a request's answer must be ordered against the write
+/// barriers in flight around it.
+///
+/// Writes ignore this field — every write is always a barrier in the
+/// admission order and publishes a new epoch when applied. For reads it
+/// selects which dataset version answers:
+///
+/// * [`Consistency::Snapshot`] (the default) answers from the **last
+///   published epoch**: the scheduler hoists the read in front of any
+///   write barriers queued in the same dispatch and runs it against the
+///   per-shard snapshots published by the previous barrier. The answer
+///   may be stale, but it is never torn — it equals the [`Barrier`]
+///   answer evaluated at exactly the epoch the reply reports
+///   (differentially tested in `tests/service_snapshot.rs`).
+/// * [`Consistency::ReadYourWrites`] is `Snapshot` with a floor: the read
+///   does not run until the published epoch reaches `min_epoch`. Pass the
+///   [`Reply::epoch`] of your last acknowledged write to be guaranteed to
+///   observe it (write acks carry the epoch that made the write visible).
+/// * [`Consistency::Barrier`] is the pre-epoch semantics and the
+///   differential oracle: the read runs in strict admission order against
+///   the live dataset, paying for every write barrier ahead of it.
+///
+/// [`Barrier`]: Consistency::Barrier
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Consistency {
+    /// Read the last published epoch; never waits on pending writes.
+    #[default]
+    Snapshot,
+    /// Read a published epoch `>= min_epoch` — snapshot freshness floored
+    /// at the submitter's last acknowledged write.
+    ReadYourWrites {
+        /// The lowest epoch this read may observe (inclusive).
+        min_epoch: u64,
+    },
+    /// Strict admission-order serialization behind every write barrier.
+    Barrier,
+}
+
 /// The response to one [`Request`], shape-matched per variant.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Response {
@@ -309,6 +347,7 @@ pub(crate) struct Completion {
     pub result: Result<Response, RecvError>,
     pub latency: Duration,
     pub shards_skipped: u32,
+    pub epoch: u64,
 }
 
 /// A full completion record: the response, its latency, and degradation
@@ -324,6 +363,13 @@ pub struct Reply {
     /// nonzero means the result is a lower bound over the surviving
     /// shards, not the full dataset).
     pub shards_skipped: u32,
+    /// The epoch this answer reflects. For reads: the published epoch the
+    /// query ran against ([`Consistency::Snapshot`]/`ReadYourWrites`) or
+    /// the live epoch at execution time ([`Consistency::Barrier`]). For
+    /// writes: the epoch whose publication made this write visible — feed
+    /// it back as `ReadYourWrites { min_epoch }` to observe your own
+    /// write. Backends without snapshot support report 0 throughout.
+    pub epoch: u64,
 }
 
 /// An in-flight request's completion slot. Obtained from
@@ -361,6 +407,7 @@ impl Ticket {
                 response,
                 latency: c.latency,
                 shards_skipped: c.shards_skipped,
+                epoch: c.epoch,
             }),
             Err(mpsc::RecvError) => Err(RecvError::ShutDown),
         }

@@ -26,7 +26,7 @@
 use crate::backend::{
     BackendTelemetry, QueryRun, QueryRunResults, ServiceBackend, SubBatchOutcome,
 };
-use crate::request::{Completion, RecvError, Request, Response, SubmitError, Ticket};
+use crate::request::{Completion, Consistency, RecvError, Request, Response, SubmitError, Ticket};
 use crate::stats::{LatencyHistogram, ServiceStats, BATCH_BUCKETS};
 use simspatial_geom::stats::PredicateCounts;
 use simspatial_geom::{ElementId, Point3, Shape};
@@ -158,6 +158,7 @@ impl Default for RetryPolicy {
 /// hangs and never receives two completions.
 struct Envelope {
     request: Request,
+    consistency: Consistency,
     reply: Option<mpsc::Sender<Completion>>,
     submitted: Instant,
     deadline: Option<Instant>,
@@ -166,7 +167,7 @@ struct Envelope {
 
 impl Envelope {
     /// Completes the ticket exactly once and disarms the drop-guard.
-    fn complete(mut self, result: Result<Response, RecvError>, shards_skipped: u32) {
+    fn complete(mut self, result: Result<Response, RecvError>, shards_skipped: u32, epoch: u64) {
         let latency = self.submitted.elapsed();
         if let Some(reply) = self.reply.take() {
             // A dropped ticket (client gave up) is not an error.
@@ -174,6 +175,7 @@ impl Envelope {
                 result,
                 latency,
                 shards_skipped,
+                epoch,
             });
         }
     }
@@ -196,6 +198,7 @@ impl Drop for Envelope {
             result: Err(err),
             latency: self.submitted.elapsed(),
             shards_skipped: 0,
+            epoch: 0,
         });
         if let Ok(mut stats) = self.shared.stats.lock() {
             stats.completed += 1;
@@ -246,6 +249,14 @@ struct StatsInner {
     partial_responses: u64,
     /// Requests completed with [`RecvError::WorkerFailed`].
     failed_requests: u64,
+    /// Epoch gauges/counters, refreshed every dispatch (see
+    /// [`ServiceStats`] for semantics). All zero on a backend without
+    /// snapshot support.
+    current_epoch: u64,
+    epochs_published: u64,
+    snapshot_reads: u64,
+    stale_reads: u64,
+    snapshot_clone_bytes: u64,
     /// Latest backend failure counters, refreshed every dispatch.
     telemetry: BackendTelemetry,
 }
@@ -325,6 +336,11 @@ impl Shared {
             retries_attempted: self.retries_attempted.load(Ordering::Relaxed),
             partial_responses: inner.partial_responses,
             failed_requests: inner.failed_requests,
+            current_epoch: inner.current_epoch,
+            epochs_published: inner.epochs_published,
+            snapshot_reads: inner.snapshot_reads,
+            stale_reads: inner.stale_reads,
+            snapshot_clone_bytes: inner.snapshot_clone_bytes,
             tenants: Vec::new(),
         }
     }
@@ -354,7 +370,7 @@ impl ServiceHandle {
     /// a write and the backend is read-only). The config's
     /// `default_deadline` (if any) applies.
     pub fn submit(&self, request: Request) -> Result<Ticket, SubmitError> {
-        self.submit_inner(request, None, true)
+        self.submit_inner(request, Consistency::Barrier, None, true)
     }
 
     /// [`ServiceHandle::submit`] with an explicit per-request deadline
@@ -366,13 +382,13 @@ impl ServiceHandle {
         request: Request,
         deadline: Duration,
     ) -> Result<Ticket, SubmitError> {
-        self.submit_inner(request, Some(deadline), true)
+        self.submit_inner(request, Consistency::Barrier, Some(deadline), true)
     }
 
     /// Non-blocking submit: returns [`SubmitError::Full`] (with the
     /// request) instead of waiting when the queue is at capacity.
     pub fn try_submit(&self, request: Request) -> Result<Ticket, SubmitError> {
-        self.submit_inner(request, None, false)
+        self.submit_inner(request, Consistency::Barrier, None, false)
     }
 
     /// [`ServiceHandle::try_submit`] with an explicit per-request deadline.
@@ -381,7 +397,53 @@ impl ServiceHandle {
         request: Request,
         deadline: Duration,
     ) -> Result<Ticket, SubmitError> {
-        self.submit_inner(request, Some(deadline), false)
+        self.submit_inner(request, Consistency::Barrier, Some(deadline), false)
+    }
+
+    /// [`ServiceHandle::submit`] with an explicit [`Consistency`] mode.
+    /// The plain `submit`/`try_submit` family is pinned to
+    /// [`Consistency::Barrier`] (the pre-epoch semantics), so existing
+    /// callers observe no change; reads that can tolerate bounded
+    /// staleness should pass [`Consistency::Snapshot`] here and stop
+    /// paying for write barriers they never asked to observe. Writes
+    /// ignore the mode (every write is always a barrier and publishes an
+    /// epoch); on a backend without snapshot support all modes behave as
+    /// `Barrier` and replies report epoch 0.
+    pub fn submit_at(
+        &self,
+        request: Request,
+        consistency: Consistency,
+    ) -> Result<Ticket, SubmitError> {
+        self.submit_inner(request, consistency, None, true)
+    }
+
+    /// Non-blocking [`ServiceHandle::submit_at`].
+    pub fn try_submit_at(
+        &self,
+        request: Request,
+        consistency: Consistency,
+    ) -> Result<Ticket, SubmitError> {
+        self.submit_inner(request, consistency, None, false)
+    }
+
+    /// [`ServiceHandle::submit_at`] with an explicit per-request deadline.
+    pub fn submit_at_with_deadline(
+        &self,
+        request: Request,
+        consistency: Consistency,
+        deadline: Duration,
+    ) -> Result<Ticket, SubmitError> {
+        self.submit_inner(request, consistency, Some(deadline), true)
+    }
+
+    /// Non-blocking [`ServiceHandle::submit_at_with_deadline`].
+    pub fn try_submit_at_with_deadline(
+        &self,
+        request: Request,
+        consistency: Consistency,
+        deadline: Duration,
+    ) -> Result<Ticket, SubmitError> {
+        self.submit_inner(request, consistency, Some(deadline), false)
     }
 
     /// Non-blocking submit that retries [`SubmitError::Full`] rejections
@@ -433,6 +495,7 @@ impl ServiceHandle {
     fn submit_inner(
         &self,
         request: Request,
+        consistency: Consistency,
         deadline: Option<Duration>,
         blocking: bool,
     ) -> Result<Ticket, SubmitError> {
@@ -452,6 +515,7 @@ impl ServiceHandle {
             .map(|d| submitted + d);
         let env = Envelope {
             request,
+            consistency,
             reply: Some(reply),
             submitted,
             deadline,
@@ -580,6 +644,28 @@ struct Scheduler<B: ServiceBackend> {
     failures: Vec<Option<RecvError>>,
     /// Per-pending-request dead-shards-skipped count (partial coverage).
     skipped: Vec<u32>,
+    /// Per-pending-request epoch stamp for the current dispatch: the
+    /// published epoch a read ran against, or the epoch whose publication
+    /// made a write visible.
+    epochs: Vec<u64>,
+    /// Whether the backend can serve published-snapshot reads
+    /// ([`ServiceBackend::supports_snapshots`], cached at spawn). When
+    /// false the epoch machinery is dormant: no publishes, every request
+    /// runs the barrier path, and all epochs report 0.
+    snapshots: bool,
+    /// The last **published** epoch. The scheduler publishes epoch 0
+    /// before serving anything and a new epoch after every write
+    /// application, so whenever no write is mid-application the live
+    /// dataset equals the published epoch's state.
+    epoch: u64,
+    /// Successful `publish` calls over the service lifetime. Exactly
+    /// `epoch + 1` while healthy (epoch 0 plus one per write barrier) —
+    /// the chaos suite asserts this to prove a publish interrupted by a
+    /// shard panic is retried exactly once, never skipped or doubled.
+    epochs_published: u64,
+    /// Backend panics caught while publishing (folded into `sched_panics`
+    /// at the next dispatch-stats flush).
+    publish_panics: u64,
     /// Set when a backend panic unwound to the dispatcher on a write path
     /// the backend could not recover: the dataset state is unknown, so
     /// every subsequent request fails fast with
@@ -600,6 +686,10 @@ struct DispatchTotals {
     update_runs: Vec<usize>,
     /// Backend panics that unwound into the dispatcher and were caught.
     sched_panics: u64,
+    /// Reads served from a published snapshot this dispatch.
+    snapshot_reads: u64,
+    /// Snapshot reads hoisted over at least one pending write barrier.
+    stale_reads: u64,
 }
 
 /// Declared in [`Scheduler::run`] before the dispatch loop: if the
@@ -628,6 +718,7 @@ impl Drop for DeadGuard {
 
 impl<B: ServiceBackend> Scheduler<B> {
     fn new(backend: B, shared: Arc<Shared>, cfg: ServiceConfig) -> Self {
+        let snapshots = backend.supports_snapshots();
         Self {
             backend,
             shared,
@@ -643,6 +734,11 @@ impl<B: ServiceBackend> Scheduler<B> {
             updates: Vec::new(),
             failures: Vec::new(),
             skipped: Vec::new(),
+            epochs: Vec::new(),
+            snapshots,
+            epoch: 0,
+            epochs_published: 0,
+            publish_panics: 0,
             poisoned: false,
         }
     }
@@ -652,6 +748,10 @@ impl<B: ServiceBackend> Scheduler<B> {
             shared: Arc::clone(&self.shared),
             armed: true,
         };
+        // Publish the initial epoch before serving anything: snapshot
+        // readers always have a consistent epoch to answer from, even
+        // before the first write barrier.
+        self.publish_epoch(0);
         loop {
             match rx.recv_timeout(self.cfg.idle_poll) {
                 Ok(env) => self.collect_and_dispatch(env, &rx),
@@ -729,6 +829,8 @@ impl<B: ServiceBackend> Scheduler<B> {
         self.failures.resize(n, None);
         self.skipped.clear();
         self.skipped.resize(n, 0);
+        self.epochs.clear();
+        self.epochs.resize(n, self.epoch);
         let mut totals = DispatchTotals::default();
 
         // ---- Admission-time deadline shed: a request that expired in the
@@ -741,29 +843,85 @@ impl<B: ServiceBackend> Scheduler<B> {
             }
         }
 
+        // ---- Snapshot hoist: reads that asked for (at most) the last
+        // published epoch do not belong behind this dispatch's write
+        // barriers — they are pulled out of admission order and executed
+        // first, as ONE snapshot query run against the published per-shard
+        // snapshots. This is what unserializes reads from writes: a
+        // hoisted read's latency never includes the write applications
+        // queued behind it. `ReadYourWrites` hoists once its floor is
+        // published (acks carry the publishing epoch, so an honest client
+        // always hoists) and degrades to the barrier path otherwise —
+        // strictly fresher than asked. Everything else (`Barrier` reads,
+        // all writes) keeps today's strict admission-order semantics.
+        let mut barrier_idx: Vec<usize> = Vec::with_capacity(n);
+        let mut snap_idx: Vec<usize> = Vec::new();
+        if self.snapshots && !self.poisoned {
+            let first_write = self
+                .pending
+                .iter()
+                .enumerate()
+                .position(|(i, env)| env.request.is_write() && self.failures[i].is_none());
+            for (i, env) in self.pending.iter().enumerate() {
+                let hoist = !env.request.is_write()
+                    && self.failures[i].is_none()
+                    && match env.consistency {
+                        Consistency::Snapshot => true,
+                        Consistency::ReadYourWrites { min_epoch } => min_epoch <= self.epoch,
+                        Consistency::Barrier => false,
+                    };
+                if hoist {
+                    snap_idx.push(i);
+                    totals.snapshot_reads += 1;
+                    if first_write.is_some_and(|w| i > w) {
+                        // The read outran at least one write admitted
+                        // before it: its answer is (deliberately) stale.
+                        totals.stale_reads += 1;
+                    }
+                } else {
+                    barrier_idx.push(i);
+                }
+            }
+        } else {
+            barrier_idx.extend(0..n);
+        }
+        if !snap_idx.is_empty() {
+            // Stamped with the epoch they run against (resize above
+            // already stamped `self.epoch`; writes below may advance it).
+            self.run_query_batch(&snap_idx, &mut totals, true);
+        }
+
         let mut lo = 0usize;
         let mut wrote = false;
-        while lo < n {
+        while lo < barrier_idx.len() {
             if self.poisoned {
                 // Backend state is unknown after an unrecovered write-path
                 // panic: fail everything not yet served, fast.
-                for f in self.failures[lo..n].iter_mut() {
-                    if f.is_none() {
-                        *f = Some(RecvError::WorkerFailed { shard: 0 });
+                for &i in &barrier_idx[lo..] {
+                    if self.failures[i].is_none() {
+                        self.failures[i] = Some(RecvError::WorkerFailed { shard: 0 });
                     }
                 }
                 break;
             }
-            let write = self.pending[lo].request.is_write();
+            let write = self.pending[barrier_idx[lo]].request.is_write();
             let mut hi = lo + 1;
-            while hi < n && self.pending[hi].request.is_write() == write {
+            while hi < barrier_idx.len()
+                && self.pending[barrier_idx[hi]].request.is_write() == write
+            {
                 hi += 1;
             }
+            let idxs: Vec<usize> = barrier_idx[lo..hi].to_vec();
             if write {
-                self.run_update_batch(lo, hi, &mut totals);
+                self.run_update_batch(&idxs, &mut totals);
                 wrote = true;
             } else {
-                self.run_query_batch(lo, hi, &mut totals);
+                // Barrier reads run against the live dataset, whose state
+                // is exactly the last published epoch at this point.
+                for &i in &idxs {
+                    self.epochs[i] = self.epoch;
+                }
+                self.run_query_batch(&idxs, &mut totals, false);
             }
             lo = hi;
         }
@@ -823,10 +981,17 @@ impl<B: ServiceBackend> Scheduler<B> {
                 stats.memory_bytes = self.backend.memory_bytes();
                 stats.shard_sizes = self.backend.shard_sizes();
             }
-            stats.sched_panics += totals.sched_panics;
+            stats.sched_panics += totals.sched_panics + std::mem::take(&mut self.publish_panics);
             stats.deadline_expired += deadline_expired;
             stats.failed_requests += failed_requests;
             stats.partial_responses += partial_responses;
+            stats.snapshot_reads += totals.snapshot_reads;
+            stats.stale_reads += totals.stale_reads;
+            stats.current_epoch = self.epoch;
+            stats.epochs_published = self.epochs_published;
+            if self.snapshots {
+                stats.snapshot_clone_bytes = self.backend.snapshot_clone_bytes();
+            }
             stats.telemetry = telemetry;
             stats.completed += n as u64;
             for env in &self.pending {
@@ -847,41 +1012,69 @@ impl<B: ServiceBackend> Scheduler<B> {
                 Some(err) => Err(err),
                 None => Ok(resp.expect("every surviving request produced a response")),
             };
-            env.complete(result, self.skipped[i]);
+            env.complete(result, self.skipped[i], self.epochs[i]);
         }
     }
 
-    /// Executes one query run (`pending[lo..hi]`, all non-write): all range
+    /// Publishes epoch `next` on the backend, retrying a publish
+    /// interrupted by a caught panic. `publish` is idempotent per epoch
+    /// (the backend re-forks only the shards the interrupted pass left
+    /// dirty), so the retry completes the same publication rather than
+    /// doubling it; the epoch counter and `epochs_published` advance only
+    /// on success, exactly once per epoch. A publish that keeps failing
+    /// leaves the per-shard snapshots potentially spanning two epochs —
+    /// no consistent epoch can be served — so the service poisons.
+    fn publish_epoch(&mut self, next: u64) {
+        if !self.snapshots || self.poisoned {
+            return;
+        }
+        for _ in 0..3 {
+            if catch_unwind(AssertUnwindSafe(|| self.backend.publish(next))).is_ok() {
+                self.epoch = next;
+                self.epochs_published += 1;
+                return;
+            }
+            self.publish_panics += 1;
+            if !self.backend.recover(false) {
+                self.poison();
+                return;
+            }
+        }
+        self.poison();
+    }
+
+    /// Executes one query run (`pending[idxs]`, all non-write): all range
     /// boxes of the run coalesce into one range sub-batch, kNN probes group
     /// by `k` into one sub-batch per distinct `k`, and the whole run goes
     /// to the backend in ONE [`ServiceBackend::query_run`] call — so a
     /// parallel backend can overlap the independent sub-batches — before
-    /// results split back per request.
-    fn run_query_batch(&mut self, lo: usize, hi: usize, totals: &mut DispatchTotals) {
+    /// results split back per request. With `snap` set the run executes as
+    /// [`ServiceBackend::snapshot_query_run`] against the last published
+    /// epoch instead of the live dataset.
+    fn run_query_batch(&mut self, idxs: &[usize], totals: &mut DispatchTotals, snap: bool) {
         // ---- Build the run: range family.
         self.run.range.clear();
         self.range_req.clear();
-        for (i, env) in self.pending[lo..hi].iter().enumerate() {
-            if self.failures[lo + i].is_some() {
+        for &i in idxs {
+            if self.failures[i].is_some() {
                 continue; // shed at admission — the backend never sees it
             }
-            if let Request::Range(qs) | Request::RangeCount(qs) = &env.request {
-                self.range_req
-                    .push((lo + i, self.run.range.len(), qs.len()));
+            if let Request::Range(qs) | Request::RangeCount(qs) = &self.pending[i].request {
+                self.range_req.push((i, self.run.range.len(), qs.len()));
                 self.run.range.extend_from_slice(qs);
             }
         }
 
         // ---- Build the run: kNN family.
         self.knn_flat.clear();
-        for (i, env) in self.pending[lo..hi].iter().enumerate() {
-            if self.failures[lo + i].is_some() {
+        for &i in idxs {
+            if self.failures[i].is_some() {
                 continue;
             }
-            if let Request::Knn(probes) = &env.request {
-                self.responses[lo + i] = Some(Response::Knn(vec![Vec::new(); probes.len()]));
+            if let Request::Knn(probes) = &self.pending[i].request {
+                self.responses[i] = Some(Response::Knn(vec![Vec::new(); probes.len()]));
                 for (j, &(p, k)) in probes.iter().enumerate() {
-                    self.knn_flat.push((k, lo + i, j, p));
+                    self.knn_flat.push((k, i, j, p));
                 }
             }
         }
@@ -913,7 +1106,12 @@ impl<B: ServiceBackend> Scheduler<B> {
         // panics are caught *inside* `query_run`; a panic that escapes it
         // (routing/merge code) fails the entire run.
         let call = catch_unwind(AssertUnwindSafe(|| {
-            self.backend.query_run(&self.run, &mut self.run_out)
+            if snap {
+                self.backend
+                    .snapshot_query_run(&self.run, &mut self.run_out)
+            } else {
+                self.backend.query_run(&self.run, &mut self.run_out)
+            }
         }));
         let report = match call {
             Ok(report) => report,
@@ -1046,11 +1244,11 @@ impl<B: ServiceBackend> Scheduler<B> {
         self.shared.open.store(false, Ordering::Release);
     }
 
-    /// Executes one write run (`pending[lo..hi]`, all `Update`/`Step`):
+    /// Executes one write run (`pending[idxs]`, all `Update`/`Step`):
     /// flattens every request's updates — in admission order, so duplicate
     /// ids resolve last-write-wins across requests exactly as a serial run
     /// would — into ONE backend `update_batch` application.
-    fn run_update_batch(&mut self, lo: usize, hi: usize, totals: &mut DispatchTotals) {
+    fn run_update_batch(&mut self, idxs: &[usize], totals: &mut DispatchTotals) {
         // A write run executes as ordered **segments**: consecutive
         // geometry writes (`Update`/`Step`/`StepDelta`) flatten into one
         // coalesced backend application, while each membership request
@@ -1060,12 +1258,13 @@ impl<B: ServiceBackend> Scheduler<B> {
         // barrier an observer sees is identical to serial execution in
         // admission order.
         self.updates.clear();
-        let mut seg = lo;
-        for i in lo..hi {
+        let mut seg = 0usize;
+        for pos in 0..idxs.len() {
+            let i = idxs[pos];
             if self.poisoned {
-                for f in self.failures[i..hi].iter_mut() {
-                    if f.is_none() {
-                        *f = Some(RecvError::WorkerFailed { shard: 0 });
+                for &j in &idxs[pos..] {
+                    if self.failures[j].is_none() {
+                        self.failures[j] = Some(RecvError::WorkerFailed { shard: 0 });
                     }
                 }
                 return;
@@ -1102,29 +1301,33 @@ impl<B: ServiceBackend> Scheduler<B> {
             }
             // Membership barrier: flush the geometry segment admitted
             // before it, then run the membership call itself.
-            self.flush_geometry(seg, i, totals);
+            self.flush_geometry(&idxs[seg..pos], totals);
             if self.poisoned {
-                for f in self.failures[i..hi].iter_mut() {
-                    if f.is_none() {
-                        *f = Some(RecvError::WorkerFailed { shard: 0 });
+                for &j in &idxs[pos..] {
+                    if self.failures[j].is_none() {
+                        self.failures[j] = Some(RecvError::WorkerFailed { shard: 0 });
                     }
                 }
                 return;
             }
             self.run_membership(i, totals);
-            seg = i + 1;
+            seg = pos + 1;
         }
-        self.flush_geometry(seg, hi, totals);
+        self.flush_geometry(&idxs[seg..], totals);
     }
 
-    /// Applies the flattened geometry writes of requests `[seg_lo, seg_hi)`
+    /// Applies the flattened geometry writes of the requests in `seg`
     /// as one coalesced backend application. On a shard death the
     /// segment's surviving write requests fail with the typed error — the
     /// write *may* be partially applied (it is applied on every surviving
     /// shard); which requests' entries landed on the dead shard is not
     /// attributable after coalescing, so the whole segment fails. On an
     /// unrecovered dispatcher-level write panic the service poisons.
-    fn flush_geometry(&mut self, seg_lo: usize, seg_hi: usize, totals: &mut DispatchTotals) {
+    /// Every applied (even partially applied) segment **publishes the
+    /// next epoch** and stamps it on the segment's surviving requests —
+    /// the ack a client receives carries the epoch that made its write
+    /// visible to snapshot readers.
+    fn flush_geometry(&mut self, seg: &[usize], totals: &mut DispatchTotals) {
         if self.updates.is_empty() {
             return;
         }
@@ -1137,7 +1340,7 @@ impl<B: ServiceBackend> Scheduler<B> {
                 totals.update.add(&report.stats);
                 totals.update_runs.push(self.updates.len());
                 if let Some(shard) = report.failed {
-                    for i in seg_lo..seg_hi {
+                    for &i in seg {
                         if self.failures[i].is_none() && self.pending[i].request.is_write() {
                             self.failures[i] = Some(RecvError::WorkerFailed { shard });
                         }
@@ -1146,7 +1349,7 @@ impl<B: ServiceBackend> Scheduler<B> {
             }
             Err(_) => {
                 totals.sched_panics += 1;
-                for i in seg_lo..seg_hi {
+                for &i in seg {
                     if self.failures[i].is_none() && self.pending[i].request.is_write() {
                         self.failures[i] = Some(RecvError::WorkerFailed { shard: 0 });
                     }
@@ -1161,6 +1364,15 @@ impl<B: ServiceBackend> Scheduler<B> {
             }
         }
         self.updates.clear();
+        // The live dataset advanced (wholly or, on a shard death,
+        // partially): publish the barrier's epoch so snapshot readers see
+        // it, then stamp it on the acked writes.
+        self.publish_epoch(self.epoch + 1);
+        for &i in seg {
+            if self.failures[i].is_none() {
+                self.epochs[i] = self.epoch;
+            }
+        }
     }
 
     /// Runs the membership request at pending index `i` (`Insert` or
@@ -1200,6 +1412,12 @@ impl<B: ServiceBackend> Scheduler<B> {
                     self.poison();
                 }
             }
+        }
+        // Membership is a write barrier like any other: publish its epoch
+        // and stamp the ack (see `flush_geometry`).
+        self.publish_epoch(self.epoch + 1);
+        if self.failures[i].is_none() {
+            self.epochs[i] = self.epoch;
         }
     }
 }

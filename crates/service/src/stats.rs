@@ -222,6 +222,31 @@ pub struct ServiceStats {
     pub partial_responses: u64,
     /// Requests completed with `RecvError::WorkerFailed`.
     pub failed_requests: u64,
+    /// The last published epoch (0 for backends without snapshot support
+    /// — see [`Consistency`](crate::Consistency)). Epoch 0 publishes at
+    /// service start; every applied write barrier publishes the next.
+    pub current_epoch: u64,
+    /// Successful epoch publications over the service lifetime. While the
+    /// service is healthy this is exactly `current_epoch + 1` (the startup
+    /// epoch plus one per write barrier): a publish interrupted by a
+    /// caught panic is retried and counted only when it lands, so no epoch
+    /// is ever skipped or published twice.
+    pub epochs_published: u64,
+    /// Reads served at `Consistency::Snapshot`/`ReadYourWrites` from a
+    /// published snapshot instead of the barrier path.
+    pub snapshot_reads: u64,
+    /// Snapshot reads that were hoisted over at least one write barrier
+    /// admitted before them in the same dispatch — reads whose (stale but
+    /// consistent) answer is the relaxation's visible payoff: each one
+    /// skipped waiting on a write application. `snapshot_reads -
+    /// stale_reads` ran with no write pending anyway.
+    pub stale_reads: u64,
+    /// Bytes currently held by published per-shard snapshot copies
+    /// (refreshed every dispatch). Bounded by one snapshot per shard:
+    /// publishing a shard's next snapshot frees its previous one, so this
+    /// gauge returns to ~one-copy baseline once readers drain — the
+    /// epoch-reclamation property test pins this.
+    pub snapshot_clone_bytes: u64,
     /// Per-tenant admission accounting, populated by multi-tenant front
     /// ends (empty for in-process services — see [`TenantStats`]).
     pub tenants: Vec<TenantStats>,
@@ -294,6 +319,15 @@ impl ServiceStats {
             self.retries_attempted,
             self.partial_responses,
             self.failed_requests
+        );
+        let _ = write!(
+            s,
+            ",\"current_epoch\":{},\"epochs_published\":{},\"snapshot_reads\":{},\"stale_reads\":{},\"snapshot_clone_bytes\":{}",
+            self.current_epoch,
+            self.epochs_published,
+            self.snapshot_reads,
+            self.stale_reads,
+            self.snapshot_clone_bytes
         );
         let _ = write!(s, ",\"memory_bytes\":{}", self.memory_bytes);
         s.push_str(",\"shard_sizes\":[");
@@ -376,6 +410,14 @@ impl ServiceStats {
             self.failed_requests,
             self.partial_responses,
             self.retries_attempted,
+        ));
+        s.push_str(&format!(
+            "epochs: current {}, {} published, {} snapshot reads ({} stale), {} snapshot bytes\n",
+            self.current_epoch,
+            self.epochs_published,
+            self.snapshot_reads,
+            self.stale_reads,
+            self.snapshot_clone_bytes,
         ));
         if !self.worker_busy_ns.is_empty() {
             let busy_ms: Vec<String> = self

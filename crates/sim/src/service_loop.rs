@@ -25,7 +25,7 @@ use crate::engine::{SimulationConfig, Workload};
 use simspatial_datagen::{Dataset, QueryWorkload};
 use simspatial_geom::{Aabb, Element};
 use simspatial_moving::{StepCost, UpdateStrategy};
-use simspatial_service::{Request, ServiceHandle, SubmitError, Ticket};
+use simspatial_service::{Consistency, Reply, Request, ServiceHandle, SubmitError, Ticket};
 use std::time::Instant;
 
 /// Timing and accounting of one step driven through the service.
@@ -50,6 +50,13 @@ pub struct ServedStepReport {
     pub monitor_s: f64,
     /// Total monitoring query results.
     pub monitor_results: u64,
+    /// Epoch whose publication made this step's tick visible (zero when
+    /// the backend does not publish snapshots).
+    pub tick_epoch: u64,
+    /// Epoch the monitoring queries were answered at. Under
+    /// [`Consistency::Barrier`] this is the live epoch; under snapshot
+    /// modes it names the published state the counts describe.
+    pub monitor_epoch: u64,
     /// Local maintenance accounting of the driver's probe strategy.
     pub probe_cost: StepCost,
 }
@@ -72,6 +79,8 @@ pub struct ServedSimulation {
     step: usize,
     old: Vec<Element>,
     delta_threshold: f64,
+    monitor_consistency: Consistency,
+    last_tick_epoch: u64,
 }
 
 impl ServedSimulation {
@@ -105,6 +114,8 @@ impl ServedSimulation {
             step: 0,
             old: Vec::new(),
             delta_threshold: 0.25,
+            monitor_consistency: Consistency::Barrier,
+            last_tick_epoch: 0,
         }
     }
 
@@ -115,6 +126,26 @@ impl ServedSimulation {
     pub fn with_delta_threshold(mut self, threshold: f64) -> Self {
         self.delta_threshold = threshold.clamp(0.0, 1.0);
         self
+    }
+
+    /// Sets the consistency mode for the monitoring queries. Defaults to
+    /// [`Consistency::Barrier`] (the pre-epoch semantics: every monitor
+    /// query pays strict ordering behind the tick). Passing
+    /// [`Consistency::ReadYourWrites`] is special-cased: the driver
+    /// substitutes each step's own acknowledged tick epoch as the floor,
+    /// so monitors are guaranteed to observe the tick they follow while
+    /// still running from published snapshots. [`Consistency::Snapshot`]
+    /// reads whatever epoch was last published — maximum overlap with
+    /// in-flight ticks, possibly one step stale.
+    pub fn with_monitor_consistency(mut self, consistency: Consistency) -> Self {
+        self.monitor_consistency = consistency;
+        self
+    }
+
+    /// Epoch whose publication made the most recent tick visible (zero
+    /// before the first tick or without snapshot support).
+    pub fn last_tick_epoch(&self) -> u64 {
+        self.last_tick_epoch
     }
 
     /// The live (driver-side) dataset.
@@ -180,7 +211,10 @@ impl ServedSimulation {
             Request::Step(envelopes)
         };
         let ticket = self.handle.submit(request)?;
-        report.applied = recv(ticket)?.into_applied().unwrap_or(0);
+        let ack = recv(ticket)?;
+        report.applied = ack.response.into_applied().unwrap_or(0);
+        report.tick_epoch = ack.epoch;
+        self.last_tick_epoch = ack.epoch;
         report.tick_s = t.elapsed().as_secs_f64();
 
         // --- monitor phase (served) -------------------------------------
@@ -189,8 +223,18 @@ impl ServedSimulation {
             .map(|_| self.queries.range_query(self.config.monitor_selectivity))
             .collect();
         if !boxes.is_empty() {
-            let ticket = self.handle.submit(Request::RangeCount(boxes))?;
-            if let Some(counts) = recv(ticket)?.into_range_counts() {
+            // Read-your-writes monitors floor on *this* step's tick: they
+            // must observe the barrier they follow, nothing older.
+            let mode = match self.monitor_consistency {
+                Consistency::ReadYourWrites { .. } => Consistency::ReadYourWrites {
+                    min_epoch: self.last_tick_epoch,
+                },
+                other => other,
+            };
+            let ticket = self.handle.submit_at(Request::RangeCount(boxes), mode)?;
+            let reply = recv(ticket)?;
+            report.monitor_epoch = reply.epoch;
+            if let Some(counts) = reply.response.into_range_counts() {
                 report.monitor_results = counts.iter().sum();
             }
         }
@@ -207,10 +251,11 @@ impl ServedSimulation {
 }
 
 /// Maps a ticket's shutdown error back onto [`SubmitError`] so the step
-/// loop has one error type.
-fn recv(ticket: Ticket) -> Result<simspatial_service::Response, SubmitError> {
+/// loop has one error type. Returns the full [`Reply`] so callers keep
+/// the epoch alongside the response.
+fn recv(ticket: Ticket) -> Result<Reply, SubmitError> {
     ticket
-        .recv()
+        .recv_reply()
         .map_err(|_| SubmitError::ShutDown(Request::Range(Vec::new())))
 }
 
@@ -374,6 +419,67 @@ mod tests {
         let stats = service.shutdown();
         assert_eq!(stats.updates_applied, 3 * 10 + 400);
         assert_eq!(stats.updates_shipped, 3 * 10 + 400);
+    }
+
+    /// Monitors running at read-your-writes consistency observe the tick
+    /// they follow, and every reply reports the epoch lifecycle the
+    /// engine backend publishes: one epoch per tick, monitors floored at
+    /// it.
+    #[test]
+    fn snapshot_monitors_observe_their_own_tick() {
+        let data = ElementSoupBuilder::new()
+            .count(300)
+            .universe_side(30.0)
+            .seed(23)
+            .build();
+        let backend = EngineBackend::build_writable(data.elements().to_vec(), |d| {
+            UniformGrid::build(d, GridConfig::auto(d))
+        });
+        let service = SpatialService::spawn(backend, ServiceConfig::default());
+        let mut sim = ServedSimulation::new(
+            data,
+            Box::new(PlasticityWorkload::with_sigma(0.05, 9)),
+            service.handle(),
+            SimulationConfig {
+                strategy: UpdateStrategyKind::NoIndexScan,
+                monitor_queries_per_step: 6,
+                monitor_selectivity: 1e-3,
+                seed: 5,
+            },
+        )
+        .with_monitor_consistency(Consistency::ReadYourWrites { min_epoch: 0 });
+        let reports = sim.run(3).expect("service stays up");
+        for (i, r) in reports.iter().enumerate() {
+            assert_eq!(r.tick_epoch, i as u64 + 1, "one published epoch per tick");
+            assert!(
+                r.monitor_epoch >= r.tick_epoch,
+                "step {i}: read-your-writes monitor ran at epoch {} < tick epoch {}",
+                r.monitor_epoch,
+                r.tick_epoch
+            );
+        }
+        assert_eq!(sim.last_tick_epoch(), 3);
+
+        // With the write stream quiet, a snapshot read and the barrier
+        // oracle answer from the same (latest) epoch — identical results.
+        let q = Aabb::new(Point3::new(2.0, 2.0, 2.0), Point3::new(25.0, 25.0, 25.0));
+        let handle = service.handle();
+        let snap = handle
+            .submit_at(Request::RangeCount(vec![q]), Consistency::Snapshot)
+            .unwrap()
+            .recv_reply()
+            .unwrap();
+        let barrier = handle
+            .submit(Request::RangeCount(vec![q]))
+            .unwrap()
+            .recv_reply()
+            .unwrap();
+        assert_eq!(snap.response, barrier.response);
+        assert_eq!(snap.epoch, 3, "snapshot reads report the published epoch");
+
+        let stats = service.shutdown();
+        assert_eq!(stats.current_epoch, 3);
+        assert!(stats.snapshot_reads >= 1, "the snapshot read was hoisted");
     }
 
     #[test]

@@ -103,9 +103,10 @@ pub mod prelude {
     };
     pub use simspatial_net::{CallOutcome, NetClient, NetConfig, NetServer, TenantSpec};
     pub use simspatial_service::{
-        ChaosBackend, EngineBackend, FaultKind, FaultPlan, IndexUpdater, RebuildUpdater, Reply,
-        Request, Response, RetryPolicy, ServiceBackend, ServiceConfig, ServiceHandle, ServiceStats,
-        ShardedBackend, SpatialService, SubmitError, SupervisorPolicy, TenantStats, Ticket,
+        ChaosBackend, Consistency, EngineBackend, FaultKind, FaultPlan, IndexUpdater,
+        RebuildUpdater, Reply, Request, Response, RetryPolicy, ServiceBackend, ServiceConfig,
+        ServiceHandle, ServiceStats, ShardedBackend, SpatialService, SubmitError, SupervisorPolicy,
+        TenantStats, Ticket,
     };
     pub use simspatial_sim::{
         MaterialWorkload, NBodyWorkload, PlasticityWorkload, ServedSimulation, ServedStepReport,

@@ -118,6 +118,7 @@ fn oracle_frames(service: SpatialService, requests: &[Request]) -> Vec<Vec<u8>> 
                 &mut buf,
                 i as u64 + 1,
                 reply.shards_skipped,
+                reply.epoch,
                 &reply.response,
             );
             buf
@@ -157,7 +158,7 @@ impl RawConn {
 
     fn enqueue(&mut self, corr: u64, request: &Request) {
         let mut buf = Vec::new();
-        wire::encode_request(&mut buf, corr, request);
+        wire::encode_request(&mut buf, corr, None, request);
         wire::write_frame(&mut self.writer, &buf).unwrap();
     }
 

@@ -107,6 +107,7 @@ fn range_req(corr: u64) -> Vec<u8> {
     wire::encode_request(
         &mut buf,
         corr,
+        None,
         &Request::Range(vec![Aabb::new(
             Point3::new(0.0, 0.0, 0.0),
             Point3::new(60.0, 60.0, 60.0),
@@ -226,6 +227,7 @@ fn unknown_opcodes_tags_and_limits_fail_typed() {
     let mut bad = Vec::new();
     bad.push(0x02); // REQUEST
     bad.extend_from_slice(&7u64.to_le_bytes());
+    bad.push(0); // tenant-default consistency
     bad.push(99); // no such tag
     conn.send(&bad);
     conn.expect_fatal(FatalCode::UnknownOpcode);
@@ -233,7 +235,7 @@ fn unknown_opcodes_tags_and_limits_fail_typed() {
     // Item count over the advertised limit (16): a Remove with 17 ids.
     let mut conn = Raw::connect(addr).hello("t");
     let mut over = Vec::new();
-    wire::encode_request(&mut over, 3, &Request::Remove((0..17).collect()));
+    wire::encode_request(&mut over, 3, None, &Request::Remove((0..17).collect()));
     conn.send(&over);
     conn.expect_fatal(FatalCode::LimitExceeded);
 
@@ -277,6 +279,7 @@ fn mid_request_connection_drop_leaks_nothing() {
                 wire::encode_request(
                     &mut buf,
                     corr + 1,
+                    None,
                     &Request::Update(vec![(
                         (round * 20 + corr as u32) % 200,
                         Aabb::new(Point3::new(1.0, 1.0, 1.0), Point3::new(2.0, 2.0, 2.0)),

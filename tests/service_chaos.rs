@@ -960,3 +960,146 @@ fn unrecovered_write_panic_poisons_the_service() {
     assert_eq!(stats.panics_caught, 1);
     assert!(stats.failed_requests >= 2);
 }
+
+/// An injected panic strictly **between** barrier-apply and epoch-publish
+/// (`FaultPlan::panic_at_publish` fires before the inner backend sees the
+/// publish): the scheduler's retry must publish the epoch **exactly once**
+/// — write acks report consecutive epochs with none skipped or observed
+/// twice, and every surviving snapshot reply is byte-identical to the
+/// serial oracle at the epoch it reports. Redemptions use `recv_reply`
+/// (not the bounded helper) because the epoch assertions need the full
+/// [`Reply`]; a hang still fails via the harness timeout.
+#[test]
+fn publish_panic_republishes_exactly_once() {
+    quiet_panics();
+    let data = soup(1500, 0xE90C);
+    let build = |part: &[Element]| UniformGrid::build(part, GridConfig::auto(part));
+    let engine = ShardedEngine::build(&data, 4, build).with_rebuild(build);
+    let mut oracle = ShardedOracle(ShardedEngine::build(&data, 4, build).with_rebuild(build));
+    // Publish attempts: attempt 0 is the startup epoch 0; each write
+    // barrier consumes the next. Panicking attempts 2 and 4 hits write 2's
+    // first publish attempt and write 3's first attempt (write 2's retry
+    // consumed attempt 3) — two independent apply/publish gaps.
+    let plan = FaultPlan::new().panic_at_publish(2).panic_at_publish(4);
+    let backend = ChaosBackend::new(ShardedBackend::spawn_snapshot(engine), plan.clone());
+    let service = SpatialService::spawn(backend, ServiceConfig::default().no_coalesce());
+    let handle = service.handle();
+
+    let probe = Request::Range(vec![full_cover()]);
+    for e in 1..=4u64 {
+        let batch: Vec<(ElementId, Aabb)> = (0..5u32)
+            .map(|q| {
+                let h = mix(e as u32 ^ q.wrapping_mul(0x51));
+                let x = (h % 880) as f32 / 10.0;
+                let y = ((h >> 8) % 880) as f32 / 10.0;
+                let z = ((h >> 16) % 880) as f32 / 10.0;
+                (
+                    h % 1500,
+                    Aabb::new(Point3::new(x, y, z), Point3::new(x + 1.5, y + 1.5, z + 1.5)),
+                )
+            })
+            .collect();
+        let req = Request::Update(batch);
+        let ack = handle
+            .submit(req.clone())
+            .unwrap()
+            .recv_reply()
+            .unwrap_or_else(|err| panic!("publish-retry: write {e} failed: {err}"));
+        assert_eq!(ack.response, expected(&mut oracle, &req));
+        assert_eq!(
+            ack.epoch, e,
+            "write {e} acked under a skipped or double-published epoch"
+        );
+        let snap = handle
+            .submit_at(probe.clone(), Consistency::Snapshot)
+            .unwrap()
+            .recv_reply()
+            .unwrap_or_else(|err| panic!("publish-retry: snapshot read {e} failed: {err}"));
+        assert_eq!(snap.epoch, e, "snapshot ran against a stale republish");
+        assert_eq!(
+            snap.response,
+            expected(&mut oracle, &probe),
+            "snapshot reply at epoch {e} diverged from the oracle at epoch {e}"
+        );
+    }
+
+    let stats = service.shutdown();
+    assert_eq!(stats.current_epoch, 4);
+    assert_eq!(
+        stats.epochs_published, 5,
+        "startup + one per barrier: retries must not re-publish"
+    );
+    assert_eq!(stats.panics_caught, plan.planned_publish_panics());
+    assert_eq!(
+        stats.shard_restarts, 0,
+        "publish faults never touch workers"
+    );
+    assert_eq!(stats.failed_requests, 0);
+}
+
+/// A shard worker panic **mid-write** on a snapshot-publishing backend:
+/// the restart rebuilds the shard's live state from the planner's
+/// already-advanced store, the epoch still publishes exactly once, and
+/// the post-restart publish forks a *fresh* snapshot from the rebuilt
+/// shard — snapshot reads at the new epoch are byte-identical to the
+/// oracle, not served from the pre-restart copy.
+#[test]
+fn snapshot_backend_shard_restart_republishes_fresh_snapshot() {
+    quiet_panics();
+    let data = soup(2000, 0x5A9B);
+    let build = |part: &[Element]| UniformGrid::build(part, GridConfig::auto(part));
+    let engine = ShardedEngine::build(&data, 4, build).with_rebuild(build);
+    let mut oracle = ShardedOracle(ShardedEngine::build(&data, 4, build).with_rebuild(build));
+    // Request 0 (full-cover read) is every shard's job 0; request 1 (the
+    // whole-tick write) is job 1 — where shard 2 panics mid-write.
+    let plan = FaultPlan::new().panic_on_shard(2, 1);
+    let backend = ChaosBackend::new(ShardedBackend::spawn_snapshot(engine), plan.clone());
+    let service = SpatialService::spawn(backend, ServiceConfig::default().no_coalesce());
+    let handle = service.handle();
+    let probe = Request::Range(vec![full_cover()]);
+
+    let r0 = handle.submit(probe.clone()).unwrap().recv_reply().unwrap();
+    assert_eq!(r0.response, expected(&mut oracle, &probe));
+    assert_eq!(r0.epoch, 0, "barrier read before any write is at epoch 0");
+
+    let step = Request::Step(step_envelopes(2000, 0x31AB));
+    let ack = handle.submit(step.clone()).unwrap().recv_reply().unwrap();
+    assert_eq!(ack.response, expected(&mut oracle, &step));
+    assert_eq!(ack.epoch, 1, "restart must not skip or repeat the epoch");
+
+    let snap = handle
+        .submit_at(probe.clone(), Consistency::Snapshot)
+        .unwrap()
+        .recv_reply()
+        .unwrap();
+    assert_eq!(snap.epoch, 1);
+    assert_eq!(
+        snap.response,
+        expected(&mut oracle, &probe),
+        "post-restart snapshot serves the rebuilt shard, not the stale fork"
+    );
+
+    // Another full round proves the restarted shard keeps re-forking.
+    let step2 = Request::Step(step_envelopes(2000, 0x31AC));
+    let ack2 = handle.submit(step2.clone()).unwrap().recv_reply().unwrap();
+    assert_eq!(ack2.response, expected(&mut oracle, &step2));
+    assert_eq!(ack2.epoch, 2);
+    let snap2 = handle
+        .submit_at(probe.clone(), Consistency::Snapshot)
+        .unwrap()
+        .recv_reply()
+        .unwrap();
+    assert_eq!(snap2.epoch, 2);
+    assert_eq!(snap2.response, expected(&mut oracle, &probe));
+
+    let stats = service.shutdown();
+    assert_eq!(stats.panics_caught, 1);
+    assert_eq!(stats.shard_restarts, 1, "the shard came back");
+    assert_eq!(stats.shards_dead, 0);
+    assert_eq!(stats.current_epoch, 2);
+    assert_eq!(
+        stats.epochs_published, 3,
+        "exactly once per epoch across the restart"
+    );
+    assert_eq!(stats.failed_requests, 0);
+}

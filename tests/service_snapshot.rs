@@ -1,0 +1,437 @@
+//! The consistency harness for epoch-published snapshot reads.
+//!
+//! The service publishes a monotonically increasing **epoch** after every
+//! applied write barrier; [`Consistency::Snapshot`] reads run against the
+//! last published epoch without waiting on in-flight writes, and
+//! [`Consistency::ReadYourWrites`] reads wait until at least a caller-chosen
+//! epoch is published. These tests pin down what that buys and what it
+//! must never give up:
+//!
+//! * **Snapshot ≡ barrier oracle at the reported epoch**: while a writer
+//!   mutates the dataset one barrier at a time, concurrent snapshot
+//!   readers may observe *any* published epoch — but every reply must be
+//!   byte-identical to a serial barrier oracle evaluated at exactly the
+//!   epoch the reply reports. A stale answer is fine; a torn answer
+//!   (mixing two epochs) or an unpublished epoch is a bug.
+//! * **Read-your-writes**: a writer that feeds an acked write's epoch
+//!   back as `ReadYourWrites { min_epoch }` always observes its own
+//!   write, no matter how many other writers are racing it.
+//! * **Epoch reclamation** (property test): replaced snapshot copies are
+//!   freed once readers drain — an idle service holds at most one
+//!   published snapshot per shard, so the clone-bytes gauge stays within
+//!   a constant factor of its post-startup baseline and is stable across
+//!   idle polls, no matter how many write rounds retired snapshots.
+//!
+//! Epoch accounting relies on the scheduler invariant that a healthy
+//! snapshot service has published exactly `current_epoch + 1` epochs (the
+//! startup epoch 0 plus one per write barrier) — checked after every run
+//! here, and under injected publish-path panics by the chaos suite.
+
+use proptest::prelude::*;
+use simspatial::prelude::*;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Mixed-size random soup (same recipe as the chaos and stress suites).
+fn soup(n: u32, seed: u32) -> Vec<Element> {
+    (0..n)
+        .map(|i| {
+            let h = (i ^ seed).wrapping_mul(2654435761);
+            let x = (h % 997) as f32 / 10.0;
+            let y = ((h >> 10) % 997) as f32 / 10.0;
+            let z = ((h >> 20) % 997) as f32 / 10.0;
+            let r = if i % 29 == 0 { 4.0 } else { 0.35 };
+            Element::new(i, Shape::Sphere(Sphere::new(Point3::new(x, y, z), r)))
+        })
+        .collect()
+}
+
+fn mix(h: u32) -> u32 {
+    let mut h = h.wrapping_mul(0x9E3779B9) ^ 0xABCD_1234;
+    h ^= h >> 16;
+    h = h.wrapping_mul(0x85EB_CA6B);
+    h ^ (h >> 13)
+}
+
+fn build(d: &[Element]) -> UniformGrid {
+    UniformGrid::build(d, GridConfig::auto(d))
+}
+
+/// One deterministic update barrier: epoch `e` (1-based) moves a small,
+/// e-dependent set of elements to fresh box envelopes.
+fn write_batch(e: u64, data_len: u32) -> Vec<(ElementId, Aabb)> {
+    (0..6u32)
+        .map(|q| {
+            let h = mix(e as u32 ^ q.wrapping_mul(0x9E37));
+            let id = h % data_len;
+            let x = (h % 880) as f32 / 10.0;
+            let y = ((h >> 8) % 880) as f32 / 10.0;
+            let z = ((h >> 16) % 880) as f32 / 10.0;
+            (
+                id,
+                Aabb::new(Point3::new(x, y, z), Point3::new(x + 1.2, y + 1.2, z + 1.2)),
+            )
+        })
+        .collect()
+}
+
+/// The fixed probe set every snapshot reader cycles through: ranges of
+/// varying selectivity, counts, and kNN — everything a snapshot may serve.
+fn probes() -> Vec<Request> {
+    vec![
+        Request::Range(vec![Aabb::new(
+            Point3::new(10.0, 10.0, 10.0),
+            Point3::new(30.0, 30.0, 30.0),
+        )]),
+        Request::Range(vec![
+            Aabb::new(Point3::new(0.0, 0.0, 0.0), Point3::new(99.0, 99.0, 99.0)),
+            Aabb::new(Point3::new(70.0, 5.0, 40.0), Point3::new(85.0, 25.0, 60.0)),
+        ]),
+        Request::RangeCount(vec![
+            Aabb::new(Point3::new(20.0, 40.0, 20.0), Point3::new(60.0, 80.0, 55.0)),
+            Aabb::new(Point3::new(0.0, 0.0, 0.0), Point3::new(15.0, 15.0, 15.0)),
+        ]),
+        Request::Knn(vec![(Point3::new(45.0, 45.0, 45.0), 6)]),
+        Request::Knn(vec![
+            (Point3::new(12.0, 80.0, 33.0), 3),
+            (Point3::new(88.0, 8.0, 71.0), 9),
+        ]),
+    ]
+}
+
+/// Serial barrier oracle: the same sharded engine, driven one request at a
+/// time on the caller's thread.
+struct Oracle(ShardedEngine<UniformGrid>);
+
+impl Oracle {
+    fn new(data: &[Element], shards: usize) -> Oracle {
+        Oracle(ShardedEngine::build(data, shards, build).with_rebuild(build))
+    }
+
+    fn apply(&mut self, batch: &[(ElementId, Aabb)]) {
+        let updates: Vec<(ElementId, Shape)> =
+            batch.iter().map(|&(id, bb)| (id, Shape::Box(bb))).collect();
+        self.0.update_batch(&updates);
+    }
+
+    fn answer(&mut self, request: &Request) -> Response {
+        match request {
+            Request::Range(qs) => {
+                let mut out = BatchResults::new();
+                self.0.range_collect(qs, &mut out);
+                Response::Range(
+                    (0..qs.len())
+                        .map(|q| out.query_results(q).to_vec())
+                        .collect(),
+                )
+            }
+            Request::RangeCount(qs) => {
+                let mut out = BatchResults::new();
+                self.0.range_collect(qs, &mut out);
+                Response::RangeCount(
+                    (0..qs.len())
+                        .map(|q| out.query_results(q).len() as u64)
+                        .collect(),
+                )
+            }
+            Request::Knn(ps) => Response::Knn(
+                ps.iter()
+                    .map(|(p, k)| {
+                        let mut out = KnnBatchResults::new();
+                        self.0.knn_collect(&[*p], *k, &mut out);
+                        out.query_results(0).to_vec()
+                    })
+                    .collect(),
+            ),
+            other => panic!("oracle cannot answer {other:?}"),
+        }
+    }
+}
+
+/// Snapshot replies are byte-identical to the barrier oracle **at the epoch
+/// each reply reports** — stale is fine, torn or unpublished is not.
+///
+/// A writer applies `WRITES` update barriers strictly serially (submit,
+/// redeem, next), so the published epoch `e` is exactly "the initial soup
+/// plus the first `e` batches" and the oracle can precompute every epoch's
+/// answer for every probe up front. Concurrent snapshot readers then race
+/// the writer and check every reply against the precomputed table row its
+/// reported epoch selects.
+#[test]
+fn snapshot_replies_match_barrier_oracle_at_reported_epoch() {
+    const SHARDS: usize = 4;
+    const WRITES: u64 = 32;
+    const READERS: usize = 3;
+
+    let data = soup(1200, 0x5EED);
+    let probe_set = probes();
+
+    // expected[e][p] = the barrier answer to probe p after the first e
+    // write batches.
+    let mut oracle = Oracle::new(&data, SHARDS);
+    let mut expected: Vec<Vec<Response>> = Vec::with_capacity(WRITES as usize + 1);
+    expected.push(probe_set.iter().map(|r| oracle.answer(r)).collect());
+    for e in 1..=WRITES {
+        oracle.apply(&write_batch(e, data.len() as u32));
+        expected.push(probe_set.iter().map(|r| oracle.answer(r)).collect());
+    }
+    let expected = Arc::new(expected);
+
+    let engine = ShardedEngine::build(&data, SHARDS, build).with_rebuild(build);
+    let service = SpatialService::spawn(
+        ShardedBackend::spawn_snapshot(engine),
+        ServiceConfig::default().no_coalesce(),
+    );
+    let handle = service.handle();
+
+    // Readers race the writer: any published epoch is acceptable, but the
+    // payload must equal that exact epoch's oracle row.
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let readers: Vec<_> = (0..READERS)
+        .map(|r| {
+            let handle = handle.clone();
+            let expected = Arc::clone(&expected);
+            let probe_set = probes();
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut observed = std::collections::BTreeSet::new();
+                let mut i = r; // desynchronise the probe cycles
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    let p = i % probe_set.len();
+                    i += 1;
+                    let ticket = handle
+                        .submit_at(probe_set[p].clone(), Consistency::Snapshot)
+                        .expect("snapshot submit");
+                    let reply = ticket.recv_reply().expect("snapshot read failed");
+                    assert!(
+                        reply.epoch <= WRITES,
+                        "reader {r} observed unpublished epoch {}",
+                        reply.epoch
+                    );
+                    assert_eq!(
+                        reply.response, expected[reply.epoch as usize][p],
+                        "reader {r} probe {p}: reply at epoch {} is not the \
+                         barrier answer at that epoch",
+                        reply.epoch
+                    );
+                    observed.insert(reply.epoch);
+                }
+                observed
+            })
+        })
+        .collect();
+
+    // The serial writer: each barrier must ack with its own (consecutive)
+    // epoch — that is what makes the precomputed table indexable by epoch.
+    for e in 1..=WRITES {
+        let ticket = handle
+            .submit(Request::Update(write_batch(e, data.len() as u32)))
+            .expect("write submit");
+        let ack = ticket.recv_reply().expect("write failed");
+        assert_eq!(
+            ack.epoch, e,
+            "serial write {e} was published under a different epoch"
+        );
+        // A short stall every few barriers gives readers epochs to observe
+        // mid-stream (not only the final state) without timing assertions.
+        if e % 4 == 0 {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    let mut observed = std::collections::BTreeSet::new();
+    for r in readers {
+        observed.extend(r.join().expect("reader panicked"));
+    }
+    assert!(
+        !observed.is_empty(),
+        "readers never completed a snapshot read"
+    );
+
+    // Quiesced: snapshot and barrier answers agree at the final epoch.
+    for (p, probe) in probe_set.iter().enumerate() {
+        let snap = handle
+            .submit_at(probe.clone(), Consistency::Snapshot)
+            .expect("submit")
+            .recv_reply()
+            .expect("snapshot read");
+        assert_eq!(
+            snap.epoch, WRITES,
+            "quiesced snapshot is not at the head epoch"
+        );
+        assert_eq!(snap.response, expected[WRITES as usize][p]);
+        let barrier = handle
+            .submit_at(probe.clone(), Consistency::Barrier)
+            .expect("submit")
+            .recv_reply()
+            .expect("barrier read");
+        assert_eq!(barrier.epoch, WRITES);
+        assert_eq!(barrier.response, expected[WRITES as usize][p]);
+    }
+
+    let stats = service.shutdown();
+    assert_eq!(stats.current_epoch, WRITES);
+    assert_eq!(
+        stats.epochs_published,
+        WRITES + 1,
+        "every epoch must publish exactly once (startup 0 + one per barrier)"
+    );
+    assert!(stats.snapshot_reads >= observed.len() as u64);
+    assert!(stats.snapshot_clone_bytes > 0);
+    assert_eq!(stats.failed_requests, 0);
+    assert_eq!(stats.panics_caught, 0);
+}
+
+/// `ReadYourWrites { min_epoch }` always observes the caller's own acked
+/// write, however many other writers race it: each writer moves one of its
+/// own elements, takes the ack's epoch as the floor, and the floored read
+/// must return that element from the moved-to envelope.
+#[test]
+fn read_your_writes_observes_own_acked_writes_under_contention() {
+    const WRITERS: u32 = 4;
+    const ROUNDS: u32 = 12;
+
+    let data = soup(900, 0x0B5E);
+    let engine = ShardedEngine::build(&data, 4, build).with_rebuild(build);
+    let service = SpatialService::spawn(
+        ShardedBackend::spawn_snapshot(engine),
+        ServiceConfig::default().no_coalesce(),
+    );
+    let handle = service.handle();
+
+    let writers: Vec<_> = (0..WRITERS)
+        .map(|w| {
+            let handle = handle.clone();
+            std::thread::spawn(move || {
+                for r in 0..ROUNDS {
+                    // A per-(writer, round) unique destination inside the
+                    // soup's coordinate range.
+                    let id = w * 101 + r; // disjoint per writer
+                    let x = 5.0 + w as f32 * 21.0 + r as f32 * 1.4;
+                    let y = 8.0 + w as f32 * 3.0;
+                    let z = 12.0 + r as f32 * 5.0;
+                    let dest =
+                        Aabb::new(Point3::new(x, y, z), Point3::new(x + 0.8, y + 0.8, z + 0.8));
+                    let ack = handle
+                        .submit(Request::Update(vec![(id, dest)]))
+                        .expect("write submit")
+                        .recv_reply()
+                        .expect("write failed");
+                    assert!(ack.epoch > 0, "write acked without a published epoch");
+
+                    let probe = Aabb::new(
+                        Point3::new(x - 0.1, y - 0.1, z - 0.1),
+                        Point3::new(x + 0.9, y + 0.9, z + 0.9),
+                    );
+                    let reply = handle
+                        .submit_at(
+                            Request::Range(vec![probe]),
+                            Consistency::ReadYourWrites {
+                                min_epoch: ack.epoch,
+                            },
+                        )
+                        .expect("read submit")
+                        .recv_reply()
+                        .expect("read failed");
+                    assert!(
+                        reply.epoch >= ack.epoch,
+                        "writer {w} round {r}: read ran at epoch {} < acked {}",
+                        reply.epoch,
+                        ack.epoch
+                    );
+                    let ids = match &reply.response {
+                        Response::Range(per_query) => &per_query[0],
+                        other => panic!("unexpected response {other:?}"),
+                    };
+                    assert!(
+                        ids.contains(&id),
+                        "writer {w} round {r}: own write (element {id}, acked at \
+                         epoch {}) invisible to ReadYourWrites at epoch {}",
+                        ack.epoch,
+                        reply.epoch
+                    );
+                }
+            })
+        })
+        .collect();
+    for t in writers {
+        t.join().expect("writer panicked");
+    }
+
+    let stats = service.shutdown();
+    assert_eq!(stats.current_epoch, (WRITERS * ROUNDS) as u64);
+    assert_eq!(stats.epochs_published, (WRITERS * ROUNDS) as u64 + 1);
+    assert_eq!(stats.failed_requests, 0);
+    assert_eq!(stats.panics_caught, 0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    // Epoch reclamation: update-only write rounds retire one snapshot per
+    // touched shard each; once readers drain, only the latest per shard is
+    // retained. The clone-bytes gauge therefore (a) stays within a
+    // constant factor of the post-startup baseline regardless of how many
+    // rounds ran, and (b) is identical across consecutive idle polls — an
+    // idle service holds at most one published snapshot per shard, it
+    // never accretes retired ones.
+    #[test]
+    fn retired_snapshots_are_reclaimed(seed in 0u32..10_000, rounds in 1u64..10) {
+        let data = soup(400, 0xA11C ^ seed);
+        let engine = ShardedEngine::build(&data, 2, build).with_rebuild(build);
+        let service = SpatialService::spawn(
+            ShardedBackend::spawn_snapshot(engine),
+            ServiceConfig::default().no_coalesce(),
+        );
+        let handle = service.handle();
+
+        // One redeemed snapshot read guarantees the startup publish
+        // happened before the baseline sample.
+        let first = handle
+            .submit_at(Request::RangeCount(vec![Aabb::new(
+                Point3::new(0.0, 0.0, 0.0),
+                Point3::new(99.0, 99.0, 99.0),
+            )]), Consistency::Snapshot)
+            .expect("submit")
+            .recv_reply()
+            .expect("snapshot read");
+        prop_assert_eq!(first.epoch, 0);
+        let baseline = handle.stats().snapshot_clone_bytes;
+        prop_assert!(baseline > 0, "startup publish retained no snapshot bytes");
+
+        for e in 1..=rounds {
+            let ack = handle
+                .submit(Request::Update(write_batch(e, data.len() as u32)))
+                .expect("write submit")
+                .recv_reply()
+                .expect("write failed");
+            prop_assert_eq!(ack.epoch, e);
+            let read = handle
+                .submit_at(Request::RangeCount(vec![Aabb::new(
+                    Point3::new(0.0, 0.0, 0.0),
+                    Point3::new(99.0, 99.0, 99.0),
+                )]), Consistency::Snapshot)
+                .expect("submit")
+                .recv_reply()
+                .expect("snapshot read");
+            prop_assert_eq!(read.epoch, e);
+        }
+
+        // Readers drained; the gauge must be stable and baseline-sized.
+        let g1 = handle.stats().snapshot_clone_bytes;
+        let g2 = handle.stats().snapshot_clone_bytes;
+        prop_assert_eq!(g1, g2, "idle clone-bytes gauge drifted with no traffic");
+        prop_assert!(g1 > 0);
+        prop_assert!(
+            g1 <= baseline.saturating_mul(2),
+            "clone bytes grew past 2x baseline after {} update-only rounds: \
+             {} -> {} (retired snapshots not reclaimed?)",
+            rounds, baseline, g1
+        );
+
+        let stats = service.shutdown();
+        prop_assert_eq!(stats.current_epoch, rounds);
+        prop_assert_eq!(stats.epochs_published, rounds + 1);
+        prop_assert_eq!(stats.failed_requests, 0);
+    }
+}
